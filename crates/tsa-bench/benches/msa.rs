@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the progressive MSA extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsa_msa::{refine, MsaBuilder};
+use tsa_seq::family::FamilyConfig;
+use tsa_seq::Seq;
+
+fn family(k: usize, n: usize) -> Vec<Seq> {
+    let mut out = Vec::new();
+    let mut batch = 0u64;
+    while out.len() < k {
+        let fam = FamilyConfig::new(n, 0.15, 0.05).generate(31 + batch);
+        for m in fam.members {
+            if out.len() < k {
+                out.push(m);
+            }
+        }
+        batch += 1;
+    }
+    out
+}
+
+fn bench_msa(c: &mut Criterion) {
+    let scoring = tsa_scoring::Scoring::dna_default();
+    let mut group = c.benchmark_group("msa");
+    for k in [4usize, 8] {
+        let seqs = family(k, 80);
+        group.bench_with_input(BenchmarkId::new("progressive", k), &k, |bch, _| {
+            bch.iter(|| MsaBuilder::new().align(&seqs).unwrap().sp_score)
+        });
+        let msa = MsaBuilder::new().align(&seqs).unwrap();
+        group.bench_with_input(BenchmarkId::new("refine_2_sweeps", k), &k, |bch, _| {
+            bch.iter(|| refine::refine(&msa, &scoring, 2).msa.sp_score)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_msa
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the pairwise substrate: the 2D warm-up
+//! comparison (full NW vs linear-space vs Hirschberg vs banded vs the
+//! 2D wavefront).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsa_pairwise::{banded, hirschberg, nw, score_only, wavefront_par};
+use tsa_scoring::Scoring;
+use tsa_seq::family::FamilyConfig;
+
+fn pair(n: usize) -> (tsa_seq::Seq, tsa_seq::Seq) {
+    let fam = FamilyConfig::new(n, 0.15, 0.05).generate(7 ^ n as u64);
+    let [a, b, _] = fam.members;
+    (a, b)
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let scoring = Scoring::dna_default();
+    let mut group = c.benchmark_group("pairwise");
+    for n in [128usize, 512] {
+        let (a, b) = pair(n);
+        group.bench_with_input(BenchmarkId::new("nw_full", n), &n, |bch, _| {
+            bch.iter(|| nw::align(&a, &b, &scoring).score)
+        });
+        group.bench_with_input(BenchmarkId::new("score_linear_space", n), &n, |bch, _| {
+            bch.iter(|| score_only::score(&a, &b, &scoring))
+        });
+        group.bench_with_input(BenchmarkId::new("hirschberg", n), &n, |bch, _| {
+            bch.iter(|| hirschberg::align(&a, &b, &scoring).score)
+        });
+        group.bench_with_input(BenchmarkId::new("banded_adaptive", n), &n, |bch, _| {
+            bch.iter(|| banded::align_adaptive(&a, &b, &scoring).score)
+        });
+        group.bench_with_input(BenchmarkId::new("wavefront_2d", n), &n, |bch, _| {
+            bch.iter(|| wavefront_par::align_score(&a, &b, &scoring))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pairwise
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark for tile-size sensitivity (the regression
+//! mirror of experiment F3) and the barrier-vs-dataflow scheduler ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsa_core::blocked;
+use tsa_scoring::Scoring;
+use tsa_seq::family::FamilyConfig;
+
+fn bench_tiles(c: &mut Criterion) {
+    let scoring = Scoring::dna_default();
+    let fam = FamilyConfig::new(64, 0.15, 0.05).generate(99);
+    let [a, b, cc] = fam.members;
+    let mut group = c.benchmark_group("tiles");
+    for tile in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("barrier", tile), &tile, |bch, &t| {
+            bch.iter(|| blocked::align_score(&a, &b, &cc, &scoring, t))
+        });
+        group.bench_with_input(BenchmarkId::new("dataflow_w2", tile), &tile, |bch, &t| {
+            bch.iter(|| blocked::fill_dataflow(&a, &b, &cc, &scoring, t, 2).final_score())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tiles
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! F6 — wavefront load profile over execution.
+//!
+//! Runs the plane-parallel DP with the traced executor and reports, per
+//! decile of the plane sequence: cells, wall time, and the effective cell
+//! rate. The ramp-up → plateau → ramp-down shape is the empirical
+//! counterpart of the analytic plane-size profile; the rate column shows
+//! the small early/late planes paying disproportionate scheduling
+//! overhead — the direct justification for the blocked variant.
+
+use tsa_bench::{table::Table, workload, RunConfig};
+use tsa_core::dp::{Kernel, NEG_INF};
+use tsa_scoring::Scoring;
+use tsa_wavefront::plane::Extents;
+use tsa_wavefront::trace::{bucketize, run_cells_wavefront_traced};
+use tsa_wavefront::SharedGrid;
+
+pub fn run(cfg: &RunConfig) {
+    let scoring = Scoring::dna_default();
+    let n = cfg.reference_length();
+    let (a, b, c) = workload::triple(n);
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), &scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let e = Extents::new(n1, n2, n3);
+    let grid: SharedGrid<i32> = SharedGrid::new(e.cells(), NEG_INF);
+    // SAFETY: standard plane-disjointness contract (one write per cell,
+    // reads from earlier planes).
+    let timings = run_cells_wavefront_traced(e, |i, j, k| {
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe { grid.get(e.index(pi, pj, pk)) });
+        unsafe { grid.set(e.index(i, j, k), v) };
+    });
+    let score = unsafe { grid.get(e.index(n1, n2, n3)) };
+    println!("  (n={n}, {} planes, final score {score})", timings.len());
+
+    let mut t = Table::new(&["decile", "cells", "time_ms", "Mcells_per_s"], cfg.csv);
+    for (idx, (cells, nanos)) in bucketize(&timings, 10).iter().enumerate() {
+        let secs = *nanos as f64 / 1e9;
+        let rate = if secs > 0.0 {
+            *cells as f64 / secs / 1e6
+        } else {
+            f64::INFINITY
+        };
+        t.row(vec![
+            format!("{}%", (idx + 1) * 10),
+            cells.to_string(),
+            format!("{:.2}", *nanos as f64 / 1e6),
+            format!("{rate:.1}"),
+        ]);
+    }
+    t.print();
+}

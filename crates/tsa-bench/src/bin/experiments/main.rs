@@ -1,0 +1,112 @@
+//! The experiment driver: regenerates every table and figure of the
+//! reconstructed evaluation (see `DESIGN.md` §5 and `EXPERIMENTS.md`).
+//!
+//! ```text
+//! cargo run -p tsa-bench --release --bin experiments -- all [--quick] [--csv]
+//! cargo run -p tsa-bench --release --bin experiments -- table2 fig3
+//! ```
+
+mod fig1;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod table1;
+mod table2;
+mod table3;
+mod table4;
+mod table5;
+mod table6;
+mod table7;
+mod table8;
+mod table9;
+mod table10;
+
+use tsa_bench::{pool, RunConfig};
+
+const IDS: &[(&str, &str)] = &[
+    ("table1", "sequential runtime & MCUPS vs length"),
+    ("table2", "parallel speedup vs thread count (measured + model)"),
+    ("fig1", "speedup curves: wavefront vs blocked"),
+    ("fig2", "runtime vs length, all algorithms"),
+    ("fig3", "tile-size sensitivity (barrier vs dataflow)"),
+    ("table3", "memory footprint vs length"),
+    ("table4", "divide-and-conquer overhead & optimality"),
+    ("table5", "exact vs center-star quality"),
+    ("fig4", "model-predicted vs measured speedup"),
+    ("table6", "affine-gap extension cost"),
+    ("table7", "Carrillo-Lipman pruning effectiveness"),
+    ("fig5", "simulated cluster scalability (alpha-beta model)"),
+    ("table8", "progressive MSA vs exact optimum on triples"),
+    ("table9", "search-space reduction: full vs banded vs Carrillo-Lipman"),
+    ("fig6", "wavefront load profile over execution"),
+    ("table10", "anchored seed-chain-extend vs exact DP"),
+];
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: experiments <id>... [--quick] [--csv]\n       experiments all [--quick] [--csv]\n\nexperiments:\n",
+    );
+    for (id, desc) in IDS {
+        s.push_str(&format!("  {id:<8} {desc}\n"));
+    }
+    s
+}
+
+fn run_one(id: &str, cfg: &RunConfig) -> bool {
+    println!("\n=== {id}: {} ===", IDS.iter().find(|(i, _)| *i == id).map(|(_, d)| *d).unwrap_or(""));
+    match id {
+        "table1" => table1::run(cfg),
+        "table2" => table2::run(cfg),
+        "fig1" => fig1::run(cfg),
+        "fig2" => fig2::run(cfg),
+        "fig3" => fig3::run(cfg),
+        "table3" => table3::run(cfg),
+        "table4" => table4::run(cfg),
+        "table5" => table5::run(cfg),
+        "fig4" => fig4::run(cfg),
+        "table6" => table6::run(cfg),
+        "table7" => table7::run(cfg),
+        "fig5" => fig5::run(cfg),
+        "table8" => table8::run(cfg),
+        "table9" => table9::run(cfg),
+        "fig6" => fig6::run(cfg),
+        "table10" => table10::run(cfg),
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = RunConfig {
+        quick: args.iter().any(|a| a == "--quick"),
+        csv: args.iter().any(|a| a == "--csv"),
+    };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprint!("{}", usage());
+        std::process::exit(2);
+    }
+    println!(
+        "# host cores: {} (measured parallel times are wall-clock on this host; \
+         model columns predict P real workers)",
+        pool::host_cores()
+    );
+    let list: Vec<&str> = if ids == ["all"] {
+        IDS.iter().map(|(i, _)| *i).collect()
+    } else {
+        ids
+    };
+    for id in list {
+        if !run_one(id, &cfg) {
+            eprintln!("unknown experiment `{id}`\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

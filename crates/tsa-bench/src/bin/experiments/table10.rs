@@ -1,0 +1,75 @@
+//! T10 — anchored (seed–chain–extend) heuristic vs the exact DP.
+//!
+//! The long-sequence escape hatch: exact DP only between shared k-mer
+//! anchors. For similar sequences the anchored runtime grows far slower
+//! than the exact `O(n³)`, at a small, measured score deficit. The exact
+//! column stops at the largest size the full lattice comfortably fits;
+//! the anchored column keeps going.
+
+use tsa_bench::{table::Table, timing, workload, RunConfig};
+use tsa_core::anchored::{self, AnchorConfig};
+use tsa_core::full;
+use tsa_scoring::Scoring;
+
+pub fn run(cfg: &RunConfig) {
+    let scoring = Scoring::dna_default();
+    let config = AnchorConfig {
+        kmer: 10,
+        ..AnchorConfig::default()
+    };
+    let lengths: Vec<usize> = if cfg.quick {
+        vec![48, 96]
+    } else {
+        vec![96, 192, 384, 768]
+    };
+    // Full DP is run only up to this length (768³ would be 1.8 GiB).
+    let exact_limit = if cfg.quick { 96 } else { 256 };
+    let mut t = Table::new(
+        &["n", "exact_ms", "anchored_ms", "exact_SP", "anchored_SP", "deficit_pct"],
+        cfg.csv,
+    );
+    for n in lengths {
+        // Lower divergence than the canonical workload: anchoring is the
+        // long-similar-sequence regime (and indels shred exact 3-way
+        // seeds far faster than substitutions do).
+        let fam = tsa_seq::family::FamilyConfig::new(n, 0.06, 0.015)
+            .generate(workload::SEED_BASE ^ n as u64);
+        let (a, b, c) = fam.triple();
+        let (anchored_aln, t_anchored) = timing::best_of(cfg.reps(), || {
+            anchored::align(a, b, c, &scoring, &config)
+        });
+        anchored_aln.validate(a, b, c).expect("anchored alignment invalid");
+        if n <= exact_limit {
+            let (exact, t_exact) =
+                timing::best_of(cfg.reps(), || full::align_score(a, b, c, &scoring));
+            assert!(anchored_aln.score <= exact, "heuristic beat optimum at n={n}");
+            let pct = if exact != 0 {
+                100.0 * (exact - anchored_aln.score) as f64 / exact.abs() as f64
+            } else {
+                0.0
+            };
+            t.row(vec![
+                n.to_string(),
+                timing::fmt_ms(t_exact),
+                timing::fmt_ms(t_anchored),
+                exact.to_string(),
+                anchored_aln.score.to_string(),
+                format!("{pct:.1}"),
+            ]);
+        } else {
+            t.row(vec![
+                n.to_string(),
+                "-".into(),
+                timing::fmt_ms(t_anchored),
+                "-".into(),
+                anchored_aln.score.to_string(),
+                "-".into(),
+            ]);
+        }
+    }
+    println!(
+        "  (6% substitution / 1.5% indel families; anchors: {}-mers, ≤{} occurrences)",
+        config.kmer, config.max_occurrences
+    );
+    t.print();
+}

@@ -1,0 +1,46 @@
+//! T5 — exact optimum vs center-star heuristic, across divergence levels.
+//!
+//! The quality argument for exact three-sequence alignment: as the family
+//! diverges, the star merge leaves more score on the table. Reports the
+//! exact SP score, the heuristic SP score, the deviation, and the
+//! pairwise-sum upper bound for context.
+
+use tsa_bench::{table::Table, workload, RunConfig};
+use tsa_core::{bounds, center_star, full};
+use tsa_scoring::Scoring;
+
+pub fn run(cfg: &RunConfig) {
+    let scoring = Scoring::dna_default();
+    let n = if cfg.quick { 32 } else { 96 };
+    let rates: &[f64] = &[0.05, 0.10, 0.20, 0.30, 0.40];
+    let mut t = Table::new(
+        &["sub_rate", "identity", "exact_SP", "star_SP", "deficit", "deficit_pct", "upper_bound"],
+        cfg.csv,
+    );
+    for (idx, &rate) in rates.iter().enumerate() {
+        let fam = workload::family_at_rate(n, rate, idx as u64);
+        let (a, b, c) = fam.triple();
+        let exact = full::align_score(a, b, c, &scoring);
+        let star = center_star::align(a, b, c, &scoring).alignment.score;
+        assert!(star <= exact, "heuristic beat the optimum at rate {rate}");
+        let ub = bounds::upper_bound(a, b, c, &scoring);
+        assert!(exact <= ub, "optimum above its upper bound at rate {rate}");
+        let deficit = exact - star;
+        let pct = if exact != 0 {
+            100.0 * deficit as f64 / exact.abs() as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            format!("{rate:.2}"),
+            format!("{:.3}", fam.mean_pairwise_identity()),
+            exact.to_string(),
+            star.to_string(),
+            deficit.to_string(),
+            format!("{pct:.1}"),
+            ub.to_string(),
+        ]);
+    }
+    println!("  (n={n}, indel rate {}, DNA default scoring)", workload::CANONICAL_INDEL);
+    t.print();
+}

@@ -1,0 +1,43 @@
+//! T6 — cost of the affine-gap (quasi-natural) extension.
+//!
+//! The affine DP tracks 7 predecessor states per cell (7×7 transitions),
+//! so its per-cell constant is substantially larger than the linear DP's
+//! 7-way max. This table reports the measured ratio and both scores
+//! (affine scores are lower: opens only subtract).
+
+use tsa_bench::{table::Table, timing, workload, RunConfig};
+use tsa_core::{affine, full};
+use tsa_scoring::{GapModel, Scoring};
+
+pub fn run(cfg: &RunConfig) {
+    let linear = Scoring::dna_default();
+    let aff = Scoring::dna_default().with_gap(GapModel::affine(-4, -2));
+    let lengths: Vec<usize> = if cfg.quick {
+        vec![8, 16, 24]
+    } else {
+        vec![16, 24, 32, 48, 64]
+    };
+    let mut t = Table::new(
+        &["n", "linear_ms", "affine_ms", "affine_over_linear", "linear_SP", "affine_QN"],
+        cfg.csv,
+    );
+    for n in lengths {
+        let (a, b, c) = workload::triple(n);
+        let (s_lin, t_lin) =
+            timing::best_of(cfg.reps(), || full::align_score(&a, &b, &c, &linear));
+        let (al_aff, t_aff) = timing::best_of(cfg.reps(), || affine::align(&a, &b, &c, &aff));
+        al_aff.validate(&a, &b, &c).expect("affine alignment invalid");
+        // With extend == the linear gap and open ≤ 0, affine can only lose.
+        assert!(al_aff.score <= s_lin, "affine beat linear at n={n}");
+        t.row(vec![
+            n.to_string(),
+            timing::fmt_ms(t_lin),
+            timing::fmt_ms(t_aff),
+            format!("{:.1}", t_aff.as_secs_f64() / t_lin.as_secs_f64()),
+            s_lin.to_string(),
+            al_aff.score.to_string(),
+        ]);
+    }
+    println!("  (affine gap: open -4, extend -2; linear gap -2)");
+    t.print();
+}

@@ -1,0 +1,41 @@
+//! T7 — Carrillo–Lipman pruning effectiveness.
+//!
+//! For each divergence level: the fraction of the lattice the pruned DP
+//! actually computes, the resulting wall time against the unpruned fill,
+//! and score equality. The more similar the sequences, the tighter the
+//! center-star lower bound and the pairwise-projection upper bounds —
+//! and the smaller the surviving "tube" around the optimal path.
+
+use tsa_bench::{table::Table, timing, workload, RunConfig};
+use tsa_core::{carrillo_lipman, full};
+use tsa_scoring::Scoring;
+
+pub fn run(cfg: &RunConfig) {
+    let scoring = Scoring::dna_default();
+    let n = if cfg.quick { 40 } else { 96 };
+    let rates: &[f64] = &[0.02, 0.05, 0.10, 0.20, 0.30, 0.50];
+    let mut t = Table::new(
+        &["sub_rate", "visited_pct", "full_ms", "pruned_ms", "pruned_over_full", "scores_equal"],
+        cfg.csv,
+    );
+    for (idx, &rate) in rates.iter().enumerate() {
+        let fam = workload::family_at_rate(n, rate, 1000 + idx as u64);
+        let (a, b, c) = fam.triple();
+        let (ref_score, t_full) =
+            timing::best_of(cfg.reps(), || full::align_score(a, b, c, &scoring));
+        let ((score, stats), t_pruned) = timing::best_of(cfg.reps(), || {
+            carrillo_lipman::align_score_with_stats(a, b, c, &scoring)
+        });
+        assert_eq!(score, ref_score, "pruning lost the optimum at rate {rate}");
+        t.row(vec![
+            format!("{rate:.2}"),
+            format!("{:.1}", 100.0 * stats.visited_fraction()),
+            timing::fmt_ms(t_full),
+            timing::fmt_ms(t_pruned),
+            format!("{:.2}", t_pruned.as_secs_f64() / t_full.as_secs_f64()),
+            "true".into(),
+        ]);
+    }
+    println!("  (n={n}; pruned time includes the center-star seed and 6 pairwise DP matrices)");
+    t.print();
+}

@@ -1,0 +1,50 @@
+//! T8 — progressive MSA vs the exact three-sequence optimum.
+//!
+//! The extension experiment: the progressive profile-merge heuristic
+//! (`tsa-msa`) evaluated against ground truth on triples, across
+//! divergence levels — and against the center-star baseline, which it
+//! should dominate or match (profile merges use full column information;
+//! the star merge only sees the center).
+
+use tsa_bench::{table::Table, workload, RunConfig};
+use tsa_core::{center_star, full};
+use tsa_msa::MsaBuilder;
+use tsa_scoring::Scoring;
+
+pub fn run(cfg: &RunConfig) {
+    let scoring = Scoring::dna_default();
+    let n = if cfg.quick { 32 } else { 96 };
+    let rates: &[f64] = &[0.05, 0.10, 0.20, 0.30, 0.40];
+    let mut t = Table::new(
+        &["sub_rate", "exact_SP", "progressive_SP", "star_SP", "prog_deficit_pct"],
+        cfg.csv,
+    );
+    for (idx, &rate) in rates.iter().enumerate() {
+        let fam = workload::family_at_rate(n, rate, 2000 + idx as u64);
+        let seqs = fam.members.to_vec();
+        let exact = full::align_score(&seqs[0], &seqs[1], &seqs[2], &scoring) as i64;
+        let progressive = MsaBuilder::new()
+            .scoring(scoring.clone())
+            .align(&seqs)
+            .expect("linear gaps");
+        progressive.validate(&seqs).expect("valid MSA");
+        let star = center_star::align(&seqs[0], &seqs[1], &seqs[2], &scoring)
+            .alignment
+            .score as i64;
+        assert!(progressive.sp_score <= exact, "heuristic beat optimum at rate {rate}");
+        let pct = if exact != 0 {
+            100.0 * (exact - progressive.sp_score) as f64 / exact.abs() as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            format!("{rate:.2}"),
+            exact.to_string(),
+            progressive.sp_score.to_string(),
+            star.to_string(),
+            format!("{pct:.1}"),
+        ]);
+    }
+    println!("  (n={n}; progressive = UPGMA + profile merges, star = center-star)");
+    t.print();
+}

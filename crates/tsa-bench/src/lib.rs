@@ -1,0 +1,90 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! The `experiments` binary (one module per table/figure, see
+//! `src/bin/experiments/`) regenerates every entry of the reconstructed
+//! evaluation; this library holds what those modules share:
+//!
+//! * [`workload`] — the standard sequence-family workloads, keyed by
+//!   length, with fixed seeds so every run is reproducible;
+//! * [`timing`] — wall-clock measurement helpers (best-of-N, MCUPS);
+//! * [`table`] — fixed-width table / CSV emission;
+//! * [`pool`] — per-thread-count rayon pools.
+//!
+//! ## A note on measured parallel speedup
+//!
+//! The reproduction host may have a single CPU core (the container this
+//! repository was built in does). Measured wall-clock "speedups" there are
+//! flat at best — the threads time-share one core. The harness therefore
+//! reports, side by side: the measured wall time, and the **calibrated
+//! model prediction** (`tsa-perfmodel`, cell cost calibrated from the
+//! measured sequential run) of what the same schedule does with `P` real
+//! workers. The model's shape — not the single-core wall clock — is the
+//! reproduction of the paper's cluster speedup curves; see EXPERIMENTS.md.
+
+pub mod pool;
+pub mod table;
+pub mod timing;
+pub mod workload;
+
+/// Configuration shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Shrink problem sizes for smoke runs (CI, `--quick`).
+    pub quick: bool,
+    /// Emit comma-separated values instead of aligned columns.
+    pub csv: bool,
+}
+
+impl RunConfig {
+    /// The length sweep used by runtime experiments.
+    pub fn length_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![16, 32, 48, 64]
+        } else {
+            vec![32, 64, 96, 128, 192, 256]
+        }
+    }
+
+    /// The thread-count sweep used by speedup experiments.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1, 2, 4]
+        } else {
+            vec![1, 2, 4, 8]
+        }
+    }
+
+    /// The single "reference" length for fixed-size experiments.
+    pub fn reference_length(&self) -> usize {
+        if self.quick {
+            48
+        } else {
+            192
+        }
+    }
+
+    /// Timing repetitions (best-of).
+    pub fn reps(&self) -> usize {
+        if self.quick {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sizes_are_smaller() {
+        let quick = RunConfig { quick: true, csv: false };
+        let full = RunConfig { quick: false, csv: false };
+        assert!(quick.length_sweep().iter().max() < full.length_sweep().iter().max());
+        assert!(quick.reference_length() < full.reference_length());
+        assert!(!quick.length_sweep().is_empty());
+        assert!(quick.thread_sweep().contains(&1));
+        assert!(quick.reps() >= 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Per-thread-count rayon pools.
+//!
+//! Speedup experiments must not share the global pool (its size is fixed
+//! at first use); each measurement builds a dedicated pool and `install`s
+//! the workload into it.
+
+use rayon::ThreadPool;
+
+/// Build a rayon pool with exactly `threads` workers.
+pub fn pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("building a rayon pool cannot fail with valid thread counts")
+}
+
+/// Run `f` inside a dedicated pool of `threads` workers.
+pub fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    pool(threads).install(f)
+}
+
+/// The host's available parallelism (what measured speedups are limited
+/// by — reported in experiment headers).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_has_requested_size() {
+        let p = pool(3);
+        assert_eq!(p.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn with_pool_runs_inside() {
+        let n = with_pool(2, rayon::current_num_threads);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn parallel_work_completes_in_small_pool() {
+        let sum: u64 = with_pool(2, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn host_cores_is_positive() {
+        assert!(host_cores() >= 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once, returning its result and the elapsed wall time.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Run `f` `reps` times (≥ 1), returning the last result and the **best**
+/// (minimum) wall time — the standard noise-rejection estimator for
+/// compute-bound kernels.
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(reps >= 1, "need at least one repetition");
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let (v, t) = time_once(&mut f);
+        best = best.min(t);
+        out = Some(v);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+/// Million cell updates per second.
+pub fn mcups(cells: usize, t: Duration) -> f64 {
+    if t.is_zero() {
+        return f64::INFINITY;
+    }
+    cells as f64 / t.as_secs_f64() / 1e6
+}
+
+/// Format a duration as fixed-point milliseconds.
+pub fn fmt_ms(t: Duration) -> String {
+    format!("{:.2}", t.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_result() {
+        let (v, t) = time_once(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(t < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn best_of_takes_minimum() {
+        let mut calls = 0;
+        let (v, t) = best_of(5, || {
+            calls += 1;
+            if calls == 3 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            calls
+        });
+        assert_eq!(v, 5);
+        assert_eq!(calls, 5);
+        assert!(t < Duration::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_reps_panics() {
+        let _ = best_of(0, || ());
+    }
+
+    #[test]
+    fn mcups_math() {
+        let m = mcups(2_000_000, Duration::from_secs(1));
+        assert!((m - 2.0).abs() < 1e-9);
+        assert!(mcups(1, Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn fmt_ms_renders() {
+        assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(fmt_ms(Duration::from_micros(1234)), "1.23");
+    }
+}

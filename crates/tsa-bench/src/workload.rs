@@ -1,0 +1,83 @@
+//! Standard benchmark workloads.
+//!
+//! Every experiment draws its inputs from here so that numbers are
+//! comparable across experiments and reproducible across runs. The
+//! canonical workload is a DNA family with 15% substitutions and 5%
+//! indels — divergent enough that gaps matter, similar enough to be a
+//! realistic homologous triple.
+
+use tsa_seq::family::{Family, FamilyConfig};
+use tsa_seq::Seq;
+
+/// Substitution rate of the canonical workload.
+pub const CANONICAL_SUB: f64 = 0.15;
+/// Indel rate of the canonical workload.
+pub const CANONICAL_INDEL: f64 = 0.05;
+/// Seed base: workloads at different lengths get different but fixed seeds.
+pub const SEED_BASE: u64 = 0x75A_2007;
+
+/// The canonical DNA family at ancestor length `n`.
+pub fn family(n: usize) -> Family {
+    FamilyConfig::new(n, CANONICAL_SUB, CANONICAL_INDEL).generate(SEED_BASE ^ n as u64)
+}
+
+/// The canonical triple at ancestor length `n`, as owned sequences.
+pub fn triple(n: usize) -> (Seq, Seq, Seq) {
+    let [a, b, c] = family(n).members;
+    (a, b, c)
+}
+
+/// A rate-sweep family (used by the quality experiment): substitution rate
+/// `sub`, indels fixed at the canonical rate.
+pub fn family_at_rate(n: usize, sub: f64, seed: u64) -> Family {
+    FamilyConfig::new(n, sub, CANONICAL_INDEL).generate(SEED_BASE ^ seed)
+}
+
+/// Interior cell count of the canonical triple at length `n` (the MCUPS
+/// denominator).
+pub fn cell_updates(a: &Seq, b: &Seq, c: &Seq) -> usize {
+    (a.len() + 1) * (b.len() + 1) * (c.len() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let (a1, ..) = triple(64);
+        let (a2, ..) = triple(64);
+        assert_eq!(a1.residues(), a2.residues());
+    }
+
+    #[test]
+    fn different_lengths_differ() {
+        let (a, ..) = triple(32);
+        let (b, ..) = triple(64);
+        assert_ne!(a.residues(), b.residues());
+    }
+
+    #[test]
+    fn lengths_are_near_nominal() {
+        let (a, b, c) = triple(100);
+        for s in [&a, &b, &c] {
+            assert!(s.len().abs_diff(100) < 40, "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn rate_sweep_rates_shift_identity() {
+        let lo = family_at_rate(200, 0.05, 1);
+        let hi = family_at_rate(200, 0.40, 1);
+        assert!(lo.mean_pairwise_identity() > hi.mean_pairwise_identity());
+    }
+
+    #[test]
+    fn cell_updates_counts_lattice() {
+        let (a, b, c) = triple(20);
+        assert_eq!(
+            cell_updates(&a, &b, &c),
+            (a.len() + 1) * (b.len() + 1) * (c.len() + 1)
+        );
+    }
+}

@@ -1,0 +1,545 @@
+//! Hand-rolled argument parsing for the `tsa` binary (no CLI-framework
+//! dependency; the surface is small and fixed).
+
+use tsa_core::Algorithm;
+use tsa_scoring::{GapModel, Scoring};
+
+/// The full usage text (also the `help` output).
+pub const USAGE: &str = "\
+tsa — optimal three-sequence alignment (sum-of-pairs, exact)
+
+USAGE:
+    tsa align (--file <fasta> | --a <seq> --b <seq> --c <seq>) [options]
+    tsa gen --len <n> [--sub <rate>] [--indel <rate>] [--seed <u64>] [--protein]
+    tsa plan --n1 <len> --n2 <len> --n3 <len> [--tile <t>] [--t-cell <ns>]
+    tsa msa --file <fasta> [--scoring <name>] [--gap <g>] [--exact-triples]
+            [--guide upgma|nj] [--refine <sweeps>]
+    tsa info --file <fasta>
+    tsa help
+
+ALIGN OPTIONS:
+    --scoring <name>     dna | unit | edit | blosum62 | blosum50 | pam250   [dna]
+    --gap <g>            linear gap penalty (negative integer)
+    --gap-open <o>       affine gap open (with --gap-extend)
+    --gap-extend <e>     affine gap extend
+    --algorithm <name>   auto | full | wavefront | blocked | dataflow |
+                         hirschberg | par-hirschberg | center-star |
+                         carrillo-lipman | banded | anchored | affine       [auto]
+    --tile <t>           tile edge for blocked/dataflow                     [16]
+    --threads <n>        rayon worker threads (default: all cores)
+    --width <w>          output wrap width, 0 = no wrap                     [60]
+    --format <f>         plain | fasta | clustal                            [plain]
+    --score-only         print only the optimal score
+    --stats              print bounds, identity, and timing
+
+PLAN OPTIONS (tsa plan --n1 <len> --n2 <len> --n3 <len>):
+    --tile <t>           tile edge for the blocked schedule                 [16]
+    --t-cell <ns>        assumed per-cell cost in nanoseconds               [10]
+
+GEN OPTIONS:
+    --len <n>            ancestor length                                    [100]
+    --sub <rate>         substitution rate per descendant                   [0.1]
+    --indel <rate>       insertion/deletion rate per descendant             [0.02]
+    --seed <u64>         RNG seed                                           [42]
+    --protein            protein alphabet instead of DNA
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Align three sequences.
+    Align(AlignArgs),
+    /// Generate a synthetic three-sequence family as FASTA on stdout.
+    Gen(GenArgs),
+    /// Print analytic schedule/memory predictions for given lengths.
+    Plan(PlanArgs),
+    /// Progressive multiple alignment of every record in a FASTA file.
+    Msa(MsaArgs),
+    /// Per-record FASTA summary (length, composition, GC, entropy).
+    Info {
+        /// FASTA file to summarize.
+        file: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `tsa align`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignArgs {
+    /// FASTA file holding (at least) three records.
+    pub file: Option<String>,
+    /// Inline sequences (all three required together).
+    pub inline: Option<(String, String, String)>,
+    /// Scoring preset name.
+    pub scoring: String,
+    /// Linear gap override.
+    pub gap: Option<i32>,
+    /// Affine gap override (open, extend).
+    pub gap_affine: Option<(i32, i32)>,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Tile edge for blocked algorithms.
+    pub tile: usize,
+    /// Worker thread count (None = rayon default).
+    pub threads: Option<usize>,
+    /// Output wrap width.
+    pub width: usize,
+    /// Output format: plain | fasta | clustal.
+    pub format: String,
+    /// Print only the score.
+    pub score_only: bool,
+    /// Print bounds/identity/timing.
+    pub stats: bool,
+}
+
+impl Default for AlignArgs {
+    fn default() -> Self {
+        AlignArgs {
+            file: None,
+            inline: None,
+            scoring: "dna".into(),
+            gap: None,
+            gap_affine: None,
+            algorithm: "auto".into(),
+            tile: 16,
+            threads: None,
+            width: 60,
+            format: "plain".into(),
+            score_only: false,
+            stats: false,
+        }
+    }
+}
+
+/// Arguments of `tsa gen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenArgs {
+    /// Ancestor length.
+    pub len: usize,
+    /// Substitution rate.
+    pub sub: f64,
+    /// Indel rate.
+    pub indel: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Protein alphabet?
+    pub protein: bool,
+}
+
+impl Default for GenArgs {
+    fn default() -> Self {
+        GenArgs {
+            len: 100,
+            sub: 0.1,
+            indel: 0.02,
+            seed: 42,
+            protein: false,
+        }
+    }
+}
+
+/// Arguments of `tsa plan`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanArgs {
+    /// The three sequence lengths.
+    pub n: (usize, usize, usize),
+    /// Tile edge for the blocked schedule.
+    pub tile: usize,
+    /// Assumed per-cell cost (ns).
+    pub t_cell_ns: f64,
+}
+
+/// Arguments of `tsa msa`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsaArgs {
+    /// FASTA file with ≥ 1 records.
+    pub file: String,
+    /// Scoring preset name.
+    pub scoring: String,
+    /// Linear gap override.
+    pub gap: Option<i32>,
+    /// Use the exact 3-sequence DP when exactly three records are given.
+    pub exact_triples: bool,
+    /// Guide tree method name (upgma | nj).
+    pub guide: String,
+    /// Iterative refinement sweeps (0 = off).
+    pub refine: usize,
+}
+
+/// Parse a full argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("align") => parse_align(it.as_slice()).map(Command::Align),
+        Some("gen") => parse_gen(it.as_slice()).map(Command::Gen),
+        Some("plan") => parse_plan(it.as_slice()).map(Command::Plan),
+        Some("msa") => parse_msa(it.as_slice()).map(Command::Msa),
+        Some("info") => {
+            let rest = it.as_slice();
+            match rest {
+                [flag, file] if flag == "--file" => Ok(Command::Info { file: file.clone() }),
+                _ => Err("info needs exactly --file <fasta>".into()),
+            }
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse::<T>()
+        .map_err(|_| format!("{flag}: cannot parse `{raw}`"))
+}
+
+fn parse_align(argv: &[String]) -> Result<AlignArgs, String> {
+    let mut a = AlignArgs::default();
+    let (mut sa, mut sb, mut sc) = (None, None, None);
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--file" => a.file = Some(take_value(flag, &mut it)?.clone()),
+            "--a" => sa = Some(take_value(flag, &mut it)?.clone()),
+            "--b" => sb = Some(take_value(flag, &mut it)?.clone()),
+            "--c" => sc = Some(take_value(flag, &mut it)?.clone()),
+            "--scoring" => a.scoring = take_value(flag, &mut it)?.clone(),
+            "--gap" => a.gap = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--gap-open" => {
+                let open = parse_num(flag, take_value(flag, &mut it)?)?;
+                a.gap_affine = Some((open, a.gap_affine.map(|x| x.1).unwrap_or(-1)));
+            }
+            "--gap-extend" => {
+                let extend = parse_num(flag, take_value(flag, &mut it)?)?;
+                a.gap_affine = Some((a.gap_affine.map(|x| x.0).unwrap_or(-4), extend));
+            }
+            "--algorithm" => a.algorithm = take_value(flag, &mut it)?.clone(),
+            "--tile" => a.tile = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--threads" => a.threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--width" => a.width = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--format" => a.format = take_value(flag, &mut it)?.clone(),
+            "--score-only" => a.score_only = true,
+            "--stats" => a.stats = true,
+            other => return Err(format!("unknown align flag `{other}`")),
+        }
+    }
+    match (sa, sb, sc) {
+        (Some(x), Some(y), Some(z)) => a.inline = Some((x, y, z)),
+        (None, None, None) => {}
+        _ => return Err("--a/--b/--c must be given together".into()),
+    }
+    if a.file.is_none() && a.inline.is_none() {
+        return Err("align needs --file or --a/--b/--c".into());
+    }
+    if a.file.is_some() && a.inline.is_some() {
+        return Err("give either --file or inline sequences, not both".into());
+    }
+    Ok(a)
+}
+
+fn parse_gen(argv: &[String]) -> Result<GenArgs, String> {
+    let mut g = GenArgs::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--len" => g.len = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--sub" => g.sub = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--indel" => g.indel = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--seed" => g.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--protein" => g.protein = true,
+            other => return Err(format!("unknown gen flag `{other}`")),
+        }
+    }
+    Ok(g)
+}
+
+fn parse_plan(argv: &[String]) -> Result<PlanArgs, String> {
+    let (mut n1, mut n2, mut n3) = (None, None, None);
+    let mut p = PlanArgs {
+        n: (0, 0, 0),
+        tile: 16,
+        t_cell_ns: 10.0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--n1" => n1 = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--n2" => n2 = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--n3" => n3 = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--tile" => p.tile = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--t-cell" => p.t_cell_ns = parse_num(flag, take_value(flag, &mut it)?)?,
+            other => return Err(format!("unknown plan flag `{other}`")),
+        }
+    }
+    match (n1, n2, n3) {
+        (Some(a), Some(b), Some(c)) => {
+            p.n = (a, b, c);
+            if p.tile == 0 {
+                return Err("--tile must be >= 1".into());
+            }
+            Ok(p)
+        }
+        _ => Err("plan needs --n1, --n2 and --n3".into()),
+    }
+}
+
+fn parse_msa(argv: &[String]) -> Result<MsaArgs, String> {
+    let mut m = MsaArgs {
+        file: String::new(),
+        scoring: "dna".into(),
+        gap: None,
+        exact_triples: false,
+        guide: "upgma".into(),
+        refine: 0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--file" => m.file = take_value(flag, &mut it)?.clone(),
+            "--scoring" => m.scoring = take_value(flag, &mut it)?.clone(),
+            "--gap" => m.gap = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--exact-triples" => m.exact_triples = true,
+            "--guide" => m.guide = take_value(flag, &mut it)?.clone(),
+            "--refine" => m.refine = parse_num(flag, take_value(flag, &mut it)?)?,
+            other => return Err(format!("unknown msa flag `{other}`")),
+        }
+    }
+    if m.file.is_empty() {
+        return Err("msa needs --file".into());
+    }
+    Ok(m)
+}
+
+impl AlignArgs {
+    /// Resolve the scoring preset + gap overrides into a [`Scoring`].
+    pub fn build_scoring(&self) -> Result<Scoring, String> {
+        let mut scoring = match self.scoring.as_str() {
+            "dna" => Scoring::dna_default(),
+            "unit" => Scoring::unit(),
+            "edit" => Scoring::edit_distance(),
+            "blosum62" => Scoring::blosum62(),
+            "blosum50" => Scoring::blosum50(),
+            "pam250" => Scoring::pam250(),
+            other => return Err(format!("unknown scoring `{other}`")),
+        };
+        if let Some((open, extend)) = self.gap_affine {
+            scoring = scoring.with_gap(GapModel::affine(open, extend));
+        } else if let Some(g) = self.gap {
+            scoring = scoring.with_gap(GapModel::linear(g));
+        }
+        Ok(scoring)
+    }
+
+    /// Resolve the algorithm name.
+    pub fn build_algorithm(&self) -> Result<Algorithm, String> {
+        Ok(match self.algorithm.as_str() {
+            "auto" => Algorithm::Auto,
+            "full" => Algorithm::FullDp,
+            "wavefront" => Algorithm::Wavefront,
+            "blocked" => Algorithm::Blocked { tile: self.tile },
+            "dataflow" => Algorithm::BlockedDataflow {
+                tile: self.tile,
+                threads: self.threads.unwrap_or_else(num_threads_default),
+            },
+            "hirschberg" => Algorithm::Hirschberg,
+            "par-hirschberg" => Algorithm::ParallelHirschberg,
+            "center-star" => Algorithm::CenterStar,
+            "carrillo-lipman" => Algorithm::CarrilloLipman,
+            "banded" => Algorithm::BandedAdaptive,
+            "anchored" => Algorithm::Anchored,
+            "affine" => Algorithm::AffineDp,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        })
+    }
+}
+
+fn num_threads_default() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in [&[][..], &["help"][..], &["--help"][..], &["-h"][..]] {
+            assert_eq!(parse(&sv(h)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn align_inline_parses() {
+        let cmd = parse(&sv(&[
+            "align", "--a", "ACG", "--b", "AG", "--c", "AC", "--algorithm", "full",
+            "--score-only",
+        ]))
+        .unwrap();
+        let Command::Align(a) = cmd else { panic!() };
+        assert_eq!(a.inline, Some(("ACG".into(), "AG".into(), "AC".into())));
+        assert_eq!(a.algorithm, "full");
+        assert!(a.score_only);
+        assert!(!a.stats);
+    }
+
+    #[test]
+    fn align_file_parses() {
+        let Command::Align(a) = parse(&sv(&["align", "--file", "x.fa", "--width", "0"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.file.as_deref(), Some("x.fa"));
+        assert_eq!(a.width, 0);
+    }
+
+    #[test]
+    fn align_requires_input() {
+        assert!(parse(&sv(&["align"])).is_err());
+        assert!(parse(&sv(&["align", "--a", "A", "--b", "C"])).is_err());
+        assert!(parse(&sv(&["align", "--file", "x.fa", "--a", "A", "--b", "C", "--c", "G"]))
+            .is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&sv(&["align", "--file"])).is_err());
+        assert!(parse(&sv(&["align", "--a", "A", "--b", "C", "--c", "G", "--tile"])).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        assert!(parse(&sv(&["align", "--file", "x", "--gap", "abc"])).is_err());
+        assert!(parse(&sv(&["gen", "--len", "-3"])).is_err());
+    }
+
+    #[test]
+    fn gen_defaults_and_overrides() {
+        let Command::Gen(g) = parse(&sv(&["gen"])).unwrap() else { panic!() };
+        assert_eq!(g, GenArgs::default());
+        let Command::Gen(g) =
+            parse(&sv(&["gen", "--len", "50", "--sub", "0.3", "--seed", "9", "--protein"]))
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(g.len, 50);
+        assert!((g.sub - 0.3).abs() < 1e-12);
+        assert_eq!(g.seed, 9);
+        assert!(g.protein);
+    }
+
+    #[test]
+    fn scoring_resolution() {
+        let mut a = AlignArgs::default();
+        for name in ["dna", "unit", "edit", "blosum62", "blosum50", "pam250"] {
+            a.scoring = name.into();
+            a.build_scoring().unwrap();
+        }
+        a.scoring = "nope".into();
+        assert!(a.build_scoring().is_err());
+    }
+
+    #[test]
+    fn gap_overrides() {
+        let mut a = AlignArgs::default();
+        a.gap = Some(-5);
+        assert_eq!(a.build_scoring().unwrap().gap.linear_penalty(), Some(-5));
+        a.gap_affine = Some((-9, -2));
+        let s = a.build_scoring().unwrap();
+        assert_eq!(s.gap.open_penalty(), -9);
+        assert_eq!(s.gap.extend_penalty(), -2);
+    }
+
+    #[test]
+    fn affine_flags_compose_in_any_order() {
+        let Command::Align(a) = parse(&sv(&[
+            "align", "--file", "x", "--gap-extend", "-2", "--gap-open", "-9",
+        ]))
+        .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.gap_affine, Some((-9, -2)));
+    }
+
+    #[test]
+    fn plan_parses_and_validates() {
+        let Command::Plan(p) =
+            parse(&sv(&["plan", "--n1", "100", "--n2", "120", "--n3", "90", "--tile", "8"]))
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(p.n, (100, 120, 90));
+        assert_eq!(p.tile, 8);
+        assert!((p.t_cell_ns - 10.0).abs() < 1e-12);
+        assert!(parse(&sv(&["plan", "--n1", "10"])).is_err());
+        assert!(parse(&sv(&["plan", "--n1", "1", "--n2", "1", "--n3", "1", "--tile", "0"]))
+            .is_err());
+        assert!(parse(&sv(&["plan", "--n1", "1", "--n2", "1", "--n3", "1", "--bogus", "x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn info_parses() {
+        assert_eq!(
+            parse(&sv(&["info", "--file", "x.fa"])).unwrap(),
+            Command::Info { file: "x.fa".into() }
+        );
+        assert!(parse(&sv(&["info"])).is_err());
+        assert!(parse(&sv(&["info", "--file"])).is_err());
+        assert!(parse(&sv(&["info", "--file", "x", "extra"])).is_err());
+    }
+
+    #[test]
+    fn format_flag_parses() {
+        let Command::Align(a) =
+            parse(&sv(&["align", "--file", "x", "--format", "clustal"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.format, "clustal");
+        let Command::Align(a) = parse(&sv(&["align", "--file", "x"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.format, "plain");
+    }
+
+    #[test]
+    fn algorithm_resolution() {
+        let mut a = AlignArgs::default();
+        for (name, want) in [
+            ("auto", Algorithm::Auto),
+            ("full", Algorithm::FullDp),
+            ("wavefront", Algorithm::Wavefront),
+            ("hirschberg", Algorithm::Hirschberg),
+            ("par-hirschberg", Algorithm::ParallelHirschberg),
+            ("center-star", Algorithm::CenterStar),
+            ("affine", Algorithm::AffineDp),
+        ] {
+            a.algorithm = name.into();
+            assert_eq!(a.build_algorithm().unwrap(), want);
+        }
+        a.algorithm = "blocked".into();
+        a.tile = 8;
+        assert_eq!(a.build_algorithm().unwrap(), Algorithm::Blocked { tile: 8 });
+        a.algorithm = "whatever".into();
+        assert!(a.build_algorithm().is_err());
+    }
+}

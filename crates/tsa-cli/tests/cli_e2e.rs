@@ -1,0 +1,162 @@
+//! End-to-end tests driving the real `tsa` binary
+//! (via `CARGO_BIN_EXE_tsa`): the full user path — process spawn, argv,
+//! stdin/stdout/stderr, exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn tsa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tsa"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = tsa().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("tsa align"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (stdout, _, ok) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage_on_stderr() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn inline_align_score_only() {
+    let (stdout, _, ok) = run(&[
+        "align", "--a", "GATTACA", "--b", "GATACA", "--c", "GTTACA", "--score-only",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "26");
+}
+
+#[test]
+fn align_all_algorithms_agree_through_the_binary() {
+    let mut scores = Vec::new();
+    for alg in [
+        "full",
+        "wavefront",
+        "blocked",
+        "hirschberg",
+        "par-hirschberg",
+        "carrillo-lipman",
+        "banded",
+    ] {
+        let (stdout, stderr, ok) = run(&[
+            "align", "--a", "GATTACAGAT", "--b", "GATACAGTT", "--c", "GTTACAGAT",
+            "--algorithm", alg, "--score-only",
+        ]);
+        assert!(ok, "{alg}: {stderr}");
+        scores.push(stdout.trim().to_string());
+    }
+    assert!(scores.windows(2).all(|w| w[0] == w[1]), "{scores:?}");
+}
+
+#[test]
+fn clustal_format_output() {
+    let (stdout, _, ok) = run(&[
+        "align", "--a", "GATTACA", "--b", "GATACA", "--c", "GTTACA", "--format", "clustal",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("CLUSTAL"));
+    assert!(stdout.contains('*'));
+}
+
+#[test]
+fn gen_pipes_into_align_via_file() {
+    let dir = std::env::temp_dir().join("tsa-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen.fa");
+
+    let (fasta, _, ok) = run(&["gen", "--len", "30", "--seed", "11"]);
+    assert!(ok);
+    assert_eq!(fasta.matches('>').count(), 3);
+    std::fs::write(&path, &fasta).unwrap();
+
+    let (stdout, stderr, ok) = run(&[
+        "align", "--file", path.to_str().unwrap(), "--stats",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# score:"));
+    assert!(stdout.contains("# bounds:"));
+}
+
+#[test]
+fn msa_subcommand_aligns_many_records() {
+    let dir = std::env::temp_dir().join("tsa-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("many.fa");
+    std::fs::write(
+        &path,
+        ">s0\nGATTACAGATTACA\n>s1\nGATACAGATTAC\n>s2\nGTTACAGATCACA\n>s3\nGATTACAGATTACA\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run(&["msa", "--file", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# sequences: 4"));
+    assert!(stdout.contains("# SP score:"));
+    assert_eq!(stdout.matches('>').count(), 4);
+}
+
+#[test]
+fn plan_subcommand_prints_model() {
+    let (stdout, _, ok) = run(&["plan", "--n1", "64", "--n2", "64", "--n3", "64"]);
+    assert!(ok);
+    assert!(stdout.contains("lattice 64×64×64"));
+    assert!(stdout.contains("predicted speedup"));
+    assert!(stdout.contains("ethernet-cluster"));
+}
+
+#[test]
+fn affine_flags_route_to_affine_dp() {
+    let (stdout, stderr, ok) = run(&[
+        "align", "--a", "AAAATTTTGG", "--b", "AAAAGG", "--c", "AAAAGG",
+        "--gap-open", "-8", "--gap-extend", "-1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("AffineDp"), "{stdout}");
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let (_, stderr, ok) = run(&["align", "--file", "/definitely/not/here.fa"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+}
+
+#[test]
+fn stdin_is_not_consumed_accidentally() {
+    // The binary takes no stdin; giving it some must not hang or change
+    // behaviour.
+    let mut child = tsa()
+        .args(["align", "--a", "ACG", "--b", "ACG", "--c", "ACG", "--score-only"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The child may exit before reading; a broken pipe here is fine.
+    let _ = child.stdin.as_mut().unwrap().write_all(b"garbage\n");
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "18");
+}

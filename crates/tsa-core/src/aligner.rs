@@ -1,0 +1,430 @@
+//! The high-level entry point: pick an algorithm, validate the
+//! configuration, align.
+
+use crate::alignment::Alignment3;
+use crate::{affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3, score_only, wavefront};
+use std::fmt;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// Which aligner to run. All exact variants produce the same optimal
+/// score; `FullDp`/`Wavefront`/`Blocked*` additionally produce identical
+/// canonical tracebacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Choose automatically: the affine DP for affine gap models, the
+    /// parallel divide-and-conquer when the full lattice would exceed the
+    /// memory budget, the plane wavefront otherwise.
+    Auto,
+    /// Sequential full-lattice DP (`O(n³)` time and space).
+    FullDp,
+    /// Plane-parallel wavefront DP (full lattice).
+    Wavefront,
+    /// Tiled wavefront with a barrier per tile plane.
+    Blocked {
+        /// Tile edge length.
+        tile: usize,
+    },
+    /// Tiled dataflow scheduling (no global barriers) on dedicated workers.
+    BlockedDataflow {
+        /// Tile edge length.
+        tile: usize,
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// Sequential divide and conquer: optimal alignment in `O(n²)` space.
+    Hirschberg,
+    /// Parallel divide and conquer (parallel faces + parallel recursion).
+    ParallelHirschberg,
+    /// Center-star heuristic — **not exact**; `O(n²)` time.
+    CenterStar,
+    /// Carrillo–Lipman bound-pruned DP: exact, and far cheaper than the
+    /// full lattice when the sequences are similar.
+    CarrilloLipman,
+    /// Banded DP with adaptive band widening — exact (the final fallback
+    /// band covers the whole lattice) and cheap for similar sequences.
+    BandedAdaptive,
+    /// Seed–chain–extend heuristic (**not exact**): exact DP only between
+    /// shared k-mer anchors. Near-linear for similar sequences.
+    Anchored,
+    /// Quasi-natural affine-gap DP (works for linear models too, as
+    /// `open = 0`).
+    AffineDp,
+}
+
+/// Configuration or input errors reported by [`Aligner::align3`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// The chosen algorithm needs a linear gap model but the scoring is
+    /// affine. Use [`Algorithm::AffineDp`] (or `Auto`).
+    AffineGapNeedsAffineAlgorithm,
+    /// The full lattice would exceed `max_lattice_bytes`.
+    LatticeTooLarge {
+        /// Bytes the lattice would need.
+        required: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// Tile edge or thread count of zero.
+    BadParameter(&'static str),
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::AffineGapNeedsAffineAlgorithm => write!(
+                f,
+                "affine gap model configured: use Algorithm::AffineDp or Algorithm::Auto"
+            ),
+            AlignError::LatticeTooLarge { required, budget } => write!(
+                f,
+                "full lattice needs {required} bytes, over the {budget}-byte budget; \
+                 use Hirschberg/ParallelHirschberg or raise max_lattice_bytes"
+            ),
+            AlignError::BadParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// Builder for three-sequence alignment runs.
+///
+/// ```
+/// use tsa_core::{Aligner, Algorithm};
+/// use tsa_scoring::Scoring;
+/// use tsa_seq::Seq;
+///
+/// let a = Seq::dna("ACGT").unwrap();
+/// let aln = Aligner::new()
+///     .scoring(Scoring::dna_default())
+///     .algorithm(Algorithm::Hirschberg)
+///     .align3(&a, &a, &a)
+///     .unwrap();
+/// assert_eq!(aln.score, 4 * 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aligner {
+    scoring: Scoring,
+    algorithm: Algorithm,
+    max_lattice_bytes: usize,
+}
+
+impl Default for Aligner {
+    fn default() -> Self {
+        Aligner::new()
+    }
+}
+
+impl Aligner {
+    /// Default configuration: DNA default scoring, `Algorithm::Auto`, a
+    /// 4 GiB full-lattice budget.
+    pub fn new() -> Self {
+        Aligner {
+            scoring: Scoring::dna_default(),
+            algorithm: Algorithm::Auto,
+            max_lattice_bytes: 4 << 30,
+        }
+    }
+
+    /// Set the scoring scheme (matrix + gap model).
+    pub fn scoring(mut self, scoring: Scoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Replace only the gap model of the current scoring.
+    pub fn gap(mut self, gap: tsa_scoring::GapModel) -> Self {
+        self.scoring = self.scoring.with_gap(gap);
+        self
+    }
+
+    /// Select the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Cap the memory a full-lattice algorithm may allocate; `Auto` uses
+    /// this to fall over to divide-and-conquer.
+    pub fn max_lattice_bytes(mut self, bytes: usize) -> Self {
+        self.max_lattice_bytes = bytes;
+        self
+    }
+
+    /// The effective algorithm `Auto` would resolve to for these lengths.
+    pub fn resolve(&self, n1: usize, n2: usize, n3: usize) -> Algorithm {
+        match self.algorithm {
+            Algorithm::Auto => {
+                if self.scoring.gap.linear_penalty().is_none() {
+                    Algorithm::AffineDp
+                } else if lattice_bytes(n1, n2, n3) > self.max_lattice_bytes {
+                    Algorithm::ParallelHirschberg
+                } else {
+                    Algorithm::Wavefront
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn check_linear(&self) -> Result<(), AlignError> {
+        if self.scoring.gap.linear_penalty().is_none() {
+            return Err(AlignError::AffineGapNeedsAffineAlgorithm);
+        }
+        Ok(())
+    }
+
+    fn check_lattice(&self, n1: usize, n2: usize, n3: usize) -> Result<(), AlignError> {
+        let required = lattice_bytes(n1, n2, n3);
+        if required > self.max_lattice_bytes {
+            return Err(AlignError::LatticeTooLarge {
+                required,
+                budget: self.max_lattice_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Align three sequences, producing a full [`Alignment3`].
+    pub fn align3(&self, a: &Seq, b: &Seq, c: &Seq) -> Result<Alignment3, AlignError> {
+        let s = &self.scoring;
+        match self.resolve(a.len(), b.len(), c.len()) {
+            Algorithm::Auto => unreachable!("resolve() never returns Auto"),
+            Algorithm::FullDp => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                Ok(full::align(a, b, c, s))
+            }
+            Algorithm::Wavefront => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                Ok(wavefront::align(a, b, c, s))
+            }
+            Algorithm::Blocked { tile } => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                if tile == 0 {
+                    return Err(AlignError::BadParameter("tile must be ≥ 1"));
+                }
+                Ok(blocked::align(a, b, c, s, tile))
+            }
+            Algorithm::BlockedDataflow { tile, threads } => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                if tile == 0 {
+                    return Err(AlignError::BadParameter("tile must be ≥ 1"));
+                }
+                if threads == 0 {
+                    return Err(AlignError::BadParameter("threads must be ≥ 1"));
+                }
+                Ok(blocked::align_dataflow(a, b, c, s, tile, threads))
+            }
+            Algorithm::Hirschberg => {
+                self.check_linear()?;
+                Ok(hirschberg3::align(a, b, c, s))
+            }
+            Algorithm::ParallelHirschberg => {
+                self.check_linear()?;
+                Ok(hirschberg3::align_parallel(a, b, c, s))
+            }
+            Algorithm::CenterStar => {
+                self.check_linear()?;
+                Ok(center_star::align(a, b, c, s).alignment)
+            }
+            Algorithm::CarrilloLipman => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                Ok(carrillo_lipman::align(a, b, c, s))
+            }
+            Algorithm::BandedAdaptive => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                Ok(banded3::align_adaptive(a, b, c, s))
+            }
+            Algorithm::Anchored => {
+                self.check_linear()?;
+                Ok(anchored::align(a, b, c, s, &anchored::AnchorConfig::default()))
+            }
+            Algorithm::AffineDp => Ok(affine::align(a, b, c, s)),
+        }
+    }
+
+    /// Compute only the optimal score — uses the quadratic-space passes
+    /// where the algorithm permits.
+    pub fn score3(&self, a: &Seq, b: &Seq, c: &Seq) -> Result<i32, AlignError> {
+        let s = &self.scoring;
+        match self.resolve(a.len(), b.len(), c.len()) {
+            Algorithm::FullDp | Algorithm::Hirschberg => {
+                self.check_linear()?;
+                Ok(score_only::score_slabs(a, b, c, s))
+            }
+            Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
+                self.check_linear()?;
+                Ok(score_only::score_planes_parallel(a, b, c, s))
+            }
+            Algorithm::AffineDp => Ok(affine::align_score(a, b, c, s)),
+            // The remaining variants have no cheaper score-only path.
+            _ => Ok(self.align3(a, b, c)?.score),
+        }
+    }
+}
+
+/// Bytes a full `i32` lattice for these lengths needs.
+pub fn lattice_bytes(n1: usize, n2: usize, n3: usize) -> usize {
+    (n1 + 1) * (n2 + 1) * (n3 + 1) * std::mem::size_of::<i32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::family_triple;
+    use tsa_scoring::GapModel;
+
+    #[test]
+    fn all_exact_algorithms_agree() {
+        let (a, b, c) = family_triple(8, 20);
+        let reference = Aligner::new()
+            .algorithm(Algorithm::FullDp)
+            .align3(&a, &b, &c)
+            .unwrap();
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Wavefront,
+            Algorithm::Blocked { tile: 8 },
+            Algorithm::BlockedDataflow { tile: 8, threads: 3 },
+            Algorithm::Hirschberg,
+            Algorithm::ParallelHirschberg,
+            Algorithm::CarrilloLipman,
+            Algorithm::BandedAdaptive,
+        ] {
+            let aln = Aligner::new().algorithm(alg).align3(&a, &b, &c).unwrap();
+            assert_eq!(aln.score, reference.score, "{alg:?}");
+            aln.validate_scored(&a, &b, &c, &Scoring::dna_default())
+                .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn score3_agrees_with_align3() {
+        let (a, b, c) = family_triple(9, 18);
+        for alg in [
+            Algorithm::FullDp,
+            Algorithm::Wavefront,
+            Algorithm::Hirschberg,
+            Algorithm::ParallelHirschberg,
+            Algorithm::Blocked { tile: 4 },
+        ] {
+            let al = Aligner::new().algorithm(alg).align3(&a, &b, &c).unwrap();
+            let sc = Aligner::new().algorithm(alg).score3(&a, &b, &c).unwrap();
+            assert_eq!(al.score, sc, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_affine_to_affine_dp() {
+        let al = Aligner::new().gap(GapModel::affine(-4, -1));
+        assert_eq!(al.resolve(10, 10, 10), Algorithm::AffineDp);
+    }
+
+    #[test]
+    fn auto_resolves_large_to_dc() {
+        let al = Aligner::new().max_lattice_bytes(1 << 20);
+        assert_eq!(al.resolve(1000, 1000, 1000), Algorithm::ParallelHirschberg);
+        assert_eq!(al.resolve(10, 10, 10), Algorithm::Wavefront);
+    }
+
+    #[test]
+    fn affine_scoring_rejected_by_linear_algorithms() {
+        let (a, b, c) = family_triple(2, 6);
+        let err = Aligner::new()
+            .gap(GapModel::affine(-4, -1))
+            .algorithm(Algorithm::FullDp)
+            .align3(&a, &b, &c)
+            .unwrap_err();
+        assert_eq!(err, AlignError::AffineGapNeedsAffineAlgorithm);
+    }
+
+    #[test]
+    fn affine_via_auto_works() {
+        let (a, b, c) = family_triple(3, 8);
+        let aln = Aligner::new()
+            .gap(GapModel::affine(-4, -1))
+            .align3(&a, &b, &c)
+            .unwrap();
+        aln.validate(&a, &b, &c).unwrap();
+    }
+
+    #[test]
+    fn lattice_budget_is_enforced() {
+        let (a, b, c) = family_triple(4, 40);
+        let err = Aligner::new()
+            .algorithm(Algorithm::FullDp)
+            .max_lattice_bytes(1024)
+            .align3(&a, &b, &c)
+            .unwrap_err();
+        assert!(matches!(err, AlignError::LatticeTooLarge { .. }));
+        // But Hirschberg has no full lattice, so it still runs.
+        Aligner::new()
+            .algorithm(Algorithm::Hirschberg)
+            .max_lattice_bytes(1024)
+            .align3(&a, &b, &c)
+            .unwrap();
+    }
+
+    #[test]
+    fn bad_parameters_are_reported() {
+        let (a, b, c) = family_triple(5, 6);
+        assert!(matches!(
+            Aligner::new()
+                .algorithm(Algorithm::Blocked { tile: 0 })
+                .align3(&a, &b, &c),
+            Err(AlignError::BadParameter(_))
+        ));
+        assert!(matches!(
+            Aligner::new()
+                .algorithm(Algorithm::BlockedDataflow { tile: 4, threads: 0 })
+                .align3(&a, &b, &c),
+            Err(AlignError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn anchored_is_a_valid_heuristic() {
+        let (a, b, c) = family_triple(14, 30);
+        let exact = Aligner::new()
+            .algorithm(Algorithm::FullDp)
+            .align3(&a, &b, &c)
+            .unwrap();
+        let anchored = Aligner::new()
+            .algorithm(Algorithm::Anchored)
+            .align3(&a, &b, &c)
+            .unwrap();
+        anchored.validate(&a, &b, &c).unwrap();
+        assert!(anchored.score <= exact.score);
+    }
+
+    #[test]
+    fn center_star_is_a_valid_heuristic() {
+        let (a, b, c) = family_triple(6, 16);
+        let exact = Aligner::new()
+            .algorithm(Algorithm::FullDp)
+            .align3(&a, &b, &c)
+            .unwrap();
+        let star = Aligner::new()
+            .algorithm(Algorithm::CenterStar)
+            .align3(&a, &b, &c)
+            .unwrap();
+        star.validate(&a, &b, &c).unwrap();
+        assert!(star.score <= exact.score);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(AlignError::AffineGapNeedsAffineAlgorithm.to_string().contains("AffineDp"));
+        assert!(AlignError::LatticeTooLarge { required: 10, budget: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(AlignError::BadParameter("x").to_string().contains('x'));
+    }
+}

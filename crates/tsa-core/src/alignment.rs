@@ -1,0 +1,286 @@
+//! The three-row alignment result type.
+
+use std::fmt;
+use tsa_scoring::{sp, Scoring};
+use tsa_seq::Seq;
+
+/// One alignment column: an optional residue from each of A, B, C
+/// (`None` = gap). At least one entry is always a residue in a canonical
+/// alignment.
+pub type Column3 = [Option<u8>; 3];
+
+/// A global alignment of three sequences plus the score the producing
+/// algorithm reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment3 {
+    /// Alignment columns, left to right.
+    pub columns: Vec<Column3>,
+    /// Score reported by the aligner (sum-of-pairs under its scoring).
+    pub score: i32,
+}
+
+/// Why an [`Alignment3`] failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A column contains three gaps.
+    AllGapColumn(usize),
+    /// De-gapping row `0`/`1`/`2` does not reproduce the corresponding
+    /// input sequence.
+    SequenceMismatch(usize),
+    /// Re-scoring the rows disagrees with the recorded score.
+    ScoreMismatch {
+        /// Score stored in the alignment.
+        recorded: i32,
+        /// Score recomputed from the rows.
+        recomputed: i32,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::AllGapColumn(c) => write!(f, "column {c} is all gaps"),
+            ValidationError::SequenceMismatch(r) => {
+                write!(f, "row {r} does not de-gap to its input sequence")
+            }
+            ValidationError::ScoreMismatch {
+                recorded,
+                recomputed,
+            } => write!(f, "recorded score {recorded} != recomputed {recomputed}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Alignment3 {
+    /// Build from columns, recording `score` as reported by an aligner.
+    pub fn new(columns: Vec<Column3>, score: i32) -> Self {
+        Alignment3 { columns, score }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the alignment has no columns (three empty sequences).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The three rows as separate vectors.
+    pub fn rows(&self) -> [Vec<Option<u8>>; 3] {
+        let mut rows = [
+            Vec::with_capacity(self.len()),
+            Vec::with_capacity(self.len()),
+            Vec::with_capacity(self.len()),
+        ];
+        for col in &self.columns {
+            for r in 0..3 {
+                rows[r].push(col[r]);
+            }
+        }
+        rows
+    }
+
+    /// De-gap row `r` (0, 1, or 2) back into its sequence residues.
+    pub fn degapped_row(&self, r: usize) -> Vec<u8> {
+        self.columns.iter().filter_map(|col| col[r]).collect()
+    }
+
+    /// Recompute the sum-of-pairs score under `scoring` (its own gap model:
+    /// linear column-wise, affine by pairwise projection).
+    pub fn rescore(&self, scoring: &Scoring) -> i32 {
+        let rows = self.rows();
+        sp::sp_score(scoring, [&rows[0], &rows[1], &rows[2]])
+    }
+
+    /// Structural validation: no all-gap columns, and every row de-gaps to
+    /// its input sequence.
+    pub fn validate(&self, a: &Seq, b: &Seq, c: &Seq) -> Result<(), ValidationError> {
+        for (idx, col) in self.columns.iter().enumerate() {
+            if col.iter().all(Option::is_none) {
+                return Err(ValidationError::AllGapColumn(idx));
+            }
+        }
+        for (r, seq) in [a, b, c].into_iter().enumerate() {
+            if self.degapped_row(r) != seq.residues() {
+                return Err(ValidationError::SequenceMismatch(r));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full validation: structure plus score consistency under `scoring`.
+    pub fn validate_scored(
+        &self,
+        a: &Seq,
+        b: &Seq,
+        c: &Seq,
+        scoring: &Scoring,
+    ) -> Result<(), ValidationError> {
+        self.validate(a, b, c)?;
+        let recomputed = self.rescore(scoring);
+        if recomputed != self.score {
+            return Err(ValidationError::ScoreMismatch {
+                recorded: self.score,
+                recomputed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Render the three rows as gapped text, one per line.
+    pub fn pretty(&self) -> String {
+        let mut out = String::with_capacity(3 * (self.len() + 1));
+        for r in 0..3 {
+            for col in &self.columns {
+                out.push(col[r].map(char::from).unwrap_or('-'));
+            }
+            if r < 2 {
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Concatenate another alignment's columns after this one's, summing
+    /// the scores — used by divide-and-conquer combination.
+    pub fn concat(mut self, other: Alignment3) -> Alignment3 {
+        self.columns.extend(other.columns);
+        self.score += other.score;
+        self
+    }
+
+    /// Number of columns in which all three rows hold identical residues.
+    pub fn full_match_columns(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c, [Some(x), Some(y), Some(z)] if x == y && y == z))
+            .count()
+    }
+}
+
+impl fmt::Display for Alignment3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(s: &str) -> Column3 {
+        let b: Vec<Option<u8>> = s
+            .chars()
+            .map(|c| if c == '-' { None } else { Some(c as u8) })
+            .collect();
+        [b[0], b[1], b[2]]
+    }
+
+    fn sample() -> Alignment3 {
+        // A: AC-T ; B: ACG- ; C: A-GT
+        Alignment3::new(
+            vec![col("AAA"), col("CC-"), col("-GG"), col("T-T")],
+            0,
+        )
+    }
+
+    #[test]
+    fn rows_and_degap() {
+        let al = sample();
+        assert_eq!(al.len(), 4);
+        assert_eq!(al.degapped_row(0), b"ACT");
+        assert_eq!(al.degapped_row(1), b"ACG");
+        assert_eq!(al.degapped_row(2), b"AGT");
+        let rows = al.rows();
+        assert_eq!(rows[0].len(), 4);
+        assert_eq!(rows[1][3], None);
+    }
+
+    #[test]
+    fn validate_structure() {
+        let al = sample();
+        let a = Seq::dna("ACT").unwrap();
+        let b = Seq::dna("ACG").unwrap();
+        let c = Seq::dna("AGT").unwrap();
+        al.validate(&a, &b, &c).unwrap();
+        // Wrong sequence.
+        let wrong = Seq::dna("AAT").unwrap();
+        assert_eq!(
+            al.validate(&wrong, &b, &c),
+            Err(ValidationError::SequenceMismatch(0))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_all_gap_column() {
+        let mut al = sample();
+        al.columns.insert(2, [None, None, None]);
+        let a = Seq::dna("ACT").unwrap();
+        let b = Seq::dna("ACG").unwrap();
+        let c = Seq::dna("AGT").unwrap();
+        assert_eq!(
+            al.validate(&a, &b, &c),
+            Err(ValidationError::AllGapColumn(2))
+        );
+    }
+
+    #[test]
+    fn validate_scored_checks_score() {
+        let scoring = Scoring::dna_default();
+        let mut al = sample();
+        al.score = al.rescore(&scoring);
+        let a = Seq::dna("ACT").unwrap();
+        let b = Seq::dna("ACG").unwrap();
+        let c = Seq::dna("AGT").unwrap();
+        al.validate_scored(&a, &b, &c, &scoring).unwrap();
+        al.score += 1;
+        assert!(matches!(
+            al.validate_scored(&a, &b, &c, &scoring),
+            Err(ValidationError::ScoreMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rescore_computes_sp() {
+        let scoring = Scoring::dna_default();
+        let al = sample();
+        // Column scores: (A,A,A)=6, (C,C,-)=2-2-2=-2, (-,G,G)=-2, (T,-,T)=-2.
+        assert_eq!(al.rescore(&scoring), 6 - 2 - 2 - 2);
+    }
+
+    #[test]
+    fn pretty_renders_rows() {
+        let al = sample();
+        assert_eq!(al.pretty(), "AC-T\nACG-\nA-GT");
+        assert_eq!(al.to_string(), al.pretty());
+    }
+
+    #[test]
+    fn concat_appends_and_sums() {
+        let left = Alignment3::new(vec![col("AAA")], 6);
+        let right = Alignment3::new(vec![col("T-T")], -2);
+        let joined = left.concat(right);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined.score, 4);
+        assert_eq!(joined.degapped_row(0), b"AT");
+    }
+
+    #[test]
+    fn full_match_count() {
+        let al = sample();
+        assert_eq!(al.full_match_columns(), 1);
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let al = Alignment3::new(vec![], 0);
+        assert!(al.is_empty());
+        let e = Seq::dna("").unwrap();
+        al.validate(&e, &e, &e).unwrap();
+        assert_eq!(al.rescore(&Scoring::dna_default()), 0);
+    }
+}

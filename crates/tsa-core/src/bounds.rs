@@ -1,0 +1,136 @@
+//! Cheap bounds on the optimal SP score.
+//!
+//! * **Upper bound** — the pairwise projection argument: deleting one row
+//!   from any 3-alignment (and dropping gap–gap columns, which contribute
+//!   0 under linear gaps) yields a valid pairwise alignment of the
+//!   remaining two sequences, so each pairwise component of the SP optimum
+//!   is at most the pairwise optimum. Hence
+//!   `SP* ≤ NW(A,B) + NW(A,C) + NW(B,C)`, computed in `O(n²)`.
+//! * **Lower bound** — any feasible alignment's score; we use the
+//!   center-star heuristic ([`crate::center_star`]).
+//!
+//! The bracket `[lower, upper]` is used by tests as an invariant on every
+//! exact algorithm, and by the CLI to report how close the heuristic got.
+
+use crate::center_star;
+use tsa_pairwise::score_only;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// A score bracket around the exact optimum: `lower ≤ SP* ≤ upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreBounds {
+    /// A feasible alignment's score (center-star heuristic).
+    pub lower: i32,
+    /// Sum of the three pairwise optima.
+    pub upper: i32,
+}
+
+impl ScoreBounds {
+    /// Width of the bracket.
+    pub fn gap(&self) -> i32 {
+        self.upper - self.lower
+    }
+
+    /// Does `score` lie within the bracket?
+    pub fn contains(&self, score: i32) -> bool {
+        self.lower <= score && score <= self.upper
+    }
+}
+
+/// The pairwise-projection upper bound alone (`O(n²)` time, `O(n)` space).
+///
+/// # Panics
+/// Panics on affine gap models — the projection argument needs gap–gap
+/// columns to be free, which only linear SP scoring guarantees.
+pub fn upper_bound(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
+    assert!(
+        scoring.gap.linear_penalty().is_some(),
+        "projection upper bound requires a linear gap model"
+    );
+    score_only::score(a, b, scoring)
+        + score_only::score(a, c, scoring)
+        + score_only::score(b, c, scoring)
+}
+
+/// Compute both bounds.
+pub fn bounds(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> ScoreBounds {
+    ScoreBounds {
+        lower: center_star::align(a, b, c, scoring).alignment.score,
+        upper: upper_bound(a, b, c, scoring),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full;
+    use crate::test_util::{family_triple, random_triple};
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn bracket_contains_the_exact_optimum() {
+        for seed in 0..20 {
+            let (a, b, c) = random_triple(seed, 12);
+            let br = bounds(&a, &b, &c, &s());
+            let exact = full::align_score(&a, &b, &c, &s());
+            assert!(
+                br.contains(exact),
+                "seed {seed}: {exact} outside [{}, {}]",
+                br.lower,
+                br.upper
+            );
+        }
+    }
+
+    #[test]
+    fn identical_triple_has_zero_gap() {
+        let a = Seq::dna("ACGTACGTACGT").unwrap();
+        let br = bounds(&a, &a, &a, &s());
+        assert_eq!(br.gap(), 0);
+        assert_eq!(br.lower, full::align_score(&a, &a, &a, &s()));
+    }
+
+    #[test]
+    fn family_bracket_is_tight_ish() {
+        let (a, b, c) = family_triple(13, 32);
+        let br = bounds(&a, &b, &c, &s());
+        let exact = full::align_score(&a, &b, &c, &s());
+        assert!(br.contains(exact));
+        // For similar sequences the bracket should be far narrower than
+        // the score magnitude.
+        assert!(br.gap() < exact.abs().max(40));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Seq::dna("").unwrap();
+        let br = bounds(&e, &e, &e, &s());
+        assert_eq!(br, ScoreBounds { lower: 0, upper: 0 });
+        let a = Seq::dna("ACG").unwrap();
+        let br = bounds(&a, &e, &e, &s());
+        assert!(br.contains(full::align_score(&a, &e, &e, &s())));
+    }
+
+    #[test]
+    #[should_panic(expected = "linear gap model")]
+    fn affine_upper_bound_is_rejected() {
+        let sc = Scoring::dna_default().with_gap(tsa_scoring::GapModel::affine(-4, -1));
+        let a = Seq::dna("ACG").unwrap();
+        let _ = upper_bound(&a, &a, &a, &sc);
+    }
+
+    #[test]
+    fn contains_and_gap_accessors() {
+        let br = ScoreBounds { lower: -5, upper: 7 };
+        assert_eq!(br.gap(), 12);
+        assert!(br.contains(-5));
+        assert!(br.contains(7));
+        assert!(br.contains(0));
+        assert!(!br.contains(-6));
+        assert!(!br.contains(8));
+    }
+}

@@ -1,0 +1,292 @@
+//! The three-sequence DP recurrence kernel.
+//!
+//! Shared by every exact aligner in this crate: the seven moves, their
+//! column-score contributions, the per-cell recurrence, and the traceback
+//! step that recovers a winning move from a filled lattice.
+//!
+//! # The recurrence
+//!
+//! `D[i][j][k]` = the optimal sum-of-pairs score of aligning the prefixes
+//! `A[..i]`, `B[..j]`, `C[..k]`. A column of the alignment consumes a
+//! residue from each sequence whose move component is 1:
+//!
+//! ```text
+//! D[i][j][k] = max over δ ∈ {0,1}³ \ {000} of
+//!              D[i−δ₁][j−δ₂][k−δ₃] + colscore(δ, A[i−1], B[j−1], C[k−1])
+//! ```
+//!
+//! with `D[0][0][0] = 0` and out-of-range predecessors = −∞. Boundary
+//! cells need no special casing: the same recurrence with invalid moves
+//! skipped produces the correct `i·2g`-style edge values.
+
+use tsa_scoring::Scoring;
+
+pub use tsa_scoring::NEG_INF;
+
+/// One DP move: which of (A, B, C) consume a residue in this column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// A consumes a residue.
+    pub da: bool,
+    /// B consumes a residue.
+    pub db: bool,
+    /// C consumes a residue.
+    pub dc: bool,
+}
+
+impl Move {
+    /// Number of residues consumed (1–3).
+    pub fn arity(self) -> usize {
+        usize::from(self.da) + usize::from(self.db) + usize::from(self.dc)
+    }
+}
+
+/// The seven moves, in canonical order (ties in the recurrence and the
+/// traceback are broken by this order, fixing one canonical optimum):
+/// the 3-way match first, then the three 2-way moves, then single-residue
+/// moves.
+pub const MOVES: [Move; 7] = [
+    Move { da: true, db: true, dc: true },
+    Move { da: true, db: true, dc: false },
+    Move { da: true, db: false, dc: true },
+    Move { da: false, db: true, dc: true },
+    Move { da: true, db: false, dc: false },
+    Move { da: false, db: true, dc: false },
+    Move { da: false, db: false, dc: true },
+];
+
+/// Precomputed per-problem kernel context: the three residue strings and
+/// the scoring scheme, with the linear gap penalty cached.
+pub struct Kernel<'s> {
+    ra: &'s [u8],
+    rb: &'s [u8],
+    rc: &'s [u8],
+    scoring: &'s Scoring,
+    gap2: i32,
+}
+
+impl<'s> Kernel<'s> {
+    /// Build a kernel for residue slices `ra`, `rb`, `rc`.
+    ///
+    /// # Panics
+    /// Panics if the scoring's gap model is not linear (the affine aligner
+    /// has its own kernel in [`crate::affine`]).
+    pub fn new(ra: &'s [u8], rb: &'s [u8], rc: &'s [u8], scoring: &'s Scoring) -> Self {
+        let g = scoring.gap_linear();
+        Kernel {
+            ra,
+            rb,
+            rc,
+            scoring,
+            gap2: 2 * g,
+        }
+    }
+
+    /// Sequence lengths `(|A|, |B|, |C|)`.
+    pub fn lens(&self) -> (usize, usize, usize) {
+        (self.ra.len(), self.rb.len(), self.rc.len())
+    }
+
+    /// The sum-of-pairs score contribution of entering cell `(i, j, k)` via
+    /// `mv` (the residues consumed are `A[i−1]`, `B[j−1]`, `C[k−1]` as
+    /// applicable; the caller guarantees the move is valid, i.e. each
+    /// consumed index is ≥ 1).
+    #[inline(always)]
+    pub fn move_score(&self, i: usize, j: usize, k: usize, mv: Move) -> i32 {
+        let s = self.scoring;
+        match (mv.da, mv.db, mv.dc) {
+            (true, true, true) => {
+                let (a, b, c) = (self.ra[i - 1], self.rb[j - 1], self.rc[k - 1]);
+                s.sub(a, b) + s.sub(a, c) + s.sub(b, c)
+            }
+            (true, true, false) => s.sub(self.ra[i - 1], self.rb[j - 1]) + self.gap2,
+            (true, false, true) => s.sub(self.ra[i - 1], self.rc[k - 1]) + self.gap2,
+            (false, true, true) => s.sub(self.rb[j - 1], self.rc[k - 1]) + self.gap2,
+            // Single-residue columns: the residue pairs with two gaps, and
+            // the gap–gap pair contributes 0.
+            _ => self.gap2,
+        }
+    }
+
+    /// Compute `D[i][j][k]` from a predecessor accessor. `get` is called
+    /// only with in-range coordinates.
+    #[inline(always)]
+    pub fn cell(&self, i: usize, j: usize, k: usize, get: impl Fn(usize, usize, usize) -> i32) -> i32 {
+        if i == 0 && j == 0 && k == 0 {
+            return 0;
+        }
+        let mut best = NEG_INF;
+        for mv in MOVES {
+            if (mv.da && i == 0) || (mv.db && j == 0) || (mv.dc && k == 0) {
+                continue;
+            }
+            let p = get(
+                i - usize::from(mv.da),
+                j - usize::from(mv.db),
+                k - usize::from(mv.dc),
+            );
+            let v = p + self.move_score(i, j, k, mv);
+            if v > best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// During traceback: find the canonical winning move into `(i, j, k)`
+    /// whose predecessor value plus move score equals `value`.
+    ///
+    /// # Panics
+    /// Panics if no move reproduces `value` — which indicates a corrupted
+    /// lattice (or mismatched kernel/scoring).
+    pub fn winning_move(
+        &self,
+        i: usize,
+        j: usize,
+        k: usize,
+        value: i32,
+        get: impl Fn(usize, usize, usize) -> i32,
+    ) -> Move {
+        for mv in MOVES {
+            if (mv.da && i == 0) || (mv.db && j == 0) || (mv.dc && k == 0) {
+                continue;
+            }
+            let p = get(
+                i - usize::from(mv.da),
+                j - usize::from(mv.db),
+                k - usize::from(mv.dc),
+            );
+            if p > NEG_INF / 2 && p + self.move_score(i, j, k, mv) == value {
+                return mv;
+            }
+        }
+        panic!("no winning move at ({i}, {j}, {k}) for value {value}: corrupt lattice");
+    }
+
+    /// The alignment column emitted when entering `(i, j, k)` via `mv`.
+    #[inline]
+    pub fn column(&self, i: usize, j: usize, k: usize, mv: Move) -> [Option<u8>; 3] {
+        [
+            mv.da.then(|| self.ra[i - 1]),
+            mv.db.then(|| self.rb[j - 1]),
+            mv.dc.then(|| self.rc[k - 1]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_fixture() -> (&'static [u8], &'static [u8], &'static [u8], Scoring) {
+        (b"ACG", b"AG", b"AC", Scoring::dna_default())
+    }
+
+    #[test]
+    fn moves_are_distinct_and_cover_all_seven() {
+        for (x, &a) in MOVES.iter().enumerate() {
+            assert!(a.arity() >= 1 && a.arity() <= 3);
+            for &b in &MOVES[x + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(MOVES.len(), 7);
+        assert_eq!(MOVES[0].arity(), 3);
+    }
+
+    #[test]
+    fn move_scores_match_sp_columns() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        // Entering (1,1,1) with the 3-way move: column (A, A, A).
+        assert_eq!(kern.move_score(1, 1, 1, MOVES[0]), s.sp_column([Some(b'A'); 3]));
+        // (1,1,·) two-way: column (A, A, -).
+        assert_eq!(
+            kern.move_score(1, 1, 0, MOVES[1]),
+            s.sp_column([Some(b'A'), Some(b'A'), None])
+        );
+        // Single-residue column (A, -, -).
+        assert_eq!(
+            kern.move_score(1, 0, 0, MOVES[4]),
+            s.sp_column([Some(b'A'), None, None])
+        );
+    }
+
+    #[test]
+    fn origin_cell_is_zero() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        assert_eq!(kern.cell(0, 0, 0, |_, _, _| panic!("no predecessors")), 0);
+    }
+
+    #[test]
+    fn axis_cells_accumulate_double_gaps() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        // D[i][0][0] = i * 2g; simulate with a tiny manual lattice.
+        let mut d = std::collections::HashMap::new();
+        d.insert((0usize, 0usize, 0usize), 0i32);
+        for i in 1..=3 {
+            let v = kern.cell(i, 0, 0, |a, b, c| d[&(a, b, c)]);
+            d.insert((i, 0, 0), v);
+            assert_eq!(v, i as i32 * -4, "i={i}");
+        }
+    }
+
+    #[test]
+    fn cell_skips_invalid_moves_at_faces() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        // On the k = 0 face only moves with dc = false may fire; a get that
+        // panics on k > 0 ... (k-1 underflows first). Verify get is only
+        // called with k == 0.
+        let _ = kern.cell(1, 1, 0, |_, _, k| {
+            assert_eq!(k, 0);
+            0
+        });
+    }
+
+    #[test]
+    fn winning_move_recovers_the_canonical_optimum() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        // At (1,1,1) with all predecessors 0, the 3-way A/A/A column (+6)
+        // wins.
+        let v = kern.cell(1, 1, 1, |_, _, _| 0);
+        assert_eq!(v, 6);
+        let mv = kern.winning_move(1, 1, 1, v, |_, _, _| 0);
+        assert_eq!(mv, MOVES[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no winning move")]
+    fn winning_move_panics_on_corrupt_value() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        let _ = kern.winning_move(1, 1, 1, 12345, |_, _, _| 0);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let (ra, rb, rc, s) = kernel_fixture();
+        let kern = Kernel::new(ra, rb, rc, &s);
+        assert_eq!(kern.column(1, 1, 1, MOVES[0]), [Some(b'A'); 3]);
+        assert_eq!(kern.column(2, 1, 0, MOVES[1]), [Some(b'C'), Some(b'A'), None]);
+        assert_eq!(kern.column(0, 0, 2, MOVES[6]), [None, None, Some(b'C')]);
+    }
+
+    #[test]
+    #[should_panic(expected = "linear gap model required")]
+    fn affine_scoring_is_rejected() {
+        let s = Scoring::dna_default().with_gap(tsa_scoring::GapModel::affine(-4, -1));
+        let _ = Kernel::new(b"A", b"A", b"A", &s);
+    }
+
+    #[test]
+    fn neg_inf_headroom() {
+        // NEG_INF plus any plausible move score must not wrap.
+        let worst_move = -3 * 1000; // far worse than any real matrix entry
+        assert!(NEG_INF.checked_add(worst_move).is_some());
+        assert!(NEG_INF + worst_move < i32::MIN / 8);
+    }
+}

@@ -1,0 +1,304 @@
+//! Alignment serialization: aligned (gapped) FASTA and Clustal-style
+//! output.
+//!
+//! Aligned FASTA round-trips: [`to_aligned_fasta`] ↔
+//! [`from_aligned_fasta`], so alignments can be stored, diffed, and
+//! re-scored later. Clustal output is for human eyes (a conservation line
+//! under each block).
+
+use crate::alignment::{Alignment3, Column3};
+use tsa_seq::SeqError;
+
+/// Serialize as gapped FASTA: three records whose bodies contain `-` for
+/// gaps, wrapped at `width` (0 = no wrap).
+pub fn to_aligned_fasta(aln: &Alignment3, ids: [&str; 3], width: usize) -> String {
+    let mut out = String::new();
+    for (r, id) in ids.iter().enumerate() {
+        out.push('>');
+        out.push_str(id);
+        out.push('\n');
+        let row: String = aln
+            .columns
+            .iter()
+            .map(|col| col[r].map(char::from).unwrap_or('-'))
+            .collect();
+        if width == 0 {
+            out.push_str(&row);
+            out.push('\n');
+        } else {
+            for chunk in row.as_bytes().chunks(width) {
+                out.push_str(std::str::from_utf8(chunk).expect("ascii"));
+                out.push('\n');
+            }
+            if row.is_empty() {
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Parse gapped FASTA back into an [`Alignment3`] (plus the record ids).
+///
+/// The three records must have equal gapped length. The returned
+/// alignment's `score` is 0 — re-score with
+/// [`Alignment3::rescore`] under the scoring of your choice.
+pub fn from_aligned_fasta(text: &str) -> Result<(Alignment3, [String; 3]), SeqError> {
+    let mut ids = Vec::new();
+    let mut rows: Vec<Vec<Option<u8>>> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let id = header.split_whitespace().next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(SeqError::Fasta {
+                    line: idx + 1,
+                    message: "header with empty id".into(),
+                });
+            }
+            ids.push(id);
+            rows.push(Vec::new());
+        } else {
+            let row = rows.last_mut().ok_or(SeqError::Fasta {
+                line: idx + 1,
+                message: "data before first header".into(),
+            })?;
+            for b in line.bytes().filter(|b| !b.is_ascii_whitespace()) {
+                row.push(if b == b'-' || b == b'.' {
+                    None
+                } else {
+                    Some(b.to_ascii_uppercase())
+                });
+            }
+        }
+    }
+    if ids.len() != 3 {
+        return Err(SeqError::Fasta {
+            line: 0,
+            message: format!("expected exactly 3 aligned records, found {}", ids.len()),
+        });
+    }
+    if rows[0].len() != rows[1].len() || rows[0].len() != rows[2].len() {
+        return Err(SeqError::Fasta {
+            line: 0,
+            message: format!(
+                "aligned rows differ in length: {} / {} / {}",
+                rows[0].len(),
+                rows[1].len(),
+                rows[2].len()
+            ),
+        });
+    }
+    let columns: Vec<Column3> = (0..rows[0].len())
+        .map(|c| [rows[0][c], rows[1][c], rows[2][c]])
+        .collect();
+    let ids: [String; 3] = [ids[0].clone(), ids[1].clone(), ids[2].clone()];
+    Ok((Alignment3::new(columns, 0), ids))
+}
+
+/// Clustal "strong" conservation groups (one-letter amino acids).
+const STRONG_GROUPS: &[&[u8]] = &[
+    b"STA", b"NEQK", b"NHQK", b"NDEQ", b"QHRK", b"MILV", b"MILF", b"HY", b"FYW",
+];
+
+/// Clustal "weak" conservation groups.
+const WEAK_GROUPS: &[&[u8]] = &[
+    b"CSA", b"ATV", b"SAG", b"STNK", b"STPA", b"SGND", b"SNDEQK", b"NDEQHK", b"NEQHRK",
+    b"FVLIM", b"HFY",
+];
+
+fn all_in_some_group(groups: &[&[u8]], residues: &[u8; 3]) -> bool {
+    groups
+        .iter()
+        .any(|g| residues.iter().all(|r| g.contains(r)))
+}
+
+/// Conservation mark for one column, following the Clustal convention:
+/// `*` all three residues identical; `:` all three within one *strong*
+/// group; `.` all three within one *weak* group; space otherwise
+/// (including any column with a gap).
+fn conservation(col: &Column3) -> char {
+    match col {
+        [Some(x), Some(y), Some(z)] => {
+            if x == y && y == z {
+                '*'
+            } else if all_in_some_group(STRONG_GROUPS, &[*x, *y, *z]) {
+                ':'
+            } else if all_in_some_group(WEAK_GROUPS, &[*x, *y, *z]) {
+                '.'
+            } else {
+                ' '
+            }
+        }
+        _ => ' ',
+    }
+}
+
+/// Render a Clustal-style block view: `width` columns per block, each
+/// block showing the three (truncated/padded) ids, the gapped rows, and a
+/// conservation line.
+pub fn to_clustal(aln: &Alignment3, ids: [&str; 3], width: usize) -> String {
+    let width = if width == 0 { 60 } else { width };
+    let id_w = ids.iter().map(|i| i.len()).max().unwrap_or(0).clamp(4, 16);
+    let fmt_id = |id: &str| -> String {
+        let mut s: String = id.chars().take(id_w).collect();
+        while s.len() < id_w {
+            s.push(' ');
+        }
+        s
+    };
+    let mut out = String::from("CLUSTAL-style alignment (three-seq-align)\n\n");
+    let total = aln.len();
+    let mut start = 0;
+    while start < total || (total == 0 && start == 0) {
+        let end = (start + width).min(total);
+        for (r, id) in ids.iter().enumerate() {
+            out.push_str(&fmt_id(id));
+            out.push(' ');
+            for col in &aln.columns[start..end] {
+                out.push(col[r].map(char::from).unwrap_or('-'));
+            }
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(id_w + 1));
+        for col in &aln.columns[start..end] {
+            out.push(conservation(col));
+        }
+        out.push('\n');
+        if end < total {
+            out.push('\n');
+        }
+        start = end;
+        if total == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full;
+    use tsa_scoring::Scoring;
+    use tsa_seq::Seq;
+
+    fn sample() -> (Alignment3, Seq, Seq, Seq) {
+        let a = Seq::dna("GATTACA").unwrap();
+        let b = Seq::dna("GATACA").unwrap();
+        let c = Seq::dna("GTTACA").unwrap();
+        let aln = full::align(&a, &b, &c, &Scoring::dna_default());
+        (aln, a, b, c)
+    }
+
+    #[test]
+    fn aligned_fasta_round_trip() {
+        let (aln, a, b, c) = sample();
+        let text = to_aligned_fasta(&aln, ["A", "B", "C"], 60);
+        let (parsed, ids) = from_aligned_fasta(&text).unwrap();
+        assert_eq!(ids, ["A".to_string(), "B".into(), "C".into()]);
+        assert_eq!(parsed.columns, aln.columns);
+        // Round-tripped alignment re-validates against the inputs.
+        parsed.validate(&a, &b, &c).unwrap();
+        assert_eq!(parsed.rescore(&Scoring::dna_default()), aln.score);
+    }
+
+    #[test]
+    fn wrapping_round_trips() {
+        let (aln, ..) = sample();
+        for width in [1, 3, 7, 0] {
+            let text = to_aligned_fasta(&aln, ["x", "y", "z"], width);
+            let (parsed, _) = from_aligned_fasta(&text).unwrap();
+            assert_eq!(parsed.columns, aln.columns, "width {width}");
+        }
+    }
+
+    #[test]
+    fn dots_parse_as_gaps() {
+        let text = ">a\nAC.T\n>b\nACGT\n>c\nA-GT\n";
+        let (parsed, _) = from_aligned_fasta(text).unwrap();
+        assert_eq!(parsed.columns[2][0], None);
+        assert_eq!(parsed.columns[1][2], None);
+    }
+
+    #[test]
+    fn wrong_record_count_is_an_error() {
+        assert!(from_aligned_fasta(">a\nAC\n>b\nAC\n").is_err());
+        assert!(from_aligned_fasta(">a\nAC\n>b\nAC\n>c\nAC\n>d\nAC\n").is_err());
+    }
+
+    #[test]
+    fn unequal_rows_are_an_error() {
+        let err = from_aligned_fasta(">a\nACG\n>b\nAC\n>c\nACG\n").unwrap_err();
+        assert!(err.to_string().contains("length"));
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        assert!(from_aligned_fasta("ACG\n>a\nACG\n").is_err());
+    }
+
+    #[test]
+    fn clustal_has_conservation_line() {
+        let (aln, ..) = sample();
+        let text = to_clustal(&aln, ["seqA", "seqB", "seqC"], 60);
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, blank, 3 sequence lines, conservation line.
+        assert!(lines[0].contains("CLUSTAL"));
+        assert!(lines[2].starts_with("seqA"));
+        assert!(lines[3].starts_with("seqB"));
+        assert!(lines[4].starts_with("seqC"));
+        let cons = lines[5];
+        assert!(cons.contains('*'), "{text}");
+    }
+
+    #[test]
+    fn clustal_blocks_wrap() {
+        let (aln, ..) = sample();
+        let narrow = to_clustal(&aln, ["a", "b", "c"], 3);
+        // ceil(len/3) blocks of 4 lines each + header + separators.
+        let blocks = aln.len().div_ceil(3);
+        let seq_lines = narrow.lines().filter(|l| l.starts_with("a   ")).count();
+        assert_eq!(seq_lines, blocks);
+    }
+
+    #[test]
+    fn conservation_marks_follow_clustal_convention() {
+        // Identity.
+        assert_eq!(conservation(&[Some(b'A'), Some(b'A'), Some(b'A')]), '*');
+        // Strong group MILV.
+        assert_eq!(conservation(&[Some(b'M'), Some(b'I'), Some(b'V')]), ':');
+        // Strong group STA.
+        assert_eq!(conservation(&[Some(b'S'), Some(b'T'), Some(b'A')]), ':');
+        // Weak group CSA (C breaks STA but fits CSA).
+        assert_eq!(conservation(&[Some(b'C'), Some(b'S'), Some(b'A')]), '.');
+        // Weak group FVLIM (F and V share no strong group).
+        assert_eq!(conservation(&[Some(b'F'), Some(b'V'), Some(b'M')]), '.');
+        // No group.
+        assert_eq!(conservation(&[Some(b'W'), Some(b'P'), Some(b'G')]), ' ');
+        // Gap columns are blank.
+        assert_eq!(conservation(&[Some(b'A'), None, Some(b'A')]), ' ');
+        assert_eq!(conservation(&[Some(b'A'), None, None]), ' ');
+    }
+
+    #[test]
+    fn strong_beats_weak_when_both_match() {
+        // FVM is in FVLIM (weak) and MILF... F,V,M: strong MILF needs all
+        // of F,V,M ∈ MILF — V is not, so FVM is weak-only? M ∈ MILV, F ∉.
+        // Use an unambiguous strong case instead: M,I,L ∈ MILV and MILF
+        // (strong) and FVLIM (weak) → strong wins.
+        assert_eq!(conservation(&[Some(b'M'), Some(b'I'), Some(b'L')]), ':');
+    }
+
+    #[test]
+    fn empty_alignment_formats() {
+        let empty = Alignment3::new(vec![], 0);
+        let fasta = to_aligned_fasta(&empty, ["a", "b", "c"], 60);
+        assert_eq!(fasta.matches('>').count(), 3);
+        let clustal = to_clustal(&empty, ["a", "b", "c"], 60);
+        assert!(clustal.contains("CLUSTAL"));
+    }
+}

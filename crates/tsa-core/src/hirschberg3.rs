@@ -1,0 +1,235 @@
+//! 3D Hirschberg divide and conquer: a **full optimal alignment in
+//! quadratic space**.
+//!
+//! Split `A` at its midpoint `m`. Any optimal alignment path crosses the
+//! lattice face `i = m` at exactly one cell `(m, j, k)`, and that cell is
+//! an argmax of `F[j][k] + R[j][k]`, where `F` is the forward face of
+//! `(A[..m], B, C)` and `R` the backward face of `(A[m..], B, C)` — both
+//! computable in quadratic space ([`crate::score_only`]). Recurse on the
+//! two sub-problems; the half-volumes sum geometrically, so total work is
+//! at most ~2× the plain DP (experiment `table4` measures the real ratio).
+//!
+//! [`align_parallel`] additionally (a) computes the two faces with
+//! plane-parallel sweeps and (b) runs the two recursive halves as a
+//! `rayon::join`, so parallelism is available at every level.
+
+use crate::alignment::{Alignment3, Column3};
+use crate::dp::NEG_INF;
+use crate::full;
+use crate::score_only::{
+    backward_face, backward_face_parallel, forward_face, forward_face_parallel,
+};
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// Below this `|A|` the recursion bottoms out into the full-lattice DP:
+/// the sub-lattice is at most `(BASE+1)·(n2+1)·(n3+1)` cells, i.e. already
+/// quadratic in the remaining problem.
+const BASE_CASE_LEN: usize = 4;
+
+/// Optimal alignment, sequential divide and conquer, quadratic space.
+///
+/// ```
+/// use tsa_core::{full, hirschberg3};
+/// use tsa_scoring::Scoring;
+/// use tsa_seq::Seq;
+///
+/// let s = Scoring::dna_default();
+/// let a = Seq::dna("GATTACA").unwrap();
+/// let b = Seq::dna("GATACA").unwrap();
+/// let c = Seq::dna("GTTACA").unwrap();
+/// let dc = hirschberg3::align(&a, &b, &c, &s);
+/// assert_eq!(dc.score, full::align_score(&a, &b, &c, &s));
+/// ```
+pub fn align(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Alignment3 {
+    let mut columns = Vec::with_capacity(a.len() + b.len() + c.len());
+    solve(a, b, c, scoring, false, &mut columns);
+    finish(columns, scoring)
+}
+
+/// Optimal alignment, parallel divide and conquer (parallel faces +
+/// parallel recursion), quadratic space.
+pub fn align_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Alignment3 {
+    let mut columns = Vec::with_capacity(a.len() + b.len() + c.len());
+    solve_parallel(a, b, c, scoring, &mut columns);
+    finish(columns, scoring)
+}
+
+/// Score-equivalent entry point used when only the score is wanted but the
+/// caller asked for this algorithm anyway.
+pub fn align_score(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
+    align(a, b, c, scoring).score
+}
+
+fn finish(columns: Vec<Column3>, scoring: &Scoring) -> Alignment3 {
+    let mut aln = Alignment3::new(columns, 0);
+    aln.score = aln.rescore(scoring);
+    aln
+}
+
+/// Pick the split column: argmax of `F + R`, ties broken toward the
+/// lexicographically smallest `(j, k)` for determinism.
+fn best_split(f: &[i32], r: &[i32]) -> usize {
+    let mut best_idx = 0;
+    let mut best = NEG_INF * 2;
+    for (idx, (x, y)) in f.iter().zip(r).enumerate() {
+        let v = x + y;
+        if v > best {
+            best = v;
+            best_idx = idx;
+        }
+    }
+    best_idx
+}
+
+fn solve(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    parallel_faces: bool,
+    out: &mut Vec<Column3>,
+) {
+    if a.len() <= BASE_CASE_LEN {
+        out.extend(full::align(a, b, c, scoring).columns);
+        return;
+    }
+    let mid = a.len() / 2;
+    let a_lo = a.slice(0, mid);
+    let a_hi = a.slice(mid, a.len());
+    let (f, r) = if parallel_faces {
+        rayon::join(
+            || forward_face_parallel(&a_lo, b, c, scoring),
+            || backward_face_parallel(&a_hi, b, c, scoring),
+        )
+    } else {
+        (
+            forward_face(&a_lo, b, c, scoring),
+            backward_face(&a_hi, b, c, scoring),
+        )
+    };
+    let w3 = c.len() + 1;
+    let split = best_split(&f, &r);
+    let (sj, sk) = (split / w3, split % w3);
+    solve(&a_lo, &b.slice(0, sj), &c.slice(0, sk), scoring, parallel_faces, out);
+    solve(&a_hi, &b.slice(sj, b.len()), &c.slice(sk, c.len()), scoring, parallel_faces, out);
+}
+
+fn solve_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring, out: &mut Vec<Column3>) {
+    // Small problems: no point forking.
+    if a.len() <= BASE_CASE_LEN {
+        out.extend(full::align(a, b, c, scoring).columns);
+        return;
+    }
+    let mid = a.len() / 2;
+    let a_lo = a.slice(0, mid);
+    let a_hi = a.slice(mid, a.len());
+    let (f, r) = rayon::join(
+        || forward_face_parallel(&a_lo, b, c, scoring),
+        || backward_face_parallel(&a_hi, b, c, scoring),
+    );
+    let w3 = c.len() + 1;
+    let split = best_split(&f, &r);
+    let (sj, sk) = (split / w3, split % w3);
+    let (b_lo, b_hi) = (b.slice(0, sj), b.slice(sj, b.len()));
+    let (c_lo, c_hi) = (c.slice(0, sk), c.slice(sk, c.len()));
+    let mut right: Vec<Column3> = Vec::new();
+    rayon::join(
+        || solve_parallel(&a_lo, &b_lo, &c_lo, scoring, out),
+        || solve_parallel(&a_hi, &b_hi, &c_hi, scoring, &mut right),
+    );
+    out.extend(right);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{family_triple, random_triple};
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn sequential_dc_matches_full_dp_on_randoms() {
+        for seed in 0..15 {
+            let (a, b, c) = random_triple(seed, 14);
+            let dc = align(&a, &b, &c, &s());
+            let opt = full::align_score(&a, &b, &c, &s());
+            assert_eq!(dc.score, opt, "seed {seed}");
+            dc.validate_scored(&a, &b, &c, &s())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallel_dc_matches_full_dp_on_randoms() {
+        for seed in 0..15 {
+            let (a, b, c) = random_triple(seed + 200, 14);
+            let dc = align_parallel(&a, &b, &c, &s());
+            let opt = full::align_score(&a, &b, &c, &s());
+            assert_eq!(dc.score, opt, "seed {seed}");
+            dc.validate_scored(&a, &b, &c, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn family_workloads() {
+        for seed in [1u64, 2, 3] {
+            let (a, b, c) = family_triple(seed, 28);
+            let dc = align(&a, &b, &c, &s());
+            assert_eq!(dc.score, full::align_score(&a, &b, &c, &s()));
+            dc.validate_scored(&a, &b, &c, &s()).unwrap();
+            let pdc = align_parallel(&a, &b, &c, &s());
+            assert_eq!(pdc.score, dc.score);
+            pdc.validate_scored(&a, &b, &c, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let e = Seq::dna("").unwrap();
+        let a = Seq::dna("ACGTACGTAC").unwrap();
+        for (x, y, z) in [
+            (e.clone(), e.clone(), e.clone()),
+            (a.clone(), e.clone(), e.clone()),
+            (e.clone(), a.clone(), e.clone()),
+            (e.clone(), e.clone(), a.clone()),
+            (a.clone(), a.clone(), e.clone()),
+        ] {
+            let dc = align(&x, &y, &z, &s());
+            assert_eq!(dc.score, full::align_score(&x, &y, &z, &s()));
+            dc.validate_scored(&x, &y, &z, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn base_case_boundary_lengths() {
+        for la in 0..=(BASE_CASE_LEN * 2 + 1) {
+            let (raw, b, c) = random_triple(900 + la as u64, 12);
+            let a = raw.slice(0, la.min(raw.len()));
+            let dc = align(&a, &b, &c, &s());
+            assert_eq!(dc.score, full::align_score(&a, &b, &c, &s()), "la={la}");
+            dc.validate_scored(&a, &b, &c, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn protein_scoring() {
+        let sc = Scoring::blosum62();
+        let a = Seq::protein("MKWVTFISLLLLFSSAYS").unwrap();
+        let b = Seq::protein("MKWVTFISLLFLFSSAYS").unwrap();
+        let c = Seq::protein("MKWVTFSLLLLFSAYS").unwrap();
+        let dc = align(&a, &b, &c, &sc);
+        assert_eq!(dc.score, full::align_score(&a, &b, &c, &sc));
+        dc.validate_scored(&a, &b, &c, &sc).unwrap();
+    }
+
+    #[test]
+    fn best_split_prefers_first_maximum() {
+        let f = vec![1, 5, 5, 2];
+        let r = vec![0, 0, 0, 3];
+        // sums: 1, 5, 5, 5 → first max at index 1.
+        assert_eq!(best_split(&f, &r), 1);
+    }
+}

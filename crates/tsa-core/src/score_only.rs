@@ -1,0 +1,341 @@
+//! Quadratic-space score computation.
+//!
+//! The full lattice is only needed for traceback. For the score (and for
+//! the divide-and-conquer aligner's *faces*) it suffices to keep:
+//!
+//! * **slab rolling** ([`score_slabs`], [`forward_face`]) — two `i`-slabs
+//!   of `(n2+1)(n3+1)` cells, swept sequentially. The final slab is exactly
+//!   `D[n1][·][·]`, the forward face Hirschberg needs.
+//! * **plane rolling** ([`score_planes_parallel`],
+//!   [`forward_face_parallel`]) — four anti-diagonal plane buffers with the
+//!   cells of each plane computed in parallel. A cell's seven predecessors
+//!   live on planes `d−1..d−3`, so four rotating buffers suffice.
+//!
+//! Both give `O(n²)` memory instead of `O(n³)`, the headline of the memory
+//! experiment (`table3`).
+
+use crate::dp::{Kernel, NEG_INF};
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+use tsa_wavefront::plane::{plane_cells, Extents};
+use tsa_wavefront::SharedGrid;
+use rayon::prelude::*;
+
+/// A face of the lattice at fixed `i`: scores indexed by `(j, k)` as
+/// `j * (n3 + 1) + k`.
+pub type Face = Vec<i32>;
+
+/// Sequential slab-rolling score: `O(n³)` time, two slabs of memory.
+pub fn score_slabs(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
+    *forward_face(a, b, c, scoring).last().expect("face non-empty")
+}
+
+/// The forward face `D[|a|][j][k]` for all `(j, k)`: the optimal score of
+/// aligning **all of `a`** against the prefixes `b[..j]`, `c[..k]`.
+pub fn forward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let (ra, rb, rc) = (a.residues(), b.residues(), c.residues());
+    let g2 = 2 * scoring.gap_linear();
+    let w3 = n3 + 1;
+    let slab_len = (n2 + 1) * w3;
+    let mut prev: Vec<i32> = vec![NEG_INF; slab_len];
+    let mut cur: Vec<i32> = vec![NEG_INF; slab_len];
+    for i in 0..=n1 {
+        for j in 0..=n2 {
+            if i == 0 || j == 0 {
+                // Faces: generic bounds-checked kernel.
+                for k in 0..=n3 {
+                    cur[j * w3 + k] = kernel.cell(i, j, k, |pi, pj, pk| {
+                        if pi == i {
+                            cur[pj * w3 + pk]
+                        } else {
+                            prev[pj * w3 + pk]
+                        }
+                    });
+                }
+                continue;
+            }
+            // Interior rows: hoisted strides, same shape as full::fill.
+            let (ai, bj) = (ra[i - 1], rb[j - 1]);
+            let sab = scoring.sub(ai, bj);
+            let b11 = (j - 1) * w3; // prev slab, row j−1
+            let b10 = j * w3; // prev slab, row j
+            let b01 = (j - 1) * w3; // cur slab, row j−1
+            let base = j * w3;
+            cur[base] = kernel.cell(i, j, 0, |pi, pj, pk| {
+                if pi == i {
+                    cur[pj * w3 + pk]
+                } else {
+                    prev[pj * w3 + pk]
+                }
+            });
+            for k in 1..=n3 {
+                let ck = rc[k - 1];
+                let sac = scoring.sub(ai, ck);
+                let sbc = scoring.sub(bj, ck);
+                let p111 = prev[b11 + k - 1] + sab + sac + sbc;
+                let p110 = prev[b11 + k] + sab + g2;
+                let p101 = prev[b10 + k - 1] + sac + g2;
+                let p011 = cur[b01 + k - 1] + sbc + g2;
+                let single = prev[b10 + k].max(cur[b01 + k]).max(cur[base + k - 1]) + g2;
+                cur[base + k] = p111.max(p110).max(p101).max(p011).max(single);
+            }
+        }
+        if i < n1 {
+            std::mem::swap(&mut prev, &mut cur);
+        }
+    }
+    cur
+}
+
+/// The backward face: `out[j * (n3+1) + k]` is the optimal score of
+/// aligning **all of `a`** against the suffixes `b[j..]`, `c[k..]`.
+pub fn backward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
+    let (ar, br, cr) = (a.reversed(), b.reversed(), c.reversed());
+    let rev = forward_face(&ar, &br, &cr, scoring);
+    reindex_backward(rev, b.len(), c.len())
+}
+
+/// Convert a face computed on reversed sequences into suffix indexing.
+fn reindex_backward(rev: Face, n2: usize, n3: usize) -> Face {
+    let w3 = n3 + 1;
+    let mut out = vec![NEG_INF; (n2 + 1) * w3];
+    for j in 0..=n2 {
+        for k in 0..=n3 {
+            out[j * w3 + k] = rev[(n2 - j) * w3 + (n3 - k)];
+        }
+    }
+    out
+}
+
+/// Plane-rolling parallel score: cells of each anti-diagonal plane in
+/// parallel, four rotating `(n1+1)(n2+1)` buffers.
+pub fn score_planes_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
+    let (score, _face) = planes_pass(a, b, c, scoring, false);
+    score
+}
+
+/// Parallel forward face (same values as [`forward_face`], computed with
+/// plane-parallel sweeps — used by the parallel divide-and-conquer).
+pub fn forward_face_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
+    let (_score, face) = planes_pass(a, b, c, scoring, true);
+    face.expect("face requested")
+}
+
+/// Parallel backward face (suffix indexing, like [`backward_face`]).
+pub fn backward_face_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
+    let (ar, br, cr) = (a.reversed(), b.reversed(), c.reversed());
+    let rev = forward_face_parallel(&ar, &br, &cr, scoring);
+    reindex_backward(rev, b.len(), c.len())
+}
+
+/// Cells per rayon task within a plane.
+const MIN_CELLS_PER_TASK: usize = 64;
+
+fn planes_pass(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    want_face: bool,
+) -> (i32, Option<Face>) {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let e = Extents::new(n1, n2, n3);
+    let w2 = n2 + 1;
+    let slot = |i: usize, j: usize| i * w2 + j;
+
+    // Four rotating plane buffers indexed by (i, j); the k of a stored
+    // value is implied by its plane: k = d − i − j.
+    let buffers: [SharedGrid<i32>; 4] =
+        std::array::from_fn(|_| SharedGrid::new((n1 + 1) * w2, NEG_INF));
+    // Face at i = n1, filled as its cells are computed (only if wanted).
+    let face: Option<SharedGrid<i32>> =
+        want_face.then(|| SharedGrid::new(w2 * (n3 + 1), NEG_INF));
+
+    let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
+    for d in 0..e.num_planes() {
+        cells.clear();
+        cells.extend(plane_cells(e, d));
+        let target = &buffers[d % 4];
+        // SAFETY: each (i, j) slot of the target buffer corresponds to one
+        // distinct plane cell; reads go to the three previous planes'
+        // buffers, complete before this plane starts. The buffer being
+        // overwritten (d ≡ d−4) is never read: predecessors reach back at
+        // most 3 planes.
+        let compute = |&(i, j, k): &(usize, usize, usize)| {
+            let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+                buffers[(pi + pj + pk) % 4].get(slot(pi, pj))
+            });
+            unsafe { target.set(slot(i, j), v) };
+            if i == n1 {
+                if let Some(f) = &face {
+                    unsafe { f.set(j * (n3 + 1) + k, v) };
+                }
+            }
+        };
+        if cells.len() < MIN_CELLS_PER_TASK {
+            cells.iter().for_each(compute);
+        } else {
+            cells.par_iter().with_min_len(MIN_CELLS_PER_TASK).for_each(compute);
+        }
+    }
+    let final_plane = (n1 + n2 + n3) % 4;
+    let score = unsafe { buffers[final_plane].get(slot(n1, n2)) };
+    (score, face.map(SharedGrid::into_vec))
+}
+
+/// Bytes of working memory the slab-rolling score pass needs (reported by
+/// the memory experiment).
+pub fn slab_memory_bytes(n2: usize, n3: usize) -> usize {
+    2 * (n2 + 1) * (n3 + 1) * std::mem::size_of::<i32>()
+}
+
+/// Bytes of working memory the plane-rolling parallel score pass needs.
+pub fn plane_memory_bytes(n1: usize, n2: usize) -> usize {
+    4 * (n1 + 1) * (n2 + 1) * std::mem::size_of::<i32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full;
+    use crate::test_util::{family_triple, random_triple};
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn slab_score_matches_full_lattice() {
+        for seed in 0..15 {
+            let (a, b, c) = random_triple(seed, 12);
+            assert_eq!(
+                score_slabs(&a, &b, &c, &s()),
+                full::align_score(&a, &b, &c, &s()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_plane_score_matches_full_lattice() {
+        for seed in 0..15 {
+            let (a, b, c) = random_triple(seed + 40, 12);
+            assert_eq!(
+                score_planes_parallel(&a, &b, &c, &s()),
+                full::align_score(&a, &b, &c, &s()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_face_matches_lattice_slice() {
+        let (a, b, c) = random_triple(7, 10);
+        let lat = full::fill(&a, &b, &c, &s());
+        let face = forward_face(&a, &b, &c, &s());
+        let w3 = c.len() + 1;
+        for j in 0..=b.len() {
+            for k in 0..=c.len() {
+                assert_eq!(face[j * w3 + k], lat.at(a.len(), j, k), "({j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_face_equals_sequential_face() {
+        for seed in 0..10 {
+            let (a, b, c) = random_triple(seed + 80, 14);
+            assert_eq!(
+                forward_face_parallel(&a, &b, &c, &s()),
+                forward_face(&a, &b, &c, &s()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_face_matches_suffix_alignments() {
+        let (a, b, c) = random_triple(3, 8);
+        let face = backward_face(&a, &b, &c, &s());
+        let w3 = c.len() + 1;
+        for j in 0..=b.len() {
+            for k in 0..=c.len() {
+                let bs = b.slice(j, b.len());
+                let cs = c.slice(k, c.len());
+                assert_eq!(
+                    face[j * w3 + k],
+                    full::align_score(&a, &bs, &cs, &s()),
+                    "({j},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_backward_face_equals_sequential() {
+        let (a, b, c) = family_triple(21, 18);
+        assert_eq!(
+            backward_face_parallel(&a, &b, &c, &s()),
+            backward_face(&a, &b, &c, &s())
+        );
+    }
+
+    #[test]
+    fn hirschberg_split_identity_holds_in_3d() {
+        // max_{j,k} F[j][k] + R[j][k] over the split i = mid equals the
+        // full optimum — the 3D divide-and-conquer invariant.
+        let (a, b, c) = family_triple(31, 16);
+        let full_score = full::align_score(&a, &b, &c, &s());
+        let mid = a.len() / 2;
+        let a_lo = a.slice(0, mid);
+        let a_hi = a.slice(mid, a.len());
+        let f = forward_face(&a_lo, &b, &c, &s());
+        let r = backward_face(&a_hi, &b, &c, &s());
+        let combined = f.iter().zip(&r).map(|(x, y)| x + y).max().unwrap();
+        assert_eq!(combined, full_score);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Seq::dna("").unwrap();
+        let a = Seq::dna("ACGT").unwrap();
+        assert_eq!(score_slabs(&e, &e, &e, &s()), 0);
+        assert_eq!(score_planes_parallel(&e, &e, &e, &s()), 0);
+        assert_eq!(
+            score_slabs(&a, &e, &e, &s()),
+            full::align_score(&a, &e, &e, &s())
+        );
+        assert_eq!(
+            score_planes_parallel(&e, &a, &e, &s()),
+            full::align_score(&e, &a, &e, &s())
+        );
+    }
+
+    #[test]
+    fn face_of_empty_a_is_pairwise_bc_lattice() {
+        // With |a| = 0 the forward face is the 2D DP of B vs C (plus gap
+        // charges against A).
+        let e = Seq::dna("").unwrap();
+        let (_, b, c) = random_triple(11, 8);
+        let face = forward_face(&e, &b, &c, &s());
+        let lat = full::fill(&e, &b, &c, &s());
+        let w3 = c.len() + 1;
+        for j in 0..=b.len() {
+            for k in 0..=c.len() {
+                assert_eq!(face[j * w3 + k], lat.at(0, j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert_eq!(slab_memory_bytes(9, 9), 2 * 100 * 4);
+        assert_eq!(plane_memory_bytes(9, 9), 4 * 100 * 4);
+        // Quadratic memory must beat the cube for any realistic n.
+        let n = 128usize;
+        assert!(plane_memory_bytes(n, n) < (n + 1).pow(3) * 4 / 10);
+    }
+}

@@ -1,0 +1,141 @@
+//! Alignment summary statistics: identities, gaps, conservation.
+//!
+//! Consumed by the CLI's `--stats` view and useful for downstream
+//! analysis of alignment quality beyond the raw SP score.
+
+use crate::alignment::Alignment3;
+
+/// Summary statistics of a three-row alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentStats {
+    /// Alignment columns.
+    pub columns: usize,
+    /// Columns where all three rows hold the same residue.
+    pub full_match_columns: usize,
+    /// Columns containing at least one gap.
+    pub gapped_columns: usize,
+    /// Total gap characters across the three rows.
+    pub total_gaps: usize,
+    /// Pairwise identity for (AB, AC, BC): identical-residue columns over
+    /// columns where both rows hold residues.
+    pub pairwise_identity: [f64; 3],
+    /// Mean of the three pairwise identities.
+    pub mean_identity: f64,
+}
+
+/// Compute statistics for an alignment.
+pub fn alignment_stats(aln: &Alignment3) -> AlignmentStats {
+    let mut full_match = 0usize;
+    let mut gapped = 0usize;
+    let mut total_gaps = 0usize;
+    // (both-residue columns, identical columns) per pair AB/AC/BC.
+    let mut pair_cols = [0usize; 3];
+    let mut pair_same = [0usize; 3];
+    const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
+
+    for col in &aln.columns {
+        let gaps = col.iter().filter(|r| r.is_none()).count();
+        total_gaps += gaps;
+        if gaps > 0 {
+            gapped += 1;
+        }
+        if let [Some(x), Some(y), Some(z)] = col {
+            if x == y && y == z {
+                full_match += 1;
+            }
+        }
+        for (p, &(a, b)) in PAIRS.iter().enumerate() {
+            if let (Some(x), Some(y)) = (col[a], col[b]) {
+                pair_cols[p] += 1;
+                if x == y {
+                    pair_same[p] += 1;
+                }
+            }
+        }
+    }
+    let pairwise_identity: [f64; 3] = std::array::from_fn(|p| {
+        if pair_cols[p] == 0 {
+            0.0
+        } else {
+            pair_same[p] as f64 / pair_cols[p] as f64
+        }
+    });
+    AlignmentStats {
+        columns: aln.len(),
+        full_match_columns: full_match,
+        gapped_columns: gapped,
+        total_gaps,
+        mean_identity: pairwise_identity.iter().sum::<f64>() / 3.0,
+        pairwise_identity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Column3;
+
+    fn col(s: &str) -> Column3 {
+        let v: Vec<Option<u8>> = s
+            .chars()
+            .map(|c| (c != '-').then_some(c as u8))
+            .collect();
+        [v[0], v[1], v[2]]
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let st = alignment_stats(&Alignment3::new(vec![], 0));
+        assert_eq!(st.columns, 0);
+        assert_eq!(st.full_match_columns, 0);
+        assert_eq!(st.mean_identity, 0.0);
+    }
+
+    #[test]
+    fn perfect_alignment() {
+        let aln = Alignment3::new(vec![col("AAA"), col("CCC"), col("TTT")], 18);
+        let st = alignment_stats(&aln);
+        assert_eq!(st.columns, 3);
+        assert_eq!(st.full_match_columns, 3);
+        assert_eq!(st.gapped_columns, 0);
+        assert_eq!(st.total_gaps, 0);
+        assert_eq!(st.pairwise_identity, [1.0; 3]);
+        assert_eq!(st.mean_identity, 1.0);
+    }
+
+    #[test]
+    fn mixed_alignment() {
+        // cols: (A,A,A) match; (C,G,-) AB mismatch + gap; (T,T,A) AB same.
+        let aln = Alignment3::new(vec![col("AAA"), col("CG-"), col("TTA")], 0);
+        let st = alignment_stats(&aln);
+        assert_eq!(st.columns, 3);
+        assert_eq!(st.full_match_columns, 1);
+        assert_eq!(st.gapped_columns, 1);
+        assert_eq!(st.total_gaps, 1);
+        // AB: 3 both-residue cols, 2 identical → 2/3.
+        assert!((st.pairwise_identity[0] - 2.0 / 3.0).abs() < 1e-12);
+        // AC: cols 0 and 2 both-residue, 1 identical → 1/2.
+        assert!((st.pairwise_identity[1] - 0.5).abs() < 1e-12);
+        // BC: same shape as AC.
+        assert!((st.pairwise_identity[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_gap_pair_has_zero_identity() {
+        // B is entirely gaps: AB and BC identity are 0 by convention.
+        let aln = Alignment3::new(vec![col("A-A"), col("C-C")], 0);
+        let st = alignment_stats(&aln);
+        assert_eq!(st.pairwise_identity[0], 0.0);
+        assert_eq!(st.pairwise_identity[2], 0.0);
+        assert_eq!(st.pairwise_identity[1], 1.0);
+    }
+
+    #[test]
+    fn matches_full_match_columns_method() {
+        let aln = Alignment3::new(vec![col("AAA"), col("AC-"), col("GGG")], 0);
+        assert_eq!(
+            alignment_stats(&aln).full_match_columns,
+            aln.full_match_columns()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Plane-parallel wavefront DP — the paper's parallel algorithm ("PAR-WF").
+//!
+//! All cells of the anti-diagonal plane `d = i + j + k` are independent
+//! given planes `d−1..d−3`, so each plane is a rayon parallel iteration and
+//! the implicit join between planes is the only synchronization. The full
+//! lattice is materialized (into a [`SharedGrid`]) so the standard
+//! traceback recovers an optimal alignment afterwards; scores are
+//! *bit-identical* to the sequential fill because the recurrence is a pure
+//! max over the same inputs.
+
+use crate::alignment::Alignment3;
+use crate::dp::{Kernel, NEG_INF};
+use crate::full::{traceback, Lattice};
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+use tsa_wavefront::executor::run_cells_wavefront;
+use tsa_wavefront::plane::Extents;
+use tsa_wavefront::SharedGrid;
+
+/// Fill the full lattice with plane-parallel execution.
+pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let e = Extents::new(n1, n2, n3);
+    let grid: SharedGrid<i32> = SharedGrid::new(e.cells(), NEG_INF);
+
+    // SAFETY: each plane cell is written by exactly one kernel invocation
+    // (plane cells are distinct lattice cells); all reads target cells on
+    // planes d−1..d−3, completed before this plane starts (the executor
+    // joins between planes).
+    run_cells_wavefront(e, |i, j, k| {
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe { grid.get(e.index(pi, pj, pk)) });
+        unsafe { grid.set(e.index(i, j, k), v) };
+    });
+
+    Lattice {
+        scores: grid.into_vec(),
+        extents: e,
+    }
+}
+
+/// Optimal three-sequence alignment via the parallel wavefront fill.
+pub fn align(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Alignment3 {
+    let lat = fill(a, b, c, scoring);
+    traceback(&lat, a, b, c, scoring)
+}
+
+/// Parallel-fill optimal score.
+pub fn align_score(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
+    fill(a, b, c, scoring).final_score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full;
+    use crate::test_util::{family_triple, random_triple};
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn lattice_is_bit_identical_to_sequential() {
+        for seed in 0..10 {
+            let (a, b, c) = random_triple(seed, 14);
+            let seq_lat = full::fill(&a, &b, &c, &s());
+            let par_lat = fill(&a, &b, &c, &s());
+            assert_eq!(seq_lat.scores, par_lat.scores, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alignments_match_sequential_exactly() {
+        for seed in 0..8 {
+            let (a, b, c) = random_triple(seed + 30, 14);
+            let par = align(&a, &b, &c, &s());
+            let seq = full::align(&a, &b, &c, &s());
+            assert_eq!(par, seq, "seed {seed}");
+            par.validate_scored(&a, &b, &c, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn family_workload_matches() {
+        let (a, b, c) = family_triple(99, 32);
+        assert_eq!(
+            align_score(&a, &b, &c, &s()),
+            full::align_score(&a, &b, &c, &s())
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let e = Seq::dna("").unwrap();
+        let a = Seq::dna("ACGT").unwrap();
+        assert_eq!(align_score(&e, &e, &e, &s()), 0);
+        assert_eq!(
+            align_score(&a, &e, &e, &s()),
+            full::align_score(&a, &e, &e, &s())
+        );
+        assert_eq!(
+            align_score(&a, &a, &e, &s()),
+            full::align_score(&a, &a, &e, &s())
+        );
+    }
+
+    #[test]
+    fn large_enough_to_parallelize_matches() {
+        // Middle planes of a 40³ lattice have ~hundreds of cells, beyond
+        // the executor's sequential threshold.
+        let (a, b, c) = family_triple(5, 40);
+        assert_eq!(
+            align_score(&a, &b, &c, &s()),
+            full::align_score(&a, &b, &c, &s())
+        );
+    }
+
+    #[test]
+    fn works_inside_small_thread_pool() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            let (a, b, c) = family_triple(11, 24);
+            let par = align(&a, &b, &c, &s());
+            par.validate_scored(&a, &b, &c, &s()).unwrap();
+            assert_eq!(par.score, full::align_score(&a, &b, &c, &s()));
+        });
+    }
+}

@@ -1,0 +1,141 @@
+//! Pairwise distance estimation for guide-tree construction.
+//!
+//! Distance = `1 − fractional identity` of the optimal pairwise (linear
+//! space) alignment: cheap, symmetric, zero for identical sequences, and
+//! entirely adequate for ordering merges.
+
+use tsa_pairwise::hirschberg;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// A symmetric `k×k` distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    vals: Vec<f64>,
+    k: usize,
+}
+
+impl DistanceMatrix {
+    /// Distances from optimal pairwise alignments of every pair.
+    pub fn from_alignments(seqs: &[Seq], scoring: &Scoring) -> Self {
+        let k = seqs.len();
+        let mut m = DistanceMatrix {
+            vals: vec![0.0; k * k],
+            k,
+        };
+        for i in 0..k {
+            for j in i + 1..k {
+                let d = alignment_distance(&seqs[i], &seqs[j], scoring);
+                m.set(i, j, d);
+            }
+        }
+        m
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// True when the matrix is over zero sequences.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Distance between `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.vals[i * self.k + j]
+    }
+
+    /// Set (symmetrically).
+    pub fn set(&mut self, i: usize, j: usize, d: f64) {
+        self.vals[i * self.k + j] = d;
+        self.vals[j * self.k + i] = d;
+    }
+}
+
+/// `1 − identity` over the aligned columns of an optimal pairwise
+/// alignment (gap columns count as differences).
+pub fn alignment_distance(a: &Seq, b: &Seq, scoring: &Scoring) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let aln = hirschberg::align(a, b, scoring);
+    if aln.is_empty() {
+        return 0.0;
+    }
+    let same = aln
+        .row_a
+        .iter()
+        .zip(&aln.row_b)
+        .filter(|(x, y)| matches!((x, y), (Some(p), Some(q)) if p == q))
+        .count();
+    1.0 - same as f64 / aln.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = Seq::dna("ACGTACGT").unwrap();
+        assert_eq!(alignment_distance(&a, &a, &s()), 0.0);
+    }
+
+    #[test]
+    fn unrelated_sequences_have_large_distance() {
+        let a = Seq::dna("AAAAAAAA").unwrap();
+        let b = Seq::dna("CCCCCCCC").unwrap();
+        assert!(alignment_distance(&a, &b, &s()) > 0.8);
+    }
+
+    #[test]
+    fn distance_is_bounded_and_symmetric() {
+        let seqs = [
+            Seq::dna("ACGTACGT").unwrap(),
+            Seq::dna("ACGTTCGT").unwrap(),
+            Seq::dna("TTTT").unwrap(),
+        ];
+        for a in &seqs {
+            for b in &seqs {
+                let d = alignment_distance(a, b, &s());
+                assert!((0.0..=1.0).contains(&d));
+                assert!((d - alignment_distance(b, a, &s())).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_fills_symmetrically() {
+        let seqs = vec![
+            Seq::dna("ACGT").unwrap(),
+            Seq::dna("ACGA").unwrap(),
+            Seq::dna("TTTT").unwrap(),
+        ];
+        let m = DistanceMatrix::from_alignments(&seqs, &s());
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        // The similar pair is closer than either is to the unrelated one.
+        assert!(m.get(0, 1) < m.get(0, 2));
+        assert!(m.get(0, 1) < m.get(1, 2));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Seq::dna("").unwrap();
+        let a = Seq::dna("ACG").unwrap();
+        assert_eq!(alignment_distance(&e, &e, &s()), 0.0);
+        // All-gap alignment: zero identical columns.
+        assert_eq!(alignment_distance(&e, &a, &s()), 1.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! UPGMA guide-tree construction.
+//!
+//! Repeatedly merge the two closest clusters; the inter-cluster distance
+//! is the size-weighted average of member distances (the UPGMA update).
+//! Ties break toward the lexicographically smallest index pair, so the
+//! tree — and therefore the whole progressive alignment — is
+//! deterministic.
+
+use crate::distance::DistanceMatrix;
+
+/// A rooted binary guide tree over sequence indices `0..k`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuideTree {
+    /// An input sequence.
+    Leaf(usize),
+    /// A merge of two subtrees (left merged first historically).
+    Node(Box<GuideTree>, Box<GuideTree>),
+}
+
+impl GuideTree {
+    /// All leaf indices, left to right.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            GuideTree::Leaf(i) => out.push(*i),
+            GuideTree::Node(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        match self {
+            GuideTree::Leaf(_) => 1,
+            GuideTree::Node(l, r) => l.len() + r.len(),
+        }
+    }
+
+    /// Always false — a tree has at least one leaf.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Build the UPGMA tree for a distance matrix with ≥ 1 entries.
+///
+/// # Panics
+/// Panics on an empty matrix.
+pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
+    let k = dist.len();
+    assert!(k > 0, "cannot build a guide tree over zero sequences");
+    // Active clusters: (tree, member count); distances kept in a mutable
+    // working matrix indexed by cluster slot.
+    let mut clusters: Vec<Option<(GuideTree, usize)>> =
+        (0..k).map(|i| Some((GuideTree::Leaf(i), 1))).collect();
+    let mut d = vec![0.0f64; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            d[i * k + j] = dist.get(i, j);
+        }
+    }
+    for _ in 1..k {
+        // Find the closest active pair (smallest distance, ties by index).
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..k {
+            if clusters[i].is_none() {
+                continue;
+            }
+            for j in i + 1..k {
+                if clusters[j].is_none() {
+                    continue;
+                }
+                let dij = d[i * k + j];
+                if best.is_none_or(|(_, _, bd)| dij < bd) {
+                    best = Some((i, j, dij));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("at least two active clusters");
+        let (ti, ni) = clusters[i].take().expect("active");
+        let (tj, nj) = clusters[j].take().expect("active");
+        // UPGMA distance update into slot i.
+        for m in 0..k {
+            if m != i && clusters[m].is_some() {
+                let dm = (d[i * k + m] * ni as f64 + d[j * k + m] * nj as f64)
+                    / (ni + nj) as f64;
+                d[i * k + m] = dm;
+                d[m * k + i] = dm;
+            }
+        }
+        clusters[i] = Some((GuideTree::Node(Box::new(ti), Box::new(tj)), ni + nj));
+    }
+    clusters
+        .into_iter()
+        .flatten()
+        .map(|(t, _)| t)
+        .next()
+        .expect("exactly one cluster remains")
+}
+
+/// Build a neighbor-joining tree (Saitou–Nei) for a distance matrix with
+/// ≥ 1 entries. NJ does not assume a molecular clock, so it recovers the
+/// right topology on rate-heterogeneous families where UPGMA can be
+/// misled; the final unrooted join is rooted arbitrarily at the last
+/// merge, which is all progressive alignment needs.
+///
+/// # Panics
+/// Panics on an empty matrix.
+pub fn neighbor_joining(dist: &DistanceMatrix) -> GuideTree {
+    let k = dist.len();
+    assert!(k > 0, "cannot build a guide tree over zero sequences");
+    let mut clusters: Vec<Option<GuideTree>> = (0..k).map(|i| Some(GuideTree::Leaf(i))).collect();
+    let mut d = vec![0.0f64; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            d[i * k + j] = dist.get(i, j);
+        }
+    }
+    let mut active = k;
+    while active > 2 {
+        // Row sums over active clusters.
+        let row_sum = |i: usize, cl: &[Option<GuideTree>], d: &[f64]| -> f64 {
+            (0..k)
+                .filter(|&m| m != i && cl[m].is_some())
+                .map(|m| d[i * k + m])
+                .sum()
+        };
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..k {
+            if clusters[i].is_none() {
+                continue;
+            }
+            let ri = row_sum(i, &clusters, &d);
+            for j in i + 1..k {
+                if clusters[j].is_none() {
+                    continue;
+                }
+                let q = (active as f64 - 2.0) * d[i * k + j] - ri - row_sum(j, &clusters, &d);
+                if best.is_none_or(|(_, _, bq)| q < bq) {
+                    best = Some((i, j, q));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("at least three active clusters");
+        let ti = clusters[i].take().expect("active");
+        let tj = clusters[j].take().expect("active");
+        let dij = d[i * k + j];
+        for m in 0..k {
+            if m != i && clusters[m].is_some() {
+                let dm = 0.5 * (d[i * k + m] + d[j * k + m] - dij);
+                d[i * k + m] = dm;
+                d[m * k + i] = dm;
+            }
+        }
+        clusters[i] = Some(GuideTree::Node(Box::new(ti), Box::new(tj)));
+        active -= 1;
+    }
+    // Join the final one or two clusters.
+    let mut rest = clusters.into_iter().flatten();
+    let first = rest.next().expect("at least one cluster");
+    match rest.next() {
+        Some(second) => GuideTree::Node(Box::new(first), Box::new(second)),
+        None => first,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(k: usize, entries: &[(usize, usize, f64)]) -> DistanceMatrix {
+        let mut m = fresh(k);
+        for &(i, j, d) in entries {
+            m.set(i, j, d);
+        }
+        m
+    }
+
+    fn fresh(k: usize) -> DistanceMatrix {
+        // Construct through the public API using k empty sequences (all
+        // distances zero), then overwrite.
+        let seqs: Vec<tsa_seq::Seq> = (0..k).map(|_| tsa_seq::Seq::dna("").unwrap()).collect();
+        DistanceMatrix::from_alignments(&seqs, &tsa_scoring::Scoring::dna_default())
+    }
+
+    #[test]
+    fn single_leaf() {
+        let t = upgma(&fresh(1));
+        assert_eq!(t, GuideTree::Leaf(0));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn two_leaves_merge() {
+        let t = upgma(&matrix(2, &[(0, 1, 0.5)]));
+        assert_eq!(t.leaves(), vec![0, 1]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn closest_pair_merges_first() {
+        // 0-1 close, 2 far: tree should be ((0,1),2).
+        let m = matrix(3, &[(0, 1, 0.1), (0, 2, 0.9), (1, 2, 0.9)]);
+        let t = upgma(&m);
+        assert_eq!(
+            t,
+            GuideTree::Node(
+                Box::new(GuideTree::Node(
+                    Box::new(GuideTree::Leaf(0)),
+                    Box::new(GuideTree::Leaf(1))
+                )),
+                Box::new(GuideTree::Leaf(2))
+            )
+        );
+    }
+
+    #[test]
+    fn four_leaves_two_clades() {
+        let m = matrix(
+            4,
+            &[
+                (0, 1, 0.1),
+                (2, 3, 0.1),
+                (0, 2, 0.8),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.8),
+            ],
+        );
+        let t = upgma(&m);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 4);
+        // The two clades stay intact: 0,1 adjacent and 2,3 adjacent.
+        let pos = |x: usize| leaves.iter().position(|&l| l == x).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(1)), 1);
+        assert_eq!(pos(2).abs_diff(pos(3)), 1);
+    }
+
+    #[test]
+    fn every_index_appears_once() {
+        let m = fresh(7);
+        let t = upgma(&m);
+        let mut leaves = t.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sequences")]
+    fn empty_matrix_panics() {
+        let _ = upgma(&fresh(0));
+    }
+
+    #[test]
+    fn nj_single_and_pair() {
+        assert_eq!(neighbor_joining(&fresh(1)), GuideTree::Leaf(0));
+        let t = neighbor_joining(&matrix(2, &[(0, 1, 0.4)]));
+        assert_eq!(t.leaves(), vec![0, 1]);
+    }
+
+    #[test]
+    fn nj_covers_every_index_once() {
+        for k in [3usize, 5, 8] {
+            let t = neighbor_joining(&fresh(k));
+            let mut leaves = t.leaves();
+            leaves.sort_unstable();
+            assert_eq!(leaves, (0..k).collect::<Vec<_>>(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn nj_keeps_clades_together() {
+        let m = matrix(
+            4,
+            &[
+                (0, 1, 0.1),
+                (2, 3, 0.1),
+                (0, 2, 0.9),
+                (0, 3, 0.9),
+                (1, 2, 0.9),
+                (1, 3, 0.9),
+            ],
+        );
+        let t = neighbor_joining(&m);
+        let leaves = t.leaves();
+        let pos = |x: usize| leaves.iter().position(|&l| l == x).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(1)), 1, "{leaves:?}");
+        assert_eq!(pos(2).abs_diff(pos(3)), 1, "{leaves:?}");
+    }
+
+    #[test]
+    fn nj_handles_rate_heterogeneity() {
+        // A classic UPGMA failure shape: leaf 1 evolves fast. True
+        // topology groups (0,1) vs (2,3); distances: d(0,1) moderate but
+        // d(1, anything) inflated. NJ's Q-correction compensates.
+        let m = matrix(
+            4,
+            &[
+                (0, 1, 0.5),
+                (0, 2, 0.4),
+                (0, 3, 0.45),
+                (1, 2, 0.85),
+                (1, 3, 0.9),
+                (2, 3, 0.2),
+            ],
+        );
+        let t = neighbor_joining(&m);
+        let leaves = t.leaves();
+        let pos = |x: usize| leaves.iter().position(|&l| l == x).unwrap();
+        // NJ must keep the (2,3) clade adjacent despite leaf 1's noise.
+        assert_eq!(pos(2).abs_diff(pos(3)), 1, "{leaves:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sequences")]
+    fn nj_empty_matrix_panics() {
+        let _ = neighbor_joining(&fresh(0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Progressive multiple alignment of `k` sequences — the natural
+//! extension of the three-sequence aligner, built from the same
+//! substrate.
+//!
+//! Exact sum-of-pairs alignment is `O(nᵏ)` and NP-hard for unbounded `k`,
+//! so beyond three sequences the standard approach is *progressive*
+//! alignment:
+//!
+//! 1. estimate pairwise distances from optimal pairwise alignments
+//!    ([`distance`]);
+//! 2. build a guide tree by UPGMA ([`guide_tree`]);
+//! 3. align up the tree, merging groups with an exact **profile–profile**
+//!    DP that maximizes the *cross-group* sum-of-pairs contribution
+//!    ([`profile`], [`progressive`]).
+//!
+//! For exactly three inputs the exact `tsa-core` aligner is available
+//! through the same entry point (`MsaBuilder::exact_triples`), letting
+//! callers quantify how much the progressive heuristic loses — the same
+//! comparison the center-star experiment makes, one level up.
+//!
+//! ```
+//! use tsa_msa::MsaBuilder;
+//! use tsa_seq::Seq;
+//!
+//! let seqs = vec![
+//!     Seq::dna("GATTACA").unwrap(),
+//!     Seq::dna("GATACA").unwrap(),
+//!     Seq::dna("GTTACA").unwrap(),
+//!     Seq::dna("GATTACA").unwrap(),
+//! ];
+//! let msa = MsaBuilder::new().align(&seqs).unwrap();
+//! assert_eq!(msa.rows.len(), 4);
+//! msa.validate(&seqs).unwrap();
+//! ```
+
+pub mod distance;
+pub mod guide_tree;
+pub mod msa;
+pub mod profile;
+pub mod progressive;
+pub mod refine;
+
+pub use msa::{GuideMethod, Msa, MsaBuilder, MsaError};

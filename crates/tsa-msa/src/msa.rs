@@ -1,0 +1,331 @@
+//! The top-level multiple-alignment API.
+
+use crate::distance::DistanceMatrix;
+use crate::guide_tree::{neighbor_joining, upgma};
+use crate::progressive::align_tree;
+use std::fmt;
+use tsa_core::{Algorithm, Aligner};
+use tsa_scoring::{sp, Scoring};
+use tsa_seq::Seq;
+
+/// A multiple alignment: one gapped row per input sequence, **in input
+/// order**, plus its sum-of-pairs score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msa {
+    /// Row `i` aligns input sequence `i`.
+    pub rows: Vec<Vec<Option<u8>>>,
+    /// Sum of `projected_pair_score` over all row pairs.
+    pub sp_score: i64,
+}
+
+/// Errors from [`MsaBuilder::align`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsaError {
+    /// No input sequences.
+    Empty,
+    /// The scoring's gap model is affine (progressive profiles need
+    /// linear gaps).
+    AffineGapsUnsupported,
+    /// A row failed to de-gap back to its input (internal invariant).
+    Corrupt(usize),
+}
+
+impl fmt::Display for MsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsaError::Empty => write!(f, "need at least one sequence"),
+            MsaError::AffineGapsUnsupported => {
+                write!(f, "progressive MSA requires a linear gap model")
+            }
+            MsaError::Corrupt(i) => write!(f, "internal error: row {i} corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for MsaError {}
+
+impl Msa {
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Recompute the SP score of the rows.
+    pub fn rescore(&self, scoring: &Scoring) -> i64 {
+        let mut total = 0i64;
+        for (i, x) in self.rows.iter().enumerate() {
+            for y in &self.rows[i + 1..] {
+                total += sp::projected_pair_score(scoring, x, y) as i64;
+            }
+        }
+        total
+    }
+
+    /// Check every row de-gaps to its input and no column is all-gap.
+    pub fn validate(&self, seqs: &[Seq]) -> Result<(), MsaError> {
+        if self.rows.len() != seqs.len() {
+            return Err(MsaError::Corrupt(usize::MAX));
+        }
+        for (i, (row, seq)) in self.rows.iter().zip(seqs).enumerate() {
+            let degapped: Vec<u8> = row.iter().flatten().copied().collect();
+            if degapped != seq.residues() {
+                return Err(MsaError::Corrupt(i));
+            }
+        }
+        for c in 0..self.len() {
+            if self.rows.iter().all(|r| r[c].is_none()) {
+                return Err(MsaError::Corrupt(usize::MAX));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render rows as gapped text, one per line.
+    pub fn pretty(&self) -> String {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|r| r.map(char::from).unwrap_or('-'))
+                    .collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// How the guide tree is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuideMethod {
+    /// UPGMA (assumes clock-like divergence; the classic default).
+    #[default]
+    Upgma,
+    /// Neighbor joining (robust to rate heterogeneity).
+    NeighborJoining,
+}
+
+/// Builder for multiple alignments.
+#[derive(Debug, Clone)]
+pub struct MsaBuilder {
+    scoring: Scoring,
+    exact_triples: bool,
+    guide: GuideMethod,
+}
+
+impl Default for MsaBuilder {
+    fn default() -> Self {
+        MsaBuilder::new()
+    }
+}
+
+impl MsaBuilder {
+    /// DNA-default scoring, progressive for every input size.
+    pub fn new() -> Self {
+        MsaBuilder {
+            scoring: Scoring::dna_default(),
+            exact_triples: false,
+            guide: GuideMethod::Upgma,
+        }
+    }
+
+    /// Set the scoring scheme (linear gaps only).
+    pub fn scoring(mut self, scoring: Scoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Use the exact three-sequence DP when exactly 3 sequences are given
+    /// (guaranteed SP-optimal for that case).
+    pub fn exact_triples(mut self, yes: bool) -> Self {
+        self.exact_triples = yes;
+        self
+    }
+
+    /// Choose the guide-tree construction method.
+    pub fn guide(mut self, method: GuideMethod) -> Self {
+        self.guide = method;
+        self
+    }
+
+    /// Align `seqs`. One sequence yields itself; two an optimal pairwise
+    /// alignment; three (with [`MsaBuilder::exact_triples`]) the exact
+    /// optimum; otherwise progressive UPGMA alignment.
+    pub fn align(&self, seqs: &[Seq]) -> Result<Msa, MsaError> {
+        if seqs.is_empty() {
+            return Err(MsaError::Empty);
+        }
+        if self.scoring.gap.linear_penalty().is_none() {
+            return Err(MsaError::AffineGapsUnsupported);
+        }
+        if self.exact_triples && seqs.len() == 3 {
+            let aln = Aligner::new()
+                .scoring(self.scoring.clone())
+                .algorithm(Algorithm::ParallelHirschberg)
+                .align3(&seqs[0], &seqs[1], &seqs[2])
+                .expect("linear gaps and DC need no lattice budget");
+            let rows = aln.rows().to_vec();
+            let msa = Msa {
+                sp_score: rows_sp(&rows, &self.scoring),
+                rows,
+            };
+            msa.validate(seqs)?;
+            return Ok(msa);
+        }
+        let profile = if seqs.len() == 1 {
+            crate::profile::Profile::from_sequence(seqs[0].residues(), 0)
+        } else {
+            let dist = DistanceMatrix::from_alignments(seqs, &self.scoring);
+            let tree = match self.guide {
+                GuideMethod::Upgma => upgma(&dist),
+                GuideMethod::NeighborJoining => neighbor_joining(&dist),
+            };
+            align_tree(&tree, seqs, &self.scoring)
+        };
+        // Reorder rows back to input order.
+        let mut rows = vec![Vec::new(); seqs.len()];
+        for (row, &member) in profile.rows.iter().zip(&profile.members) {
+            rows[member] = row.clone();
+        }
+        let msa = Msa {
+            sp_score: rows_sp(&rows, &self.scoring),
+            rows,
+        };
+        msa.validate(seqs)?;
+        Ok(msa)
+    }
+}
+
+fn rows_sp(rows: &[Vec<Option<u8>>], scoring: &Scoring) -> i64 {
+    let mut total = 0i64;
+    for (i, x) in rows.iter().enumerate() {
+        for y in &rows[i + 1..] {
+            total += sp::projected_pair_score(scoring, x, y) as i64;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_seq::family::FamilyConfig;
+
+    fn seqs(texts: &[&str]) -> Vec<Seq> {
+        texts.iter().map(|t| Seq::dna(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(MsaBuilder::new().align(&[]), Err(MsaError::Empty));
+    }
+
+    #[test]
+    fn affine_gaps_are_rejected() {
+        let b = MsaBuilder::new()
+            .scoring(Scoring::dna_default().with_gap(tsa_scoring::GapModel::affine(-4, -1)));
+        assert_eq!(
+            b.align(&seqs(&["ACG"])),
+            Err(MsaError::AffineGapsUnsupported)
+        );
+    }
+
+    #[test]
+    fn single_sequence() {
+        let ss = seqs(&["ACGT"]);
+        let msa = MsaBuilder::new().align(&ss).unwrap();
+        assert_eq!(msa.rows.len(), 1);
+        assert_eq!(msa.len(), 4);
+        assert_eq!(msa.sp_score, 0);
+        msa.validate(&ss).unwrap();
+    }
+
+    #[test]
+    fn two_sequences_equal_pairwise_optimum() {
+        let ss = seqs(&["GATTACA", "GATACA"]);
+        let msa = MsaBuilder::new().align(&ss).unwrap();
+        msa.validate(&ss).unwrap();
+        let nw = tsa_pairwise::nw::align_score(&ss[0], &ss[1], &Scoring::dna_default());
+        assert_eq!(msa.sp_score, nw as i64);
+        assert_eq!(msa.rescore(&Scoring::dna_default()), msa.sp_score);
+    }
+
+    #[test]
+    fn progressive_triple_at_most_exact() {
+        let fam = FamilyConfig::new(24, 0.2, 0.05).generate(8);
+        let ss: Vec<Seq> = fam.members.to_vec();
+        let progressive = MsaBuilder::new().align(&ss).unwrap();
+        let exact = MsaBuilder::new().exact_triples(true).align(&ss).unwrap();
+        progressive.validate(&ss).unwrap();
+        exact.validate(&ss).unwrap();
+        assert!(progressive.sp_score <= exact.sp_score);
+        // Exact path equals the tsa-core optimum.
+        let opt = tsa_core::full::align_score(&ss[0], &ss[1], &ss[2], &Scoring::dna_default());
+        assert_eq!(exact.sp_score, opt as i64);
+    }
+
+    #[test]
+    fn five_way_family_alignment_is_valid() {
+        let fam = FamilyConfig::new(40, 0.1, 0.03).generate(3);
+        let mut ss: Vec<Seq> = fam.members.to_vec();
+        // Two extra descendants from the same ancestor.
+        let more = FamilyConfig::new(40, 0.1, 0.03).generate(4);
+        ss.push(more.members[0].clone());
+        ss.push(more.members[1].clone());
+        let msa = MsaBuilder::new().align(&ss).unwrap();
+        msa.validate(&ss).unwrap();
+        assert_eq!(msa.rows.len(), 5);
+        assert_eq!(msa.rescore(&Scoring::dna_default()), msa.sp_score);
+        // Rectangular rows.
+        assert!(msa.rows.iter().all(|r| r.len() == msa.len()));
+    }
+
+    #[test]
+    fn identical_inputs_have_no_gaps_and_max_score() {
+        let ss = seqs(&["ACGTACGT"; 4]);
+        let msa = MsaBuilder::new().align(&ss).unwrap();
+        msa.validate(&ss).unwrap();
+        assert!(msa.rows.iter().all(|r| r.iter().all(Option::is_some)));
+        // 6 pairs × 8 matches × 2.
+        assert_eq!(msa.sp_score, 6 * 16);
+    }
+
+    #[test]
+    fn nj_guide_produces_valid_alignments() {
+        let fam = FamilyConfig::new(36, 0.15, 0.04).generate(12);
+        let mut ss: Vec<Seq> = fam.members.to_vec();
+        ss.push(FamilyConfig::new(36, 0.15, 0.04).generate(13).members[0].clone());
+        let nj = MsaBuilder::new()
+            .guide(GuideMethod::NeighborJoining)
+            .align(&ss)
+            .unwrap();
+        nj.validate(&ss).unwrap();
+        let upgma_msa = MsaBuilder::new().align(&ss).unwrap();
+        // Both are feasible; scores may differ but stay in the same range.
+        assert!(nj.sp_score > upgma_msa.sp_score / 2);
+    }
+
+    #[test]
+    fn rows_come_back_in_input_order() {
+        // Craft inputs whose guide tree reorders the merges: identical
+        // pair (0, 2) and an outlier (1).
+        let ss = seqs(&["AAAAAAAA", "CCCCCCCC", "AAAAAAAA"]);
+        let msa = MsaBuilder::new().align(&ss).unwrap();
+        msa.validate(&ss).unwrap(); // validate() checks row order
+        assert_eq!(msa.rows[1].iter().flatten().count(), 8);
+    }
+
+    #[test]
+    fn pretty_is_rectangular() {
+        let ss = seqs(&["GATTACA", "GATACA", "GTTACA"]);
+        let msa = MsaBuilder::new().align(&ss).unwrap();
+        let pretty = msa.pretty();
+        let lines: Vec<&str> = pretty.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == msa.len()));
+    }
+}

@@ -1,0 +1,323 @@
+//! Alignment profiles and the exact profile–profile DP.
+//!
+//! A [`Profile`] is a group of already-aligned rows summarized per column
+//! as residue counts plus a gap count. Aligning two profiles with
+//! [`align_profiles`] maximizes the **cross-group** sum-of-pairs score —
+//! the total pairwise score between every sequence of one group and every
+//! sequence of the other (within-group contributions are fixed by the
+//! existing alignments and cannot change). Because the cross-group score
+//! decomposes per column pair, this is an ordinary 2D Needleman–Wunsch
+//! over columns, with integer weighted column–column scores.
+
+use tsa_scoring::{Scoring, NEG_INF};
+
+/// One profile column: residue counts plus the gap count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileColumn {
+    /// `(residue, count)` pairs, residues distinct.
+    pub residues: Vec<(u8, u32)>,
+    /// Number of member sequences gapped at this column.
+    pub gaps: u32,
+}
+
+impl ProfileColumn {
+    /// Count of non-gap entries.
+    pub fn residue_count(&self) -> u32 {
+        self.residues.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// A group of aligned rows, summarized by column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-column summaries.
+    pub columns: Vec<ProfileColumn>,
+    /// The member rows themselves (over `Option<u8>`), kept so merges can
+    /// emit full alignments.
+    pub rows: Vec<Vec<Option<u8>>>,
+    /// Input-set indices of the member rows (who is in this group).
+    pub members: Vec<usize>,
+}
+
+impl Profile {
+    /// A single-sequence profile.
+    pub fn from_sequence(residues: &[u8], member: usize) -> Self {
+        let rows = vec![residues.iter().map(|&r| Some(r)).collect::<Vec<_>>()];
+        Profile::from_rows(rows, vec![member])
+    }
+
+    /// Build from explicit rows (must be equal length).
+    pub fn from_rows(rows: Vec<Vec<Option<u8>>>, members: Vec<usize>) -> Self {
+        assert_eq!(rows.len(), members.len(), "one member id per row");
+        let len = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == len), "rows must be equal length");
+        let mut columns = Vec::with_capacity(len);
+        for c in 0..len {
+            let mut col = ProfileColumn {
+                residues: Vec::new(),
+                gaps: 0,
+            };
+            for row in &rows {
+                match row[c] {
+                    Some(r) => match col.residues.iter_mut().find(|(x, _)| *x == r) {
+                        Some((_, count)) => *count += 1,
+                        None => col.residues.push((r, 1)),
+                    },
+                    None => col.gaps += 1,
+                }
+            }
+            columns.push(col);
+        }
+        Profile {
+            columns,
+            rows,
+            members,
+        }
+    }
+
+    /// Number of member sequences.
+    pub fn size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the profile has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// Cross-group score of pairing column `x` with column `y`: every residue
+/// pair scores the matrix, residue–gap pairs pay the linear gap, gap–gap
+/// pairs are free.
+fn column_pair_score(x: &ProfileColumn, y: &ProfileColumn, scoring: &Scoring) -> i64 {
+    let g = scoring.gap_linear() as i64;
+    let mut s = 0i64;
+    for &(a, ca) in &x.residues {
+        for &(b, cb) in &y.residues {
+            s += ca as i64 * cb as i64 * scoring.sub(a, b) as i64;
+        }
+    }
+    s += x.residue_count() as i64 * y.gaps as i64 * g;
+    s += y.residue_count() as i64 * x.gaps as i64 * g;
+    s
+}
+
+/// Cross-group score of pairing column `x` against an all-gap column of a
+/// `size`-member group.
+fn column_gap_score(x: &ProfileColumn, size: usize, scoring: &Scoring) -> i64 {
+    x.residue_count() as i64 * size as i64 * scoring.gap_linear() as i64
+}
+
+/// The merged alignment of two profiles plus the cross-group score the DP
+/// achieved.
+pub struct ProfileMerge {
+    /// The merged profile (rows of `x` first, then rows of `y`).
+    pub profile: Profile,
+    /// Cross-group sum-of-pairs score (within-group scores excluded).
+    pub cross_score: i64,
+}
+
+/// Exact cross-group-optimal alignment of two profiles (linear gaps).
+pub fn align_profiles(x: &Profile, y: &Profile, scoring: &Scoring) -> ProfileMerge {
+    let (n, m) = (x.len(), y.len());
+    let w = m + 1;
+    let mut d = vec![NEG_INF as i64; (n + 1) * w];
+    d[0] = 0;
+    for j in 1..=m {
+        d[j] = d[j - 1] + column_gap_score(&y.columns[j - 1], x.size(), scoring);
+    }
+    for i in 1..=n {
+        let up_gap = column_gap_score(&x.columns[i - 1], y.size(), scoring);
+        d[i * w] = d[(i - 1) * w] + up_gap;
+        for j in 1..=m {
+            let diag = d[(i - 1) * w + j - 1]
+                + column_pair_score(&x.columns[i - 1], &y.columns[j - 1], scoring);
+            let up = d[(i - 1) * w + j] + up_gap;
+            let left =
+                d[i * w + j - 1] + column_gap_score(&y.columns[j - 1], x.size(), scoring);
+            d[i * w + j] = diag.max(up).max(left);
+        }
+    }
+
+    // Traceback, canonical diag > up > left.
+    let (mut i, mut j) = (n, m);
+    // Each step records (consume_x, consume_y).
+    let mut steps: Vec<(bool, bool)> = Vec::with_capacity(n + m);
+    while i > 0 || j > 0 {
+        let v = d[i * w + j];
+        if i > 0
+            && j > 0
+            && v == d[(i - 1) * w + j - 1]
+                + column_pair_score(&x.columns[i - 1], &y.columns[j - 1], scoring)
+        {
+            steps.push((true, true));
+            i -= 1;
+            j -= 1;
+        } else if i > 0
+            && v == d[(i - 1) * w + j] + column_gap_score(&x.columns[i - 1], y.size(), scoring)
+        {
+            steps.push((true, false));
+            i -= 1;
+        } else {
+            debug_assert!(j > 0, "broken profile traceback");
+            steps.push((false, true));
+            j -= 1;
+        }
+    }
+    steps.reverse();
+
+    // Materialize merged rows.
+    let total_cols = steps.len();
+    let mut rows: Vec<Vec<Option<u8>>> =
+        vec![Vec::with_capacity(total_cols); x.size() + y.size()];
+    let (mut xi, mut yi) = (0usize, 0usize);
+    for (cx, cy) in steps {
+        for (r, row) in x.rows.iter().enumerate() {
+            rows[r].push(if cx { row[xi] } else { None });
+        }
+        for (r, row) in y.rows.iter().enumerate() {
+            rows[x.size() + r].push(if cy { row[yi] } else { None });
+        }
+        xi += usize::from(cx);
+        yi += usize::from(cy);
+    }
+    let mut members = x.members.clone();
+    members.extend_from_slice(&y.members);
+    ProfileMerge {
+        profile: Profile::from_rows(rows, members),
+        cross_score: d[n * w + m],
+    }
+}
+
+/// Total cross-group SP score of two row groups inside one merged
+/// alignment — the oracle [`align_profiles`] is tested against.
+pub fn cross_group_score(
+    rows_x: &[Vec<Option<u8>>],
+    rows_y: &[Vec<Option<u8>>],
+    scoring: &Scoring,
+) -> i64 {
+    let mut total = 0i64;
+    for x in rows_x {
+        for y in rows_y {
+            total += tsa_scoring::sp::projected_pair_score(scoring, x, y) as i64;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_seq::Seq;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    fn row(text: &str) -> Vec<Option<u8>> {
+        text.chars()
+            .map(|c| if c == '-' { None } else { Some(c as u8) })
+            .collect()
+    }
+
+    #[test]
+    fn single_sequence_profile() {
+        let p = Profile::from_sequence(b"ACGT", 0);
+        assert_eq!(p.size(), 1);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.columns[0].residues, vec![(b'A', 1)]);
+        assert_eq!(p.columns[0].gaps, 0);
+    }
+
+    #[test]
+    fn column_counts_aggregate() {
+        let p = Profile::from_rows(vec![row("AC-"), row("AG-"), row("-GT")], vec![0, 1, 2]);
+        assert_eq!(p.columns[0].residues, vec![(b'A', 2)]);
+        assert_eq!(p.columns[0].gaps, 1);
+        let col1 = &p.columns[1];
+        assert_eq!(col1.residue_count(), 3);
+        assert!(col1.residues.contains(&(b'G', 2)));
+        assert!(col1.residues.contains(&(b'C', 1)));
+        assert_eq!(p.columns[2].gaps, 2);
+    }
+
+    #[test]
+    fn two_singletons_reduce_to_pairwise_nw() {
+        let a = Seq::dna("GATTACA").unwrap();
+        let b = Seq::dna("GATACA").unwrap();
+        let pa = Profile::from_sequence(a.residues(), 0);
+        let pb = Profile::from_sequence(b.residues(), 1);
+        let merged = align_profiles(&pa, &pb, &s());
+        let nw = tsa_pairwise::nw::align_score(&a, &b, &s());
+        assert_eq!(merged.cross_score, nw as i64);
+        // And the reported score matches the merged rows' actual
+        // cross-group score.
+        assert_eq!(
+            merged.cross_score,
+            cross_group_score(&merged.profile.rows[..1], &merged.profile.rows[1..], &s())
+        );
+    }
+
+    #[test]
+    fn merge_preserves_member_rows_degapped() {
+        let px = Profile::from_rows(vec![row("AC-T"), row("ACGT")], vec![0, 1]);
+        let py = Profile::from_sequence(b"AT", 2);
+        let merged = align_profiles(&px, &py, &s());
+        let degap = |r: &Vec<Option<u8>>| -> Vec<u8> { r.iter().flatten().copied().collect() };
+        assert_eq!(degap(&merged.profile.rows[0]), b"ACT");
+        assert_eq!(degap(&merged.profile.rows[1]), b"ACGT");
+        assert_eq!(degap(&merged.profile.rows[2]), b"AT");
+        assert_eq!(merged.profile.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reported_cross_score_matches_rescoring() {
+        let px = Profile::from_rows(vec![row("GAT-ACA"), row("GATTACA")], vec![0, 1]);
+        let py = Profile::from_rows(vec![row("G-TACA"), row("GTTACA")], vec![2, 3]);
+        let merged = align_profiles(&px, &py, &s());
+        let got = cross_group_score(
+            &merged.profile.rows[..2],
+            &merged.profile.rows[2..],
+            &s(),
+        );
+        assert_eq!(merged.cross_score, got);
+    }
+
+    #[test]
+    fn empty_profiles() {
+        let px = Profile::from_sequence(b"", 0);
+        let py = Profile::from_sequence(b"ACG", 1);
+        let merged = align_profiles(&px, &py, &s());
+        assert_eq!(merged.cross_score, -6);
+        assert_eq!(merged.profile.len(), 3);
+        let both_empty = align_profiles(
+            &Profile::from_sequence(b"", 0),
+            &Profile::from_sequence(b"", 1),
+            &s(),
+        );
+        assert_eq!(both_empty.cross_score, 0);
+        assert!(both_empty.profile.is_empty());
+    }
+
+    #[test]
+    fn column_pair_score_examples() {
+        // (2×A) vs (1×A, 1 gap): 2·1 matches (+4) + 2·1 gaps (−4) = 0.
+        let x = ProfileColumn {
+            residues: vec![(b'A', 2)],
+            gaps: 0,
+        };
+        let y = ProfileColumn {
+            residues: vec![(b'A', 1)],
+            gaps: 1,
+        };
+        assert_eq!(column_pair_score(&x, &y, &s()), 2 * 2 - 2 * 2);
+        // Gap column against (2 residues, 1 gap) group of size 3.
+        assert_eq!(column_gap_score(&x, 3, &s()), 2 * 3 * -2);
+    }
+}

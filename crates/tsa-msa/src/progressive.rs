@@ -1,0 +1,71 @@
+//! Progressive alignment up the guide tree.
+
+use crate::guide_tree::GuideTree;
+use crate::profile::{align_profiles, Profile};
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// Align the sequences along `tree`, returning the merged profile (rows in
+/// leaf order of the tree; `members` maps each row back to its input
+/// index).
+pub fn align_tree(tree: &GuideTree, seqs: &[Seq], scoring: &Scoring) -> Profile {
+    match tree {
+        GuideTree::Leaf(i) => Profile::from_sequence(seqs[*i].residues(), *i),
+        GuideTree::Node(l, r) => {
+            let pl = align_tree(l, seqs, scoring);
+            let pr = align_tree(r, seqs, scoring);
+            align_profiles(&pl, &pr, scoring).profile
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+    use crate::guide_tree::upgma;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    fn seqs(texts: &[&str]) -> Vec<Seq> {
+        texts.iter().map(|t| Seq::dna(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn leaf_is_the_sequence_itself() {
+        let ss = seqs(&["ACGT"]);
+        let p = align_tree(&GuideTree::Leaf(0), &ss, &s());
+        assert_eq!(p.size(), 1);
+        assert_eq!(p.members, vec![0]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn full_tree_aligns_all_members_once() {
+        let ss = seqs(&["GATTACA", "GATACA", "GTTACA", "GATTACA", "GATTAGA"]);
+        let tree = upgma(&DistanceMatrix::from_alignments(&ss, &s()));
+        let p = align_tree(&tree, &ss, &s());
+        assert_eq!(p.size(), 5);
+        let mut members = p.members.clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3, 4]);
+        // Every row de-gaps to its input.
+        for (row, &m) in p.rows.iter().zip(&p.members) {
+            let degapped: Vec<u8> = row.iter().flatten().copied().collect();
+            assert_eq!(degapped, ss[m].residues(), "member {m}");
+        }
+        // Rectangular.
+        assert!(p.rows.iter().all(|r| r.len() == p.len()));
+    }
+
+    #[test]
+    fn identical_inputs_align_without_gaps() {
+        let ss = seqs(&["ACGTACGT"; 4]);
+        let tree = upgma(&DistanceMatrix::from_alignments(&ss, &s()));
+        let p = align_tree(&tree, &ss, &s());
+        assert_eq!(p.len(), 8);
+        assert!(p.columns.iter().all(|c| c.gaps == 0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Iterative refinement: the classic post-pass over a progressive MSA.
+//!
+//! Progressive alignment freezes early merge decisions. Refinement
+//! revisits them: repeatedly *remove* one sequence from the alignment
+//! (collapsing columns left all-gap), re-align it against the profile of
+//! the remaining rows, and keep the result if the total SP score
+//! improved. Each accepted step increases SP, and candidate steps are
+//! bounded, so the loop terminates; the result is never worse than its
+//! input.
+
+use crate::msa::Msa;
+use crate::profile::{align_profiles, Profile};
+use tsa_scoring::Scoring;
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refinement {
+    /// The refined alignment (row order preserved).
+    pub msa: Msa,
+    /// SP score before refinement.
+    pub initial_score: i64,
+    /// Accepted improvement steps.
+    pub accepted: usize,
+    /// Full sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Remove row `idx` from the rows, dropping columns that become all-gap.
+/// Returns (remaining rows in order, the removed sequence's residues).
+fn remove_row(rows: &[Vec<Option<u8>>], idx: usize) -> (Vec<Vec<Option<u8>>>, Vec<u8>) {
+    let removed: Vec<u8> = rows[idx].iter().flatten().copied().collect();
+    let rest: Vec<&Vec<Option<u8>>> = rows
+        .iter()
+        .enumerate()
+        .filter_map(|(r, row)| (r != idx).then_some(row))
+        .collect();
+    let len = rows[idx].len();
+    let keep: Vec<usize> = (0..len)
+        .filter(|&c| rest.iter().any(|row| row[c].is_some()))
+        .collect();
+    let remaining = rest
+        .iter()
+        .map(|row| keep.iter().map(|&c| row[c]).collect())
+        .collect();
+    (remaining, removed)
+}
+
+/// One sweep: try re-placing every row once. Returns the number of
+/// accepted improvements.
+fn sweep(msa: &mut Msa, scoring: &Scoring) -> usize {
+    let k = msa.rows.len();
+    if k < 2 {
+        return 0;
+    }
+    let mut accepted = 0;
+    for idx in 0..k {
+        let current = msa.rescore(scoring);
+        let (remaining, removed) = remove_row(&msa.rows, idx);
+        // Profile of the others (member ids are positional here).
+        let members: Vec<usize> = (0..k - 1).collect();
+        let rest_profile = Profile::from_rows(remaining, members);
+        let single = Profile::from_sequence(&removed, k - 1);
+        let merged = align_profiles(&rest_profile, &single, scoring);
+        // Rebuild candidate rows in the original order.
+        let mut rows: Vec<Vec<Option<u8>>> = Vec::with_capacity(k);
+        let mut rest_iter = merged.profile.rows[..k - 1].iter();
+        for r in 0..k {
+            if r == idx {
+                rows.push(merged.profile.rows[k - 1].clone());
+            } else {
+                rows.push(rest_iter.next().expect("k-1 remaining rows").clone());
+            }
+        }
+        let candidate = Msa {
+            sp_score: 0,
+            rows,
+        };
+        let cand_score = candidate.rescore(scoring);
+        if cand_score > current {
+            *msa = Msa {
+                sp_score: cand_score,
+                rows: candidate.rows,
+            };
+            accepted += 1;
+        }
+    }
+    msa.sp_score = msa.rescore(scoring);
+    accepted
+}
+
+/// Refine `msa` with up to `max_sweeps` remove-and-realign sweeps,
+/// stopping early when a sweep accepts nothing.
+///
+/// ```
+/// use tsa_msa::{refine, MsaBuilder};
+/// use tsa_scoring::Scoring;
+/// use tsa_seq::Seq;
+///
+/// let seqs = vec![
+///     Seq::dna("GATTACA").unwrap(),
+///     Seq::dna("GATACA").unwrap(),
+///     Seq::dna("GTTACA").unwrap(),
+///     Seq::dna("GATTAGA").unwrap(),
+/// ];
+/// let msa = MsaBuilder::new().align(&seqs).unwrap();
+/// let refined = refine::refine(&msa, &Scoring::dna_default(), 3);
+/// assert!(refined.msa.sp_score >= refined.initial_score);
+/// ```
+pub fn refine(msa: &Msa, scoring: &Scoring, max_sweeps: usize) -> Refinement {
+    let initial_score = msa.rescore(scoring);
+    let mut out = Msa {
+        rows: msa.rows.clone(),
+        sp_score: initial_score,
+    };
+    let mut accepted = 0;
+    let mut sweeps = 0;
+    for _ in 0..max_sweeps {
+        sweeps += 1;
+        let n = sweep(&mut out, scoring);
+        accepted += n;
+        if n == 0 {
+            break;
+        }
+    }
+    Refinement {
+        msa: out,
+        initial_score,
+        accepted,
+        sweeps,
+    }
+}
+
+/// Convenience: refinement never hurts, so this returns the better of the
+/// input and the refined alignment (they are equal when nothing improved).
+pub fn refined_score_gain(msa: &Msa, scoring: &Scoring, max_sweeps: usize) -> i64 {
+    let r = refine(msa, scoring, max_sweeps);
+    r.msa.sp_score - r.initial_score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsaBuilder;
+    use tsa_seq::family::FamilyConfig;
+    use tsa_seq::Seq;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    fn family(k: usize, n: usize, rate: f64, seed: u64) -> Vec<Seq> {
+        let mut out = Vec::new();
+        let mut batch = 0;
+        while out.len() < k {
+            let fam = FamilyConfig::new(n, rate, 0.05).generate(seed + batch);
+            for m in fam.members {
+                if out.len() < k {
+                    out.push(m);
+                }
+            }
+            batch += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn refinement_never_decreases_score() {
+        for seed in 0..6 {
+            let seqs = family(5, 30, 0.25, 100 + seed);
+            let msa = MsaBuilder::new().align(&seqs).unwrap();
+            let r = refine(&msa, &s(), 4);
+            assert!(r.msa.sp_score >= r.initial_score, "seed {seed}");
+            r.msa.validate(&seqs).unwrap();
+        }
+    }
+
+    #[test]
+    fn refinement_is_idempotent_at_fixpoint() {
+        let seqs = family(4, 24, 0.2, 7);
+        let msa = MsaBuilder::new().align(&seqs).unwrap();
+        let once = refine(&msa, &s(), 10);
+        let twice = refine(&once.msa, &s(), 10);
+        assert_eq!(twice.accepted, 0);
+        assert_eq!(twice.msa.sp_score, once.msa.sp_score);
+    }
+
+    #[test]
+    fn perfect_alignment_is_untouched() {
+        let seqs: Vec<Seq> = vec![Seq::dna("ACGTACGT").unwrap(); 4];
+        let msa = MsaBuilder::new().align(&seqs).unwrap();
+        let r = refine(&msa, &s(), 3);
+        assert_eq!(r.accepted, 0);
+        assert_eq!(r.msa, msa);
+    }
+
+    #[test]
+    fn single_and_pair_inputs_are_noops() {
+        let one = MsaBuilder::new().align(&[Seq::dna("ACGT").unwrap()]).unwrap();
+        let r = refine(&one, &s(), 3);
+        assert_eq!(r.accepted, 0);
+        // A pairwise alignment is already optimal; a remove-and-realign
+        // step can at best re-derive it.
+        let two = MsaBuilder::new()
+            .align(&[Seq::dna("GATTACA").unwrap(), Seq::dna("GATACA").unwrap()])
+            .unwrap();
+        let r = refine(&two, &s(), 3);
+        assert_eq!(r.msa.sp_score, two.sp_score);
+    }
+
+    #[test]
+    fn remove_row_collapses_all_gap_columns() {
+        let row = |t: &str| -> Vec<Option<u8>> {
+            t.chars().map(|c| (c != '-').then_some(c as u8)).collect()
+        };
+        let rows = vec![row("A-CT"), row("AG-T"), row("A--T")];
+        // Removing row 1 leaves column 2 (C from row 0) and drops nothing;
+        // removing row 0 leaves column 1 all-gap → collapsed.
+        let (rest, removed) = remove_row(&rows, 0);
+        assert_eq!(removed, b"ACT");
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].len(), 3, "{rest:?}");
+        let (rest, removed) = remove_row(&rows, 1);
+        assert_eq!(removed, b"AGT");
+        assert_eq!(rest[0].len(), 3);
+    }
+
+    #[test]
+    fn gain_helper_is_nonnegative() {
+        let seqs = family(5, 26, 0.3, 55);
+        let msa = MsaBuilder::new().align(&seqs).unwrap();
+        assert!(refined_score_gain(&msa, &s(), 3) >= 0);
+    }
+
+    #[test]
+    fn refinement_can_actually_improve_something() {
+        // Search a few seeds for a case where progressive alignment is
+        // improvable; the test asserts the mechanism works at least once
+        // across the batch (deterministic given the seeds).
+        let mut improved = 0;
+        for seed in 0..10 {
+            let seqs = family(5, 30, 0.35, 300 + seed);
+            let msa = MsaBuilder::new().align(&seqs).unwrap();
+            if refined_score_gain(&msa, &s(), 4) > 0 {
+                improved += 1;
+            }
+        }
+        assert!(improved > 0, "refinement never improved any of 10 workloads");
+    }
+}

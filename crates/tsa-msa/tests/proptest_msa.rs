@@ -1,0 +1,104 @@
+//! Property tests for the progressive MSA stack.
+
+use proptest::prelude::*;
+use tsa_msa::profile::{align_profiles, cross_group_score, Profile};
+use tsa_msa::MsaBuilder;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
+        .prop_map(|v| Seq::dna(v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn msa_is_valid_for_any_input_set(seqs in prop::collection::vec(dna(20), 1..6)) {
+        let msa = MsaBuilder::new().align(&seqs).unwrap();
+        prop_assert!(msa.validate(&seqs).is_ok());
+        prop_assert_eq!(msa.rescore(&Scoring::dna_default()), msa.sp_score);
+        prop_assert!(msa.rows.iter().all(|r| r.len() == msa.len()));
+    }
+
+    #[test]
+    fn two_sequence_msa_is_the_pairwise_optimum(a in dna(25), b in dna(25)) {
+        let s = Scoring::dna_default();
+        let msa = MsaBuilder::new().align(&[a.clone(), b.clone()]).unwrap();
+        prop_assert_eq!(
+            msa.sp_score,
+            tsa_pairwise::nw::align_score(&a, &b, &s) as i64
+        );
+    }
+
+    #[test]
+    fn progressive_never_beats_exact_on_triples(a in dna(10), b in dna(10), c in dna(10)) {
+        let seqs = [a.clone(), b.clone(), c.clone()];
+        let progressive = MsaBuilder::new().align(&seqs).unwrap();
+        let exact = MsaBuilder::new().exact_triples(true).align(&seqs).unwrap();
+        prop_assert!(progressive.sp_score <= exact.sp_score);
+        let opt = tsa_core::full::align_score(&a, &b, &c, &Scoring::dna_default());
+        prop_assert_eq!(exact.sp_score, opt as i64);
+    }
+
+    #[test]
+    fn profile_merge_score_matches_rescoring(
+        xs in prop::collection::vec(dna(12), 1..4),
+        ys in prop::collection::vec(dna(12), 1..4),
+    ) {
+        let s = Scoring::dna_default();
+        // Build each side's profile by progressively merging its members
+        // (any consistent internal alignment will do for the invariant).
+        let build = |group: &[Seq], offset: usize| -> Profile {
+            let mut p = Profile::from_sequence(group[0].residues(), offset);
+            for (idx, seq) in group.iter().enumerate().skip(1) {
+                let q = Profile::from_sequence(seq.residues(), offset + idx);
+                p = align_profiles(&p, &q, &s).profile;
+            }
+            p
+        };
+        let px = build(&xs, 0);
+        let py = build(&ys, xs.len());
+        let merged = align_profiles(&px, &py, &s);
+        // The DP's reported cross score must equal the actual cross-group
+        // SP of the merged rows.
+        let got = cross_group_score(
+            &merged.profile.rows[..px.size()],
+            &merged.profile.rows[px.size()..],
+            &s,
+        );
+        prop_assert_eq!(merged.cross_score, got);
+    }
+
+    #[test]
+    fn merge_is_a_cross_group_maximum(
+        a in dna(8), b in dna(8), c in dna(8),
+    ) {
+        // Merging {a} into the pair-profile of {b, c} must produce a
+        // cross score at least as good as any single fixed alignment —
+        // compare against aligning a to b alone projected into the
+        // profile (a feasible but generally suboptimal choice).
+        let s = Scoring::dna_default();
+        let pa = Profile::from_sequence(a.residues(), 0);
+        let pb = Profile::from_sequence(b.residues(), 1);
+        let pc = Profile::from_sequence(c.residues(), 2);
+        let pbc = align_profiles(&pb, &pc, &s).profile;
+        let merged = align_profiles(&pa, &pbc, &s);
+        // Feasibility lower bound: NW(a,b) + NW(a,c) is an upper bound on
+        // cross score; center-star-ish lower bound: projected scores of
+        // the merged rows themselves (tautology) — instead check against
+        // the trivially feasible "all-gaps-then-rows" alignment.
+        let all_gap_cross: i64 = {
+            // a inserted entirely before the bc block.
+            let gap_cost = s.gap_linear() as i64;
+            let a_len = a.len() as i64;
+            let b_res = b.len() as i64;
+            let c_res = c.len() as i64;
+            // a's residues each pair with a gap in b and c rows; b's and
+            // c's residues each pair with a gap in a's row.
+            a_len * 2 * gap_cost + (b_res + c_res) * gap_cost
+        };
+        prop_assert!(merged.cross_score >= all_gap_cross);
+    }
+}

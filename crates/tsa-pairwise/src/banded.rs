@@ -1,0 +1,216 @@
+//! Banded Needleman–Wunsch.
+//!
+//! Restricts the DP to cells with `|i − j| ≤ w`. For sequences of similar
+//! length and high identity the optimal path stays near the main diagonal,
+//! so a narrow band finds the true optimum in `O(n·w)` time and space. The
+//! band must satisfy `w ≥ ||a| − |b||` or the end cell is unreachable.
+//!
+//! [`align_adaptive`] doubles the band until the score stops improving (or
+//! the band covers the whole matrix, at which point the result is exactly
+//! Needleman–Wunsch).
+
+use crate::PairAlignment;
+use tsa_scoring::{Scoring, NEG_INF};
+use tsa_seq::Seq;
+
+/// Banded alignment storage: row `i` keeps scores for `j ∈ [i−w, i+w]`.
+struct Band {
+    scores: Vec<i32>,
+    w: usize,
+    cols: usize,
+}
+
+impl Band {
+    fn new(rows: usize, cols: usize, w: usize) -> Self {
+        Band {
+            scores: vec![NEG_INF; (rows + 1) * (2 * w + 1)],
+            w,
+            cols,
+        }
+    }
+
+    #[inline(always)]
+    fn in_band(&self, i: usize, j: usize) -> bool {
+        let off = j as i64 - i as i64;
+        off.abs() <= self.w as i64 && j <= self.cols
+    }
+
+    #[inline(always)]
+    fn slot(&self, i: usize, j: usize) -> usize {
+        debug_assert!(self.in_band(i, j));
+        i * (2 * self.w + 1) + (j + self.w - i)
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize, j: usize) -> i32 {
+        if self.in_band(i, j) {
+            self.scores[self.slot(i, j)]
+        } else {
+            NEG_INF
+        }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, j: usize, v: i32) {
+        let s = self.slot(i, j);
+        self.scores[s] = v;
+    }
+}
+
+/// Banded global alignment with band half-width `w`.
+///
+/// Returns `None` when `w < ||a| − |b||` (the end cell lies outside the
+/// band). The returned alignment is the optimum *among paths inside the
+/// band*; it equals the global optimum whenever some optimal path fits.
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring, w: usize) -> Option<PairAlignment> {
+    let (n, m) = (a.len(), b.len());
+    if (n as i64 - m as i64).unsigned_abs() as usize > w {
+        return None;
+    }
+    let g = scoring.gap_linear();
+    let (ra, rb) = (a.residues(), b.residues());
+    let mut band = Band::new(n, m, w);
+    band.set(0, 0, 0);
+    for j in 1..=m.min(w) {
+        band.set(0, j, j as i32 * g);
+    }
+    for i in 1..=n {
+        let j_lo = i.saturating_sub(w);
+        let j_hi = (i + w).min(m);
+        let ai = ra[i - 1];
+        for j in j_lo..=j_hi {
+            let v = if j == 0 {
+                i as i32 * g
+            } else {
+                let diag = band.get(i - 1, j - 1) + scoring.sub(ai, rb[j - 1]);
+                let up = band.get(i - 1, j).saturating_add(g);
+                let left = band.get(i, j - 1).saturating_add(g);
+                diag.max(up).max(left)
+            };
+            band.set(i, j, v);
+        }
+    }
+    let score = band.get(n, m);
+    debug_assert!(score > NEG_INF / 2, "end cell unreachable inside band");
+
+    // Traceback inside the band (same tie order as full NW).
+    let (mut i, mut j) = (n, m);
+    let mut row_a = Vec::with_capacity(n + m);
+    let mut row_b = Vec::with_capacity(n + m);
+    while i > 0 || j > 0 {
+        let v = band.get(i, j);
+        if i > 0 && j > 0 && v == band.get(i - 1, j - 1) + scoring.sub(ra[i - 1], rb[j - 1]) {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(Some(rb[j - 1]));
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && band.in_band(i - 1, j) && v == band.get(i - 1, j) + g {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(None);
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && v == band.get(i, j - 1) + g, "broken banded traceback");
+            row_a.push(None);
+            row_b.push(Some(rb[j - 1]));
+            j -= 1;
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    Some(PairAlignment { row_a, row_b, score })
+}
+
+/// Adaptive banding: start at `w = max(8, ||a|−|b||)` and double until the
+/// score stops improving or the band covers the whole matrix. Covering the
+/// whole matrix makes the result exactly Needleman–Wunsch, so the final
+/// answer is always a valid global alignment; termination one step after
+/// the score stabilizes makes it the true optimum for all but adversarial
+/// inputs at a fraction of the cost.
+pub fn align_adaptive(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
+    let (n, m) = (a.len(), b.len());
+    let full_w = n.max(m);
+    let mut w = 8usize.max(n.abs_diff(m));
+    let mut best = align(a, b, scoring, w).expect("w >= length difference");
+    while w < full_w {
+        w = (w * 2).min(full_w);
+        let next = align(a, b, scoring, w).expect("w >= length difference");
+        let done = next.score == best.score;
+        best = next;
+        if done {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw;
+    use crate::test_util::random_pair;
+    use tsa_seq::family::FamilyConfig;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn full_width_band_equals_nw() {
+        for seed in 0..20 {
+            let (a, b) = random_pair(seed, 40);
+            let w = a.len().max(b.len());
+            let banded = align(&a, &b, &s(), w).unwrap();
+            assert_eq!(banded.score, nw::align_score(&a, &b, &s()), "seed {seed}");
+            banded.validate(&a, &b, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn too_narrow_band_returns_none() {
+        let a = Seq::dna("AAAAAAAA").unwrap();
+        let b = Seq::dna("AA").unwrap();
+        assert!(align(&a, &b, &s(), 3).is_none());
+        assert!(align(&a, &b, &s(), 6).is_some());
+    }
+
+    #[test]
+    fn similar_sequences_need_only_narrow_band() {
+        let fam = FamilyConfig::new(120, 0.05, 0.01).generate(5);
+        let (a, b, _) = fam.triple();
+        let banded = align(a, b, &s(), 16).unwrap();
+        assert_eq!(banded.score, nw::align_score(a, b, &s()));
+        banded.validate(a, b, &s()).unwrap();
+    }
+
+    #[test]
+    fn adaptive_matches_nw_on_randoms() {
+        for seed in 0..20 {
+            let (a, b) = random_pair(seed + 300, 60);
+            let adaptive = align_adaptive(&a, &b, &s());
+            assert_eq!(adaptive.score, nw::align_score(&a, &b, &s()), "seed {seed}");
+            adaptive.validate(&a, &b, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn adaptive_on_empty_and_tiny() {
+        let e = Seq::dna("").unwrap();
+        let b = Seq::dna("ACG").unwrap();
+        let al = align_adaptive(&e, &b, &s());
+        assert_eq!(al.score, -6);
+        al.validate(&e, &b, &s()).unwrap();
+        assert!(align_adaptive(&e, &e, &s()).is_empty());
+    }
+
+    #[test]
+    fn band_result_is_valid_even_when_suboptimal() {
+        // A band that is wide enough to reach the corner but too narrow for
+        // the optimum still yields a structurally valid alignment whose
+        // score is ≤ the optimum.
+        let a = Seq::dna("TTTTAAAACCCC").unwrap();
+        let b = Seq::dna("AAAACCCCGGGG").unwrap();
+        let banded = align(&a, &b, &s(), 2).unwrap();
+        banded.validate(&a, &b, &s()).unwrap();
+        assert!(banded.score <= nw::align_score(&a, &b, &s()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Fitting ("glocal") alignment: all of `a` against the best-matching
+//! window of `b`.
+//!
+//! Leading and trailing gaps of `b` are free — `a` must be consumed
+//! entirely, but it may land anywhere inside `b`. The classic use is
+//! placing a short fragment into a longer reference. Implementation:
+//! zero-cost first row, optimum at the best cell of the last row.
+
+use crate::PairAlignment;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// A fitting alignment: the aligned rows (covering all of `a`) plus the
+/// half-open window of `b` they span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FittingAlignment {
+    /// Rows over the matched region only (no free end gaps included).
+    pub alignment: PairAlignment,
+    /// `b[window.0 .. window.1]` is the region `a` was fitted into.
+    pub window: (usize, usize),
+}
+
+/// Fit all of `a` into the best window of `b`.
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> FittingAlignment {
+    let g = scoring.gap_linear();
+    let (ra, rb) = (a.residues(), b.residues());
+    let (n, m) = (ra.len(), rb.len());
+    let w = m + 1;
+    let mut d = vec![0i32; (n + 1) * w];
+    // First column: consuming a against nothing costs gaps; first row is
+    // free (leading gap in b's frame... i.e. skipping b prefix).
+    for i in 1..=n {
+        d[i * w] = i as i32 * g;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = d[(i - 1) * w + j - 1] + scoring.sub(ra[i - 1], rb[j - 1]);
+            let up = d[(i - 1) * w + j] + g;
+            let left = d[i * w + j - 1] + g;
+            d[i * w + j] = diag.max(up).max(left);
+        }
+    }
+    // Best end anywhere on the last row (free trailing skip of b).
+    let (mut bj, mut best) = (0usize, d[n * w]);
+    for j in 1..=m {
+        if d[n * w + j] > best {
+            best = d[n * w + j];
+            bj = j;
+        }
+    }
+    // Traceback from (n, bj) to row 0 (any column).
+    let (mut i, mut j) = (n, bj);
+    let mut row_a: Vec<Option<u8>> = Vec::new();
+    let mut row_b: Vec<Option<u8>> = Vec::new();
+    while i > 0 {
+        let v = d[i * w + j];
+        if j > 0 && v == d[(i - 1) * w + j - 1] + scoring.sub(ra[i - 1], rb[j - 1]) {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(Some(rb[j - 1]));
+            i -= 1;
+            j -= 1;
+        } else if v == d[(i - 1) * w + j] + g {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(None);
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && v == d[i * w + j - 1] + g, "broken fitting traceback");
+            row_a.push(None);
+            row_b.push(Some(rb[j - 1]));
+            j -= 1;
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    FittingAlignment {
+        alignment: PairAlignment {
+            row_a,
+            row_b,
+            score: best,
+        },
+        window: (j, bj),
+    }
+}
+
+/// Fitting alignment score only.
+pub fn align_score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    align(a, b, scoring).alignment.score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw;
+    use crate::test_util::random_pair;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn fragment_is_placed_at_its_origin() {
+        let b = Seq::dna("TTTTTTGATTACATTTTTT").unwrap();
+        let a = Seq::dna("GATTACA").unwrap();
+        let fit = align(&a, &b, &s());
+        assert_eq!(fit.alignment.score, 14);
+        assert_eq!(fit.window, (6, 13));
+        assert_eq!(
+            fit.alignment.row_b.iter().flatten().copied().collect::<Vec<u8>>(),
+            b"GATTACA"
+        );
+    }
+
+    #[test]
+    fn fitting_equals_best_window_global() {
+        // Oracle: max over all windows b[x..y] of NW(a, window).
+        for seed in 0..10 {
+            let (a, b) = {
+                let (x, y) = random_pair(seed + 70, 10);
+                (x.slice(0, x.len().min(5)), y)
+            };
+            let mut want = i32::MIN;
+            for x in 0..=b.len() {
+                for y in x..=b.len() {
+                    want = want.max(nw::align_score(&a, &b.slice(x, y), &s()));
+                }
+            }
+            assert_eq!(align_score(&a, &b, &s()), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fitting_at_least_global_and_at_most_local_plus_ends() {
+        for seed in 0..12 {
+            let (a, b) = random_pair(seed + 500, 25);
+            let fit = align_score(&a, &b, &s());
+            // Global pays for b's ends, fitting doesn't.
+            assert!(fit >= nw::align_score(&a, &b, &s()), "seed {seed}");
+            // Local is free on BOTH sequences' ends, so it dominates.
+            assert!(
+                crate::local::align_score(&a, &b, &s()) >= fit,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_cover_all_of_a_and_the_window_of_b() {
+        for seed in 0..10 {
+            let (a, b) = random_pair(seed + 650, 20);
+            let fit = align(&a, &b, &s());
+            let degap_a: Vec<u8> = fit.alignment.row_a.iter().flatten().copied().collect();
+            assert_eq!(degap_a, a.residues(), "seed {seed}");
+            let degap_b: Vec<u8> = fit.alignment.row_b.iter().flatten().copied().collect();
+            let (x, y) = fit.window;
+            assert_eq!(degap_b, b.residues()[x..y], "seed {seed}");
+            assert_eq!(
+                fit.alignment.rescore(&s()),
+                fit.alignment.score,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fragment_fits_anywhere_for_free() {
+        let e = Seq::dna("").unwrap();
+        let b = Seq::dna("ACGT").unwrap();
+        let fit = align(&e, &b, &s());
+        assert_eq!(fit.alignment.score, 0);
+        assert!(fit.alignment.is_empty());
+    }
+
+    #[test]
+    fn empty_reference_forces_all_gaps() {
+        let a = Seq::dna("ACG").unwrap();
+        let e = Seq::dna("").unwrap();
+        let fit = align(&a, &e, &s());
+        assert_eq!(fit.alignment.score, -6);
+        assert_eq!(fit.window, (0, 0));
+    }
+}

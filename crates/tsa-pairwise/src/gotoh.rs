@@ -1,0 +1,257 @@
+//! Gotoh's three-state algorithm: optimal pairwise alignment with affine
+//! gaps (`open + k·extend` per maximal gap run).
+//!
+//! Three lattices are maintained — `M` (residue–residue column), `X`
+//! (residue of `a` against a gap), `Y` (residue of `b` against a gap) —
+//! with gap opening charged on every transition *into* a gap state from a
+//! different state. This is the 2D rehearsal of the 3D quasi-natural
+//! affine aligner in `tsa-core::affine`.
+
+use crate::PairAlignment;
+use tsa_scoring::{Scoring, NEG_INF};
+use tsa_seq::Seq;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    M,
+    X,
+    Y,
+}
+
+struct Lattices {
+    m: Vec<i32>,
+    x: Vec<i32>,
+    y: Vec<i32>,
+    w: usize,
+}
+
+impl Lattices {
+    #[inline(always)]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.w + j
+    }
+}
+
+fn fill(a: &Seq, b: &Seq, scoring: &Scoring) -> Lattices {
+    let (n, m) = (a.len(), b.len());
+    let (open, ext) = (scoring.gap.open_penalty(), scoring.gap.extend_penalty());
+    let (ra, rb) = (a.residues(), b.residues());
+    let w = m + 1;
+    let mut l = Lattices {
+        m: vec![NEG_INF; (n + 1) * w],
+        x: vec![NEG_INF; (n + 1) * w],
+        y: vec![NEG_INF; (n + 1) * w],
+        w,
+    };
+    l.m[0] = 0;
+    for j in 1..=m {
+        l.y[j] = open + j as i32 * ext;
+    }
+    let idx = |i: usize, j: usize| i * w + j;
+    for i in 1..=n {
+        l.x[idx(i, 0)] = open + i as i32 * ext;
+    }
+    for i in 1..=n {
+        let ai = ra[i - 1];
+        for j in 1..=m {
+            let here = idx(i, j);
+            let diag = idx(i - 1, j - 1);
+            let up = idx(i - 1, j);
+            let left = idx(i, j - 1);
+            l.m[here] =
+                scoring.sub(ai, rb[j - 1]) + l.m[diag].max(l.x[diag]).max(l.y[diag]);
+            l.x[here] = (l.m[up] + open + ext)
+                .max(l.x[up] + ext)
+                .max(l.y[up] + open + ext);
+            l.y[here] = (l.m[left] + open + ext)
+                .max(l.y[left] + ext)
+                .max(l.x[left] + open + ext);
+        }
+    }
+    l
+}
+
+/// Optimal affine-gap global alignment of `a` and `b`.
+///
+/// Works for linear gap models too (treated as `open = 0`), in which case
+/// the score equals plain Needleman–Wunsch.
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
+    let l = fill(a, b, scoring);
+    let (n, m) = (a.len(), b.len());
+    let (open, ext) = (scoring.gap.open_penalty(), scoring.gap.extend_penalty());
+    let (ra, rb) = (a.residues(), b.residues());
+
+    let end = l.idx(n, m);
+    let score = l.m[end].max(l.x[end]).max(l.y[end]);
+    let mut state = if score == l.m[end] {
+        State::M
+    } else if score == l.x[end] {
+        State::X
+    } else {
+        State::Y
+    };
+
+    let (mut i, mut j) = (n, m);
+    let mut row_a: Vec<Option<u8>> = Vec::with_capacity(n + m);
+    let mut row_b: Vec<Option<u8>> = Vec::with_capacity(n + m);
+    while i > 0 || j > 0 {
+        match state {
+            State::M => {
+                debug_assert!(i > 0 && j > 0, "M state at boundary");
+                let v = l.m[l.idx(i, j)];
+                let diag = l.idx(i - 1, j - 1);
+                let s = scoring.sub(ra[i - 1], rb[j - 1]);
+                row_a.push(Some(ra[i - 1]));
+                row_b.push(Some(rb[j - 1]));
+                state = if v == l.m[diag] + s {
+                    State::M
+                } else if v == l.x[diag] + s {
+                    State::X
+                } else {
+                    debug_assert_eq!(v, l.y[diag] + s, "broken M traceback");
+                    State::Y
+                };
+                i -= 1;
+                j -= 1;
+            }
+            State::X => {
+                debug_assert!(i > 0, "X state with i == 0");
+                let v = l.x[l.idx(i, j)];
+                let up = l.idx(i - 1, j);
+                row_a.push(Some(ra[i - 1]));
+                row_b.push(None);
+                state = if v == l.x[up] + ext {
+                    State::X
+                } else if v == l.m[up] + open + ext {
+                    State::M
+                } else {
+                    debug_assert_eq!(v, l.y[up] + open + ext, "broken X traceback");
+                    State::Y
+                };
+                i -= 1;
+            }
+            State::Y => {
+                debug_assert!(j > 0, "Y state with j == 0");
+                let v = l.y[l.idx(i, j)];
+                let left = l.idx(i, j - 1);
+                row_a.push(None);
+                row_b.push(Some(rb[j - 1]));
+                state = if v == l.y[left] + ext {
+                    State::Y
+                } else if v == l.m[left] + open + ext {
+                    State::M
+                } else {
+                    debug_assert_eq!(v, l.x[left] + open + ext, "broken Y traceback");
+                    State::X
+                };
+                j -= 1;
+            }
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    PairAlignment { row_a, row_b, score }
+}
+
+/// Affine alignment score only.
+pub fn align_score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    let l = fill(a, b, scoring);
+    let end = l.idx(a.len(), b.len());
+    l.m[end].max(l.x[end]).max(l.y[end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw;
+    use crate::test_util::random_pair;
+    use tsa_scoring::GapModel;
+
+    fn affine() -> Scoring {
+        Scoring::dna_default().with_gap(GapModel::affine(-4, -1))
+    }
+
+    #[test]
+    fn zero_open_equals_linear_nw() {
+        let zero_open = Scoring::dna_default().with_gap(GapModel::affine(0, -2));
+        let linear = Scoring::dna_default();
+        for seed in 0..25 {
+            let (a, b) = random_pair(seed, 40);
+            assert_eq!(
+                align_score(&a, &b, &zero_open),
+                nw::align_score(&a, &b, &linear),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn alignments_validate_and_rescore() {
+        let sc = affine();
+        for seed in 0..25 {
+            let (a, b) = random_pair(seed, 40);
+            let al = align(&a, &b, &sc);
+            al.validate(&a, &b, &sc)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn prefers_one_long_gap_over_two_short() {
+        // With expensive opens, the optimum groups gaps together.
+        let sc = Scoring::dna_default().with_gap(GapModel::affine(-10, -1));
+        let a = Seq::dna("AAAATTTTGGGG").unwrap();
+        let b = Seq::dna("AAAAGGGG").unwrap(); // TTTT deleted as one block
+        let al = align(&a, &b, &sc);
+        al.validate(&a, &b, &sc).unwrap();
+        // 8 matches (+16), one run of 4 gaps (−10 −4) = 2.
+        assert_eq!(al.score, 16 - 14);
+        // The gap columns must be contiguous.
+        let gap_cols: Vec<usize> = al
+            .row_b
+            .iter()
+            .enumerate()
+            .filter_map(|(c, r)| r.is_none().then_some(c))
+            .collect();
+        assert_eq!(gap_cols.len(), 4);
+        assert!(gap_cols.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let sc = affine();
+        let e = Seq::dna("").unwrap();
+        let b = Seq::dna("ACGT").unwrap();
+        assert_eq!(align_score(&e, &e, &sc), 0);
+        // One run of 4: open(-4) + 4*ext(-1) = -8.
+        assert_eq!(align_score(&e, &b, &sc), -8);
+        let al = align(&e, &b, &sc);
+        al.validate(&e, &b, &sc).unwrap();
+    }
+
+    #[test]
+    fn affine_score_never_exceeds_zero_open_score() {
+        // Opening penalties only remove score.
+        let zero_open = Scoring::dna_default().with_gap(GapModel::affine(0, -1));
+        let with_open = Scoring::dna_default().with_gap(GapModel::affine(-6, -1));
+        for seed in 0..15 {
+            let (a, b) = random_pair(seed + 100, 30);
+            assert!(align_score(&a, &b, &with_open) <= align_score(&a, &b, &zero_open));
+        }
+    }
+
+    #[test]
+    fn adjacent_insertion_deletion_is_allowed() {
+        // X↔Y transitions: a gap in `a` directly next to a gap in `b`.
+        // With a cheap open and a terrible mismatch, aligning X against Y
+        // as (X, -) + (-, Y) can beat the mismatch column.
+        let m = tsa_scoring::SubstMatrix::match_mismatch("harsh", 2, -100);
+        let sc = Scoring::new(m, GapModel::affine(-1, -1));
+        let a = Seq::dna("ACA").unwrap();
+        let b = Seq::dna("AGA").unwrap();
+        let al = align(&a, &b, &sc);
+        al.validate(&a, &b, &sc).unwrap();
+        // 2 matches + two gap runs (−2 each) = 0 > 4 − 100.
+        assert_eq!(al.score, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Hirschberg's divide-and-conquer alignment: full optimal traceback in
+//! linear space.
+//!
+//! Split the first sequence at its midpoint `i = n/2`. Any optimal path
+//! crosses the row `i` at some column `j`, and the crossing column is the
+//! argmax of `forward(a[..i], b[..j]) + backward(a[i..], b[j..])`. Recurse
+//! on the two halves; total work ≤ 2× the plain DP, space `O(n + m)`.
+//!
+//! This module is the 2D rehearsal of [the 3D version](`tsa_core` crate's
+//! `hirschberg3`), with the same base-case / combine structure.
+
+use crate::nw;
+use crate::score_only::{backward_last_row, forward_last_row};
+use crate::PairAlignment;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// Below this first-sequence length the recursion bottoms out into full
+/// Needleman–Wunsch (the matrix is tiny, so recursing further only adds
+/// overhead).
+const BASE_CASE_LEN: usize = 8;
+
+/// Optimal global alignment in linear space.
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
+    let mut row_a = Vec::with_capacity(a.len() + b.len());
+    let mut row_b = Vec::with_capacity(a.len() + b.len());
+    solve(a, b, scoring, &mut row_a, &mut row_b);
+    let score = tsa_scoring::sp::projected_pair_score(scoring, &row_a, &row_b);
+    PairAlignment { row_a, row_b, score }
+}
+
+fn solve(
+    a: &Seq,
+    b: &Seq,
+    scoring: &Scoring,
+    out_a: &mut Vec<Option<u8>>,
+    out_b: &mut Vec<Option<u8>>,
+) {
+    if a.len() <= BASE_CASE_LEN || b.is_empty() {
+        let base = nw::align(a, b, scoring);
+        out_a.extend(base.row_a);
+        out_b.extend(base.row_b);
+        return;
+    }
+    let mid = a.len() / 2;
+    let a_lo = a.slice(0, mid);
+    let a_hi = a.slice(mid, a.len());
+    let f = forward_last_row(&a_lo, b, scoring);
+    let r = backward_last_row(&a_hi, b, scoring);
+    let split = (0..=b.len())
+        .max_by_key(|&j| f[j] + r[j])
+        .expect("non-empty row");
+    solve(&a_lo, &b.slice(0, split), scoring, out_a, out_b);
+    solve(&a_hi, &b.slice(split, b.len()), scoring, out_a, out_b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_pair;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn matches_full_nw_score_on_randoms() {
+        for seed in 0..40 {
+            let (a, b) = random_pair(seed, 60);
+            let h = align(&a, &b, &s());
+            let full = nw::align_score(&a, &b, &s());
+            assert_eq!(h.score, full, "seed {seed}");
+            h.validate(&a, &b, &s()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = Seq::dna("").unwrap();
+        let b = Seq::dna("ACGT").unwrap();
+        let al = align(&e, &b, &s());
+        assert_eq!(al.score, -8);
+        al.validate(&e, &b, &s()).unwrap();
+        let al = align(&b, &e, &s());
+        assert_eq!(al.score, -8);
+        al.validate(&b, &e, &s()).unwrap();
+        assert!(align(&e, &e, &s()).is_empty());
+    }
+
+    #[test]
+    fn long_asymmetric_inputs() {
+        let (a, b) = random_pair(77, 200);
+        let h = align(&a, &b, &s());
+        assert_eq!(h.score, nw::align_score(&a, &b, &s()));
+        h.validate(&a, &b, &s()).unwrap();
+    }
+
+    #[test]
+    fn protein_inputs_with_blosum() {
+        let sc = Scoring::blosum62();
+        let a = Seq::protein("MKWVTFISLLLLFSSAYSRGVFRRDTHKSEIAHRFKDLGEEHFKGLVLIAFSQYLQQCPFDEHVK").unwrap();
+        let b = Seq::protein("MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQCPFEDHVK").unwrap();
+        let h = align(&a, &b, &sc);
+        assert_eq!(h.score, nw::align_score(&a, &b, &sc));
+        h.validate(&a, &b, &sc).unwrap();
+    }
+
+    #[test]
+    fn base_case_boundary_lengths() {
+        // Exercise lengths right at the recursion base case.
+        for la in 0..=(super::BASE_CASE_LEN + 2) {
+            let (a, b) = {
+                let (x, y) = random_pair(la as u64 + 500, 20);
+                (x.slice(0, la.min(x.len())), y)
+            };
+            let h = align(&a, &b, &s());
+            assert_eq!(h.score, nw::align_score(&a, &b, &s()), "la={la}");
+            h.validate(&a, &b, &s()).unwrap();
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Pairwise (two-sequence) global alignment.
+//!
+//! The two-sequence case is both a *substrate* of the three-sequence
+//! aligner (the center-star heuristic baseline and the projection bounds
+//! are built from pairwise optima) and the natural place to validate every
+//! technique in its simplest form:
+//!
+//! * [`nw`] — full-matrix Needleman–Wunsch with traceback;
+//! * [`score_only`] — two-row linear-space score computation, forward and
+//!   backward;
+//! * [`hirschberg`] — divide-and-conquer full alignment in linear space;
+//! * [`gotoh`] — affine-gap alignment (three-matrix Gotoh);
+//! * [`banded`] — banded NW for similar sequences;
+//! * [`local`] — Smith–Waterman local alignment;
+//! * [`fitting`] — glocal alignment (fit a fragment into a reference);
+//! * [`wavefront_par`] — anti-diagonal parallel NW (the 2D warm-up of the
+//!   paper's 3D algorithm).
+//!
+//! All algorithms maximize `Σ s(aᵢ, bⱼ)` plus gap contributions from the
+//! shared [`tsa_scoring::Scoring`].
+
+pub mod banded;
+pub mod fitting;
+pub mod gotoh;
+pub mod hirschberg;
+pub mod local;
+pub mod nw;
+pub mod pair_alignment;
+pub mod score_only;
+pub mod wavefront_par;
+
+pub use pair_alignment::PairAlignment;
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsa_seq::gen::random_seq;
+    use tsa_seq::{Alphabet, Seq};
+
+    /// Deterministic random DNA pair for cross-algorithm tests.
+    pub fn random_pair(seed: u64, max_len: usize) -> (Seq, Seq) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let la = rng.gen_range(0..=max_len);
+        let lb = rng.gen_range(0..=max_len);
+        (
+            random_seq(Alphabet::Dna, la, &mut rng),
+            random_seq(Alphabet::Dna, lb, &mut rng),
+        )
+    }
+}

@@ -1,0 +1,182 @@
+//! Local (Smith–Waterman) pairwise alignment.
+//!
+//! Finds the best-scoring pair of *sub*-sequences: the recurrence clamps
+//! every cell at 0 (an empty alignment is always available), the optimum
+//! is the lattice maximum, and traceback stops at the first zero cell.
+
+use crate::PairAlignment;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// A local alignment: the aligned rows plus the half-open residue ranges
+/// they cover in each input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalPairAlignment {
+    /// The aligned segment (rows cover only the matched region).
+    pub alignment: PairAlignment,
+    /// Residues `range_a.0 .. range_a.1` of `a` are covered.
+    pub range_a: (usize, usize),
+    /// Residues `range_b.0 .. range_b.1` of `b` are covered.
+    pub range_b: (usize, usize),
+}
+
+/// Best local alignment of `a` and `b` under linear gaps. An all-negative
+/// scoring landscape yields the empty alignment with score 0.
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> LocalPairAlignment {
+    let g = scoring.gap_linear();
+    let (ra, rb) = (a.residues(), b.residues());
+    let (n, m) = (ra.len(), rb.len());
+    let w = m + 1;
+    let mut d = vec![0i32; (n + 1) * w];
+    let (mut best, mut bi, mut bj) = (0i32, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = d[(i - 1) * w + j - 1] + scoring.sub(ra[i - 1], rb[j - 1]);
+            let up = d[(i - 1) * w + j] + g;
+            let left = d[i * w + j - 1] + g;
+            let v = diag.max(up).max(left).max(0);
+            d[i * w + j] = v;
+            if v > best {
+                best = v;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    // Traceback from the maximum until a zero cell.
+    let (mut i, mut j) = (bi, bj);
+    let mut row_a: Vec<Option<u8>> = Vec::new();
+    let mut row_b: Vec<Option<u8>> = Vec::new();
+    while i > 0 && j > 0 && d[i * w + j] > 0 {
+        let v = d[i * w + j];
+        if v == d[(i - 1) * w + j - 1] + scoring.sub(ra[i - 1], rb[j - 1]) {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(Some(rb[j - 1]));
+            i -= 1;
+            j -= 1;
+        } else if v == d[(i - 1) * w + j] + g {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(None);
+            i -= 1;
+        } else {
+            debug_assert_eq!(v, d[i * w + j - 1] + g, "broken local traceback");
+            row_a.push(None);
+            row_b.push(Some(rb[j - 1]));
+            j -= 1;
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    LocalPairAlignment {
+        alignment: PairAlignment {
+            row_a,
+            row_b,
+            score: best,
+        },
+        range_a: (i, bi),
+        range_b: (j, bj),
+    }
+}
+
+/// Local alignment score only.
+pub fn align_score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    align(a, b, scoring).alignment.score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw;
+    use crate::test_util::random_pair;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn finds_embedded_common_segment() {
+        let a = Seq::dna("TTTTGATTACATTTT").unwrap();
+        let b = Seq::dna("CCCCGATTACACCCC").unwrap();
+        let loc = align(&a, &b, &s());
+        assert_eq!(loc.alignment.score, 7 * 2);
+        assert_eq!(loc.range_a, (4, 11));
+        assert_eq!(loc.range_b, (4, 11));
+        assert_eq!(
+            loc.alignment.row_a.iter().flatten().copied().collect::<Vec<u8>>(),
+            b"GATTACA"
+        );
+    }
+
+    #[test]
+    fn disjoint_alphabets_give_empty_alignment() {
+        let a = Seq::dna("AAAA").unwrap();
+        let b = Seq::dna("CCCC").unwrap();
+        let loc = align(&a, &b, &s());
+        assert_eq!(loc.alignment.score, 0);
+        assert!(loc.alignment.is_empty());
+    }
+
+    #[test]
+    fn local_score_at_least_global() {
+        // The global optimum is one feasible "local" choice minus end
+        // penalties, so local ≥ global for any inputs.
+        for seed in 0..20 {
+            let (a, b) = random_pair(seed, 30);
+            assert!(
+                align_score(&a, &b, &s()) >= nw::align_score(&a, &b, &s()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_degap_to_the_input_slices() {
+        for seed in 0..15 {
+            let (a, b) = random_pair(seed + 60, 25);
+            let loc = align(&a, &b, &s());
+            let (sa, ea) = loc.range_a;
+            let (sb, eb) = loc.range_b;
+            let degap_a: Vec<u8> = loc.alignment.row_a.iter().flatten().copied().collect();
+            let degap_b: Vec<u8> = loc.alignment.row_b.iter().flatten().copied().collect();
+            assert_eq!(degap_a, a.residues()[sa..ea], "seed {seed}");
+            assert_eq!(degap_b, b.residues()[sb..eb], "seed {seed}");
+            // And the segment's score re-derives via projected rescoring.
+            assert_eq!(
+                loc.alignment.rescore(&s()),
+                loc.alignment.score,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_over_all_substrings() {
+        // Local optimum == max over all substring pairs of the global
+        // score (clamped at 0).
+        for seed in 0..8 {
+            let (a, b) = random_pair(seed + 400, 7);
+            let mut want = 0i32;
+            for sa in 0..=a.len() {
+                for ea in sa..=a.len() {
+                    for sb in 0..=b.len() {
+                        for eb in sb..=b.len() {
+                            let ga = a.slice(sa, ea);
+                            let gb = b.slice(sb, eb);
+                            want = want.max(nw::align_score(&ga, &gb, &s()));
+                        }
+                    }
+                }
+            }
+            assert_eq!(align_score(&a, &b, &s()), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Seq::dna("").unwrap();
+        let a = Seq::dna("ACG").unwrap();
+        assert_eq!(align_score(&e, &e, &s()), 0);
+        assert_eq!(align_score(&e, &a, &s()), 0);
+        assert_eq!(align_score(&a, &e, &s()), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Full-matrix Needleman–Wunsch with traceback (linear gaps).
+//!
+//! The reference pairwise aligner: `O(n·m)` time and space, exact optimum.
+//! Traceback recomputes the winning predecessor from the score matrix (no
+//! separate move matrix), halving memory traffic — the same technique the
+//! 3D full-lattice aligner uses.
+
+use crate::PairAlignment;
+use tsa_scoring::{Scoring, NEG_INF};
+use tsa_seq::Seq;
+
+/// The score matrix of a pairwise DP, kept for traceback and inspection.
+pub struct ScoreMatrix {
+    /// `(rows+1) × (cols+1)` scores, row-major.
+    pub scores: Vec<i32>,
+    /// First-sequence length.
+    pub rows: usize,
+    /// Second-sequence length.
+    pub cols: usize,
+}
+
+impl ScoreMatrix {
+    /// Score at `(i, j)`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> i32 {
+        self.scores[i * (self.cols + 1) + j]
+    }
+
+    /// The optimal global alignment score, `D[rows][cols]`.
+    pub fn final_score(&self) -> i32 {
+        self.at(self.rows, self.cols)
+    }
+}
+
+/// Fill the full DP matrix for `a` vs `b`.
+pub fn fill_matrix(a: &Seq, b: &Seq, scoring: &Scoring) -> ScoreMatrix {
+    let (n, m) = (a.len(), b.len());
+    let g = scoring.gap_linear();
+    let (ra, rb) = (a.residues(), b.residues());
+    let w = m + 1;
+    let mut scores = vec![NEG_INF; (n + 1) * w];
+    scores[0] = 0;
+    for (j, s) in scores[..=m].iter_mut().enumerate().skip(1) {
+        *s = j as i32 * g;
+    }
+    for i in 1..=n {
+        let ai = ra[i - 1];
+        let (prev_row, cur_row) = scores.split_at_mut(i * w);
+        let prev_row = &prev_row[(i - 1) * w..];
+        cur_row[0] = i as i32 * g;
+        let mut left = cur_row[0];
+        #[allow(clippy::needless_range_loop)] // j indexes two slices in lockstep
+        for j in 1..=m {
+            let diag = prev_row[j - 1] + scoring.sub(ai, rb[j - 1]);
+            let up = prev_row[j] + g;
+            let v = diag.max(up).max(left + g);
+            cur_row[j] = v;
+            left = v;
+        }
+    }
+    ScoreMatrix { scores, rows: n, cols: m }
+}
+
+/// Trace an optimal path through a filled matrix, yielding the aligned
+/// rows. Ties are broken diagonal-first, then up (gap in `b`), then left —
+/// fixing a canonical optimum so algorithms can be compared exactly.
+pub fn traceback(matrix: &ScoreMatrix, a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
+    let g = scoring.gap_linear();
+    let (ra, rb) = (a.residues(), b.residues());
+    let (mut i, mut j) = (matrix.rows, matrix.cols);
+    let mut row_a: Vec<Option<u8>> = Vec::with_capacity(i + j);
+    let mut row_b: Vec<Option<u8>> = Vec::with_capacity(i + j);
+    while i > 0 || j > 0 {
+        let v = matrix.at(i, j);
+        if i > 0 && j > 0 && v == matrix.at(i - 1, j - 1) + scoring.sub(ra[i - 1], rb[j - 1]) {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(Some(rb[j - 1]));
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && v == matrix.at(i - 1, j) + g {
+            row_a.push(Some(ra[i - 1]));
+            row_b.push(None);
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && v == matrix.at(i, j - 1) + g, "broken traceback");
+            row_a.push(None);
+            row_b.push(Some(rb[j - 1]));
+            j -= 1;
+        }
+    }
+    row_a.reverse();
+    row_b.reverse();
+    PairAlignment {
+        row_a,
+        row_b,
+        score: matrix.final_score(),
+    }
+}
+
+/// Optimal global alignment of `a` and `b` under linear gaps.
+///
+/// ```
+/// use tsa_pairwise::nw;
+/// use tsa_scoring::Scoring;
+/// use tsa_seq::Seq;
+///
+/// let a = Seq::dna("GATTACA").unwrap();
+/// let b = Seq::dna("GATACA").unwrap();
+/// let aln = nw::align(&a, &b, &Scoring::dna_default());
+/// assert_eq!(aln.score, 10); // six matches, one gap
+/// ```
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
+    let m = fill_matrix(a, b, scoring);
+    traceback(&m, a, b, scoring)
+}
+
+/// Optimal global alignment *score* only (still full-matrix; see
+/// [`crate::score_only`] for the linear-space version).
+pub fn align_score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    fill_matrix(a, b, scoring).final_score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_pair;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let a = Seq::dna("ACGTACGT").unwrap();
+        let al = align(&a, &a, &s());
+        assert_eq!(al.score, 16);
+        assert!(al.row_a.iter().all(|r| r.is_some()));
+        al.validate(&a, &a, &s()).unwrap();
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_all_gaps() {
+        let a = Seq::dna("").unwrap();
+        let b = Seq::dna("ACG").unwrap();
+        let al = align(&a, &b, &s());
+        assert_eq!(al.score, -6);
+        assert_eq!(al.len(), 3);
+        assert!(al.row_a.iter().all(|r| r.is_none()));
+        al.validate(&a, &b, &s()).unwrap();
+    }
+
+    #[test]
+    fn both_empty() {
+        let e = Seq::dna("").unwrap();
+        let al = align(&e, &e, &s());
+        assert_eq!(al.score, 0);
+        assert!(al.is_empty());
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = Seq::dna("ACGT").unwrap();
+        let b = Seq::dna("AGGT").unwrap();
+        let al = align(&a, &b, &s());
+        // 3 matches + 1 mismatch beats gapping (2 gaps cost -4 vs -1).
+        assert_eq!(al.score, 3 * 2 - 1);
+        al.validate(&a, &b, &s()).unwrap();
+    }
+
+    #[test]
+    fn known_small_alignment() {
+        // Classic: GATTACA vs GCATGCU-style check with DNA scores.
+        let a = Seq::dna("GATTACA").unwrap();
+        let b = Seq::dna("GATACA").unwrap();
+        let al = align(&a, &b, &s());
+        // Best: delete one T → 6 matches, 1 gap = 12 - 2 = 10.
+        assert_eq!(al.score, 10);
+        al.validate(&a, &b, &s()).unwrap();
+    }
+
+    #[test]
+    fn edit_distance_scoring_recovers_levenshtein() {
+        let a = Seq::dna("GATTACA").unwrap();
+        let b = Seq::dna("GCTTAA").unwrap();
+        let sc = Scoring::edit_distance();
+        let al = align(&a, &b, &sc);
+        // Levenshtein("GATTACA", "GCTTAA") = 2 (A→C substitution, delete C).
+        assert_eq!(-al.score, 2);
+        al.validate(&a, &b, &sc).unwrap();
+    }
+
+    #[test]
+    fn score_matches_matrix_final() {
+        let (a, b) = random_pair(42, 40);
+        let m = fill_matrix(&a, &b, &s());
+        assert_eq!(m.final_score(), align_score(&a, &b, &s()));
+    }
+
+    #[test]
+    fn random_alignments_validate() {
+        for seed in 0..25 {
+            let (a, b) = random_pair(seed, 48);
+            let al = align(&a, &b, &s());
+            al.validate(&a, &b, &s())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_score() {
+        for seed in 0..10 {
+            let (a, b) = random_pair(seed, 32);
+            assert_eq!(align_score(&a, &b, &s()), align_score(&b, &a, &s()));
+        }
+    }
+
+    #[test]
+    fn protein_alignment_with_blosum() {
+        let sc = Scoring::blosum62();
+        let a = Seq::protein("HEAGAWGHEE").unwrap();
+        let b = Seq::protein("PAWHEAE").unwrap();
+        let al = align(&a, &b, &sc);
+        al.validate(&a, &b, &sc).unwrap();
+        // Optimal global score must beat the all-gap alignment.
+        assert!(al.score > (a.len() + b.len()) as i32 * -8);
+    }
+
+    #[test]
+    fn matrix_boundaries_are_gap_multiples() {
+        let (a, b) = random_pair(7, 20);
+        let m = fill_matrix(&a, &b, &s());
+        for i in 0..=a.len() {
+            assert_eq!(m.at(i, 0), -2 * i as i32);
+        }
+        for j in 0..=b.len() {
+            assert_eq!(m.at(0, j), -2 * j as i32);
+        }
+    }
+}

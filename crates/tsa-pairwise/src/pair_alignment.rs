@@ -1,0 +1,228 @@
+//! The two-row alignment result type.
+
+use std::fmt;
+use tsa_scoring::{sp::projected_pair_score, Scoring};
+use tsa_seq::Seq;
+
+/// A global alignment of two sequences: two equal-length rows over
+/// `Option<u8>` (`None` = gap) plus the score the producing algorithm
+/// reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairAlignment {
+    /// Row for the first sequence.
+    pub row_a: Vec<Option<u8>>,
+    /// Row for the second sequence.
+    pub row_b: Vec<Option<u8>>,
+    /// Score reported by the aligner.
+    pub score: i32,
+}
+
+/// Why a [`PairAlignment`] failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairValidationError {
+    /// The two rows differ in length.
+    RowLengthMismatch(usize, usize),
+    /// A column contains two gaps (never produced by a canonical pairwise
+    /// alignment).
+    DoubleGapColumn(usize),
+    /// De-gapping a row does not reproduce the corresponding input.
+    SequenceMismatch(&'static str),
+    /// Re-scoring the rows disagrees with the recorded score.
+    ScoreMismatch {
+        /// Score stored in the alignment.
+        recorded: i32,
+        /// Score recomputed from the rows.
+        recomputed: i32,
+    },
+}
+
+impl fmt::Display for PairValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairValidationError::RowLengthMismatch(a, b) => {
+                write!(f, "row lengths differ: {a} vs {b}")
+            }
+            PairValidationError::DoubleGapColumn(c) => {
+                write!(f, "column {c} is gap-gap")
+            }
+            PairValidationError::SequenceMismatch(which) => {
+                write!(f, "row {which} does not de-gap to its input sequence")
+            }
+            PairValidationError::ScoreMismatch {
+                recorded,
+                recomputed,
+            } => write!(f, "recorded score {recorded} != recomputed {recomputed}"),
+        }
+    }
+}
+
+impl std::error::Error for PairValidationError {}
+
+impl PairAlignment {
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.row_a.len()
+    }
+
+    /// True if the alignment has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.row_a.is_empty()
+    }
+
+    /// Recompute the score of the rows under `scoring` (linear or affine,
+    /// per the scoring's own gap model).
+    pub fn rescore(&self, scoring: &Scoring) -> i32 {
+        projected_pair_score(scoring, &self.row_a, &self.row_b)
+    }
+
+    /// Check structural validity against the input sequences and score
+    /// consistency under `scoring`.
+    pub fn validate(
+        &self,
+        a: &Seq,
+        b: &Seq,
+        scoring: &Scoring,
+    ) -> Result<(), PairValidationError> {
+        if self.row_a.len() != self.row_b.len() {
+            return Err(PairValidationError::RowLengthMismatch(
+                self.row_a.len(),
+                self.row_b.len(),
+            ));
+        }
+        for (c, (x, y)) in self.row_a.iter().zip(&self.row_b).enumerate() {
+            if x.is_none() && y.is_none() {
+                return Err(PairValidationError::DoubleGapColumn(c));
+            }
+        }
+        let degap = |row: &[Option<u8>]| -> Vec<u8> { row.iter().flatten().copied().collect() };
+        if degap(&self.row_a) != a.residues() {
+            return Err(PairValidationError::SequenceMismatch("A"));
+        }
+        if degap(&self.row_b) != b.residues() {
+            return Err(PairValidationError::SequenceMismatch("B"));
+        }
+        let recomputed = self.rescore(scoring);
+        if recomputed != self.score {
+            return Err(PairValidationError::ScoreMismatch {
+                recorded: self.score,
+                recomputed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Render the two rows as gapped text, one per line.
+    pub fn pretty(&self) -> String {
+        let render = |row: &[Option<u8>]| -> String {
+            row.iter()
+                .map(|r| r.map(char::from).unwrap_or('-'))
+                .collect()
+        };
+        format!("{}\n{}", render(&self.row_a), render(&self.row_b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(s: &str) -> Vec<Option<u8>> {
+        s.chars()
+            .map(|c| if c == '-' { None } else { Some(c as u8) })
+            .collect()
+    }
+
+    fn aln(a: &str, b: &str, score: i32) -> PairAlignment {
+        PairAlignment {
+            row_a: row(a),
+            row_b: row(b),
+            score,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_correct_alignment() {
+        let scoring = Scoring::dna_default();
+        let a = Seq::dna("ACGT").unwrap();
+        let b = Seq::dna("AGT").unwrap();
+        // A C G T
+        // A - G T : 3 matches + 1 gap = 6 - 2 = 4
+        let al = aln("ACGT", "A-GT", 4);
+        al.validate(&a, &b, &scoring).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_length_mismatch() {
+        let scoring = Scoring::dna_default();
+        let a = Seq::dna("AC").unwrap();
+        let al = PairAlignment {
+            row_a: row("AC"),
+            row_b: row("A"),
+            score: 0,
+        };
+        assert!(matches!(
+            al.validate(&a, &a, &scoring),
+            Err(PairValidationError::RowLengthMismatch(2, 1))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_double_gap() {
+        let scoring = Scoring::dna_default();
+        let a = Seq::dna("A").unwrap();
+        let al = aln("A-", "-A", -4);
+        // structurally has no double gap; craft one:
+        let bad = aln("A-", "A-", 2);
+        assert!(matches!(
+            bad.validate(&a, &a, &scoring),
+            Err(PairValidationError::DoubleGapColumn(1))
+        ));
+        let _ = al;
+    }
+
+    #[test]
+    fn validate_rejects_wrong_residues() {
+        let scoring = Scoring::dna_default();
+        let a = Seq::dna("AC").unwrap();
+        let b = Seq::dna("AC").unwrap();
+        let al = aln("AG", "AC", 1);
+        assert!(matches!(
+            al.validate(&a, &b, &scoring),
+            Err(PairValidationError::SequenceMismatch("A"))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_score() {
+        let scoring = Scoring::dna_default();
+        let a = Seq::dna("AC").unwrap();
+        let al = aln("AC", "AC", 99);
+        assert!(matches!(
+            al.validate(&a, &a, &scoring),
+            Err(PairValidationError::ScoreMismatch { recorded: 99, recomputed: 4 })
+        ));
+    }
+
+    #[test]
+    fn pretty_renders_gaps() {
+        let al = aln("AC-T", "A-GT", 0);
+        assert_eq!(al.pretty(), "AC-T\nA-GT");
+    }
+
+    #[test]
+    fn empty_alignment_is_valid_for_empty_inputs() {
+        let scoring = Scoring::dna_default();
+        let e = Seq::dna("").unwrap();
+        let al = aln("", "", 0);
+        al.validate(&e, &e, &scoring).unwrap();
+        assert!(al.is_empty());
+        assert_eq!(al.len(), 0);
+    }
+
+    #[test]
+    fn rescore_affine() {
+        let scoring = Scoring::dna_default().with_gap(tsa_scoring::GapModel::affine(-5, -1));
+        let al = aln("AAAA", "A--A", 0);
+        assert_eq!(al.rescore(&scoring), 2 + 2 - 5 - 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Linear-space pairwise score computation.
+//!
+//! Keeps two DP rows instead of the full matrix: `O(min(n, m))` space for a
+//! score, and — crucially — the *last row* of the forward (or backward) DP,
+//! which is exactly what Hirschberg's divide-and-conquer combiner needs.
+
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// The final DP row of aligning all of `a` against every prefix of `b`:
+/// `out[j] = optimal score of align(a, b[..j])`, for `j in 0..=|b|`.
+pub fn forward_last_row(a: &Seq, b: &Seq, scoring: &Scoring) -> Vec<i32> {
+    last_row_of(a.residues(), b.residues(), scoring)
+}
+
+/// The backward analogue: `out[j] = optimal score of align(a, b[j..])`,
+/// computed by running the forward DP on the reversed residues.
+pub fn backward_last_row(a: &Seq, b: &Seq, scoring: &Scoring) -> Vec<i32> {
+    let ra: Vec<u8> = a.residues().iter().rev().copied().collect();
+    let rb: Vec<u8> = b.residues().iter().rev().copied().collect();
+    let mut row = last_row_of(&ra, &rb, scoring);
+    row.reverse();
+    row
+}
+
+/// Optimal global alignment score in linear space.
+pub fn score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    *forward_last_row(a, b, scoring).last().expect("row is non-empty")
+}
+
+fn last_row_of(ra: &[u8], rb: &[u8], scoring: &Scoring) -> Vec<i32> {
+    let g = scoring.gap_linear();
+    let m = rb.len();
+    let mut prev: Vec<i32> = (0..=m as i32).map(|j| j * g).collect();
+    let mut cur = vec![0i32; m + 1];
+    for (i, &ai) in ra.iter().enumerate() {
+        cur[0] = (i as i32 + 1) * g;
+        for j in 1..=m {
+            let diag = prev[j - 1] + scoring.sub(ai, rb[j - 1]);
+            let up = prev[j] + g;
+            let left = cur[j - 1] + g;
+            cur[j] = diag.max(up).max(left);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::nw;
+    use crate::test_util::random_pair;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn score_matches_full_matrix() {
+        for seed in 0..30 {
+            let (a, b) = random_pair(seed, 50);
+            assert_eq!(
+                score(&a, &b, &s()),
+                nw::align_score(&a, &b, &s()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_row_matches_matrix_last_row() {
+        let (a, b) = random_pair(3, 30);
+        let m = nw::fill_matrix(&a, &b, &s());
+        let row = forward_last_row(&a, &b, &s());
+        for j in 0..=b.len() {
+            assert_eq!(row[j], m.at(a.len(), j), "j={j}");
+        }
+    }
+
+    #[test]
+    fn backward_row_matches_suffix_alignments() {
+        let (a, b) = random_pair(5, 20);
+        let row = backward_last_row(&a, &b, &s());
+        for j in 0..=b.len() {
+            let suffix = b.slice(j, b.len());
+            assert_eq!(row[j], nw::align_score(&a, &suffix, &s()), "j={j}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Seq::dna("").unwrap();
+        let b = Seq::dna("ACG").unwrap();
+        assert_eq!(score(&e, &e, &s()), 0);
+        assert_eq!(score(&e, &b, &s()), -6);
+        assert_eq!(score(&b, &e, &s()), -6);
+        assert_eq!(forward_last_row(&e, &b, &s()), vec![0, -2, -4, -6]);
+    }
+
+    #[test]
+    fn hirschberg_split_identity_holds() {
+        // For any split row i of a: max_j fwd(a[..i], b[..j]) + bwd(a[i..], b[j..])
+        // equals the full optimum — the invariant Hirschberg relies on.
+        let (a, b) = random_pair(11, 24);
+        let full = score(&a, &b, &s());
+        let mid = a.len() / 2;
+        let fa = a.slice(0, mid);
+        let sa = a.slice(mid, a.len());
+        let f = forward_last_row(&fa, &b, &s());
+        let r = backward_last_row(&sa, &b, &s());
+        let combined = (0..=b.len()).map(|j| f[j] + r[j]).max().unwrap();
+        assert_eq!(combined, full);
+    }
+}

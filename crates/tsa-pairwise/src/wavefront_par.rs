@@ -1,0 +1,143 @@
+//! Anti-diagonal parallel Needleman–Wunsch — the 2D warm-up of the paper's
+//! 3D wavefront algorithm.
+//!
+//! Cells on diagonal `d = i + j` depend only on diagonals `d−1` and `d−2`,
+//! so each diagonal is computed with a rayon `par_iter`, with the implicit
+//! barrier between diagonals providing the ordering. The full matrix is
+//! retained (in a [`tsa_wavefront::SharedGrid`]) so the standard traceback
+//! can run afterwards; results are bit-identical to [`crate::nw`].
+//!
+//! For 2D lattices at laptop scale the per-diagonal barrier usually costs
+//! more than the parallelism wins (diagonals are short); the function
+//! exists for exposition, testing, and the harness's 2D-vs-3D comparison.
+//! The 3D planes of the real workload are quadratically larger, which is
+//! why the same strategy wins there.
+
+use crate::nw::ScoreMatrix;
+use crate::PairAlignment;
+use rayon::prelude::*;
+use tsa_scoring::{Scoring, NEG_INF};
+use tsa_seq::Seq;
+use tsa_wavefront::diag;
+use tsa_wavefront::SharedGrid;
+
+/// Diagonals shorter than this are filled sequentially — scheduling a rayon
+/// task per handful of cells costs more than the cells themselves.
+const PAR_THRESHOLD: usize = 128;
+
+/// Fill the full DP matrix in parallel, diagonal by diagonal.
+pub fn fill_matrix_parallel(a: &Seq, b: &Seq, scoring: &Scoring) -> ScoreMatrix {
+    let (n, m) = (a.len(), b.len());
+    let g = scoring.gap_linear();
+    let (ra, rb) = (a.residues(), b.residues());
+    let w = m + 1;
+    let grid: SharedGrid<i32> = SharedGrid::new((n + 1) * w, NEG_INF);
+
+    // SAFETY (whole function): writes within a diagonal hit distinct
+    // (i, j) cells; reads target diagonals d−1 and d−2, finished before
+    // this diagonal starts (rayon's for_each joins before returning).
+    let cell = |i: usize, j: usize| -> i32 {
+        if i == 0 {
+            return j as i32 * g;
+        }
+        if j == 0 {
+            return i as i32 * g;
+        }
+        let diag_score =
+            unsafe { grid.get((i - 1) * w + (j - 1)) } + scoring.sub(ra[i - 1], rb[j - 1]);
+        let up = unsafe { grid.get((i - 1) * w + j) } + g;
+        let left = unsafe { grid.get(i * w + (j - 1)) } + g;
+        diag_score.max(up).max(left)
+    };
+
+    for d in 0..diag::num_diagonals(n, m) {
+        let len = diag::diag_len(n, m, d);
+        if len < PAR_THRESHOLD {
+            for (i, j) in diag::diag_cells(n, m, d) {
+                unsafe { grid.set(i * w + j, cell(i, j)) };
+            }
+        } else {
+            let cells: Vec<(usize, usize)> = diag::diag_cells(n, m, d).collect();
+            cells.par_iter().with_min_len(64).for_each(|&(i, j)| unsafe {
+                grid.set(i * w + j, cell(i, j));
+            });
+        }
+    }
+
+    ScoreMatrix {
+        scores: grid.into_vec(),
+        rows: n,
+        cols: m,
+    }
+}
+
+/// Optimal global alignment computed with the parallel wavefront fill.
+pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
+    let matrix = fill_matrix_parallel(a, b, scoring);
+    crate::nw::traceback(&matrix, a, b, scoring)
+}
+
+/// Parallel-fill alignment score only.
+pub fn align_score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    fill_matrix_parallel(a, b, scoring).final_score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw;
+    use crate::test_util::random_pair;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_to_sequential() {
+        for seed in 0..15 {
+            let (a, b) = random_pair(seed, 50);
+            let seq_m = nw::fill_matrix(&a, &b, &s());
+            let par_m = fill_matrix_parallel(&a, &b, &s());
+            assert_eq!(seq_m.scores, par_m.scores, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alignments_match_sequential() {
+        for seed in 0..15 {
+            let (a, b) = random_pair(seed + 50, 60);
+            let par = align(&a, &b, &s());
+            let seq = nw::align(&a, &b, &s());
+            assert_eq!(par, seq, "seed {seed}");
+            par.validate(&a, &b, &s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn crosses_the_parallel_threshold() {
+        // Long enough that middle diagonals exceed PAR_THRESHOLD.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(999);
+        let a = tsa_seq::gen::random_seq(tsa_seq::Alphabet::Dna, 300, &mut rng);
+        let b = tsa_seq::gen::random_seq(tsa_seq::Alphabet::Dna, 280, &mut rng);
+        assert!(a.len().min(b.len()) > PAR_THRESHOLD);
+        assert_eq!(align_score(&a, &b, &s()), nw::align_score(&a, &b, &s()));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Seq::dna("").unwrap();
+        let b = Seq::dna("ACGT").unwrap();
+        assert_eq!(align_score(&e, &b, &s()), -8);
+        assert_eq!(align_score(&e, &e, &s()), 0);
+    }
+
+    #[test]
+    fn works_inside_small_thread_pool() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let (a, b) = random_pair(123, 200);
+            assert_eq!(align_score(&a, &b, &s()), nw::align_score(&a, &b, &s()));
+        });
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests pinning the pairwise aligners to brute-force oracles
+//! and to each other.
+
+use proptest::prelude::*;
+use tsa_pairwise::{banded, gotoh, hirschberg, nw, score_only, wavefront_par, PairAlignment};
+use tsa_scoring::{sp, GapModel, Scoring};
+use tsa_seq::Seq;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
+        .prop_map(|v| Seq::dna(v).unwrap())
+}
+
+/// Brute force: enumerate every pairwise alignment (move sequences) and
+/// score the rows under the scoring's own gap model. Exponential — keep
+/// inputs tiny.
+#[allow(clippy::too_many_arguments)]
+fn brute_force_best(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
+    fn go(
+        ra: &[u8],
+        rb: &[u8],
+        i: usize,
+        j: usize,
+        x: &mut Vec<Option<u8>>,
+        y: &mut Vec<Option<u8>>,
+        scoring: &Scoring,
+        best: &mut i32,
+    ) {
+        if i == ra.len() && j == rb.len() {
+            *best = (*best).max(sp::projected_pair_score(scoring, x, y));
+            return;
+        }
+        if i < ra.len() && j < rb.len() {
+            x.push(Some(ra[i]));
+            y.push(Some(rb[j]));
+            go(ra, rb, i + 1, j + 1, x, y, scoring, best);
+            x.pop();
+            y.pop();
+        }
+        if i < ra.len() {
+            x.push(Some(ra[i]));
+            y.push(None);
+            go(ra, rb, i + 1, j, x, y, scoring, best);
+            x.pop();
+            y.pop();
+        }
+        if j < rb.len() {
+            x.push(None);
+            y.push(Some(rb[j]));
+            go(ra, rb, i, j + 1, x, y, scoring, best);
+            x.pop();
+            y.pop();
+        }
+    }
+    if a.is_empty() && b.is_empty() {
+        return 0;
+    }
+    let mut best = i32::MIN;
+    go(
+        a.residues(),
+        b.residues(),
+        0,
+        0,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        scoring,
+        &mut best,
+    );
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn nw_matches_brute_force(a in dna(5), b in dna(5)) {
+        let s = Scoring::dna_default();
+        prop_assert_eq!(nw::align_score(&a, &b, &s), brute_force_best(&a, &b, &s));
+    }
+
+    #[test]
+    fn gotoh_matches_brute_force_affine(a in dna(4), b in dna(4)) {
+        let s = Scoring::dna_default().with_gap(GapModel::affine(-5, -1));
+        prop_assert_eq!(gotoh::align_score(&a, &b, &s), brute_force_best(&a, &b, &s));
+    }
+
+    #[test]
+    fn all_linear_aligners_agree(a in dna(35), b in dna(35)) {
+        let s = Scoring::dna_default();
+        let reference = nw::align_score(&a, &b, &s);
+        prop_assert_eq!(score_only::score(&a, &b, &s), reference);
+        prop_assert_eq!(hirschberg::align(&a, &b, &s).score, reference);
+        prop_assert_eq!(wavefront_par::align_score(&a, &b, &s), reference);
+        prop_assert_eq!(banded::align_adaptive(&a, &b, &s).score, reference);
+    }
+
+    #[test]
+    fn tracebacks_validate(a in dna(25), b in dna(25)) {
+        let lin = Scoring::dna_default();
+        let aff = Scoring::dna_default().with_gap(GapModel::affine(-6, -1));
+        for aln in [
+            nw::align(&a, &b, &lin),
+            hirschberg::align(&a, &b, &lin),
+            wavefront_par::align(&a, &b, &lin),
+            banded::align_adaptive(&a, &b, &lin),
+        ] {
+            prop_assert!(aln.validate(&a, &b, &lin).is_ok());
+        }
+        let g = gotoh::align(&a, &b, &aff);
+        prop_assert!(g.validate(&a, &b, &aff).is_ok());
+    }
+
+    #[test]
+    fn score_is_a_maximum(a in dna(12), b in dna(12), cols in prop::collection::vec(0u8..3, 0..30)) {
+        // Any feasible alignment scores at most the DP optimum. Build a
+        // feasible alignment from an arbitrary move script (clipped to
+        // remaining residues, then completed).
+        let s = Scoring::dna_default();
+        let (ra, rb) = (a.residues(), b.residues());
+        let mut aln = PairAlignment { row_a: vec![], row_b: vec![], score: 0 };
+        let (mut i, mut j) = (0usize, 0usize);
+        for mv in cols {
+            match mv {
+                0 if i < ra.len() && j < rb.len() => {
+                    aln.row_a.push(Some(ra[i]));
+                    aln.row_b.push(Some(rb[j]));
+                    i += 1;
+                    j += 1;
+                }
+                1 if i < ra.len() => {
+                    aln.row_a.push(Some(ra[i]));
+                    aln.row_b.push(None);
+                    i += 1;
+                }
+                2 if j < rb.len() => {
+                    aln.row_a.push(None);
+                    aln.row_b.push(Some(rb[j]));
+                    j += 1;
+                }
+                _ => {}
+            }
+        }
+        while i < ra.len() {
+            aln.row_a.push(Some(ra[i]));
+            aln.row_b.push(None);
+            i += 1;
+        }
+        while j < rb.len() {
+            aln.row_a.push(None);
+            aln.row_b.push(Some(rb[j]));
+            j += 1;
+        }
+        let feasible = sp::projected_pair_score(&s, &aln.row_a, &aln.row_b);
+        prop_assert!(feasible <= nw::align_score(&a, &b, &s));
+    }
+
+    #[test]
+    fn banded_with_any_sufficient_band_is_feasible(a in dna(20), b in dna(20), extra in 0usize..10) {
+        let s = Scoring::dna_default();
+        let w = a.len().abs_diff(b.len()) + extra;
+        if let Some(aln) = banded::align(&a, &b, &s, w) {
+            prop_assert!(aln.validate(&a, &b, &s).is_ok());
+            prop_assert!(aln.score <= nw::align_score(&a, &b, &s));
+        }
+    }
+
+    #[test]
+    fn forward_backward_rows_are_consistent(a in dna(15), b in dna(15)) {
+        // fwd[j] + bwd[j] maximized over j equals the optimum (full-row
+        // Hirschberg identity at the a-boundary).
+        let s = Scoring::dna_default();
+        let f = score_only::forward_last_row(&a, &b, &s);
+        let empty = Seq::dna("").unwrap();
+        let r = score_only::backward_last_row(&empty, &b, &s);
+        let combined = (0..=b.len()).map(|j| f[j] + r[j]).max().unwrap();
+        prop_assert_eq!(combined, nw::align_score(&a, &b, &s));
+    }
+}

@@ -1,0 +1,197 @@
+//! Distributed-memory (cluster) performance model.
+//!
+//! The original evaluation ran on a message-passing PC cluster; this
+//! module simulates that setting analytically (per the substitution rule
+//! in `DESIGN.md` §3). The blocked wavefront is modeled with the tiles of
+//! each tile plane distributed over `P` nodes and an α–β communication
+//! term per round:
+//!
+//! ```text
+//! T(P) = Σ_D [ ceil(s_D / P) · t_tile  +  comm_D(P) ]
+//! comm_D(P) = α + β · face_bytes      (P > 1; zero for P = 1)
+//! ```
+//!
+//! With a 1-D decomposition of the first axis, a tile's only off-node
+//! dependency crossing is its `I+1` face — `tile²` cells of 4 bytes —
+//! and boundary exchanges of one round overlap across node pairs, so one
+//! α + β·face term per round is the standard first-order model.
+//! Experiment `fig5` sweeps α over interconnect classes to reproduce the
+//! "communication bounds cluster scalability" shape.
+
+use crate::planes;
+
+/// α–β cluster cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterModel {
+    /// Nanoseconds per cell update on one node.
+    pub t_cell_ns: f64,
+    /// Message latency α in nanoseconds (per round).
+    pub alpha_ns: f64,
+    /// Transfer cost β in nanoseconds per byte.
+    pub beta_ns_per_byte: f64,
+}
+
+/// Interconnect presets (2007-era, matching the paper's hardware class).
+impl ClusterModel {
+    /// Gigabit-Ethernet-class cluster: ~50 µs latency, ~1 Gbit/s.
+    pub fn ethernet(t_cell_ns: f64) -> Self {
+        ClusterModel {
+            t_cell_ns,
+            alpha_ns: 50_000.0,
+            beta_ns_per_byte: 8.0,
+        }
+    }
+
+    /// Myrinet/InfiniBand-class cluster: ~5 µs latency, ~10 Gbit/s.
+    pub fn fast_interconnect(t_cell_ns: f64) -> Self {
+        ClusterModel {
+            t_cell_ns,
+            alpha_ns: 5_000.0,
+            beta_ns_per_byte: 0.8,
+        }
+    }
+
+    /// Shared memory: no messages at all (the rayon substrate).
+    pub fn shared_memory(t_cell_ns: f64) -> Self {
+        ClusterModel {
+            t_cell_ns,
+            alpha_ns: 0.0,
+            beta_ns_per_byte: 0.0,
+        }
+    }
+
+    /// Predicted wall time (ns) of the blocked wavefront on `p` nodes for
+    /// an `(n1, n2, n3)` problem with tile edge `tile`.
+    pub fn predict_time_ns(&self, n: (usize, usize, usize), tile: usize, p: usize) -> f64 {
+        assert!(p > 0, "node count must be positive");
+        let (n1, n2, n3) = n;
+        let profile = planes::tile_plane_profile(n1, n2, n3, tile);
+        let t_tile = self.t_cell_ns * (tile * tile * tile) as f64;
+        let face_bytes = (tile * tile * std::mem::size_of::<i32>()) as f64;
+        let comm = if p > 1 {
+            self.alpha_ns + self.beta_ns_per_byte * face_bytes
+        } else {
+            0.0
+        };
+        profile
+            .iter()
+            .map(|&s| s.div_ceil(p) as f64 * t_tile + comm)
+            .sum()
+    }
+
+    /// Predicted speedup over the single-node run.
+    pub fn predict_speedup(&self, n: (usize, usize, usize), tile: usize, p: usize) -> f64 {
+        self.predict_time_ns(n, tile, 1) / self.predict_time_ns(n, tile, p)
+    }
+
+    /// The node count beyond which adding nodes gains < `threshold`
+    /// relative improvement — the saturation point `fig5` reports.
+    pub fn saturation_point(
+        &self,
+        n: (usize, usize, usize),
+        tile: usize,
+        max_p: usize,
+        threshold: f64,
+    ) -> usize {
+        let mut prev = self.predict_time_ns(n, tile, 1);
+        for p in 2..=max_p {
+            let t = self.predict_time_ns(n, tile, p);
+            if (prev - t) / prev < threshold {
+                return p - 1;
+            }
+            prev = t;
+        }
+        max_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: (usize, usize, usize) = (192, 192, 192);
+
+    #[test]
+    fn single_node_has_no_communication() {
+        let eth = ClusterModel::ethernet(10.0);
+        let shm = ClusterModel::shared_memory(10.0);
+        assert_eq!(
+            eth.predict_time_ns(N, 16, 1),
+            shm.predict_time_ns(N, 16, 1)
+        );
+    }
+
+    #[test]
+    fn speedup_ordering_by_interconnect() {
+        // shared memory ≥ fast interconnect ≥ ethernet, at every P.
+        let shm = ClusterModel::shared_memory(10.0);
+        let fast = ClusterModel::fast_interconnect(10.0);
+        let eth = ClusterModel::ethernet(10.0);
+        for p in [2usize, 4, 8, 16] {
+            let s_shm = shm.predict_speedup(N, 16, p);
+            let s_fast = fast.predict_speedup(N, 16, p);
+            let s_eth = eth.predict_speedup(N, 16, p);
+            assert!(s_shm >= s_fast && s_fast >= s_eth, "p={p}: {s_shm} {s_fast} {s_eth}");
+            assert!(s_shm <= p as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn slower_network_saturates_earlier() {
+        let fast = ClusterModel::fast_interconnect(10.0);
+        let eth = ClusterModel::ethernet(10.0);
+        let sat_fast = fast.saturation_point(N, 16, 64, 0.02);
+        let sat_eth = eth.saturation_point(N, 16, 64, 0.02);
+        assert!(sat_eth <= sat_fast, "ethernet {sat_eth} vs fast {sat_fast}");
+    }
+
+    #[test]
+    fn bigger_problems_scale_further() {
+        let eth = ClusterModel::ethernet(10.0);
+        let small = eth.predict_speedup((64, 64, 64), 16, 16);
+        let large = eth.predict_speedup((256, 256, 256), 16, 16);
+        assert!(large > small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn latency_pushes_the_optimal_tile_size_up() {
+        // Messages cost per round, so high latency favors fewer, bigger
+        // rounds: the best tile under Ethernet is at least the best tile
+        // under shared memory (where only load balance matters).
+        let best_tile = |m: &ClusterModel| {
+            [2usize, 4, 8, 16, 32]
+                .into_iter()
+                .min_by(|&x, &y| {
+                    m.predict_time_ns(N, x, 8)
+                        .partial_cmp(&m.predict_time_ns(N, y, 8))
+                        .unwrap()
+                })
+                .unwrap()
+        };
+        let shm_best = best_tile(&ClusterModel::shared_memory(10.0));
+        let eth_best = best_tile(&ClusterModel::ethernet(10.0));
+        assert!(eth_best >= shm_best, "ethernet {eth_best} vs shm {shm_best}");
+        // And at a fixed small tile, Ethernet time strictly exceeds
+        // shared-memory time (the per-round α·rounds term).
+        let eth = ClusterModel::ethernet(10.0);
+        let shm = ClusterModel::shared_memory(10.0);
+        assert!(eth.predict_time_ns(N, 4, 8) > shm.predict_time_ns(N, 4, 8));
+    }
+
+    #[test]
+    fn time_decreases_monotonically_with_nodes_on_shared_memory() {
+        let shm = ClusterModel::shared_memory(10.0);
+        let mut prev = f64::INFINITY;
+        for p in 1..=32 {
+            let t = shm.predict_time_ns(N, 16, p);
+            assert!(t <= prev + 1e-6, "p={p}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_nodes_panics() {
+        let _ = ClusterModel::ethernet(10.0).predict_time_ns(N, 16, 0);
+    }
+}

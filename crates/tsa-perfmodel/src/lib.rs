@@ -1,0 +1,29 @@
+//! Analytic performance model for wavefront-parallel 3D DP.
+//!
+//! The original evaluation ran on a distributed-memory PC cluster; our
+//! substitute substrate is a shared-memory thread pool. What carries over
+//! unchanged is the *model*: a plane-barrier wavefront with `P` workers
+//! executes `Σ_d ceil(s_d / P)` cell-rounds plus one synchronization per
+//! plane, where `s_d` are the anti-diagonal plane sizes. This crate
+//! provides:
+//!
+//! * [`planes`] — closed-form plane-size profiles (inclusion–exclusion),
+//!   cross-checked against enumeration;
+//! * [`model`] — a two-parameter cost model (`t_cell`, `t_barrier`) with
+//!   calibration from measured runs, predicting runtimes and speedup
+//!   curves (experiment `fig4` overlays these on measurements);
+//! * [`memory`] — analytic memory footprints of every algorithm variant
+//!   (experiment `table3`);
+//! * [`cluster`] — an α–β message-cost model of the paper's
+//!   distributed-memory setting (experiment `fig5`);
+//! * [`pipeline`] — the 1-D pipelined-strip decomposition, the other
+//!   classic distributed wavefront schedule.
+
+pub mod cluster;
+pub mod memory;
+pub mod pipeline;
+pub mod model;
+pub mod planes;
+
+pub use cluster::ClusterModel;
+pub use model::CostModel;

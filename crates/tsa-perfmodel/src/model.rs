@@ -1,0 +1,198 @@
+//! The two-parameter wavefront cost model.
+//!
+//! With `P` workers and a barrier per plane, the predicted wall time of a
+//! wavefront computation with plane sizes `s_d` is
+//!
+//! ```text
+//! T(P) = t_cell · Σ_d ceil(s_d / P)  +  t_barrier(P) · #planes
+//! ```
+//!
+//! `t_cell` is the amortized cost of one cell update (calibrated from a
+//! measured sequential run), `t_barrier(P)` the cost of one plane
+//! synchronization (calibrated from one measured parallel run, or left at
+//! a default). The same formula with tile-plane sizes and a per-tile cost
+//! models the blocked variant.
+
+/// Cell/barrier cost parameters, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Amortized nanoseconds per cell update.
+    pub t_cell_ns: f64,
+    /// Nanoseconds per plane barrier (at the calibrated worker count).
+    pub t_barrier_ns: f64,
+}
+
+impl CostModel {
+    /// A model with an explicit cell cost and a free barrier — the upper
+    /// bound of achievable speedup.
+    pub fn ideal(t_cell_ns: f64) -> Self {
+        CostModel {
+            t_cell_ns,
+            t_barrier_ns: 0.0,
+        }
+    }
+
+    /// Calibrate `t_cell` from a measured sequential run over `cells`
+    /// cell updates; the barrier cost is taken as given.
+    pub fn calibrate_cell(seq_time_ns: f64, cells: usize, t_barrier_ns: f64) -> Self {
+        assert!(cells > 0, "cannot calibrate on zero cells");
+        CostModel {
+            t_cell_ns: seq_time_ns / cells as f64,
+            t_barrier_ns,
+        }
+    }
+
+    /// Calibrate the barrier cost from one measured parallel run at worker
+    /// count `p` (given `t_cell` already fixed): attributes all time not
+    /// explained by cell work to the barriers.
+    pub fn calibrate_barrier(&mut self, par_time_ns: f64, plane_sizes: &[usize], p: usize) {
+        let cell_time = self.t_cell_ns * rounds(plane_sizes, p) as f64;
+        let leftover = (par_time_ns - cell_time).max(0.0);
+        self.t_barrier_ns = leftover / plane_sizes.len().max(1) as f64;
+    }
+
+    /// Predicted wall time (ns) at worker count `p`.
+    pub fn predict_time_ns(&self, plane_sizes: &[usize], p: usize) -> f64 {
+        self.t_cell_ns * rounds(plane_sizes, p) as f64
+            + self.t_barrier_ns * plane_sizes.len() as f64
+    }
+
+    /// Predicted speedup `T(1)/T(P)`. Note `T(1)` includes the barrier
+    /// term, matching a parallel run at `P = 1`, not the barrier-free
+    /// sequential loop.
+    pub fn predict_speedup(&self, plane_sizes: &[usize], p: usize) -> f64 {
+        self.predict_time_ns(plane_sizes, 1) / self.predict_time_ns(plane_sizes, p)
+    }
+
+    /// Predicted parallel efficiency `S(P)/P`.
+    pub fn predict_efficiency(&self, plane_sizes: &[usize], p: usize) -> f64 {
+        self.predict_speedup(plane_sizes, p) / p as f64
+    }
+}
+
+/// `Σ_d ceil(s_d / p)` — worker rounds of a plane-barrier schedule.
+pub fn rounds(plane_sizes: &[usize], p: usize) -> usize {
+    assert!(p > 0, "worker count must be positive");
+    plane_sizes.iter().map(|&s| s.div_ceil(p)).sum()
+}
+
+/// The asymptotic speedup cap of a profile: mean parallelism
+/// (`total / planes`). No worker count can exceed it under per-plane
+/// barriers.
+pub fn speedup_cap(plane_sizes: &[usize]) -> f64 {
+    if plane_sizes.is_empty() {
+        return 0.0;
+    }
+    let total: usize = plane_sizes.iter().sum();
+    total as f64 / plane_sizes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planes::plane_profile;
+
+    fn profile() -> Vec<usize> {
+        plane_profile(32, 32, 32)
+    }
+
+    #[test]
+    fn rounds_at_one_is_total() {
+        let p = profile();
+        let total: usize = p.iter().sum();
+        assert_eq!(rounds(&p, 1), total);
+    }
+
+    #[test]
+    fn prediction_decreases_with_workers() {
+        let m = CostModel::ideal(10.0);
+        let p = profile();
+        let mut prev = f64::INFINITY;
+        for workers in 1..=16 {
+            let t = m.predict_time_ns(&p, workers);
+            assert!(t <= prev + 1e-9, "workers={workers}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ideal_speedup_bounded_by_p_and_cap() {
+        let m = CostModel::ideal(5.0);
+        let p = profile();
+        for workers in 1..=64 {
+            let s = m.predict_speedup(&p, workers);
+            assert!(s <= workers as f64 + 1e-9);
+            assert!(s <= speedup_cap(&p) + 1e-9);
+        }
+        assert!((m.predict_speedup(&p, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barriers_reduce_speedup() {
+        let p = profile();
+        let free = CostModel::ideal(5.0);
+        let costly = CostModel {
+            t_cell_ns: 5.0,
+            t_barrier_ns: 10_000.0,
+        };
+        for workers in [2, 4, 8] {
+            assert!(
+                costly.predict_speedup(&p, workers) < free.predict_speedup(&p, workers),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_calibration_roundtrip() {
+        let p = profile();
+        let cells: usize = p.iter().sum();
+        let m = CostModel::calibrate_cell(cells as f64 * 7.5, cells, 0.0);
+        assert!((m.t_cell_ns - 7.5).abs() < 1e-9);
+        assert!((m.predict_time_ns(&p, 1) - cells as f64 * 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barrier_calibration_explains_leftover_time() {
+        let p = profile();
+        let mut m = CostModel::ideal(10.0);
+        let cell_time = 10.0 * rounds(&p, 4) as f64;
+        let measured = cell_time + 500.0 * p.len() as f64;
+        m.calibrate_barrier(measured, &p, 4);
+        assert!((m.t_barrier_ns - 500.0).abs() < 1e-6);
+        assert!((m.predict_time_ns(&p, 4) - measured).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barrier_calibration_clamps_at_zero() {
+        let p = profile();
+        let mut m = CostModel::ideal(10.0);
+        // Measured faster than the cell work alone: barrier must not go
+        // negative.
+        m.calibrate_barrier(1.0, &p, 4);
+        assert_eq!(m.t_barrier_ns, 0.0);
+    }
+
+    #[test]
+    fn efficiency_is_speedup_over_p() {
+        let m = CostModel::ideal(1.0);
+        let p = profile();
+        for workers in [1, 2, 8] {
+            let e = m.predict_efficiency(&p, workers);
+            assert!((e - m.predict_speedup(&p, workers) / workers as f64).abs() < 1e-12);
+            assert!(e <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn speedup_cap_of_flat_profile() {
+        assert!((speedup_cap(&[4, 4, 4]) - 4.0).abs() < 1e-12);
+        assert_eq!(speedup_cap(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        let _ = rounds(&[1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Pipelined strip decomposition — the classic 1-D distributed scheme
+//! for wavefront DP, modeled analytically.
+//!
+//! Split the first axis into `P` strips (one per node) and the second
+//! axis into `Q` blocks. Node `p` computes its strip block by block;
+//! node `p+1` may start block `q` once node `p` finishes it and ships the
+//! boundary face. With uniform blocks the schedule is a software
+//! pipeline of depth `P + Q − 1` steps:
+//!
+//! ```text
+//! T(P, Q) = (P + Q − 1) · [ (n1/P)(n2/Q)(n3+1) · t_cell + α + β·face ]
+//! ```
+//!
+//! Small `Q` starves the pipeline (nodes idle while it fills); large `Q`
+//! multiplies message costs. [`best_q`] finds the sweet spot — the knob
+//! the original cluster implementations tuned.
+
+use crate::cluster::ClusterModel;
+
+/// Predicted wall time (ns) of the pipelined strip schedule.
+pub fn pipeline_time_ns(
+    model: &ClusterModel,
+    n: (usize, usize, usize),
+    p: usize,
+    q: usize,
+) -> f64 {
+    assert!(p > 0 && q > 0, "strip and block counts must be positive");
+    let (n1, n2, n3) = n;
+    let block_cells = ((n1 + 1) as f64 / p as f64) * ((n2 + 1) as f64 / q as f64) * (n3 + 1) as f64;
+    let face_bytes = (((n2 + 1) as f64 / q as f64) * (n3 + 1) as f64) * 4.0;
+    let comm = if p > 1 {
+        model.alpha_ns + model.beta_ns_per_byte * face_bytes
+    } else {
+        0.0
+    };
+    (p + q - 1) as f64 * (block_cells * model.t_cell_ns + comm)
+}
+
+/// The block count minimizing [`pipeline_time_ns`] over `1..=max_q`.
+pub fn best_q(model: &ClusterModel, n: (usize, usize, usize), p: usize, max_q: usize) -> usize {
+    (1..=max_q)
+        .min_by(|&x, &y| {
+            pipeline_time_ns(model, n, p, x)
+                .partial_cmp(&pipeline_time_ns(model, n, p, y))
+                .expect("finite times")
+        })
+        .expect("max_q >= 1")
+}
+
+/// Speedup of the best-tuned pipeline over the single-node run.
+pub fn pipeline_speedup(model: &ClusterModel, n: (usize, usize, usize), p: usize, max_q: usize) -> f64 {
+    let t1 = pipeline_time_ns(model, n, 1, 1);
+    let q = best_q(model, n, p, max_q);
+    t1 / pipeline_time_ns(model, n, p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: (usize, usize, usize) = (192, 192, 192);
+
+    fn shm() -> ClusterModel {
+        ClusterModel::shared_memory(10.0)
+    }
+
+    fn eth() -> ClusterModel {
+        ClusterModel::ethernet(10.0)
+    }
+
+    #[test]
+    fn single_node_single_block_is_the_sequential_time() {
+        let t = pipeline_time_ns(&shm(), N, 1, 1);
+        let cells = 193.0f64 * 193.0 * 193.0;
+        assert!((t - cells * 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pipelining_with_free_comm_approaches_linear() {
+        // With α = β = 0 and Q ≫ P the pipeline efficiency → P/(1 + (P−1)/Q).
+        let s = pipeline_speedup(&shm(), N, 8, 256);
+        assert!(s > 7.0, "speedup {s}");
+        assert!(s <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn too_few_blocks_starve_the_pipeline() {
+        // Q = 1: every node waits for the whole strip above it.
+        let starved = pipeline_time_ns(&shm(), N, 8, 1);
+        let tuned = pipeline_time_ns(&shm(), N, 8, best_q(&shm(), N, 8, 256));
+        assert!(starved > 3.0 * tuned, "{starved} vs {tuned}");
+    }
+
+    #[test]
+    fn expensive_messages_lower_the_best_q() {
+        let q_free = best_q(&shm(), N, 8, 256);
+        let q_eth = best_q(&eth(), N, 8, 256);
+        assert!(q_eth <= q_free, "ethernet {q_eth} vs free {q_free}");
+    }
+
+    #[test]
+    fn ethernet_speedup_below_shared_memory() {
+        for p in [2usize, 4, 8, 16] {
+            let s_shm = pipeline_speedup(&shm(), N, p, 128);
+            let s_eth = pipeline_speedup(&eth(), N, p, 128);
+            assert!(s_eth <= s_shm + 1e-9, "p={p}");
+            assert!(s_eth >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_nodes_under_cheap_comm() {
+        let mut prev = 0.0;
+        for p in [1usize, 2, 4, 8, 16] {
+            let s = pipeline_speedup(&shm(), N, p, 256);
+            assert!(s >= prev - 1e-9, "p={p}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_blocks_panics() {
+        let _ = pipeline_time_ns(&shm(), N, 1, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Closed-form anti-diagonal plane sizes.
+//!
+//! The number of lattice points `(i, j, k)` with `0 ≤ i ≤ n1`, `0 ≤ j ≤
+//! n2`, `0 ≤ k ≤ n3` and `i + j + k = d` follows from inclusion–exclusion
+//! over the three upper bounds: with `f(x) = C(x+2, 2)` (the number of
+//! non-negative solutions of `i+j+k = x`),
+//!
+//! ```text
+//! s(d) = f(d) − f(d−n1−1) − f(d−n2−1) − f(d−n3−1)
+//!       + f(d−n1−n2−2) + f(d−n1−n3−2) + f(d−n2−n3−2)
+//!       − f(d−n1−n2−n3−3)
+//! ```
+//!
+//! This gives the performance model its plane profile in `O(planes)` time
+//! instead of enumerating `O(n³)` cells.
+
+/// Non-negative solutions of `i + j + k = x`: `C(x+2, 2)`, 0 for `x < 0`.
+fn f(x: i64) -> i64 {
+    if x < 0 {
+        0
+    } else {
+        (x + 2) * (x + 1) / 2
+    }
+}
+
+/// Number of lattice cells on plane `d` of an `(n1, n2, n3)` lattice.
+pub fn plane_size(n1: usize, n2: usize, n3: usize, d: usize) -> usize {
+    let (a, b, c, d) = (n1 as i64, n2 as i64, n3 as i64, d as i64);
+    let s = f(d) - f(d - a - 1) - f(d - b - 1) - f(d - c - 1)
+        + f(d - a - b - 2)
+        + f(d - a - c - 2)
+        + f(d - b - c - 2)
+        - f(d - a - b - c - 3);
+    debug_assert!(s >= 0, "inclusion–exclusion went negative");
+    s as usize
+}
+
+/// The full plane-size profile, `d = 0 ..= n1+n2+n3`.
+pub fn plane_profile(n1: usize, n2: usize, n3: usize) -> Vec<usize> {
+    (0..=n1 + n2 + n3)
+        .map(|d| plane_size(n1, n2, n3, d))
+        .collect()
+}
+
+/// Tile-plane profile for tiles of edge `t` (sizes of the coarse
+/// wavefront's planes).
+pub fn tile_plane_profile(n1: usize, n2: usize, n3: usize, t: usize) -> Vec<usize> {
+    assert!(t > 0, "tile edge must be positive");
+    let tiles = |n: usize| (n + 1).div_ceil(t);
+    let (t1, t2, t3) = (tiles(n1), tiles(n2), tiles(n3));
+    plane_profile(t1 - 1, t2 - 1, t3 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_wavefront::plane::Extents;
+    use tsa_wavefront::stats::WavefrontStats;
+    use tsa_wavefront::TileGrid;
+
+    #[test]
+    fn closed_form_matches_enumeration() {
+        for (n1, n2, n3) in [(0, 0, 0), (1, 1, 1), (3, 5, 2), (7, 7, 7), (0, 4, 9)] {
+            let want = WavefrontStats::for_cells(Extents::new(n1, n2, n3)).plane_sizes;
+            let got = plane_profile(n1, n2, n3);
+            assert_eq!(got, want, "({n1},{n2},{n3})");
+        }
+    }
+
+    #[test]
+    fn profile_sums_to_cell_count() {
+        for (n1, n2, n3) in [(4, 4, 4), (10, 3, 6), (12, 12, 1)] {
+            let total: usize = plane_profile(n1, n2, n3).iter().sum();
+            assert_eq!(total, (n1 + 1) * (n2 + 1) * (n3 + 1));
+        }
+    }
+
+    #[test]
+    fn cube_profile_is_symmetric() {
+        let p = plane_profile(9, 9, 9);
+        let n = p.len();
+        for d in 0..n {
+            assert_eq!(p[d], p[n - 1 - d], "d={d}");
+        }
+        assert_eq!(p[0], 1);
+    }
+
+    #[test]
+    fn middle_plane_of_cube_is_maximal() {
+        let p = plane_profile(16, 16, 16);
+        let mid = p.len() / 2;
+        assert_eq!(p.iter().copied().max().unwrap(), p[mid]);
+    }
+
+    #[test]
+    fn tile_profile_matches_tile_grid() {
+        for (n, t) in [(15, 4), (16, 4), (9, 3), (20, 7)] {
+            let got = tile_plane_profile(n, n, n, t);
+            let tg = TileGrid::new(Extents::new(n, n, n), t);
+            let want = WavefrontStats::for_tiles(&tg).plane_sizes;
+            assert_eq!(got, want, "n={n} t={t}");
+        }
+    }
+
+    #[test]
+    fn f_is_triangle_numbers() {
+        assert_eq!(f(-1), 0);
+        assert_eq!(f(0), 1);
+        assert_eq!(f(1), 3);
+        assert_eq!(f(2), 6);
+        assert_eq!(f(3), 10);
+    }
+
+    #[test]
+    fn degenerate_axis() {
+        // n2 = n3 = 0: exactly one cell per plane.
+        assert_eq!(plane_profile(5, 0, 0), vec![1; 6]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Gap cost models.
+//!
+//! Penalties are stored as *score contributions* — i.e. they are expected to
+//! be negative for the usual maximization setting. A linear model charges
+//! `gap` for every residue aligned against a gap; an affine model charges
+//! `open + k * extend` for a maximal run of `k` gaps in one row relative to
+//! another.
+
+/// Linear or affine gap costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapModel {
+    /// Every residue–gap pair contributes `gap`.
+    Linear {
+        /// Per-residue gap contribution (usually negative).
+        gap: i32,
+    },
+    /// A maximal gap run of length `k` contributes `open + k * extend`.
+    Affine {
+        /// One-time contribution for opening a gap run (usually negative).
+        open: i32,
+        /// Per-residue contribution inside a run (usually negative).
+        extend: i32,
+    },
+}
+
+impl GapModel {
+    /// A linear model with per-residue contribution `gap`.
+    pub fn linear(gap: i32) -> Self {
+        GapModel::Linear { gap }
+    }
+
+    /// An affine model `open + k * extend`.
+    pub fn affine(open: i32, extend: i32) -> Self {
+        GapModel::Affine { open, extend }
+    }
+
+    /// The per-residue penalty if the model is linear.
+    pub fn linear_penalty(&self) -> Option<i32> {
+        match *self {
+            GapModel::Linear { gap } => Some(gap),
+            GapModel::Affine { .. } => None,
+        }
+    }
+
+    /// The opening contribution: 0 for linear models.
+    pub fn open_penalty(&self) -> i32 {
+        match *self {
+            GapModel::Linear { .. } => 0,
+            GapModel::Affine { open, .. } => open,
+        }
+    }
+
+    /// The per-residue extension contribution (equals the linear penalty for
+    /// linear models).
+    pub fn extend_penalty(&self) -> i32 {
+        match *self {
+            GapModel::Linear { gap } => gap,
+            GapModel::Affine { extend, .. } => extend,
+        }
+    }
+
+    /// Total contribution of a maximal gap run of length `len`.
+    pub fn run_cost(&self, len: usize) -> i32 {
+        if len == 0 {
+            return 0;
+        }
+        self.open_penalty() + (len as i32) * self.extend_penalty()
+    }
+
+    /// True if this is an affine model with `open != 0` (i.e. genuinely
+    /// different from a linear model).
+    pub fn is_truly_affine(&self) -> bool {
+        matches!(self, GapModel::Affine { open, .. } if *open != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_accessors() {
+        let g = GapModel::linear(-3);
+        assert_eq!(g.linear_penalty(), Some(-3));
+        assert_eq!(g.open_penalty(), 0);
+        assert_eq!(g.extend_penalty(), -3);
+        assert!(!g.is_truly_affine());
+    }
+
+    #[test]
+    fn affine_accessors() {
+        let g = GapModel::affine(-10, -1);
+        assert_eq!(g.linear_penalty(), None);
+        assert_eq!(g.open_penalty(), -10);
+        assert_eq!(g.extend_penalty(), -1);
+        assert!(g.is_truly_affine());
+    }
+
+    #[test]
+    fn affine_with_zero_open_is_effectively_linear() {
+        let g = GapModel::affine(0, -2);
+        assert!(!g.is_truly_affine());
+        assert_eq!(g.run_cost(5), GapModel::linear(-2).run_cost(5));
+    }
+
+    #[test]
+    fn run_cost_values() {
+        assert_eq!(GapModel::linear(-2).run_cost(0), 0);
+        assert_eq!(GapModel::linear(-2).run_cost(4), -8);
+        assert_eq!(GapModel::affine(-10, -1).run_cost(0), 0);
+        assert_eq!(GapModel::affine(-10, -1).run_cost(1), -11);
+        assert_eq!(GapModel::affine(-10, -1).run_cost(5), -15);
+    }
+}

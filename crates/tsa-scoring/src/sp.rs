@@ -1,0 +1,226 @@
+//! Sum-of-pairs (SP) scoring of alignment rows.
+//!
+//! An alignment of `k` sequences is a matrix of rows over `Option<u8>`
+//! (`None` = gap). Its SP score is the sum over all `k·(k−1)/2` row pairs of
+//! the pairwise alignment score of those two rows — equivalently, the sum
+//! over columns of the pairwise scores inside each column.
+//!
+//! Two gap conventions are supported, matching [`crate::GapModel`]:
+//!
+//! * **linear** — every residue–gap pair in a column contributes the gap
+//!   penalty; gap–gap contributes 0. Column-decomposable, so
+//!   [`sp_column`] exists and `sp_score_linear` is its sum.
+//! * **affine** — gap runs are charged `open + k·extend` *per row pair*,
+//!   after deleting columns where both rows gap (the *projected* pairwise
+//!   alignment). This is the standard "natural" SP gap cost.
+
+use crate::Scoring;
+
+/// Pairwise score of one column entry pair under linear gaps.
+#[inline]
+pub fn pair_score(scoring: &Scoring, x: Option<u8>, y: Option<u8>) -> i32 {
+    match (x, y) {
+        (Some(a), Some(b)) => scoring.sub(a, b),
+        (Some(_), None) | (None, Some(_)) => scoring.gap_linear(),
+        (None, None) => 0,
+    }
+}
+
+/// Sum-of-pairs score of a single 3-row column under linear gaps.
+#[inline]
+pub fn sp_column(scoring: &Scoring, col: [Option<u8>; 3]) -> i32 {
+    pair_score(scoring, col[0], col[1])
+        + pair_score(scoring, col[0], col[2])
+        + pair_score(scoring, col[1], col[2])
+}
+
+/// Linear-gap SP score of three equal-length rows.
+///
+/// # Panics
+/// Panics if the rows differ in length or the gap model is affine.
+pub fn sp_score_linear(scoring: &Scoring, rows: [&[Option<u8>]; 3]) -> i32 {
+    assert_eq!(rows[0].len(), rows[1].len(), "rows must be equal length");
+    assert_eq!(rows[0].len(), rows[2].len(), "rows must be equal length");
+    (0..rows[0].len())
+        .map(|c| sp_column(scoring, [rows[0][c], rows[1][c], rows[2][c]]))
+        .sum()
+}
+
+/// Affine (or linear) score of the *projection* of two rows: columns where
+/// both rows are gaps are removed, matches/mismatches use the matrix, and
+/// each maximal gap run is charged [`crate::GapModel::run_cost`].
+///
+/// With a linear gap model this equals the column-wise linear pairwise
+/// score, so it is the single entry point alignment re-scorers use.
+pub fn projected_pair_score(scoring: &Scoring, x: &[Option<u8>], y: &[Option<u8>]) -> i32 {
+    assert_eq!(x.len(), y.len(), "rows must be equal length");
+    let mut score = 0i32;
+    // Gap-run state: which row is currently inside a gap run (after
+    // projection). 0 = none, 1 = x gapped, 2 = y gapped.
+    let mut run: u8 = 0;
+    for c in 0..x.len() {
+        match (x[c], y[c]) {
+            (Some(a), Some(b)) => {
+                score += scoring.sub(a, b);
+                run = 0;
+            }
+            (None, Some(_)) => {
+                if run != 1 {
+                    score += scoring.gap.open_penalty();
+                    run = 1;
+                }
+                score += scoring.gap.extend_penalty();
+            }
+            (Some(_), None) => {
+                if run != 2 {
+                    score += scoring.gap.open_penalty();
+                    run = 2;
+                }
+                score += scoring.gap.extend_penalty();
+            }
+            // Both gapped: projected out entirely. The run state is kept so
+            // a gap in x, a shared gap column, then more gap in x counts as
+            // ONE projected run (the projection really is contiguous).
+            (None, None) => {}
+        }
+    }
+    score
+}
+
+/// SP score of three rows under the scoring's own gap model: linear models
+/// reduce to [`sp_score_linear`]; affine models sum the three
+/// [`projected_pair_score`]s.
+pub fn sp_score(scoring: &Scoring, rows: [&[Option<u8>]; 3]) -> i32 {
+    projected_pair_score(scoring, rows[0], rows[1])
+        + projected_pair_score(scoring, rows[0], rows[2])
+        + projected_pair_score(scoring, rows[1], rows[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GapModel;
+
+    fn g(c: char) -> Option<u8> {
+        if c == '-' {
+            None
+        } else {
+            Some(c as u8)
+        }
+    }
+
+    fn row(s: &str) -> Vec<Option<u8>> {
+        s.chars().map(g).collect()
+    }
+
+    #[test]
+    fn pair_score_cases() {
+        let s = Scoring::dna_default();
+        assert_eq!(pair_score(&s, g('A'), g('A')), 2);
+        assert_eq!(pair_score(&s, g('A'), g('C')), -1);
+        assert_eq!(pair_score(&s, g('A'), g('-')), -2);
+        assert_eq!(pair_score(&s, g('-'), g('A')), -2);
+        assert_eq!(pair_score(&s, g('-'), g('-')), 0);
+    }
+
+    #[test]
+    fn sp_column_enumerates_all_three_pairs() {
+        let s = Scoring::dna_default();
+        // (A, A, A): three matches.
+        assert_eq!(sp_column(&s, [g('A'); 3]), 6);
+        // (A, C, G): three mismatches.
+        assert_eq!(sp_column(&s, [g('A'), g('C'), g('G')]), -3);
+        // (A, A, -): one match + two gaps.
+        assert_eq!(sp_column(&s, [g('A'), g('A'), g('-')]), 2 - 2 - 2);
+        // (A, -, -): two gaps + one gap-gap.
+        assert_eq!(sp_column(&s, [g('A'), g('-'), g('-')]), -4);
+        // (-, -, -): nothing.
+        assert_eq!(sp_column(&s, [g('-'); 3]), 0);
+    }
+
+    #[test]
+    fn linear_sum_matches_columns() {
+        let s = Scoring::dna_default();
+        let (a, b, c) = (row("AC-T"), row("A-GT"), row("ACGT"));
+        let total = sp_score_linear(&s, [&a, &b, &c]);
+        let by_col: i32 = (0..4).map(|i| sp_column(&s, [a[i], b[i], c[i]])).sum();
+        assert_eq!(total, by_col);
+        // And sp_score agrees for linear models.
+        assert_eq!(total, sp_score(&s, [&a, &b, &c]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_rows_panic() {
+        let s = Scoring::dna_default();
+        let (a, b, c) = (row("AC"), row("ACT"), row("AC"));
+        let _ = sp_score_linear(&s, [&a, &b, &c]);
+    }
+
+    #[test]
+    fn projected_pair_linear_equals_columnwise() {
+        let s = Scoring::dna_default();
+        let x = row("AC--GT-");
+        let y = row("A-CG-TT");
+        let columnwise: i32 = (0..x.len()).map(|i| pair_score(&s, x[i], y[i])).sum();
+        assert_eq!(projected_pair_score(&s, &x, &y), columnwise);
+    }
+
+    #[test]
+    fn affine_charges_open_once_per_run() {
+        let s = Scoring::dna_default().with_gap(GapModel::affine(-10, -1));
+        // x: AAAA, y: A--A → one run of 2 in y.
+        let (x, y) = (row("AAAA"), row("A--A"));
+        assert_eq!(projected_pair_score(&s, &x, &y), 2 + 2 + (-10 - 2));
+        // Two separate runs pay open twice.
+        let (x, y) = (row("AAAAA"), row("A-A-A"));
+        assert_eq!(projected_pair_score(&s, &x, &y), 6 + 2 * (-10 - 1));
+    }
+
+    #[test]
+    fn affine_projection_merges_runs_across_gap_gap_columns() {
+        let s = Scoring::dna_default().with_gap(GapModel::affine(-10, -1));
+        // Column 2 is gap-gap; after projection x has ONE run of length 2.
+        let x = row("A---A");
+        let y = row("AG-GA");
+        // Projection deletes column 2: x = A--A vs y = AGGA, one run of 2.
+        assert_eq!(projected_pair_score(&s, &x, &y), 2 + 2 + (-10 - 2));
+    }
+
+    #[test]
+    fn affine_run_interrupted_by_other_rows_gap_reopens() {
+        let s = Scoring::dna_default().with_gap(GapModel::affine(-10, -1));
+        // x gap, then y gap, then x gap: three separate projected runs.
+        let x = row("A-G-A");
+        let y = row("AG-GA");
+        assert_eq!(
+            projected_pair_score(&s, &x, &y),
+            2 + 2 + 3 * (-10 - 1)
+        );
+    }
+
+    #[test]
+    fn sp_score_affine_sums_three_projections() {
+        let s = Scoring::dna_default().with_gap(GapModel::affine(-4, -1));
+        let (a, b, c) = (row("ACGT"), row("A-GT"), row("AC-T"));
+        let expect = projected_pair_score(&s, &a, &b)
+            + projected_pair_score(&s, &a, &c)
+            + projected_pair_score(&s, &b, &c);
+        assert_eq!(sp_score(&s, [&a, &b, &c]), expect);
+    }
+
+    #[test]
+    fn all_gap_rows_score_zero() {
+        let s = Scoring::dna_default();
+        let r = row("---");
+        assert_eq!(sp_score_linear(&s, [&r, &r, &r]), 0);
+        assert_eq!(sp_score(&s, [&r, &r, &r]), 0);
+    }
+
+    #[test]
+    fn empty_rows_score_zero() {
+        let s = Scoring::dna_default();
+        let r = row("");
+        assert_eq!(sp_score_linear(&s, [&r, &r, &r]), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for scoring: symmetry, decomposition, and gap algebra.
+
+use proptest::prelude::*;
+use tsa_scoring::{sp, GapModel, Scoring, SubstMatrix};
+
+fn residue() -> impl Strategy<Value = u8> {
+    prop::sample::select(b"ARNDCQEGHILKMFPSTWYV".to_vec())
+}
+
+fn entry() -> impl Strategy<Value = Option<u8>> {
+    prop_oneof![3 => residue().prop_map(Some), 1 => Just(None)]
+}
+
+fn scorings() -> Vec<Scoring> {
+    vec![
+        Scoring::unit(),
+        Scoring::dna_default(),
+        Scoring::blosum62(),
+        Scoring::pam250(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn substitution_is_symmetric(a in residue(), b in residue()) {
+        for s in scorings() {
+            prop_assert_eq!(s.sub(a, b), s.sub(b, a), "{}", s.matrix.name());
+        }
+    }
+
+    #[test]
+    fn sp_column_is_permutation_invariant(col in [entry(), entry(), entry()]) {
+        let s = Scoring::blosum62();
+        let base = sp::sp_column(&s, col);
+        for perm in [
+            [col[0], col[2], col[1]],
+            [col[1], col[0], col[2]],
+            [col[1], col[2], col[0]],
+            [col[2], col[0], col[1]],
+            [col[2], col[1], col[0]],
+        ] {
+            prop_assert_eq!(sp::sp_column(&s, perm), base);
+        }
+    }
+
+    #[test]
+    fn sp_column_decomposes_into_pairs(col in [entry(), entry(), entry()]) {
+        let s = Scoring::pam250();
+        let want = sp::pair_score(&s, col[0], col[1])
+            + sp::pair_score(&s, col[0], col[2])
+            + sp::pair_score(&s, col[1], col[2]);
+        prop_assert_eq!(sp::sp_column(&s, col), want);
+    }
+
+    #[test]
+    fn linear_sp_is_column_sum(rows in prop::collection::vec([entry(), entry(), entry()], 0..30)) {
+        let s = Scoring::dna_default();
+        let (mut r0, mut r1, mut r2) = (Vec::new(), Vec::new(), Vec::new());
+        for col in &rows {
+            r0.push(col[0]);
+            r1.push(col[1]);
+            r2.push(col[2]);
+        }
+        let by_cols: i32 = rows.iter().map(|&c| sp::sp_column(&s, c)).sum();
+        prop_assert_eq!(sp::sp_score_linear(&s, [&r0, &r1, &r2]), by_cols);
+        prop_assert_eq!(sp::sp_score(&s, [&r0, &r1, &r2]), by_cols);
+    }
+
+    #[test]
+    fn affine_never_beats_open_free(rows in prop::collection::vec([entry(), entry()], 0..30)) {
+        // For the same extension cost, adding an opening penalty can only
+        // lower a projected pairwise score.
+        let base = Scoring::dna_default().with_gap(GapModel::affine(0, -2));
+        let open = Scoring::dna_default().with_gap(GapModel::affine(-7, -2));
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        for col in &rows {
+            x.push(col[0]);
+            y.push(col[1]);
+        }
+        prop_assert!(
+            sp::projected_pair_score(&open, &x, &y) <= sp::projected_pair_score(&base, &x, &y)
+        );
+    }
+
+    #[test]
+    fn run_cost_is_affine_in_length(len in 0usize..50, open in -20i32..=0, ext in -10i32..=0) {
+        let g = GapModel::affine(open, ext);
+        let want = if len == 0 { 0 } else { open + len as i32 * ext };
+        prop_assert_eq!(g.run_cost(len), want);
+    }
+
+    #[test]
+    fn from_fn_matrices_sample_exactly(a in any::<u8>(), b in any::<u8>()) {
+        let m = SubstMatrix::from_fn("xor", |x, y| (x ^ y) as i32);
+        prop_assert_eq!(m.sub(a, b), (a ^ b) as i32);
+    }
+
+    #[test]
+    fn wildcards_are_neutral(a in residue()) {
+        // N is neutral in the match/mismatch matrices; X is neutral in the
+        // protein matrices (it is outside the 20-residue table).
+        prop_assert_eq!(Scoring::unit().sub(a, b'N'), 0);
+        prop_assert_eq!(Scoring::dna_default().sub(a, b'N'), 0);
+        prop_assert_eq!(Scoring::blosum62().sub(a, b'X'), 0);
+        prop_assert_eq!(Scoring::pam250().sub(b'X', a), 0);
+    }
+}

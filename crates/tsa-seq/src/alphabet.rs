@@ -1,0 +1,194 @@
+//! Biological alphabets with validation and canonicalization.
+//!
+//! The aligner itself is alphabet-agnostic (it works on raw `u8` residues and
+//! a substitution function), but workload generation, FASTA IO, and scoring
+//! matrices all need to agree on which residues are legal. The [`Alphabet`]
+//! enum is that single point of agreement.
+
+use crate::SeqError;
+
+/// The 20 standard amino acids in the conventional one-letter order used by
+/// BLOSUM/PAM matrix tables.
+pub const AMINO_ACIDS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// The four DNA nucleotides.
+pub const DNA_BASES: &[u8; 4] = b"ACGT";
+
+/// The four RNA nucleotides.
+pub const RNA_BASES: &[u8; 4] = b"ACGU";
+
+/// A residue alphabet. Determines which bytes are valid sequence content.
+///
+/// Validation is case-insensitive; canonicalization upper-cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// `A C G T` (+ `N` wildcard accepted on input).
+    Dna,
+    /// `A C G U` (+ `N` wildcard accepted on input).
+    Rna,
+    /// The 20 standard amino acids (+ `X` wildcard accepted on input).
+    Protein,
+}
+
+impl Alphabet {
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Alphabet::Dna => "DNA",
+            Alphabet::Rna => "RNA",
+            Alphabet::Protein => "protein",
+        }
+    }
+
+    /// The canonical residues of this alphabet, excluding wildcards.
+    pub fn residues(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => DNA_BASES,
+            Alphabet::Rna => RNA_BASES,
+            Alphabet::Protein => AMINO_ACIDS,
+        }
+    }
+
+    /// The wildcard residue accepted on input (`N` for nucleotides, `X` for
+    /// protein).
+    pub fn wildcard(self) -> u8 {
+        match self {
+            Alphabet::Dna | Alphabet::Rna => b'N',
+            Alphabet::Protein => b'X',
+        }
+    }
+
+    /// Number of canonical residues.
+    pub fn size(self) -> usize {
+        self.residues().len()
+    }
+
+    /// Is `byte` (case-insensitively) a member of this alphabet, including
+    /// the wildcard?
+    pub fn contains(self, byte: u8) -> bool {
+        let up = byte.to_ascii_uppercase();
+        up == self.wildcard() || self.residues().contains(&up)
+    }
+
+    /// Validate a residue string; returns the position and byte of the first
+    /// offender, if any.
+    pub fn validate(self, residues: &[u8]) -> Result<(), SeqError> {
+        for (position, &byte) in residues.iter().enumerate() {
+            if !self.contains(byte) {
+                return Err(SeqError::InvalidResidue {
+                    byte,
+                    position,
+                    alphabet: self.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Upper-case every residue in place.
+    pub fn canonicalize(self, residues: &mut [u8]) {
+        for b in residues {
+            *b = b.to_ascii_uppercase();
+        }
+    }
+
+    /// Index of a canonical residue within [`Alphabet::residues`], or `None`
+    /// for wildcards / invalid bytes. Used by dense scoring-matrix lookups.
+    pub fn index_of(self, byte: u8) -> Option<usize> {
+        let up = byte.to_ascii_uppercase();
+        self.residues().iter().position(|&r| r == up)
+    }
+
+    /// Infer the most plausible alphabet for a residue string: DNA if it
+    /// fits, then RNA, then protein.
+    pub fn infer(residues: &[u8]) -> Option<Alphabet> {
+        [Alphabet::Dna, Alphabet::Rna, Alphabet::Protein]
+            .into_iter()
+            .find(|a| a.validate(residues).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_membership() {
+        for &b in b"ACGTacgtNn" {
+            assert!(Alphabet::Dna.contains(b), "{}", b as char);
+        }
+        assert!(!Alphabet::Dna.contains(b'U'));
+        assert!(!Alphabet::Dna.contains(b'-'));
+        assert!(!Alphabet::Dna.contains(b'Z'));
+    }
+
+    #[test]
+    fn rna_membership() {
+        assert!(Alphabet::Rna.contains(b'U'));
+        assert!(Alphabet::Rna.contains(b'u'));
+        assert!(!Alphabet::Rna.contains(b'T'));
+    }
+
+    #[test]
+    fn protein_membership() {
+        for &b in AMINO_ACIDS {
+            assert!(Alphabet::Protein.contains(b));
+            assert!(Alphabet::Protein.contains(b.to_ascii_lowercase()));
+        }
+        assert!(Alphabet::Protein.contains(b'X'));
+        // B, J, O, U, Z are not standard amino acids here.
+        for &b in b"BJOUZ" {
+            assert!(!Alphabet::Protein.contains(b), "{}", b as char);
+        }
+    }
+
+    #[test]
+    fn validate_reports_first_offender() {
+        let err = Alphabet::Dna.validate(b"ACGXT").unwrap_err();
+        assert_eq!(
+            err,
+            SeqError::InvalidResidue {
+                byte: b'X',
+                position: 3,
+                alphabet: "DNA"
+            }
+        );
+    }
+
+    #[test]
+    fn validate_accepts_empty() {
+        assert!(Alphabet::Protein.validate(b"").is_ok());
+    }
+
+    #[test]
+    fn canonicalize_uppercases() {
+        let mut v = b"acgt".to_vec();
+        Alphabet::Dna.canonicalize(&mut v);
+        assert_eq!(v, b"ACGT");
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        for (i, &r) in AMINO_ACIDS.iter().enumerate() {
+            assert_eq!(Alphabet::Protein.index_of(r), Some(i));
+            assert_eq!(Alphabet::Protein.index_of(r.to_ascii_lowercase()), Some(i));
+        }
+        assert_eq!(Alphabet::Protein.index_of(b'X'), None);
+        assert_eq!(Alphabet::Dna.index_of(b'G'), Some(2));
+    }
+
+    #[test]
+    fn infer_prefers_dna() {
+        assert_eq!(Alphabet::infer(b"ACGT"), Some(Alphabet::Dna));
+        assert_eq!(Alphabet::infer(b"ACGU"), Some(Alphabet::Rna));
+        assert_eq!(Alphabet::infer(b"MKWVT"), Some(Alphabet::Protein));
+        assert_eq!(Alphabet::infer(b"123"), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Alphabet::Dna.size(), 4);
+        assert_eq!(Alphabet::Rna.size(), 4);
+        assert_eq!(Alphabet::Protein.size(), 20);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared across the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing, or generating sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A residue not permitted by the target alphabet was encountered.
+    InvalidResidue {
+        /// Offending byte.
+        byte: u8,
+        /// 0-based position within the sequence.
+        position: usize,
+        /// Name of the alphabet that rejected the byte.
+        alphabet: &'static str,
+    },
+    /// FASTA input was structurally malformed.
+    Fasta {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An empty sequence where a non-empty one is required.
+    Empty,
+    /// A configuration parameter was out of its legal range.
+    BadConfig(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidResidue {
+                byte,
+                position,
+                alphabet,
+            } => write!(
+                f,
+                "invalid residue {:?} (0x{byte:02x}) at position {position} for alphabet {alphabet}",
+                char::from(*byte)
+            ),
+            SeqError::Fasta { line, message } => {
+                write!(f, "malformed FASTA at line {line}: {message}")
+            }
+            SeqError::Empty => write!(f, "sequence must be non-empty"),
+            SeqError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_residue() {
+        let e = SeqError::InvalidResidue {
+            byte: b'Z',
+            position: 3,
+            alphabet: "DNA",
+        };
+        let s = e.to_string();
+        assert!(s.contains("'Z'"), "{s}");
+        assert!(s.contains("position 3"), "{s}");
+        assert!(s.contains("DNA"), "{s}");
+    }
+
+    #[test]
+    fn display_fasta() {
+        let e = SeqError::Fasta {
+            line: 7,
+            message: "record with no header".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn display_empty_and_config() {
+        assert!(SeqError::Empty.to_string().contains("non-empty"));
+        assert!(SeqError::BadConfig("p out of range".into())
+            .to_string()
+            .contains("p out of range"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SeqError::Empty);
+    }
+}

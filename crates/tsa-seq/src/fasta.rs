@@ -1,0 +1,216 @@
+//! Minimal, dependency-light FASTA parsing and emission.
+//!
+//! Supports multi-line records, `>id description` headers, comment lines
+//! beginning with `;` (a legacy FASTA convention), and CRLF line endings.
+//! Parsing validates residues against a caller-supplied [`Alphabet`], or
+//! infers one per record with [`parse_auto`].
+
+use crate::{Alphabet, Seq, SeqError};
+use bytes::{BufMut, BytesMut};
+
+/// Parse FASTA text, validating every record against `alphabet`.
+///
+/// Returns the records in file order. An input with no records yields an
+/// empty vector; residue data before the first header is an error.
+pub fn parse(input: &str, alphabet: Alphabet) -> Result<Vec<Seq>, SeqError> {
+    let raw = parse_raw(input)?;
+    raw.into_iter()
+        .map(|r| {
+            let seq = Seq::new(r.id, alphabet, r.residues)?;
+            Ok(match r.description {
+                Some(d) => seq.with_description(d),
+                None => seq,
+            })
+        })
+        .collect()
+}
+
+/// Parse FASTA text, inferring the alphabet of each record independently
+/// (DNA preferred, then RNA, then protein).
+pub fn parse_auto(input: &str) -> Result<Vec<Seq>, SeqError> {
+    let raw = parse_raw(input)?;
+    raw.into_iter()
+        .map(|r| {
+            let alphabet = Alphabet::infer(&r.residues).ok_or(SeqError::Fasta {
+                line: r.header_line,
+                message: format!("record `{}` fits no known alphabet", r.id),
+            })?;
+            let seq = Seq::new(r.id, alphabet, r.residues)?;
+            Ok(match r.description {
+                Some(d) => seq.with_description(d),
+                None => seq,
+            })
+        })
+        .collect()
+}
+
+/// Serialize records as FASTA with lines wrapped at `width` residues
+/// (`width == 0` means no wrapping).
+pub fn emit(seqs: &[Seq], width: usize) -> String {
+    let mut out = BytesMut::new();
+    for s in seqs {
+        out.put_u8(b'>');
+        out.put_slice(s.id().as_bytes());
+        if let Some(d) = s.description() {
+            out.put_u8(b' ');
+            out.put_slice(d.as_bytes());
+        }
+        out.put_u8(b'\n');
+        if width == 0 {
+            out.put_slice(s.residues());
+            out.put_u8(b'\n');
+        } else {
+            for chunk in s.residues().chunks(width) {
+                out.put_slice(chunk);
+                out.put_u8(b'\n');
+            }
+            if s.is_empty() {
+                // keep a blank body line so the record count survives
+                // round-trips of empty sequences
+            }
+        }
+    }
+    String::from_utf8(out.to_vec()).expect("FASTA output is ASCII")
+}
+
+struct RawRecord {
+    id: String,
+    description: Option<String>,
+    residues: Vec<u8>,
+    header_line: usize,
+}
+
+fn parse_raw(input: &str) -> Result<Vec<RawRecord>, SeqError> {
+    let mut records: Vec<RawRecord> = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim_end_matches('\r');
+        if line.starts_with(';') || line.trim().is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let header = header.trim();
+            if header.is_empty() {
+                return Err(SeqError::Fasta {
+                    line: line_no,
+                    message: "header with empty id".into(),
+                });
+            }
+            let (id, description) = match header.split_once(char::is_whitespace) {
+                Some((id, rest)) => (id.to_string(), Some(rest.trim().to_string())),
+                None => (header.to_string(), None),
+            };
+            records.push(RawRecord {
+                id,
+                description,
+                residues: Vec::new(),
+                header_line: line_no,
+            });
+        } else {
+            let record = records.last_mut().ok_or(SeqError::Fasta {
+                line: line_no,
+                message: "sequence data before first `>` header".into(),
+            })?;
+            record
+                .residues
+                .extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = ">s1 first sequence\nACGT\nACGT\n>s2\nTTTT\n";
+
+    #[test]
+    fn parses_two_records() {
+        let seqs = parse(SAMPLE, Alphabet::Dna).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id(), "s1");
+        assert_eq!(seqs[0].description(), Some("first sequence"));
+        assert_eq!(seqs[0].residues(), b"ACGTACGT");
+        assert_eq!(seqs[1].id(), "s2");
+        assert_eq!(seqs[1].description(), None);
+        assert_eq!(seqs[1].residues(), b"TTTT");
+    }
+
+    #[test]
+    fn tolerates_crlf_comments_and_blank_lines() {
+        let input = "; comment\r\n>s1\r\nAC\r\n\r\nGT\r\n";
+        let seqs = parse(input, Alphabet::Dna).unwrap();
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].residues(), b"ACGT");
+    }
+
+    #[test]
+    fn lowercase_input_is_canonicalized() {
+        let seqs = parse(">s\nacgt\n", Alphabet::Dna).unwrap();
+        assert_eq!(seqs[0].residues(), b"ACGT");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        let err = parse("ACGT\n>s\nAC\n", Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_header_is_an_error() {
+        let err = parse(">\nACGT\n", Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { line: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_residue_is_reported() {
+        let err = parse(">s\nACQT\n", Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, SeqError::InvalidResidue { byte: b'Q', .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(parse("", Alphabet::Dna).unwrap().is_empty());
+        assert!(parse("\n\n; only comments\n", Alphabet::Dna).unwrap().is_empty());
+    }
+
+    #[test]
+    fn auto_infers_per_record() {
+        let seqs = parse_auto(">d\nACGT\n>r\nACGU\n>p\nMKWV\n").unwrap();
+        assert_eq!(seqs[0].alphabet(), Alphabet::Dna);
+        assert_eq!(seqs[1].alphabet(), Alphabet::Rna);
+        assert_eq!(seqs[2].alphabet(), Alphabet::Protein);
+    }
+
+    #[test]
+    fn auto_rejects_unclassifiable() {
+        let err = parse_auto(">s\nAC9T\n").unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { .. }));
+    }
+
+    #[test]
+    fn emit_wraps_lines() {
+        let s = Seq::new("s1", Alphabet::Dna, b"ACGTACGTAC".to_vec()).unwrap();
+        let out = emit(std::slice::from_ref(&s), 4);
+        assert_eq!(out, ">s1\nACGT\nACGT\nAC\n");
+        let unwrapped = emit(std::slice::from_ref(&s), 0);
+        assert_eq!(unwrapped, ">s1\nACGTACGTAC\n");
+    }
+
+    #[test]
+    fn emit_includes_description() {
+        let s = Seq::new("s1", Alphabet::Dna, b"AC".to_vec())
+            .unwrap()
+            .with_description("hello world");
+        assert_eq!(emit(&[s], 0), ">s1 hello world\nAC\n");
+    }
+
+    #[test]
+    fn round_trip() {
+        let seqs = parse(SAMPLE, Alphabet::Dna).unwrap();
+        let emitted = emit(&seqs, 60);
+        let reparsed = parse(&emitted, Alphabet::Dna).unwrap();
+        assert_eq!(seqs, reparsed);
+    }
+}

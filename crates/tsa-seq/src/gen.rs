@@ -1,0 +1,164 @@
+//! Random sequence generation.
+//!
+//! Deterministic given a seed (all generators take an explicit RNG or a
+//! `u64` seed and use [`rand::rngs::StdRng`]), so every experiment in the
+//! bench harness is reproducible run-to-run.
+
+use crate::{Alphabet, Seq};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw a uniformly random residue of `alphabet`.
+pub fn random_residue(alphabet: Alphabet, rng: &mut impl Rng) -> u8 {
+    let residues = alphabet.residues();
+    residues[rng.gen_range(0..residues.len())]
+}
+
+/// Draw a uniformly random residue different from `exclude` — used by the
+/// substitution mutation operator.
+pub fn random_residue_excluding(alphabet: Alphabet, exclude: u8, rng: &mut impl Rng) -> u8 {
+    debug_assert!(alphabet.residues().contains(&exclude));
+    loop {
+        let r = random_residue(alphabet, rng);
+        if r != exclude {
+            return r;
+        }
+    }
+}
+
+/// Generate a uniformly random sequence of `len` residues.
+pub fn random_seq(alphabet: Alphabet, len: usize, rng: &mut impl Rng) -> Seq {
+    let residues: Vec<u8> = (0..len).map(|_| random_residue(alphabet, rng)).collect();
+    Seq::new("random", alphabet, residues).expect("generated residues are canonical")
+}
+
+/// Generate a uniformly random sequence from a bare seed.
+pub fn random_seq_seeded(alphabet: Alphabet, len: usize, seed: u64) -> Seq {
+    random_seq(alphabet, len, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Generate a random sequence with an explicit residue composition.
+///
+/// `weights[i]` is the relative frequency of `alphabet.residues()[i]`.
+/// Useful for GC-biased DNA or composition-realistic protein workloads.
+pub fn random_seq_weighted(
+    alphabet: Alphabet,
+    len: usize,
+    weights: &[f64],
+    rng: &mut impl Rng,
+) -> Result<Seq, crate::SeqError> {
+    let residues = alphabet.residues();
+    if weights.len() != residues.len() {
+        return Err(crate::SeqError::BadConfig(format!(
+            "expected {} weights for {}, got {}",
+            residues.len(),
+            alphabet.name(),
+            weights.len()
+        )));
+    }
+    if weights.iter().any(|&w| w < 0.0) || weights.iter().sum::<f64>() <= 0.0 {
+        return Err(crate::SeqError::BadConfig(
+            "weights must be non-negative and sum to a positive value".into(),
+        ));
+    }
+    let dist = WeightedIndex::new(weights)
+        .map_err(|e| crate::SeqError::BadConfig(format!("bad weights: {e}")))?;
+    let body: Vec<u8> = (0..len).map(|_| residues[dist.sample(rng)]).collect();
+    Ok(Seq::new("random-weighted", alphabet, body).expect("generated residues are canonical"))
+}
+
+/// Generate DNA with a target GC fraction (`0.0 ..= 1.0`).
+pub fn random_dna_gc(len: usize, gc: f64, rng: &mut impl Rng) -> Result<Seq, crate::SeqError> {
+    if !(0.0..=1.0).contains(&gc) {
+        return Err(crate::SeqError::BadConfig(format!(
+            "gc fraction {gc} out of [0, 1]"
+        )));
+    }
+    let at = (1.0 - gc) / 2.0;
+    let g = gc / 2.0;
+    // residue order is A C G T
+    random_seq_weighted(Alphabet::Dna, len, &[at, g, g, at], rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_seq_has_requested_length_and_alphabet() {
+        let s = random_seq(Alphabet::Protein, 100, &mut rng(1));
+        assert_eq!(s.len(), 100);
+        assert!(Alphabet::Protein.validate(s.residues()).is_ok());
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = random_seq_seeded(Alphabet::Dna, 64, 7);
+        let b = random_seq_seeded(Alphabet::Dna, 64, 7);
+        let c = random_seq_seeded(Alphabet::Dna, 64, 8);
+        assert_eq!(a.residues(), b.residues());
+        assert_ne!(a.residues(), c.residues());
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        assert!(random_seq(Alphabet::Dna, 0, &mut rng(1)).is_empty());
+    }
+
+    #[test]
+    fn excluding_never_returns_excluded() {
+        let mut r = rng(3);
+        for _ in 0..200 {
+            assert_ne!(random_residue_excluding(Alphabet::Dna, b'A', &mut r), b'A');
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = rng(5);
+        // Only C and G allowed.
+        let s = random_seq_weighted(Alphabet::Dna, 500, &[0.0, 1.0, 1.0, 0.0], &mut r).unwrap();
+        assert!(s.residues().iter().all(|&b| b == b'C' || b == b'G'));
+    }
+
+    #[test]
+    fn weighted_rejects_bad_config() {
+        let mut r = rng(5);
+        assert!(random_seq_weighted(Alphabet::Dna, 10, &[1.0; 3], &mut r).is_err());
+        assert!(random_seq_weighted(Alphabet::Dna, 10, &[-1.0, 1.0, 1.0, 1.0], &mut r).is_err());
+        assert!(random_seq_weighted(Alphabet::Dna, 10, &[0.0; 4], &mut r).is_err());
+    }
+
+    #[test]
+    fn gc_bias_shifts_composition() {
+        let mut r = rng(9);
+        let hi = random_dna_gc(4000, 0.9, &mut r).unwrap();
+        let lo = random_dna_gc(4000, 0.1, &mut r).unwrap();
+        let gc_frac = |s: &Seq| {
+            s.residues().iter().filter(|&&b| b == b'G' || b == b'C').count() as f64
+                / s.len() as f64
+        };
+        assert!(gc_frac(&hi) > 0.8, "{}", gc_frac(&hi));
+        assert!(gc_frac(&lo) < 0.2, "{}", gc_frac(&lo));
+    }
+
+    #[test]
+    fn gc_out_of_range_rejected() {
+        assert!(random_dna_gc(10, 1.5, &mut rng(1)).is_err());
+    }
+
+    #[test]
+    fn uniform_composition_is_roughly_uniform() {
+        let s = random_seq(Alphabet::Dna, 8000, &mut rng(11));
+        for &b in Alphabet::Dna.residues() {
+            let frac =
+                s.residues().iter().filter(|&&x| x == b).count() as f64 / s.len() as f64;
+            assert!((frac - 0.25).abs() < 0.05, "{}: {frac}", b as char);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! K-mer indexing: the seeding substrate for anchored alignment.
+//!
+//! A [`KmerIndex`] maps every length-`k` substring of a sequence to its
+//! start positions. Exact three-way seed matches (k-mers present in all
+//! three inputs) become the *anchors* the anchored aligner chains; see
+//! `tsa-core::anchored`.
+
+use crate::Seq;
+use std::collections::HashMap;
+
+/// An index of all k-mers of one sequence.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    map: HashMap<Vec<u8>, Vec<usize>>,
+}
+
+impl KmerIndex {
+    /// Index every k-mer of `seq` (positions in residue coordinates).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn build(seq: &Seq, k: usize) -> Self {
+        assert!(k > 0, "k-mer length must be positive");
+        let mut map: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+        let residues = seq.residues();
+        if residues.len() >= k {
+            for start in 0..=residues.len() - k {
+                map.entry(residues[start..start + k].to_vec())
+                    .or_default()
+                    .push(start);
+            }
+        }
+        KmerIndex { k, map }
+    }
+
+    /// The indexed k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Positions at which `kmer` occurs (empty if absent or wrong length).
+    pub fn positions(&self, kmer: &[u8]) -> &[usize] {
+        self.map.get(kmer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate `(kmer, positions)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[usize])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+}
+
+/// All `(pos_a, pos_b, pos_c)` triples at which the same k-mer starts in
+/// all three sequences. K-mers occurring more than `max_occurrences`
+/// times in any one sequence are skipped (low-complexity repeats would
+/// otherwise explode the product).
+pub fn shared_kmers(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    k: usize,
+    max_occurrences: usize,
+) -> Vec<(usize, usize, usize)> {
+    let ia = KmerIndex::build(a, k);
+    let ib = KmerIndex::build(b, k);
+    let ic = KmerIndex::build(c, k);
+    let mut out = Vec::new();
+    for (kmer, pa) in ia.iter() {
+        if pa.len() > max_occurrences {
+            continue;
+        }
+        let pb = ib.positions(kmer);
+        if pb.is_empty() || pb.len() > max_occurrences {
+            continue;
+        }
+        let pc = ic.positions(kmer);
+        if pc.is_empty() || pc.len() > max_occurrences {
+            continue;
+        }
+        for &x in pa {
+            for &y in pb {
+                for &z in pc {
+                    out.push((x, y, z));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_counts_positions() {
+        let s = Seq::dna("ACGACGA").unwrap();
+        let idx = KmerIndex::build(&s, 3);
+        assert_eq!(idx.k(), 3);
+        assert_eq!(idx.positions(b"ACG"), &[0, 3]);
+        assert_eq!(idx.positions(b"CGA"), &[1, 4]);
+        assert_eq!(idx.positions(b"TTT"), &[] as &[usize]);
+        // 5 windows, distinct: ACG, CGA, GAC, ACG(dup), CGA(dup) → 3.
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn short_sequence_has_no_kmers() {
+        let s = Seq::dna("AC").unwrap();
+        let idx = KmerIndex::build(&s, 3);
+        assert_eq!(idx.distinct(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let s = Seq::dna("ACGT").unwrap();
+        let _ = KmerIndex::build(&s, 0);
+    }
+
+    #[test]
+    fn shared_kmers_finds_common_seed() {
+        let a = Seq::dna("TTGATTACA").unwrap();
+        let b = Seq::dna("CCGATTACACC").unwrap();
+        let c = Seq::dna("GATTACAGG").unwrap();
+        let shared = shared_kmers(&a, &b, &c, 7, 4);
+        assert!(shared.contains(&(2, 2, 0)), "{shared:?}");
+    }
+
+    #[test]
+    fn repeat_cap_suppresses_low_complexity() {
+        let a = Seq::dna("AAAAAAAAAA").unwrap();
+        let uncapped = shared_kmers(&a, &a, &a, 3, 100);
+        assert_eq!(uncapped.len(), 8 * 8 * 8);
+        let capped = shared_kmers(&a, &a, &a, 3, 4);
+        assert!(capped.is_empty());
+    }
+
+    #[test]
+    fn no_shared_kmers_between_disjoint_sequences() {
+        let a = Seq::dna("AAAA").unwrap();
+        let b = Seq::dna("CCCC").unwrap();
+        let c = Seq::dna("GGGG").unwrap();
+        assert!(shared_kmers(&a, &b, &c, 2, 10).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let a = Seq::dna("ACGTACGT").unwrap();
+        let shared = shared_kmers(&a, &a, &a, 4, 10);
+        let mut sorted = shared.clone();
+        sorted.sort_unstable();
+        assert_eq!(shared, sorted);
+        assert!(!shared.is_empty());
+    }
+}

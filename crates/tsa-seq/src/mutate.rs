@@ -1,0 +1,176 @@
+//! A point-mutation model: substitutions, insertions, deletions.
+//!
+//! Applied to an ancestor sequence, it produces a descendant whose expected
+//! divergence is controlled by per-position rates. This is the engine behind
+//! the three-sequence family workloads in [`crate::family`].
+
+use crate::gen::{random_residue, random_residue_excluding};
+use crate::{Seq, SeqError};
+use rand::Rng;
+
+/// Per-position mutation rates. All rates are probabilities in `[0, 1]`;
+/// `substitution + deletion` must not exceed 1 (they compete for the same
+/// position), while insertion is evaluated independently before each
+/// position and once after the last.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationModel {
+    /// Probability that a position is substituted by a different residue.
+    pub substitution: f64,
+    /// Probability that a position is deleted.
+    pub deletion: f64,
+    /// Probability of inserting a random residue before a position.
+    pub insertion: f64,
+}
+
+impl MutationModel {
+    /// Build a model, validating ranges.
+    pub fn new(substitution: f64, deletion: f64, insertion: f64) -> Result<Self, SeqError> {
+        for (name, v) in [
+            ("substitution", substitution),
+            ("deletion", deletion),
+            ("insertion", insertion),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SeqError::BadConfig(format!(
+                    "{name} rate {v} out of [0, 1]"
+                )));
+            }
+        }
+        if substitution + deletion > 1.0 {
+            return Err(SeqError::BadConfig(format!(
+                "substitution + deletion = {} exceeds 1",
+                substitution + deletion
+            )));
+        }
+        Ok(MutationModel {
+            substitution,
+            deletion,
+            insertion,
+        })
+    }
+
+    /// A pure-substitution model (no indels) — keeps lengths equal, which
+    /// some experiments rely on.
+    pub fn substitutions_only(rate: f64) -> Result<Self, SeqError> {
+        MutationModel::new(rate, 0.0, 0.0)
+    }
+
+    /// The identity model: no mutation at all.
+    pub fn identity() -> Self {
+        MutationModel {
+            substitution: 0.0,
+            deletion: 0.0,
+            insertion: 0.0,
+        }
+    }
+
+    /// Apply the model to `ancestor`, producing a mutated descendant.
+    pub fn apply(&self, ancestor: &Seq, rng: &mut impl Rng) -> Seq {
+        let alphabet = ancestor.alphabet();
+        let mut out = Vec::with_capacity(ancestor.len() + ancestor.len() / 8 + 4);
+        for &residue in ancestor.residues() {
+            if rng.gen_bool(self.insertion) {
+                out.push(random_residue(alphabet, rng));
+            }
+            let roll: f64 = rng.gen();
+            if roll < self.deletion {
+                // position deleted
+            } else if roll < self.deletion + self.substitution {
+                out.push(random_residue_excluding(alphabet, residue, rng));
+            } else {
+                out.push(residue);
+            }
+        }
+        if rng.gen_bool(self.insertion) {
+            out.push(random_residue(alphabet, rng));
+        }
+        Seq::new(format!("{}-mut", ancestor.id()), alphabet, out)
+            .expect("mutation preserves alphabet membership")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_seq;
+    use crate::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn identity_model_is_noop() {
+        let mut r = rng(1);
+        let a = random_seq(Alphabet::Dna, 50, &mut r);
+        let d = MutationModel::identity().apply(&a, &mut r);
+        assert_eq!(d.residues(), a.residues());
+    }
+
+    #[test]
+    fn substitutions_only_preserves_length() {
+        let mut r = rng(2);
+        let a = random_seq(Alphabet::Protein, 200, &mut r);
+        let m = MutationModel::substitutions_only(0.3).unwrap();
+        let d = m.apply(&a, &mut r);
+        assert_eq!(d.len(), a.len());
+        assert!(d.identity_with(&a) < 1.0);
+    }
+
+    #[test]
+    fn substitution_rate_roughly_respected() {
+        let mut r = rng(3);
+        let a = random_seq(Alphabet::Protein, 5000, &mut r);
+        let m = MutationModel::substitutions_only(0.2).unwrap();
+        let d = m.apply(&a, &mut r);
+        let identity = d.identity_with(&a);
+        assert!((identity - 0.8).abs() < 0.03, "identity {identity}");
+    }
+
+    #[test]
+    fn full_substitution_changes_everything() {
+        let mut r = rng(4);
+        let a = random_seq(Alphabet::Dna, 100, &mut r);
+        let m = MutationModel::substitutions_only(1.0).unwrap();
+        let d = m.apply(&a, &mut r);
+        assert_eq!(d.identity_with(&a), 0.0);
+    }
+
+    #[test]
+    fn deletions_shrink_insertions_grow() {
+        let mut r = rng(5);
+        let a = random_seq(Alphabet::Dna, 2000, &mut r);
+        let del = MutationModel::new(0.0, 0.3, 0.0).unwrap().apply(&a, &mut r);
+        assert!(del.len() < a.len());
+        let ins = MutationModel::new(0.0, 0.0, 0.3).unwrap().apply(&a, &mut r);
+        assert!(ins.len() > a.len());
+    }
+
+    #[test]
+    fn bad_rates_rejected() {
+        assert!(MutationModel::new(1.1, 0.0, 0.0).is_err());
+        assert!(MutationModel::new(-0.1, 0.0, 0.0).is_err());
+        assert!(MutationModel::new(0.0, 0.0, 2.0).is_err());
+        assert!(MutationModel::new(0.7, 0.7, 0.0).is_err());
+    }
+
+    #[test]
+    fn descendants_stay_in_alphabet() {
+        let mut r = rng(6);
+        let a = random_seq(Alphabet::Rna, 300, &mut r);
+        let m = MutationModel::new(0.2, 0.05, 0.05).unwrap();
+        let d = m.apply(&a, &mut r);
+        assert!(Alphabet::Rna.validate(d.residues()).is_ok());
+    }
+
+    #[test]
+    fn empty_ancestor_can_only_gain_insertions() {
+        let mut r = rng(7);
+        let a = Seq::dna("").unwrap();
+        let m = MutationModel::new(0.5, 0.2, 1.0).unwrap();
+        let d = m.apply(&a, &mut r);
+        assert_eq!(d.len(), 1); // exactly the single trailing-insert slot
+    }
+}

@@ -1,0 +1,237 @@
+//! The owned, validated sequence type.
+
+use crate::{Alphabet, SeqError};
+use std::fmt;
+
+/// An owned biological sequence: an identifier, an optional description, a
+/// declared [`Alphabet`], and canonical (upper-case, validated) residues.
+///
+/// `Seq` is the unit of input to every aligner in the workspace. Residues
+/// are stored as raw bytes; construction validates them against the declared
+/// alphabet and upper-cases them, so downstream code never needs to
+/// re-validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Seq {
+    id: String,
+    description: Option<String>,
+    alphabet: Alphabet,
+    residues: Vec<u8>,
+}
+
+impl Seq {
+    /// Build a sequence with an explicit id, validating against `alphabet`.
+    pub fn new(
+        id: impl Into<String>,
+        alphabet: Alphabet,
+        residues: impl Into<Vec<u8>>,
+    ) -> Result<Self, SeqError> {
+        let mut residues = residues.into();
+        alphabet.validate(&residues)?;
+        alphabet.canonicalize(&mut residues);
+        Ok(Seq {
+            id: id.into(),
+            description: None,
+            alphabet,
+            residues,
+        })
+    }
+
+    /// Shorthand for an anonymous DNA sequence.
+    pub fn dna(residues: impl AsRef<[u8]>) -> Result<Self, SeqError> {
+        Seq::new("seq", Alphabet::Dna, residues.as_ref())
+    }
+
+    /// Shorthand for an anonymous RNA sequence.
+    pub fn rna(residues: impl AsRef<[u8]>) -> Result<Self, SeqError> {
+        Seq::new("seq", Alphabet::Rna, residues.as_ref())
+    }
+
+    /// Shorthand for an anonymous protein sequence.
+    pub fn protein(residues: impl AsRef<[u8]>) -> Result<Self, SeqError> {
+        Seq::new("seq", Alphabet::Protein, residues.as_ref())
+    }
+
+    /// Attach or replace the free-form description (FASTA header remainder).
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Replace the identifier.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = id.into();
+        self
+    }
+
+    /// The sequence identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The description, if any.
+    pub fn description(&self) -> Option<&str> {
+        self.description.as_deref()
+    }
+
+    /// The declared alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// The canonical residues.
+    pub fn residues(&self) -> &[u8] {
+        &self.residues
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True if the sequence has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// The residues reversed — used by divide-and-conquer (Hirschberg)
+    /// backward passes.
+    pub fn reversed(&self) -> Seq {
+        let mut residues = self.residues.clone();
+        residues.reverse();
+        Seq {
+            id: format!("{}-rev", self.id),
+            description: self.description.clone(),
+            alphabet: self.alphabet,
+            residues,
+        }
+    }
+
+    /// A sub-sequence `[start, end)` (panics on out-of-range, like slicing).
+    pub fn slice(&self, start: usize, end: usize) -> Seq {
+        Seq {
+            id: format!("{}[{start}..{end}]", self.id),
+            description: None,
+            alphabet: self.alphabet,
+            residues: self.residues[start..end].to_vec(),
+        }
+    }
+
+    /// Residues as a `&str` (always valid ASCII by construction).
+    pub fn as_str(&self) -> &str {
+        // Residues are validated ASCII letters, so this cannot fail.
+        std::str::from_utf8(&self.residues).expect("residues are ASCII")
+    }
+
+    /// Fraction of positions at which `self` and `other` hold identical
+    /// residues, over the shorter length; a rough similarity proxy used by
+    /// tests and the workload generator.
+    pub fn identity_with(&self, other: &Seq) -> f64 {
+        let n = self.len().min(other.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let same = self
+            .residues
+            .iter()
+            .zip(&other.residues)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / n as f64
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ">{}", self.id)?;
+        if let Some(d) = &self.description {
+            write!(f, " {d}")?;
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_canonicalizes() {
+        let s = Seq::dna("acGt").unwrap();
+        assert_eq!(s.residues(), b"ACGT");
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.alphabet(), Alphabet::Dna);
+    }
+
+    #[test]
+    fn construction_rejects_bad_residue() {
+        let err = Seq::dna("ACZT").unwrap_err();
+        assert!(matches!(err, SeqError::InvalidResidue { byte: b'Z', .. }));
+    }
+
+    #[test]
+    fn empty_is_allowed() {
+        let s = Seq::protein("").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn id_and_description() {
+        let s = Seq::new("chr1", Alphabet::Dna, b"ACGT".to_vec())
+            .unwrap()
+            .with_description("test contig");
+        assert_eq!(s.id(), "chr1");
+        assert_eq!(s.description(), Some("test contig"));
+        let s = s.with_id("chr2");
+        assert_eq!(s.id(), "chr2");
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let s = Seq::dna("ACGT").unwrap();
+        let r = s.reversed();
+        assert_eq!(r.residues(), b"TGCA");
+        assert_eq!(r.reversed().residues(), s.residues());
+    }
+
+    #[test]
+    fn slice_takes_half_open_range() {
+        let s = Seq::dna("ACGTAC").unwrap();
+        assert_eq!(s.slice(1, 4).residues(), b"CGT");
+        assert_eq!(s.slice(0, 0).residues(), b"");
+        assert_eq!(s.slice(0, 6).residues(), s.residues());
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_range_panics() {
+        let s = Seq::dna("ACGT").unwrap();
+        let _ = s.slice(2, 9);
+    }
+
+    #[test]
+    fn identity_fraction() {
+        let a = Seq::dna("ACGT").unwrap();
+        let b = Seq::dna("ACGA").unwrap();
+        assert!((a.identity_with(&b) - 0.75).abs() < 1e-12);
+        assert!((a.identity_with(&a) - 1.0).abs() < 1e-12);
+        let empty = Seq::dna("").unwrap();
+        assert_eq!(empty.identity_with(&a), 0.0);
+    }
+
+    #[test]
+    fn display_is_fasta_like() {
+        let s = Seq::new("id1", Alphabet::Dna, b"ACGT".to_vec())
+            .unwrap()
+            .with_description("desc");
+        assert_eq!(s.to_string(), ">id1 desc\nACGT");
+    }
+
+    #[test]
+    fn as_str_matches_bytes() {
+        let s = Seq::protein("MKWV").unwrap();
+        assert_eq!(s.as_str(), "MKWV");
+    }
+}

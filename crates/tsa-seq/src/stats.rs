@@ -1,0 +1,107 @@
+//! Per-sequence summary statistics (used by `tsa info` and workload
+//! logging).
+
+use crate::{Alphabet, Seq};
+
+/// Composition and summary statistics of one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqStats {
+    /// Sequence length.
+    pub len: usize,
+    /// `(residue, count)` sorted by descending count, then residue.
+    pub composition: Vec<(u8, usize)>,
+    /// GC fraction (DNA/RNA; `None` for protein).
+    pub gc: Option<f64>,
+    /// Shannon entropy of the residue distribution, in bits.
+    pub entropy_bits: f64,
+}
+
+/// Compute statistics for a sequence.
+pub fn seq_stats(seq: &Seq) -> SeqStats {
+    let mut counts = [0usize; 256];
+    for &b in seq.residues() {
+        counts[b as usize] += 1;
+    }
+    let mut composition: Vec<(u8, usize)> = (0..=255u8)
+        .filter(|&b| counts[b as usize] > 0)
+        .map(|b| (b, counts[b as usize]))
+        .collect();
+    composition.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let gc = match seq.alphabet() {
+        Alphabet::Dna | Alphabet::Rna => {
+            if seq.is_empty() {
+                Some(0.0)
+            } else {
+                let gc = counts[b'G' as usize] + counts[b'C' as usize];
+                Some(gc as f64 / seq.len() as f64)
+            }
+        }
+        Alphabet::Protein => None,
+    };
+
+    let n = seq.len() as f64;
+    let entropy_bits = if seq.is_empty() {
+        0.0
+    } else {
+        composition
+            .iter()
+            .map(|&(_, c)| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    };
+
+    SeqStats {
+        len: seq.len(),
+        composition,
+        gc,
+        entropy_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_counts_and_order() {
+        let s = Seq::dna("AACCCG").unwrap();
+        let st = seq_stats(&s);
+        assert_eq!(st.len, 6);
+        assert_eq!(st.composition, vec![(b'C', 3), (b'A', 2), (b'G', 1)]);
+    }
+
+    #[test]
+    fn gc_fraction() {
+        let s = Seq::dna("GGCC").unwrap();
+        assert_eq!(seq_stats(&s).gc, Some(1.0));
+        let s = Seq::dna("AATT").unwrap();
+        assert_eq!(seq_stats(&s).gc, Some(0.0));
+        let s = Seq::dna("ACGT").unwrap();
+        assert_eq!(seq_stats(&s).gc, Some(0.5));
+        let p = Seq::protein("MKWV").unwrap();
+        assert_eq!(seq_stats(&p).gc, None);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // Single-symbol sequence: zero entropy.
+        let s = Seq::dna("AAAA").unwrap();
+        assert!(seq_stats(&s).entropy_bits.abs() < 1e-12);
+        // Uniform 4 symbols: 2 bits.
+        let s = Seq::dna("ACGT").unwrap();
+        assert!((seq_stats(&s).entropy_bits - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Seq::dna("").unwrap();
+        let st = seq_stats(&s);
+        assert_eq!(st.len, 0);
+        assert!(st.composition.is_empty());
+        assert_eq!(st.gc, Some(0.0));
+        assert_eq!(st.entropy_bits, 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the sequence substrate.
+
+use proptest::prelude::*;
+use tsa_seq::family::FamilyConfig;
+use tsa_seq::mutate::MutationModel;
+use tsa_seq::{fasta, Alphabet, Seq};
+
+fn dna_residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
+}
+
+fn id_string() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_.:-]{1,12}"
+}
+
+proptest! {
+    #[test]
+    fn fasta_round_trips(
+        records in prop::collection::vec((id_string(), dna_residues(50)), 1..5),
+        width in 0usize..80,
+    ) {
+        let seqs: Vec<Seq> = records
+            .iter()
+            .map(|(id, res)| Seq::new(id.clone(), Alphabet::Dna, res.clone()).unwrap())
+            .collect();
+        let text = fasta::emit(&seqs, width);
+        let parsed = fasta::parse(&text, Alphabet::Dna).unwrap();
+        prop_assert_eq!(parsed, seqs);
+    }
+
+    #[test]
+    fn reverse_is_an_involution(res in dna_residues(64)) {
+        let s = Seq::dna(&res).unwrap();
+        let twice = s.reversed().reversed();
+        prop_assert_eq!(twice.residues(), s.residues());
+    }
+
+    #[test]
+    fn slices_partition_the_sequence(res in dna_residues(64), cut_frac in 0.0f64..=1.0) {
+        let s = Seq::dna(&res).unwrap();
+        let cut = (s.len() as f64 * cut_frac) as usize;
+        let left = s.slice(0, cut);
+        let right = s.slice(cut, s.len());
+        let mut joined = left.residues().to_vec();
+        joined.extend_from_slice(right.residues());
+        prop_assert_eq!(joined.as_slice(), s.residues());
+    }
+
+    #[test]
+    fn identity_is_symmetric_and_bounded(x in dna_residues(40), y in dna_residues(40)) {
+        let a = Seq::dna(&x).unwrap();
+        let b = Seq::dna(&y).unwrap();
+        let ab = a.identity_with(&b);
+        prop_assert!((ab - b.identity_with(&a)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn mutation_keeps_alphabet_and_roughly_keeps_length(
+        res in dna_residues(200),
+        sub in 0.0f64..=0.5,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let ancestor = Seq::dna(&res).unwrap();
+        let model = MutationModel::new(sub, 0.05, 0.05).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = model.apply(&ancestor, &mut rng);
+        prop_assert!(Alphabet::Dna.validate(d.residues()).is_ok());
+        // Symmetric indels: length stays within generous bounds.
+        prop_assert!(d.len() <= 2 * ancestor.len() + 5);
+    }
+
+    #[test]
+    fn families_are_seed_deterministic(len in 1usize..60, seed in 0u64..500) {
+        let cfg = FamilyConfig::new(len, 0.2, 0.05);
+        let f1 = cfg.generate(seed);
+        let f2 = cfg.generate(seed);
+        for (a, b) in f1.members.iter().zip(&f2.members) {
+            prop_assert_eq!(a.residues(), b.residues());
+        }
+    }
+
+    #[test]
+    fn parse_auto_never_panics_on_arbitrary_text(text in ".{0,200}") {
+        let _ = fasta::parse_auto(&text);
+    }
+}

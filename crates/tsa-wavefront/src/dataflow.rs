@@ -1,0 +1,244 @@
+//! Counter-based dataflow execution of a dependency DAG.
+//!
+//! The plane-barrier executor ([`crate::executor`]) synchronizes *all*
+//! workers between planes even though a tile only needs its own seven
+//! predecessors. [`run_dataflow`] removes the global barrier: every item
+//! carries an atomic count of unmet dependencies; finishing an item
+//! decrements its successors, and an item whose count hits zero is pushed
+//! to a shared queue that worker threads drain. Tiles from *different*
+//! tile planes can therefore execute concurrently.
+//!
+//! The experiments use this as the ablation partner of the barrier
+//! executor (`fig3`/`table2`); it is also a generally useful building block
+//! for irregular DP shapes.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execute `work(item)` for every item of a DAG with `num_items` nodes.
+///
+/// * `predecessors(i)` — how many dependencies item `i` has (items with 0
+///   are the sources and start immediately);
+/// * `successors(i)` — the items that depend on `i`;
+/// * `work(i)` — the kernel; items are executed exactly once, and an item
+///   only after all its predecessors completed (happens-before included);
+/// * `threads` — worker thread count (≥ 1).
+///
+/// # Panics
+/// Panics if `threads == 0`, or if the dependency counts are inconsistent
+/// (the DAG deadlocks: some item never becomes ready — detected after the
+/// queue drains with items missing).
+pub fn run_dataflow(
+    num_items: usize,
+    predecessors: impl Fn(usize) -> usize,
+    successors: impl Fn(usize) -> Vec<usize> + Sync,
+    work: impl Fn(usize) + Sync,
+    threads: usize,
+) {
+    assert!(threads > 0, "need at least one worker thread");
+    if num_items == 0 {
+        return;
+    }
+
+    // Sentinel item id used to wake workers up for shutdown.
+    const STOP: usize = usize::MAX;
+
+    let pending: Vec<AtomicUsize> = (0..num_items)
+        .map(|i| AtomicUsize::new(predecessors(i)))
+        .collect();
+    let completed = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<usize>();
+
+    let mut sources = 0usize;
+    for (i, p) in pending.iter().enumerate() {
+        if p.load(Ordering::Relaxed) == 0 {
+            tx.send(i).expect("queue alive");
+            sources += 1;
+        }
+    }
+    assert!(sources > 0, "dependency graph has no source items");
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let pending = &pending;
+            let completed = &completed;
+            let successors = &successors;
+            let work = &work;
+            scope.spawn(move || {
+                while let Ok(item) = rx.recv() {
+                    if item == STOP {
+                        break;
+                    }
+                    work(item);
+                    // `Release` on the decrement + `Acquire` on the zero
+                    // observation give the successor a happens-before edge
+                    // to this item's writes; the channel transfer adds its
+                    // own synchronization on top.
+                    for succ in successors(item) {
+                        if pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            tx.send(succ).expect("queue alive");
+                        }
+                    }
+                    if completed.fetch_add(1, Ordering::AcqRel) + 1 == num_items {
+                        for _ in 0..threads {
+                            tx.send(STOP).expect("queue alive");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let done = completed.load(Ordering::Acquire);
+    assert_eq!(
+        done, num_items,
+        "dataflow deadlocked: {done}/{num_items} items completed \
+         (inconsistent predecessor counts?)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SharedGrid;
+    use crate::plane::Extents;
+    use crate::tiles::TileGrid;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_item_once() {
+        let n = 500;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        // A chain: i depends on i-1.
+        run_dataflow(
+            n,
+            |i| usize::from(i > 0),
+            |i| if i + 1 < n { vec![i + 1] } else { vec![] },
+            |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            },
+            4,
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chain_order_is_respected() {
+        let n = 200;
+        let order = parking_lot::Mutex::new(Vec::new());
+        run_dataflow(
+            n,
+            |i| usize::from(i > 0),
+            |i| if i + 1 < n { vec![i + 1] } else { vec![] },
+            |i| order.lock().push(i),
+            4,
+        );
+        let order = order.into_inner();
+        assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        run_dataflow(0, |_| 0, |_| vec![], |_| panic!("no items"), 2);
+    }
+
+    #[test]
+    fn single_item_single_thread() {
+        let ran = AtomicUsize::new(0);
+        run_dataflow(
+            1,
+            |_| 0,
+            |_| vec![],
+            |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            1,
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no source")]
+    fn all_blocked_graph_panics() {
+        run_dataflow(3, |_| 1, |_| vec![], |_| {}, 2);
+    }
+
+    #[test]
+    fn tile_dag_king_distance() {
+        // The same cross-plane-dependency oracle as the executor tests, but
+        // scheduled by dataflow over a TileGrid DAG.
+        let e = Extents::new(11, 9, 10);
+        let grid = SharedGrid::new(e.cells(), -1i32);
+        let tg = TileGrid::new(e, 4);
+        run_dataflow(
+            tg.num_tiles(),
+            |idx| {
+                let (i, j, k) = tg.tile_coords(idx);
+                tg.num_predecessors(i, j, k)
+            },
+            |idx| {
+                let (i, j, k) = tg.tile_coords(idx);
+                tg.successors(i, j, k)
+                    .into_iter()
+                    .map(|(a, b, c)| tg.tile_index(a, b, c))
+                    .collect()
+            },
+            |idx| {
+                let (ti, tj, tk) = tg.tile_coords(idx);
+                let ((ilo, ihi), (jlo, jhi), (klo, khi)) = tg.cell_ranges(ti, tj, tk);
+                for i in ilo..=ihi {
+                    for j in jlo..=jhi {
+                        for k in klo..=khi {
+                            let mut best = -1i32;
+                            for di in 0..=usize::from(i > 0) {
+                                for dj in 0..=usize::from(j > 0) {
+                                    for dk in 0..=usize::from(k > 0) {
+                                        if di + dj + dk == 0 {
+                                            continue;
+                                        }
+                                        best = best.max(unsafe {
+                                            grid.get(e.index(i - di, j - dj, k - dk))
+                                        });
+                                    }
+                                }
+                            }
+                            let v = if (i, j, k) == (0, 0, 0) { 0 } else { best + 1 };
+                            unsafe { grid.set(e.index(i, j, k), v) };
+                        }
+                    }
+                }
+            },
+            4,
+        );
+        for i in 0..=11usize {
+            for j in 0..=9usize {
+                for k in 0..=10usize {
+                    assert_eq!(
+                        unsafe { grid.get(e.index(i, j, k)) },
+                        (i + j + k) as i32,
+                        "({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_fanout_graph() {
+        // One source fanning out to n-1 sinks.
+        let n = 100;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_dataflow(
+            n,
+            |i| usize::from(i > 0),
+            |i| if i == 0 { (1..n).collect() } else { vec![] },
+            |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            },
+            8,
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,112 @@
+//! 2D anti-diagonal enumeration.
+//!
+//! For a `(rows+1) × (cols+1)` DP matrix (indices `0..=rows`, `0..=cols`),
+//! the anti-diagonal `d = i + j` runs from `0` to `rows + cols`. Cells on a
+//! diagonal are independent given diagonals `d−1` and `d−2`.
+
+/// Number of anti-diagonals in a `(rows+1) × (cols+1)` matrix.
+pub fn num_diagonals(rows: usize, cols: usize) -> usize {
+    rows + cols + 1
+}
+
+/// The inclusive range of `i` for cells `(i, d − i)` on diagonal `d`,
+/// or `None` if the diagonal is out of range.
+///
+/// `i` must satisfy `0 ≤ i ≤ rows` and `0 ≤ d − i ≤ cols`.
+pub fn diag_i_range(rows: usize, cols: usize, d: usize) -> Option<(usize, usize)> {
+    if d > rows + cols {
+        return None;
+    }
+    let lo = d.saturating_sub(cols);
+    let hi = d.min(rows);
+    debug_assert!(lo <= hi);
+    Some((lo, hi))
+}
+
+/// Number of cells on diagonal `d`.
+pub fn diag_len(rows: usize, cols: usize, d: usize) -> usize {
+    match diag_i_range(rows, cols, d) {
+        Some((lo, hi)) => hi - lo + 1,
+        None => 0,
+    }
+}
+
+/// Iterate the `(i, j)` cells of diagonal `d` in increasing `i`.
+pub fn diag_cells(
+    rows: usize,
+    cols: usize,
+    d: usize,
+) -> impl Iterator<Item = (usize, usize)> + Clone {
+    // (1, 0) yields an empty inclusive range for out-of-range diagonals.
+    let (lo, hi) = diag_i_range(rows, cols, d).unwrap_or((1, 0));
+    (lo..=hi).map(move |i| (i, d - i))
+}
+
+/// The length of the longest diagonal.
+pub fn max_diag_len(rows: usize, cols: usize) -> usize {
+    rows.min(cols) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cover_the_matrix() {
+        for (rows, cols) in [(0, 0), (1, 1), (3, 5), (5, 3), (7, 7), (0, 4)] {
+            let total: usize = (0..num_diagonals(rows, cols))
+                .map(|d| diag_len(rows, cols, d))
+                .sum();
+            assert_eq!(total, (rows + 1) * (cols + 1), "rows={rows} cols={cols}");
+        }
+    }
+
+    #[test]
+    fn cells_enumerate_each_index_once() {
+        let (rows, cols) = (3, 4);
+        let mut seen = vec![false; (rows + 1) * (cols + 1)];
+        for d in 0..num_diagonals(rows, cols) {
+            for (i, j) in diag_cells(rows, cols, d) {
+                assert_eq!(i + j, d);
+                assert!(i <= rows && j <= cols);
+                let idx = i * (cols + 1) + j;
+                assert!(!seen[idx], "duplicate ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_and_last_diagonals_are_corners() {
+        let (rows, cols) = (4, 6);
+        assert_eq!(diag_cells(rows, cols, 0).collect::<Vec<_>>(), vec![(0, 0)]);
+        let last: Vec<_> = diag_cells(rows, cols, rows + cols).collect();
+        assert_eq!(last, vec![(rows, cols)]);
+    }
+
+    #[test]
+    fn out_of_range_diagonal_is_empty() {
+        assert_eq!(diag_len(3, 3, 7), 0);
+        assert!(diag_i_range(3, 3, 7).is_none());
+        assert_eq!(diag_cells(3, 3, 99).count(), 0);
+    }
+
+    #[test]
+    fn max_len_is_attained() {
+        for (rows, cols) in [(3, 5), (5, 3), (4, 4), (0, 9)] {
+            let m = (0..num_diagonals(rows, cols))
+                .map(|d| diag_len(rows, cols, d))
+                .max()
+                .unwrap();
+            assert_eq!(m, max_diag_len(rows, cols));
+        }
+    }
+
+    #[test]
+    fn degenerate_single_cell_matrix() {
+        assert_eq!(num_diagonals(0, 0), 1);
+        assert_eq!(diag_len(0, 0, 0), 1);
+        assert_eq!(diag_cells(0, 0, 0).collect::<Vec<_>>(), vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Schedule simulation with non-uniform item costs.
+//!
+//! [`crate::stats::WavefrontStats::rounds`] assumes unit-cost items. Real
+//! tiles are not uniform (boundary tiles are smaller), so the performance
+//! model also wants the makespan of a *greedy list schedule*: items of a
+//! plane sorted longest-first and assigned to the earliest-free worker
+//! (LPT), planes separated by barriers. This is the standard 2-approx
+//! scheduling bound and matches what rayon's work stealing achieves in
+//! practice for coarse items.
+
+/// Makespan of greedily scheduling `costs` onto `p` workers (LPT order).
+pub fn plane_makespan(costs: &[f64], p: usize) -> f64 {
+    assert!(p > 0, "worker count must be positive");
+    if costs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = costs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("costs must not be NaN"));
+    let mut workers = vec![0.0f64; p.min(sorted.len())];
+    for c in sorted {
+        // Assign to the least-loaded worker.
+        let (idx, _) = workers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .expect("at least one worker");
+        workers[idx] += c;
+    }
+    workers.into_iter().fold(0.0, f64::max)
+}
+
+/// Makespan of a barrier-separated sequence of planes, each greedily
+/// scheduled, plus `barrier` cost between consecutive planes.
+pub fn schedule_makespan(planes: &[Vec<f64>], p: usize, barrier: f64) -> f64 {
+    let compute: f64 = planes.iter().map(|c| plane_makespan(c, p)).sum();
+    compute + barrier * planes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_costs_match_ceil_rounds() {
+        for (n_items, p) in [(10usize, 3usize), (7, 7), (1, 4), (16, 4)] {
+            let costs = vec![1.0; n_items];
+            let want = n_items.div_ceil(p) as f64;
+            assert_eq!(plane_makespan(&costs, p), want, "{n_items} items, {p} workers");
+        }
+    }
+
+    #[test]
+    fn empty_plane_is_free() {
+        assert_eq!(plane_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn single_worker_sums_costs() {
+        let costs = [3.0, 1.0, 2.0];
+        assert_eq!(plane_makespan(&costs, 1), 6.0);
+    }
+
+    #[test]
+    fn lpt_packs_known_example() {
+        // Items 5,4,3,3,3 on 2 workers: LPT gives {5,3,3}=11? No: 5→w0,
+        // 4→w1, 3→w1(7), 3→w0(8), 3→w1(10) ⇒ makespan 10 > optimal 9.
+        // Greedy's answer is deterministic; pin it.
+        let costs = [5.0, 4.0, 3.0, 3.0, 3.0];
+        assert_eq!(plane_makespan(&costs, 2), 10.0);
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        // max(item) ≤ makespan ≤ sum(items); ≥ sum/p.
+        let costs = [2.0, 7.0, 1.5, 4.0, 3.0];
+        for p in 1..6 {
+            let m = plane_makespan(&costs, p);
+            let sum: f64 = costs.iter().sum();
+            assert!(m >= 7.0 - 1e-12);
+            assert!(m <= sum + 1e-12);
+            assert!(m >= sum / p as f64 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_workers_never_hurt() {
+        let costs: Vec<f64> = (1..=20).map(|x| x as f64).collect();
+        let mut prev = f64::INFINITY;
+        for p in 1..=20 {
+            let m = plane_makespan(&costs, p);
+            assert!(m <= prev + 1e-12, "p={p}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn schedule_adds_barriers() {
+        let planes = vec![vec![1.0; 4], vec![1.0; 4]];
+        let no_barrier = schedule_makespan(&planes, 2, 0.0);
+        assert_eq!(no_barrier, 4.0);
+        let with_barrier = schedule_makespan(&planes, 2, 0.5);
+        assert_eq!(with_barrier, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        let _ = plane_makespan(&[1.0], 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Wavefront shape statistics.
+//!
+//! The parallel structure of a wavefront computation is fully determined by
+//! its plane-size profile: the number of planes is the critical path, the
+//! per-plane cell counts bound the usable parallelism, and the sum of
+//! `ceil(plane / P)` rounds is the classic makespan lower bound for `P`
+//! workers with a barrier per plane. [`WavefrontStats`] packages these for
+//! the performance model (`tsa-perfmodel`) and the experiment reports.
+
+use crate::plane::Extents;
+use crate::tiles::TileGrid;
+
+/// Plane-size profile of a wavefront computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavefrontStats {
+    /// Work items (cells or tiles) per plane, in plane order.
+    pub plane_sizes: Vec<usize>,
+}
+
+impl WavefrontStats {
+    /// Cell-level profile of a 3D lattice.
+    pub fn for_cells(e: Extents) -> Self {
+        WavefrontStats {
+            plane_sizes: (0..e.num_planes()).map(|d| e.plane_len(d)).collect(),
+        }
+    }
+
+    /// Tile-level profile of a tiled 3D lattice.
+    pub fn for_tiles(grid: &TileGrid) -> Self {
+        WavefrontStats {
+            plane_sizes: (0..grid.num_tile_planes())
+                .map(|d| grid.tiles_on_plane(d).len())
+                .collect(),
+        }
+    }
+
+    /// Total number of work items.
+    pub fn total_items(&self) -> usize {
+        self.plane_sizes.iter().sum()
+    }
+
+    /// Critical-path length (number of planes / barriers).
+    pub fn critical_path(&self) -> usize {
+        self.plane_sizes.len()
+    }
+
+    /// Maximum items on any single plane — the peak usable parallelism.
+    pub fn max_parallelism(&self) -> usize {
+        self.plane_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average items per plane.
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.plane_sizes.is_empty() {
+            return 0.0;
+        }
+        self.total_items() as f64 / self.critical_path() as f64
+    }
+
+    /// Number of worker *rounds* with `p` workers and a per-plane barrier:
+    /// `Σ_d ceil(size_d / p)`. With unit-cost items this is the makespan.
+    pub fn rounds(&self, p: usize) -> usize {
+        assert!(p > 0, "worker count must be positive");
+        self.plane_sizes.iter().map(|&s| s.div_ceil(p)).sum()
+    }
+
+    /// Ideal wavefront speedup with `p` workers:
+    /// `rounds(1) / rounds(p) = total / Σ ceil(size_d / p)`. This is what
+    /// measured speedups are compared against in `fig4`.
+    pub fn speedup_bound(&self, p: usize) -> f64 {
+        let r = self.rounds(p);
+        if r == 0 {
+            return 0.0;
+        }
+        self.total_items() as f64 / r as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_stats_for_cube() {
+        let e = Extents::new(4, 4, 4);
+        let s = WavefrontStats::for_cells(e);
+        assert_eq!(s.total_items(), e.cells());
+        assert_eq!(s.critical_path(), e.num_planes());
+        assert_eq!(s.max_parallelism(), e.max_plane_len());
+        assert_eq!(s.plane_sizes[0], 1);
+        assert_eq!(*s.plane_sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn tile_stats_match_tile_counts() {
+        let e = Extents::new(15, 15, 15);
+        let tg = TileGrid::new(e, 4);
+        let s = WavefrontStats::for_tiles(&tg);
+        assert_eq!(s.total_items(), tg.num_tiles());
+        assert_eq!(s.critical_path(), tg.num_tile_planes());
+    }
+
+    #[test]
+    fn rounds_with_one_worker_is_total() {
+        let s = WavefrontStats::for_cells(Extents::new(3, 5, 4));
+        assert_eq!(s.rounds(1), s.total_items());
+        assert!((s.speedup_bound(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_never_below_critical_path() {
+        let s = WavefrontStats::for_cells(Extents::new(6, 6, 6));
+        for p in 1..64 {
+            assert!(s.rounds(p) >= s.critical_path());
+        }
+        // With unbounded workers, rounds == critical path.
+        assert_eq!(s.rounds(usize::MAX / 2), s.critical_path());
+    }
+
+    #[test]
+    fn speedup_bound_monotone_and_capped() {
+        let s = WavefrontStats::for_cells(Extents::new(10, 10, 10));
+        let mut prev = 0.0;
+        for p in 1..=32 {
+            let b = s.speedup_bound(p);
+            assert!(b >= prev - 1e-9, "p={p}");
+            assert!(b <= p as f64 + 1e-9, "bound {b} exceeds p={p}");
+            prev = b;
+        }
+        // Amdahl-like cap: mean parallelism bounds the asymptote.
+        let asymptote = s.total_items() as f64 / s.critical_path() as f64;
+        assert!(s.speedup_bound(1_000_000) <= asymptote + 1e-9);
+    }
+
+    #[test]
+    fn mean_parallelism() {
+        let s = WavefrontStats {
+            plane_sizes: vec![1, 3, 5, 3, 1],
+        };
+        assert_eq!(s.total_items(), 13);
+        assert!((s.mean_parallelism() - 13.0 / 5.0).abs() < 1e-12);
+        let empty = WavefrontStats { plane_sizes: vec![] };
+        assert_eq!(empty.mean_parallelism(), 0.0);
+        assert_eq!(empty.max_parallelism(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        let s = WavefrontStats::for_cells(Extents::new(2, 2, 2));
+        let _ = s.rounds(0);
+    }
+
+    #[test]
+    fn tiling_shortens_critical_path() {
+        let e = Extents::new(63, 63, 63);
+        let cells = WavefrontStats::for_cells(e);
+        let tiles = WavefrontStats::for_tiles(&TileGrid::new(e, 16));
+        assert!(tiles.critical_path() < cells.critical_path());
+        assert!(tiles.max_parallelism() < cells.max_parallelism());
+    }
+}

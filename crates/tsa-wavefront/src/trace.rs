@@ -1,0 +1,156 @@
+//! Traced wavefront execution: per-plane wall-clock timing.
+//!
+//! The load profile of a wavefront run — how long each anti-diagonal
+//! plane takes — is the empirical counterpart of the analytic plane-size
+//! profile: ramp-up, a long plateau of big planes, ramp-down. The traced
+//! executor records it (experiment `fig6` prints it), and comparing the
+//! per-plane time against the plane's cell count exposes scheduling
+//! overhead directly.
+
+use crate::plane::{plane_cells, Extents};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Timing record for one anti-diagonal plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneTiming {
+    /// Plane index `d`.
+    pub plane: usize,
+    /// Cells on the plane.
+    pub cells: usize,
+    /// Wall time spent on the plane, in nanoseconds.
+    pub nanos: u128,
+}
+
+/// Like [`crate::executor::run_cells_wavefront`], but returns a
+/// [`PlaneTiming`] per plane.
+pub fn run_cells_wavefront_traced(
+    e: Extents,
+    kernel: impl Fn(usize, usize, usize) + Sync,
+) -> Vec<PlaneTiming> {
+    const MIN_CELLS_PER_TASK: usize = 64;
+    let mut timings = Vec::with_capacity(e.num_planes());
+    let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
+    for d in 0..e.num_planes() {
+        cells.clear();
+        cells.extend(plane_cells(e, d));
+        let start = Instant::now();
+        if cells.len() < MIN_CELLS_PER_TASK {
+            for &(i, j, k) in &cells {
+                kernel(i, j, k);
+            }
+        } else {
+            cells
+                .par_iter()
+                .with_min_len(MIN_CELLS_PER_TASK)
+                .for_each(|&(i, j, k)| kernel(i, j, k));
+        }
+        timings.push(PlaneTiming {
+            plane: d,
+            cells: cells.len(),
+            nanos: start.elapsed().as_nanos(),
+        });
+    }
+    timings
+}
+
+/// Summarize timings into `buckets` equal plane-index ranges: per bucket,
+/// total cells and total nanoseconds. Used to print compact profiles.
+pub fn bucketize(timings: &[PlaneTiming], buckets: usize) -> Vec<(usize, u128)> {
+    assert!(buckets > 0, "need at least one bucket");
+    let mut out = vec![(0usize, 0u128); buckets.min(timings.len().max(1))];
+    if timings.is_empty() {
+        return out;
+    }
+    let n = timings.len();
+    let b = out.len();
+    for (idx, t) in timings.iter().enumerate() {
+        let slot = idx * b / n;
+        out[slot].0 += t.cells;
+        out[slot].1 += t.nanos;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SharedGrid;
+
+    #[test]
+    fn traced_run_times_every_plane() {
+        let e = Extents::new(8, 7, 9);
+        let grid = SharedGrid::new(e.cells(), 0i32);
+        let timings = run_cells_wavefront_traced(e, |i, j, k| unsafe {
+            grid.set(e.index(i, j, k), (i + j + k) as i32);
+        });
+        assert_eq!(timings.len(), e.num_planes());
+        let total: usize = timings.iter().map(|t| t.cells).sum();
+        assert_eq!(total, e.cells());
+        for (d, t) in timings.iter().enumerate() {
+            assert_eq!(t.plane, d);
+            assert_eq!(t.cells, e.plane_len(d));
+        }
+        // And the kernel actually ran.
+        let v = grid.into_vec();
+        assert_eq!(v[e.index(3, 2, 4)], 9);
+    }
+
+    #[test]
+    fn traced_result_matches_untraced() {
+        let e = Extents::new(6, 6, 6);
+        let g1 = SharedGrid::new(e.cells(), -1i32);
+        let _ = run_cells_wavefront_traced(e, |i, j, k| {
+            let mut best = -1i32;
+            for di in 0..=usize::from(i > 0) {
+                for dj in 0..=usize::from(j > 0) {
+                    for dk in 0..=usize::from(k > 0) {
+                        if di + dj + dk == 0 {
+                            continue;
+                        }
+                        best = best.max(unsafe { g1.get(e.index(i - di, j - dj, k - dk)) });
+                    }
+                }
+            }
+            unsafe { g1.set(e.index(i, j, k), if (i, j, k) == (0, 0, 0) { 0 } else { best + 1 }) };
+        });
+        // Longest-path fixpoint, as in the executor tests.
+        for i in 0..=6 {
+            for j in 0..=6 {
+                for k in 0..=6 {
+                    assert_eq!(unsafe { g1.get(e.index(i, j, k)) }, (i + j + k) as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucketize_preserves_totals() {
+        let timings: Vec<PlaneTiming> = (0..10)
+            .map(|d| PlaneTiming {
+                plane: d,
+                cells: d + 1,
+                nanos: (d as u128 + 1) * 100,
+            })
+            .collect();
+        for buckets in [1usize, 3, 5, 10, 20] {
+            let b = bucketize(&timings, buckets);
+            let cells: usize = b.iter().map(|x| x.0).sum();
+            let nanos: u128 = b.iter().map(|x| x.1).sum();
+            assert_eq!(cells, 55, "buckets={buckets}");
+            assert_eq!(nanos, 5500, "buckets={buckets}");
+            assert!(b.len() <= buckets);
+        }
+    }
+
+    #[test]
+    fn bucketize_empty() {
+        assert!(bucketize(&[], 4).iter().all(|&(c, n)| c == 0 && n == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_buckets_panics() {
+        let _ = bucketize(&[], 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Local (Smith–Waterman) three-way alignment: find the best common
+//! sub-segment — "motif" — shared by three sequences with unrelated
+//! flanks.
+//!
+//! ```text
+//! cargo run --release --example local_motif
+//! ```
+
+use three_seq_align::core::local;
+use three_seq_align::prelude::*;
+
+fn main() {
+    // One conserved motif embedded at different offsets in unrelated
+    // flanking sequence.
+    let motif = "GATTACACATTAG";
+    let mk = |prefix: &str, suffix: &str, id: &str| {
+        Seq::dna(format!("{prefix}{motif}{suffix}"))
+            .expect("valid DNA")
+            .with_id(id)
+    };
+    let a = mk("TTGGTT", "AACCAAGG", "seq_a");
+    let b = mk("CCAACCGGTT", "TT", "seq_b");
+    let c = mk("G", "CCGGCCAATT", "seq_c");
+
+    let scoring = Scoring::dna_default();
+    let loc = local::align(&a, &b, &c, &scoring);
+
+    println!("local SP score: {}", loc.alignment.score);
+    for (r, seq) in [&a, &b, &c].into_iter().enumerate() {
+        let (lo, hi) = loc.ranges[r];
+        println!("{}: residues {lo}..{hi} of {}", seq.id(), seq.len());
+    }
+    println!("\naligned segment:\n{}", loc.alignment.pretty());
+
+    // The recovered segment contains the embedded motif (it may extend a
+    // little further when flank residues happen to pay their way).
+    let segment = String::from_utf8(loc.alignment.degapped_row(0)).expect("ascii");
+    assert!(segment.contains(motif), "segment {segment} misses motif");
+    assert!(loc.alignment.full_match_columns() >= motif.len());
+
+    // Contrast with the global aligner, which must pay for the unrelated
+    // flanks.
+    let global = Aligner::new().align3(&a, &b, &c).unwrap();
+    println!(
+        "\nglobal score {} < local score {} (flanks cost the global alignment)",
+        global.score, loc.alignment.score
+    );
+    assert!(global.score < loc.alignment.score);
+}

@@ -1,0 +1,50 @@
+//! Carrillo–Lipman pruning in action: how much of the `O(n³)` lattice an
+//! exact aligner really needs to touch, as a function of sequence
+//! divergence.
+//!
+//! ```text
+//! cargo run --release --example pruned_search [length]
+//! ```
+
+use std::time::Instant;
+use three_seq_align::core::{carrillo_lipman, full};
+use three_seq_align::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let scoring = Scoring::dna_default();
+
+    println!("{:>8} {:>9} {:>12} {:>11} {:>11}", "sub rate", "identity", "visited %", "full ms", "pruned ms");
+    for rate in [0.02, 0.05, 0.10, 0.20, 0.35, 0.50] {
+        let fam = FamilyConfig::new(n, rate, 0.05).generate(4242);
+        let (a, b, c) = fam.triple();
+
+        let t0 = Instant::now();
+        let reference = full::align_score(a, b, c, &scoring);
+        let t_full = t0.elapsed();
+
+        let t0 = Instant::now();
+        let (score, stats) = carrillo_lipman::align_score_with_stats(a, b, c, &scoring);
+        let t_pruned = t0.elapsed();
+
+        assert_eq!(score, reference, "pruning must preserve the optimum");
+        println!(
+            "{:>8.2} {:>9.2} {:>12.1} {:>11.2} {:>11.2}",
+            rate,
+            fam.mean_pairwise_identity(),
+            100.0 * stats.visited_fraction(),
+            t_full.as_secs_f64() * 1e3,
+            t_pruned.as_secs_f64() * 1e3,
+        );
+    }
+
+    println!(
+        "\nThe pruned DP computes only cells whose pairwise-projection upper\n\
+         bound reaches the center-star lower bound — for similar sequences\n\
+         that is a thin tube around the main diagonal, yet the optimum (and\n\
+         even the canonical traceback) is provably unchanged."
+    );
+}

@@ -1,0 +1,53 @@
+//! # three-seq-align
+//!
+//! A production-quality reproduction of *"Efficient Parallel Algorithm for
+//! Optimal Three-Sequences Alignment"* (Lin, Huang, Chung & Tang, ICPP 2007):
+//! exact, optimal three-sequence global alignment under sum-of-pairs scoring,
+//! computed by 3-dimensional dynamic programming and parallelized over
+//! anti-diagonal wavefront planes.
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for detail:
+//!
+//! * [`seq`] (`tsa-seq`) — sequences, FASTA, workload generation;
+//! * [`scoring`] (`tsa-scoring`) — substitution matrices, gap models,
+//!   sum-of-pairs scoring;
+//! * [`wavefront`] (`tsa-wavefront`) — generic wavefront scheduling;
+//! * [`pairwise`] (`tsa-pairwise`) — 2-sequence baselines and components;
+//! * [`core`] (`tsa-core`) — the three-sequence aligners themselves;
+//! * [`msa`] (`tsa-msa`) — progressive k-sequence alignment on the same
+//!   substrate;
+//! * [`perfmodel`] (`tsa-perfmodel`) — the analytic speedup model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use three_seq_align::prelude::*;
+//!
+//! let a = Seq::dna("GATTACA").unwrap();
+//! let b = Seq::dna("GATACA").unwrap();
+//! let c = Seq::dna("GTTACA").unwrap();
+//!
+//! let aln = Aligner::new()
+//!     .algorithm(Algorithm::Wavefront)
+//!     .align3(&a, &b, &c)
+//!     .unwrap();
+//! assert!(aln.validate(&a, &b, &c).is_ok());
+//! println!("score = {}\n{}", aln.score, aln.pretty());
+//! ```
+
+pub use tsa_core as core;
+pub use tsa_msa as msa;
+pub use tsa_pairwise as pairwise;
+pub use tsa_perfmodel as perfmodel;
+pub use tsa_scoring as scoring;
+pub use tsa_seq as seq;
+pub use tsa_wavefront as wavefront;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use tsa_core::{Algorithm, Aligner, Alignment3, Column3};
+    pub use tsa_msa::{Msa, MsaBuilder};
+    pub use tsa_scoring::{GapModel, Scoring};
+    pub use tsa_seq::{family::FamilyConfig, fasta, Alphabet, Seq};
+}

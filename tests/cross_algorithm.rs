@@ -1,0 +1,133 @@
+//! Cross-crate integration: every exact algorithm, run through the public
+//! facade, must agree — on scores, on bounds, and (for the full-lattice
+//! family) on the canonical traceback itself.
+
+use three_seq_align::core::{bounds, center_star, Algorithm, Aligner};
+use three_seq_align::prelude::*;
+
+fn exact_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::FullDp,
+        Algorithm::Wavefront,
+        Algorithm::Blocked { tile: 4 },
+        Algorithm::Blocked { tile: 16 },
+        Algorithm::BlockedDataflow { tile: 8, threads: 2 },
+        Algorithm::Hirschberg,
+        Algorithm::ParallelHirschberg,
+    ]
+}
+
+fn workloads() -> Vec<(Seq, Seq, Seq)> {
+    let mut out = Vec::new();
+    for (len, sub, indel, seed) in [
+        (12usize, 0.1, 0.02, 1u64),
+        (24, 0.2, 0.05, 2),
+        (32, 0.4, 0.10, 3),
+        (20, 0.05, 0.00, 4),
+    ] {
+        let fam = FamilyConfig::new(len, sub, indel).generate(seed);
+        let [a, b, c] = fam.members;
+        out.push((a, b, c));
+    }
+    // A deliberately lopsided triple.
+    out.push((
+        Seq::dna("ACGTACGTACGTACGTACGTACGT").unwrap(),
+        Seq::dna("ACG").unwrap(),
+        Seq::dna("TTTT").unwrap(),
+    ));
+    out
+}
+
+#[test]
+fn exact_algorithms_agree_on_scores_and_validate() {
+    for (idx, (a, b, c)) in workloads().iter().enumerate() {
+        let reference = Aligner::new()
+            .algorithm(Algorithm::FullDp)
+            .align3(a, b, c)
+            .unwrap();
+        reference
+            .validate_scored(a, b, c, &Scoring::dna_default())
+            .unwrap();
+        for alg in exact_algorithms() {
+            let aln = Aligner::new().algorithm(alg).align3(a, b, c).unwrap();
+            assert_eq!(aln.score, reference.score, "workload {idx}, {alg:?}");
+            aln.validate(a, b, c)
+                .unwrap_or_else(|e| panic!("workload {idx}, {alg:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn full_lattice_family_produces_identical_tracebacks() {
+    // FullDp, Wavefront and both Blocked variants share the canonical
+    // tie-break, so their alignments are column-for-column identical.
+    for (a, b, c) in workloads() {
+        let reference = Aligner::new()
+            .algorithm(Algorithm::FullDp)
+            .align3(&a, &b, &c)
+            .unwrap();
+        for alg in [
+            Algorithm::Wavefront,
+            Algorithm::Blocked { tile: 8 },
+            Algorithm::BlockedDataflow { tile: 8, threads: 3 },
+        ] {
+            let aln = Aligner::new().algorithm(alg).align3(&a, &b, &c).unwrap();
+            assert_eq!(aln.columns, reference.columns, "{alg:?}");
+        }
+    }
+}
+
+#[test]
+fn bounds_bracket_every_workload() {
+    let scoring = Scoring::dna_default();
+    for (a, b, c) in workloads() {
+        let br = bounds::bounds(&a, &b, &c, &scoring);
+        let exact = Aligner::new().score3(&a, &b, &c).unwrap();
+        assert!(br.contains(exact), "exact {exact} outside [{}, {}]", br.lower, br.upper);
+    }
+}
+
+#[test]
+fn heuristic_is_feasible_and_dominated() {
+    let scoring = Scoring::dna_default();
+    for (a, b, c) in workloads() {
+        let star = center_star::align(&a, &b, &c, &scoring);
+        star.alignment.validate(&a, &b, &c).unwrap();
+        let exact = Aligner::new().score3(&a, &b, &c).unwrap();
+        assert!(star.alignment.score <= exact);
+    }
+}
+
+#[test]
+fn score3_and_align3_agree_via_facade() {
+    let fam = FamilyConfig::new(28, 0.15, 0.05).generate(77);
+    let (a, b, c) = fam.triple();
+    for alg in exact_algorithms() {
+        let aligner = Aligner::new().algorithm(alg);
+        assert_eq!(
+            aligner.score3(a, b, c).unwrap(),
+            aligner.align3(a, b, c).unwrap().score,
+            "{alg:?}"
+        );
+    }
+}
+
+#[test]
+fn scoring_presets_all_work_end_to_end() {
+    let fam = FamilyConfig::protein(16, 0.2, 0.03).generate(5);
+    let (a, b, c) = fam.triple();
+    for scoring in [
+        Scoring::unit(),
+        Scoring::edit_distance(),
+        Scoring::blosum62(),
+        Scoring::blosum50(),
+        Scoring::pam250(),
+    ] {
+        let aln = Aligner::new()
+            .scoring(scoring.clone())
+            .algorithm(Algorithm::Wavefront)
+            .align3(a, b, c)
+            .unwrap();
+        aln.validate_scored(a, b, c, &scoring).unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end flows through the facade crate: FASTA in, alignment out,
+//! FASTA back — the path a downstream user actually takes.
+
+use three_seq_align::core::Algorithm;
+use three_seq_align::prelude::*;
+use three_seq_align::seq::gen;
+
+const FASTA: &str = "\
+>gene_x sample one
+GATTACAGATTACAGATTACA
+>gene_y sample two
+GATACAGATTACAGTTACA
+>gene_z sample three
+GATTACAGATACAGATTACA
+";
+
+#[test]
+fn fasta_to_alignment_to_fasta() {
+    let seqs = fasta::parse(FASTA, Alphabet::Dna).unwrap();
+    assert_eq!(seqs.len(), 3);
+    let (a, b, c) = (&seqs[0], &seqs[1], &seqs[2]);
+
+    let aln = Aligner::new().align3(a, b, c).unwrap();
+    aln.validate(a, b, c).unwrap();
+
+    // Convert the rows back into gapped FASTA-like records. The residues
+    // themselves must round-trip: de-gapping recovers the inputs.
+    let rows = aln.rows();
+    for (row, seq) in rows.iter().zip([a, b, c]) {
+        let degapped: Vec<u8> = row.iter().flatten().copied().collect();
+        assert_eq!(degapped, seq.residues());
+    }
+
+    // Emitting the inputs and re-parsing is the identity.
+    let emitted = fasta::emit(&seqs, 60);
+    assert_eq!(fasta::parse(&emitted, Alphabet::Dna).unwrap(), seqs);
+}
+
+#[test]
+fn generated_workload_full_pipeline() {
+    // gen → FASTA → parse → align → stats, as the CLI does.
+    let fam = FamilyConfig::new(50, 0.12, 0.03).generate(1234);
+    let emitted = fasta::emit(&fam.members, 60);
+    let parsed = fasta::parse_auto(&emitted).unwrap();
+    assert_eq!(parsed.len(), 3);
+    let aln = Aligner::new()
+        .algorithm(Algorithm::ParallelHirschberg)
+        .align3(&parsed[0], &parsed[1], &parsed[2])
+        .unwrap();
+    aln.validate(&parsed[0], &parsed[1], &parsed[2]).unwrap();
+    assert!(aln.full_match_columns() > 0);
+}
+
+#[test]
+fn mixed_alphabet_records_are_parsed_independently() {
+    let text = ">dna\nACGT\n>rna\nACGU\n>prot\nMKWVTE\n";
+    let seqs = fasta::parse_auto(text).unwrap();
+    assert_eq!(seqs[0].alphabet(), Alphabet::Dna);
+    assert_eq!(seqs[1].alphabet(), Alphabet::Rna);
+    assert_eq!(seqs[2].alphabet(), Alphabet::Protein);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Each re-exported crate is reachable and functional via the facade.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let s = gen::random_seq(Alphabet::Dna, 20, &mut rng);
+    assert_eq!(s.len(), 20);
+
+    let profile = three_seq_align::perfmodel::planes::plane_profile(10, 10, 10);
+    assert_eq!(profile.iter().sum::<usize>(), 11 * 11 * 11);
+
+    let e = three_seq_align::wavefront::plane::Extents::new(10, 10, 10);
+    assert_eq!(e.cells(), 1331);
+
+    let p = three_seq_align::pairwise::nw::align_score(&s, &s, &Scoring::dna_default());
+    assert_eq!(p, 40);
+}
+
+#[test]
+fn unicode_and_whitespace_fasta_edges() {
+    // Windows line endings, trailing blank lines, comments.
+    let text = ">a desc\r\nACGT\r\n\r\n; comment\r\n>b\r\nAC\r\nGT\r\n\r\n>c\r\nACGTACGT\r\n";
+    let seqs = fasta::parse(text, Alphabet::Dna).unwrap();
+    assert_eq!(seqs.len(), 3);
+    let aln = Aligner::new().align3(&seqs[0], &seqs[1], &seqs[2]).unwrap();
+    aln.validate(&seqs[0], &seqs[1], &seqs[2]).unwrap();
+}
+
+#[test]
+fn pretty_output_is_rectangular() {
+    let seqs = fasta::parse(FASTA, Alphabet::Dna).unwrap();
+    let aln = Aligner::new().align3(&seqs[0], &seqs[1], &seqs[2]).unwrap();
+    let pretty = aln.pretty();
+    let lines: Vec<&str> = pretty.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(lines[0].len(), lines[1].len());
+    assert_eq!(lines[1].len(), lines[2].len());
+    assert_eq!(lines[0].len(), aln.len());
+}

@@ -1,0 +1,100 @@
+//! Workspace-level integration of the k-sequence extension: workload
+//! generation → progressive alignment (both guide trees) → iterative
+//! refinement → serialization, all through the facade crate.
+
+use three_seq_align::core::format;
+use three_seq_align::msa::{refine, GuideMethod, MsaBuilder};
+use three_seq_align::prelude::*;
+use three_seq_align::seq::kimura::K2pModel;
+
+fn family(k: usize, n: usize, seed: u64) -> Vec<Seq> {
+    let mut out = Vec::new();
+    let mut batch = 0u64;
+    while out.len() < k {
+        let fam = FamilyConfig::new(n, 0.18, 0.05).generate(seed + batch);
+        for m in fam.members {
+            if out.len() < k {
+                out.push(m.with_id(format!("m{}", out.len())));
+            }
+        }
+        batch += 1;
+    }
+    out
+}
+
+#[test]
+fn full_msa_pipeline_both_guides() {
+    let seqs = family(6, 48, 9000);
+    let scoring = Scoring::dna_default();
+    for guide in [GuideMethod::Upgma, GuideMethod::NeighborJoining] {
+        let msa = MsaBuilder::new()
+            .scoring(scoring.clone())
+            .guide(guide)
+            .align(&seqs)
+            .unwrap();
+        msa.validate(&seqs).unwrap();
+        let refined = refine::refine(&msa, &scoring, 3);
+        assert!(refined.msa.sp_score >= msa.sp_score, "{guide:?}");
+        refined.msa.validate(&seqs).unwrap();
+    }
+}
+
+#[test]
+fn triple_msa_round_trips_through_aligned_fasta() {
+    let seqs = family(3, 40, 9100);
+    let exact = MsaBuilder::new().exact_triples(true).align(&seqs).unwrap();
+    // Convert the 3-row MSA into an Alignment3 for serialization.
+    let columns: Vec<[Option<u8>; 3]> = (0..exact.len())
+        .map(|c| [exact.rows[0][c], exact.rows[1][c], exact.rows[2][c]])
+        .collect();
+    let aln = three_seq_align::core::Alignment3::new(columns, exact.sp_score as i32);
+    let text = format::to_aligned_fasta(&aln, ["m0", "m1", "m2"], 60);
+    let (parsed, ids) = format::from_aligned_fasta(&text).unwrap();
+    assert_eq!(ids[0], "m0");
+    assert_eq!(parsed.columns, aln.columns);
+    parsed.validate(&seqs[0], &seqs[1], &seqs[2]).unwrap();
+    // And the round-tripped rows re-score to the exact optimum.
+    assert_eq!(
+        parsed.rescore(&Scoring::dna_default()),
+        exact.sp_score as i32
+    );
+}
+
+#[test]
+fn k2p_workload_flows_through_the_aligner() {
+    // A transition-biased family (more realistic than uniform mutation)
+    // aligned exactly; the K2P distance of the aligned pair is finite and
+    // in a plausible range.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let ancestor = three_seq_align::seq::gen::random_seq(Alphabet::Dna, 60, &mut rng);
+    let model = K2pModel::with_kappa(0.15, 5.0).unwrap();
+    let a = model.apply(&ancestor, &mut rng);
+    let b = model.apply(&ancestor, &mut rng);
+    let c = model.apply(&ancestor, &mut rng);
+
+    let aln = Aligner::new().align3(&a, &b, &c).unwrap();
+    aln.validate(&a, &b, &c).unwrap();
+    assert!(aln.score > 0, "related sequences should score positively");
+
+    // Equal lengths (K2P is substitution-only) → positional K2P distance.
+    let d = three_seq_align::seq::kimura::k2p_distance(&a, &b).expect("unsaturated");
+    assert!(d > 0.0 && d < 1.0, "distance {d}");
+}
+
+#[test]
+fn progressive_exact_and_center_star_are_totally_ordered() {
+    let seqs = family(3, 36, 9200);
+    let scoring = Scoring::dna_default();
+    let progressive = MsaBuilder::new().align(&seqs).unwrap().sp_score;
+    let exact = MsaBuilder::new()
+        .exact_triples(true)
+        .align(&seqs)
+        .unwrap()
+        .sp_score;
+    let star = three_seq_align::core::center_star::align(&seqs[0], &seqs[1], &seqs[2], &scoring)
+        .alignment
+        .score as i64;
+    assert!(star <= exact);
+    assert!(progressive <= exact);
+}
