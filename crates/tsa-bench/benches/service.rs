@@ -1,0 +1,100 @@
+//! Service-engine throughput: a 64-request batch through the worker pool
+//! versus the same work run sequentially, plus the warm-cache repeat.
+//!
+//! On a multi-core host `batch_64_parallel` scales with the worker count;
+//! on a single-core host it demonstrates that engine overhead (queue,
+//! cache probes, per-job channels) is within noise of the bare loop. The
+//! warm-cache arm is the repeat-run story: identical requests bypass the
+//! kernels entirely.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use tsa_core::{Algorithm, Aligner};
+use tsa_scoring::Scoring;
+use tsa_seq::family::FamilyConfig;
+use tsa_seq::Seq;
+use tsa_service::{run_all, AlignRequest, Engine, ServiceConfig};
+
+const BATCH: usize = 64;
+
+fn problems() -> Vec<[Seq; 3]> {
+    // 16 distinct mixed-size problems, cycled to fill the batch.
+    (0..16)
+        .map(|i| {
+            let fam = FamilyConfig::new(24 + 6 * i, 0.15, 0.05).generate(900 + i as u64);
+            fam.members
+        })
+        .collect()
+}
+
+fn requests(problems: &[[Seq; 3]]) -> Vec<AlignRequest> {
+    (0..BATCH)
+        .map(|i| {
+            let [a, b, c] = problems[i % problems.len()].clone();
+            // Pin the sequential kernel in every arm: this isolates
+            // job-level parallelism (the engine's contribution) from
+            // plane-level rayon parallelism inside the wavefront kernel.
+            AlignRequest::new(format!("r{i}"), a, b, c)
+                .algorithm(Algorithm::FullDp)
+                .score_only(true)
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let problems = problems();
+    let mut group = c.benchmark_group("service");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(10);
+
+    group.bench_function("batch_64_sequential", |bch| {
+        let aligner = Aligner::auto(Scoring::dna_default()).algorithm(Algorithm::FullDp);
+        bch.iter(|| {
+            let mut total = 0i64;
+            for req in requests(&problems) {
+                let [a, b, c] = req.seqs;
+                total += aligner.score3(&a, &b, &c).unwrap() as i64;
+            }
+            total
+        })
+    });
+
+    group.bench_function("batch_64_parallel", |bch| {
+        bch.iter(|| {
+            // Cache off: measure raw pool throughput on cold work.
+            let engine = Arc::new(Engine::start(ServiceConfig {
+                workers: 0,
+                queue_capacity: BATCH,
+                cache_capacity: 0,
+                default_deadline: None,
+            }));
+            let outcomes = run_all(&engine, requests(&problems));
+            assert_eq!(outcomes.len(), BATCH);
+            engine.shutdown().completed
+        })
+    });
+
+    group.bench_function("batch_64_warm_cache", |bch| {
+        let engine = Arc::new(Engine::start(ServiceConfig {
+            workers: 0,
+            queue_capacity: BATCH,
+            cache_capacity: 256,
+            default_deadline: None,
+        }));
+        // Warm every distinct problem once.
+        run_all(&engine, requests(&problems));
+        assert!(engine.stats().cache_hits > 0 || engine.stats().completed as usize == BATCH);
+        bch.iter(|| {
+            let outcomes = run_all(&engine, requests(&problems));
+            assert_eq!(outcomes.len(), BATCH);
+            outcomes.len()
+        });
+        let stats = engine.shutdown();
+        assert!(stats.cache_hits > 0, "repeat runs must hit the cache");
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tsa_core::anchored::{self, AnchorConfig};
-use tsa_core::{affine, banded3, blocked, carrillo_lipman, full, hirschberg3, local, score_only, wavefront};
+use tsa_core::{
+    affine, banded3, blocked, carrillo_lipman, full, hirschberg3, local, score_only, wavefront,
+};
 use tsa_scoring::GapModel;
 use tsa_scoring::Scoring;
 use tsa_seq::family::FamilyConfig;
@@ -46,7 +48,10 @@ fn bench_three_seq(c: &mut Criterion) {
             bch.iter(|| local::align_score(&a, &b, &cc, &scoring))
         });
         group.bench_with_input(BenchmarkId::new("anchored_k10", n), &n, |bch, _| {
-            let cfg = AnchorConfig { kmer: 10, ..AnchorConfig::default() };
+            let cfg = AnchorConfig {
+                kmer: 10,
+                ..AnchorConfig::default()
+            };
             bch.iter(|| anchored::align(&a, &b, &cc, &scoring, &cfg).score)
         });
     }

@@ -49,7 +49,10 @@ pub fn run(cfg: &RunConfig) {
             timing::fmt_ms(t_wf),
             timing::fmt_ms(t_blk),
             format!("{:.2}", wf_model.unwrap().predict_speedup(&cell_profile, p)),
-            format!("{:.2}", blk_model.unwrap().predict_speedup(&tile_profile, p)),
+            format!(
+                "{:.2}",
+                blk_model.unwrap().predict_speedup(&tile_profile, p)
+            ),
         ]);
     }
     println!("  (n={n}, tile={TILE}; blk model granularity = whole tiles)");

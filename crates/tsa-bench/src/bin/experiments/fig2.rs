@@ -12,7 +12,14 @@ use tsa_scoring::Scoring;
 pub fn run(cfg: &RunConfig) {
     let scoring = Scoring::dna_default();
     let mut t = Table::new(
-        &["n", "full_ms", "wavefront_ms", "blocked_ms", "hirschberg_ms", "par_hirsch_ms"],
+        &[
+            "n",
+            "full_ms",
+            "wavefront_ms",
+            "blocked_ms",
+            "hirschberg_ms",
+            "par_hirsch_ms",
+        ],
         cfg.csv,
     );
     for n in cfg.length_sweep() {
@@ -20,12 +27,16 @@ pub fn run(cfg: &RunConfig) {
         let reps = cfg.reps();
         let (s0, t_full) = timing::best_of(reps, || full::align_score(&a, &b, &c, &scoring));
         let (s1, t_wf) = timing::best_of(reps, || wavefront::align_score(&a, &b, &c, &scoring));
-        let (s2, t_blk) =
-            timing::best_of(reps, || blocked::align_score(&a, &b, &c, &scoring, 16));
+        let (s2, t_blk) = timing::best_of(reps, || blocked::align_score(&a, &b, &c, &scoring, 16));
         let (al3, t_h) = timing::best_of(reps, || hirschberg3::align(&a, &b, &c, &scoring));
         let (al4, t_ph) =
             timing::best_of(reps, || hirschberg3::align_parallel(&a, &b, &c, &scoring));
-        for (name, s) in [("wavefront", s1), ("blocked", s2), ("hirschberg", al3.score), ("par-hirschberg", al4.score)] {
+        for (name, s) in [
+            ("wavefront", s1),
+            ("blocked", s2),
+            ("hirschberg", al3.score),
+            ("par-hirschberg", al4.score),
+        ] {
             assert_eq!(s, s0, "{name} diverged at n={n}");
         }
         t.row(vec![

@@ -24,18 +24,29 @@ pub fn run(cfg: &RunConfig) {
         &[2, 4, 8, 16, 32, 64]
     };
     let mut t = Table::new(
-        &["tile", "tiles_total", "tile_planes", "barrier_ms", "dataflow_ms"],
+        &[
+            "tile",
+            "tiles_total",
+            "tile_planes",
+            "barrier_ms",
+            "dataflow_ms",
+        ],
         cfg.csv,
     );
     for &tile in tiles {
         let profile = planes::tile_plane_profile(a.len(), b.len(), c.len(), tile);
-        let (s1, t_bar) =
-            timing::best_of(cfg.reps(), || blocked::align_score(&a, &b, &c, &scoring, tile));
+        let (s1, t_bar) = timing::best_of(cfg.reps(), || {
+            blocked::align_score(&a, &b, &c, &scoring, tile)
+        });
         let (lat, t_df) = timing::best_of(cfg.reps(), || {
             blocked::fill_dataflow(&a, &b, &c, &scoring, tile, threads)
         });
         assert_eq!(s1, reference, "barrier diverged at tile={tile}");
-        assert_eq!(lat.final_score(), reference, "dataflow diverged at tile={tile}");
+        assert_eq!(
+            lat.final_score(),
+            reference,
+            "dataflow diverged at tile={tile}"
+        );
         t.row(vec![
             tile.to_string(),
             profile.iter().sum::<usize>().to_string(),

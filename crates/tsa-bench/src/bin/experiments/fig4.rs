@@ -22,10 +22,7 @@ pub fn run(cfg: &RunConfig) {
         plane_sizes: profile.clone(),
     };
 
-    let mut t = Table::new(
-        &["P", "measured_spd", "model_spd", "ideal_bound"],
-        cfg.csv,
-    );
+    let mut t = Table::new(&["P", "measured_spd", "model_spd", "ideal_bound"], cfg.csv);
     let mut base = 0.0;
     let mut model: Option<CostModel> = None;
     let sweep: Vec<usize> = if cfg.quick {

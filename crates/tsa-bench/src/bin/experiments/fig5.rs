@@ -34,7 +34,13 @@ pub fn run(cfg: &RunConfig) {
     let eth = ClusterModel::ethernet(t_cell_ns);
 
     let mut t = Table::new(
-        &["P", "shm_spd", "fast_net_spd", "ethernet_spd", "eth_pipeline_spd"],
+        &[
+            "P",
+            "shm_spd",
+            "fast_net_spd",
+            "ethernet_spd",
+            "eth_pipeline_spd",
+        ],
         cfg.csv,
     );
     let sweep: &[usize] = if cfg.quick {

@@ -25,7 +25,9 @@ pub fn run(cfg: &RunConfig) {
     // SAFETY: standard plane-disjointness contract (one write per cell,
     // reads from earlier planes).
     let timings = run_cells_wavefront_traced(e, |i, j, k| {
-        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe { grid.get(e.index(pi, pj, pk)) });
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+            grid.get(e.index(pi, pj, pk))
+        });
         unsafe { grid.set(e.index(i, j, k), v) };
     });
     let score = unsafe { grid.get(e.index(n1, n2, n3)) };

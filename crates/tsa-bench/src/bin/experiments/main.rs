@@ -13,6 +13,7 @@ mod fig4;
 mod fig5;
 mod fig6;
 mod table1;
+mod table10;
 mod table2;
 mod table3;
 mod table4;
@@ -21,13 +22,15 @@ mod table6;
 mod table7;
 mod table8;
 mod table9;
-mod table10;
 
 use tsa_bench::{pool, RunConfig};
 
 const IDS: &[(&str, &str)] = &[
     ("table1", "sequential runtime & MCUPS vs length"),
-    ("table2", "parallel speedup vs thread count (measured + model)"),
+    (
+        "table2",
+        "parallel speedup vs thread count (measured + model)",
+    ),
     ("fig1", "speedup curves: wavefront vs blocked"),
     ("fig2", "runtime vs length, all algorithms"),
     ("fig3", "tile-size sensitivity (barrier vs dataflow)"),
@@ -39,7 +42,10 @@ const IDS: &[(&str, &str)] = &[
     ("table7", "Carrillo-Lipman pruning effectiveness"),
     ("fig5", "simulated cluster scalability (alpha-beta model)"),
     ("table8", "progressive MSA vs exact optimum on triples"),
-    ("table9", "search-space reduction: full vs banded vs Carrillo-Lipman"),
+    (
+        "table9",
+        "search-space reduction: full vs banded vs Carrillo-Lipman",
+    ),
     ("fig6", "wavefront load profile over execution"),
     ("table10", "anchored seed-chain-extend vs exact DP"),
 ];
@@ -55,7 +61,13 @@ fn usage() -> String {
 }
 
 fn run_one(id: &str, cfg: &RunConfig) -> bool {
-    println!("\n=== {id}: {} ===", IDS.iter().find(|(i, _)| *i == id).map(|(_, d)| *d).unwrap_or(""));
+    println!(
+        "\n=== {id}: {} ===",
+        IDS.iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, d)| *d)
+            .unwrap_or("")
+    );
     match id {
         "table1" => table1::run(cfg),
         "table2" => table2::run(cfg),

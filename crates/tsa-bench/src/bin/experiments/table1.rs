@@ -12,7 +12,13 @@ pub fn run(cfg: &RunConfig) {
     let scoring = Scoring::dna_default();
     let mut t = Table::new(
         &[
-            "n", "cells", "full_ms", "full_MCUPS", "slab_ms", "slab_MCUPS", "planes_ms",
+            "n",
+            "cells",
+            "full_ms",
+            "full_MCUPS",
+            "slab_ms",
+            "slab_MCUPS",
+            "planes_ms",
             "planes_MCUPS",
         ],
         cfg.csv,

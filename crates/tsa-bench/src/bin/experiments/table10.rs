@@ -25,7 +25,14 @@ pub fn run(cfg: &RunConfig) {
     // Full DP is run only up to this length (768³ would be 1.8 GiB).
     let exact_limit = if cfg.quick { 96 } else { 256 };
     let mut t = Table::new(
-        &["n", "exact_ms", "anchored_ms", "exact_SP", "anchored_SP", "deficit_pct"],
+        &[
+            "n",
+            "exact_ms",
+            "anchored_ms",
+            "exact_SP",
+            "anchored_SP",
+            "deficit_pct",
+        ],
         cfg.csv,
     );
     for n in lengths {
@@ -35,14 +42,18 @@ pub fn run(cfg: &RunConfig) {
         let fam = tsa_seq::family::FamilyConfig::new(n, 0.06, 0.015)
             .generate(workload::SEED_BASE ^ n as u64);
         let (a, b, c) = fam.triple();
-        let (anchored_aln, t_anchored) = timing::best_of(cfg.reps(), || {
-            anchored::align(a, b, c, &scoring, &config)
-        });
-        anchored_aln.validate(a, b, c).expect("anchored alignment invalid");
+        let (anchored_aln, t_anchored) =
+            timing::best_of(cfg.reps(), || anchored::align(a, b, c, &scoring, &config));
+        anchored_aln
+            .validate(a, b, c)
+            .expect("anchored alignment invalid");
         if n <= exact_limit {
             let (exact, t_exact) =
                 timing::best_of(cfg.reps(), || full::align_score(a, b, c, &scoring));
-            assert!(anchored_aln.score <= exact, "heuristic beat optimum at n={n}");
+            assert!(
+                anchored_aln.score <= exact,
+                "heuristic beat optimum at n={n}"
+            );
             let pct = if exact != 0 {
                 100.0 * (exact - anchored_aln.score) as f64 / exact.abs() as f64
             } else {

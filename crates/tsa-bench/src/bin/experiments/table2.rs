@@ -20,7 +20,15 @@ pub fn run(cfg: &RunConfig) {
         vec![96, 128, 192]
     };
     let mut t = Table::new(
-        &["n", "P", "time_ms", "speedup_meas", "eff_meas", "speedup_model", "eff_model"],
+        &[
+            "n",
+            "P",
+            "time_ms",
+            "speedup_meas",
+            "eff_meas",
+            "speedup_model",
+            "eff_model",
+        ],
         cfg.csv,
     );
     for n in lengths {

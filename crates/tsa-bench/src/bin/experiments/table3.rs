@@ -18,7 +18,12 @@ pub fn run(cfg: &RunConfig) {
     let scoring = Scoring::dna_default();
     let mut t = Table::new(
         &[
-            "n", "full_MiB", "full_meas_MiB", "affine_MiB", "slab_MiB", "planes_MiB",
+            "n",
+            "full_MiB",
+            "full_meas_MiB",
+            "affine_MiB",
+            "slab_MiB",
+            "planes_MiB",
             "hirschberg_MiB",
         ],
         cfg.csv,

@@ -12,7 +12,14 @@ use tsa_scoring::Scoring;
 pub fn run(cfg: &RunConfig) {
     let scoring = Scoring::dna_default();
     let mut t = Table::new(
-        &["n", "full_ms", "dc_ms", "dc_over_full", "scores_equal", "dc_mem_quadratic"],
+        &[
+            "n",
+            "full_ms",
+            "dc_ms",
+            "dc_over_full",
+            "scores_equal",
+            "dc_mem_quadratic",
+        ],
         cfg.csv,
     );
     for n in cfg.length_sweep() {
@@ -22,7 +29,9 @@ pub fn run(cfg: &RunConfig) {
             timing::best_of(cfg.reps(), || hirschberg3::align(&a, &b, &c, &scoring));
         let equal = full_aln.score == dc_aln.score;
         assert!(equal, "DC lost optimality at n={n}");
-        dc_aln.validate_scored(&a, &b, &c, &scoring).expect("DC alignment invalid");
+        dc_aln
+            .validate_scored(&a, &b, &c, &scoring)
+            .expect("DC alignment invalid");
         let ratio = t_dc.as_secs_f64() / t_full.as_secs_f64();
         t.row(vec![
             n.to_string(),

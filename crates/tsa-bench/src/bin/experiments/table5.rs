@@ -14,7 +14,15 @@ pub fn run(cfg: &RunConfig) {
     let n = if cfg.quick { 32 } else { 96 };
     let rates: &[f64] = &[0.05, 0.10, 0.20, 0.30, 0.40];
     let mut t = Table::new(
-        &["sub_rate", "identity", "exact_SP", "star_SP", "deficit", "deficit_pct", "upper_bound"],
+        &[
+            "sub_rate",
+            "identity",
+            "exact_SP",
+            "star_SP",
+            "deficit",
+            "deficit_pct",
+            "upper_bound",
+        ],
         cfg.csv,
     );
     for (idx, &rate) in rates.iter().enumerate() {
@@ -41,6 +49,9 @@ pub fn run(cfg: &RunConfig) {
             ub.to_string(),
         ]);
     }
-    println!("  (n={n}, indel rate {}, DNA default scoring)", workload::CANONICAL_INDEL);
+    println!(
+        "  (n={n}, indel rate {}, DNA default scoring)",
+        workload::CANONICAL_INDEL
+    );
     t.print();
 }

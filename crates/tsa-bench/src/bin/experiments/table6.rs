@@ -18,15 +18,23 @@ pub fn run(cfg: &RunConfig) {
         vec![16, 24, 32, 48, 64]
     };
     let mut t = Table::new(
-        &["n", "linear_ms", "affine_ms", "affine_over_linear", "linear_SP", "affine_QN"],
+        &[
+            "n",
+            "linear_ms",
+            "affine_ms",
+            "affine_over_linear",
+            "linear_SP",
+            "affine_QN",
+        ],
         cfg.csv,
     );
     for n in lengths {
         let (a, b, c) = workload::triple(n);
-        let (s_lin, t_lin) =
-            timing::best_of(cfg.reps(), || full::align_score(&a, &b, &c, &linear));
+        let (s_lin, t_lin) = timing::best_of(cfg.reps(), || full::align_score(&a, &b, &c, &linear));
         let (al_aff, t_aff) = timing::best_of(cfg.reps(), || affine::align(&a, &b, &c, &aff));
-        al_aff.validate(&a, &b, &c).expect("affine alignment invalid");
+        al_aff
+            .validate(&a, &b, &c)
+            .expect("affine alignment invalid");
         // With extend == the linear gap and open ≤ 0, affine can only lose.
         assert!(al_aff.score <= s_lin, "affine beat linear at n={n}");
         t.row(vec![

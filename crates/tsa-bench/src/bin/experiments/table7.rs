@@ -15,7 +15,14 @@ pub fn run(cfg: &RunConfig) {
     let n = if cfg.quick { 40 } else { 96 };
     let rates: &[f64] = &[0.02, 0.05, 0.10, 0.20, 0.30, 0.50];
     let mut t = Table::new(
-        &["sub_rate", "visited_pct", "full_ms", "pruned_ms", "pruned_over_full", "scores_equal"],
+        &[
+            "sub_rate",
+            "visited_pct",
+            "full_ms",
+            "pruned_ms",
+            "pruned_over_full",
+            "scores_equal",
+        ],
         cfg.csv,
     );
     for (idx, &rate) in rates.iter().enumerate() {

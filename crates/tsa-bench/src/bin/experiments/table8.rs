@@ -16,7 +16,13 @@ pub fn run(cfg: &RunConfig) {
     let n = if cfg.quick { 32 } else { 96 };
     let rates: &[f64] = &[0.05, 0.10, 0.20, 0.30, 0.40];
     let mut t = Table::new(
-        &["sub_rate", "exact_SP", "progressive_SP", "star_SP", "prog_deficit_pct"],
+        &[
+            "sub_rate",
+            "exact_SP",
+            "progressive_SP",
+            "star_SP",
+            "prog_deficit_pct",
+        ],
         cfg.csv,
     );
     for (idx, &rate) in rates.iter().enumerate() {
@@ -31,7 +37,10 @@ pub fn run(cfg: &RunConfig) {
         let star = center_star::align(&seqs[0], &seqs[1], &seqs[2], &scoring)
             .alignment
             .score as i64;
-        assert!(progressive.sp_score <= exact, "heuristic beat optimum at rate {rate}");
+        assert!(
+            progressive.sp_score <= exact,
+            "heuristic beat optimum at rate {rate}"
+        );
         let pct = if exact != 0 {
             100.0 * (exact - progressive.sp_score) as f64 / exact.abs() as f64
         } else {

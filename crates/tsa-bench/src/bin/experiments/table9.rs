@@ -15,7 +15,14 @@ pub fn run(cfg: &RunConfig) {
     let n = if cfg.quick { 40 } else { 96 };
     let rates: &[f64] = &[0.05, 0.15, 0.30, 0.50];
     let mut t = Table::new(
-        &["sub_rate", "full_ms", "banded_ms", "cl_ms", "cl_visited_pct", "all_equal"],
+        &[
+            "sub_rate",
+            "full_ms",
+            "banded_ms",
+            "cl_ms",
+            "cl_visited_pct",
+            "all_equal",
+        ],
         cfg.csv,
     );
     for (idx, &rate) in rates.iter().enumerate() {
@@ -28,7 +35,10 @@ pub fn run(cfg: &RunConfig) {
         let ((cl_score, cl_stats), t_cl) = timing::best_of(cfg.reps(), || {
             carrillo_lipman::align_score_with_stats(a, b, c, &scoring)
         });
-        assert_eq!(banded.score, reference, "banding lost the optimum at {rate}");
+        assert_eq!(
+            banded.score, reference,
+            "banding lost the optimum at {rate}"
+        );
         assert_eq!(cl_score, reference, "pruning lost the optimum at {rate}");
         t.row(vec![
             format!("{rate:.2}"),

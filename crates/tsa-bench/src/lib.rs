@@ -79,8 +79,14 @@ mod tests {
 
     #[test]
     fn quick_sizes_are_smaller() {
-        let quick = RunConfig { quick: true, csv: false };
-        let full = RunConfig { quick: false, csv: false };
+        let quick = RunConfig {
+            quick: true,
+            csv: false,
+        };
+        let full = RunConfig {
+            quick: false,
+            csv: false,
+        };
         assert!(quick.length_sweep().iter().max() < full.length_sweep().iter().max());
         assert!(quick.reference_length() < full.reference_length());
         assert!(!quick.length_sweep().is_empty());

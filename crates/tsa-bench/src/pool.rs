@@ -22,7 +22,9 @@ pub fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
 /// The host's available parallelism (what measured speedups are limited
 /// by — reported in experiment headers).
 pub fn host_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@ USAGE:
     tsa msa --file <fasta> [--scoring <name>] [--gap <g>] [--exact-triples]
             [--guide upgma|nj] [--refine <sweeps>]
     tsa info --file <fasta>
+    tsa serve [--listen <addr:port>] [service options]
+    tsa batch --file <ndjson> [--repeat <n>] [--quiet] [service options]
     tsa help
 
 ALIGN OPTIONS:
@@ -42,6 +44,16 @@ GEN OPTIONS:
     --indel <rate>       insertion/deletion rate per descendant             [0.02]
     --seed <u64>         RNG seed                                           [42]
     --protein            protein alphabet instead of DNA
+
+SERVICE OPTIONS (tsa serve / tsa batch):
+    --workers <n>        worker threads (0 = all cores)                     [0]
+    --queue <n>          bounded queue capacity (backpressure beyond it)    [64]
+    --cache <n>          result-cache entries, 0 disables                   [1024]
+    --deadline-ms <ms>   default per-job deadline (absent = none)
+    serve --listen       serve NDJSON over TCP instead of stdin/stdout
+    batch --file         NDJSON file of submit requests (`op` optional)
+    batch --repeat <n>   run the batch n times (cache warm after first)    [1]
+    batch --quiet        suppress per-job response lines, print stats only
 ";
 
 /// A parsed command line.
@@ -60,6 +72,10 @@ pub enum Command {
         /// FASTA file to summarize.
         file: String,
     },
+    /// Run the alignment service (NDJSON over stdio or TCP).
+    Serve(ServeArgs),
+    /// Run a file of NDJSON requests through the service engine.
+    Batch(BatchArgs),
     /// Print usage.
     Help,
 }
@@ -167,6 +183,75 @@ pub struct MsaArgs {
     pub refine: usize,
 }
 
+/// Engine sizing flags shared by `tsa serve` and `tsa batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOpts {
+    /// Worker threads (0 = all cores).
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue: usize,
+    /// Result-cache entries (0 disables).
+    pub cache: usize,
+    /// Default per-job deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServiceOpts {
+    fn default() -> Self {
+        ServiceOpts {
+            workers: 0,
+            queue: 64,
+            cache: 1024,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl ServiceOpts {
+    /// Try to consume one service flag; `Ok(true)` when it was one.
+    fn take_flag(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--workers" => self.workers = parse_num(flag, take_value(flag, it)?)?,
+            "--queue" => {
+                self.queue = parse_num(flag, take_value(flag, it)?)?;
+                if self.queue == 0 {
+                    return Err("--queue must be >= 1".into());
+                }
+            }
+            "--cache" => self.cache = parse_num(flag, take_value(flag, it)?)?,
+            "--deadline-ms" => self.deadline_ms = Some(parse_num(flag, take_value(flag, it)?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Arguments of `tsa serve`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeArgs {
+    /// TCP listen address; stdin/stdout when absent.
+    pub listen: Option<String>,
+    /// Engine sizing.
+    pub service: ServiceOpts,
+}
+
+/// Arguments of `tsa batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchArgs {
+    /// NDJSON request file.
+    pub file: String,
+    /// Engine sizing.
+    pub service: ServiceOpts,
+    /// How many times to run the batch (≥ 2 exercises the cache).
+    pub repeat: usize,
+    /// Suppress per-job output; print only the final stats.
+    pub quiet: bool,
+}
+
 /// Parse a full argv (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter();
@@ -176,6 +261,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("gen") => parse_gen(it.as_slice()).map(Command::Gen),
         Some("plan") => parse_plan(it.as_slice()).map(Command::Plan),
         Some("msa") => parse_msa(it.as_slice()).map(Command::Msa),
+        Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
+        Some("batch") => parse_batch(it.as_slice()).map(Command::Batch),
         Some("info") => {
             let rest = it.as_slice();
             match rest {
@@ -187,10 +274,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     }
 }
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut std::slice::Iter<'a, String>,
-) -> Result<&'a String, String> {
+fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
 }
 
@@ -316,18 +400,56 @@ fn parse_msa(argv: &[String]) -> Result<MsaArgs, String> {
     Ok(m)
 }
 
+fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut s = ServeArgs::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if s.service.take_flag(flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--listen" => s.listen = Some(take_value(flag, &mut it)?.clone()),
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    Ok(s)
+}
+
+fn parse_batch(argv: &[String]) -> Result<BatchArgs, String> {
+    let mut b = BatchArgs {
+        file: String::new(),
+        service: ServiceOpts::default(),
+        repeat: 1,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if b.service.take_flag(flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--file" => b.file = take_value(flag, &mut it)?.clone(),
+            "--repeat" => {
+                b.repeat = parse_num(flag, take_value(flag, &mut it)?)?;
+                if b.repeat == 0 {
+                    return Err("--repeat must be >= 1".into());
+                }
+            }
+            "--quiet" => b.quiet = true,
+            other => return Err(format!("unknown batch flag `{other}`")),
+        }
+    }
+    if b.file.is_empty() {
+        return Err("batch needs --file".into());
+    }
+    Ok(b)
+}
+
 impl AlignArgs {
     /// Resolve the scoring preset + gap overrides into a [`Scoring`].
     pub fn build_scoring(&self) -> Result<Scoring, String> {
-        let mut scoring = match self.scoring.as_str() {
-            "dna" => Scoring::dna_default(),
-            "unit" => Scoring::unit(),
-            "edit" => Scoring::edit_distance(),
-            "blosum62" => Scoring::blosum62(),
-            "blosum50" => Scoring::blosum50(),
-            "pam250" => Scoring::pam250(),
-            other => return Err(format!("unknown scoring `{other}`")),
-        };
+        let mut scoring = Scoring::by_name(&self.scoring)
+            .ok_or_else(|| format!("unknown scoring `{}`", self.scoring))?;
         if let Some((open, extend)) = self.gap_affine {
             scoring = scoring.with_gap(GapModel::affine(open, extend));
         } else if let Some(g) = self.gap {
@@ -336,31 +458,22 @@ impl AlignArgs {
         Ok(scoring)
     }
 
-    /// Resolve the algorithm name.
+    /// Resolve the algorithm name through the shared
+    /// [`Algorithm::by_name`] lookup.
     pub fn build_algorithm(&self) -> Result<Algorithm, String> {
-        Ok(match self.algorithm.as_str() {
-            "auto" => Algorithm::Auto,
-            "full" => Algorithm::FullDp,
-            "wavefront" => Algorithm::Wavefront,
-            "blocked" => Algorithm::Blocked { tile: self.tile },
-            "dataflow" => Algorithm::BlockedDataflow {
-                tile: self.tile,
-                threads: self.threads.unwrap_or_else(num_threads_default),
-            },
-            "hirschberg" => Algorithm::Hirschberg,
-            "par-hirschberg" => Algorithm::ParallelHirschberg,
-            "center-star" => Algorithm::CenterStar,
-            "carrillo-lipman" => Algorithm::CarrilloLipman,
-            "banded" => Algorithm::BandedAdaptive,
-            "anchored" => Algorithm::Anchored,
-            "affine" => Algorithm::AffineDp,
-            other => return Err(format!("unknown algorithm `{other}`")),
-        })
+        Algorithm::by_name(
+            &self.algorithm,
+            self.tile,
+            self.threads.unwrap_or_else(num_threads_default),
+        )
+        .ok_or_else(|| format!("unknown algorithm `{}`", self.algorithm))
     }
 }
 
 fn num_threads_default() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -387,7 +500,15 @@ mod tests {
     #[test]
     fn align_inline_parses() {
         let cmd = parse(&sv(&[
-            "align", "--a", "ACG", "--b", "AG", "--c", "AC", "--algorithm", "full",
+            "align",
+            "--a",
+            "ACG",
+            "--b",
+            "AG",
+            "--c",
+            "AC",
+            "--algorithm",
+            "full",
             "--score-only",
         ]))
         .unwrap();
@@ -412,14 +533,19 @@ mod tests {
     fn align_requires_input() {
         assert!(parse(&sv(&["align"])).is_err());
         assert!(parse(&sv(&["align", "--a", "A", "--b", "C"])).is_err());
-        assert!(parse(&sv(&["align", "--file", "x.fa", "--a", "A", "--b", "C", "--c", "G"]))
-            .is_err());
+        assert!(parse(&sv(&[
+            "align", "--file", "x.fa", "--a", "A", "--b", "C", "--c", "G"
+        ]))
+        .is_err());
     }
 
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&sv(&["align", "--file"])).is_err());
-        assert!(parse(&sv(&["align", "--a", "A", "--b", "C", "--c", "G", "--tile"])).is_err());
+        assert!(parse(&sv(&[
+            "align", "--a", "A", "--b", "C", "--c", "G", "--tile"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -430,12 +556,21 @@ mod tests {
 
     #[test]
     fn gen_defaults_and_overrides() {
-        let Command::Gen(g) = parse(&sv(&["gen"])).unwrap() else { panic!() };
+        let Command::Gen(g) = parse(&sv(&["gen"])).unwrap() else {
+            panic!()
+        };
         assert_eq!(g, GenArgs::default());
-        let Command::Gen(g) =
-            parse(&sv(&["gen", "--len", "50", "--sub", "0.3", "--seed", "9", "--protein"]))
-                .unwrap()
-        else {
+        let Command::Gen(g) = parse(&sv(&[
+            "gen",
+            "--len",
+            "50",
+            "--sub",
+            "0.3",
+            "--seed",
+            "9",
+            "--protein",
+        ]))
+        .unwrap() else {
             panic!()
         };
         assert_eq!(g.len, 50);
@@ -469,10 +604,15 @@ mod tests {
     #[test]
     fn affine_flags_compose_in_any_order() {
         let Command::Align(a) = parse(&sv(&[
-            "align", "--file", "x", "--gap-extend", "-2", "--gap-open", "-9",
+            "align",
+            "--file",
+            "x",
+            "--gap-extend",
+            "-2",
+            "--gap-open",
+            "-9",
         ]))
-        .unwrap()
-        else {
+        .unwrap() else {
             panic!()
         };
         assert_eq!(a.gap_affine, Some((-9, -2)));
@@ -480,27 +620,33 @@ mod tests {
 
     #[test]
     fn plan_parses_and_validates() {
-        let Command::Plan(p) =
-            parse(&sv(&["plan", "--n1", "100", "--n2", "120", "--n3", "90", "--tile", "8"]))
-                .unwrap()
-        else {
+        let Command::Plan(p) = parse(&sv(&[
+            "plan", "--n1", "100", "--n2", "120", "--n3", "90", "--tile", "8",
+        ]))
+        .unwrap() else {
             panic!()
         };
         assert_eq!(p.n, (100, 120, 90));
         assert_eq!(p.tile, 8);
         assert!((p.t_cell_ns - 10.0).abs() < 1e-12);
         assert!(parse(&sv(&["plan", "--n1", "10"])).is_err());
-        assert!(parse(&sv(&["plan", "--n1", "1", "--n2", "1", "--n3", "1", "--tile", "0"]))
-            .is_err());
-        assert!(parse(&sv(&["plan", "--n1", "1", "--n2", "1", "--n3", "1", "--bogus", "x"]))
-            .is_err());
+        assert!(parse(&sv(&[
+            "plan", "--n1", "1", "--n2", "1", "--n3", "1", "--tile", "0"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "plan", "--n1", "1", "--n2", "1", "--n3", "1", "--bogus", "x"
+        ]))
+        .is_err());
     }
 
     #[test]
     fn info_parses() {
         assert_eq!(
             parse(&sv(&["info", "--file", "x.fa"])).unwrap(),
-            Command::Info { file: "x.fa".into() }
+            Command::Info {
+                file: "x.fa".into()
+            }
         );
         assert!(parse(&sv(&["info"])).is_err());
         assert!(parse(&sv(&["info", "--file"])).is_err());
@@ -519,6 +665,58 @@ mod tests {
             panic!()
         };
         assert_eq!(a.format, "plain");
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_flags() {
+        let Command::Serve(s) = parse(&sv(&["serve"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s, ServeArgs::default());
+        let Command::Serve(s) = parse(&sv(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7777",
+            "--workers",
+            "4",
+            "--queue",
+            "8",
+            "--cache",
+            "0",
+            "--deadline-ms",
+            "500",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.listen.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(s.service.workers, 4);
+        assert_eq!(s.service.queue, 8);
+        assert_eq!(s.service.cache, 0);
+        assert_eq!(s.service.deadline_ms, Some(500));
+        assert!(parse(&sv(&["serve", "--queue", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn batch_parses_and_validates() {
+        let Command::Batch(b) = parse(&sv(&[
+            "batch",
+            "--file",
+            "jobs.ndjson",
+            "--repeat",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.file, "jobs.ndjson");
+        assert_eq!(b.repeat, 2);
+        assert!(b.quiet);
+        assert_eq!(b.service, ServiceOpts::default());
+        assert!(parse(&sv(&["batch"])).is_err());
+        assert!(parse(&sv(&["batch", "--file", "x", "--repeat", "0"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Command implementations for the `tsa` binary.
 
-use crate::args::{AlignArgs, Command, GenArgs, MsaArgs, PlanArgs, USAGE};
-use std::time::Instant;
+use crate::args::{AlignArgs, BatchArgs, Command, GenArgs, MsaArgs, PlanArgs, ServeArgs, USAGE};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tsa_core::{bounds, format, Aligner};
 use tsa_perfmodel::{memory, model, planes, ClusterModel, CostModel};
 use tsa_seq::family::FamilyConfig;
 use tsa_seq::{fasta, Alphabet, Seq};
+use tsa_service::{Engine, ServiceConfig};
 
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -19,7 +21,62 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Plan(p) => run_plan(p),
         Command::Msa(m) => run_msa(m),
         Command::Info { file } => run_info(&file),
+        Command::Serve(s) => run_serve(s),
+        Command::Batch(b) => run_batch(b),
     }
+}
+
+fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
+    ServiceConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        cache_capacity: opts.cache,
+        default_deadline: opts.deadline_ms.map(Duration::from_millis),
+    }
+}
+
+fn run_serve(s: ServeArgs) -> Result<(), String> {
+    let engine = Arc::new(Engine::start(engine_config(&s.service)));
+    let stats = match &s.listen {
+        Some(addr) => {
+            eprintln!("# tsa serve: listening on {addr}");
+            tsa_service::serve_tcp(&engine, addr)
+        }
+        None => tsa_service::serve_stdio(&engine),
+    }
+    .map_err(|e| format!("serve: {e}"))?;
+    eprintln!("{stats}");
+    Ok(())
+}
+
+fn run_batch(b: BatchArgs) -> Result<(), String> {
+    let input = std::fs::read_to_string(&b.file).map_err(|e| format!("{}: {e}", b.file))?;
+    let engine = Arc::new(Engine::start(engine_config(&b.service)));
+    let start = Instant::now();
+    for round in 0..b.repeat {
+        let round_start = Instant::now();
+        let submitted = if b.quiet {
+            tsa_service::run_batch(&engine, &input, &mut std::io::sink())
+        } else {
+            tsa_service::run_batch(&engine, &input, &mut std::io::stdout().lock())
+        }
+        .map_err(|e| format!("batch: {e}"))?;
+        if b.repeat > 1 {
+            eprintln!(
+                "# round {}/{}: {submitted} job(s) in {:.3} ms",
+                round + 1,
+                b.repeat,
+                round_start.elapsed().as_secs_f64() * 1e3
+            );
+        }
+    }
+    let stats = engine.shutdown();
+    eprintln!(
+        "# batch finished in {:.3} ms",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    eprintln!("{stats}");
+    Ok(())
 }
 
 fn run_info(file: &str) -> Result<(), String> {
@@ -57,15 +114,8 @@ fn run_msa(m: MsaArgs) -> Result<(), String> {
     if seqs.is_empty() {
         return Err(format!("{}: no FASTA records", m.file));
     }
-    let mut scoring = match m.scoring.as_str() {
-        "dna" => tsa_scoring::Scoring::dna_default(),
-        "unit" => tsa_scoring::Scoring::unit(),
-        "edit" => tsa_scoring::Scoring::edit_distance(),
-        "blosum62" => tsa_scoring::Scoring::blosum62(),
-        "blosum50" => tsa_scoring::Scoring::blosum50(),
-        "pam250" => tsa_scoring::Scoring::pam250(),
-        other => return Err(format!("unknown scoring `{other}`")),
-    };
+    let mut scoring = tsa_scoring::Scoring::by_name(&m.scoring)
+        .ok_or_else(|| format!("unknown scoring `{}`", m.scoring))?;
     if let Some(g) = m.gap {
         scoring = scoring.with_gap(tsa_scoring::GapModel::linear(g));
     }
@@ -98,7 +148,10 @@ fn run_msa(m: MsaArgs) -> Result<(), String> {
     println!("# SP score: {}", msa.sp_score);
     for (seq, row) in seqs.iter().zip(&msa.rows) {
         println!(">{}", seq.id());
-        let body: String = row.iter().map(|r| r.map(char::from).unwrap_or('-')).collect();
+        let body: String = row
+            .iter()
+            .map(|r| r.map(char::from).unwrap_or('-'))
+            .collect();
         println!("{body}");
     }
     Ok(())
@@ -108,24 +161,42 @@ fn run_plan(p: PlanArgs) -> Result<(), String> {
     let (n1, n2, n3) = p.n;
     let profile = planes::plane_profile(n1, n2, n3);
     let cells: usize = profile.iter().sum();
-    println!("lattice {n1}×{n2}×{n3}: {cells} cells, {} planes", profile.len());
+    println!(
+        "lattice {n1}×{n2}×{n3}: {cells} cells, {} planes",
+        profile.len()
+    );
     println!(
         "max plane {} cells; mean parallelism {:.0}",
         profile.iter().max().unwrap_or(&0),
         model::speedup_cap(&profile)
     );
     println!("\nmemory:");
-    println!("  full lattice     {:>12} bytes", memory::full_lattice(n1, n2, n3));
-    println!("  affine lattice   {:>12} bytes", memory::affine_lattice(n1, n2, n3));
-    println!("  score-only slabs {:>12} bytes", memory::slab_score(n2, n3));
-    println!("  hirschberg peak  {:>12} bytes", memory::hirschberg(n1, n2, n3));
+    println!(
+        "  full lattice     {:>12} bytes",
+        memory::full_lattice(n1, n2, n3)
+    );
+    println!(
+        "  affine lattice   {:>12} bytes",
+        memory::affine_lattice(n1, n2, n3)
+    );
+    println!(
+        "  score-only slabs {:>12} bytes",
+        memory::slab_score(n2, n3)
+    );
+    println!(
+        "  hirschberg peak  {:>12} bytes",
+        memory::hirschberg(n1, n2, n3)
+    );
     let m = CostModel::ideal(p.t_cell_ns);
     let eth = ClusterModel::ethernet(p.t_cell_ns);
     println!(
         "\npredicted speedup (t_cell {} ns, tile {} for the cluster column):",
         p.t_cell_ns, p.tile
     );
-    println!("{:>4} {:>14} {:>16}", "P", "shared-memory", "ethernet-cluster");
+    println!(
+        "{:>4} {:>14} {:>16}",
+        "P", "shared-memory", "ethernet-cluster"
+    );
     for workers in [1usize, 2, 4, 8, 16, 32] {
         println!(
             "{workers:>4} {:>14.2} {:>16.2}",
@@ -160,7 +231,10 @@ fn load_inputs(a: &AlignArgs) -> Result<(Seq, Seq, Seq), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let seqs = fasta::parse_auto(&text).map_err(|e| format!("{path}: {e}"))?;
     if seqs.len() < 3 {
-        return Err(format!("{path}: need at least 3 FASTA records, found {}", seqs.len()));
+        return Err(format!(
+            "{path}: need at least 3 FASTA records, found {}",
+            seqs.len()
+        ));
     }
     let mut it = seqs.into_iter();
     Ok((
@@ -182,11 +256,12 @@ fn run_align(args: AlignArgs) -> Result<(), String> {
             .map_err(|e| format!("thread pool: {e}"))?;
     }
 
-    let aligner = Aligner::new().scoring(scoring.clone()).algorithm(algorithm);
+    let aligner = Aligner::auto(scoring.clone()).algorithm(algorithm);
     let start = Instant::now();
     let aln = aligner.align3(&a, &b, &c).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
-    aln.validate(&a, &b, &c).map_err(|e| format!("internal: {e}"))?;
+    aln.validate(&a, &b, &c)
+        .map_err(|e| format!("internal: {e}"))?;
 
     if args.score_only {
         println!("{}", aln.score);
@@ -203,7 +278,10 @@ fn run_align(args: AlignArgs) -> Result<(), String> {
     if args.stats {
         if scoring.gap.linear_penalty().is_some() {
             let br = bounds::bounds(&a, &b, &c, &scoring);
-            println!("# bounds: center-star {} ≤ score ≤ pairwise-sum {}", br.lower, br.upper);
+            println!(
+                "# bounds: center-star {} ≤ score ≤ pairwise-sum {}",
+                br.lower, br.upper
+            );
         }
         let st = tsa_core::stats::alignment_stats(&aln);
         println!("# columns: {}", st.columns);
@@ -229,8 +307,10 @@ fn run_align(args: AlignArgs) -> Result<(), String> {
             let rows = aln.rows();
             for (id, row) in ids.iter().zip(&rows) {
                 println!(">{id}");
-                let text: String =
-                    row.iter().map(|r| r.map(char::from).unwrap_or('-')).collect();
+                let text: String = row
+                    .iter()
+                    .map(|r| r.map(char::from).unwrap_or('-'))
+                    .collect();
                 if args.width == 0 {
                     println!("{text}");
                 } else {
@@ -253,7 +333,13 @@ mod tests {
     #[test]
     fn gen_produces_three_parseable_records() {
         // Drive run_gen's core through the library path it uses.
-        let g = GenArgs { len: 30, sub: 0.1, indel: 0.02, seed: 5, protein: false };
+        let g = GenArgs {
+            len: 30,
+            sub: 0.1,
+            indel: 0.02,
+            seed: 5,
+            protein: false,
+        };
         let cfg = FamilyConfig::new(g.len, g.sub, g.indel);
         let fam = cfg.try_generate(g.seed).unwrap();
         let text = fasta::emit(&fam.members, 60);

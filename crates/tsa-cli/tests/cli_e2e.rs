@@ -44,7 +44,14 @@ fn unknown_subcommand_fails_with_usage_on_stderr() {
 #[test]
 fn inline_align_score_only() {
     let (stdout, _, ok) = run(&[
-        "align", "--a", "GATTACA", "--b", "GATACA", "--c", "GTTACA", "--score-only",
+        "align",
+        "--a",
+        "GATTACA",
+        "--b",
+        "GATACA",
+        "--c",
+        "GTTACA",
+        "--score-only",
     ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "26");
@@ -63,8 +70,16 @@ fn align_all_algorithms_agree_through_the_binary() {
         "banded",
     ] {
         let (stdout, stderr, ok) = run(&[
-            "align", "--a", "GATTACAGAT", "--b", "GATACAGTT", "--c", "GTTACAGAT",
-            "--algorithm", alg, "--score-only",
+            "align",
+            "--a",
+            "GATTACAGAT",
+            "--b",
+            "GATACAGTT",
+            "--c",
+            "GTTACAGAT",
+            "--algorithm",
+            alg,
+            "--score-only",
         ]);
         assert!(ok, "{alg}: {stderr}");
         scores.push(stdout.trim().to_string());
@@ -93,9 +108,7 @@ fn gen_pipes_into_align_via_file() {
     assert_eq!(fasta.matches('>').count(), 3);
     std::fs::write(&path, &fasta).unwrap();
 
-    let (stdout, stderr, ok) = run(&[
-        "align", "--file", path.to_str().unwrap(), "--stats",
-    ]);
+    let (stdout, stderr, ok) = run(&["align", "--file", path.to_str().unwrap(), "--stats"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("# score:"));
     assert!(stdout.contains("# bounds:"));
@@ -130,8 +143,17 @@ fn plan_subcommand_prints_model() {
 #[test]
 fn affine_flags_route_to_affine_dp() {
     let (stdout, stderr, ok) = run(&[
-        "align", "--a", "AAAATTTTGG", "--b", "AAAAGG", "--c", "AAAAGG",
-        "--gap-open", "-8", "--gap-extend", "-1",
+        "align",
+        "--a",
+        "AAAATTTTGG",
+        "--b",
+        "AAAAGG",
+        "--c",
+        "AAAAGG",
+        "--gap-open",
+        "-8",
+        "--gap-extend",
+        "-1",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("AffineDp"), "{stdout}");
@@ -149,7 +171,16 @@ fn stdin_is_not_consumed_accidentally() {
     // The binary takes no stdin; giving it some must not hang or change
     // behaviour.
     let mut child = tsa()
-        .args(["align", "--a", "ACG", "--b", "ACG", "--c", "ACG", "--score-only"])
+        .args([
+            "align",
+            "--a",
+            "ACG",
+            "--b",
+            "ACG",
+            "--c",
+            "ACG",
+            "--score-only",
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()

@@ -481,7 +481,11 @@ mod tests {
             .filter_map(|(idx, col)| (col[1].is_none() && col[2].is_none()).then_some(idx))
             .collect();
         assert_eq!(gap_cols.len(), 4, "{}", al.pretty());
-        assert!(gap_cols.windows(2).all(|w| w[1] == w[0] + 1), "{}", al.pretty());
+        assert!(
+            gap_cols.windows(2).all(|w| w[1] == w[0] + 1),
+            "{}",
+            al.pretty()
+        );
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! configuration, align.
 
 use crate::alignment::Alignment3;
-use crate::{affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3, score_only, wavefront};
+use crate::{
+    affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3,
+    score_only, wavefront,
+};
 use std::fmt;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
@@ -50,6 +53,48 @@ pub enum Algorithm {
     /// Quasi-natural affine-gap DP (works for linear models too, as
     /// `open = 0`).
     AffineDp,
+}
+
+impl Algorithm {
+    /// Look up an algorithm by its canonical name — the single spelling
+    /// shared by the CLI `--algorithm` flag and the batch-service protocol.
+    /// `tile` parameterizes the blocked variants and `threads` the dataflow
+    /// scheduler; both are ignored by the other algorithms.
+    pub fn by_name(name: &str, tile: usize, threads: usize) -> Option<Algorithm> {
+        Some(match name {
+            "auto" => Algorithm::Auto,
+            "full" => Algorithm::FullDp,
+            "wavefront" => Algorithm::Wavefront,
+            "blocked" => Algorithm::Blocked { tile },
+            "dataflow" => Algorithm::BlockedDataflow { tile, threads },
+            "hirschberg" => Algorithm::Hirschberg,
+            "par-hirschberg" => Algorithm::ParallelHirschberg,
+            "center-star" => Algorithm::CenterStar,
+            "carrillo-lipman" => Algorithm::CarrilloLipman,
+            "banded" => Algorithm::BandedAdaptive,
+            "anchored" => Algorithm::Anchored,
+            "affine" => Algorithm::AffineDp,
+            _ => return None,
+        })
+    }
+
+    /// The canonical name accepted by [`Algorithm::by_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::FullDp => "full",
+            Algorithm::Wavefront => "wavefront",
+            Algorithm::Blocked { .. } => "blocked",
+            Algorithm::BlockedDataflow { .. } => "dataflow",
+            Algorithm::Hirschberg => "hirschberg",
+            Algorithm::ParallelHirschberg => "par-hirschberg",
+            Algorithm::CenterStar => "center-star",
+            Algorithm::CarrilloLipman => "carrillo-lipman",
+            Algorithm::BandedAdaptive => "banded",
+            Algorithm::Anchored => "anchored",
+            Algorithm::AffineDp => "affine",
+        }
+    }
 }
 
 /// Configuration or input errors reported by [`Aligner::align3`].
@@ -125,6 +170,14 @@ impl Aligner {
             algorithm: Algorithm::Auto,
             max_lattice_bytes: 4 << 30,
         }
+    }
+
+    /// An aligner that picks the algorithm automatically for the given
+    /// scoring — by gap model, then by whether the full lattice fits the
+    /// memory budget (see [`Aligner::resolve`]). This is the one selection
+    /// code path shared by the CLI and the batch service.
+    pub fn auto(scoring: Scoring) -> Self {
+        Aligner::new().scoring(scoring)
     }
 
     /// Set the scoring scheme (matrix + gap model).
@@ -244,7 +297,13 @@ impl Aligner {
             }
             Algorithm::Anchored => {
                 self.check_linear()?;
-                Ok(anchored::align(a, b, c, s, &anchored::AnchorConfig::default()))
+                Ok(anchored::align(
+                    a,
+                    b,
+                    c,
+                    s,
+                    &anchored::AnchorConfig::default(),
+                ))
             }
             Algorithm::AffineDp => Ok(affine::align(a, b, c, s)),
         }
@@ -292,7 +351,10 @@ mod tests {
             Algorithm::Auto,
             Algorithm::Wavefront,
             Algorithm::Blocked { tile: 8 },
-            Algorithm::BlockedDataflow { tile: 8, threads: 3 },
+            Algorithm::BlockedDataflow {
+                tile: 8,
+                threads: 3,
+            },
             Algorithm::Hirschberg,
             Algorithm::ParallelHirschberg,
             Algorithm::CarrilloLipman,
@@ -319,6 +381,45 @@ mod tests {
             let sc = Aligner::new().algorithm(alg).score3(&a, &b, &c).unwrap();
             assert_eq!(al.score, sc, "{alg:?}");
         }
+    }
+
+    #[test]
+    fn names_round_trip_through_by_name() {
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::FullDp,
+            Algorithm::Wavefront,
+            Algorithm::Blocked { tile: 8 },
+            Algorithm::BlockedDataflow {
+                tile: 8,
+                threads: 2,
+            },
+            Algorithm::Hirschberg,
+            Algorithm::ParallelHirschberg,
+            Algorithm::CenterStar,
+            Algorithm::CarrilloLipman,
+            Algorithm::BandedAdaptive,
+            Algorithm::Anchored,
+            Algorithm::AffineDp,
+        ] {
+            assert_eq!(Algorithm::by_name(alg.name(), 8, 2), Some(alg));
+        }
+        assert_eq!(Algorithm::by_name("nope", 8, 2), None);
+    }
+
+    #[test]
+    fn auto_constructor_selects_like_resolve() {
+        let (a, b, c) = family_triple(7, 14);
+        let auto = Aligner::auto(Scoring::dna_default());
+        assert_eq!(
+            auto.resolve(a.len(), b.len(), c.len()),
+            Algorithm::Wavefront
+        );
+        let pinned = Aligner::new().algorithm(Algorithm::FullDp);
+        assert_eq!(
+            auto.align3(&a, &b, &c).unwrap().score,
+            pinned.align3(&a, &b, &c).unwrap().score
+        );
     }
 
     #[test]
@@ -383,7 +484,10 @@ mod tests {
         ));
         assert!(matches!(
             Aligner::new()
-                .algorithm(Algorithm::BlockedDataflow { tile: 4, threads: 0 })
+                .algorithm(Algorithm::BlockedDataflow {
+                    tile: 4,
+                    threads: 0
+                })
                 .align3(&a, &b, &c),
             Err(AlignError::BadParameter(_))
         ));
@@ -421,10 +525,15 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        assert!(AlignError::AffineGapNeedsAffineAlgorithm.to_string().contains("AffineDp"));
-        assert!(AlignError::LatticeTooLarge { required: 10, budget: 5 }
+        assert!(AlignError::AffineGapNeedsAffineAlgorithm
             .to_string()
-            .contains("10"));
+            .contains("AffineDp"));
+        assert!(AlignError::LatticeTooLarge {
+            required: 10,
+            budget: 5
+        }
+        .to_string()
+        .contains("10"));
         assert!(AlignError::BadParameter("x").to_string().contains('x'));
     }
 }

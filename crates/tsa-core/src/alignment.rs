@@ -182,10 +182,7 @@ mod tests {
 
     fn sample() -> Alignment3 {
         // A: AC-T ; B: ACG- ; C: A-GT
-        Alignment3::new(
-            vec![col("AAA"), col("CC-"), col("-GG"), col("T-T")],
-            0,
-        )
+        Alignment3::new(vec![col("AAA"), col("CC-"), col("-GG"), col("T-T")], 0)
     }
 
     #[test]

@@ -136,7 +136,11 @@ pub fn align(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring, config: &AnchorConfig
             debug_assert_eq!(r, c.residues()[anchor.k + off]);
             columns.push([Some(r); 3]);
         }
-        (pi, pj, pk) = (anchor.i + anchor.len, anchor.j + anchor.len, anchor.k + anchor.len);
+        (pi, pj, pk) = (
+            anchor.i + anchor.len,
+            anchor.j + anchor.len,
+            anchor.k + anchor.len,
+        );
     }
     // Tail after the last anchor.
     let ga = a.slice(pi, a.len());
@@ -212,10 +216,25 @@ mod tests {
     #[test]
     fn chain_respects_colinearity() {
         let anchors = vec![
-            Anchor { i: 0, j: 0, k: 0, len: 4 },
-            Anchor { i: 10, j: 10, k: 10, len: 4 },
+            Anchor {
+                i: 0,
+                j: 0,
+                k: 0,
+                len: 4,
+            },
+            Anchor {
+                i: 10,
+                j: 10,
+                k: 10,
+                len: 4,
+            },
             // Crossing anchor: behind in B — cannot chain with both others.
-            Anchor { i: 6, j: 2, k: 6, len: 4 },
+            Anchor {
+                i: 6,
+                j: 2,
+                k: 6,
+                len: 4,
+            },
         ];
         let chain = chain_anchors(&anchors);
         assert_eq!(chain.len(), 2);
@@ -232,9 +251,24 @@ mod tests {
     fn chain_prefers_total_coverage() {
         // One long anchor vs two short incompatible ones.
         let anchors = vec![
-            Anchor { i: 0, j: 0, k: 0, len: 3 },
-            Anchor { i: 5, j: 5, k: 5, len: 3 },
-            Anchor { i: 2, j: 2, k: 2, len: 10 },
+            Anchor {
+                i: 0,
+                j: 0,
+                k: 0,
+                len: 3,
+            },
+            Anchor {
+                i: 5,
+                j: 5,
+                k: 5,
+                len: 3,
+            },
+            Anchor {
+                i: 2,
+                j: 2,
+                k: 2,
+                len: 10,
+            },
         ];
         let chain = chain_anchors(&anchors);
         let covered: usize = chain.iter().map(|a| a.len).sum();

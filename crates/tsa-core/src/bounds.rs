@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn contains_and_gap_accessors() {
-        let br = ScoreBounds { lower: -5, upper: 7 };
+        let br = ScoreBounds {
+            lower: -5,
+            upper: 7,
+        };
         assert_eq!(br.gap(), 12);
         assert!(br.contains(-5));
         assert!(br.contains(7));

@@ -151,7 +151,9 @@ pub fn fill_pruned_parallel(
             return; // stays NEG_INF
         }
         visited.fetch_add(1, Ordering::Relaxed);
-        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe { grid.get(e.index(pi, pj, pk)) });
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+            grid.get(e.index(pi, pj, pk))
+        });
         unsafe { grid.set(e.index(i, j, k), v) };
     });
     PrunedLattice {
@@ -187,7 +189,12 @@ pub fn align(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Alignment3 {
 }
 
 /// Optimal score plus the pruning statistics (what `table7` reports).
-pub fn align_score_with_stats(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> (i32, PrunedLattice) {
+pub fn align_score_with_stats(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+) -> (i32, PrunedLattice) {
     let seed = center_star::align(a, b, c, scoring).alignment.score;
     let pruned = fill_pruned(a, b, c, scoring, seed);
     (pruned.lattice.final_score(), pruned)
@@ -263,7 +270,10 @@ mod tests {
         let (a, b, c) = random_triple(7, 8);
         let st = fill_pruned(&a, &b, &c, &s(), NEG_INF);
         assert_eq!(st.visited, st.total);
-        assert_eq!(st.lattice.final_score(), full::align_score(&a, &b, &c, &s()));
+        assert_eq!(
+            st.lattice.final_score(),
+            full::align_score(&a, &b, &c, &s())
+        );
     }
 
     #[test]
@@ -294,7 +304,10 @@ mod tests {
             let lb = center_star::align(&a, &b, &c, &s()).alignment.score;
             let seq_fill = fill_pruned(&a, &b, &c, &s(), lb);
             let par_fill = fill_pruned_parallel(&a, &b, &c, &s(), lb);
-            assert_eq!(seq_fill.lattice.scores, par_fill.lattice.scores, "seed {seed}");
+            assert_eq!(
+                seq_fill.lattice.scores, par_fill.lattice.scores,
+                "seed {seed}"
+            );
             assert_eq!(seq_fill.visited, par_fill.visited, "seed {seed}");
         }
     }
@@ -304,7 +317,10 @@ mod tests {
         let (a, b, c) = random_triple(21, 12);
         let lb = center_star::align(&a, &b, &c, &s()).alignment.score;
         let st = fill_pruned_parallel(&a, &b, &c, &s(), lb);
-        assert_eq!(st.lattice.final_score(), full::align_score(&a, &b, &c, &s()));
+        assert_eq!(
+            st.lattice.final_score(),
+            full::align_score(&a, &b, &c, &s())
+        );
     }
 
     #[test]

@@ -46,13 +46,41 @@ impl Move {
 /// the 3-way match first, then the three 2-way moves, then single-residue
 /// moves.
 pub const MOVES: [Move; 7] = [
-    Move { da: true, db: true, dc: true },
-    Move { da: true, db: true, dc: false },
-    Move { da: true, db: false, dc: true },
-    Move { da: false, db: true, dc: true },
-    Move { da: true, db: false, dc: false },
-    Move { da: false, db: true, dc: false },
-    Move { da: false, db: false, dc: true },
+    Move {
+        da: true,
+        db: true,
+        dc: true,
+    },
+    Move {
+        da: true,
+        db: true,
+        dc: false,
+    },
+    Move {
+        da: true,
+        db: false,
+        dc: true,
+    },
+    Move {
+        da: false,
+        db: true,
+        dc: true,
+    },
+    Move {
+        da: true,
+        db: false,
+        dc: false,
+    },
+    Move {
+        da: false,
+        db: true,
+        dc: false,
+    },
+    Move {
+        da: false,
+        db: false,
+        dc: true,
+    },
 ];
 
 /// Precomputed per-problem kernel context: the three residue strings and
@@ -111,7 +139,13 @@ impl<'s> Kernel<'s> {
     /// Compute `D[i][j][k]` from a predecessor accessor. `get` is called
     /// only with in-range coordinates.
     #[inline(always)]
-    pub fn cell(&self, i: usize, j: usize, k: usize, get: impl Fn(usize, usize, usize) -> i32) -> i32 {
+    pub fn cell(
+        &self,
+        i: usize,
+        j: usize,
+        k: usize,
+        get: impl Fn(usize, usize, usize) -> i32,
+    ) -> i32 {
         if i == 0 && j == 0 && k == 0 {
             return 0;
         }
@@ -199,7 +233,10 @@ mod tests {
         let (ra, rb, rc, s) = kernel_fixture();
         let kern = Kernel::new(ra, rb, rc, &s);
         // Entering (1,1,1) with the 3-way move: column (A, A, A).
-        assert_eq!(kern.move_score(1, 1, 1, MOVES[0]), s.sp_column([Some(b'A'); 3]));
+        assert_eq!(
+            kern.move_score(1, 1, 1, MOVES[0]),
+            s.sp_column([Some(b'A'); 3])
+        );
         // (1,1,·) two-way: column (A, A, -).
         assert_eq!(
             kern.move_score(1, 1, 0, MOVES[1]),
@@ -271,7 +308,10 @@ mod tests {
         let (ra, rb, rc, s) = kernel_fixture();
         let kern = Kernel::new(ra, rb, rc, &s);
         assert_eq!(kern.column(1, 1, 1, MOVES[0]), [Some(b'A'); 3]);
-        assert_eq!(kern.column(2, 1, 0, MOVES[1]), [Some(b'C'), Some(b'A'), None]);
+        assert_eq!(
+            kern.column(2, 1, 0, MOVES[1]),
+            [Some(b'C'), Some(b'A'), None]
+        );
         assert_eq!(kern.column(0, 0, 2, MOVES[6]), [None, None, Some(b'C')]);
     }
 

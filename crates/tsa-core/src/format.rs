@@ -106,8 +106,8 @@ const STRONG_GROUPS: &[&[u8]] = &[
 
 /// Clustal "weak" conservation groups.
 const WEAK_GROUPS: &[&[u8]] = &[
-    b"CSA", b"ATV", b"SAG", b"STNK", b"STPA", b"SGND", b"SNDEQK", b"NDEQHK", b"NEQHRK",
-    b"FVLIM", b"HFY",
+    b"CSA", b"ATV", b"SAG", b"STNK", b"STPA", b"SGND", b"SNDEQK", b"NDEQHK", b"NEQHRK", b"FVLIM",
+    b"HFY",
 ];
 
 fn all_in_some_group(groups: &[&[u8]], residues: &[u8; 3]) -> bool {

@@ -79,7 +79,10 @@ pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
                 let p110 = scores[b11 + k] + sab + g2;
                 let p101 = scores[b10 + k - 1] + sac + g2;
                 let p011 = scores[b01 + k - 1] + sbc + g2;
-                let single = scores[b10 + k].max(scores[b01 + k]).max(scores[base + k - 1]) + g2;
+                let single = scores[b10 + k]
+                    .max(scores[b01 + k])
+                    .max(scores[base + k - 1])
+                    + g2;
                 scores[base + k] = p111.max(p110).max(p101).max(p011).max(single);
             }
         }
@@ -221,7 +224,10 @@ mod tests {
         // unless the column is single-residue. Optimal AB alignment has
         // 4 columns (one B-gap): pair score 4, plus per-column C gaps.
         let pairwise = tsa_pairwise::nw::align_score(&a, &b, &s());
-        assert!(al.score <= pairwise, "3-way score can't beat projected pair");
+        assert!(
+            al.score <= pairwise,
+            "3-way score can't beat projected pair"
+        );
     }
 
     #[test]
@@ -301,7 +307,10 @@ mod tests {
         // Normalize by length product to avoid trivial length effects; a
         // related family should score clearly higher per column.
         let unrelated = align_score(&x, &y, &z, &s());
-        assert!(related > unrelated, "related {related} vs unrelated {unrelated}");
+        assert!(
+            related > unrelated,
+            "related {related} vs unrelated {unrelated}"
+        );
     }
 
     #[test]

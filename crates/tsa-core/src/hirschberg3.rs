@@ -111,8 +111,22 @@ fn solve(
     let w3 = c.len() + 1;
     let split = best_split(&f, &r);
     let (sj, sk) = (split / w3, split % w3);
-    solve(&a_lo, &b.slice(0, sj), &c.slice(0, sk), scoring, parallel_faces, out);
-    solve(&a_hi, &b.slice(sj, b.len()), &c.slice(sk, c.len()), scoring, parallel_faces, out);
+    solve(
+        &a_lo,
+        &b.slice(0, sj),
+        &c.slice(0, sk),
+        scoring,
+        parallel_faces,
+        out,
+    );
+    solve(
+        &a_hi,
+        &b.slice(sj, b.len()),
+        &c.slice(sk, c.len()),
+        scoring,
+        parallel_faces,
+        out,
+    );
 }
 
 fn solve_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring, out: &mut Vec<Column3>) {

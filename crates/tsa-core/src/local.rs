@@ -218,7 +218,11 @@ mod tests {
         for seed in 0..8 {
             let (a, b, c) = random_triple(seed + 900, 12);
             let loc = align(&a, &b, &c, &s());
-            assert_eq!(loc.alignment.rescore(&s()), loc.alignment.score, "seed {seed}");
+            assert_eq!(
+                loc.alignment.rescore(&s()),
+                loc.alignment.score,
+                "seed {seed}"
+            );
             for (r, seq) in [&a, &b, &c].into_iter().enumerate() {
                 let (lo, hi) = loc.ranges[r];
                 assert_eq!(
@@ -248,7 +252,10 @@ mod tests {
         let a = Seq::dna("ACG").unwrap();
         assert_eq!(align_score(&e, &e, &e, &s()), 0);
         assert_eq!(align_score(&a, &e, &e, &s()), 0);
-        assert_eq!(align_score_parallel(&a, &a, &e, &s()), align_score(&a, &a, &e, &s()));
+        assert_eq!(
+            align_score_parallel(&a, &a, &e, &s()),
+            align_score(&a, &a, &e, &s())
+        );
     }
 
     #[test]

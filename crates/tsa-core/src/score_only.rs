@@ -15,11 +15,11 @@
 //! experiment (`table3`).
 
 use crate::dp::{Kernel, NEG_INF};
+use rayon::prelude::*;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 use tsa_wavefront::plane::{plane_cells, Extents};
 use tsa_wavefront::SharedGrid;
-use rayon::prelude::*;
 
 /// A face of the lattice at fixed `i`: scores indexed by `(j, k)` as
 /// `j * (n3 + 1) + k`.
@@ -27,7 +27,9 @@ pub type Face = Vec<i32>;
 
 /// Sequential slab-rolling score: `O(n³)` time, two slabs of memory.
 pub fn score_slabs(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
-    *forward_face(a, b, c, scoring).last().expect("face non-empty")
+    *forward_face(a, b, c, scoring)
+        .last()
+        .expect("face non-empty")
 }
 
 /// The forward face `D[|a|][j][k]` for all `(j, k)`: the optimal score of
@@ -151,8 +153,7 @@ fn planes_pass(
     let buffers: [SharedGrid<i32>; 4] =
         std::array::from_fn(|_| SharedGrid::new((n1 + 1) * w2, NEG_INF));
     // Face at i = n1, filled as its cells are computed (only if wanted).
-    let face: Option<SharedGrid<i32>> =
-        want_face.then(|| SharedGrid::new(w2 * (n3 + 1), NEG_INF));
+    let face: Option<SharedGrid<i32>> = want_face.then(|| SharedGrid::new(w2 * (n3 + 1), NEG_INF));
 
     let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
     for d in 0..e.num_planes() {
@@ -178,7 +179,10 @@ fn planes_pass(
         if cells.len() < MIN_CELLS_PER_TASK {
             cells.iter().for_each(compute);
         } else {
-            cells.par_iter().with_min_len(MIN_CELLS_PER_TASK).for_each(compute);
+            cells
+                .par_iter()
+                .with_min_len(MIN_CELLS_PER_TASK)
+                .for_each(compute);
         }
     }
     let final_plane = (n1 + n2 + n3) % 4;

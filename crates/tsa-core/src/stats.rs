@@ -76,10 +76,7 @@ mod tests {
     use crate::alignment::Column3;
 
     fn col(s: &str) -> Column3 {
-        let v: Vec<Option<u8>> = s
-            .chars()
-            .map(|c| (c != '-').then_some(c as u8))
-            .collect();
+        let v: Vec<Option<u8>> = s.chars().map(|c| (c != '-').then_some(c as u8)).collect();
         [v[0], v[1], v[2]]
     }
 

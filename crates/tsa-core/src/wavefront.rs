@@ -29,7 +29,9 @@ pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
     // planes d−1..d−3, completed before this plane starts (the executor
     // joins between planes).
     run_cells_wavefront(e, |i, j, k| {
-        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe { grid.get(e.index(pi, pj, pk)) });
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+            grid.get(e.index(pi, pj, pk))
+        });
         unsafe { grid.set(e.index(i, j, k), v) };
     });
 
@@ -118,7 +120,10 @@ mod tests {
 
     #[test]
     fn works_inside_small_thread_pool() {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
         pool.install(|| {
             let (a, b, c) = family_triple(11, 24);
             let par = align(&a, &b, &c, &s());

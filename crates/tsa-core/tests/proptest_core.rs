@@ -9,8 +9,11 @@ use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Seq> {
-    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
-        .prop_map(|v| Seq::dna(v).unwrap())
+    prop::collection::vec(
+        prop::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..=max_len,
+    )
+    .prop_map(|v| Seq::dna(v).unwrap())
 }
 
 fn scoring() -> Scoring {

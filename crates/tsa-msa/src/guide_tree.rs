@@ -89,8 +89,7 @@ pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
         // UPGMA distance update into slot i.
         for m in 0..k {
             if m != i && clusters[m].is_some() {
-                let dm = (d[i * k + m] * ni as f64 + d[j * k + m] * nj as f64)
-                    / (ni + nj) as f64;
+                let dm = (d[i * k + m] * ni as f64 + d[j * k + m] * nj as f64) / (ni + nj) as f64;
                 d[i * k + m] = dm;
                 d[m * k + i] = dm;
             }

@@ -50,7 +50,10 @@ impl Profile {
     pub fn from_rows(rows: Vec<Vec<Option<u8>>>, members: Vec<usize>) -> Self {
         assert_eq!(rows.len(), members.len(), "one member id per row");
         let len = rows.first().map_or(0, Vec::len);
-        assert!(rows.iter().all(|r| r.len() == len), "rows must be equal length");
+        assert!(
+            rows.iter().all(|r| r.len() == len),
+            "rows must be equal length"
+        );
         let mut columns = Vec::with_capacity(len);
         for c in 0..len {
             let mut col = ProfileColumn {
@@ -138,8 +141,7 @@ pub fn align_profiles(x: &Profile, y: &Profile, scoring: &Scoring) -> ProfileMer
             let diag = d[(i - 1) * w + j - 1]
                 + column_pair_score(&x.columns[i - 1], &y.columns[j - 1], scoring);
             let up = d[(i - 1) * w + j] + up_gap;
-            let left =
-                d[i * w + j - 1] + column_gap_score(&y.columns[j - 1], x.size(), scoring);
+            let left = d[i * w + j - 1] + column_gap_score(&y.columns[j - 1], x.size(), scoring);
             d[i * w + j] = diag.max(up).max(left);
         }
     }
@@ -173,8 +175,7 @@ pub fn align_profiles(x: &Profile, y: &Profile, scoring: &Scoring) -> ProfileMer
 
     // Materialize merged rows.
     let total_cols = steps.len();
-    let mut rows: Vec<Vec<Option<u8>>> =
-        vec![Vec::with_capacity(total_cols); x.size() + y.size()];
+    let mut rows: Vec<Vec<Option<u8>>> = vec![Vec::with_capacity(total_cols); x.size() + y.size()];
     let (mut xi, mut yi) = (0usize, 0usize);
     for (cx, cy) in steps {
         for (r, row) in x.rows.iter().enumerate() {
@@ -281,11 +282,7 @@ mod tests {
         let px = Profile::from_rows(vec![row("GAT-ACA"), row("GATTACA")], vec![0, 1]);
         let py = Profile::from_rows(vec![row("G-TACA"), row("GTTACA")], vec![2, 3]);
         let merged = align_profiles(&px, &py, &s());
-        let got = cross_group_score(
-            &merged.profile.rows[..2],
-            &merged.profile.rows[2..],
-            &s(),
-        );
+        let got = cross_group_score(&merged.profile.rows[..2], &merged.profile.rows[2..], &s());
         assert_eq!(merged.cross_score, got);
     }
 

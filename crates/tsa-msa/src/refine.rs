@@ -71,10 +71,7 @@ fn sweep(msa: &mut Msa, scoring: &Scoring) -> usize {
                 rows.push(rest_iter.next().expect("k-1 remaining rows").clone());
             }
         }
-        let candidate = Msa {
-            sp_score: 0,
-            rows,
-        };
+        let candidate = Msa { sp_score: 0, rows };
         let cand_score = candidate.rescore(scoring);
         if cand_score > current {
             *msa = Msa {
@@ -195,7 +192,9 @@ mod tests {
 
     #[test]
     fn single_and_pair_inputs_are_noops() {
-        let one = MsaBuilder::new().align(&[Seq::dna("ACGT").unwrap()]).unwrap();
+        let one = MsaBuilder::new()
+            .align(&[Seq::dna("ACGT").unwrap()])
+            .unwrap();
         let r = refine(&one, &s(), 3);
         assert_eq!(r.accepted, 0);
         // A pairwise alignment is already optimal; a remove-and-realign
@@ -244,6 +243,9 @@ mod tests {
                 improved += 1;
             }
         }
-        assert!(improved > 0, "refinement never improved any of 10 workloads");
+        assert!(
+            improved > 0,
+            "refinement never improved any of 10 workloads"
+        );
     }
 }

@@ -109,7 +109,10 @@ pub fn align(a: &Seq, b: &Seq, scoring: &Scoring, w: usize) -> Option<PairAlignm
             row_b.push(None);
             i -= 1;
         } else {
-            debug_assert!(j > 0 && v == band.get(i, j - 1) + g, "broken banded traceback");
+            debug_assert!(
+                j > 0 && v == band.get(i, j - 1) + g,
+                "broken banded traceback"
+            );
             row_a.push(None);
             row_b.push(Some(rb[j - 1]));
             j -= 1;
@@ -117,7 +120,11 @@ pub fn align(a: &Seq, b: &Seq, scoring: &Scoring, w: usize) -> Option<PairAlignm
     }
     row_a.reverse();
     row_b.reverse();
-    Some(PairAlignment { row_a, row_b, score })
+    Some(PairAlignment {
+        row_a,
+        row_b,
+        score,
+    })
 }
 
 /// Adaptive banding: start at `w = max(8, ||a|−|b||)` and double until the

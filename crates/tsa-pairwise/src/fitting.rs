@@ -64,7 +64,10 @@ pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> FittingAlignment {
             row_b.push(None);
             i -= 1;
         } else {
-            debug_assert!(j > 0 && v == d[i * w + j - 1] + g, "broken fitting traceback");
+            debug_assert!(
+                j > 0 && v == d[i * w + j - 1] + g,
+                "broken fitting traceback"
+            );
             row_a.push(None);
             row_b.push(Some(rb[j - 1]));
             j -= 1;
@@ -105,7 +108,12 @@ mod tests {
         assert_eq!(fit.alignment.score, 14);
         assert_eq!(fit.window, (6, 13));
         assert_eq!(
-            fit.alignment.row_b.iter().flatten().copied().collect::<Vec<u8>>(),
+            fit.alignment
+                .row_b
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<u8>>(),
             b"GATTACA"
         );
     }

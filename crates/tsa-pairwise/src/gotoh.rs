@@ -58,8 +58,7 @@ fn fill(a: &Seq, b: &Seq, scoring: &Scoring) -> Lattices {
             let diag = idx(i - 1, j - 1);
             let up = idx(i - 1, j);
             let left = idx(i, j - 1);
-            l.m[here] =
-                scoring.sub(ai, rb[j - 1]) + l.m[diag].max(l.x[diag]).max(l.y[diag]);
+            l.m[here] = scoring.sub(ai, rb[j - 1]) + l.m[diag].max(l.x[diag]).max(l.y[diag]);
             l.x[here] = (l.m[up] + open + ext)
                 .max(l.x[up] + ext)
                 .max(l.y[up] + open + ext);
@@ -150,7 +149,11 @@ pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
     }
     row_a.reverse();
     row_b.reverse();
-    PairAlignment { row_a, row_b, score }
+    PairAlignment {
+        row_a,
+        row_b,
+        score,
+    }
 }
 
 /// Affine alignment score only.

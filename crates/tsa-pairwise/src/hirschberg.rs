@@ -26,7 +26,11 @@ pub fn align(a: &Seq, b: &Seq, scoring: &Scoring) -> PairAlignment {
     let mut row_b = Vec::with_capacity(a.len() + b.len());
     solve(a, b, scoring, &mut row_a, &mut row_b);
     let score = tsa_scoring::sp::projected_pair_score(scoring, &row_a, &row_b);
-    PairAlignment { row_a, row_b, score }
+    PairAlignment {
+        row_a,
+        row_b,
+        score,
+    }
 }
 
 fn solve(
@@ -70,7 +74,8 @@ mod tests {
             let h = align(&a, &b, &s());
             let full = nw::align_score(&a, &b, &s());
             assert_eq!(h.score, full, "seed {seed}");
-            h.validate(&a, &b, &s()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            h.validate(&a, &b, &s())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -98,8 +103,10 @@ mod tests {
     #[test]
     fn protein_inputs_with_blosum() {
         let sc = Scoring::blosum62();
-        let a = Seq::protein("MKWVTFISLLLLFSSAYSRGVFRRDTHKSEIAHRFKDLGEEHFKGLVLIAFSQYLQQCPFDEHVK").unwrap();
-        let b = Seq::protein("MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQCPFEDHVK").unwrap();
+        let a = Seq::protein("MKWVTFISLLLLFSSAYSRGVFRRDTHKSEIAHRFKDLGEEHFKGLVLIAFSQYLQQCPFDEHVK")
+            .unwrap();
+        let b = Seq::protein("MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQCPFEDHVK")
+            .unwrap();
         let h = align(&a, &b, &sc);
         assert_eq!(h.score, nw::align_score(&a, &b, &sc));
         h.validate(&a, &b, &sc).unwrap();

@@ -102,7 +102,12 @@ mod tests {
         assert_eq!(loc.range_a, (4, 11));
         assert_eq!(loc.range_b, (4, 11));
         assert_eq!(
-            loc.alignment.row_a.iter().flatten().copied().collect::<Vec<u8>>(),
+            loc.alignment
+                .row_a
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<u8>>(),
             b"GATTACA"
         );
     }

@@ -58,7 +58,11 @@ pub fn fill_matrix(a: &Seq, b: &Seq, scoring: &Scoring) -> ScoreMatrix {
             left = v;
         }
     }
-    ScoreMatrix { scores, rows: n, cols: m }
+    ScoreMatrix {
+        scores,
+        rows: n,
+        cols: m,
+    }
 }
 
 /// Trace an optimal path through a filled matrix, yielding the aligned

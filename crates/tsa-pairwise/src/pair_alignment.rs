@@ -77,12 +77,7 @@ impl PairAlignment {
 
     /// Check structural validity against the input sequences and score
     /// consistency under `scoring`.
-    pub fn validate(
-        &self,
-        a: &Seq,
-        b: &Seq,
-        scoring: &Scoring,
-    ) -> Result<(), PairValidationError> {
+    pub fn validate(&self, a: &Seq, b: &Seq, scoring: &Scoring) -> Result<(), PairValidationError> {
         if self.row_a.len() != self.row_b.len() {
             return Err(PairValidationError::RowLengthMismatch(
                 self.row_a.len(),
@@ -199,7 +194,10 @@ mod tests {
         let al = aln("AC", "AC", 99);
         assert!(matches!(
             al.validate(&a, &a, &scoring),
-            Err(PairValidationError::ScoreMismatch { recorded: 99, recomputed: 4 })
+            Err(PairValidationError::ScoreMismatch {
+                recorded: 99,
+                recomputed: 4
+            })
         ));
     }
 

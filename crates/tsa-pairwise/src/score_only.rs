@@ -25,7 +25,9 @@ pub fn backward_last_row(a: &Seq, b: &Seq, scoring: &Scoring) -> Vec<i32> {
 
 /// Optimal global alignment score in linear space.
 pub fn score(a: &Seq, b: &Seq, scoring: &Scoring) -> i32 {
-    *forward_last_row(a, b, scoring).last().expect("row is non-empty")
+    *forward_last_row(a, b, scoring)
+        .last()
+        .expect("row is non-empty")
 }
 
 fn last_row_of(ra: &[u8], rb: &[u8], scoring: &Scoring) -> Vec<i32> {

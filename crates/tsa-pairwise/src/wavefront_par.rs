@@ -58,9 +58,12 @@ pub fn fill_matrix_parallel(a: &Seq, b: &Seq, scoring: &Scoring) -> ScoreMatrix 
             }
         } else {
             let cells: Vec<(usize, usize)> = diag::diag_cells(n, m, d).collect();
-            cells.par_iter().with_min_len(64).for_each(|&(i, j)| unsafe {
-                grid.set(i * w + j, cell(i, j));
-            });
+            cells
+                .par_iter()
+                .with_min_len(64)
+                .for_each(|&(i, j)| unsafe {
+                    grid.set(i * w + j, cell(i, j));
+                });
         }
     }
 
@@ -134,7 +137,10 @@ mod tests {
 
     #[test]
     fn works_inside_small_thread_pool() {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
         pool.install(|| {
             let (a, b) = random_pair(123, 200);
             assert_eq!(align_score(&a, &b, &s()), nw::align_score(&a, &b, &s()));

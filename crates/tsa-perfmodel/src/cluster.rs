@@ -115,10 +115,7 @@ mod tests {
     fn single_node_has_no_communication() {
         let eth = ClusterModel::ethernet(10.0);
         let shm = ClusterModel::shared_memory(10.0);
-        assert_eq!(
-            eth.predict_time_ns(N, 16, 1),
-            shm.predict_time_ns(N, 16, 1)
-        );
+        assert_eq!(eth.predict_time_ns(N, 16, 1), shm.predict_time_ns(N, 16, 1));
     }
 
     #[test]
@@ -131,7 +128,10 @@ mod tests {
             let s_shm = shm.predict_speedup(N, 16, p);
             let s_fast = fast.predict_speedup(N, 16, p);
             let s_eth = eth.predict_speedup(N, 16, p);
-            assert!(s_shm >= s_fast && s_fast >= s_eth, "p={p}: {s_shm} {s_fast} {s_eth}");
+            assert!(
+                s_shm >= s_fast && s_fast >= s_eth,
+                "p={p}: {s_shm} {s_fast} {s_eth}"
+            );
             assert!(s_shm <= p as f64 + 1e-9);
         }
     }
@@ -170,7 +170,10 @@ mod tests {
         };
         let shm_best = best_tile(&ClusterModel::shared_memory(10.0));
         let eth_best = best_tile(&ClusterModel::ethernet(10.0));
-        assert!(eth_best >= shm_best, "ethernet {eth_best} vs shm {shm_best}");
+        assert!(
+            eth_best >= shm_best,
+            "ethernet {eth_best} vs shm {shm_best}"
+        );
         // And at a fixed small tile, Ethernet time strictly exceeds
         // shared-memory time (the per-round α·rounds term).
         let eth = ClusterModel::ethernet(10.0);

@@ -21,8 +21,8 @@
 
 pub mod cluster;
 pub mod memory;
-pub mod pipeline;
 pub mod model;
+pub mod pipeline;
 pub mod planes;
 
 pub use cluster::ClusterModel;

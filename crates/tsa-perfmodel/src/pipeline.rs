@@ -18,12 +18,7 @@
 use crate::cluster::ClusterModel;
 
 /// Predicted wall time (ns) of the pipelined strip schedule.
-pub fn pipeline_time_ns(
-    model: &ClusterModel,
-    n: (usize, usize, usize),
-    p: usize,
-    q: usize,
-) -> f64 {
+pub fn pipeline_time_ns(model: &ClusterModel, n: (usize, usize, usize), p: usize, q: usize) -> f64 {
     assert!(p > 0 && q > 0, "strip and block counts must be positive");
     let (n1, n2, n3) = n;
     let block_cells = ((n1 + 1) as f64 / p as f64) * ((n2 + 1) as f64 / q as f64) * (n3 + 1) as f64;
@@ -48,7 +43,12 @@ pub fn best_q(model: &ClusterModel, n: (usize, usize, usize), p: usize, max_q: u
 }
 
 /// Speedup of the best-tuned pipeline over the single-node run.
-pub fn pipeline_speedup(model: &ClusterModel, n: (usize, usize, usize), p: usize, max_q: usize) -> f64 {
+pub fn pipeline_speedup(
+    model: &ClusterModel,
+    n: (usize, usize, usize),
+    p: usize,
+    max_q: usize,
+) -> f64 {
     let t1 = pipeline_time_ns(model, n, 1, 1);
     let q = best_q(model, n, p, max_q);
     t1 / pipeline_time_ns(model, n, p, q)

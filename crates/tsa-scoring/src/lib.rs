@@ -56,20 +56,29 @@ impl Scoring {
     /// The workspace's DNA default: match `+2`, mismatch `-1`, linear gap
     /// `-2` — the classic parameterization for nucleotide global alignment.
     pub fn dna_default() -> Self {
-        Scoring::new(SubstMatrix::match_mismatch("dna", 2, -1), GapModel::linear(-2))
+        Scoring::new(
+            SubstMatrix::match_mismatch("dna", 2, -1),
+            GapModel::linear(-2),
+        )
     }
 
     /// Unit scores: match `+1`, mismatch `-1`, linear gap `-1`. Handy for
     /// hand-checkable tests.
     pub fn unit() -> Self {
-        Scoring::new(SubstMatrix::match_mismatch("unit", 1, -1), GapModel::linear(-1))
+        Scoring::new(
+            SubstMatrix::match_mismatch("unit", 1, -1),
+            GapModel::linear(-1),
+        )
     }
 
     /// Edit-distance-like scores: match `0`, mismatch `-1`, gap `-1`.
     /// With these, `-score` of an optimal pairwise alignment equals the
     /// Levenshtein distance.
     pub fn edit_distance() -> Self {
-        Scoring::new(SubstMatrix::match_mismatch("edit", 0, -1), GapModel::linear(-1))
+        Scoring::new(
+            SubstMatrix::match_mismatch("edit", 0, -1),
+            GapModel::linear(-1),
+        )
     }
 
     /// BLOSUM62 with a linear gap of `-8` (override with [`Scoring::with_gap`]).
@@ -85,6 +94,22 @@ impl Scoring {
     /// PAM250 with a linear gap of `-8`.
     pub fn pam250() -> Self {
         Scoring::new(SubstMatrix::pam250(), GapModel::linear(-8))
+    }
+
+    /// Look up a preset by its canonical name, as used by the CLI flags
+    /// and the batch-service protocol: `dna`, `unit`, `edit`, `blosum62`,
+    /// `blosum50` or `pam250`. Returns `None` for unknown names so callers
+    /// can report the bad input themselves.
+    pub fn by_name(name: &str) -> Option<Scoring> {
+        Some(match name {
+            "dna" => Scoring::dna_default(),
+            "unit" => Scoring::unit(),
+            "edit" => Scoring::edit_distance(),
+            "blosum62" => Scoring::blosum62(),
+            "blosum50" => Scoring::blosum50(),
+            "pam250" => Scoring::pam250(),
+            _ => return None,
+        })
     }
 
     /// Replace the gap model, keeping the matrix.
@@ -159,5 +184,15 @@ mod tests {
             assert!(s.sub(b'W', b'W') > 0);
             assert!(s.sub(b'W', b'A') < 0);
         }
+    }
+
+    #[test]
+    fn by_name_resolves_every_preset() {
+        for name in ["dna", "unit", "edit", "blosum62", "blosum50", "pam250"] {
+            let s = Scoring::by_name(name).unwrap();
+            assert!(s.matrix.name().eq_ignore_ascii_case(name), "{name}");
+        }
+        assert!(Scoring::by_name("nope").is_none());
+        assert!(Scoring::by_name("DNA").is_none());
     }
 }

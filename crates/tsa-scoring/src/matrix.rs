@@ -225,7 +225,11 @@ mod tests {
 
     #[test]
     fn table_constants_are_symmetric() {
-        for (name, t) in [("BLOSUM62", &BLOSUM62), ("BLOSUM50", &BLOSUM50), ("PAM250", &PAM250)] {
+        for (name, t) in [
+            ("BLOSUM62", &BLOSUM62),
+            ("BLOSUM50", &BLOSUM50),
+            ("PAM250", &PAM250),
+        ] {
             for i in 0..20 {
                 for j in 0..20 {
                     assert_eq!(
@@ -268,7 +272,11 @@ mod tests {
 
     #[test]
     fn protein_diagonals_are_positive() {
-        for m in [SubstMatrix::blosum62(), SubstMatrix::blosum50(), SubstMatrix::pam250()] {
+        for m in [
+            SubstMatrix::blosum62(),
+            SubstMatrix::blosum50(),
+            SubstMatrix::pam250(),
+        ] {
             for &r in PROTEIN_ORDER {
                 assert!(m.sub(r, r) > 0, "{}({0}, {0}) <= 0", m.name());
             }

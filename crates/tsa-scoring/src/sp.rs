@@ -193,10 +193,7 @@ mod tests {
         // x gap, then y gap, then x gap: three separate projected runs.
         let x = row("A-G-A");
         let y = row("AG-GA");
-        assert_eq!(
-            projected_pair_score(&s, &x, &y),
-            2 + 2 + 3 * (-10 - 1)
-        );
+        assert_eq!(projected_pair_score(&s, &x, &y), 2 + 2 + 3 * (-10 - 1));
     }
 
     #[test]

@@ -172,7 +172,9 @@ mod tests {
     #[test]
     fn empty_input_yields_no_records() {
         assert!(parse("", Alphabet::Dna).unwrap().is_empty());
-        assert!(parse("\n\n; only comments\n", Alphabet::Dna).unwrap().is_empty());
+        assert!(parse("\n\n; only comments\n", Alphabet::Dna)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         let hi = random_dna_gc(4000, 0.9, &mut r).unwrap();
         let lo = random_dna_gc(4000, 0.1, &mut r).unwrap();
         let gc_frac = |s: &Seq| {
-            s.residues().iter().filter(|&&b| b == b'G' || b == b'C').count() as f64
+            s.residues()
+                .iter()
+                .filter(|&&b| b == b'G' || b == b'C')
+                .count() as f64
                 / s.len() as f64
         };
         assert!(gc_frac(&hi) > 0.8, "{}", gc_frac(&hi));
@@ -156,8 +159,7 @@ mod tests {
     fn uniform_composition_is_roughly_uniform() {
         let s = random_seq(Alphabet::Dna, 8000, &mut rng(11));
         for &b in Alphabet::Dna.residues() {
-            let frac =
-                s.residues().iter().filter(|&&x| x == b).count() as f64 / s.len() as f64;
+            let frac = s.residues().iter().filter(|&&x| x == b).count() as f64 / s.len() as f64;
             assert!((frac - 0.25).abs() < 0.05, "{}: {frac}", b as char);
         }
     }

@@ -71,7 +71,9 @@ impl K2pModel {
     /// mammalian nuclear DNA.
     pub fn with_kappa(total: f64, kappa: f64) -> Result<Self, SeqError> {
         if kappa <= 0.0 {
-            return Err(SeqError::BadConfig(format!("kappa {kappa} must be positive")));
+            return Err(SeqError::BadConfig(format!(
+                "kappa {kappa} must be positive"
+            )));
         }
         // total = alpha + 2 beta = (kappa + 2) beta.
         let beta = total / (kappa + 2.0);
@@ -132,7 +134,11 @@ fn transversions_of(base: u8) -> (u8, u8) {
 /// # Panics
 /// Panics if lengths differ.
 pub fn observed_fractions(x: &Seq, y: &Seq) -> (f64, f64) {
-    assert_eq!(x.len(), y.len(), "positional comparison needs equal lengths");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "positional comparison needs equal lengths"
+    );
     if x.is_empty() {
         return (0.0, 0.0);
     }

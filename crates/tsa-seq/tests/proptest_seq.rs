@@ -6,7 +6,10 @@ use tsa_seq::mutate::MutationModel;
 use tsa_seq::{fasta, Alphabet, Seq};
 
 fn dna_residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
+    prop::collection::vec(
+        prop::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..=max_len,
+    )
 }
 
 fn id_string() -> impl Strategy<Value = String> {

@@ -1,0 +1,298 @@
+//! Sharded LRU cache of alignment results.
+//!
+//! Keyed by the content of the three sequences (two independent 64-bit
+//! FNV-1a digests each, plus lengths — a 128-bit fingerprint per
+//! sequence, so storing the sequences themselves is unnecessary), the
+//! scoring scheme, the *resolved* algorithm, and whether the job was
+//! score-only. Sharding by key hash keeps lock contention low under a
+//! many-worker pool; each shard is an independent LRU evicting by
+//! least-recently-used tick.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsa_core::Algorithm;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// FNV-1a with a selectable offset basis, so two independent digests make
+/// sequence-content collisions astronomically unlikely.
+fn fnv1a(basis: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = basis;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn seq_fingerprint(seq: &Seq) -> [u64; 2] {
+    let content = || {
+        seq.alphabet()
+            .name()
+            .bytes()
+            .chain(std::iter::once(0))
+            .chain(seq.residues().iter().copied())
+    };
+    [
+        fnv1a(0xCBF2_9CE4_8422_2325, content()),
+        fnv1a(0x6C62_272E_07BB_0142, content()),
+    ]
+}
+
+/// What identifies a cachable unit of work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    seqs: [[u64; 2]; 3],
+    lens: [usize; 3],
+    matrix: &'static str,
+    /// `(0, g, 0)` for linear gap `g`; `(1, open, extend)` for affine.
+    gap: (u8, i32, i32),
+    /// Canonical name of the algorithm that actually ran (post-`Auto`).
+    algorithm: &'static str,
+    score_only: bool,
+}
+
+impl CacheKey {
+    /// Build the key for a request. `resolved` must be the post-`Auto`
+    /// algorithm so that an `auto` submission and an explicit submission
+    /// of the same work share an entry.
+    pub fn new(
+        a: &Seq,
+        b: &Seq,
+        c: &Seq,
+        scoring: &Scoring,
+        resolved: Algorithm,
+        score_only: bool,
+    ) -> Self {
+        let gap = match scoring.gap.linear_penalty() {
+            Some(g) => (0, g, 0),
+            None => (1, scoring.gap.open_penalty(), scoring.gap.extend_penalty()),
+        };
+        CacheKey {
+            seqs: [seq_fingerprint(a), seq_fingerprint(b), seq_fingerprint(c)],
+            lens: [a.len(), b.len(), c.len()],
+            matrix: scoring.matrix.name(),
+            gap,
+            algorithm: resolved.name(),
+            score_only,
+        }
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() % shards as u64) as usize
+    }
+}
+
+/// A cached alignment outcome.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Alignment score.
+    pub score: i32,
+    /// Aligned rows, absent for score-only entries.
+    pub rows: Option<[String; 3]>,
+    /// The algorithm that produced the entry.
+    pub algorithm: Algorithm,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedResult,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+}
+
+/// The sharded LRU store. Capacity 0 disables caching entirely.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    tick: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding about `capacity` entries across `shards` shards
+    /// (each shard gets `ceil(capacity / shards)`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(shards),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.shard_capacity > 0
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        if !self.enabled() {
+            return None;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[key.shard_of(self.shards.len())].lock();
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used
+    /// entry of the target shard when it is full.
+    pub fn put(&self, key: CacheKey, value: CachedResult) {
+        if !self.enabled() {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[key.shard_of(self.shards.len())].lock();
+        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(evict) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&evict);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Total entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_scoring::GapModel;
+
+    fn key(seq: &str, alg: Algorithm) -> CacheKey {
+        let s = Seq::dna(seq).unwrap();
+        CacheKey::new(&s, &s, &s, &Scoring::dna_default(), alg, false)
+    }
+
+    fn result(score: i32) -> CachedResult {
+        CachedResult {
+            score,
+            rows: None,
+            algorithm: Algorithm::Wavefront,
+        }
+    }
+
+    #[test]
+    fn same_content_same_key_different_content_different_key() {
+        assert_eq!(
+            key("ACGT", Algorithm::Wavefront),
+            key("ACGT", Algorithm::Wavefront)
+        );
+        assert_ne!(
+            key("ACGT", Algorithm::Wavefront),
+            key("ACGA", Algorithm::Wavefront)
+        );
+        assert_ne!(
+            key("ACGT", Algorithm::Wavefront),
+            key("ACGT", Algorithm::FullDp)
+        );
+    }
+
+    #[test]
+    fn scoring_is_part_of_the_key() {
+        let s = Seq::dna("ACGT").unwrap();
+        let linear = Scoring::dna_default();
+        let affine = Scoring::dna_default().with_gap(GapModel::affine(-4, -1));
+        let unit = Scoring::unit();
+        let k1 = CacheKey::new(&s, &s, &s, &linear, Algorithm::Wavefront, false);
+        let k2 = CacheKey::new(&s, &s, &s, &affine, Algorithm::Wavefront, false);
+        let k3 = CacheKey::new(&s, &s, &s, &unit, Algorithm::Wavefront, false);
+        let k4 = CacheKey::new(&s, &s, &s, &linear, Algorithm::Wavefront, true);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k1, k4);
+    }
+
+    #[test]
+    fn alphabet_distinguishes_identical_letters() {
+        let d = Seq::dna("ACGG").unwrap();
+        let p = Seq::protein("ACGG").unwrap();
+        let sc = Scoring::unit();
+        assert_ne!(
+            CacheKey::new(&d, &d, &d, &sc, Algorithm::FullDp, false),
+            CacheKey::new(&p, &p, &p, &sc, Algorithm::FullDp, false)
+        );
+    }
+
+    #[test]
+    fn get_put_round_trip() {
+        let cache = ResultCache::new(8, 2);
+        let k = key("ACGT", Algorithm::Wavefront);
+        assert!(cache.get(&k).is_none());
+        cache.put(k.clone(), result(42));
+        assert_eq!(cache.get(&k).unwrap().score, 42);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0, 4);
+        assert!(!cache.enabled());
+        let k = key("ACGT", Algorithm::Wavefront);
+        cache.put(k.clone(), result(1));
+        assert!(cache.get(&k).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // Single shard so eviction order is fully observable.
+        let cache = ResultCache::new(2, 1);
+        let ka = key("AAAA", Algorithm::Wavefront);
+        let kb = key("CCCC", Algorithm::Wavefront);
+        let kc = key("GGGG", Algorithm::Wavefront);
+        cache.put(ka.clone(), result(1));
+        cache.put(kb.clone(), result(2));
+        // Touch A so B is the LRU entry, then insert C.
+        assert!(cache.get(&ka).is_some());
+        cache.put(kc.clone(), result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ka).is_some(), "recently used survives");
+        assert!(cache.get(&kb).is_none(), "LRU entry evicted");
+        assert!(cache.get(&kc).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ResultCache::new(2, 1);
+        let ka = key("AAAA", Algorithm::Wavefront);
+        let kb = key("CCCC", Algorithm::Wavefront);
+        cache.put(ka.clone(), result(1));
+        cache.put(kb.clone(), result(2));
+        cache.put(ka.clone(), result(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&ka).unwrap().score, 9);
+        assert!(cache.get(&kb).is_some());
+    }
+}

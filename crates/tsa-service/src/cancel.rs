@@ -1,0 +1,107 @@
+//! Cooperative cancellation: a shared flag plus an optional deadline.
+//!
+//! Cancellation is *cooperative*: nothing preempts a running kernel.
+//! Workers poll the token at the defined checkpoints — on dequeue (before
+//! any work) and after the kernel returns (before delivering the result).
+//! A deadline that fires mid-kernel therefore wastes at most one kernel
+//! run, and that run's result is still cached.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared cancellation state for one job. Clones observe the same flag.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that expires at `deadline` (if given) or when
+    /// [`CancelToken::cancel`] is called.
+    pub fn new(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+            }),
+        }
+    }
+
+    /// A token with a deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken::new(Some(Instant::now() + timeout))
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// True once the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True if the job should not (or should no longer) run: explicitly
+    /// cancelled or past its deadline. This is the checkpoint predicate.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.deadline_expired()
+    }
+
+    /// Time left before the deadline; `None` when no deadline is set.
+    /// Zero once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_token_never_stops() {
+        let t = CancelToken::new(None);
+        assert!(!t.should_stop());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new(None);
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.should_stop());
+        assert!(!t.deadline_expired());
+    }
+
+    #[test]
+    fn zero_timeout_is_immediately_expired() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.deadline_expired());
+        assert!(t.should_stop());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn distant_deadline_not_expired() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.should_stop());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

@@ -1,0 +1,546 @@
+//! The service engine: configuration, submission, and lifecycle.
+
+use crate::cache::ResultCache;
+use crate::cancel::CancelToken;
+use crate::error::{JobOutcome, SubmitError};
+use crate::queue::{job_queue, JobQueue, JobReceiver, PushError};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::worker::{worker_loop, CompletedJob, Job, Responder};
+use crossbeam::channel::{self, Receiver};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tsa_core::Algorithm;
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// Engine sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads; 0 means one per available hardware thread.
+    pub workers: usize,
+    /// Bounded queue capacity — jobs beyond this are rejected with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Result-cache entries across all shards; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to jobs that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One alignment job to submit.
+#[derive(Debug, Clone)]
+pub struct AlignRequest {
+    /// Caller-chosen tag echoed back with the outcome.
+    pub tag: String,
+    /// The three sequences.
+    pub seqs: [Seq; 3],
+    /// Scoring scheme.
+    pub scoring: Scoring,
+    /// Requested algorithm (usually `Auto`).
+    pub algorithm: Algorithm,
+    /// Skip traceback and return only the score.
+    pub score_only: bool,
+    /// Per-job deadline, overriding the engine default.
+    pub deadline: Option<Duration>,
+}
+
+impl AlignRequest {
+    /// A request with DNA-default scoring, automatic algorithm selection,
+    /// full traceback, and no deadline.
+    pub fn new(tag: impl Into<String>, a: Seq, b: Seq, c: Seq) -> Self {
+        AlignRequest {
+            tag: tag.into(),
+            seqs: [a, b, c],
+            scoring: Scoring::dna_default(),
+            algorithm: Algorithm::Auto,
+            score_only: false,
+            deadline: None,
+        }
+    }
+
+    /// Set the scoring scheme.
+    pub fn scoring(mut self, scoring: Scoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Pin the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Request only the score (cheaper: no traceback).
+    pub fn score_only(mut self, yes: bool) -> Self {
+        self.score_only = yes;
+        self
+    }
+
+    /// Set a per-job deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Waits for one accepted job. Dropping the handle detaches the job (it
+/// still runs and still counts in the stats).
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Engine-assigned id (unique per engine instance, monotonic).
+    pub id: u64,
+    cancel: CancelToken,
+    rx: Receiver<CompletedJob>,
+}
+
+impl JobHandle {
+    /// Block until the job resolves. Returns [`JobOutcome::Cancelled`] if
+    /// the engine was torn down before the job could run.
+    pub fn wait(self) -> JobOutcome {
+        match self.rx.recv() {
+            Ok(done) => done.outcome,
+            // The engine dropped the job without responding (only possible
+            // on abnormal teardown); surface it as a cancellation.
+            Err(_) => JobOutcome::Cancelled,
+        }
+    }
+
+    /// Request cooperative cancellation of this job.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+}
+
+/// A multi-threaded batch alignment service.
+///
+/// ```
+/// use tsa_service::{AlignRequest, Engine, ServiceConfig};
+/// use tsa_seq::Seq;
+///
+/// let engine = Engine::start(ServiceConfig::default());
+/// let a = Seq::dna("GATTACA").unwrap();
+/// let b = Seq::dna("GATACA").unwrap();
+/// let c = Seq::dna("GTTACA").unwrap();
+/// let handle = engine.submit(AlignRequest::new("demo", a, b, c)).unwrap();
+/// let outcome = handle.wait();
+/// assert!(outcome.result().is_some());
+/// let stats = engine.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    /// The single producer slot. `None` after shutdown; taking it drops
+    /// the last sender, which disconnects the channel and drains workers.
+    producer: Mutex<Option<JobQueue<Job>>>,
+    /// Receiver clone kept only for depth observation (never popped).
+    observer: JobReceiver<Job>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<ServiceStats>,
+    cache: Arc<ResultCache>,
+    next_id: AtomicU64,
+    config: ServiceConfig,
+}
+
+impl Engine {
+    /// Spawn the worker pool and return a running engine.
+    pub fn start(config: ServiceConfig) -> Engine {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let (queue, rx) = job_queue::<Job>(config.queue_capacity);
+        let stats = Arc::new(ServiceStats::default());
+        let shards = workers.next_power_of_two().min(16);
+        let cache = Arc::new(ResultCache::new(config.cache_capacity, shards));
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let cache = Arc::clone(&cache);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("tsa-worker-{i}"))
+                    .spawn(move || worker_loop(rx, cache, stats))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Engine {
+            producer: Mutex::new(Some(queue)),
+            observer: rx,
+            workers: Mutex::new(handles),
+            stats,
+            cache,
+            next_id: AtomicU64::new(1),
+            config,
+        }
+    }
+
+    fn make_job(&self, req: AlignRequest, responder: Responder) -> (u64, CancelToken, Job) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = req
+            .deadline
+            .or(self.config.default_deadline)
+            .map(|d| Instant::now() + d);
+        let cancel = CancelToken::new(deadline);
+        let [a, b, c] = req.seqs;
+        let job = Job {
+            id,
+            tag: req.tag,
+            a,
+            b,
+            c,
+            scoring: req.scoring,
+            algorithm: req.algorithm,
+            score_only: req.score_only,
+            cancel: cancel.clone(),
+            submitted: Instant::now(),
+            responder,
+        };
+        (id, cancel, job)
+    }
+
+    fn admit(&self, job: Job, blocking: bool) -> Result<(), SubmitError> {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // Clone the producer out of the slot so a blocking push does not
+        // hold the lock (shutdown must stay callable concurrently).
+        let Some(queue) = self.producer.lock().clone() else {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        };
+        let pushed = if blocking {
+            queue.push_blocking(job)
+        } else {
+            queue.try_push(job)
+        };
+        match pushed {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(_)) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded {
+                    capacity: queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submit with backpressure: a full queue rejects immediately with
+    /// [`SubmitError::Overloaded`].
+    pub fn submit(&self, req: AlignRequest) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(req, false)
+    }
+
+    /// Submit, waiting for queue space instead of rejecting. For batch
+    /// drivers that want throttling rather than errors.
+    pub fn submit_blocking(&self, req: AlignRequest) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(req, true)
+    }
+
+    fn submit_inner(&self, req: AlignRequest, blocking: bool) -> Result<JobHandle, SubmitError> {
+        let (tx, rx) = channel::bounded(1);
+        let (id, cancel, job) = self.make_job(req, Responder::Channel(tx));
+        self.admit(job, blocking)?;
+        Ok(JobHandle { id, cancel, rx })
+    }
+
+    /// Submit with a completion callback instead of a handle. The callback
+    /// runs on the worker thread that resolved the job; keep it short.
+    /// Returns the engine-assigned job id and its cancellation token.
+    pub fn submit_with(
+        &self,
+        req: AlignRequest,
+        callback: impl FnOnce(CompletedJob) + Send + 'static,
+    ) -> Result<(u64, CancelToken), SubmitError> {
+        let (id, cancel, job) = self.make_job(req, Responder::Callback(Box::new(callback)));
+        self.admit(job, false)?;
+        Ok((id, cancel))
+    }
+
+    /// Point-in-time counters, including the live queue depth.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot(self.observer.depth())
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.observer.depth()
+    }
+
+    /// Entries currently in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The configuration the engine was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// False once [`Engine::shutdown`] has begun; new submissions are
+    /// refused from that point.
+    pub fn is_running(&self) -> bool {
+        self.producer.lock().is_some()
+    }
+
+    /// Graceful shutdown: stop admitting new jobs, let the workers drain
+    /// everything already queued, join them, and return the final
+    /// counters. Idempotent; callable through an `Arc<Engine>`.
+    pub fn shutdown(&self) -> StatsSnapshot {
+        drop(self.producer.lock().take());
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.stats.snapshot(self.observer.depth())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CancelStage;
+
+    fn triple(text: &str) -> (Seq, Seq, Seq) {
+        (
+            Seq::dna(text).unwrap(),
+            Seq::dna(text).unwrap(),
+            Seq::dna(text).unwrap(),
+        )
+    }
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 32,
+            default_deadline: None,
+        }
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let engine = Engine::start(small_config());
+        let (a, b, c) = triple("GATTACA");
+        let handle = engine.submit(AlignRequest::new("t", a, b, c)).unwrap();
+        let outcome = handle.wait();
+        let result = outcome.result().expect("job completes");
+        assert!(!result.cached);
+        assert_eq!(result.algorithm, Algorithm::Wavefront);
+        assert!(result.rows.is_some());
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn identical_resubmission_hits_the_cache() {
+        let engine = Engine::start(small_config());
+        let (a, b, c) = triple("GATTACAGATTACA");
+        let first = engine
+            .submit(AlignRequest::new("1", a.clone(), b.clone(), c.clone()))
+            .unwrap()
+            .wait();
+        let second = engine
+            .submit(AlignRequest::new("2", a, b, c))
+            .unwrap()
+            .wait();
+        let (r1, r2) = (first.result().unwrap(), second.result().unwrap());
+        assert!(!r1.cached);
+        assert!(r2.cached, "second identical job is a cache hit");
+        assert_eq!(r1.score, r2.score);
+        assert_eq!(r1.rows, r2.rows);
+        let stats = engine.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn zero_deadline_cancels_while_queued() {
+        let engine = Engine::start(small_config());
+        let (a, b, c) = triple("GATTACA");
+        let outcome = engine
+            .submit(AlignRequest::new("d", a, b, c).deadline(Duration::ZERO))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            outcome,
+            JobOutcome::DeadlineExceeded {
+                stage: CancelStage::Queued
+            }
+        ));
+        let stats = engine.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn explicit_cancel_before_run() {
+        // One worker pinned on a slow job guarantees the second job is
+        // still queued when we cancel it.
+        let engine = Engine::start(ServiceConfig {
+            workers: 1,
+            ..small_config()
+        });
+        let slow = Seq::dna("ACGTACGTAC".repeat(12)).unwrap();
+        let blocker = engine
+            .submit(AlignRequest::new("slow", slow.clone(), slow.clone(), slow))
+            .unwrap();
+        let (a, b, c) = triple("GATTACA");
+        let victim = engine.submit(AlignRequest::new("v", a, b, c)).unwrap();
+        victim.cancel();
+        assert!(matches!(victim.wait(), JobOutcome::Cancelled));
+        assert!(blocker.wait().result().is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let engine = Engine::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 0,
+            default_deadline: None,
+        });
+        let slow = Seq::dna("ACGTACGTAC".repeat(12)).unwrap();
+        // First job occupies the worker; second fills the queue; the
+        // third must bounce.
+        let h1 = engine
+            .submit(AlignRequest::new(
+                "1",
+                slow.clone(),
+                slow.clone(),
+                slow.clone(),
+            ))
+            .unwrap();
+        let mut held = Vec::new();
+        let mut rejected = None;
+        for i in 0..10 {
+            let (a, b, c) = triple("GATTACA");
+            match engine.submit(AlignRequest::new(format!("j{i}"), a, b, c)) {
+                Ok(h) => held.push(h),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(rejected, Some(SubmitError::Overloaded { capacity: 1 }));
+        assert!(h1.wait().result().is_some());
+        for h in held {
+            assert!(h.wait().result().is_some());
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.resolved(), stats.submitted);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let engine = Engine::start(small_config());
+        engine.shutdown();
+        let (a, b, c) = triple("ACGT");
+        assert_eq!(
+            engine.submit(AlignRequest::new("x", a, b, c)).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        // Idempotent.
+        let stats = engine.shutdown();
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let engine = Engine::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            cache_capacity: 0,
+            default_deadline: None,
+        });
+        let handles: Vec<JobHandle> = (0..10)
+            .map(|i| {
+                let (a, b, c) = triple("GATTACAGA");
+                engine
+                    .submit(AlignRequest::new(format!("{i}"), a, b, c))
+                    .unwrap()
+            })
+            .collect();
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 10, "graceful shutdown runs queued jobs");
+        for h in handles {
+            assert!(h.wait().result().is_some());
+        }
+    }
+
+    #[test]
+    fn failed_configuration_reports_failed() {
+        let engine = Engine::start(small_config());
+        let (a, b, c) = triple("GATTACAGATTACA");
+        let outcome = engine
+            .submit(
+                AlignRequest::new("f", a, b, c)
+                    .scoring(Scoring::dna_default().with_gap(tsa_scoring::GapModel::affine(-4, -1)))
+                    .algorithm(Algorithm::FullDp),
+            )
+            .unwrap()
+            .wait();
+        assert!(matches!(outcome, JobOutcome::Failed(_)));
+        let stats = engine.shutdown();
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn score_only_jobs_carry_no_rows() {
+        let engine = Engine::start(small_config());
+        let (a, b, c) = triple("GATTACA");
+        let outcome = engine
+            .submit(AlignRequest::new("s", a, b, c).score_only(true))
+            .unwrap()
+            .wait();
+        let result = outcome.result().unwrap();
+        assert!(result.rows.is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn callback_submission_fires_exactly_once() {
+        let engine = Engine::start(small_config());
+        let (tx, rx) = channel::unbounded();
+        let (a, b, c) = triple("GATTACA");
+        let (id, _cancel) = engine
+            .submit_with(AlignRequest::new("cb", a, b, c), move |done| {
+                tx.send(done).unwrap();
+            })
+            .unwrap();
+        let done = rx.recv().unwrap();
+        assert_eq!(done.id, id);
+        assert_eq!(done.tag, "cb");
+        assert!(done.outcome.result().is_some());
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        engine.shutdown();
+    }
+}

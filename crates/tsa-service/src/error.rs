@@ -1,0 +1,125 @@
+//! Error and outcome types of the service engine.
+
+use std::fmt;
+use std::time::Duration;
+use tsa_core::Algorithm;
+
+/// Why a submission was refused at admission time. The job never entered
+/// the queue; nothing was computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — explicit backpressure. Re-submit later
+    /// or slow down; the engine never buffers beyond its queue capacity.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The engine has been shut down; no further jobs are accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { capacity } => {
+                write!(f, "service overloaded: queue at capacity {capacity}")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Where a job's deadline was discovered to have expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelStage {
+    /// Expired while waiting in the queue — no work was done.
+    Queued,
+    /// Expired while the alignment kernel was running. The result is still
+    /// written to the cache (the work is done; future identical requests
+    /// benefit), but this job reports the deadline miss.
+    Computed,
+}
+
+/// The completed result of an accepted job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Optimal (or heuristic, for non-exact algorithms) alignment score.
+    pub score: i32,
+    /// Aligned rows (`-` for gaps), absent for score-only jobs.
+    pub rows: Option<[String; 3]>,
+    /// The algorithm that actually ran, after `Auto` resolution.
+    pub algorithm: Algorithm,
+    /// Whether this result came from the result cache.
+    pub cached: bool,
+    /// Time the job spent queued before a worker picked it up.
+    pub wait: Duration,
+    /// Time the worker spent serving it (cache probe + kernel).
+    pub service: Duration,
+}
+
+/// Terminal state of an accepted job. Every accepted job resolves to
+/// exactly one of these.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The alignment ran (or was served from cache).
+    Done(JobResult),
+    /// The per-job deadline expired before a result could be delivered.
+    DeadlineExceeded {
+        /// Whether the deadline fired while queued or mid-compute.
+        stage: CancelStage,
+    },
+    /// The job was cancelled through its handle before it ran.
+    Cancelled,
+    /// The aligner rejected the configuration (e.g. lattice over budget
+    /// for a pinned full-lattice algorithm).
+    Failed(String),
+}
+
+impl JobOutcome {
+    /// The result, if the job completed.
+    pub fn result(&self) -> Option<&JobResult> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Short machine-readable label used by the wire protocol and stats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Done(_) => "done",
+            JobOutcome::DeadlineExceeded { .. } => "deadline",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_errors_render() {
+        assert!(SubmitError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+    }
+
+    #[test]
+    fn outcome_labels() {
+        assert_eq!(JobOutcome::Cancelled.label(), "cancelled");
+        assert_eq!(
+            JobOutcome::DeadlineExceeded {
+                stage: CancelStage::Queued
+            }
+            .label(),
+            "deadline"
+        );
+        assert_eq!(JobOutcome::Failed("x".into()).label(), "failed");
+        assert!(JobOutcome::Cancelled.result().is_none());
+    }
+}

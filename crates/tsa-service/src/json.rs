@@ -1,0 +1,460 @@
+//! Minimal hand-rolled JSON reader/writer for the NDJSON protocol.
+//!
+//! The workspace is dependency-free by policy, so the wire format is
+//! implemented here: a recursive-descent parser producing a small
+//! [`Value`] tree, and an append-only [`JsonObject`] writer. Only what
+//! the protocol needs is supported — numbers are `f64` (the protocol
+//! uses integers well inside the 2^53 exact range), and `\uXXXX` escapes
+//! outside the BMP are accepted pairwise as surrogates.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved, last duplicate key wins on
+    /// lookup-by-iteration (we never emit duplicates).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse one complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// This number as a signed integer, if it is one exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!(
+                "unexpected '{}' at byte {}",
+                char::from(c),
+                self.pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX for the
+                                // low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            };
+                            out.push(ch);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex =
+            std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(|e| e.to_string())?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{text}'"))
+    }
+}
+
+/// Escape a string for embedding in JSON output (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append-only single-line JSON object writer.
+#[derive(Debug)]
+pub struct JsonObject {
+    out: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.out, "\"{}\":", escape(key));
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.out, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Add an array-of-strings field.
+    pub fn str_array(mut self, key: &str, values: &[String]) -> Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "\"{}\"", escape(v));
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Close the object and return the JSON text (one line, no newline).
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(Value::parse("-3.5e2").unwrap(), Value::Num(-350.0));
+        assert_eq!(
+            Value::parse("\"hi\\n\\u0041\"").unwrap(),
+            Value::Str("hi\nA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v =
+            Value::parse(r#"{"op":"submit","seqs":["AC","GT"],"n":3,"deep":{"x":[1,2]}}"#).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("submit"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        match v.get("seqs").unwrap() {
+            Value::Arr(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(v.get("deep").unwrap().get("x").is_some());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{\"a\" 1}").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+        assert!(Value::parse("1 2").is_err());
+        assert!(Value::parse("nulls").is_err());
+        assert!(Value::parse("").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip() {
+        let v = Value::parse("\"\\ud83e\\udd13\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F913}"));
+        assert!(Value::parse("\"\\ud83e\"").is_err());
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = Value::parse("\"héllo→\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo→"));
+    }
+
+    #[test]
+    fn integer_accessors_guard_range_and_sign() {
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_i64(), Some(-1));
+        assert_eq!(Value::Num(1.5).as_i64(), None);
+        assert_eq!(Value::Str("1".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn writer_builds_one_line_objects() {
+        let line = JsonObject::new()
+            .bool("ok", true)
+            .str("id", "a\"b")
+            .u64("score", 7)
+            .i64("delta", -2)
+            .str_array("rows", &["A-C".into(), "AGC".into()])
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"ok":true,"id":"a\"b","score":7,"delta":-2,"rows":["A-C","AGC"]}"#
+        );
+        // And it parses back.
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("delta").unwrap().as_i64(), Some(-2));
+    }
+
+    #[test]
+    fn escape_control_characters() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape("tab\there"), "tab\\there");
+    }
+}

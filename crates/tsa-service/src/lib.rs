@@ -1,0 +1,69 @@
+//! # tsa-service — embeddable batch alignment service engine
+//!
+//! The paper's setting is a dedicated PC cluster running one alignment at
+//! a time over MPI. This crate transposes that deployment story to a
+//! single shared-memory machine serving *many* alignments: a bounded
+//! submission queue with explicit backpressure, a worker pool dispatching
+//! to any [`tsa_core::Algorithm`] (auto-selected by problem size unless
+//! pinned), a sharded LRU result cache, per-job deadlines with
+//! cooperative cancellation, and live counters.
+//!
+//! ## Library use
+//!
+//! ```
+//! use tsa_service::{AlignRequest, Engine, ServiceConfig};
+//! use tsa_seq::Seq;
+//!
+//! let engine = Engine::start(ServiceConfig::default());
+//! let req = AlignRequest::new(
+//!     "job-1",
+//!     Seq::dna("GATTACA").unwrap(),
+//!     Seq::dna("GATACA").unwrap(),
+//!     Seq::dna("GTTACA").unwrap(),
+//! );
+//! let outcome = engine.submit(req).unwrap().wait();
+//! println!("score = {}", outcome.result().unwrap().score);
+//! engine.shutdown();
+//! ```
+//!
+//! ## Wire use
+//!
+//! [`serve_stdio`] / [`serve_tcp`] speak an NDJSON protocol (one JSON
+//! object per line; see [`protocol`]), and [`run_batch`] drives a file of
+//! requests through the pool at full parallelism. The `tsa serve` and
+//! `tsa batch` CLI commands are thin wrappers over these.
+//!
+//! ## Semantics worth knowing
+//!
+//! * **Backpressure is an error, not a buffer.** A full queue refuses
+//!   the job with [`SubmitError::Overloaded`]; the engine never queues
+//!   beyond its configured capacity. Batch mode uses the blocking submit
+//!   path instead, throttling the producer.
+//! * **Deadlines are cooperative.** A job's deadline is checked when a
+//!   worker picks it up and again after the kernel runs; a mid-kernel
+//!   expiry still writes the finished result to the cache before the job
+//!   reports [`JobOutcome::DeadlineExceeded`].
+//! * **The cache keys on content.** Sequences are fingerprinted (two
+//!   independent FNV-1a digests plus length, per sequence), combined with
+//!   the scoring scheme, the *resolved* algorithm, and the score-only
+//!   flag — so an `auto` submission and an explicit one share an entry.
+
+mod cache;
+mod cancel;
+mod engine;
+mod error;
+pub mod json;
+pub mod protocol;
+mod queue;
+mod server;
+mod stats;
+mod worker;
+
+pub use cache::{CacheKey, CachedResult, ResultCache};
+pub use cancel::CancelToken;
+pub use engine::{AlignRequest, Engine, JobHandle, ServiceConfig};
+pub use error::{CancelStage, JobOutcome, JobResult, SubmitError};
+pub use queue::{job_queue, JobQueue, JobReceiver, PushError};
+pub use server::{run_all, run_batch, serve_listener, serve_session, serve_stdio, serve_tcp};
+pub use stats::{ServiceStats, StatsSnapshot};
+pub use worker::CompletedJob;

@@ -1,0 +1,379 @@
+//! The NDJSON wire protocol: one JSON object per line, each a request or
+//! a response.
+//!
+//! Requests (`op` selects the kind):
+//!
+//! ```json
+//! {"op":"submit","id":"j1","a":"GATTACA","b":"GATACA","c":"GTTACA",
+//!  "scoring":"dna","algorithm":"auto","deadline_ms":5000,"score_only":false}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `ok`; submissions echo the request `id`.
+//! A completed job answers `{"ok":true,"id":...,"status":"done","score":...}`;
+//! backpressure answers `{"ok":false,"id":...,"error":"overloaded",...}`.
+
+use crate::engine::AlignRequest;
+use crate::error::{CancelStage, JobOutcome, SubmitError};
+use crate::json::{JsonObject, Value};
+use crate::stats::StatsSnapshot;
+use crate::worker::CompletedJob;
+use std::time::Duration;
+use tsa_core::Algorithm;
+use tsa_scoring::Scoring;
+use tsa_seq::{Alphabet, Seq};
+
+/// A parsed protocol request.
+#[derive(Debug)]
+pub enum Request {
+    /// Run one alignment.
+    Submit(Box<AlignRequest>),
+    /// Report the engine counters.
+    Stats,
+    /// Drain the queue, stop the workers, report final counters.
+    Shutdown,
+}
+
+/// A request that could not be honored; `id` is echoed when the line
+/// carried one so the client can correlate.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The request id, when one was present.
+    pub id: Option<String>,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(id: Option<&str>, message: impl Into<String>) -> Self {
+        ProtocolError {
+            id: id.map(str::to_owned),
+            message: message.into(),
+        }
+    }
+}
+
+fn parse_seq(obj: &Value, field: &str, id: Option<&str>) -> Result<Seq, ProtocolError> {
+    let text = obj
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::new(id, format!("missing string field '{field}'")))?;
+    let bytes = text.as_bytes();
+    let alphabet = Alphabet::infer(bytes).ok_or_else(|| {
+        ProtocolError::new(id, format!("'{field}' is not a DNA/RNA/protein sequence"))
+    })?;
+    Seq::new(field, alphabet, bytes)
+        .map_err(|e| ProtocolError::new(id, format!("invalid '{field}': {e}")))
+}
+
+/// Parse one NDJSON request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let obj = Value::parse(line).map_err(|e| ProtocolError::new(None, format!("bad JSON: {e}")))?;
+    let id = obj.get("id").and_then(Value::as_str).map(str::to_owned);
+    let id_ref = id.as_deref();
+    let op = obj
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::new(id_ref, "missing string field 'op'"))?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => {
+            let a = parse_seq(&obj, "a", id_ref)?;
+            let b = parse_seq(&obj, "b", id_ref)?;
+            let c = parse_seq(&obj, "c", id_ref)?;
+            let scoring = match obj.get("scoring").and_then(Value::as_str) {
+                None => Scoring::dna_default(),
+                Some(name) => Scoring::by_name(name).ok_or_else(|| {
+                    ProtocolError::new(id_ref, format!("unknown scoring '{name}'"))
+                })?,
+            };
+            let tile =
+                match obj.get("tile") {
+                    None => 16,
+                    Some(v) => v.as_u64().filter(|&t| t >= 1).ok_or_else(|| {
+                        ProtocolError::new(id_ref, "'tile' must be an integer >= 1")
+                    })? as usize,
+                };
+            let threads = match obj.get("threads") {
+                None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+                Some(v) => v.as_u64().filter(|&t| t >= 1).ok_or_else(|| {
+                    ProtocolError::new(id_ref, "'threads' must be an integer >= 1")
+                })? as usize,
+            };
+            let algorithm = match obj.get("algorithm").and_then(Value::as_str) {
+                None => Algorithm::Auto,
+                Some(name) => Algorithm::by_name(name, tile, threads).ok_or_else(|| {
+                    ProtocolError::new(id_ref, format!("unknown algorithm '{name}'"))
+                })?,
+            };
+            let score_only = match obj.get("score_only") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| ProtocolError::new(id_ref, "'score_only' must be a boolean"))?,
+            };
+            let deadline = match obj.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+                    ProtocolError::new(id_ref, "'deadline_ms' must be a non-negative integer")
+                })?)),
+            };
+            let mut req = AlignRequest::new(id.unwrap_or_default(), a, b, c)
+                .scoring(scoring)
+                .algorithm(algorithm)
+                .score_only(score_only);
+            req.deadline = deadline;
+            Ok(Request::Submit(Box::new(req)))
+        }
+        other => Err(ProtocolError::new(id_ref, format!("unknown op '{other}'"))),
+    }
+}
+
+fn base(ok: bool, id: &str) -> JsonObject {
+    let obj = JsonObject::new().bool("ok", ok);
+    if id.is_empty() {
+        obj
+    } else {
+        obj.str("id", id)
+    }
+}
+
+/// Render a resolved job as one response line (no trailing newline).
+pub fn render_outcome(done: &CompletedJob) -> String {
+    let obj = base(done.outcome.result().is_some(), &done.tag).str("status", done.outcome.label());
+    match &done.outcome {
+        JobOutcome::Done(r) => {
+            let obj = obj
+                .i64("score", r.score as i64)
+                .str("algorithm", r.algorithm.name())
+                .bool("cached", r.cached)
+                .u64("wait_us", r.wait.as_micros().min(u64::MAX as u128) as u64)
+                .u64(
+                    "service_us",
+                    r.service.as_micros().min(u64::MAX as u128) as u64,
+                );
+            match &r.rows {
+                Some(rows) => obj.str_array("rows", rows.as_slice()).finish(),
+                None => obj.finish(),
+            }
+        }
+        JobOutcome::DeadlineExceeded { stage } => obj
+            .str(
+                "stage",
+                match stage {
+                    CancelStage::Queued => "queued",
+                    CancelStage::Computed => "computed",
+                },
+            )
+            .finish(),
+        JobOutcome::Cancelled => obj.finish(),
+        JobOutcome::Failed(reason) => obj.str("error", reason).finish(),
+    }
+}
+
+/// Render an admission refusal. Backpressure is the `overloaded` error.
+pub fn render_submit_error(id: &str, err: &SubmitError) -> String {
+    match err {
+        SubmitError::Overloaded { capacity } => base(false, id)
+            .str("error", "overloaded")
+            .u64("capacity", *capacity as u64)
+            .finish(),
+        SubmitError::ShuttingDown => base(false, id).str("error", "shutting_down").finish(),
+    }
+}
+
+/// Render a malformed-request response.
+pub fn render_protocol_error(err: &ProtocolError) -> String {
+    base(false, err.id.as_deref().unwrap_or(""))
+        .str("error", "bad_request")
+        .str("message", &err.message)
+        .finish()
+}
+
+fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
+    obj.u64("submitted", stats.submitted)
+        .u64("completed", stats.completed)
+        .u64("rejected", stats.rejected)
+        .u64("cancelled", stats.cancelled)
+        .u64("failed", stats.failed)
+        .u64("cache_hits", stats.cache_hits)
+        .u64("cache_misses", stats.cache_misses)
+        .u64("queue_depth", stats.queue_depth as u64)
+        .u64("latency_p50_us", stats.latency_p50_us)
+        .u64("latency_p90_us", stats.latency_p90_us)
+        .u64("latency_p99_us", stats.latency_p99_us)
+}
+
+/// Render a `stats` response.
+pub fn render_stats(stats: &StatsSnapshot) -> String {
+    stats_fields(JsonObject::new().bool("ok", true).str("op", "stats"), stats).finish()
+}
+
+/// Render the final `shutdown` response.
+pub fn render_shutdown(stats: &StatsSnapshot) -> String {
+    stats_fields(
+        JsonObject::new().bool("ok", true).str("op", "shutdown"),
+        stats,
+    )
+    .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::JobResult;
+
+    #[test]
+    fn parses_minimal_submit() {
+        let req =
+            parse_request(r#"{"op":"submit","id":"j1","a":"ACGT","b":"ACG","c":"AGT"}"#).unwrap();
+        match req {
+            Request::Submit(r) => {
+                assert_eq!(r.tag, "j1");
+                assert_eq!(r.seqs[0].residues(), b"ACGT");
+                assert_eq!(r.algorithm, Algorithm::Auto);
+                assert!(!r.score_only);
+                assert!(r.deadline.is_none());
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_submit() {
+        let line = r#"{"op":"submit","id":"x","a":"ACGT","b":"ACG","c":"AGT",
+            "scoring":"unit","algorithm":"wavefront","deadline_ms":250,"score_only":true}"#;
+        match parse_request(line).unwrap() {
+            Request::Submit(r) => {
+                assert_eq!(r.algorithm, Algorithm::Wavefront);
+                assert!(r.score_only);
+                assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protein_sequences_are_inferred() {
+        let line =
+            r#"{"op":"submit","id":"p","a":"MKWV","b":"MKW","c":"MWV","scoring":"blosum62"}"#;
+        match parse_request(line).unwrap() {
+            Request::Submit(r) => assert_eq!(r.seqs[0].alphabet(), Alphabet::Protein),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stats_and_shutdown() {
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn errors_echo_the_request_id() {
+        let err = parse_request(r#"{"op":"submit","id":"j9","a":"ACGT","b":"ACG"}"#).unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("j9"));
+        assert!(err.message.contains("'c'"));
+
+        let err = parse_request(r#"{"op":"nope","id":"j2"}"#).unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("j2"));
+
+        let err = parse_request("not json").unwrap_err();
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        for line in [
+            r#"{"a":"ACGT","b":"ACG","c":"AGT"}"#,
+            r#"{"op":"submit","a":"1234","b":"ACG","c":"AGT"}"#,
+            r#"{"op":"submit","a":"ACGT","b":"ACG","c":"AGT","scoring":"nope"}"#,
+            r#"{"op":"submit","a":"ACGT","b":"ACG","c":"AGT","algorithm":"nope"}"#,
+            r#"{"op":"submit","a":"ACGT","b":"ACG","c":"AGT","deadline_ms":-5}"#,
+            r#"{"op":"submit","a":"ACGT","b":"ACG","c":"AGT","score_only":"yes"}"#,
+            r#"{"op":"submit","a":"ACGT","b":"ACG","c":"AGT","tile":0}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn renders_done_outcome() {
+        let done = CompletedJob {
+            id: 3,
+            tag: "j1".into(),
+            outcome: JobOutcome::Done(JobResult {
+                score: -7,
+                rows: Some(["A-C".into(), "AGC".into(), "A-C".into()]),
+                algorithm: Algorithm::Wavefront,
+                cached: true,
+                wait: Duration::from_micros(10),
+                service: Duration::from_micros(20),
+            }),
+        };
+        let line = render_outcome(&done);
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("j1"));
+        assert_eq!(v.get("score").unwrap().as_i64(), Some(-7));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("wavefront"));
+        assert!(v.get("rows").is_some());
+    }
+
+    #[test]
+    fn renders_deadline_and_errors() {
+        let line = render_outcome(&CompletedJob {
+            id: 1,
+            tag: "d".into(),
+            outcome: JobOutcome::DeadlineExceeded {
+                stage: CancelStage::Queued,
+            },
+        });
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("status").unwrap().as_str(), Some("deadline"));
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("queued"));
+
+        let line = render_submit_error("j3", &SubmitError::Overloaded { capacity: 4 });
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(v.get("capacity").unwrap().as_u64(), Some(4));
+
+        let line = render_protocol_error(&ProtocolError::new(Some("j4"), "missing 'a'"));
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad_request"));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("j4"));
+    }
+
+    #[test]
+    fn renders_stats() {
+        let stats = StatsSnapshot {
+            submitted: 5,
+            completed: 3,
+            rejected: 1,
+            cancelled: 1,
+            failed: 0,
+            cache_hits: 2,
+            cache_misses: 1,
+            queue_depth: 0,
+            latency_p50_us: 64,
+            latency_p90_us: 128,
+            latency_p99_us: 256,
+        };
+        let v = Value::parse(&render_stats(&stats)).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(v.get("submitted").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
+        let v = Value::parse(&render_shutdown(&stats)).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("shutdown"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The bounded submission queue with admission control.
+//!
+//! A thin wrapper over a bounded MPMC channel that adds the two things
+//! the engine needs on top of raw channel semantics:
+//!
+//! * **admission control** — [`JobQueue::try_push`] never blocks; a full
+//!   queue is an explicit [`PushError::Full`] so callers can surface
+//!   backpressure (`overloaded`) instead of buffering without bound;
+//! * **depth accounting** — a gauge incremented before a successful push
+//!   and decremented when a worker pops, so observers can watch the
+//!   backlog and tests can assert it returns to zero at quiescence.
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the rejected item is handed back.
+    Full(T),
+    /// All receivers are gone (engine shut down); item handed back.
+    Closed(T),
+}
+
+/// Producer half: admission-controlled handle the engine submits through.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    tx: Sender<T>,
+    depth: Arc<AtomicUsize>,
+    capacity: usize,
+}
+
+// Manual impl: a derived Clone would demand `T: Clone`, but cloning the
+// handle never clones queued items.
+impl<T> Clone for JobQueue<T> {
+    fn clone(&self) -> Self {
+        JobQueue {
+            tx: self.tx.clone(),
+            depth: Arc::clone(&self.depth),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Consumer half: what each worker pops from. Cloneable (MPMC).
+#[derive(Debug)]
+pub struct JobReceiver<T> {
+    rx: Receiver<T>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl<T> Clone for JobReceiver<T> {
+    fn clone(&self) -> Self {
+        JobReceiver {
+            rx: self.rx.clone(),
+            depth: Arc::clone(&self.depth),
+        }
+    }
+}
+
+/// Create a queue holding at most `capacity` waiting jobs.
+pub fn job_queue<T>(capacity: usize) -> (JobQueue<T>, JobReceiver<T>) {
+    let capacity = capacity.max(1);
+    let (tx, rx) = channel::bounded(capacity);
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        JobQueue {
+            tx,
+            depth: Arc::clone(&depth),
+            capacity,
+        },
+        JobReceiver { rx, depth },
+    )
+}
+
+impl<T> JobQueue<T> {
+    /// Non-blocking admission: enqueue or report backpressure immediately.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        // Increment first so depth never under-counts a queued item; undo
+        // on refusal. Workers decrement only after a successful pop, which
+        // can only observe items whose increment already happened.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(item) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(item)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(PushError::Full(item))
+            }
+            Err(TrySendError::Disconnected(item)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(PushError::Closed(item))
+            }
+        }
+    }
+
+    /// Blocking push: wait for space instead of rejecting. Used by batch
+    /// mode, where the caller *is* the only producer and wants throttling,
+    /// not errors.
+    pub fn push_blocking(&self, item: T) -> Result<(), PushError<T>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(item).map_err(|e| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            PushError::Closed(e.0)
+        })
+    }
+
+    /// Jobs currently queued (approximate under concurrency, exact at
+    /// quiescence).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<T> JobReceiver<T> {
+    /// Pop the next job, blocking until one arrives; `None` once every
+    /// producer is gone and the queue has drained.
+    pub fn pop(&self) -> Option<T> {
+        let item = self.rx.recv().ok()?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(item)
+    }
+
+    /// Jobs currently queued (shared gauge with the producer half).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (q, r) = job_queue(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.depth(), 4);
+        for want in 0..4 {
+            assert_eq!(r.pop(), Some(want));
+        }
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn overflow_is_reported_with_the_item() {
+        let (q, _r) = job_queue(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full("c")) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2, "rejected push leaves depth unchanged");
+    }
+
+    #[test]
+    fn closed_queue_rejects() {
+        let (q, r) = job_queue(2);
+        drop(r);
+        assert!(matches!(q.try_push(1), Err(PushError::Closed(1))));
+        assert!(matches!(q.push_blocking(2), Err(PushError::Closed(2))));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_returns_none_after_producers_drop() {
+        let (q, r) = job_queue(2);
+        q.try_push(7).unwrap();
+        drop(q);
+        assert_eq!(r.pop(), Some(7));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let (q, r) = job_queue(1);
+        q.try_push(0).unwrap();
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push_blocking(1).map_err(|_| ()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(r.pop(), Some(0));
+        h.join().unwrap().unwrap();
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn depth_settles_to_zero_under_mpmc_load() {
+        let (q, r) = job_queue(8);
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let r = r.clone();
+            let consumed = Arc::clone(&consumed);
+            handles.push(std::thread::spawn(move || {
+                while r.pop().is_some() {
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut sent = 0;
+                    for i in 0..200 {
+                        if q.push_blocking(i).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    sent
+                })
+            })
+            .collect();
+        let sent: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        drop(q);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sent, 800);
+        assert_eq!(consumed.load(Ordering::Relaxed), 800);
+        assert_eq!(r.pop(), None);
+    }
+}

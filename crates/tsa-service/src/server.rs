@@ -1,0 +1,335 @@
+//! Protocol frontends: an NDJSON session loop (stdin/stdout or one TCP
+//! connection) and the batch driver.
+
+use crate::engine::{AlignRequest, Engine, JobHandle};
+use crate::protocol::{self, Request};
+use crate::stats::StatsSnapshot;
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> io::Result<()> {
+    let mut w = writer.lock();
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Run one NDJSON session: read request lines from `reader`, write
+/// response lines to `writer` as jobs resolve (so responses can arrive
+/// out of submission order — clients correlate by `id`). Returns after a
+/// `shutdown` request (engine drained; final stats written) or at EOF
+/// (engine left running).
+pub fn serve_session<R, W>(
+    engine: &Arc<Engine>,
+    reader: R,
+    writer: Arc<Mutex<W>>,
+) -> io::Result<bool>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(err) => write_line(&writer, &protocol::render_protocol_error(&err))?,
+            Ok(Request::Stats) => write_line(&writer, &protocol::render_stats(&engine.stats()))?,
+            Ok(Request::Shutdown) => {
+                let stats = engine.shutdown();
+                write_line(&writer, &protocol::render_shutdown(&stats))?;
+                return Ok(true);
+            }
+            Ok(Request::Submit(req)) => {
+                let tag = req.tag.clone();
+                let cb_writer = Arc::clone(&writer);
+                let submitted = engine.submit_with(*req, move |done| {
+                    let _ = write_line(&cb_writer, &protocol::render_outcome(&done));
+                });
+                if let Err(err) = submitted {
+                    write_line(&writer, &protocol::render_submit_error(&tag, &err))?;
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Serve NDJSON over stdin/stdout until `shutdown` or EOF. Returns the
+/// final stats snapshot.
+pub fn serve_stdio(engine: &Arc<Engine>) -> io::Result<StatsSnapshot> {
+    let writer = Arc::new(Mutex::new(io::stdout()));
+    let shut = serve_session(engine, io::stdin().lock(), writer)?;
+    Ok(if shut {
+        engine.stats()
+    } else {
+        engine.shutdown()
+    })
+}
+
+/// Serve NDJSON over TCP: one session thread per connection, all sharing
+/// the engine. Returns after a connection issues `shutdown`.
+pub fn serve_tcp(engine: &Arc<Engine>, addr: &str) -> io::Result<StatsSnapshot> {
+    serve_listener(engine, TcpListener::bind(addr)?)
+}
+
+/// [`serve_tcp`] over an already-bound listener (lets callers pick port 0
+/// and read the assigned address first).
+pub fn serve_listener(engine: &Arc<Engine>, listener: TcpListener) -> io::Result<StatsSnapshot> {
+    // Poll accept so a shutdown from one connection stops the loop.
+    listener.set_nonblocking(true)?;
+    let mut sessions = Vec::new();
+    loop {
+        if !engine.is_running() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false)?;
+                let engine = Arc::clone(engine);
+                let reader = BufReader::new(stream.try_clone()?);
+                let writer = Arc::new(Mutex::new(stream));
+                sessions.push(std::thread::spawn(move || {
+                    let _ = serve_session(&engine, reader, writer);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for session in sessions {
+        let _ = session.join();
+    }
+    Ok(engine.stats())
+}
+
+/// Feed a batch of requests through the engine at full parallelism.
+///
+/// Each line of `input` is a protocol `submit` object (the `op` field is
+/// optional in batch mode). Submission uses the blocking path — the
+/// bounded queue throttles the reader instead of rejecting — and
+/// responses are written in input order. Returns the number of lines
+/// that produced a job.
+pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) -> io::Result<usize> {
+    let mut pending: Vec<(usize, String, JobHandle)> = Vec::new();
+    let mut immediate: Vec<(usize, String)> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Accept bare submit objects: inject the op when it is absent.
+        let owned;
+        let text = if line.contains("\"op\"") {
+            line
+        } else {
+            owned = format!(
+                "{{\"op\":\"submit\",{}",
+                line.trim_start().trim_start_matches('{')
+            );
+            &owned
+        };
+        match protocol::parse_request(text) {
+            Err(err) => immediate.push((lineno, protocol::render_protocol_error(&err))),
+            Ok(Request::Stats) => immediate.push((lineno, protocol::render_stats(&engine.stats()))),
+            Ok(Request::Shutdown) => break,
+            Ok(Request::Submit(req)) => {
+                let tag = req.tag.clone();
+                match engine.submit_blocking(*req) {
+                    Ok(handle) => pending.push((lineno, tag, handle)),
+                    Err(err) => immediate.push((lineno, protocol::render_submit_error(&tag, &err))),
+                }
+            }
+        }
+    }
+    let submitted = pending.len();
+    let mut responses: Vec<(usize, String)> = immediate;
+    for (lineno, tag, handle) in pending {
+        let id = handle.id;
+        let outcome = handle.wait();
+        responses.push((
+            lineno,
+            protocol::render_outcome(&crate::worker::CompletedJob { id, tag, outcome }),
+        ));
+    }
+    responses.sort_by_key(|(lineno, _)| *lineno);
+    for (_, line) in &responses {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(submitted)
+}
+
+/// Convenience for tests and benchmarks: submit every request with the
+/// blocking path and wait for all of them, returning the outcomes in
+/// order.
+pub fn run_all(engine: &Arc<Engine>, requests: Vec<AlignRequest>) -> Vec<crate::JobOutcome> {
+    let handles: Vec<_> = requests
+        .into_iter()
+        .filter_map(|req| engine.submit_blocking(req).ok())
+        .collect();
+    handles.into_iter().map(JobHandle::wait).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceConfig;
+    use crate::json::Value;
+    use std::io::Cursor;
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            default_deadline: None,
+        }))
+    }
+
+    fn lines(bytes: &[u8]) -> Vec<Value> {
+        std::str::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|l| Value::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn session_submit_stats_shutdown() {
+        let engine = engine();
+        let input = concat!(
+            r#"{"op":"submit","id":"j1","a":"GATTACA","b":"GATACA","c":"GTTACA"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n"
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shut = serve_session(&engine, Cursor::new(input), Arc::clone(&writer)).unwrap();
+        assert!(shut);
+        let out = lines(&writer.lock());
+        // Shutdown drains the queue first, so both lines are present;
+        // the job response precedes the shutdown summary.
+        assert_eq!(out.len(), 2);
+        let job = out
+            .iter()
+            .find(|v| v.get("id").map(|i| i.as_str()) == Some(Some("j1")))
+            .expect("job response present");
+        assert_eq!(job.get("ok").unwrap().as_bool(), Some(true));
+        assert!(job.get("score").is_some());
+        let shutdown = out
+            .iter()
+            .find(|v| v.get("op").map(|o| o.as_str()) == Some(Some("shutdown")))
+            .expect("shutdown response present");
+        assert_eq!(shutdown.get("completed").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn session_reports_bad_lines_and_keeps_going() {
+        let engine = engine();
+        let input = concat!(
+            "this is not json\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n"
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        serve_session(&engine, Cursor::new(input), Arc::clone(&writer)).unwrap();
+        let out = lines(&writer.lock());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("error").unwrap().as_str(), Some("bad_request"));
+        assert_eq!(out[1].get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(out[2].get("op").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn session_eof_leaves_engine_running() {
+        let engine = engine();
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shut = serve_session(&engine, Cursor::new(""), Arc::clone(&writer)).unwrap();
+        assert!(!shut);
+        assert!(engine.is_running());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_preserves_input_order_and_allows_bare_objects() {
+        let engine = engine();
+        let input = concat!(
+            r#"{"id":"first","a":"GATTACA","b":"GATACA","c":"GTTACA"}"#,
+            "\n",
+            "garbage line\n",
+            r#"{"op":"submit","id":"second","a":"ACGTACGT","b":"ACGTACG","c":"CGTACGT"}"#,
+            "\n"
+        );
+        let mut out = Vec::new();
+        let submitted = run_batch(&engine, input, &mut out).unwrap();
+        assert_eq!(submitted, 2);
+        let out = lines(&out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("id").unwrap().as_str(), Some("first"));
+        assert_eq!(out[1].get("error").unwrap().as_str(), Some("bad_request"));
+        assert_eq!(out[2].get("id").unwrap().as_str(), Some("second"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_repeat_hits_cache() {
+        let engine = engine();
+        let line = r#"{"id":"r","a":"GATTACAGATTACA","b":"GATACAGATACA","c":"GTTACAGTTACA"}"#;
+        let mut out = Vec::new();
+        run_batch(&engine, line, &mut out).unwrap();
+        run_batch(&engine, line, &mut out).unwrap();
+        let out = lines(&out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(out[1].get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            out[0].get("score").unwrap().as_i64(),
+            out[1].get("score").unwrap().as_i64()
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpStream;
+
+        let engine = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || serve_listener(&engine, listener).unwrap())
+        };
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        writeln!(
+            w,
+            r#"{{"op":"submit","id":"t1","a":"GATTACA","b":"GATACA","c":"GTTACA"}}"#
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("t1"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        writeln!(w, r#"{{"op":"shutdown"}}"#).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            Value::parse(&line).unwrap().get("op").unwrap().as_str(),
+            Some("shutdown")
+        );
+        let stats = server.join().unwrap();
+        assert_eq!(stats.completed, 1);
+    }
+}

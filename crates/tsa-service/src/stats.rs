@@ -1,0 +1,207 @@
+//! Service counters and the completion-latency histogram.
+//!
+//! All counters are relaxed atomics — they are monotonic tallies read for
+//! observability, never used for synchronization. At quiescence (queue
+//! drained, no in-flight jobs) the identity
+//! `submitted == completed + rejected + cancelled + failed` holds.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts completions
+/// with `latency_us < 2^i` (last bucket is open-ended).
+const BUCKETS: usize = 40;
+
+/// Live counters owned by the engine and shared with every worker.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    latency: Histogram,
+}
+
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        // Bucket i covers [2^(i-1), 2^i) microseconds; 0..1us lands in 0.
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl ServiceStats {
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter. The live
+    /// queue depth is owned by the queue itself, so the engine passes it
+    /// in when snapshotting.
+    pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        let buckets = self.latency.snapshot();
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_depth,
+            latency_p50_us: quantile_upper_bound(&buckets, 0.50),
+            latency_p90_us: quantile_upper_bound(&buckets, 0.90),
+            latency_p99_us: quantile_upper_bound(&buckets, 0.99),
+        }
+    }
+}
+
+/// Upper bound (in µs) of the histogram bucket containing quantile `q`;
+/// 0 when the histogram is empty.
+fn quantile_upper_bound(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            // Bucket i covers latencies < 2^i µs.
+            return 1u64 << i.min(63);
+        }
+    }
+    1u64 << (buckets.len() - 1).min(63)
+}
+
+/// Point-in-time view of the service counters, exposed through the `stats`
+/// protocol request and printed at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Submission attempts, including rejected ones.
+    pub submitted: u64,
+    /// Jobs that produced a result (fresh or cached).
+    pub completed: u64,
+    /// Jobs refused at admission (queue full or shutting down).
+    pub rejected: u64,
+    /// Jobs that missed their deadline or were cancelled via their handle.
+    pub cancelled: u64,
+    /// Jobs whose aligner configuration was invalid.
+    pub failed: u64,
+    /// Completions served from the result cache.
+    pub cache_hits: u64,
+    /// Completions that had to run a kernel.
+    pub cache_misses: u64,
+    /// Jobs currently queued (0 at quiescence).
+    pub queue_depth: usize,
+    /// Median submit-to-completion latency, as a power-of-two µs bound.
+    pub latency_p50_us: u64,
+    /// 90th-percentile latency bound (µs).
+    pub latency_p90_us: u64,
+    /// 99th-percentile latency bound (µs).
+    pub latency_p99_us: u64,
+}
+
+impl StatsSnapshot {
+    /// `completed + rejected + cancelled + failed` — equals `submitted`
+    /// once the engine is quiescent.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.rejected + self.cancelled + self.failed
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} submitted, {} completed, {} rejected, {} cancelled, {} failed",
+            self.submitted, self.completed, self.rejected, self.cancelled, self.failed
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits, {} misses; queue depth {}",
+            self.cache_hits, self.cache_misses, self.queue_depth
+        )?;
+        write!(
+            f,
+            "latency (µs, bucket upper bounds): p50 ≤ {}, p90 ≤ {}, p99 ≤ {}",
+            self.latency_p50_us, self.latency_p90_us, self.latency_p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let s = ServiceStats::default();
+        s.record_latency(Duration::from_micros(0)); // bucket 0
+        s.record_latency(Duration::from_micros(3)); // bucket 2 (<4)
+        s.record_latency(Duration::from_micros(1000)); // bucket 10 (<1024)
+        let buckets = s.latency.snapshot();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[2], 1);
+        assert_eq!(buckets[10], 1);
+        assert_eq!(buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[3] = 90; // <8us
+        buckets[8] = 10; // <256us
+        assert_eq!(quantile_upper_bound(&buckets, 0.50), 8);
+        assert_eq!(quantile_upper_bound(&buckets, 0.90), 8);
+        assert_eq!(quantile_upper_bound(&buckets, 0.99), 256);
+        assert_eq!(quantile_upper_bound(&[0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let s = ServiceStats::default();
+        s.submitted.fetch_add(5, Ordering::Relaxed);
+        s.completed.fetch_add(3, Ordering::Relaxed);
+        s.rejected.fetch_add(1, Ordering::Relaxed);
+        s.cancelled.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot(2);
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.resolved(), 5);
+        assert_eq!(snap.queue_depth, 2);
+    }
+
+    #[test]
+    fn snapshot_renders() {
+        let text = ServiceStats::default().snapshot(0).to_string();
+        assert!(text.contains("submitted"));
+        assert!(text.contains("cache"));
+        assert!(text.contains("p99"));
+    }
+}

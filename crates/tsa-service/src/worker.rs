@@ -1,0 +1,181 @@
+//! The worker pool: each worker pops jobs, honors cancellation
+//! checkpoints, probes the result cache, and runs the aligner.
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::cancel::CancelToken;
+use crate::error::{CancelStage, JobOutcome, JobResult};
+use crate::queue::JobReceiver;
+use crate::stats::ServiceStats;
+use crossbeam::channel::Sender;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use tsa_core::{Algorithm, Aligner, Alignment3};
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+
+/// An accepted unit of work travelling from the queue to a worker.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: u64,
+    pub tag: String,
+    pub a: Seq,
+    pub b: Seq,
+    pub c: Seq,
+    pub scoring: Scoring,
+    pub algorithm: Algorithm,
+    pub score_only: bool,
+    pub cancel: CancelToken,
+    pub submitted: Instant,
+    pub responder: Responder,
+}
+
+/// How a finished job reports back: a per-job channel (library callers
+/// holding a [`crate::JobHandle`]) or a boxed callback (the NDJSON
+/// server, which forwards responses to a shared writer).
+pub(crate) enum Responder {
+    Channel(Sender<CompletedJob>),
+    Callback(Box<dyn FnOnce(CompletedJob) + Send>),
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Responder::Channel(_) => "Responder::Channel",
+            Responder::Callback(_) => "Responder::Callback",
+        })
+    }
+}
+
+/// A resolved job: its engine id, the caller's tag, and the outcome.
+#[derive(Debug, Clone)]
+pub struct CompletedJob {
+    /// Engine-assigned sequential id.
+    pub id: u64,
+    /// Caller-supplied tag (echoed in protocol responses).
+    pub tag: String,
+    /// Terminal state.
+    pub outcome: JobOutcome,
+}
+
+fn rows_to_strings(alignment: &Alignment3) -> [String; 3] {
+    let rows = alignment.rows();
+    rows.map(|row| {
+        row.iter()
+            .map(|r| r.map(char::from).unwrap_or('-'))
+            .collect()
+    })
+}
+
+/// Run one worker until the queue disconnects and drains.
+pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: Arc<ServiceStats>) {
+    while let Some(job) = rx.pop() {
+        let outcome = serve_one(&job, &cache, &stats);
+        respond(job.responder, job.id, job.tag, outcome);
+    }
+}
+
+fn respond(responder: Responder, id: u64, tag: String, outcome: JobOutcome) {
+    let done = CompletedJob { id, tag, outcome };
+    match responder {
+        // A dropped handle means nobody is waiting; that is fine.
+        Responder::Channel(tx) => drop(tx.send(done)),
+        Responder::Callback(cb) => cb(done),
+    }
+}
+
+fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome {
+    let wait = job.submitted.elapsed();
+
+    // Checkpoint 1: the job may have expired or been cancelled while
+    // queued — no work has been done yet.
+    if job.cancel.is_cancelled() {
+        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        return JobOutcome::Cancelled;
+    }
+    if job.cancel.deadline_expired() {
+        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        return JobOutcome::DeadlineExceeded {
+            stage: CancelStage::Queued,
+        };
+    }
+
+    let served = Instant::now();
+    let aligner = Aligner::auto(job.scoring.clone()).algorithm(job.algorithm);
+    let resolved = aligner.resolve(job.a.len(), job.b.len(), job.c.len());
+    let key = CacheKey::new(
+        &job.a,
+        &job.b,
+        &job.c,
+        &job.scoring,
+        resolved,
+        job.score_only,
+    );
+
+    if let Some(hit) = cache.get(&key) {
+        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.record_latency(job.submitted.elapsed());
+        return JobOutcome::Done(JobResult {
+            score: hit.score,
+            rows: hit.rows,
+            algorithm: hit.algorithm,
+            cached: true,
+            wait,
+            service: served.elapsed(),
+        });
+    }
+    stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let computed = if job.score_only {
+        aligner
+            .score3(&job.a, &job.b, &job.c)
+            .map(|score| (score, None))
+    } else {
+        aligner
+            .align3(&job.a, &job.b, &job.c)
+            .map(|aln| (aln.score, Some(rows_to_strings(&aln))))
+    };
+
+    let (score, rows) = match computed {
+        Ok(r) => r,
+        Err(e) => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            return JobOutcome::Failed(e.to_string());
+        }
+    };
+
+    // The work is done — cache it regardless of the deadline so repeat
+    // requests are cheap even when this one was too slow.
+    cache.put(
+        key,
+        CachedResult {
+            score,
+            rows: rows.clone(),
+            algorithm: resolved,
+        },
+    );
+
+    // Checkpoint 2: the deadline may have fired mid-kernel.
+    if job.cancel.is_cancelled() {
+        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        return JobOutcome::Cancelled;
+    }
+    if job.cancel.deadline_expired() {
+        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        return JobOutcome::DeadlineExceeded {
+            stage: CancelStage::Computed,
+        };
+    }
+
+    stats.completed.fetch_add(1, Ordering::Relaxed);
+    stats.record_latency(job.submitted.elapsed());
+    JobOutcome::Done(JobResult {
+        score,
+        rows,
+        algorithm: resolved,
+        cached: false,
+        wait,
+        service: served.elapsed(),
+    })
+}

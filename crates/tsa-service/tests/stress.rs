@@ -1,0 +1,179 @@
+//! Concurrency stress: hundreds of mixed-size jobs submitted from many
+//! threads must each resolve exactly once, cached results must be
+//! score-identical to fresh computation, and the queue must drain.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tsa_seq::{family::FamilyConfig, Seq};
+use tsa_service::{AlignRequest, Engine, JobOutcome, ServiceConfig};
+
+fn family(len: usize, seed: u64) -> [Seq; 3] {
+    let fam = FamilyConfig::new(len, 0.1, 0.05)
+        .try_generate(seed)
+        .expect("generate family");
+    let mut it = fam.members.into_iter();
+    [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()]
+}
+
+#[test]
+fn mixed_load_from_many_threads_resolves_exactly_once() {
+    const SUBMITTERS: usize = 4;
+    const JOBS_PER_THREAD: usize = 60;
+
+    let engine = Arc::new(Engine::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        default_deadline: None,
+    }));
+
+    // A small pool of distinct problems, so many submissions repeat work
+    // and the cache gets real traffic. Sizes are mixed (tiny to ~90).
+    let problems: Vec<[Seq; 3]> = (0..12)
+        .map(|i| family(10 + 7 * i, 1000 + i as u64))
+        .collect();
+    let problems = Arc::new(problems);
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let cancelled = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let problems = Arc::clone(&problems);
+            let done = Arc::clone(&done);
+            let cancelled = Arc::clone(&cancelled);
+            std::thread::spawn(move || {
+                let mut scores = Vec::new();
+                for j in 0..JOBS_PER_THREAD {
+                    let pick = (t * 31 + j * 7) % problems.len();
+                    let [a, b, c] = problems[pick].clone();
+                    let mut req =
+                        AlignRequest::new(format!("{t}-{j}"), a, b, c).score_only(j % 3 == 0);
+                    // A sprinkling of jobs that must miss their deadline
+                    // while queued.
+                    if j % 17 == 0 {
+                        req = req.deadline(Duration::ZERO);
+                    }
+                    // The queue is small relative to the load; throttle.
+                    let handle = engine.submit_blocking(req).expect("engine running");
+                    match handle.wait() {
+                        JobOutcome::Done(r) => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                            scores.push((pick, r.score));
+                        }
+                        JobOutcome::DeadlineExceeded { .. } | JobOutcome::Cancelled => {
+                            cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        JobOutcome::Failed(e) => panic!("unexpected failure: {e}"),
+                    }
+                }
+                scores
+            })
+        })
+        .collect();
+
+    let mut observed: Vec<(usize, i32)> = Vec::new();
+    for h in handles {
+        observed.extend(h.join().unwrap());
+    }
+
+    let total = SUBMITTERS * JOBS_PER_THREAD;
+    let stats = engine.shutdown();
+
+    // Exactly-once accounting: every submission resolved, nothing lost,
+    // nothing double-counted, queue fully drained.
+    assert_eq!(stats.submitted, total as u64);
+    assert_eq!(stats.resolved(), stats.submitted);
+    assert_eq!(
+        stats.completed,
+        done.load(Ordering::Relaxed) as u64,
+        "engine count matches what waiters observed"
+    );
+    assert_eq!(stats.cancelled, cancelled.load(Ordering::Relaxed) as u64);
+    assert_eq!(stats.rejected, 0, "blocking submission never rejects");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.queue_depth, 0, "queue drains to zero at quiescence");
+    assert!(stats.cancelled > 0, "the zero-deadline jobs must show up");
+    assert!(stats.cache_hits > 0, "repeated problems must hit the cache");
+
+    // Cached scores are identical to a fresh single-threaded computation.
+    let aligner = tsa_core::Aligner::new();
+    for pick in 0..problems.len() {
+        let Some(&(_, score)) = observed.iter().find(|(p, _)| *p == pick) else {
+            continue;
+        };
+        let [a, b, c] = problems[pick].clone();
+        let fresh = aligner.score3(&a, &b, &c).unwrap();
+        assert_eq!(score, fresh, "problem {pick}: service score == fresh score");
+        assert!(
+            observed
+                .iter()
+                .filter(|(p, _)| *p == pick)
+                .all(|&(_, s)| s == score),
+            "problem {pick}: every observation agrees"
+        );
+    }
+}
+
+#[test]
+fn nonblocking_overload_storm_keeps_accounting_consistent() {
+    // Hammer try-submit far past capacity from several threads; rejected +
+    // completed must exactly cover the attempts, and depth must return to 0.
+    let engine = Arc::new(Engine::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 4,
+        cache_capacity: 0, // no cache: every accepted job runs the kernel
+        default_deadline: None,
+    }));
+    let [a, b, c] = family(60, 7);
+
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let (a, b, c) = (a.clone(), b.clone(), c.clone());
+            std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                let mut rejected = 0u64;
+                let mut waiters = Vec::new();
+                for j in 0..50 {
+                    let req = AlignRequest::new(
+                        format!("storm-{t}-{j}"),
+                        a.clone(),
+                        b.clone(),
+                        c.clone(),
+                    )
+                    .score_only(true);
+                    match engine.submit(req) {
+                        Ok(h) => {
+                            accepted += 1;
+                            waiters.push(h);
+                        }
+                        Err(tsa_service::SubmitError::Overloaded { capacity }) => {
+                            assert_eq!(capacity, 4);
+                            rejected += 1;
+                        }
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                for h in waiters {
+                    assert!(h.wait().result().is_some());
+                }
+                (accepted, rejected)
+            })
+        })
+        .collect();
+
+    let (mut accepted, mut rejected) = (0, 0);
+    for h in handles {
+        let (a_n, r_n) = h.join().unwrap();
+        accepted += a_n;
+        rejected += r_n;
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted, accepted + rejected);
+    assert_eq!(stats.completed, accepted);
+    assert_eq!(stats.rejected, rejected);
+    assert!(rejected > 0, "a 4-deep queue must reject under this storm");
+    assert_eq!(stats.queue_depth, 0);
+}

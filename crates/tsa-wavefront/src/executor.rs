@@ -72,7 +72,9 @@ pub fn run_tiles_wavefront(grid: &TileGrid, kernel: impl Fn(usize, usize, usize)
             let (ti, tj, tk) = tiles[0];
             kernel(ti, tj, tk);
         } else {
-            tiles.par_iter().for_each(|&(ti, tj, tk)| kernel(ti, tj, tk));
+            tiles
+                .par_iter()
+                .for_each(|&(ti, tj, tk)| kernel(ti, tj, tk));
         }
     }
 }
@@ -126,7 +128,9 @@ mod tests {
     /// King-move longest path: v(i,j,k) = 1 + max(valid predecessors),
     /// v(0,0,0)=0 ⇒ v(i,j,k) == i+j+k (the longest path). Exercises true cross-plane
     /// dependencies, so it fails if the barrier is broken.
-    fn king_distance_with(run: impl Fn(Extents, &SharedGrid<i32>, &(dyn Fn(usize, usize, usize) + Sync))) {
+    fn king_distance_with(
+        run: impl Fn(Extents, &SharedGrid<i32>, &(dyn Fn(usize, usize, usize) + Sync)),
+    ) {
         let e = Extents::new(9, 7, 8);
         let grid = SharedGrid::new(e.cells(), -1i32);
         run(e, &grid, &|i, j, k| {
@@ -182,8 +186,8 @@ mod tests {
                                     if di + dj + dk == 0 {
                                         continue;
                                     }
-                                    best =
-                                        best.max(unsafe { grid.get(e.index(i - di, j - dj, k - dk)) });
+                                    best = best
+                                        .max(unsafe { grid.get(e.index(i - di, j - dj, k - dk)) });
                                 }
                             }
                         }
@@ -196,10 +200,7 @@ mod tests {
         for i in 0..=9 {
             for j in 0..=7 {
                 for k in 0..=8 {
-                    assert_eq!(
-                        unsafe { grid.get(e.index(i, j, k)) },
-                        (i + j + k) as i32
-                    );
+                    assert_eq!(unsafe { grid.get(e.index(i, j, k)) }, (i + j + k) as i32);
                 }
             }
         }
@@ -230,7 +231,10 @@ mod tests {
     fn respects_installed_pool() {
         // Running inside a 2-thread pool must not deadlock and must still
         // produce correct results.
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
         pool.install(|| {
             king_distance_with(|e, _g, f| run_cells_wavefront(e, f));
         });

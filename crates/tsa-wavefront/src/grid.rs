@@ -134,7 +134,9 @@ mod tests {
         // one par_iter call completing.
         let n = 1000;
         let g = SharedGrid::zeroed(n);
-        (0..n).into_par_iter().for_each(|i| unsafe { g.set(i, 1u32) });
+        (0..n)
+            .into_par_iter()
+            .for_each(|i| unsafe { g.set(i, 1u32) });
         for _round in 1..5 {
             let snapshot: Vec<u32> = (0..n).map(|i| unsafe { g.get(i) }).collect();
             (0..n)

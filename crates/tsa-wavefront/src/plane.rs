@@ -56,7 +56,10 @@ impl Extents {
     /// The largest plane size — the maximum available parallelism of the
     /// cell-level wavefront.
     pub fn max_plane_len(&self) -> usize {
-        (0..self.num_planes()).map(|d| self.plane_len(d)).max().unwrap_or(0)
+        (0..self.num_planes())
+            .map(|d| self.plane_len(d))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -207,10 +210,7 @@ mod tests {
         let mid = e.plane_len(6);
         assert_eq!(e.max_plane_len(), mid);
         // A plane of a cube d=3n/2 has ~3n²/4 cells; exact check by sum.
-        assert_eq!(
-            (0..e.num_planes()).map(|d| e.plane_len(d)).max(),
-            Some(mid)
-        );
+        assert_eq!((0..e.num_planes()).map(|d| e.plane_len(d)).max(), Some(mid));
     }
 
     #[test]

@@ -45,7 +45,11 @@ mod tests {
         for (n_items, p) in [(10usize, 3usize), (7, 7), (1, 4), (16, 4)] {
             let costs = vec![1.0; n_items];
             let want = n_items.div_ceil(p) as f64;
-            assert_eq!(plane_makespan(&costs, p), want, "{n_items} items, {p} workers");
+            assert_eq!(
+                plane_makespan(&costs, p),
+                want,
+                "{n_items} items, {p} workers"
+            );
         }
     }
 

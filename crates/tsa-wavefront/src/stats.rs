@@ -139,7 +139,9 @@ mod tests {
         };
         assert_eq!(s.total_items(), 13);
         assert!((s.mean_parallelism() - 13.0 / 5.0).abs() < 1e-12);
-        let empty = WavefrontStats { plane_sizes: vec![] };
+        let empty = WavefrontStats {
+            plane_sizes: vec![],
+        };
         assert_eq!(empty.mean_parallelism(), 0.0);
         assert_eq!(empty.max_parallelism(), 0);
     }

@@ -230,7 +230,12 @@ mod tests {
         }
         for idx in 0..g.num_tiles() {
             let (i, j, k) = g.tile_coords(idx);
-            assert_eq!(counts[idx], g.num_predecessors(i, j, k), "tile {:?}", (i, j, k));
+            assert_eq!(
+                counts[idx],
+                g.num_predecessors(i, j, k),
+                "tile {:?}",
+                (i, j, k)
+            );
         }
     }
 

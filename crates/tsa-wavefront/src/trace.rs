@@ -112,7 +112,12 @@ mod tests {
                     }
                 }
             }
-            unsafe { g1.set(e.index(i, j, k), if (i, j, k) == (0, 0, 0) { 0 } else { best + 1 }) };
+            unsafe {
+                g1.set(
+                    e.index(i, j, k),
+                    if (i, j, k) == (0, 0, 0) { 0 } else { best + 1 },
+                )
+            };
         });
         // Longest-path fixpoint, as in the executor tests.
         for i in 0..=6 {

@@ -39,7 +39,13 @@ fn main() {
         ("sequential full DP", Algorithm::FullDp),
         ("parallel wavefront", Algorithm::Wavefront),
         ("blocked (tile 16)", Algorithm::Blocked { tile: 16 }),
-        ("dataflow (tile 16)", Algorithm::BlockedDataflow { tile: 16, threads: 4 }),
+        (
+            "dataflow (tile 16)",
+            Algorithm::BlockedDataflow {
+                tile: 16,
+                threads: 4,
+            },
+        ),
         ("hirschberg (O(n²) mem)", Algorithm::Hirschberg),
         ("parallel hirschberg", Algorithm::ParallelHirschberg),
         ("carrillo-lipman pruned", Algorithm::CarrilloLipman),
@@ -61,7 +67,11 @@ fn main() {
             None => reference = Some(aln.score),
             Some(r) => assert_eq!(r, aln.score, "{name} disagreed"),
         }
-        println!("{name:<26} score {:>6}  ({:>8.2} ms)", aln.score, dt.as_secs_f64() * 1e3);
+        println!(
+            "{name:<26} score {:>6}  ({:>8.2} ms)",
+            aln.score,
+            dt.as_secs_f64() * 1e3
+        );
     }
     println!("all exact algorithms agree ✓");
 }

@@ -11,8 +11,14 @@ use three_seq_align::msa::MsaBuilder;
 use three_seq_align::prelude::*;
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
 
     // k descendants of one ancestor (three per generated family).
     let mut seqs: Vec<Seq> = Vec::with_capacity(k);
@@ -32,7 +38,8 @@ fn main() {
         .scoring(scoring.clone())
         .align(&seqs)
         .expect("valid configuration");
-    msa.validate(&seqs).expect("alignment de-gaps to its inputs");
+    msa.validate(&seqs)
+        .expect("alignment de-gaps to its inputs");
 
     println!(
         "progressive MSA of {k} sequences (~{n} nt): {} columns, SP score {}",
@@ -44,7 +51,10 @@ fn main() {
     // Quality yardstick: on the first three sequences, compare the
     // progressive result with the exact three-sequence optimum.
     let triple = &seqs[..3];
-    let progressive3 = MsaBuilder::new().scoring(scoring.clone()).align(triple).unwrap();
+    let progressive3 = MsaBuilder::new()
+        .scoring(scoring.clone())
+        .align(triple)
+        .unwrap();
     let exact3 = MsaBuilder::new()
         .scoring(scoring)
         .exact_triples(true)

@@ -42,7 +42,10 @@ fn main() {
         .unwrap();
     aln2.validate(&a, &b, &c).unwrap();
     assert_eq!(quasi_natural_score(&aln2.columns, &affine), aln2.score);
-    println!("BLOSUM62, affine open -11 / extend -1: quasi-natural score {}", aln2.score);
+    println!(
+        "BLOSUM62, affine open -11 / extend -1: quasi-natural score {}",
+        aln2.score
+    );
     println!("{}", aln2.pretty());
 
     // The two objectives generally choose different gap placements:

@@ -17,7 +17,10 @@ fn main() {
         .unwrap_or(80);
     let scoring = Scoring::dna_default();
 
-    println!("{:>8} {:>9} {:>12} {:>11} {:>11}", "sub rate", "identity", "visited %", "full ms", "pruned ms");
+    println!(
+        "{:>8} {:>9} {:>12} {:>11} {:>11}",
+        "sub rate", "identity", "visited %", "full ms", "pruned ms"
+    );
     for rate in [0.02, 0.05, 0.10, 0.20, 0.35, 0.50] {
         let fam = FamilyConfig::new(n, rate, 0.05).generate(4242);
         let (a, b, c) = fam.triple();

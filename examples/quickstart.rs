@@ -18,10 +18,15 @@ fn main() {
         .expect("configuration is valid");
 
     // Every alignment can be checked against its inputs.
-    aln.validate(&a, &b, &c).expect("alignment is structurally sound");
+    aln.validate(&a, &b, &c)
+        .expect("alignment is structurally sound");
 
     println!("optimal sum-of-pairs score: {}", aln.score);
-    println!("columns: {}, all-match columns: {}", aln.len(), aln.full_match_columns());
+    println!(
+        "columns: {}, all-match columns: {}",
+        aln.len(),
+        aln.full_match_columns()
+    );
     println!("{}", aln.pretty());
 
     // The same optimum in O(n²) memory, for when the cube would not fit:

@@ -17,7 +17,10 @@ fn main() {
 
     let profile = planes::plane_profile(n, n, n);
     let cells: usize = profile.iter().sum();
-    println!("lattice {n}³: {cells} cells, {} planes (critical path)", profile.len());
+    println!(
+        "lattice {n}³: {cells} cells, {} planes (critical path)",
+        profile.len()
+    );
     println!(
         "largest plane: {} cells; mean parallelism (speedup cap): {:.0}",
         profile.iter().max().unwrap(),
@@ -49,7 +52,10 @@ fn main() {
         t_cell_ns: 10.0 * (tile * tile * tile) as f64,
         t_barrier_ns: 5_000.0,
     };
-    println!("\ntiled wavefront (tile {tile}): {} tile planes", tile_profile.len());
+    println!(
+        "\ntiled wavefront (tile {tile}): {} tile planes",
+        tile_profile.len()
+    );
     println!("{:>4} {:>12} {:>9}", "P", "time_ms", "speedup");
     for p in [1usize, 2, 4, 8, 16, 32, 64] {
         println!(
@@ -61,8 +67,20 @@ fn main() {
     }
 
     println!("\nmemory at n = {n}:");
-    println!("  full lattice:        {:>10.1} MiB", memory::full_lattice(n, n, n) as f64 / 1048576.0);
-    println!("  affine (7 states):   {:>10.1} MiB", memory::affine_lattice(n, n, n) as f64 / 1048576.0);
-    println!("  score-only slabs:    {:>10.3} MiB", memory::slab_score(n, n) as f64 / 1048576.0);
-    println!("  hirschberg peak:     {:>10.3} MiB", memory::hirschberg(n, n, n) as f64 / 1048576.0);
+    println!(
+        "  full lattice:        {:>10.1} MiB",
+        memory::full_lattice(n, n, n) as f64 / 1048576.0
+    );
+    println!(
+        "  affine (7 states):   {:>10.1} MiB",
+        memory::affine_lattice(n, n, n) as f64 / 1048576.0
+    );
+    println!(
+        "  score-only slabs:    {:>10.3} MiB",
+        memory::slab_score(n, n) as f64 / 1048576.0
+    );
+    println!(
+        "  hirschberg peak:     {:>10.3} MiB",
+        memory::hirschberg(n, n, n) as f64 / 1048576.0
+    );
 }

@@ -37,10 +37,7 @@ fn main() {
         aln.score, st.columns, st.full_match_columns, st.mean_identity
     );
 
-    print!(
-        "{}",
-        format::to_clustal(&aln, [a.id(), b.id(), c.id()], 60)
-    );
+    print!("{}", format::to_clustal(&aln, [a.id(), b.id(), c.id()], 60));
 
     // Round-trip through aligned FASTA.
     let text = format::to_aligned_fasta(&aln, [a.id(), b.id(), c.id()], 60);

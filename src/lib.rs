@@ -17,7 +17,9 @@
 //! * [`core`] (`tsa-core`) — the three-sequence aligners themselves;
 //! * [`msa`] (`tsa-msa`) — progressive k-sequence alignment on the same
 //!   substrate;
-//! * [`perfmodel`] (`tsa-perfmodel`) — the analytic speedup model.
+//! * [`perfmodel`] (`tsa-perfmodel`) — the analytic speedup model;
+//! * [`service`] (`tsa-service`) — the embeddable batch alignment service
+//!   (bounded queue, worker pool, result cache, NDJSON protocol).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use tsa_pairwise as pairwise;
 pub use tsa_perfmodel as perfmodel;
 pub use tsa_scoring as scoring;
 pub use tsa_seq as seq;
+pub use tsa_service as service;
 pub use tsa_wavefront as wavefront;
 
 /// The most commonly used items, importable with one `use`.
@@ -50,4 +53,5 @@ pub mod prelude {
     pub use tsa_msa::{Msa, MsaBuilder};
     pub use tsa_scoring::{GapModel, Scoring};
     pub use tsa_seq::{family::FamilyConfig, fasta, Alphabet, Seq};
+    pub use tsa_service::{AlignRequest, Engine, JobOutcome, ServiceConfig};
 }

@@ -11,7 +11,10 @@ fn exact_algorithms() -> Vec<Algorithm> {
         Algorithm::Wavefront,
         Algorithm::Blocked { tile: 4 },
         Algorithm::Blocked { tile: 16 },
-        Algorithm::BlockedDataflow { tile: 8, threads: 2 },
+        Algorithm::BlockedDataflow {
+            tile: 8,
+            threads: 2,
+        },
         Algorithm::Hirschberg,
         Algorithm::ParallelHirschberg,
     ]
@@ -69,7 +72,10 @@ fn full_lattice_family_produces_identical_tracebacks() {
         for alg in [
             Algorithm::Wavefront,
             Algorithm::Blocked { tile: 8 },
-            Algorithm::BlockedDataflow { tile: 8, threads: 3 },
+            Algorithm::BlockedDataflow {
+                tile: 8,
+                threads: 3,
+            },
         ] {
             let aln = Aligner::new().algorithm(alg).align3(&a, &b, &c).unwrap();
             assert_eq!(aln.columns, reference.columns, "{alg:?}");
@@ -83,7 +89,12 @@ fn bounds_bracket_every_workload() {
     for (a, b, c) in workloads() {
         let br = bounds::bounds(&a, &b, &c, &scoring);
         let exact = Aligner::new().score3(&a, &b, &c).unwrap();
-        assert!(br.contains(exact), "exact {exact} outside [{}, {}]", br.lower, br.upper);
+        assert!(
+            br.contains(exact),
+            "exact {exact} outside [{}, {}]",
+            br.lower,
+            br.upper
+        );
     }
 }
 

@@ -8,14 +8,19 @@
 //! the curated workloads.
 
 use proptest::prelude::*;
-use three_seq_align::core::{affine, bounds, center_star, full, hirschberg3, score_only, wavefront};
+use three_seq_align::core::{
+    affine, bounds, center_star, full, hirschberg3, score_only, wavefront,
+};
 use three_seq_align::pairwise::{banded, gotoh, hirschberg as hirschberg2, nw, wavefront_par};
 use three_seq_align::prelude::*;
 use three_seq_align::scoring::GapModel;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Seq> {
-    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
-        .prop_map(|v| Seq::dna(v).expect("generated DNA is valid"))
+    prop::collection::vec(
+        prop::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..=max_len,
+    )
+    .prop_map(|v| Seq::dna(v).expect("generated DNA is valid"))
 }
 
 fn scoring() -> Scoring {

@@ -1,0 +1,466 @@
+//! Multi-producer multi-consumer channels.
+//!
+//! Semantics mirror `crossbeam-channel`:
+//! * both [`Sender`] and [`Receiver`] are `Clone`;
+//! * a channel disconnects when *all* senders or *all* receivers drop;
+//! * receivers drain buffered messages even after disconnection, then
+//!   observe [`RecvError`];
+//! * `send` on a full bounded channel blocks; `try_send` reports
+//!   [`TrySendError::Full`] instead.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error on [`Sender::send`]: every receiver is gone. Returns the
+/// unsendable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error on [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Error on [`Receiver::recv`]: the channel is empty and every sender is
+/// gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error on [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now.
+    Empty,
+    /// Nothing buffered and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error on [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with nothing buffered.
+    Timeout,
+    /// Nothing buffered and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signaled when a message arrives or the last sender drops.
+    not_empty: Condvar,
+    /// Signaled when space frees up or the last receiver drops.
+    not_full: Condvar,
+    /// `None` = unbounded.
+    cap: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half; clone freely.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clone freely (messages go to whichever clone
+/// receives first).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+/// A bounded FIFO channel; `send` blocks when `cap` messages are queued.
+///
+/// # Panics
+/// Panics on `cap == 0`: the real crate's rendezvous channels are not
+/// implemented in this stand-in, and nothing in the workspace uses them.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity (rendezvous) channels unsupported");
+    with_cap(Some(cap))
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while a bounded channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.shared.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .shared
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send without blocking; a full bounded channel reports
+    /// [`TrySendError::Full`].
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.shared.lock();
+            st.senders -= 1;
+            st.senders == 0
+        };
+        if last {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking until a message or disconnection.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        if let Some(msg) = st.queue.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain whatever is buffered right now into an iterator, without
+    /// blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.shared.lock();
+            st.receivers -= 1;
+            st.receivers == 0
+        };
+        if last {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = unbounded::<i32>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = unbounded::<usize>();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..250 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<usize> = (0..4)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

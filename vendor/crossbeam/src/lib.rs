@@ -1,0 +1,9 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate: the `channel` module's MPMC channels in the subset this
+//! workspace uses (`unbounded`, `bounded`, clone-able senders *and*
+//! receivers, blocking/timeout/non-blocking receive, non-blocking send,
+//! disconnect-on-drop semantics). Built on `Mutex` + `Condvar` rather
+//! than lock-free queues — slower than real crossbeam under heavy
+//! contention, identical in semantics.
+
+pub mod channel;

@@ -1,0 +1,205 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, strategies for integer/float
+//! ranges, tuples, fixed-size arrays, `Just`, `any`, regex-subset string
+//! literals, `prop::collection::vec`, `prop::sample::select`, the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_oneof!` macros, and
+//! [`ProptestConfig`].
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the generated inputs' case number but is not minimized), and the
+//! value streams differ. Cases are deterministic per (test name, case
+//! index), so failures reproduce run-to-run.
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng};
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; these DP-heavy properties run
+        // unoptimized under `cargo test`, so keep the default moderate.
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::{select, Select};
+    }
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic per-test seed: FNV-1a over the test path string.
+#[doc(hidden)]
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_holds(x in 0usize..10, v in prop::collection::vec(any::<u8>(), 0..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        $crate::TestRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+                    $(
+                        let $arg = $crate::Strategy::gen_value(&($strat), &mut __proptest_rng);
+                    )+
+                    // Name the case in panics so a failure is reproducible
+                    // (same name + case index regenerates the inputs).
+                    let run = move || $body;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; panics (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted union of strategies producing the same value type.
+///
+/// `prop_oneof![3 => a(), 1 => b()]` or `prop_oneof![a(), b()]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_differ_by_name_and_are_stable() {
+        assert_ne!(crate::seed_for("a::x"), crate::seed_for("a::y"));
+        assert_eq!(crate::seed_for("a::x"), crate::seed_for("a::x"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5usize..10, y in -3i32..=3, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            v in prop::collection::vec(prop::sample::select(vec![1u8, 2, 3]), 2..=6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() <= 6);
+            prop_assert!(v.iter().all(|x| [1, 2, 3].contains(x)));
+        }
+
+        #[test]
+        fn oneof_map_just_and_regex(
+            e in prop_oneof![3 => (1u8..5).prop_map(Some), 1 => Just(None)],
+            s in "[ab]{2,4}",
+            raw in any::<u8>(),
+        ) {
+            if let Some(x) = e {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.bytes().all(|b| b == b'a' || b == b'b'));
+            let _ = raw;
+        }
+
+        #[test]
+        fn tuples_and_arrays(
+            pair in (0u8..4, "x{1,2}"),
+            trio in [0u8..2, 0u8..2, 0u8..2],
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!pair.1.is_empty());
+            prop_assert!(trio.iter().all(|&b| b < 2));
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Value-generation strategies (no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator (SplitMix64) driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is negligible for test-case generation.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Weighted union built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    /// Panics if empty or all weights are zero.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total);
+        for (w, s) in &self.options {
+            if roll < *w as u64 {
+                return s.gen_value(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("roll bounded by total weight");
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Dividing by (2^53 - 1) makes the top value reachable.
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn gen_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].gen_value(rng))
+    }
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Length bounds for [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with a random length in the size range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec(element, sizes)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Strategy that picks one of the given values uniformly.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+/// `prop::sample::select(choices)`.
+///
+/// # Panics
+/// Panics if `choices` is empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select from an empty set");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+}
+
+/// String literals are regex-subset strategies: literal characters,
+/// character classes (`[a-z0-9_.:-]`), and quantifiers `{n}`, `{m,n}`,
+/// `?`, `*`, `+` (the latter two capped at 8 repetitions). Groups and
+/// alternation are not supported — extend this when a test needs them.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_pattern(pattern);
+    let mut out = String::new();
+    for (choices, lo, hi) in atoms {
+        let reps = lo + rng.below((hi - lo) as u64 + 1) as usize;
+        for _ in 0..reps {
+            out.push(choices[rng.below(choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Each atom: (allowed characters, min repetitions, max repetitions).
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let class = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                vec![c]
+            }
+            '(' | ')' | '|' => panic!(
+                "pattern {pattern:?}: groups/alternation unsupported by the vendored proptest stand-in"
+            ),
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "bad quantifier in pattern {pattern:?}");
+        atoms.push((choices, lo, hi));
+    }
+    atoms
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty character class in {pattern:?}");
+    assert!(
+        body[0] != '^',
+        "negated classes unsupported by the vendored proptest stand-in ({pattern:?})"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` range, unless '-' is first/last (then it is a literal).
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else if body[i] == '\\' && i + 1 < body.len() {
+            out.push(body[i + 1]);
+            i += 2;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn regex_class_with_trailing_dash_and_colon() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z0-9_.:-]{1,12}".gen_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.:-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_quantifiers() {
+        let mut r = rng();
+        assert_eq!("abc".gen_value(&mut r), "abc");
+        assert_eq!("a{3}".gen_value(&mut r), "aaa");
+        for _ in 0..50 {
+            let s = "x?y+".gen_value(&mut r);
+            assert!(s.ends_with('y'));
+            assert!(s.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let u = Union::new(vec![(0u32, Just(1u8).boxed()), (5, Just(2u8).boxed())]);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(u.gen_value(&mut r), 2);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_within_bounds() {
+        let s = vec(0u8..10, 2..5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.gen_value(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn boxed_and_map_compose() {
+        let s = (0u8..3).prop_map(|x| x * 10).boxed();
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!([0, 10, 20].contains(&s.gen_value(&mut r)));
+        }
+    }
+}

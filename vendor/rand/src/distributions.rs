@@ -1,0 +1,166 @@
+//! Distributions: the `Standard` distribution and `WeightedIndex`.
+
+use crate::{Rng, RngCore};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over the domain for
+/// integers, `[0, 1)` for floats, fair for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were provided.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights are zero.
+    AllWeightsZero,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "weight is negative or not finite"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a weight per index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    /// Cumulative weights; `cumulative.last() == total`.
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from any iterator of `f64`-borrowable weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        // Uniform in [0, total); strictly below, so a trailing
+        // zero-weight item is never selected.
+        let x = rng.gen::<f64>() * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            // Landing exactly on a cumulative boundary belongs to the
+            // *next* index (half-open intervals).
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()),
+            Err(WeightedError::NoItem)
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -0.5]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([f64::NAN]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+
+    #[test]
+    fn zero_weight_items_never_sampled() {
+        let d = WeightedIndex::new([0.0, 1.0, 0.0, 1.0]).unwrap();
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let i = d.sample(&mut r);
+            assert!(i == 1 || i == 3, "sampled zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn proportions_are_respected() {
+        let d = WeightedIndex::new([1.0, 3.0]).unwrap();
+        let mut r = StdRng::seed_from_u64(2);
+        let ones = (0..100_000).filter(|_| d.sample(&mut r) == 1).count();
+        assert!((73_000..77_000).contains(&ones), "{ones}");
+    }
+}

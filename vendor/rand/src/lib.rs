@@ -1,0 +1,230 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the *API subset it actually uses* — `StdRng`,
+//! `SeedableRng::seed_from_u64`, the `Rng` convenience methods
+//! (`gen`, `gen_range`, `gen_bool`), and
+//! `distributions::{Distribution, WeightedIndex}` — implemented on a
+//! xoshiro256++ generator seeded through SplitMix64.
+//!
+//! It is **not** stream-compatible with upstream `rand`: sequences drawn
+//! from a given seed differ from the real crate's. Everything in this
+//! workspace only relies on *determinism given a seed* and reasonable
+//! statistical quality, both of which hold.
+
+pub mod distributions;
+pub mod rngs;
+
+/// Low-level generator interface: a source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (expanded internally via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, integers uniform over the full domain,
+    /// `bool` fair).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample one value uniformly from itself.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, bound)` by Lemire's multiply-shift with rejection
+/// to avoid modulo bias.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let lo = m as u64;
+        // `u64::MAX % bound + 1` may overflow only when bound is a power
+        // of two dividing 2^64, where every low word is acceptable.
+        let threshold = bound.wrapping_neg() % bound;
+        if lo >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_u64_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_u64_below(rng, span as u64);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 11];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

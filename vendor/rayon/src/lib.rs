@@ -1,0 +1,278 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate.
+//!
+//! Implements, with *real* thread parallelism over `std::thread::scope`,
+//! exactly the API subset this workspace uses:
+//!
+//! * `slice.par_iter().with_min_len(n).for_each(f)`;
+//! * `range.into_par_iter().for_each(f)` / `.sum()`;
+//! * [`join`] for fork-join recursion (with a spawn-depth budget so deep
+//!   recursion degrades to sequential instead of exploding the thread
+//!   count);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a pool here is a
+//!   *concurrency limit* scoped to the `install` call, not a set of
+//!   pre-spawned workers;
+//! * [`current_num_threads`].
+//!
+//! Work executes on freshly scoped threads per parallel call rather than
+//! a work-stealing pool; for the plane/tile-sized chunks this workspace
+//! dispatches, spawn cost is dwarfed by kernel cost. Panics from worker
+//! closures propagate to the caller like real rayon.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+mod par_iter;
+
+pub use par_iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParRange};
+
+/// Everything needed for `.par_iter()` / `.into_par_iter()` call sites.
+pub mod prelude {
+    pub use crate::par_iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Worker threads parallel calls on this thread currently target:
+/// the innermost `ThreadPool::install` scope, else the
+/// `build_global` setting, else the hardware parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => hardware_threads(),
+        n => n,
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Never actually produced by
+/// this stand-in; exists so `build().unwrap()` call sites compile.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Target worker count (0 = hardware parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build a scoped concurrency limit.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                hardware_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+
+    /// Set the process-global default worker count.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A concurrency limit applied to parallel calls made under
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the limit for nested
+    /// parallel calls on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        // Restore on unwind too, so a panicking closure does not leak the
+        // override into unrelated code on this thread.
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Live threads spawned by [`join`] across the process; bounds fork-join
+/// recursion.
+static ACTIVE_JOIN_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Run both closures, potentially in parallel, returning both results.
+///
+/// `b` runs on a scoped thread when the process-wide spawn budget
+/// (4 × hardware threads) has headroom, otherwise inline — deep
+/// recursion degrades gracefully to sequential execution.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = hardware_threads() * 4;
+    let claimed = ACTIVE_JOIN_THREADS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            (n < budget).then_some(n + 1)
+        })
+        .is_ok();
+    if !claimed {
+        return (a(), b());
+    }
+    struct Release;
+    impl Drop for Release {
+        fn drop(&mut self) {
+            ACTIVE_JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let _release = Release;
+            b()
+        });
+        let ra = a();
+        // Scope propagates the panic if `b` panicked.
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// Execute `body(lo, hi)` over `0..len` split into chunks of at least
+/// `min_len`, using up to [`current_num_threads`] scoped threads. The
+/// `lo == 0` chunk runs on the calling thread.
+pub(crate) fn run_chunked(len: usize, min_len: usize, body: impl Fn(usize, usize) + Sync) {
+    if len == 0 {
+        return;
+    }
+    let threads = current_num_threads().max(1);
+    let chunk = len.div_ceil(threads).max(min_len).max(1);
+    let n_chunks = len.div_ceil(chunk);
+    if n_chunks <= 1 || threads == 1 {
+        body(0, len);
+        return;
+    }
+    let body = &body;
+    std::thread::scope(|s| {
+        for c in 1..n_chunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(len);
+            s.spawn(move || body(lo, hi));
+        }
+        body(0, chunk.min(len));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_iter_visits_every_item_once() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let seen = Mutex::new(HashSet::new());
+        items.par_iter().with_min_len(64).for_each(|&i| {
+            assert!(seen.lock().unwrap().insert(i), "duplicate visit {i}");
+        });
+        assert_eq!(seen.lock().unwrap().len(), items.len());
+    }
+
+    #[test]
+    fn range_for_each_and_sum() {
+        let total = Mutex::new(0u64);
+        (0..1000u64).into_par_iter().for_each(|i| {
+            *total.lock().unwrap() += i;
+        });
+        assert_eq!(*total.lock().unwrap(), 499_500);
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+        let s2: usize = (0..0usize).into_par_iter().sum();
+        assert_eq!(s2, 0);
+    }
+
+    #[test]
+    fn join_returns_both_and_runs_nested() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn install_restores_after_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = current_num_threads();
+        let _ = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items = [1, 2, 3];
+        let r = std::panic::catch_unwind(|| {
+            items
+                .par_iter()
+                .with_min_len(1)
+                .for_each(|_| panic!("kernel"));
+        });
+        assert!(r.is_err());
+    }
+}

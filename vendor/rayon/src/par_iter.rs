@@ -1,0 +1,206 @@
+//! Parallel iterators over slices and integer ranges.
+
+use crate::run_chunked;
+use std::ops::Range;
+
+/// `.par_iter()` on a borrowed collection (slices and `Vec` here).
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            slice: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// `.into_par_iter()` on an owned collection (integer ranges here).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+    /// Consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+    min_len: usize,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Lower bound on items per spawned task (limits task granularity).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Run `f` on every item, in parallel across chunks.
+    pub fn for_each(self, f: impl Fn(&'a T) + Sync) {
+        let slice = self.slice;
+        run_chunked(slice.len(), self.min_len, |lo, hi| {
+            for item in &slice[lo..hi] {
+                f(item);
+            }
+        });
+    }
+
+    /// Map every item and collect into a `Vec`, preserving order.
+    pub fn map<O: Send>(
+        self,
+        f: impl Fn(&'a T) -> O + Sync,
+    ) -> ParMap<'a, T, impl Fn(&'a T) -> O + Sync> {
+        ParMap {
+            slice: self.slice,
+            min_len: self.min_len,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`]; terminate with [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    min_len: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> ParMap<'a, T, F> {
+    /// Evaluate in parallel, preserving input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let slice = self.slice;
+        let f = &self.f;
+        let mut out: Vec<Option<O>> = Vec::with_capacity(slice.len());
+        out.resize_with(slice.len(), || None);
+        {
+            let cells = as_send_cells(&mut out);
+            run_chunked(slice.len(), self.min_len, |lo, hi| {
+                for i in lo..hi {
+                    // SAFETY: each index is written by exactly one chunk.
+                    unsafe { (*cells[i].get()) = Some(f(&slice[i])) };
+                }
+            });
+        }
+        out.into_iter()
+            .map(|o| o.expect("all chunks ran"))
+            .collect()
+    }
+}
+
+/// View a `&mut [T]` as shareable cells for disjoint parallel writes.
+fn as_send_cells<T>(v: &mut [Option<T>]) -> &[SyncCell<Option<T>>] {
+    // SAFETY: SyncCell is repr(transparent) over UnsafeCell<Option<T>>,
+    // and callers write disjoint indices only.
+    unsafe { &*(v as *mut [Option<T>] as *const [SyncCell<Option<T>>]) }
+}
+
+#[repr(transparent)]
+struct SyncCell<T>(std::cell::UnsafeCell<T>);
+
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    fn get(&self) -> *mut T {
+        self.0.get()
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    range: Range<T>,
+    min_len: usize,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self, min_len: 1 }
+            }
+        }
+
+        impl ParRange<$t> {
+            /// Lower bound on items per spawned task.
+            pub fn with_min_len(mut self, min_len: usize) -> Self {
+                self.min_len = min_len.max(1);
+                self
+            }
+
+            /// Run `f` on every index, in parallel across chunks.
+            pub fn for_each(self, f: impl Fn($t) + Sync) {
+                let start = self.range.start;
+                let len = (self.range.end.saturating_sub(start)) as usize;
+                run_chunked(len, self.min_len, |lo, hi| {
+                    for i in lo..hi {
+                        f(start + i as $t);
+                    }
+                });
+            }
+
+            /// Sum every index, in parallel across chunks.
+            pub fn sum<S>(self) -> S
+            where
+                S: Send + std::iter::Sum<$t> + std::iter::Sum<S>,
+            {
+                let start = self.range.start;
+                let len = (self.range.end.saturating_sub(start)) as usize;
+                let partials = std::sync::Mutex::new(Vec::<S>::new());
+                run_chunked(len, self.min_len, |lo, hi| {
+                    let s: S = (lo..hi).map(|i| start + i as $t).sum();
+                    partials.lock().unwrap().push(s);
+                });
+                partials.into_inner().unwrap().into_iter().sum()
+            }
+        }
+    )*};
+}
+
+impl_par_range!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..5000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().with_min_len(16).map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..5000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let v: Vec<u8> = Vec::new();
+        v.par_iter().for_each(|_| panic!("no items"));
+        (0..0u32).into_par_iter().for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn range_offsets_apply() {
+        let hits = std::sync::Mutex::new(Vec::new());
+        (10..20usize)
+            .into_par_iter()
+            .for_each(|i| hits.lock().unwrap().push(i));
+        let mut got = hits.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline placeholder for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The build environment cannot reach a cargo registry, so the
+//! `serde` entry in `[workspace.dependencies]` resolves here. The derive
+//! macros cannot be stubbed without a proc-macro toolchain dependency, so
+//! the workspace's wire protocol (`tsa-service::json`) is hand-rolled
+//! NDJSON instead; nothing currently uses these traits. They exist so
+//! future code (and the workspace manifest) keep a stable name to hang
+//! real serde support on when a registry is reachable.
+
+/// Marker for types that can be serialized (no-op placeholder).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op placeholder).
+pub trait Deserialize<'de> {}
