@@ -67,6 +67,7 @@ fn bench_service(c: &mut Criterion) {
                 queue_capacity: BATCH,
                 cache_capacity: 0,
                 default_deadline: None,
+                ..ServiceConfig::default()
             }));
             let outcomes = run_all(&engine, requests(&problems));
             assert_eq!(outcomes.len(), BATCH);
@@ -80,6 +81,7 @@ fn bench_service(c: &mut Criterion) {
             queue_capacity: BATCH,
             cache_capacity: 256,
             default_deadline: None,
+            ..ServiceConfig::default()
         }));
         // Warm every distinct problem once.
         run_all(&engine, requests(&problems));

@@ -50,6 +50,9 @@ SERVICE OPTIONS (tsa serve / tsa batch):
     --queue <n>          bounded queue capacity (backpressure beyond it)    [64]
     --cache <n>          result-cache entries, 0 disables                   [1024]
     --deadline-ms <ms>   default per-job deadline (absent = none)
+    --memory-budget <b>  cap on estimated kernel bytes, per job and summed
+                         over in-flight jobs; K/M/G suffixes accepted
+    --max-cells <n>      per-job cap on estimated DP cell updates
     serve --listen       serve NDJSON over TCP instead of stdin/stdout
     batch --file         NDJSON file of submit requests (`op` optional)
     batch --repeat <n>   run the batch n times (cache warm after first)    [1]
@@ -194,6 +197,10 @@ pub struct ServiceOpts {
     pub cache: usize,
     /// Default per-job deadline in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Cap on estimated kernel bytes (per job and globally in flight).
+    pub memory_budget: Option<u64>,
+    /// Per-job cap on estimated DP cell updates.
+    pub max_cells: Option<u64>,
 }
 
 impl Default for ServiceOpts {
@@ -203,6 +210,8 @@ impl Default for ServiceOpts {
             queue: 64,
             cache: 1024,
             deadline_ms: None,
+            memory_budget: None,
+            max_cells: None,
         }
     }
 }
@@ -224,6 +233,10 @@ impl ServiceOpts {
             }
             "--cache" => self.cache = parse_num(flag, take_value(flag, it)?)?,
             "--deadline-ms" => self.deadline_ms = Some(parse_num(flag, take_value(flag, it)?)?),
+            "--memory-budget" => {
+                self.memory_budget = Some(parse_bytes(flag, take_value(flag, it)?)?);
+            }
+            "--max-cells" => self.max_cells = Some(parse_num(flag, take_value(flag, it)?)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -281,6 +294,20 @@ fn take_value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&
 fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
     raw.parse::<T>()
         .map_err(|_| format!("{flag}: cannot parse `{raw}`"))
+}
+
+/// Parse a byte count with an optional K/M/G (binary) suffix, e.g.
+/// `512M`, `4G`, `65536`.
+fn parse_bytes(flag: &str, raw: &str) -> Result<u64, String> {
+    let (digits, shift) = match raw.as_bytes().last() {
+        Some(b'k' | b'K') => (&raw[..raw.len() - 1], 10),
+        Some(b'm' | b'M') => (&raw[..raw.len() - 1], 20),
+        Some(b'g' | b'G') => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let base: u64 = parse_num(flag, digits)?;
+    base.checked_mul(1u64 << shift)
+        .ok_or_else(|| format!("{flag}: `{raw}` overflows"))
 }
 
 fn parse_align(argv: &[String]) -> Result<AlignArgs, String> {
@@ -696,6 +723,36 @@ mod tests {
         assert_eq!(s.service.deadline_ms, Some(500));
         assert!(parse(&sv(&["serve", "--queue", "0"])).is_err());
         assert!(parse(&sv(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn governor_flags_parse_with_suffixes() {
+        let Command::Serve(s) = parse(&sv(&[
+            "serve",
+            "--memory-budget",
+            "512M",
+            "--max-cells",
+            "1000000",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.service.memory_budget, Some(512 << 20));
+        assert_eq!(s.service.max_cells, Some(1_000_000));
+
+        for (raw, want) in [("65536", 65536u64), ("4k", 4 << 10), ("2G", 2 << 30)] {
+            let Command::Batch(b) =
+                parse(&sv(&["batch", "--file", "x", "--memory-budget", raw])).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(b.service.memory_budget, Some(want));
+        }
+
+        assert!(parse(&sv(&["serve", "--memory-budget", "lots"])).is_err());
+        assert!(parse(&sv(&["serve", "--memory-budget", "99999999999G"])).is_err());
+        assert!(parse(&sv(&["serve", "--memory-budget"])).is_err());
+        assert!(parse(&sv(&["serve", "--max-cells", "-1"])).is_err());
     }
 
     #[test]

@@ -32,6 +32,8 @@ fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
         queue_capacity: opts.queue,
         cache_capacity: opts.cache,
         default_deadline: opts.deadline_ms.map(Duration::from_millis),
+        memory_budget: opts.memory_budget,
+        max_cells: opts.max_cells,
     }
 }
 

@@ -2,6 +2,7 @@
 //! configuration, align.
 
 use crate::alignment::Alignment3;
+use crate::cancel::{CancelProgress, CancelToken};
 use crate::{
     affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3,
     score_only, wavefront,
@@ -112,6 +113,9 @@ pub enum AlignError {
     },
     /// Tile edge or thread count of zero.
     BadParameter(&'static str),
+    /// A [`CancelToken`] fired mid-kernel (only the `*_cancellable` entry
+    /// points report this); carries the progress made before stopping.
+    Cancelled(CancelProgress),
 }
 
 impl fmt::Display for AlignError {
@@ -127,6 +131,11 @@ impl fmt::Display for AlignError {
                  use Hirschberg/ParallelHirschberg or raise max_lattice_bytes"
             ),
             AlignError::BadParameter(p) => write!(f, "invalid parameter: {p}"),
+            AlignError::Cancelled(p) => write!(
+                f,
+                "cancelled mid-kernel after {}/{} cell updates",
+                p.cells_done, p.cells_total
+            ),
         }
     }
 }
@@ -306,6 +315,81 @@ impl Aligner {
                 ))
             }
             Algorithm::AffineDp => Ok(affine::align(a, b, c, s)),
+        }
+    }
+
+    /// Like [`Aligner::align3`], but cooperatively cancellable: the full,
+    /// wavefront, and Hirschberg kernels poll `cancel` once per `i`-slab /
+    /// anti-diagonal plane and abort with [`AlignError::Cancelled`]
+    /// (carrying partial-progress stats) within one plane of it firing.
+    /// Algorithms without an instrumented kernel only check the token
+    /// before starting.
+    pub fn align3_cancellable(
+        &self,
+        a: &Seq,
+        b: &Seq,
+        c: &Seq,
+        cancel: &CancelToken,
+    ) -> Result<Alignment3, AlignError> {
+        let s = &self.scoring;
+        match self.resolve(a.len(), b.len(), c.len()) {
+            Algorithm::FullDp => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                full::align_cancellable(a, b, c, s, cancel).map_err(AlignError::Cancelled)
+            }
+            Algorithm::Wavefront => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                wavefront::align_cancellable(a, b, c, s, cancel).map_err(AlignError::Cancelled)
+            }
+            Algorithm::Hirschberg => {
+                self.check_linear()?;
+                hirschberg3::align_cancellable(a, b, c, s, cancel).map_err(AlignError::Cancelled)
+            }
+            Algorithm::ParallelHirschberg => {
+                self.check_linear()?;
+                hirschberg3::align_parallel_cancellable(a, b, c, s, cancel)
+                    .map_err(AlignError::Cancelled)
+            }
+            _ => {
+                if cancel.should_stop() {
+                    return Err(AlignError::Cancelled(CancelProgress::default()));
+                }
+                self.align3(a, b, c)
+            }
+        }
+    }
+
+    /// Like [`Aligner::score3`], but cooperatively cancellable (see
+    /// [`Aligner::align3_cancellable`] for the checkpoint granularity).
+    pub fn score3_cancellable(
+        &self,
+        a: &Seq,
+        b: &Seq,
+        c: &Seq,
+        cancel: &CancelToken,
+    ) -> Result<i32, AlignError> {
+        let s = &self.scoring;
+        match self.resolve(a.len(), b.len(), c.len()) {
+            Algorithm::FullDp | Algorithm::Hirschberg => {
+                self.check_linear()?;
+                score_only::score_slabs_cancellable(a, b, c, s, cancel)
+                    .map_err(AlignError::Cancelled)
+            }
+            Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
+                self.check_linear()?;
+                score_only::score_planes_parallel_cancellable(a, b, c, s, cancel)
+                    .map_err(AlignError::Cancelled)
+            }
+            Algorithm::AffineDp => {
+                if cancel.should_stop() {
+                    return Err(AlignError::Cancelled(CancelProgress::default()));
+                }
+                Ok(affine::align_score(a, b, c, s))
+            }
+            // The remaining variants have no cheaper score-only path.
+            _ => Ok(self.align3_cancellable(a, b, c, cancel)?.score),
         }
     }
 
@@ -521,6 +605,62 @@ mod tests {
             .unwrap();
         star.validate(&a, &b, &c).unwrap();
         assert!(star.score <= exact.score);
+    }
+
+    #[test]
+    fn cancellable_entry_points_match_plain_when_unfired() {
+        let (a, b, c) = family_triple(12, 16);
+        let token = CancelToken::never();
+        for alg in [
+            Algorithm::FullDp,
+            Algorithm::Wavefront,
+            Algorithm::Hirschberg,
+            Algorithm::ParallelHirschberg,
+            Algorithm::Blocked { tile: 4 },
+        ] {
+            let al = Aligner::new().algorithm(alg);
+            assert_eq!(
+                al.align3_cancellable(&a, &b, &c, &token).unwrap().score,
+                al.align3(&a, &b, &c).unwrap().score,
+                "{alg:?}"
+            );
+            assert_eq!(
+                al.score3_cancellable(&a, &b, &c, &token).unwrap(),
+                al.score3(&a, &b, &c).unwrap(),
+                "{alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fired_token_yields_cancelled_error_for_every_algorithm() {
+        let (a, b, c) = family_triple(13, 16);
+        let token = CancelToken::never();
+        token.cancel();
+        for alg in [
+            Algorithm::FullDp,
+            Algorithm::Wavefront,
+            Algorithm::Hirschberg,
+            Algorithm::ParallelHirschberg,
+            Algorithm::Blocked { tile: 4 },
+            Algorithm::AffineDp,
+        ] {
+            let al = Aligner::new().algorithm(alg);
+            assert!(
+                matches!(
+                    al.align3_cancellable(&a, &b, &c, &token),
+                    Err(AlignError::Cancelled(_))
+                ),
+                "{alg:?}"
+            );
+            assert!(
+                matches!(
+                    al.score3_cancellable(&a, &b, &c, &token),
+                    Err(AlignError::Cancelled(_))
+                ),
+                "{alg:?}"
+            );
+        }
     }
 
     #[test]

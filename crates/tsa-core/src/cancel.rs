@@ -1,10 +1,10 @@
 //! Cooperative cancellation: a shared flag plus an optional deadline.
 //!
 //! Cancellation is *cooperative*: nothing preempts a running kernel.
-//! Workers poll the token at the defined checkpoints — on dequeue (before
-//! any work) and after the kernel returns (before delivering the result).
-//! A deadline that fires mid-kernel therefore wastes at most one kernel
-//! run, and that run's result is still cached.
+//! Kernels that support in-flight cancellation poll the token at
+//! amortized-free checkpoints — once per `i`-slab or anti-diagonal plane,
+//! i.e. once per `O(n²)` cells — and stop within one plane of the request.
+//! A cancelled kernel reports how far it got as a [`CancelProgress`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,6 +32,12 @@ impl CancelToken {
                 deadline,
             }),
         }
+    }
+
+    /// A token that never stops on its own (only an explicit
+    /// [`CancelToken::cancel`] fires it).
+    pub fn never() -> Self {
+        CancelToken::new(None)
     }
 
     /// A token with a deadline `timeout` from now.
@@ -69,13 +75,35 @@ impl CancelToken {
     }
 }
 
+/// How far a cancelled kernel got before it stopped: DP cell-updates
+/// completed out of the total the run would have performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CancelProgress {
+    /// Cell updates completed before the checkpoint fired.
+    pub cells_done: u64,
+    /// Cell updates a full run would perform (an estimate for the
+    /// divide-and-conquer, whose total work is input-dependent).
+    pub cells_total: u64,
+}
+
+impl CancelProgress {
+    /// Completed fraction in `[0, 1]`; zero when the total is unknown.
+    pub fn fraction(&self) -> f64 {
+        if self.cells_total == 0 {
+            0.0
+        } else {
+            (self.cells_done as f64 / self.cells_total as f64).min(1.0)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn unset_token_never_stops() {
-        let t = CancelToken::new(None);
+        let t = CancelToken::never();
         assert!(!t.should_stop());
         assert!(t.remaining().is_none());
     }
@@ -103,5 +131,20 @@ mod tests {
         let t = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(!t.should_stop());
         assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn progress_fraction_is_clamped_and_total_safe() {
+        assert_eq!(CancelProgress::default().fraction(), 0.0);
+        let half = CancelProgress {
+            cells_done: 50,
+            cells_total: 100,
+        };
+        assert!((half.fraction() - 0.5).abs() < 1e-9);
+        let over = CancelProgress {
+            cells_done: 120,
+            cells_total: 100,
+        };
+        assert_eq!(over.fraction(), 1.0);
     }
 }

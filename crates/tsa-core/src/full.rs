@@ -11,12 +11,14 @@
 //! update.
 
 use crate::alignment::Alignment3;
+use crate::cancel::{CancelProgress, CancelToken};
 use crate::dp::{Kernel, NEG_INF};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 use tsa_wavefront::plane::Extents;
 
 /// A fully materialized 3D score lattice.
+#[derive(Debug)]
 pub struct Lattice {
     /// Scores in row-major order (`k` fastest); see [`Extents::index`].
     pub scores: Vec<i32>,
@@ -44,6 +46,31 @@ impl Lattice {
 
 /// Fill the full lattice sequentially.
 pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
+    match fill_impl(a, b, c, scoring, None) {
+        Ok(lat) => lat,
+        Err(_) => unreachable!("no token, no cancellation"),
+    }
+}
+
+/// Like [`fill`], but polls `cancel` once per `i`-slab (one check per
+/// `O(n²)` cells); a fired token aborts the sweep with the progress made.
+pub fn fill_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Lattice, CancelProgress> {
+    fill_impl(a, b, c, scoring, Some(cancel))
+}
+
+fn fill_impl(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: Option<&CancelToken>,
+) -> Result<Lattice, CancelProgress> {
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let e = Extents::new(n1, n2, n3);
@@ -53,6 +80,14 @@ pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
     let mut scores = vec![NEG_INF; e.cells()];
 
     for i in 0..=n1 {
+        if let Some(t) = cancel {
+            if t.should_stop() {
+                return Err(CancelProgress {
+                    cells_done: (i * w2 * w3) as u64,
+                    cells_total: e.cells() as u64,
+                });
+            }
+        }
         for j in 0..=n2 {
             let base = (i * w2 + j) * w3;
             if i == 0 || j == 0 {
@@ -87,7 +122,7 @@ pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
             }
         }
     }
-    Lattice { scores, extents: e }
+    Ok(Lattice { scores, extents: e })
 }
 
 /// Trace one canonical optimal path through a filled lattice.
@@ -121,6 +156,19 @@ pub fn traceback(lat: &Lattice, a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) ->
 pub fn align(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Alignment3 {
     let lat = fill(a, b, c, scoring);
     traceback(&lat, a, b, c, scoring)
+}
+
+/// Like [`align`], but the fill aborts within one `i`-slab of the token
+/// firing; the (cheap) traceback runs only on a completed lattice.
+pub fn align_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Alignment3, CancelProgress> {
+    let lat = fill_cancellable(a, b, c, scoring, cancel)?;
+    Ok(traceback(&lat, a, b, c, scoring))
 }
 
 /// Optimal score only (still materializes the lattice; see
@@ -330,6 +378,28 @@ mod tests {
             lat.memory_bytes(),
             (a.len() + 1) * (b.len() + 1) * (c.len() + 1) * 4
         );
+    }
+
+    #[test]
+    fn cancellable_fill_without_cancel_matches_plain() {
+        let (a, b, c) = random_triple(9, 12);
+        let token = CancelToken::never();
+        let al = align_cancellable(&a, &b, &c, &s(), &token).unwrap();
+        assert_eq!(al, align(&a, &b, &c, &s()));
+    }
+
+    #[test]
+    fn pre_cancelled_fill_stops_with_zero_progress() {
+        let (a, b, c) = random_triple(10, 12);
+        let token = CancelToken::never();
+        token.cancel();
+        let p = fill_cancellable(&a, &b, &c, &s(), &token).unwrap_err();
+        assert_eq!(p.cells_done, 0);
+        assert_eq!(
+            p.cells_total,
+            ((a.len() + 1) * (b.len() + 1) * (c.len() + 1)) as u64
+        );
+        assert_eq!(p.fraction(), 0.0);
     }
 
     #[test]

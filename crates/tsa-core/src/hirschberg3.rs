@@ -14,11 +14,15 @@
 //! `rayon::join`, so parallelism is available at every level.
 
 use crate::alignment::{Alignment3, Column3};
+use crate::cancel::{CancelProgress, CancelToken};
 use crate::dp::NEG_INF;
 use crate::full;
 use crate::score_only::{
-    backward_face, backward_face_parallel, forward_face, forward_face_parallel,
+    backward_face, backward_face_cancellable, backward_face_parallel,
+    backward_face_parallel_cancellable, forward_face, forward_face_cancellable,
+    forward_face_parallel, forward_face_parallel_cancellable, Face,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 
@@ -59,6 +63,179 @@ pub fn align_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Alignment
 /// caller asked for this algorithm anyway.
 pub fn align_score(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
     align(a, b, c, scoring).score
+}
+
+/// Cancellable sequential divide and conquer: the token is polled at
+/// every recursion node and once per `i`-slab inside each face sweep.
+pub fn align_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Alignment3, CancelProgress> {
+    run_cancellable(a, b, c, scoring, false, cancel)
+}
+
+/// Cancellable parallel divide and conquer (parallel faces + parallel
+/// recursion); the token is polled per anti-diagonal plane of each face.
+pub fn align_parallel_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Alignment3, CancelProgress> {
+    run_cancellable(a, b, c, scoring, true, cancel)
+}
+
+fn cube(a: &Seq, b: &Seq, c: &Seq) -> u64 {
+    ((a.len() + 1) * (b.len() + 1) * (c.len() + 1)) as u64
+}
+
+fn run_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    parallel: bool,
+    cancel: &CancelToken,
+) -> Result<Alignment3, CancelProgress> {
+    let done = AtomicU64::new(0);
+    let mut columns = Vec::with_capacity(a.len() + b.len() + c.len());
+    let outcome = if parallel {
+        solve_parallel_cancellable(a, b, c, scoring, cancel, &done, &mut columns)
+    } else {
+        solve_cancellable(a, b, c, scoring, cancel, &done, &mut columns)
+    };
+    match outcome {
+        Ok(()) => Ok(finish(columns, scoring)),
+        // Total work is input-dependent; ~2× the cube is the worst case
+        // (the halved sub-problems sum geometrically).
+        Err(()) => Err(CancelProgress {
+            cells_done: done.load(Ordering::Relaxed),
+            cells_total: 2 * cube(a, b, c),
+        }),
+    }
+}
+
+fn solve_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    done: &AtomicU64,
+    out: &mut Vec<Column3>,
+) -> Result<(), ()> {
+    if cancel.should_stop() {
+        return Err(());
+    }
+    if a.len() <= BASE_CASE_LEN {
+        out.extend(full::align(a, b, c, scoring).columns);
+        done.fetch_add(cube(a, b, c), Ordering::Relaxed);
+        return Ok(());
+    }
+    let mid = a.len() / 2;
+    let a_lo = a.slice(0, mid);
+    let a_hi = a.slice(mid, a.len());
+    let f = match forward_face_cancellable(&a_lo, b, c, scoring, cancel) {
+        Ok(f) => {
+            done.fetch_add(cube(&a_lo, b, c), Ordering::Relaxed);
+            f
+        }
+        Err(p) => {
+            done.fetch_add(p.cells_done, Ordering::Relaxed);
+            return Err(());
+        }
+    };
+    let r = match backward_face_cancellable(&a_hi, b, c, scoring, cancel) {
+        Ok(r) => {
+            done.fetch_add(cube(&a_hi, b, c), Ordering::Relaxed);
+            r
+        }
+        Err(p) => {
+            done.fetch_add(p.cells_done, Ordering::Relaxed);
+            return Err(());
+        }
+    };
+    let w3 = c.len() + 1;
+    let split = best_split(&f, &r);
+    let (sj, sk) = (split / w3, split % w3);
+    solve_cancellable(
+        &a_lo,
+        &b.slice(0, sj),
+        &c.slice(0, sk),
+        scoring,
+        cancel,
+        done,
+        out,
+    )?;
+    solve_cancellable(
+        &a_hi,
+        &b.slice(sj, b.len()),
+        &c.slice(sk, c.len()),
+        scoring,
+        cancel,
+        done,
+        out,
+    )
+}
+
+fn solve_parallel_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    done: &AtomicU64,
+    out: &mut Vec<Column3>,
+) -> Result<(), ()> {
+    if cancel.should_stop() {
+        return Err(());
+    }
+    if a.len() <= BASE_CASE_LEN {
+        out.extend(full::align(a, b, c, scoring).columns);
+        done.fetch_add(cube(a, b, c), Ordering::Relaxed);
+        return Ok(());
+    }
+    let mid = a.len() / 2;
+    let a_lo = a.slice(0, mid);
+    let a_hi = a.slice(mid, a.len());
+    let (fr, rr) = rayon::join(
+        || forward_face_parallel_cancellable(&a_lo, b, c, scoring, cancel),
+        || backward_face_parallel_cancellable(&a_hi, b, c, scoring, cancel),
+    );
+    // Account both halves before bailing: the sibling may have finished.
+    let credit = |res: Result<Face, CancelProgress>, full_cells: u64| match res {
+        Ok(face) => {
+            done.fetch_add(full_cells, Ordering::Relaxed);
+            Some(face)
+        }
+        Err(p) => {
+            done.fetch_add(p.cells_done, Ordering::Relaxed);
+            None
+        }
+    };
+    let f = credit(fr, cube(&a_lo, b, c));
+    let r = credit(rr, cube(&a_hi, b, c));
+    let (Some(f), Some(r)) = (f, r) else {
+        return Err(());
+    };
+    let w3 = c.len() + 1;
+    let split = best_split(&f, &r);
+    let (sj, sk) = (split / w3, split % w3);
+    let (b_lo, b_hi) = (b.slice(0, sj), b.slice(sj, b.len()));
+    let (c_lo, c_hi) = (c.slice(0, sk), c.slice(sk, c.len()));
+    let mut right: Vec<Column3> = Vec::new();
+    let (left_ok, right_ok) = rayon::join(
+        || solve_parallel_cancellable(&a_lo, &b_lo, &c_lo, scoring, cancel, done, out),
+        || solve_parallel_cancellable(&a_hi, &b_hi, &c_hi, scoring, cancel, done, &mut right),
+    );
+    left_ok?;
+    right_ok?;
+    out.extend(right);
+    Ok(())
 }
 
 fn finish(columns: Vec<Column3>, scoring: &Scoring) -> Alignment3 {
@@ -237,6 +414,29 @@ mod tests {
         let dc = align(&a, &b, &c, &sc);
         assert_eq!(dc.score, full::align_score(&a, &b, &c, &sc));
         dc.validate_scored(&a, &b, &c, &sc).unwrap();
+    }
+
+    #[test]
+    fn cancellable_dc_without_cancel_matches_plain() {
+        let (a, b, c) = family_triple(17, 20);
+        let token = CancelToken::never();
+        let dc = align_cancellable(&a, &b, &c, &s(), &token).unwrap();
+        assert_eq!(dc.score, full::align_score(&a, &b, &c, &s()));
+        dc.validate_scored(&a, &b, &c, &s()).unwrap();
+        let pdc = align_parallel_cancellable(&a, &b, &c, &s(), &token).unwrap();
+        assert_eq!(pdc.score, dc.score);
+    }
+
+    #[test]
+    fn pre_cancelled_dc_stops_with_progress() {
+        let (a, b, c) = family_triple(18, 20);
+        let token = CancelToken::never();
+        token.cancel();
+        for parallel in [false, true] {
+            let p = run_cancellable(&a, &b, &c, &s(), parallel, &token).unwrap_err();
+            assert_eq!(p.cells_done, 0, "parallel={parallel}");
+            assert!(p.cells_total > 0);
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod anchored;
 pub mod banded3;
 pub mod blocked;
 pub mod bounds;
+pub mod cancel;
 pub mod carrillo_lipman;
 pub mod center_star;
 pub mod dp;
@@ -51,8 +52,9 @@ pub mod score_only;
 pub mod stats;
 pub mod wavefront;
 
-pub use aligner::{Algorithm, Aligner};
+pub use aligner::{Algorithm, AlignError, Aligner};
 pub use alignment::{Alignment3, Column3, ValidationError};
+pub use cancel::{CancelProgress, CancelToken};
 pub use dp::NEG_INF;
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! Both give `O(n²)` memory instead of `O(n³)`, the headline of the memory
 //! experiment (`table3`).
 
+use crate::cancel::{CancelProgress, CancelToken};
 use crate::dp::{Kernel, NEG_INF};
 use rayon::prelude::*;
 use tsa_scoring::Scoring;
@@ -32,9 +33,46 @@ pub fn score_slabs(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
         .expect("face non-empty")
 }
 
+/// Like [`score_slabs`], but polls `cancel` once per `i`-slab.
+pub fn score_slabs_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<i32, CancelProgress> {
+    let face = forward_face_cancellable(a, b, c, scoring, cancel)?;
+    Ok(*face.last().expect("face non-empty"))
+}
+
 /// The forward face `D[|a|][j][k]` for all `(j, k)`: the optimal score of
 /// aligning **all of `a`** against the prefixes `b[..j]`, `c[..k]`.
 pub fn forward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
+    match forward_face_impl(a, b, c, scoring, None) {
+        Ok(face) => face,
+        Err(_) => unreachable!("no token, no cancellation"),
+    }
+}
+
+/// Like [`forward_face`], but polls `cancel` once per `i`-slab and aborts
+/// with the progress made when it fires.
+pub fn forward_face_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Face, CancelProgress> {
+    forward_face_impl(a, b, c, scoring, Some(cancel))
+}
+
+fn forward_face_impl(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: Option<&CancelToken>,
+) -> Result<Face, CancelProgress> {
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let (ra, rb, rc) = (a.residues(), b.residues(), c.residues());
@@ -44,6 +82,14 @@ pub fn forward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
     let mut prev: Vec<i32> = vec![NEG_INF; slab_len];
     let mut cur: Vec<i32> = vec![NEG_INF; slab_len];
     for i in 0..=n1 {
+        if let Some(t) = cancel {
+            if t.should_stop() {
+                return Err(CancelProgress {
+                    cells_done: (i * slab_len) as u64,
+                    cells_total: ((n1 + 1) * slab_len) as u64,
+                });
+            }
+        }
         for j in 0..=n2 {
             if i == 0 || j == 0 {
                 // Faces: generic bounds-checked kernel.
@@ -88,7 +134,7 @@ pub fn forward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
             std::mem::swap(&mut prev, &mut cur);
         }
     }
-    cur
+    Ok(cur)
 }
 
 /// The backward face: `out[j * (n3+1) + k]` is the optimal score of
@@ -97,6 +143,20 @@ pub fn backward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
     let (ar, br, cr) = (a.reversed(), b.reversed(), c.reversed());
     let rev = forward_face(&ar, &br, &cr, scoring);
     reindex_backward(rev, b.len(), c.len())
+}
+
+/// Like [`backward_face`], but cancellable (see
+/// [`forward_face_cancellable`]).
+pub fn backward_face_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Face, CancelProgress> {
+    let (ar, br, cr) = (a.reversed(), b.reversed(), c.reversed());
+    let rev = forward_face_cancellable(&ar, &br, &cr, scoring, cancel)?;
+    Ok(reindex_backward(rev, b.len(), c.len()))
 }
 
 /// Convert a face computed on reversed sequences into suffix indexing.
@@ -114,15 +174,44 @@ fn reindex_backward(rev: Face, n2: usize, n3: usize) -> Face {
 /// Plane-rolling parallel score: cells of each anti-diagonal plane in
 /// parallel, four rotating `(n1+1)(n2+1)` buffers.
 pub fn score_planes_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
-    let (score, _face) = planes_pass(a, b, c, scoring, false);
-    score
+    match planes_pass(a, b, c, scoring, false, None) {
+        Ok((score, _face)) => score,
+        Err(_) => unreachable!("no token, no cancellation"),
+    }
+}
+
+/// Like [`score_planes_parallel`], but polls `cancel` once per
+/// anti-diagonal plane.
+pub fn score_planes_parallel_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<i32, CancelProgress> {
+    let (score, _face) = planes_pass(a, b, c, scoring, false, Some(cancel))?;
+    Ok(score)
 }
 
 /// Parallel forward face (same values as [`forward_face`], computed with
 /// plane-parallel sweeps — used by the parallel divide-and-conquer).
 pub fn forward_face_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
-    let (_score, face) = planes_pass(a, b, c, scoring, true);
-    face.expect("face requested")
+    match planes_pass(a, b, c, scoring, true, None) {
+        Ok((_score, face)) => face.expect("face requested"),
+        Err(_) => unreachable!("no token, no cancellation"),
+    }
+}
+
+/// Cancellable parallel forward face (checked per anti-diagonal plane).
+pub fn forward_face_parallel_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Face, CancelProgress> {
+    let (_score, face) = planes_pass(a, b, c, scoring, true, Some(cancel))?;
+    Ok(face.expect("face requested"))
 }
 
 /// Parallel backward face (suffix indexing, like [`backward_face`]).
@@ -130,6 +219,19 @@ pub fn backward_face_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> F
     let (ar, br, cr) = (a.reversed(), b.reversed(), c.reversed());
     let rev = forward_face_parallel(&ar, &br, &cr, scoring);
     reindex_backward(rev, b.len(), c.len())
+}
+
+/// Cancellable parallel backward face (checked per anti-diagonal plane).
+pub fn backward_face_parallel_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Face, CancelProgress> {
+    let (ar, br, cr) = (a.reversed(), b.reversed(), c.reversed());
+    let rev = forward_face_parallel_cancellable(&ar, &br, &cr, scoring, cancel)?;
+    Ok(reindex_backward(rev, b.len(), c.len()))
 }
 
 /// Cells per rayon task within a plane.
@@ -141,7 +243,8 @@ fn planes_pass(
     c: &Seq,
     scoring: &Scoring,
     want_face: bool,
-) -> (i32, Option<Face>) {
+    cancel: Option<&CancelToken>,
+) -> Result<(i32, Option<Face>), CancelProgress> {
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let e = Extents::new(n1, n2, n3);
@@ -156,7 +259,16 @@ fn planes_pass(
     let face: Option<SharedGrid<i32>> = want_face.then(|| SharedGrid::new(w2 * (n3 + 1), NEG_INF));
 
     let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
+    let mut cells_done: u64 = 0;
     for d in 0..e.num_planes() {
+        if let Some(t) = cancel {
+            if t.should_stop() {
+                return Err(CancelProgress {
+                    cells_done,
+                    cells_total: e.cells() as u64,
+                });
+            }
+        }
         cells.clear();
         cells.extend(plane_cells(e, d));
         let target = &buffers[d % 4];
@@ -184,10 +296,11 @@ fn planes_pass(
                 .with_min_len(MIN_CELLS_PER_TASK)
                 .for_each(compute);
         }
+        cells_done += cells.len() as u64;
     }
     let final_plane = (n1 + n2 + n3) % 4;
     let score = unsafe { buffers[final_plane].get(slot(n1, n2)) };
-    (score, face.map(SharedGrid::into_vec))
+    Ok((score, face.map(SharedGrid::into_vec)))
 }
 
 /// Bytes of working memory the slab-rolling score pass needs (reported by
@@ -332,6 +445,43 @@ mod tests {
                 assert_eq!(face[j * w3 + k], lat.at(0, j, k));
             }
         }
+    }
+
+    #[test]
+    fn cancellable_passes_without_cancel_match_plain() {
+        let (a, b, c) = random_triple(51, 12);
+        let token = CancelToken::never();
+        assert_eq!(
+            score_slabs_cancellable(&a, &b, &c, &s(), &token).unwrap(),
+            score_slabs(&a, &b, &c, &s())
+        );
+        assert_eq!(
+            score_planes_parallel_cancellable(&a, &b, &c, &s(), &token).unwrap(),
+            score_planes_parallel(&a, &b, &c, &s())
+        );
+        assert_eq!(
+            forward_face_parallel_cancellable(&a, &b, &c, &s(), &token).unwrap(),
+            forward_face(&a, &b, &c, &s())
+        );
+        assert_eq!(
+            backward_face_parallel_cancellable(&a, &b, &c, &s(), &token).unwrap(),
+            backward_face(&a, &b, &c, &s())
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_passes_stop_immediately() {
+        let (a, b, c) = random_triple(52, 12);
+        let token = CancelToken::never();
+        token.cancel();
+        let p = score_slabs_cancellable(&a, &b, &c, &s(), &token).unwrap_err();
+        assert_eq!(p.cells_done, 0);
+        let p = score_planes_parallel_cancellable(&a, &b, &c, &s(), &token).unwrap_err();
+        assert_eq!(p.cells_done, 0);
+        assert_eq!(
+            p.cells_total,
+            ((a.len() + 1) * (b.len() + 1) * (c.len() + 1)) as u64
+        );
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! max over the same inputs.
 
 use crate::alignment::Alignment3;
+use crate::cancel::{CancelProgress, CancelToken};
 use crate::dp::{Kernel, NEG_INF};
 use crate::full::{traceback, Lattice};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
-use tsa_wavefront::executor::run_cells_wavefront;
+use tsa_wavefront::executor::{run_cells_wavefront, run_cells_wavefront_cancellable};
 use tsa_wavefront::plane::Extents;
 use tsa_wavefront::SharedGrid;
 
@@ -39,6 +40,57 @@ pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
         scores: grid.into_vec(),
         extents: e,
     }
+}
+
+/// Like [`fill`], but polls `cancel` between anti-diagonal planes; a
+/// fired token aborts the sweep within one plane and reports progress.
+pub fn fill_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Lattice, CancelProgress> {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let e = Extents::new(n1, n2, n3);
+    let grid: SharedGrid<i32> = SharedGrid::new(e.cells(), NEG_INF);
+
+    // SAFETY: same plane-disjointness contract as [`fill`]; the executor
+    // only ever stops *between* planes, so every read still targets a
+    // fully completed plane.
+    run_cells_wavefront_cancellable(
+        e,
+        |i, j, k| {
+            let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+                grid.get(e.index(pi, pj, pk))
+            });
+            unsafe { grid.set(e.index(i, j, k), v) };
+        },
+        || cancel.should_stop(),
+    )
+    .map_err(|cells_done| CancelProgress {
+        cells_done,
+        cells_total: e.cells() as u64,
+    })?;
+
+    Ok(Lattice {
+        scores: grid.into_vec(),
+        extents: e,
+    })
+}
+
+/// Like [`align`], but the fill aborts within one anti-diagonal plane of
+/// the token firing.
+pub fn align_cancellable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+) -> Result<Alignment3, CancelProgress> {
+    let lat = fill_cancellable(a, b, c, scoring, cancel)?;
+    Ok(traceback(&lat, a, b, c, scoring))
 }
 
 /// Optimal three-sequence alignment via the parallel wavefront fill.
@@ -116,6 +168,26 @@ mod tests {
             align_score(&a, &b, &c, &s()),
             full::align_score(&a, &b, &c, &s())
         );
+    }
+
+    #[test]
+    fn cancellable_fill_without_cancel_is_bit_identical() {
+        let (a, b, c) = random_triple(4, 14);
+        let token = crate::CancelToken::never();
+        let lat = fill_cancellable(&a, &b, &c, &s(), &token).unwrap();
+        assert_eq!(lat.scores, full::fill(&a, &b, &c, &s()).scores);
+        let al = align_cancellable(&a, &b, &c, &s(), &token).unwrap();
+        assert_eq!(al, full::align(&a, &b, &c, &s()));
+    }
+
+    #[test]
+    fn pre_cancelled_fill_does_no_work() {
+        let (a, b, c) = random_triple(6, 14);
+        let token = crate::CancelToken::never();
+        token.cancel();
+        let p = fill_cancellable(&a, &b, &c, &s(), &token).unwrap_err();
+        assert_eq!(p.cells_done, 0);
+        assert!(p.cells_total > 0);
     }
 
     #[test]

@@ -1,18 +1,19 @@
 //! The service engine: configuration, submission, and lifecycle.
 
 use crate::cache::ResultCache;
-use crate::cancel::CancelToken;
 use crate::error::{JobOutcome, SubmitError};
+use crate::faults;
+use crate::governor::{self, MemoryGate, Reservation};
 use crate::queue::{job_queue, JobQueue, JobReceiver, PushError};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::worker::{worker_loop, CompletedJob, Job, Responder};
 use crossbeam::channel::{self, Receiver};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tsa_core::Algorithm;
+use tsa_core::{Algorithm, Aligner, CancelToken};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 
@@ -28,6 +29,12 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Deadline applied to jobs that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Per-job cap on estimated DP cell updates (a time bound in
+    /// disguise); `None` disables the check.
+    pub max_cells: Option<u64>,
+    /// Cap on estimated peak kernel bytes — applied per job *and*, summed
+    /// over in-flight reservations, globally; `None` disables both.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +44,8 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             default_deadline: None,
+            max_cells: None,
+            memory_budget: None,
         }
     }
 }
@@ -115,7 +124,7 @@ impl JobHandle {
             Ok(done) => done.outcome,
             // The engine dropped the job without responding (only possible
             // on abnormal teardown); surface it as a cancellation.
-            Err(_) => JobOutcome::Cancelled,
+            Err(_) => JobOutcome::Cancelled { progress: None },
         }
     }
 
@@ -148,7 +157,12 @@ pub struct Engine {
     producer: Mutex<Option<JobQueue<Job>>>,
     /// Receiver clone kept only for depth observation (never popped).
     observer: JobReceiver<Job>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    /// Cleared at the start of shutdown; stops the supervisor respawning.
+    running: Arc<AtomicBool>,
+    /// Present when `memory_budget` is configured.
+    gate: Option<Arc<MemoryGate>>,
     stats: Arc<ServiceStats>,
     cache: Arc<ResultCache>,
     next_id: AtomicU64,
@@ -156,7 +170,8 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Spawn the worker pool and return a running engine.
+    /// Spawn the worker pool (plus its supervisor) and return a running
+    /// engine.
     pub fn start(config: ServiceConfig) -> Engine {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -178,10 +193,26 @@ impl Engine {
                     .expect("spawn worker thread")
             })
             .collect();
+        let workers = Arc::new(Mutex::new(handles));
+        let running = Arc::new(AtomicBool::new(true));
+        let supervisor = {
+            let workers = Arc::clone(&workers);
+            let running = Arc::clone(&running);
+            let rx = rx.clone();
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("tsa-supervisor".into())
+                .spawn(move || supervise(&workers, &running, rx, cache, stats))
+                .expect("spawn supervisor thread")
+        };
         Engine {
             producer: Mutex::new(Some(queue)),
             observer: rx,
-            workers: Mutex::new(handles),
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
+            running,
+            gate: config.memory_budget.map(MemoryGate::new),
             stats,
             cache,
             next_id: AtomicU64::new(1),
@@ -189,7 +220,91 @@ impl Engine {
         }
     }
 
-    fn make_job(&self, req: AlignRequest, responder: Responder) -> (u64, CancelToken, Job) {
+    /// Admission-time resource governor: estimate the job's footprint for
+    /// its *resolved* algorithm, enforce the configured limits (walking an
+    /// `Auto` request down the degradation ladder instead of rejecting),
+    /// and take the job's share of the global memory budget.
+    fn govern(
+        &self,
+        req: &mut AlignRequest,
+        blocking: bool,
+    ) -> Result<(Option<Algorithm>, Option<Reservation>), SubmitError> {
+        if self.config.max_cells.is_none() && self.config.memory_budget.is_none() {
+            return Ok((None, None));
+        }
+        let (n1, n2, n3) = (req.seqs[0].len(), req.seqs[1].len(), req.seqs[2].len());
+        let resolved = Aligner::auto(req.scoring.clone())
+            .algorithm(req.algorithm)
+            .resolve(n1, n2, n3);
+        let inflate = faults::inflate_factor(&req.tag);
+        let estimate_of = |alg| {
+            let mut est = governor::estimate(alg, req.score_only, n1, n2, n3);
+            est.peak_bytes = est.peak_bytes.saturating_mul(inflate);
+            est
+        };
+        let (chosen, est) = if req.algorithm == Algorithm::Auto {
+            let mut admitted = None;
+            let mut last_refusal = None;
+            for candidate in governor::ladder(resolved) {
+                let est = estimate_of(candidate);
+                match governor::check(est, self.config.max_cells, self.config.memory_budget) {
+                    Ok(()) => {
+                        admitted = Some((candidate, est));
+                        break;
+                    }
+                    Err(e) => last_refusal = Some(e),
+                }
+            }
+            match admitted {
+                Some(pick) => pick,
+                None => return Err(self.refuse(last_refusal.expect("ladder is non-empty"))),
+            }
+        } else {
+            let est = estimate_of(resolved);
+            governor::check(est, self.config.max_cells, self.config.memory_budget)
+                .map_err(|e| self.refuse(e))?;
+            (resolved, est)
+        };
+        let reservation = match &self.gate {
+            Some(gate) if blocking => Some(gate.reserve_blocking(est.peak_bytes)),
+            Some(gate) => match gate.try_reserve(est.peak_bytes) {
+                Some(r) => Some(r),
+                // Fits the budget alone, but not alongside the current
+                // in-flight jobs — non-blocking submitters get an error.
+                None => {
+                    return Err(self.refuse(SubmitError::ResourceExhausted {
+                        required: est.peak_bytes,
+                        budget: self.config.memory_budget.unwrap_or(0),
+                        limit: "memory-budget",
+                    }))
+                }
+            },
+            None => None,
+        };
+        let degraded_from = if chosen == resolved {
+            None
+        } else {
+            req.algorithm = chosen;
+            self.stats.downgraded.fetch_add(1, Ordering::Relaxed);
+            Some(resolved)
+        };
+        Ok((degraded_from, reservation))
+    }
+
+    /// Count a governor refusal in the submission tallies.
+    fn refuse(&self, e: SubmitError) -> SubmitError {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        e
+    }
+
+    fn make_job(
+        &self,
+        req: AlignRequest,
+        responder: Responder,
+        degraded_from: Option<Algorithm>,
+        reservation: Option<Reservation>,
+    ) -> (u64, CancelToken, Job) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let deadline = req
             .deadline
@@ -208,7 +323,9 @@ impl Engine {
             score_only: req.score_only,
             cancel: cancel.clone(),
             submitted: Instant::now(),
-            responder,
+            responder: Some(responder),
+            degraded_from,
+            reservation,
         };
         (id, cancel, job)
     }
@@ -253,9 +370,15 @@ impl Engine {
         self.submit_inner(req, true)
     }
 
-    fn submit_inner(&self, req: AlignRequest, blocking: bool) -> Result<JobHandle, SubmitError> {
+    fn submit_inner(
+        &self,
+        mut req: AlignRequest,
+        blocking: bool,
+    ) -> Result<JobHandle, SubmitError> {
+        let (degraded_from, reservation) = self.govern(&mut req, blocking)?;
         let (tx, rx) = channel::bounded(1);
-        let (id, cancel, job) = self.make_job(req, Responder::Channel(tx));
+        let (id, cancel, job) =
+            self.make_job(req, Responder::Channel(tx), degraded_from, reservation);
         self.admit(job, blocking)?;
         Ok(JobHandle { id, cancel, rx })
     }
@@ -265,10 +388,16 @@ impl Engine {
     /// Returns the engine-assigned job id and its cancellation token.
     pub fn submit_with(
         &self,
-        req: AlignRequest,
+        mut req: AlignRequest,
         callback: impl FnOnce(CompletedJob) + Send + 'static,
     ) -> Result<(u64, CancelToken), SubmitError> {
-        let (id, cancel, job) = self.make_job(req, Responder::Callback(Box::new(callback)));
+        let (degraded_from, reservation) = self.govern(&mut req, false)?;
+        let (id, cancel, job) = self.make_job(
+            req,
+            Responder::Callback(Box::new(callback)),
+            degraded_from,
+            reservation,
+        );
         self.admit(job, false)?;
         Ok((id, cancel))
     }
@@ -299,16 +428,63 @@ impl Engine {
         self.producer.lock().is_some()
     }
 
+    /// Estimated bytes currently reserved by in-flight jobs (0 when no
+    /// memory budget is configured).
+    pub fn memory_in_flight(&self) -> u64 {
+        self.gate.as_ref().map_or(0, |g| g.in_flight())
+    }
+
     /// Graceful shutdown: stop admitting new jobs, let the workers drain
-    /// everything already queued, join them, and return the final
-    /// counters. Idempotent; callable through an `Arc<Engine>`.
+    /// everything already queued, join them (supervisor first, so nothing
+    /// respawns during teardown), and return the final counters.
+    /// Idempotent; callable through an `Arc<Engine>`.
     pub fn shutdown(&self) -> StatsSnapshot {
+        self.running.store(false, Ordering::SeqCst);
         drop(self.producer.lock().take());
+        if let Some(handle) = self.supervisor.lock().take() {
+            let _ = handle.join();
+        }
         let workers = std::mem::take(&mut *self.workers.lock());
         for handle in workers {
             let _ = handle.join();
         }
         self.stats.snapshot(self.observer.depth())
+    }
+}
+
+/// The pool supervisor: while the engine runs, replace any worker thread
+/// that died (a panic that escaped the kernel isolation boundary) so the
+/// pool stays at full strength. Runs on its own thread; polling is cheap
+/// (`JoinHandle::is_finished` is a flag load).
+fn supervise(
+    workers: &Mutex<Vec<JoinHandle<()>>>,
+    running: &AtomicBool,
+    rx: JobReceiver<Job>,
+    cache: Arc<ResultCache>,
+    stats: Arc<ServiceStats>,
+) {
+    let mut respawned = 0usize;
+    while running.load(Ordering::SeqCst) {
+        {
+            let mut pool = workers.lock();
+            for slot in pool.iter_mut() {
+                if !slot.is_finished() {
+                    continue;
+                }
+                let fresh = {
+                    let (rx, cache, stats) = (rx.clone(), Arc::clone(&cache), Arc::clone(&stats));
+                    std::thread::Builder::new()
+                        .name(format!("tsa-worker-r{respawned}"))
+                        .spawn(move || worker_loop(rx, cache, stats))
+                        .expect("respawn worker thread")
+                };
+                respawned += 1;
+                let dead = std::mem::replace(slot, fresh);
+                let _ = dead.join();
+                stats.respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -336,7 +512,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             cache_capacity: 32,
-            default_deadline: None,
+            ..ServiceConfig::default()
         }
     }
 
@@ -389,7 +565,8 @@ mod tests {
         assert!(matches!(
             outcome,
             JobOutcome::DeadlineExceeded {
-                stage: CancelStage::Queued
+                stage: CancelStage::Queued,
+                ..
             }
         ));
         let stats = engine.shutdown();
@@ -412,7 +589,7 @@ mod tests {
         let (a, b, c) = triple("GATTACA");
         let victim = engine.submit(AlignRequest::new("v", a, b, c)).unwrap();
         victim.cancel();
-        assert!(matches!(victim.wait(), JobOutcome::Cancelled));
+        assert!(matches!(victim.wait(), JobOutcome::Cancelled { .. }));
         assert!(blocker.wait().result().is_some());
         engine.shutdown();
     }
@@ -423,7 +600,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             cache_capacity: 0,
-            default_deadline: None,
+            ..ServiceConfig::default()
         });
         let slow = Seq::dna("ACGTACGTAC".repeat(12)).unwrap();
         // First job occupies the worker; second fills the queue; the
@@ -479,7 +656,7 @@ mod tests {
             workers: 1,
             queue_capacity: 16,
             cache_capacity: 0,
-            default_deadline: None,
+            ..ServiceConfig::default()
         });
         let handles: Vec<JobHandle> = (0..10)
             .map(|i| {
@@ -523,6 +700,102 @@ mod tests {
             .wait();
         let result = outcome.result().unwrap();
         assert!(result.rows.is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn governor_rejects_pinned_overbudget_algorithm() {
+        let engine = Engine::start(ServiceConfig {
+            memory_budget: Some(64 * 1024),
+            ..small_config()
+        });
+        // 160³ full lattice ≈ 16.7 MB, far over the 64 KiB budget.
+        let long = Seq::dna("ACGTACGTGA".repeat(16)).unwrap();
+        let err = engine
+            .submit(
+                AlignRequest::new("big", long.clone(), long.clone(), long)
+                    .algorithm(Algorithm::FullDp),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::ResourceExhausted {
+                limit: "memory-budget",
+                ..
+            }
+        ));
+        let stats = engine.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.resolved(), stats.submitted);
+    }
+
+    #[test]
+    fn governor_enforces_max_cells() {
+        let engine = Engine::start(ServiceConfig {
+            max_cells: Some(1_000_000),
+            ..small_config()
+        });
+        let long = Seq::dna("ACGTACGTGA".repeat(16)).unwrap();
+        let err = engine
+            .submit(
+                AlignRequest::new("slow", long.clone(), long.clone(), long)
+                    .algorithm(Algorithm::FullDp),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::ResourceExhausted {
+                limit: "max-cells",
+                ..
+            }
+        ));
+        // Small jobs still pass.
+        let (a, b, c) = triple("GATTACA");
+        assert!(engine.submit(AlignRequest::new("ok", a, b, c)).is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn governor_downgrades_auto_to_fit_budget() {
+        let engine = Engine::start(ServiceConfig {
+            memory_budget: Some(1024 * 1024),
+            ..small_config()
+        });
+        // Auto resolves to Wavefront (full lattice, ≈16.7 MB — over the
+        // 1 MiB budget); the ladder lands on ParallelHirschberg (≈0.6 MB).
+        let long = Seq::dna("ACGTACGTGA".repeat(16)).unwrap();
+        let outcome = engine
+            .submit(AlignRequest::new("auto", long.clone(), long.clone(), long))
+            .unwrap()
+            .wait();
+        let result = outcome.result().expect("degraded job still completes");
+        assert_eq!(result.algorithm, Algorithm::ParallelHirschberg);
+        assert_eq!(result.degraded_from, Some(Algorithm::Wavefront));
+        let stats = engine.shutdown();
+        assert_eq!(stats.downgraded, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn memory_reservations_drain_to_zero() {
+        let engine = Engine::start(ServiceConfig {
+            memory_budget: Some(64 * 1024 * 1024),
+            ..small_config()
+        });
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|i| {
+                let (a, b, c) = triple("GATTACAGATTACA");
+                engine
+                    .submit(AlignRequest::new(format!("{i}"), a, b, c))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            assert!(h.wait().result().is_some());
+        }
+        // All jobs resolved, so every reservation must be back.
+        assert_eq!(engine.memory_in_flight(), 0);
         engine.shutdown();
     }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::time::Duration;
-use tsa_core::Algorithm;
+use tsa_core::{Algorithm, CancelProgress};
 
 /// Why a submission was refused at admission time. The job never entered
 /// the queue; nothing was computed.
@@ -14,6 +14,17 @@ pub enum SubmitError {
         /// The configured queue capacity that was exhausted.
         capacity: usize,
     },
+    /// The resource governor refused the job: its estimated footprint
+    /// exceeds a configured limit (and, for `Algorithm::Auto`, no
+    /// lower-memory variant fits either). Nothing was computed.
+    ResourceExhausted {
+        /// Estimated requirement for the cheapest admissible variant.
+        required: u64,
+        /// The configured limit that was exceeded.
+        budget: u64,
+        /// Which limit tripped: `"memory-budget"` or `"max-cells"`.
+        limit: &'static str,
+    },
     /// The engine has been shut down; no further jobs are accepted.
     ShuttingDown,
 }
@@ -23,6 +34,16 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::Overloaded { capacity } => {
                 write!(f, "service overloaded: queue at capacity {capacity}")
+            }
+            SubmitError::ResourceExhausted {
+                required,
+                budget,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "resource exhausted: job needs {required} but {limit} is {budget}"
+                )
             }
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -36,7 +57,11 @@ impl std::error::Error for SubmitError {}
 pub enum CancelStage {
     /// Expired while waiting in the queue — no work was done.
     Queued,
-    /// Expired while the alignment kernel was running. The result is still
+    /// Expired *inside* the kernel: the cooperative cancellation token
+    /// stopped the DP loop between anti-diagonal planes (or slabs). Only
+    /// partial work was done and nothing was cached.
+    Kernel,
+    /// Expired after the alignment kernel finished. The result is still
     /// written to the cache (the work is done; future identical requests
     /// benefit), but this job reports the deadline miss.
     Computed,
@@ -51,6 +76,9 @@ pub struct JobResult {
     pub rows: Option<[String; 3]>,
     /// The algorithm that actually ran, after `Auto` resolution.
     pub algorithm: Algorithm,
+    /// Set when the admission governor downgraded an `Auto` request to a
+    /// lower-memory variant: the algorithm it would have picked unbudgeted.
+    pub degraded_from: Option<Algorithm>,
     /// Whether this result came from the result cache.
     pub cached: bool,
     /// Time the job spent queued before a worker picked it up.
@@ -67,13 +95,22 @@ pub enum JobOutcome {
     Done(JobResult),
     /// The per-job deadline expired before a result could be delivered.
     DeadlineExceeded {
-        /// Whether the deadline fired while queued or mid-compute.
+        /// Whether the deadline fired while queued, mid-kernel, or after
+        /// the kernel finished.
         stage: CancelStage,
+        /// Cell-update progress at the stop point, when the kernel had
+        /// started ([`CancelStage::Kernel`] only).
+        progress: Option<CancelProgress>,
     },
-    /// The job was cancelled through its handle before it ran.
-    Cancelled,
+    /// The job was cancelled through its handle.
+    Cancelled {
+        /// Cell-update progress at the stop point, when the kernel had
+        /// started; `None` when cancelled while still queued.
+        progress: Option<CancelProgress>,
+    },
     /// The aligner rejected the configuration (e.g. lattice over budget
-    /// for a pinned full-lattice algorithm).
+    /// for a pinned full-lattice algorithm), the kernel panicked, or the
+    /// worker serving the job died.
     Failed(String),
 }
 
@@ -91,7 +128,7 @@ impl JobOutcome {
         match self {
             JobOutcome::Done(_) => "done",
             JobOutcome::DeadlineExceeded { .. } => "deadline",
-            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::Cancelled { .. } => "cancelled",
             JobOutcome::Failed(_) => "failed",
         }
     }
@@ -107,19 +144,41 @@ mod tests {
             .to_string()
             .contains('8'));
         assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+        let e = SubmitError::ResourceExhausted {
+            required: 100,
+            budget: 64,
+            limit: "memory-budget",
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("memory-budget"));
     }
 
     #[test]
     fn outcome_labels() {
-        assert_eq!(JobOutcome::Cancelled.label(), "cancelled");
+        assert_eq!(
+            JobOutcome::Cancelled { progress: None }.label(),
+            "cancelled"
+        );
         assert_eq!(
             JobOutcome::DeadlineExceeded {
-                stage: CancelStage::Queued
+                stage: CancelStage::Queued,
+                progress: None,
+            }
+            .label(),
+            "deadline"
+        );
+        assert_eq!(
+            JobOutcome::DeadlineExceeded {
+                stage: CancelStage::Kernel,
+                progress: Some(CancelProgress {
+                    cells_done: 3,
+                    cells_total: 10,
+                }),
             }
             .label(),
             "deadline"
         );
         assert_eq!(JobOutcome::Failed("x".into()).label(), "failed");
-        assert!(JobOutcome::Cancelled.result().is_none());
+        assert!(JobOutcome::Cancelled { progress: None }.result().is_none());
     }
 }

@@ -1,0 +1,116 @@
+//! Tag-driven fault injection for resilience testing.
+//!
+//! Compiled to no-ops unless the crate is built with the `faults`
+//! feature (`cargo test -p tsa-service --features faults`). With the
+//! feature on, a job opts into a fault by embedding a directive in its
+//! *tag* — no API surface changes, so the same injection works through
+//! the library, the NDJSON protocol, and the `tsa serve` binary:
+//!
+//! | tag contains | effect |
+//! |---|---|
+//! | `#fault-panic` | panic inside the kernel region (caught → `Failed`) |
+//! | `#fault-abort` | panic *outside* the catch region (worker dies; supervisor respawns) |
+//! | `#fault-delay=N` | sleep `N` ms inside the kernel region, honoring cancellation |
+//! | `#fault-inflate=N` | multiply the governor's byte estimate by `N` |
+//!
+//! Directives are inert without the feature: production builds carry a
+//! handful of `#[inline]` functions that constant-fold to `false`/`None`.
+
+/// `true` when the tag asks for a caught in-kernel panic.
+#[inline]
+pub fn wants_panic(tag: &str) -> bool {
+    #[cfg(feature = "faults")]
+    {
+        tag.contains("#fault-panic")
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = tag;
+        false
+    }
+}
+
+/// `true` when the tag asks to kill the worker thread (panic outside the
+/// isolation boundary).
+#[inline]
+pub fn wants_abort(tag: &str) -> bool {
+    #[cfg(feature = "faults")]
+    {
+        tag.contains("#fault-abort")
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = tag;
+        false
+    }
+}
+
+/// Artificial in-kernel delay requested by the tag, if any.
+#[inline]
+pub fn delay_of(tag: &str) -> Option<std::time::Duration> {
+    #[cfg(feature = "faults")]
+    {
+        directive_value(tag, "#fault-delay=").map(std::time::Duration::from_millis)
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = tag;
+        None
+    }
+}
+
+/// Multiplier applied to the governor's byte estimate (default 1).
+#[inline]
+pub fn inflate_factor(tag: &str) -> u64 {
+    #[cfg(feature = "faults")]
+    {
+        directive_value(tag, "#fault-inflate=").unwrap_or(1).max(1)
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = tag;
+        1
+    }
+}
+
+/// Parse the decimal value following `key` in `tag` (`#fault-delay=250`).
+#[cfg(feature = "faults")]
+fn directive_value(tag: &str, key: &str) -> Option<u64> {
+    let rest = &tag[tag.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn directives_parse_from_tags() {
+        assert!(wants_panic("job-7#fault-panic"));
+        assert!(!wants_panic("job-7"));
+        assert!(wants_abort("x#fault-abort"));
+        assert_eq!(
+            delay_of("t#fault-delay=250"),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(delay_of("t"), None);
+        assert_eq!(inflate_factor("t#fault-inflate=100"), 100);
+        assert_eq!(inflate_factor("t"), 1);
+        assert_eq!(inflate_factor("t#fault-inflate=0"), 1);
+    }
+}
+
+#[cfg(all(test, not(feature = "faults")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directives_are_inert_without_the_feature() {
+        assert!(!wants_panic("job#fault-panic"));
+        assert!(!wants_abort("job#fault-abort"));
+        assert_eq!(delay_of("job#fault-delay=250"), None);
+        assert_eq!(inflate_factor("job#fault-inflate=100"), 1);
+    }
+}

@@ -31,7 +31,15 @@ impl Value {
     /// Parse one complete JSON document; trailing non-whitespace is an
     /// error.
     pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
+        Value::parse_bytes(text.as_bytes())
+    }
+
+    /// Parse raw bytes without requiring the whole line to be valid
+    /// UTF-8 up front: structure is ASCII, and string contents are
+    /// decoded incrementally, so an invalid byte yields a positioned
+    /// error instead of a panic. Lets transports hand wire bytes
+    /// straight to the parser.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Value, String> {
         let mut p = Parser { bytes, pos: 0 };
         p.skip_ws();
         let value = p.value()?;
@@ -234,12 +242,13 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let ch = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. The input may be raw wire
+                    // bytes (`parse_bytes`), so decode defensively — an
+                    // invalid sequence is an error, never a panic.
+                    let (ch, len) = next_char(&self.bytes[self.pos..])
+                        .ok_or_else(|| format!("invalid UTF-8 in string at byte {}", self.pos))?;
                     out.push(ch);
-                    self.pos += ch.len_utf8();
+                    self.pos += len;
                 }
             }
         }
@@ -265,11 +274,30 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The consumed range is ASCII by construction, but stay
+        // panic-free anyway.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("bad number '{text}'"))
     }
+}
+
+/// Decode the first UTF-8 scalar of `bytes`, returning it with its
+/// encoded length; `None` on an invalid or truncated sequence.
+fn next_char(bytes: &[u8]) -> Option<(char, usize)> {
+    let len = match bytes.first()? {
+        0x00..=0x7F => 1,
+        0xC2..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF4 => 4,
+        _ => return None,
+    };
+    let chunk = bytes.get(..len)?;
+    let s = std::str::from_utf8(chunk).ok()?;
+    let ch = s.chars().next()?;
+    Some((ch, len))
 }
 
 /// Escape a string for embedding in JSON output (without the quotes).
@@ -410,6 +438,41 @@ mod tests {
         assert!(Value::parse("1 2").is_err());
         assert!(Value::parse("nulls").is_err());
         assert!(Value::parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_objects_without_panicking() {
+        assert!(Value::parse("{\"a\":").is_err());
+        assert!(Value::parse("{\"a\":1,").is_err());
+        assert!(Value::parse("{\"a\":{\"b\":").is_err());
+        assert!(Value::parse("[{\"a\":1}").is_err());
+        assert!(Value::parse("{\"a").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_unicode_escapes_without_panicking() {
+        // Truncated \u escape at end of input.
+        assert!(Value::parse("\"\\u12\"").is_err());
+        assert!(Value::parse("\"\\u").is_err());
+        // Non-hex digits.
+        assert!(Value::parse("\"\\uZZZZ\"").is_err());
+        // Unknown escape letter.
+        assert!(Value::parse("\"\\x41\"").is_err());
+        // Lone low surrogate.
+        assert!(Value::parse("\"\\udd13\"").is_err());
+    }
+
+    #[test]
+    fn rejects_non_utf8_bytes_without_panicking() {
+        // Invalid byte inside a string value.
+        assert!(Value::parse_bytes(b"{\"a\":\"\xff\"}").is_err());
+        // Truncated multi-byte sequence at end of string.
+        assert!(Value::parse_bytes(b"\"\xe2\x82\"").is_err());
+        // Stray continuation byte.
+        assert!(Value::parse_bytes(b"\"\x80\"").is_err());
+        // Valid multi-byte input still parses through the bytes path.
+        let v = Value::parse_bytes("\"héllo\"".as_bytes()).unwrap();
+        assert_eq!(v.as_str(), Some("héllo"));
     }
 
     #[test]

@@ -39,19 +39,34 @@
 //!   the job with [`SubmitError::Overloaded`]; the engine never queues
 //!   beyond its configured capacity. Batch mode uses the blocking submit
 //!   path instead, throttling the producer.
-//! * **Deadlines are cooperative.** A job's deadline is checked when a
-//!   worker picks it up and again after the kernel runs; a mid-kernel
-//!   expiry still writes the finished result to the cache before the job
-//!   reports [`JobOutcome::DeadlineExceeded`].
+//! * **Deadlines reach into the kernel.** A job's deadline is checked
+//!   when a worker picks it up, at cooperative checkpoints inside the DP
+//!   (per anti-diagonal plane), and again after the kernel; a mid-kernel
+//!   expiry reports [`JobOutcome::DeadlineExceeded`] with partial
+//!   [`CancelProgress`], while a kernel that finishes late still writes
+//!   its result to the cache first.
+//! * **Admission is resource-governed.** With
+//!   [`ServiceConfig::memory_budget`] / [`ServiceConfig::max_cells`] set,
+//!   each job's cell count and peak bytes are estimated for its resolved
+//!   algorithm before enqueue. Over-budget explicit requests are refused
+//!   with [`SubmitError::ResourceExhausted`]; `Auto` requests degrade to
+//!   a quadratic-space kernel that fits (recorded in
+//!   [`JobResult::degraded_from`]). The memory budget also bounds the sum
+//!   of in-flight estimates, semaphore-style.
+//! * **Failures are values.** A panicking kernel is caught and reported
+//!   as [`JobOutcome::Failed`]; a worker thread that dies still resolves
+//!   its job through a drop guard and is respawned by the pool
+//!   supervisor. A [`JobHandle`] never hangs.
 //! * **The cache keys on content.** Sequences are fingerprinted (two
 //!   independent FNV-1a digests plus length, per sequence), combined with
 //!   the scoring scheme, the *resolved* algorithm, and the score-only
 //!   flag — so an `auto` submission and an explicit one share an entry.
 
 mod cache;
-mod cancel;
 mod engine;
 mod error;
+pub mod faults;
+mod governor;
 pub mod json;
 pub mod protocol;
 mod queue;
@@ -60,10 +75,11 @@ mod stats;
 mod worker;
 
 pub use cache::{CacheKey, CachedResult, ResultCache};
-pub use cancel::CancelToken;
 pub use engine::{AlignRequest, Engine, JobHandle, ServiceConfig};
 pub use error::{CancelStage, JobOutcome, JobResult, SubmitError};
+pub use governor::ResourceEstimate;
 pub use queue::{job_queue, JobQueue, JobReceiver, PushError};
 pub use server::{run_all, run_batch, serve_listener, serve_session, serve_stdio, serve_tcp};
 pub use stats::{ServiceStats, StatsSnapshot};
+pub use tsa_core::cancel::{CancelProgress, CancelToken};
 pub use worker::CompletedJob;

@@ -41,30 +41,105 @@ pub enum Request {
 pub struct ProtocolError {
     /// The request id, when one was present.
     pub id: Option<String>,
+    /// Machine-readable error code: `"bad_request"` for malformed lines,
+    /// `"invalid_argument"` for well-formed lines with bad values (e.g. a
+    /// residue outside the declared alphabet).
+    pub code: &'static str,
     /// Human-readable reason.
     pub message: String,
+    /// Offending byte offset within the rejected field, when known.
+    pub position: Option<usize>,
 }
 
 impl ProtocolError {
     fn new(id: Option<&str>, message: impl Into<String>) -> Self {
         ProtocolError {
             id: id.map(str::to_owned),
+            code: "bad_request",
             message: message.into(),
+            position: None,
+        }
+    }
+
+    fn invalid_argument(
+        id: Option<&str>,
+        message: impl Into<String>,
+        position: Option<usize>,
+    ) -> Self {
+        ProtocolError {
+            id: id.map(str::to_owned),
+            code: "invalid_argument",
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// A request line that was not valid UTF-8; `valid_up_to` is the byte
+    /// offset of the first invalid byte.
+    pub(crate) fn not_utf8(valid_up_to: usize) -> Self {
+        ProtocolError {
+            id: None,
+            code: "bad_request",
+            message: "request line is not valid UTF-8".into(),
+            position: Some(valid_up_to),
         }
     }
 }
 
-fn parse_seq(obj: &Value, field: &str, id: Option<&str>) -> Result<Seq, ProtocolError> {
+/// The declared-alphabet request field (`"alphabet":"dna"`); sequences
+/// are validated against it and rejected with `invalid_argument` on the
+/// first out-of-alphabet residue.
+fn parse_alphabet(obj: &Value, id: Option<&str>) -> Result<Option<Alphabet>, ProtocolError> {
+    match obj.get("alphabet") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some("dna") => Ok(Some(Alphabet::Dna)),
+            Some("rna") => Ok(Some(Alphabet::Rna)),
+            Some("protein") => Ok(Some(Alphabet::Protein)),
+            _ => Err(ProtocolError::new(
+                id,
+                "'alphabet' must be \"dna\", \"rna\", or \"protein\"",
+            )),
+        },
+    }
+}
+
+fn parse_seq(
+    obj: &Value,
+    field: &str,
+    declared: Option<Alphabet>,
+    id: Option<&str>,
+) -> Result<Seq, ProtocolError> {
     let text = obj
         .get(field)
         .and_then(Value::as_str)
         .ok_or_else(|| ProtocolError::new(id, format!("missing string field '{field}'")))?;
     let bytes = text.as_bytes();
-    let alphabet = Alphabet::infer(bytes).ok_or_else(|| {
-        ProtocolError::new(id, format!("'{field}' is not a DNA/RNA/protein sequence"))
-    })?;
-    Seq::new(field, alphabet, bytes)
-        .map_err(|e| ProtocolError::new(id, format!("invalid '{field}': {e}")))
+    let alphabet = match declared {
+        Some(alphabet) => alphabet,
+        None => Alphabet::infer(bytes).ok_or_else(|| {
+            // Report where inference gave up: `infer` tries protein last,
+            // so the first non-protein byte is the culprit.
+            let position = Alphabet::Protein
+                .validate(bytes)
+                .err()
+                .and_then(|e| match e {
+                    tsa_seq::SeqError::InvalidResidue { position, .. } => Some(position),
+                    _ => None,
+                });
+            ProtocolError::invalid_argument(
+                id,
+                format!("'{field}' is not a DNA/RNA/protein sequence"),
+                position,
+            )
+        })?,
+    };
+    Seq::new(field, alphabet, bytes).map_err(|e| match e {
+        tsa_seq::SeqError::InvalidResidue { position, .. } => {
+            ProtocolError::invalid_argument(id, format!("invalid '{field}': {e}"), Some(position))
+        }
+        other => ProtocolError::invalid_argument(id, format!("invalid '{field}': {other}"), None),
+    })
 }
 
 /// Parse one NDJSON request line.
@@ -80,9 +155,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         "submit" => {
-            let a = parse_seq(&obj, "a", id_ref)?;
-            let b = parse_seq(&obj, "b", id_ref)?;
-            let c = parse_seq(&obj, "c", id_ref)?;
+            let declared = parse_alphabet(&obj, id_ref)?;
+            let a = parse_seq(&obj, "a", declared, id_ref)?;
+            let b = parse_seq(&obj, "b", declared, id_ref)?;
+            let c = parse_seq(&obj, "c", declared, id_ref)?;
             let scoring = match obj.get("scoring").and_then(Value::as_str) {
                 None => Scoring::dna_default(),
                 Some(name) => Scoring::by_name(name).ok_or_else(|| {
@@ -140,6 +216,16 @@ fn base(ok: bool, id: &str) -> JsonObject {
     }
 }
 
+/// Append partial-progress fields when a kernel was stopped mid-flight.
+fn progress_fields(obj: JsonObject, progress: &Option<tsa_core::CancelProgress>) -> JsonObject {
+    match progress {
+        Some(p) => obj
+            .u64("cells_done", p.cells_done)
+            .u64("cells_total", p.cells_total),
+        None => obj,
+    }
+}
+
 /// Render a resolved job as one response line (no trailing newline).
 pub fn render_outcome(done: &CompletedJob) -> String {
     let obj = base(done.outcome.result().is_some(), &done.tag).str("status", done.outcome.label());
@@ -154,31 +240,49 @@ pub fn render_outcome(done: &CompletedJob) -> String {
                     "service_us",
                     r.service.as_micros().min(u64::MAX as u128) as u64,
                 );
+            let obj = match r.degraded_from {
+                Some(from) => obj.str("degraded_from", from.name()),
+                None => obj,
+            };
             match &r.rows {
                 Some(rows) => obj.str_array("rows", rows.as_slice()).finish(),
                 None => obj.finish(),
             }
         }
-        JobOutcome::DeadlineExceeded { stage } => obj
-            .str(
+        JobOutcome::DeadlineExceeded { stage, progress } => progress_fields(
+            obj.str(
                 "stage",
                 match stage {
                     CancelStage::Queued => "queued",
+                    CancelStage::Kernel => "kernel",
                     CancelStage::Computed => "computed",
                 },
-            )
-            .finish(),
-        JobOutcome::Cancelled => obj.finish(),
+            ),
+            progress,
+        )
+        .finish(),
+        JobOutcome::Cancelled { progress } => progress_fields(obj, progress).finish(),
         JobOutcome::Failed(reason) => obj.str("error", reason).finish(),
     }
 }
 
-/// Render an admission refusal. Backpressure is the `overloaded` error.
+/// Render an admission refusal. Backpressure is the `overloaded` error;
+/// a governor refusal is `resource_exhausted`.
 pub fn render_submit_error(id: &str, err: &SubmitError) -> String {
     match err {
         SubmitError::Overloaded { capacity } => base(false, id)
             .str("error", "overloaded")
             .u64("capacity", *capacity as u64)
+            .finish(),
+        SubmitError::ResourceExhausted {
+            required,
+            budget,
+            limit,
+        } => base(false, id)
+            .str("error", "resource_exhausted")
+            .str("limit", limit)
+            .u64("required", *required)
+            .u64("budget", *budget)
             .finish(),
         SubmitError::ShuttingDown => base(false, id).str("error", "shutting_down").finish(),
     }
@@ -186,10 +290,13 @@ pub fn render_submit_error(id: &str, err: &SubmitError) -> String {
 
 /// Render a malformed-request response.
 pub fn render_protocol_error(err: &ProtocolError) -> String {
-    base(false, err.id.as_deref().unwrap_or(""))
-        .str("error", "bad_request")
-        .str("message", &err.message)
-        .finish()
+    let obj = base(false, err.id.as_deref().unwrap_or(""))
+        .str("error", err.code)
+        .str("message", &err.message);
+    match err.position {
+        Some(position) => obj.u64("position", position as u64).finish(),
+        None => obj.finish(),
+    }
 }
 
 fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
@@ -200,6 +307,9 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("failed", stats.failed)
         .u64("cache_hits", stats.cache_hits)
         .u64("cache_misses", stats.cache_misses)
+        .u64("panics", stats.panics)
+        .u64("respawns", stats.respawns)
+        .u64("downgraded", stats.downgraded)
         .u64("queue_depth", stats.queue_depth as u64)
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
@@ -314,6 +424,7 @@ mod tests {
                 score: -7,
                 rows: Some(["A-C".into(), "AGC".into(), "A-C".into()]),
                 algorithm: Algorithm::Wavefront,
+                degraded_from: None,
                 cached: true,
                 wait: Duration::from_micros(10),
                 service: Duration::from_micros(20),
@@ -326,7 +437,28 @@ mod tests {
         assert_eq!(v.get("score").unwrap().as_i64(), Some(-7));
         assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("algorithm").unwrap().as_str(), Some("wavefront"));
+        assert!(v.get("degraded_from").is_none());
         assert!(v.get("rows").is_some());
+    }
+
+    #[test]
+    fn renders_degraded_outcome() {
+        let done = CompletedJob {
+            id: 4,
+            tag: "g".into(),
+            outcome: JobOutcome::Done(JobResult {
+                score: 9,
+                rows: None,
+                algorithm: Algorithm::ParallelHirschberg,
+                degraded_from: Some(Algorithm::Wavefront),
+                cached: false,
+                wait: Duration::ZERO,
+                service: Duration::ZERO,
+            }),
+        };
+        let v = Value::parse(&render_outcome(&done)).unwrap();
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("par-hirschberg"));
+        assert_eq!(v.get("degraded_from").unwrap().as_str(), Some("wavefront"));
     }
 
     #[test]
@@ -336,22 +468,91 @@ mod tests {
             tag: "d".into(),
             outcome: JobOutcome::DeadlineExceeded {
                 stage: CancelStage::Queued,
+                progress: None,
             },
         });
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("status").unwrap().as_str(), Some("deadline"));
         assert_eq!(v.get("stage").unwrap().as_str(), Some("queued"));
+        assert!(v.get("cells_done").is_none());
+
+        let line = render_outcome(&CompletedJob {
+            id: 2,
+            tag: "k".into(),
+            outcome: JobOutcome::DeadlineExceeded {
+                stage: CancelStage::Kernel,
+                progress: Some(tsa_core::CancelProgress {
+                    cells_done: 120,
+                    cells_total: 1000,
+                }),
+            },
+        });
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("kernel"));
+        assert_eq!(v.get("cells_done").unwrap().as_u64(), Some(120));
+        assert_eq!(v.get("cells_total").unwrap().as_u64(), Some(1000));
 
         let line = render_submit_error("j3", &SubmitError::Overloaded { capacity: 4 });
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
         assert_eq!(v.get("capacity").unwrap().as_u64(), Some(4));
 
+        let line = render_submit_error(
+            "j5",
+            &SubmitError::ResourceExhausted {
+                required: 4096,
+                budget: 1024,
+                limit: "memory-budget",
+            },
+        );
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("resource_exhausted"));
+        assert_eq!(v.get("limit").unwrap().as_str(), Some("memory-budget"));
+        assert_eq!(v.get("required").unwrap().as_u64(), Some(4096));
+        assert_eq!(v.get("budget").unwrap().as_u64(), Some(1024));
+
         let line = render_protocol_error(&ProtocolError::new(Some("j4"), "missing 'a'"));
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("bad_request"));
         assert_eq!(v.get("id").unwrap().as_str(), Some("j4"));
+        assert!(v.get("position").is_none());
+    }
+
+    #[test]
+    fn declared_alphabet_is_validated_with_position() {
+        // 'U' is RNA, not DNA: the declared alphabet must reject it even
+        // though inference would happily call the string RNA.
+        let err = parse_request(
+            r#"{"op":"submit","id":"v1","alphabet":"dna","a":"ACGU","b":"ACG","c":"AGT"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "invalid_argument");
+        assert_eq!(err.position, Some(3));
+        let v = Value::parse(&render_protocol_error(&err)).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("invalid_argument"));
+        assert_eq!(v.get("position").unwrap().as_u64(), Some(3));
+
+        // A declared alphabet that matches passes.
+        let ok = parse_request(
+            r#"{"op":"submit","id":"v2","alphabet":"rna","a":"ACGU","b":"ACG","c":"AGU"}"#,
+        );
+        assert!(ok.is_ok());
+
+        // Unknown alphabet names are malformed requests.
+        let err = parse_request(
+            r#"{"op":"submit","id":"v3","alphabet":"klingon","a":"ACGT","b":"ACG","c":"AGT"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn undeclared_junk_sequence_reports_position() {
+        let err = parse_request(r#"{"op":"submit","id":"v4","a":"AC!T","b":"ACG","c":"AGT"}"#)
+            .unwrap_err();
+        assert_eq!(err.code, "invalid_argument");
+        assert_eq!(err.position, Some(2));
     }
 
     #[test]
@@ -364,6 +565,9 @@ mod tests {
             failed: 0,
             cache_hits: 2,
             cache_misses: 1,
+            panics: 1,
+            respawns: 1,
+            downgraded: 2,
             queue_depth: 0,
             latency_p50_us: 64,
             latency_p90_us: 128,
@@ -372,6 +576,9 @@ mod tests {
         let v = Value::parse(&render_stats(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("stats"));
         assert_eq!(v.get("submitted").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("panics").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("respawns").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("downgraded").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
         let v = Value::parse(&render_shutdown(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("shutdown"));

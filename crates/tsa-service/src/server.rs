@@ -30,12 +30,30 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = reader;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        while matches!(buf.last(), Some(b'\n' | b'\r')) {
+            buf.pop();
+        }
+        // Validate UTF-8 here rather than via `lines()`: a client sending
+        // raw bytes gets one structured error line, not a dead session.
+        let line = match std::str::from_utf8(&buf) {
+            Ok(line) => line,
+            Err(e) => {
+                let err = protocol::ProtocolError::not_utf8(e.valid_up_to());
+                write_line(&writer, &protocol::render_protocol_error(&err))?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        match protocol::parse_request(&line) {
+        match protocol::parse_request(line) {
             Err(err) => write_line(&writer, &protocol::render_protocol_error(&err))?,
             Ok(Request::Stats) => write_line(&writer, &protocol::render_stats(&engine.stats()))?,
             Ok(Request::Shutdown) => {
@@ -188,7 +206,7 @@ mod tests {
             workers: 2,
             queue_capacity: 16,
             cache_capacity: 64,
-            default_deadline: None,
+            ..ServiceConfig::default()
         }))
     }
 
@@ -245,6 +263,33 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].get("error").unwrap().as_str(), Some("bad_request"));
         assert_eq!(out[1].get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(out[2].get("op").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn session_survives_non_utf8_bytes() {
+        let engine = engine();
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"{\"op\":\"st");
+        input.extend_from_slice(&[0xFF, 0xFE, 0x80]); // invalid UTF-8
+        input.extend_from_slice(b"\n");
+        input.extend_from_slice(br#"{"op":"stats"}"#);
+        input.extend_from_slice(b"\n");
+        input.extend_from_slice(br#"{"op":"shutdown"}"#);
+        input.extend_from_slice(b"\n");
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shut = serve_session(&engine, Cursor::new(input), Arc::clone(&writer)).unwrap();
+        assert!(shut, "session keeps running past the binary garbage");
+        let out = lines(&writer.lock());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("error").unwrap().as_str(), Some("bad_request"));
+        assert!(out[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("UTF-8"));
+        assert_eq!(out[0].get("position").unwrap().as_u64(), Some(9));
         assert_eq!(out[2].get("op").unwrap().as_str(), Some("shutdown"));
     }
 

@@ -23,6 +23,9 @@ pub struct ServiceStats {
     pub(crate) failed: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
     pub(crate) cache_misses: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) respawns: AtomicU64,
+    pub(crate) downgraded: AtomicU64,
     latency: Histogram,
 }
 
@@ -73,6 +76,9 @@ impl ServiceStats {
             failed: self.failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            downgraded: self.downgraded.load(Ordering::Relaxed),
             queue_depth,
             latency_p50_us: quantile_upper_bound(&buckets, 0.50),
             latency_p90_us: quantile_upper_bound(&buckets, 0.90),
@@ -118,6 +124,14 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Completions that had to run a kernel.
     pub cache_misses: u64,
+    /// Kernel panics caught and converted to [`crate::JobOutcome::Failed`]
+    /// (a subset of `failed`).
+    pub panics: u64,
+    /// Worker threads the supervisor found dead and replaced.
+    pub respawns: u64,
+    /// `Auto` jobs the admission governor downgraded to a lower-memory
+    /// algorithm to fit the budget (a subset of `completed`).
+    pub downgraded: u64,
     /// Jobs currently queued (0 at quiescence).
     pub queue_depth: usize,
     /// Median submit-to-completion latency, as a power-of-two µs bound.
@@ -147,6 +161,11 @@ impl fmt::Display for StatsSnapshot {
             f,
             "cache: {} hits, {} misses; queue depth {}",
             self.cache_hits, self.cache_misses, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "faults: {} kernel panics, {} worker respawns, {} governor downgrades",
+            self.panics, self.respawns, self.downgraded
         )?;
         write!(
             f,

@@ -1,16 +1,25 @@
 //! The worker pool: each worker pops jobs, honors cancellation
-//! checkpoints, probes the result cache, and runs the aligner.
+//! checkpoints, probes the result cache, and runs the aligner inside a
+//! panic-isolation boundary.
+//!
+//! Fault containment is layered. A panicking kernel is caught by
+//! `catch_unwind` and reported as [`JobOutcome::Failed`] — the worker
+//! survives. If the worker thread itself dies (a panic outside the catch
+//! region), a drop guard still resolves the job's handle with `Failed`
+//! so no waiter hangs, and the engine's supervisor respawns the thread.
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
-use crate::cancel::CancelToken;
 use crate::error::{CancelStage, JobOutcome, JobResult};
+use crate::faults;
+use crate::governor::Reservation;
 use crate::queue::JobReceiver;
 use crate::stats::ServiceStats;
 use crossbeam::channel::Sender;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
-use tsa_core::{Algorithm, Aligner, Alignment3};
+use std::time::{Duration, Instant};
+use tsa_core::{Algorithm, AlignError, Aligner, Alignment3, CancelProgress, CancelToken};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 
@@ -27,7 +36,12 @@ pub(crate) struct Job {
     pub score_only: bool,
     pub cancel: CancelToken,
     pub submitted: Instant,
-    pub responder: Responder,
+    /// Taken by the worker before serving; `Some` until then.
+    pub responder: Option<Responder>,
+    /// The governor's original pick when it downgraded an `Auto` request.
+    pub degraded_from: Option<Algorithm>,
+    /// Share of the global memory budget, released when the job drops.
+    pub reservation: Option<Reservation>,
 }
 
 /// How a finished job reports back: a per-job channel (library callers
@@ -69,9 +83,56 @@ fn rows_to_strings(alignment: &Alignment3) -> [String; 3] {
 
 /// Run one worker until the queue disconnects and drains.
 pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: Arc<ServiceStats>) {
-    while let Some(job) = rx.pop() {
+    while let Some(mut job) = rx.pop() {
+        let mut guard = JobGuard {
+            id: job.id,
+            tag: job.tag.clone(),
+            responder: job.responder.take(),
+            stats: Arc::clone(&stats),
+        };
+        // An injected `#fault-abort` panics *outside* the kernel isolation
+        // boundary: this worker thread dies, the guard resolves the
+        // handle, and the supervisor respawns the thread.
+        if faults::wants_abort(&job.tag) {
+            panic!("injected worker abort");
+        }
         let outcome = serve_one(&job, &cache, &stats);
-        respond(job.responder, job.id, job.tag, outcome);
+        // Return the job's share of the memory budget before the waiter
+        // can observe resolution (on unwind, dropping `job` releases it).
+        job.reservation.take();
+        guard.resolve(outcome);
+    }
+}
+
+/// Guarantees every popped job resolves exactly once. If the serve path
+/// unwinds past this frame (worker death), `Drop` reports `Failed` to
+/// the waiter — a [`crate::JobHandle`] must never hang.
+struct JobGuard {
+    id: u64,
+    tag: String,
+    responder: Option<Responder>,
+    stats: Arc<ServiceStats>,
+}
+
+impl JobGuard {
+    fn resolve(&mut self, outcome: JobOutcome) {
+        if let Some(responder) = self.responder.take() {
+            respond(responder, self.id, std::mem::take(&mut self.tag), outcome);
+        }
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        if let Some(responder) = self.responder.take() {
+            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            respond(
+                responder,
+                self.id,
+                std::mem::take(&mut self.tag),
+                JobOutcome::Failed("worker thread died mid-job".into()),
+            );
+        }
     }
 }
 
@@ -84,6 +145,33 @@ fn respond(responder: Responder, id: u64, tag: String, outcome: JobOutcome) {
     }
 }
 
+/// Best-effort text from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+/// Sleep in short slices so an injected delay still honors cancellation
+/// with millisecond-scale latency.
+fn cancellable_sleep(total: Duration, cancel: &CancelToken) -> Result<(), AlignError> {
+    let until = Instant::now() + total;
+    loop {
+        if cancel.should_stop() {
+            return Err(AlignError::Cancelled(CancelProgress::default()));
+        }
+        let now = Instant::now();
+        if now >= until {
+            return Ok(());
+        }
+        std::thread::sleep((until - now).min(Duration::from_millis(2)));
+    }
+}
+
 fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome {
     let wait = job.submitted.elapsed();
 
@@ -91,12 +179,13 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
     // queued — no work has been done yet.
     if job.cancel.is_cancelled() {
         stats.cancelled.fetch_add(1, Ordering::Relaxed);
-        return JobOutcome::Cancelled;
+        return JobOutcome::Cancelled { progress: None };
     }
     if job.cancel.deadline_expired() {
         stats.cancelled.fetch_add(1, Ordering::Relaxed);
         return JobOutcome::DeadlineExceeded {
             stage: CancelStage::Queued,
+            progress: None,
         };
     }
 
@@ -120,6 +209,7 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
             score: hit.score,
             rows: hit.rows,
             algorithm: hit.algorithm,
+            degraded_from: job.degraded_from,
             cached: true,
             wait,
             service: served.elapsed(),
@@ -127,18 +217,54 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
     }
     stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-    let computed = if job.score_only {
-        aligner
-            .score3(&job.a, &job.b, &job.c)
-            .map(|score| (score, None))
-    } else {
-        aligner
-            .align3(&job.a, &job.b, &job.c)
-            .map(|aln| (aln.score, Some(rows_to_strings(&aln))))
+    // The isolation boundary: anything that unwinds out of the kernel
+    // (including injected faults) is converted to a structured failure
+    // instead of killing this worker.
+    let kernel = || -> Result<(i32, Option<[String; 3]>), AlignError> {
+        if faults::wants_panic(&job.tag) {
+            panic!("injected kernel panic");
+        }
+        if let Some(delay) = faults::delay_of(&job.tag) {
+            cancellable_sleep(delay, &job.cancel)?;
+        }
+        if job.score_only {
+            aligner
+                .score3_cancellable(&job.a, &job.b, &job.c, &job.cancel)
+                .map(|score| (score, None))
+        } else {
+            aligner
+                .align3_cancellable(&job.a, &job.b, &job.c, &job.cancel)
+                .map(|aln| (aln.score, Some(rows_to_strings(&aln))))
+        }
+    };
+    let computed = match std::panic::catch_unwind(AssertUnwindSafe(kernel)) {
+        Ok(result) => result,
+        Err(payload) => {
+            stats.panics.fetch_add(1, Ordering::Relaxed);
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            return JobOutcome::Failed(format!(
+                "kernel panicked: {}",
+                panic_message(payload.as_ref())
+            ));
+        }
     };
 
     let (score, rows) = match computed {
         Ok(r) => r,
+        // The cancellation token stopped the DP loop between planes.
+        Err(AlignError::Cancelled(progress)) => {
+            stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            return if job.cancel.is_cancelled() {
+                JobOutcome::Cancelled {
+                    progress: Some(progress),
+                }
+            } else {
+                JobOutcome::DeadlineExceeded {
+                    stage: CancelStage::Kernel,
+                    progress: Some(progress),
+                }
+            };
+        }
         Err(e) => {
             stats.failed.fetch_add(1, Ordering::Relaxed);
             return JobOutcome::Failed(e.to_string());
@@ -156,15 +282,17 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
         },
     );
 
-    // Checkpoint 2: the deadline may have fired mid-kernel.
+    // Checkpoint 2: the deadline may have fired after the kernel's last
+    // cancellation check.
     if job.cancel.is_cancelled() {
         stats.cancelled.fetch_add(1, Ordering::Relaxed);
-        return JobOutcome::Cancelled;
+        return JobOutcome::Cancelled { progress: None };
     }
     if job.cancel.deadline_expired() {
         stats.cancelled.fetch_add(1, Ordering::Relaxed);
         return JobOutcome::DeadlineExceeded {
             stage: CancelStage::Computed,
+            progress: None,
         };
     }
 
@@ -174,6 +302,7 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
         score,
         rows,
         algorithm: resolved,
+        degraded_from: job.degraded_from,
         cached: false,
         wait,
         service: served.elapsed(),

@@ -1,0 +1,278 @@
+//! Fault-injection suite (requires `--features faults`): drives the
+//! engine through kernel panics, worker deaths, inflated resource
+//! estimates, and mid-kernel deadline expiry via `#fault-*` tag
+//! directives, and checks that the accounting identity
+//! `submitted == completed + rejected + cancelled + failed` survives.
+#![cfg(feature = "faults")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsa_core::Algorithm;
+use tsa_seq::{family::FamilyConfig, Seq};
+use tsa_service::{AlignRequest, CancelStage, Engine, JobOutcome, ServiceConfig, SubmitError};
+
+fn family(len: usize, seed: u64) -> [Seq; 3] {
+    let fam = FamilyConfig::new(len, 0.1, 0.05)
+        .try_generate(seed)
+        .expect("generate family");
+    let mut it = fam.members.into_iter();
+    [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()]
+}
+
+/// Cache disabled: the injected faults live inside the kernel closure,
+/// and a cache hit would skip them.
+fn fault_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 32,
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn panic_storm_is_contained_and_counted() {
+    let engine = Engine::start(fault_config(2));
+    let [a, b, c] = family(40, 1);
+
+    // Every one of these jobs panics inside the kernel; each must resolve
+    // as a structured failure without taking its worker down.
+    let storm: Vec<_> = (0..8)
+        .map(|i| {
+            let req = AlignRequest::new(
+                format!("storm-{i}#fault-panic"),
+                a.clone(),
+                b.clone(),
+                c.clone(),
+            )
+            .score_only(true);
+            engine.submit(req).expect("admitted")
+        })
+        .collect();
+    for handle in storm {
+        match handle.wait() {
+            JobOutcome::Failed(msg) => {
+                assert!(
+                    msg.contains("kernel panicked: injected kernel panic"),
+                    "unexpected failure text: {msg}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    // The pool is still at full strength: fresh jobs complete normally.
+    for i in 0..4 {
+        let req = AlignRequest::new(format!("after-{i}"), a.clone(), b.clone(), c.clone())
+            .score_only(true);
+        let handle = engine.submit(req).expect("admitted");
+        assert!(matches!(handle.wait(), JobOutcome::Done(_)));
+    }
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.panics, 8, "every injected panic is counted");
+    assert_eq!(stats.failed, 8, "caught panics resolve as failures");
+    assert_eq!(stats.respawns, 0, "caught panics never kill a worker");
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.resolved(), stats.submitted);
+}
+
+#[test]
+fn worker_death_resolves_handle_and_pool_respawns() {
+    let engine = Engine::start(fault_config(2));
+    let [a, b, c] = family(30, 2);
+
+    // This panic fires *outside* the kernel isolation boundary: the
+    // worker thread dies. The handle must still resolve — never hang.
+    let req = AlignRequest::new("boom#fault-abort", a.clone(), b.clone(), c.clone());
+    let handle = engine.submit(req).expect("admitted");
+    match handle.wait() {
+        JobOutcome::Failed(msg) => assert_eq!(msg, "worker thread died mid-job"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The supervisor replaces the dead thread within its poll interval.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while engine.stats().respawns == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        engine.stats().respawns >= 1,
+        "supervisor respawned the worker"
+    );
+
+    // Both pool slots work: more jobs than one worker could serve alone
+    // all complete.
+    let after: Vec<_> = (0..4)
+        .map(|i| {
+            let req = AlignRequest::new(format!("after-{i}"), a.clone(), b.clone(), c.clone())
+                .score_only(true);
+            engine.submit(req).expect("admitted")
+        })
+        .collect();
+    for handle in after {
+        assert!(matches!(handle.wait(), JobOutcome::Done(_)));
+    }
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 4);
+    assert!(stats.respawns >= 1);
+    assert_eq!(stats.resolved(), stats.submitted);
+}
+
+#[test]
+fn inflated_estimate_trips_the_memory_budget() {
+    let engine = Engine::start(ServiceConfig {
+        memory_budget: Some(16 * 1024 * 1024),
+        ..fault_config(2)
+    });
+    let [a, b, c] = family(40, 3);
+
+    // The directive multiplies the governor's byte estimate; the pinned
+    // algorithm leaves no room to degrade, so admission must refuse.
+    let req = AlignRequest::new("hog#fault-inflate=100000", a.clone(), b.clone(), c.clone())
+        .algorithm(Algorithm::FullDp);
+    match engine.submit(req) {
+        Err(SubmitError::ResourceExhausted {
+            required,
+            budget,
+            limit,
+        }) => {
+            assert_eq!(limit, "memory-budget");
+            assert!(required > budget, "{required} must exceed {budget}");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+
+    // The identical job without the directive fits and completes.
+    let req = AlignRequest::new("fits", a, b, c).algorithm(Algorithm::FullDp);
+    let handle = engine.submit(req).expect("admitted");
+    assert!(matches!(handle.wait(), JobOutcome::Done(_)));
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.resolved(), stats.submitted);
+}
+
+#[test]
+fn deadline_expiring_mid_kernel_cancels_with_progress() {
+    let engine = Engine::start(fault_config(2));
+    // Large enough (~15.8M cells) that the kernel cannot finish in the
+    // few milliseconds left after the injected delay.
+    let [a, b, c] = family(250, 9);
+
+    let req = AlignRequest::new("slow#fault-delay=40", a, b, c)
+        .score_only(true)
+        .deadline(Duration::from_millis(45));
+    let handle = engine.submit(req).expect("admitted");
+    match handle.wait() {
+        JobOutcome::DeadlineExceeded { stage, progress } => {
+            assert_eq!(stage, CancelStage::Kernel, "expired inside the kernel");
+            let progress = progress.expect("kernel cancellation reports progress");
+            if progress.cells_total > 0 {
+                assert!(
+                    progress.cells_done < progress.cells_total,
+                    "partial progress: {} of {}",
+                    progress.cells_done,
+                    progress.cells_total
+                );
+            }
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.resolved(), stats.submitted);
+}
+
+#[test]
+fn mixed_fault_stress_preserves_the_accounting_identity() {
+    const SUBMITTERS: usize = 4;
+    const JOBS_PER_THREAD: usize = 40;
+
+    let engine = Arc::new(Engine::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 0,
+        memory_budget: Some(256 * 1024 * 1024),
+        ..ServiceConfig::default()
+    }));
+    let problems: Vec<[Seq; 3]> = (0..8)
+        .map(|i| family(12 + 6 * i, 4000 + i as u64))
+        .collect();
+    let problems = Arc::new(problems);
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let problems = Arc::clone(&problems);
+            let completed = Arc::clone(&completed);
+            let failed = Arc::clone(&failed);
+            let cancelled = Arc::clone(&cancelled);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || {
+                for j in 0..JOBS_PER_THREAD {
+                    let [a, b, c] = problems[(t * 13 + j * 5) % problems.len()].clone();
+                    // One fault class per job, in fixed rotation.
+                    let mut req = if j % 5 == 0 {
+                        AlignRequest::new(format!("{t}-{j}#fault-panic"), a, b, c)
+                    } else if j % 7 == 0 {
+                        AlignRequest::new(format!("{t}-{j}#fault-abort"), a, b, c)
+                    } else if j % 13 == 0 {
+                        AlignRequest::new(format!("{t}-{j}#fault-inflate=1000000"), a, b, c)
+                            .algorithm(Algorithm::FullDp)
+                    } else {
+                        AlignRequest::new(format!("{t}-{j}"), a, b, c)
+                    };
+                    req = req.score_only(true);
+                    if j % 11 == 0 {
+                        req = req.deadline(Duration::ZERO);
+                    }
+                    // Blocking submit: the only rejections left are the
+                    // governor's, so the tallies stay deterministic-ish.
+                    match engine.submit_blocking(req) {
+                        Ok(handle) => match handle.wait() {
+                            JobOutcome::Done(_) => completed.fetch_add(1, Ordering::Relaxed),
+                            JobOutcome::Failed(_) => failed.fetch_add(1, Ordering::Relaxed),
+                            JobOutcome::Cancelled { .. } | JobOutcome::DeadlineExceeded { .. } => {
+                                cancelled.fetch_add(1, Ordering::Relaxed)
+                            }
+                        },
+                        Err(SubmitError::ResourceExhausted { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    };
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let stats = engine.shutdown();
+    let total = (SUBMITTERS * JOBS_PER_THREAD) as u64;
+    assert_eq!(stats.submitted, total);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.rejected + stats.cancelled + stats.failed,
+        "accounting identity holds under mixed faults"
+    );
+    assert_eq!(stats.completed, completed.load(Ordering::Relaxed));
+    assert_eq!(stats.failed, failed.load(Ordering::Relaxed));
+    assert_eq!(stats.cancelled, cancelled.load(Ordering::Relaxed));
+    assert_eq!(stats.rejected, rejected.load(Ordering::Relaxed));
+    assert!(stats.panics > 0, "panic directives fired");
+    assert!(stats.respawns > 0, "abort directives killed workers");
+    assert_eq!(stats.queue_depth, 0, "queue drained at quiescence");
+    assert_eq!(engine.memory_in_flight(), 0, "all reservations released");
+}

@@ -25,7 +25,7 @@ fn mixed_load_from_many_threads_resolves_exactly_once() {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 256,
-        default_deadline: None,
+        ..ServiceConfig::default()
     }));
 
     // A small pool of distinct problems, so many submissions repeat work
@@ -62,7 +62,7 @@ fn mixed_load_from_many_threads_resolves_exactly_once() {
                             done.fetch_add(1, Ordering::Relaxed);
                             scores.push((pick, r.score));
                         }
-                        JobOutcome::DeadlineExceeded { .. } | JobOutcome::Cancelled => {
+                        JobOutcome::DeadlineExceeded { .. } | JobOutcome::Cancelled { .. } => {
                             cancelled.fetch_add(1, Ordering::Relaxed);
                         }
                         JobOutcome::Failed(e) => panic!("unexpected failure: {e}"),
@@ -124,7 +124,7 @@ fn nonblocking_overload_storm_keeps_accounting_consistent() {
         workers: 2,
         queue_capacity: 4,
         cache_capacity: 0, // no cache: every accepted job runs the kernel
-        default_deadline: None,
+        ..ServiceConfig::default()
     }));
     let [a, b, c] = family(60, 7);
 

@@ -51,6 +51,39 @@ pub fn run_cells_wavefront(e: Extents, kernel: impl Fn(usize, usize, usize) + Sy
     }
 }
 
+/// Like [`run_cells_wavefront`], but polls `should_stop` once per
+/// anti-diagonal plane (amortized-free: one check per `O(n²)` cells).
+/// When the predicate fires the sweep stops before starting the next
+/// plane and returns `Err(cells_completed)`; every plane that did start
+/// has fully finished, so storage written so far is consistent.
+pub fn run_cells_wavefront_cancellable(
+    e: Extents,
+    kernel: impl Fn(usize, usize, usize) + Sync,
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<(), u64> {
+    let mut done: u64 = 0;
+    let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
+    for d in 0..e.num_planes() {
+        if should_stop() {
+            return Err(done);
+        }
+        cells.clear();
+        cells.extend(plane_cells(e, d));
+        if cells.len() < MIN_CELLS_PER_TASK {
+            for &(i, j, k) in &cells {
+                kernel(i, j, k);
+            }
+        } else {
+            cells
+                .par_iter()
+                .with_min_len(MIN_CELLS_PER_TASK)
+                .for_each(|&(i, j, k)| kernel(i, j, k));
+        }
+        done += cells.len() as u64;
+    }
+    Ok(())
+}
+
 /// Run `kernel(ti, tj, tk)` over every tile in sequential tile-wavefront
 /// order.
 pub fn run_tiles_sequential(grid: &TileGrid, mut kernel: impl FnMut(usize, usize, usize)) {
@@ -123,6 +156,42 @@ mod tests {
     #[test]
     fn wavefront_visits_each_cell_once() {
         check_visits_each_cell_once(|e, f| run_cells_wavefront(e, f));
+    }
+
+    #[test]
+    fn cancellable_without_stop_behaves_like_plain() {
+        check_visits_each_cell_once(|e, f| {
+            run_cells_wavefront_cancellable(e, f, || false).unwrap()
+        });
+    }
+
+    #[test]
+    fn cancellable_stops_between_planes_and_reports_cells() {
+        let e = Extents::new(6, 6, 6);
+        let visited = AtomicUsize::new(0);
+        let mut checks = 0;
+        let err = run_cells_wavefront_cancellable(
+            e,
+            |_, _, _| {
+                visited.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                checks += 1;
+                checks > 4 // allow planes 0..=3, stop before plane 4
+            },
+        )
+        .unwrap_err();
+        // Every plane that started has finished; the count is exact.
+        assert_eq!(err as usize, visited.load(Ordering::Relaxed));
+        assert_eq!(err, 1 + 3 + 6 + 10);
+        assert!((err as usize) < e.cells());
+    }
+
+    #[test]
+    fn cancellable_king_distance_matches() {
+        king_distance_with(|e, _g, f| {
+            run_cells_wavefront_cancellable(e, f, || false).unwrap();
+        });
     }
 
     /// King-move longest path: v(i,j,k) = 1 + max(valid predecessors),
