@@ -12,6 +12,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod fig6;
+mod fig7;
 mod table1;
 mod table10;
 mod table2;
@@ -47,6 +48,7 @@ const IDS: &[(&str, &str)] = &[
         "search-space reduction: full vs banded vs Carrillo-Lipman",
     ),
     ("fig6", "wavefront load profile over execution"),
+    ("fig7", "measured plane profile vs model prediction"),
     ("table10", "anchored seed-chain-extend vs exact DP"),
 ];
 
@@ -84,6 +86,7 @@ fn run_one(id: &str, cfg: &RunConfig) -> bool {
         "table8" => table8::run(cfg),
         "table9" => table9::run(cfg),
         "fig6" => fig6::run(cfg),
+        "fig7" => fig7::run(cfg),
         "table10" => table10::run(cfg),
         _ => return false,
     }

@@ -33,6 +33,9 @@ ALIGN OPTIONS:
     --format <f>         plain | fasta | clustal                            [plain]
     --score-only         print only the optimal score
     --stats              print bounds, identity, and timing
+    --profile-planes     time every wavefront plane (forces the wavefront
+                         fill) and print occupancy/imbalance/barrier
+                         figures plus the cost-model comparison on stderr
 
 PLAN OPTIONS (tsa plan --n1 <len> --n2 <len> --n3 <len>):
     --tile <t>           tile edge for the blocked schedule                 [16]
@@ -54,9 +57,12 @@ SERVICE OPTIONS (tsa serve / tsa batch):
                          over in-flight jobs; K/M/G suffixes accepted
     --max-cells <n>      per-job cap on estimated DP cell updates
     serve --listen       serve NDJSON over TCP instead of stdin/stdout
+    serve --trace-jobs   emit a span per job lifecycle stage on stderr
+    serve --log-format   text | json — span format for --trace-jobs     [text]
     batch --file         NDJSON file of submit requests (`op` optional)
     batch --repeat <n>   run the batch n times (cache warm after first)    [1]
     batch --quiet        suppress per-job response lines, print stats only
+    batch --metrics      dump the Prometheus exposition on stderr at exit
 ";
 
 /// A parsed command line.
@@ -110,6 +116,9 @@ pub struct AlignArgs {
     pub score_only: bool,
     /// Print bounds/identity/timing.
     pub stats: bool,
+    /// Run the profiled wavefront fill and print the per-plane profile
+    /// plus the cost-model comparison.
+    pub profile_planes: bool,
 }
 
 impl Default for AlignArgs {
@@ -127,6 +136,7 @@ impl Default for AlignArgs {
             format: "plain".into(),
             score_only: false,
             stats: false,
+            profile_planes: false,
         }
     }
 }
@@ -244,12 +254,27 @@ impl ServiceOpts {
 }
 
 /// Arguments of `tsa serve`.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
     /// TCP listen address; stdin/stdout when absent.
     pub listen: Option<String>,
     /// Engine sizing.
     pub service: ServiceOpts,
+    /// Emit a span per job lifecycle stage on stderr.
+    pub trace_jobs: bool,
+    /// Span format for `--trace-jobs`: `text` or `json`.
+    pub log_format: String,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            listen: None,
+            service: ServiceOpts::default(),
+            trace_jobs: false,
+            log_format: "text".into(),
+        }
+    }
 }
 
 /// Arguments of `tsa batch`.
@@ -263,6 +288,8 @@ pub struct BatchArgs {
     pub repeat: usize,
     /// Suppress per-job output; print only the final stats.
     pub quiet: bool,
+    /// Dump the Prometheus exposition on stderr after the run.
+    pub metrics: bool,
 }
 
 /// Parse a full argv (without the program name).
@@ -337,6 +364,7 @@ fn parse_align(argv: &[String]) -> Result<AlignArgs, String> {
             "--format" => a.format = take_value(flag, &mut it)?.clone(),
             "--score-only" => a.score_only = true,
             "--stats" => a.stats = true,
+            "--profile-planes" => a.profile_planes = true,
             other => return Err(format!("unknown align flag `{other}`")),
         }
     }
@@ -436,6 +464,16 @@ fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
         }
         match flag.as_str() {
             "--listen" => s.listen = Some(take_value(flag, &mut it)?.clone()),
+            "--trace-jobs" => s.trace_jobs = true,
+            "--log-format" => {
+                s.log_format = take_value(flag, &mut it)?.clone();
+                if !matches!(s.log_format.as_str(), "text" | "json") {
+                    return Err(format!(
+                        "--log-format must be `text` or `json`, not `{}`",
+                        s.log_format
+                    ));
+                }
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -448,6 +486,7 @@ fn parse_batch(argv: &[String]) -> Result<BatchArgs, String> {
         service: ServiceOpts::default(),
         repeat: 1,
         quiet: false,
+        metrics: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -463,6 +502,7 @@ fn parse_batch(argv: &[String]) -> Result<BatchArgs, String> {
                 }
             }
             "--quiet" => b.quiet = true,
+            "--metrics" => b.metrics = true,
             other => return Err(format!("unknown batch flag `{other}`")),
         }
     }
@@ -774,6 +814,30 @@ mod tests {
         assert_eq!(b.service, ServiceOpts::default());
         assert!(parse(&sv(&["batch"])).is_err());
         assert!(parse(&sv(&["batch", "--file", "x", "--repeat", "0"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let Command::Serve(s) =
+            parse(&sv(&["serve", "--trace-jobs", "--log-format", "json"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(s.trace_jobs);
+        assert_eq!(s.log_format, "json");
+        assert!(parse(&sv(&["serve", "--log-format", "xml"])).is_err());
+        assert!(parse(&sv(&["serve", "--log-format"])).is_err());
+
+        let Command::Batch(b) = parse(&sv(&["batch", "--file", "x", "--metrics"])).unwrap() else {
+            panic!()
+        };
+        assert!(b.metrics);
+
+        let Command::Align(a) = parse(&sv(&["align", "--file", "x", "--profile-planes"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.profile_planes);
     }
 
     #[test]

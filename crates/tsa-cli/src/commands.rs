@@ -34,11 +34,20 @@ fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
         default_deadline: opts.deadline_ms.map(Duration::from_millis),
         memory_budget: opts.memory_budget,
         max_cells: opts.max_cells,
+        tracer: None,
     }
 }
 
 fn run_serve(s: ServeArgs) -> Result<(), String> {
-    let engine = Arc::new(Engine::start(engine_config(&s.service)));
+    let mut config = engine_config(&s.service);
+    if s.trace_jobs {
+        let sink: Arc<dyn tsa_service::SpanSink> = match s.log_format.as_str() {
+            "json" => Arc::new(tsa_service::JsonSink::new(std::io::stderr())),
+            _ => Arc::new(tsa_service::TextSink::new(std::io::stderr())),
+        };
+        config.tracer = Some(tsa_service::Tracer::new(sink));
+    }
+    let engine = Arc::new(Engine::start(config));
     let stats = match &s.listen {
         Some(addr) => {
             eprintln!("# tsa serve: listening on {addr}");
@@ -55,6 +64,8 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
     let input = std::fs::read_to_string(&b.file).map_err(|e| format!("{}: {e}", b.file))?;
     let engine = Arc::new(Engine::start(engine_config(&b.service)));
     let start = Instant::now();
+    let (mut prev_hits, mut prev_lookups) = (0u64, 0u64);
+    let mut first_round_ms = 0.0f64;
     for round in 0..b.repeat {
         let round_start = Instant::now();
         let submitted = if b.quiet {
@@ -63,21 +74,58 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
             tsa_service::run_batch(&engine, &input, &mut std::io::stdout().lock())
         }
         .map_err(|e| format!("batch: {e}"))?;
+        let round_ms = round_start.elapsed().as_secs_f64() * 1e3;
+        if round == 0 {
+            first_round_ms = round_ms;
+        }
         if b.repeat > 1 {
+            // Per-round cache and latency deltas: round_batch drains the
+            // queue before returning, so the snapshot difference is
+            // exactly this round's lookups.
+            let snap = engine.stats();
+            let lookups = snap.cache_hits + snap.cache_misses;
+            let (hits_d, lookups_d) = (snap.cache_hits - prev_hits, lookups - prev_lookups);
+            (prev_hits, prev_lookups) = (snap.cache_hits, lookups);
+            let vs_first = if round == 0 || first_round_ms <= 0.0 {
+                String::new()
+            } else {
+                format!(
+                    ", {:+.1}% vs round 1",
+                    (round_ms - first_round_ms) / first_round_ms * 100.0
+                )
+            };
             eprintln!(
-                "# round {}/{}: {submitted} job(s) in {:.3} ms",
+                "# round {}/{}: {submitted} job(s) in {round_ms:.3} ms \
+                 (cache {hits_d}/{lookups_d} hit{vs_first})",
                 round + 1,
                 b.repeat,
-                round_start.elapsed().as_secs_f64() * 1e3
             );
         }
     }
+    let final_snap = engine.stats();
+    let exposition = b.metrics.then(|| engine.metrics_text());
     let stats = engine.shutdown();
     eprintln!(
         "# batch finished in {:.3} ms",
         start.elapsed().as_secs_f64() * 1e3
     );
+    if b.repeat > 1 {
+        let lookups = final_snap.cache_hits + final_snap.cache_misses;
+        let ratio = if lookups == 0 {
+            0.0
+        } else {
+            final_snap.cache_hits as f64 / lookups as f64 * 100.0
+        };
+        eprintln!(
+            "# cache: {}/{lookups} lookups hit ({ratio:.1}%)",
+            final_snap.cache_hits
+        );
+    }
     eprintln!("{stats}");
+    if let Some(text) = exposition {
+        eprintln!("# metrics exposition:");
+        eprint!("{text}");
+    }
     Ok(())
 }
 
@@ -260,7 +308,25 @@ fn run_align(args: AlignArgs) -> Result<(), String> {
 
     let aligner = Aligner::auto(scoring.clone()).algorithm(algorithm);
     let start = Instant::now();
-    let aln = aligner.align3(&a, &b, &c).map_err(|e| e.to_string())?;
+    let aln = if args.profile_planes {
+        if scoring.gap.linear_penalty().is_none() {
+            return Err("--profile-planes requires a linear gap model".into());
+        }
+        let (aln, profile) = tsa_core::wavefront::align_profiled(&a, &b, &c, &scoring);
+        let summary = profile.summary();
+        let cmp = tsa_perfmodel::measured::compare(&profile);
+        eprintln!("# plane profile:");
+        for line in summary.to_string().lines() {
+            eprintln!("#   {line}");
+        }
+        eprintln!("# model comparison:");
+        for line in cmp.to_string().lines() {
+            eprintln!("#   {line}");
+        }
+        aln
+    } else {
+        aligner.align3(&a, &b, &c).map_err(|e| e.to_string())?
+    };
     let elapsed = start.elapsed();
     aln.validate(&a, &b, &c)
         .map_err(|e| format!("internal: {e}"))?;
@@ -271,11 +337,15 @@ fn run_align(args: AlignArgs) -> Result<(), String> {
     }
 
     println!("# score: {}", aln.score);
-    println!(
-        "# algorithm: {:?} (resolved from {:?})",
-        aligner.resolve(a.len(), b.len(), c.len()),
-        algorithm
-    );
+    if args.profile_planes {
+        println!("# algorithm: Wavefront (forced by --profile-planes)");
+    } else {
+        println!(
+            "# algorithm: {:?} (resolved from {:?})",
+            aligner.resolve(a.len(), b.len(), c.len()),
+            algorithm
+        );
+    }
     println!("# lengths: {} {} {}", a.len(), b.len(), c.len());
     if args.stats {
         if scoring.gap.linear_penalty().is_some() {

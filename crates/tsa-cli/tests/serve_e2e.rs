@@ -172,6 +172,57 @@ fn serve_lifecycle_backpressure_deadline_cache_shutdown() {
 }
 
 #[test]
+fn serve_answers_metrics_with_exposition() {
+    let mut s = Session::spawn(&["serve", "--workers", "1"]);
+
+    // Complete one job so the latency histograms have a sample each.
+    s.send(r#"{"op":"submit","id":"m1","a":"GATTACA","b":"GATACA","c":"GTTACA"}"#);
+    let done = s.next_matching(|v| id_of(v) == Some("m1"));
+    assert_eq!(done.get("status").unwrap().as_str(), Some("done"));
+
+    s.send(r#"{"op":"metrics"}"#);
+    let v = s.next_matching(|v| v.get("op").and_then(Value::as_str) == Some("metrics"));
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("format").unwrap().as_str(), Some("prometheus"));
+
+    // The exposition travels as one escaped string field; unescaped it must
+    // be a well-formed multi-line Prometheus dump with the split histograms.
+    let body = v.get("body").unwrap().as_str().unwrap();
+    for family in [
+        "tsa_jobs_submitted_total",
+        "tsa_job_latency_us",
+        "tsa_job_queue_wait_us",
+        "tsa_job_kernel_us",
+    ] {
+        assert!(
+            body.contains(&format!("# HELP {family} ")),
+            "missing HELP for {family}; body:\n{body}"
+        );
+    }
+    for histo in ["tsa_job_queue_wait_us", "tsa_job_kernel_us"] {
+        assert!(body.contains(&format!("# TYPE {histo} histogram")));
+        assert!(
+            body.contains(&format!("{histo}_count 1")),
+            "the completed job must be recorded in {histo}; body:\n{body}"
+        );
+        assert!(body.contains(&format!("{histo}_bucket{{le=\"+Inf\"}} 1")));
+    }
+    assert!(body.contains("tsa_jobs_submitted_total 1"));
+    assert!(body.contains("tsa_jobs_completed_total 1"));
+    // Every line is a comment or a `name value` sample — no stray JSON.
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        assert!(
+            line.starts_with('#') || line.split(' ').count() == 2,
+            "malformed exposition line: {line:?}"
+        );
+    }
+
+    s.send(r#"{"op":"shutdown"}"#);
+    s.next_matching(|v| v.get("op").and_then(Value::as_str) == Some("shutdown"));
+    assert!(s.child.wait().unwrap().success());
+}
+
+#[test]
 fn serve_reports_bad_requests_and_survives() {
     let mut s = Session::spawn(&["serve", "--workers", "1"]);
     s.send("not json at all");

@@ -14,9 +14,11 @@ use crate::dp::{Kernel, NEG_INF};
 use crate::full::{traceback, Lattice};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
-use tsa_wavefront::executor::{run_cells_wavefront, run_cells_wavefront_cancellable};
+use tsa_wavefront::executor::{
+    run_cells_wavefront, run_cells_wavefront_cancellable, run_cells_wavefront_profiled,
+};
 use tsa_wavefront::plane::Extents;
-use tsa_wavefront::SharedGrid;
+use tsa_wavefront::{PlaneProfile, SharedGrid};
 
 /// Fill the full lattice with plane-parallel execution.
 pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
@@ -40,6 +42,41 @@ pub fn fill(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Lattice {
         scores: grid.into_vec(),
         extents: e,
     }
+}
+
+/// Like [`fill`], but captures a per-plane [`PlaneProfile`] alongside the
+/// lattice. The scores are identical to [`fill`]'s — only the executor's
+/// intra-plane task split differs (explicit per-worker chunks, so each
+/// task can be timed), which the plane-disjointness contract makes
+/// observationally irrelevant.
+pub fn fill_profiled(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> (Lattice, PlaneProfile) {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let e = Extents::new(n1, n2, n3);
+    let grid: SharedGrid<i32> = SharedGrid::new(e.cells(), NEG_INF);
+
+    // SAFETY: same plane-disjointness contract as [`fill`].
+    let profile = run_cells_wavefront_profiled(e, |i, j, k| {
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+            grid.get(e.index(pi, pj, pk))
+        });
+        unsafe { grid.set(e.index(i, j, k), v) };
+    });
+
+    (
+        Lattice {
+            scores: grid.into_vec(),
+            extents: e,
+        },
+        profile,
+    )
+}
+
+/// Optimal alignment via the profiled parallel fill; returns the
+/// alignment plus the per-plane timing profile.
+pub fn align_profiled(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> (Alignment3, PlaneProfile) {
+    let (lat, profile) = fill_profiled(a, b, c, scoring);
+    (traceback(&lat, a, b, c, scoring), profile)
 }
 
 /// Like [`fill`], but polls `cancel` between anti-diagonal planes; a
@@ -168,6 +205,17 @@ mod tests {
             align_score(&a, &b, &c, &s()),
             full::align_score(&a, &b, &c, &s())
         );
+    }
+
+    #[test]
+    fn profiled_fill_is_bit_identical_and_accounts_for_all_cells() {
+        let (a, b, c) = family_triple(7, 24);
+        let (lat, profile) = fill_profiled(&a, &b, &c, &s());
+        assert_eq!(lat.scores, full::fill(&a, &b, &c, &s()).scores);
+        assert_eq!(profile.total_items(), lat.extents.cells() as u64);
+        assert_eq!(profile.samples.len(), lat.extents.num_planes());
+        let (al, _) = align_profiled(&a, &b, &c, &s());
+        assert_eq!(al, full::align(&a, &b, &c, &s()));
     }
 
     #[test]

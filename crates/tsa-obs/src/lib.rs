@@ -1,0 +1,60 @@
+//! # tsa-obs — zero-dependency observability primitives
+//!
+//! The wavefront algorithm's value proposition is parallel efficiency,
+//! and the service layer's is predictable behavior under load — both are
+//! claims about *where time goes*. This crate provides the two
+//! instruments the rest of the workspace uses to answer that question,
+//! with no dependencies (not even the vendored stand-ins):
+//!
+//! * **[`trace`]** — a structured tracing facade: [`Tracer`] hands out
+//!   [`Span`]s with ids, parents, and typed fields. Spans record
+//!   themselves to a pluggable [`SpanSink`] when they end — including
+//!   when they end by *drop during unwind*, so a panicking kernel still
+//!   produces a complete span tree. Sinks included: an in-memory ring
+//!   buffer ([`RingSink`]), a human-readable line writer
+//!   ([`TextSink`]), and a JSON-lines writer ([`JsonSink`]).
+//! * **[`metrics`]** — a [`Registry`] of named [`Counter`]s, [`Gauge`]s
+//!   and power-of-two [`Histogram`]s, rendered on demand as
+//!   Prometheus-style text exposition ([`Registry::expose`]).
+//!
+//! Both halves are cheap enough to leave on: counters and histogram
+//! records are single relaxed atomic RMWs; an unsampled span costs two
+//! `Instant` reads plus one sink call at end.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use trace::{
+    FieldValue, JsonSink, MultiSink, RingSink, Span, SpanRecord, SpanSink, TextSink, Tracer,
+};
+
+/// Escape a string for inclusion in a JSON string literal (shared by the
+/// JSON span sink and callers embedding exposition text in JSON).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

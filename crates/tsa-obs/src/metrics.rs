@@ -1,0 +1,433 @@
+//! Metrics registry: counters, gauges, and power-of-two histograms with
+//! Prometheus-style text exposition.
+//!
+//! Handles are cheap `Arc` clones around atomics; recording never locks.
+//! The registry itself is only locked to register a metric or to render
+//! the exposition text, both cold paths.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// `< 2^i` (bucket 0 counts zeros; the last bucket is open-ended).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (for tests or scratch use).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A power-of-two histogram over `u64` values (the service records
+/// microseconds). One atomic increment per observation; bucket `i`
+/// covers `[2^(i-1), 2^i)` with zeros landing in bucket 0.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Index of the bucket covering `value`: the smallest `i` with
+/// `value < 2^i`, clamped to the open-ended last bucket.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds.
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Point-in-time copy of the buckets, sum, and count.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            count: self.inner.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[i]` counts values in `[2^(i-1), 2^i)`).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing quantile `q` (0 when empty).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        quantile_upper_bound(&self.buckets, q)
+    }
+}
+
+/// Upper bound (`2^i`) of the power-of-two bucket containing quantile
+/// `q`; 0 when the histogram is empty.
+pub fn quantile_upper_bound(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << i.min(63);
+        }
+    }
+    1u64 << (buckets.len() - 1).min(63)
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// An ordered collection of named metrics. Registration order is
+/// exposition order, so output is stable for golden tests. Registering
+/// the same name twice returns a handle to the existing metric (the
+/// kinds must match).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, instrument: Instrument) -> Instrument {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(existing) = entries.iter().find(|e| e.name == name) {
+            assert_eq!(
+                existing.instrument.type_name(),
+                instrument.type_name(),
+                "metric {name:?} re-registered with a different type"
+            );
+            return existing.instrument.clone();
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: instrument.clone(),
+        });
+        instrument
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.register(name, help, Instrument::Counter(Counter::default())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, Instrument::Gauge(Gauge::default())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        match self.register(name, help, Instrument::Histogram(Histogram::default())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Render every metric as Prometheus-style text exposition: `# HELP`
+    /// and `# TYPE` lines followed by samples. Histograms emit cumulative
+    /// `_bucket{le="2^i"}` lines (bucket bounds are exclusive powers of
+    /// two, approximated as inclusive `le` values), then `_sum` and
+    /// `_count`. Trailing all-empty buckets are elided after the first
+    /// bucket at or beyond the largest observed value.
+    pub fn expose(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        for e in entries.iter() {
+            out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+            out.push_str(&format!("# TYPE {} {}\n", e.name, e.instrument.type_name()));
+            match &e.instrument {
+                Instrument::Counter(c) => out.push_str(&format!("{} {}\n", e.name, c.get())),
+                Instrument::Gauge(g) => out.push_str(&format!("{} {}\n", e.name, g.get())),
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let last_used = snap
+                        .buckets
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .unwrap_or(0)
+                        .max(1);
+                    let mut cumulative = 0u64;
+                    for (i, &count) in snap.buckets.iter().enumerate().take(last_used + 1) {
+                        cumulative += count;
+                        out.push_str(&format!(
+                            "{}_bucket{{le=\"{}\"}} {}\n",
+                            e.name,
+                            1u64 << i.min(63),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"+Inf\"}} {}\n",
+                        e.name, snap.count
+                    ));
+                    out.push_str(&format!("{}_sum {}\n", e.name, snap.sum));
+                    out.push_str(&format!("{}_count {}\n", e.name, snap.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("c_total", "a counter");
+        let g = reg.gauge("g", "a gauge");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn reregistration_returns_same_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("dup_total", "help");
+        let b = reg.counter("dup_total", "ignored");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.expose().matches("dup_total").count(), 3); // HELP, TYPE, sample
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn reregistration_with_kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x", "h");
+        reg.gauge("x", "h");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::detached();
+        h.record(0); // bucket 0
+        h.record(3); // bucket 2 (<4)
+        h.record(1000); // bucket 10 (<1024)
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 1003);
+        assert_eq!(snap.quantile_upper_bound(0.5), 4);
+    }
+
+    #[test]
+    fn histogram_records_durations_in_micros() {
+        let h = Histogram::detached();
+        h.record_duration_us(Duration::from_micros(999));
+        assert_eq!(h.snapshot().sum, 999);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[3] = 90; // <8us
+        buckets[8] = 10; // <256us
+        assert_eq!(quantile_upper_bound(&buckets, 0.50), 8);
+        assert_eq!(quantile_upper_bound(&buckets, 0.90), 8);
+        assert_eq!(quantile_upper_bound(&buckets, 0.99), 256);
+        assert_eq!(quantile_upper_bound(&[0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn exposition_shape_is_prometheus_like() {
+        let reg = Registry::new();
+        reg.counter("jobs_total", "Jobs.").add(2);
+        let h = reg.histogram("lat_us", "Latency.");
+        h.record(3);
+        h.record(100);
+        let text = reg.expose();
+        assert!(text.contains("# HELP jobs_total Jobs.\n"));
+        assert!(text.contains("# TYPE jobs_total counter\n"));
+        assert!(text.contains("jobs_total 2\n"));
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+        assert!(text.contains("lat_us_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{le=\"128\"} 2\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_us_sum 103\n"));
+        assert!(text.contains("lat_us_count 2\n"));
+        // Cumulative bucket counts never decrease.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            if line.contains("+Inf") {
+                continue;
+            }
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Golden rendering: the exposition is byte-for-byte stable —
+    /// registration order, HELP/TYPE lines, cumulative buckets, elided
+    /// tail. Scrapers and the CI accounting check rely on this shape.
+    #[test]
+    fn exposition_golden() {
+        let reg = Registry::new();
+        reg.counter("jobs_total", "Jobs handled.").add(7);
+        reg.gauge("depth", "Queue depth.").set(2);
+        let h = reg.histogram("lat_us", "Latency, microseconds.");
+        h.record(0); // bucket 0
+        h.record(3); // bucket 2
+        h.record(5); // bucket 3
+        let want = "\
+# HELP jobs_total Jobs handled.
+# TYPE jobs_total counter
+jobs_total 7
+# HELP depth Queue depth.
+# TYPE depth gauge
+depth 2
+# HELP lat_us Latency, microseconds.
+# TYPE lat_us histogram
+lat_us_bucket{le=\"1\"} 1
+lat_us_bucket{le=\"2\"} 1
+lat_us_bucket{le=\"4\"} 2
+lat_us_bucket{le=\"8\"} 3
+lat_us_bucket{le=\"+Inf\"} 3
+lat_us_sum 8
+lat_us_count 3
+";
+        assert_eq!(reg.expose(), want);
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_bucket() {
+        let reg = Registry::new();
+        reg.histogram("empty_us", "Nothing recorded.");
+        let text = reg.expose();
+        assert!(text.contains("empty_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_us_count 0\n"));
+    }
+}

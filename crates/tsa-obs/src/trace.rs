@@ -1,0 +1,503 @@
+//! Structured tracing: spans with ids, parents, and typed fields,
+//! recorded to a pluggable sink when they end.
+//!
+//! The central invariant is that **a span always records exactly once**,
+//! however its scope exits: `Drop` performs the recording, so a span
+//! held across a `panic!` still lands in the sink as the stack unwinds.
+//! The service relies on this to emit complete span trees for jobs that
+//! panic, miss deadlines, or are cancelled. [`Tracer::open_spans`]
+//! exposes the live-span balance so tests can assert none leaked.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A typed span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Free-form text.
+    Str(String),
+    /// Unsigned quantity (ids, counts, microseconds).
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Flag.
+    Bool(bool),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> String {
+        match self {
+            FieldValue::Str(s) => format!("\"{}\"", crate::json_escape(s)),
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// A finished span, as delivered to a [`SpanSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Tracer-unique span id (monotonic, starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Static stage name (e.g. `"job"`, `"kernel"`).
+    pub name: &'static str,
+    /// Start time in microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Fields and annotations, in the order they were attached.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Value of the first field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Where finished spans go. Implementations must tolerate concurrent
+/// calls from many threads.
+pub trait SpanSink: Send + Sync {
+    /// Deliver one finished span.
+    fn record(&self, span: &SpanRecord);
+}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    open: AtomicI64,
+    sink: Arc<dyn SpanSink>,
+}
+
+/// Hands out spans and delivers them to its sink. Cheap to clone.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("open_spans", &self.open_spans())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer delivering finished spans to `sink`.
+    pub fn new(sink: Arc<dyn SpanSink>) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                open: AtomicI64::new(0),
+                sink,
+            }),
+        }
+    }
+
+    /// Start a root span. It records to the sink when dropped.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.start_span(name, None)
+    }
+
+    /// Number of spans started but not yet ended. Zero means every span
+    /// tree emitted completely — the invariant the fault tests assert.
+    pub fn open_spans(&self) -> i64 {
+        self.inner.open.load(Ordering::Relaxed)
+    }
+
+    fn start_span(&self, name: &'static str, parent: Option<u64>) -> Span {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.open.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        Span {
+            tracer: self.clone(),
+            id,
+            parent,
+            name,
+            start: now,
+            start_us: now.duration_since(self.inner.epoch).as_micros() as u64,
+            fields: Vec::new(),
+        }
+    }
+}
+
+/// An in-flight span. Ends — and records to the tracer's sink — when
+/// dropped, including during panic unwinding.
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("parent", &self.parent)
+            .finish()
+    }
+}
+
+impl Span {
+    /// This span's tracer-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Start a child span. The child should end before its parent, but
+    /// nothing breaks if it does not — records carry explicit parents.
+    pub fn child(&self, name: &'static str) -> Span {
+        self.tracer.start_span(name, Some(self.id))
+    }
+
+    /// Attach a field. Keys may repeat; order is preserved.
+    pub fn annotate(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        self.fields.push((key, value.into()));
+    }
+
+    /// Builder-style [`Span::annotate`].
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        self.annotate(key, value);
+        self
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tracer.inner.open.fetch_sub(1, Ordering::Relaxed);
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+            fields: std::mem::take(&mut self.fields),
+        };
+        self.tracer.inner.sink.record(&record);
+    }
+}
+
+/// A bounded in-memory recorder: keeps the most recent `capacity`
+/// finished spans. Doubles as the collector for tests.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingSink {
+    /// A ring buffer holding at most `capacity` spans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Copy of the retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpanSink for RingSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span.clone());
+    }
+}
+
+/// Human-readable one-line-per-span sink.
+///
+/// ```text
+/// [   1204us +355us] kernel#3 <-#1 algorithm=wavefront
+/// ```
+pub struct TextSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> TextSink<W> {
+    /// Write spans as text lines to `writer`.
+    pub fn new(writer: W) -> TextSink<W> {
+        TextSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> SpanSink for TextSink<W> {
+    fn record(&self, span: &SpanRecord) {
+        let mut line = format!(
+            "[{:>8}us +{}us] {}#{}",
+            span.start_us, span.dur_us, span.name, span.id
+        );
+        if let Some(parent) = span.parent {
+            line.push_str(&format!(" <-#{parent}"));
+        }
+        for (k, v) in &span.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push('\n');
+        let mut w = self.writer.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// JSON-lines sink: one JSON object per finished span.
+///
+/// ```text
+/// {"span":"kernel","id":3,"parent":1,"start_us":1204,"dur_us":355,"fields":{"algorithm":"wavefront"}}
+/// ```
+pub struct JsonSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonSink<W> {
+    /// Write spans as JSON lines to `writer`.
+    pub fn new(writer: W) -> JsonSink<W> {
+        JsonSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> SpanSink for JsonSink<W> {
+    fn record(&self, span: &SpanRecord) {
+        let mut line = format!(
+            "{{\"span\":\"{}\",\"id\":{},\"parent\":{},\"start_us\":{},\"dur_us\":{}",
+            crate::json_escape(span.name),
+            span.id,
+            span.parent
+                .map_or_else(|| "null".to_string(), |p| p.to_string()),
+            span.start_us,
+            span.dur_us
+        );
+        line.push_str(",\"fields\":{");
+        for (i, (k, v)) in span.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{}", crate::json_escape(k), v.to_json()));
+        }
+        line.push_str("}}\n");
+        let mut w = self.writer.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// Fan a span out to several sinks.
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn SpanSink>>,
+}
+
+impl MultiSink {
+    /// A sink forwarding each record to every sink in `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn SpanSink>>) -> MultiSink {
+        MultiSink { sinks }
+    }
+}
+
+impl SpanSink for MultiSink {
+    fn record(&self, span: &SpanRecord) {
+        for sink in &self.sinks {
+            sink.record(span);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> (Tracer, Arc<RingSink>) {
+        let sink = Arc::new(RingSink::with_capacity(64));
+        (Tracer::new(sink.clone()), sink)
+    }
+
+    #[test]
+    fn spans_record_on_drop_with_parentage() {
+        let (tracer, sink) = collector();
+        {
+            let mut root = tracer.span("job").with("tag", "t1");
+            let child = root.child("kernel");
+            assert_eq!(tracer.open_spans(), 2);
+            drop(child);
+            root.annotate("outcome", "done");
+        }
+        assert_eq!(tracer.open_spans(), 0);
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 2);
+        // Children end first.
+        assert_eq!(spans[0].name, "kernel");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].name, "job");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].field("tag"), Some(&FieldValue::Str("t1".into())));
+        assert_eq!(
+            spans[1].field("outcome"),
+            Some(&FieldValue::Str("done".into()))
+        );
+    }
+
+    #[test]
+    fn panicking_scope_still_records_its_spans() {
+        let (tracer, sink) = collector();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let root = tracer.span("job");
+            let _child = root.child("kernel");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(tracer.open_spans(), 0, "unwind closed every span");
+        let names: Vec<_> = sink.snapshot().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["kernel", "job"]);
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let sink = Arc::new(RingSink::with_capacity(2));
+        let tracer = Tracer::new(sink.clone());
+        for _ in 0..3 {
+            tracer.span("s").end();
+        }
+        assert_eq!(sink.len(), 2);
+        let ids: Vec<_> = sink.snapshot().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn text_sink_formats_lines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Arc::new(TextSink::new(Shared(buf.clone()))));
+        let root = tracer.span("job").with("tag", "x");
+        root.child("kernel").end();
+        root.end();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("kernel#2 <-#1"));
+        assert!(lines[1].contains("job#1"));
+        assert!(lines[1].contains("tag=x"));
+    }
+
+    #[test]
+    fn json_sink_emits_valid_shape() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Arc::new(JsonSink::new(Shared(buf.clone()))));
+        tracer
+            .span("job")
+            .with("tag", "a\"b")
+            .with("cells", 42u64)
+            .with("cached", true)
+            .end();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.starts_with("{\"span\":\"job\",\"id\":1,\"parent\":null,"));
+        assert!(text.contains("\"fields\":{\"tag\":\"a\\\"b\",\"cells\":42,\"cached\":true}"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = Arc::new(RingSink::with_capacity(4));
+        let b = Arc::new(RingSink::with_capacity(4));
+        let tracer = Tracer::new(Arc::new(MultiSink::new(vec![a.clone(), b.clone()])));
+        tracer.span("s").end();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

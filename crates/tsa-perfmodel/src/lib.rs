@@ -12,6 +12,9 @@
 //! * [`model`] — a two-parameter cost model (`t_cell`, `t_barrier`) with
 //!   calibration from measured runs, predicting runtimes and speedup
 //!   curves (experiment `fig4` overlays these on measurements);
+//! * [`measured`] — fit a cost model to a measured
+//!   [`tsa_wavefront::PlaneProfile`] and report the prediction-vs-reality
+//!   delta (experiment `fig7`, `tsa align --profile-planes`);
 //! * [`memory`] — analytic memory footprints of every algorithm variant
 //!   (experiment `table3`);
 //! * [`cluster`] — an α–β message-cost model of the paper's
@@ -20,10 +23,12 @@
 //!   classic distributed wavefront schedule.
 
 pub mod cluster;
+pub mod measured;
 pub mod memory;
 pub mod model;
 pub mod pipeline;
 pub mod planes;
 
 pub use cluster::ClusterModel;
+pub use measured::ModelComparison;
 pub use model::CostModel;

@@ -1,0 +1,186 @@
+//! Calibrating the cost model from a measured plane profile and
+//! comparing its prediction against the measurement.
+//!
+//! A [`tsa_wavefront::PlaneProfile`] carries exactly the observations the
+//! two-parameter model needs: per-cell kernel time (`busy / items` →
+//! `t_cell`) and per-plane unexplained time (`barrier_overhead / planes`
+//! → `t_barrier`). [`compare`] fits a [`CostModel`] from those and
+//! reports the predicted-vs-measured delta plus where the gap comes from
+//! (ramp, imbalance, barrier) — the honesty check for the model the
+//! bench harness and `tsa align --profile-planes` print.
+
+use crate::model::{rounds, speedup_cap, CostModel};
+use std::fmt;
+use tsa_wavefront::PlaneProfile;
+
+/// A cost model fitted to one measured sweep, with the prediction it
+/// makes for that same sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelComparison {
+    /// Model calibrated from the profile (`t_cell = busy/items`,
+    /// `t_barrier = barrier_overhead/planes`).
+    pub model: CostModel,
+    /// Worker count the profile ran at.
+    pub workers: usize,
+    /// Model-predicted wall time for the profile's plane sizes at
+    /// `workers`.
+    pub predicted_ns: f64,
+    /// Measured wall time of the sweep.
+    pub measured_ns: u64,
+    /// Model-predicted speedup over one worker.
+    pub predicted_speedup: f64,
+    /// Mean parallelism of the shape — the barrier-schedule speedup cap.
+    pub speedup_cap: f64,
+    /// Worker rounds `Σ ceil(s_d / P)` at the measured worker count.
+    pub rounds: usize,
+}
+
+impl ModelComparison {
+    /// Signed relative error `(measured − predicted) / measured`.
+    /// Positive means the sweep ran slower than the fitted model
+    /// predicts (residual imbalance or interference the two parameters
+    /// don't capture); near zero means the model explains the run.
+    pub fn delta_frac(&self) -> f64 {
+        if self.measured_ns == 0 {
+            0.0
+        } else {
+            (self.measured_ns as f64 - self.predicted_ns) / self.measured_ns as f64
+        }
+    }
+}
+
+impl fmt::Display for ModelComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model: t_cell = {:.1} ns, t_barrier = {:.0} ns (fitted at P = {})",
+            self.model.t_cell_ns, self.model.t_barrier_ns, self.workers
+        )?;
+        writeln!(
+            f,
+            "predicted: {:.3} ms, measured: {:.3} ms, delta: {:+.1}%",
+            self.predicted_ns / 1e6,
+            self.measured_ns as f64 / 1e6,
+            self.delta_frac() * 100.0
+        )?;
+        write!(
+            f,
+            "predicted speedup: {:.2}× (cap {:.1}×), rounds: {}",
+            self.predicted_speedup, self.speedup_cap, self.rounds
+        )
+    }
+}
+
+/// Fit a [`CostModel`] from `profile` and compare its prediction against
+/// the profile's own measured wall time.
+///
+/// The fit uses only per-plane aggregates (total busy time, total
+/// barrier overhead), so the residual [`ModelComparison::delta_frac`]
+/// measures what the two-parameter model *cannot* express — chiefly
+/// intra-plane load imbalance, which the profile reports separately in
+/// [`tsa_wavefront::ProfileSummary::imbalance`].
+pub fn compare(profile: &PlaneProfile) -> ModelComparison {
+    let summary = profile.summary();
+    let sizes = profile.plane_sizes();
+    let p = profile.workers.max(1);
+    let model = CostModel {
+        t_cell_ns: summary.t_cell_ns(),
+        t_barrier_ns: summary.t_barrier_ns(),
+    };
+    ModelComparison {
+        model,
+        workers: p,
+        predicted_ns: model.predict_time_ns(&sizes, p),
+        measured_ns: summary.wall_ns,
+        predicted_speedup: model.predict_speedup(&sizes, p),
+        speedup_cap: speedup_cap(&sizes),
+        rounds: rounds(&sizes, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_wavefront::PlaneSample;
+
+    /// A synthetic profile that obeys the model exactly: every cell costs
+    /// `t_cell` ns, every plane pays `t_barrier` ns of overhead, tasks
+    /// split perfectly.
+    fn exact_profile(sizes: &[usize], workers: usize, t_cell: u64, t_barrier: u64) -> PlaneProfile {
+        let samples = sizes
+            .iter()
+            .enumerate()
+            .map(|(d, &items)| {
+                let tasks = items.div_ceil(items.div_ceil(workers).max(1)).max(1);
+                let busy = items as u64 * t_cell;
+                let max_task = items.div_ceil(workers) as u64 * t_cell;
+                PlaneSample {
+                    plane: d,
+                    items,
+                    tasks,
+                    wall_ns: max_task + t_barrier,
+                    busy_ns: busy,
+                    max_task_ns: max_task,
+                }
+            })
+            .collect();
+        PlaneProfile { workers, samples }
+    }
+
+    #[test]
+    fn model_following_profile_has_near_zero_delta() {
+        let sizes = [1usize, 3, 6, 10, 12, 10, 6, 3, 1];
+        let profile = exact_profile(&sizes, 4, 100, 2_000);
+        let cmp = compare(&profile);
+        assert!((cmp.model.t_cell_ns - 100.0).abs() < 1e-9, "{cmp:?}");
+        assert!((cmp.model.t_barrier_ns - 2_000.0).abs() < 1e-9);
+        // Prediction uses ceil(s/P)·t_cell + t_barrier per plane — exactly
+        // how the synthetic wall times were constructed.
+        assert!(cmp.delta_frac().abs() < 1e-9, "delta {}", cmp.delta_frac());
+        assert_eq!(cmp.rounds, rounds(&sizes, 4));
+    }
+
+    #[test]
+    fn imbalanced_run_has_positive_delta() {
+        let sizes = [64usize, 128, 64];
+        let mut profile = exact_profile(&sizes, 4, 50, 500);
+        // Make one plane's critical task run twice as long as the even
+        // split (same total busy time, so the fitted t_cell is
+        // unchanged): intra-plane imbalance, which the two-parameter
+        // model cannot express — the sweep runs slower than predicted.
+        profile.samples[1].max_task_ns *= 2;
+        profile.samples[1].wall_ns = profile.samples[1].max_task_ns + 500;
+        let cmp = compare(&profile);
+        assert!(cmp.delta_frac() > 0.0, "{}", cmp.delta_frac());
+    }
+
+    #[test]
+    fn speedup_respects_cap() {
+        let sizes = [1usize, 2, 3, 2, 1];
+        let profile = exact_profile(&sizes, 8, 10, 0);
+        let cmp = compare(&profile);
+        assert!(cmp.predicted_speedup <= cmp.speedup_cap + 1e-9);
+        assert!((cmp.speedup_cap - speedup_cap(&sizes)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let profile = PlaneProfile {
+            workers: 4,
+            samples: Vec::new(),
+        };
+        let cmp = compare(&profile);
+        assert_eq!(cmp.measured_ns, 0);
+        assert_eq!(cmp.delta_frac(), 0.0);
+        assert_eq!(cmp.rounds, 0);
+    }
+
+    #[test]
+    fn display_reports_model_and_delta() {
+        let profile = exact_profile(&[64, 128, 64], 2, 50, 500);
+        let text = compare(&profile).to_string();
+        assert!(text.contains("t_cell"), "{text}");
+        assert!(text.contains("predicted"), "{text}");
+        assert!(text.contains("delta"), "{text}");
+    }
+}

@@ -6,7 +6,7 @@ use crate::faults;
 use crate::governor::{self, MemoryGate, Reservation};
 use crate::queue::{job_queue, JobQueue, JobReceiver, PushError};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use crate::worker::{worker_loop, CompletedJob, Job, Responder};
+use crate::worker::{worker_loop, CompletedJob, Job, JobTrace, Responder};
 use crossbeam::channel::{self, Receiver};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tsa_core::{Algorithm, Aligner, CancelToken};
+use tsa_obs::Tracer;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 
@@ -35,6 +36,11 @@ pub struct ServiceConfig {
     /// Cap on estimated peak kernel bytes — applied per job *and*, summed
     /// over in-flight reservations, globally; `None` disables both.
     pub memory_budget: Option<u64>,
+    /// When set, every job emits a span tree (`job` root with `queued`,
+    /// `cache_lookup`, `kernel`, `traceback`, `respond` stage children)
+    /// to this tracer's sink; refused submissions emit an annotated
+    /// zero-stage `job` span. `None` disables tracing entirely.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +52,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             max_cells: None,
             memory_budget: None,
+            tracer: None,
         }
     }
 }
@@ -285,7 +292,7 @@ impl Engine {
             None
         } else {
             req.algorithm = chosen;
-            self.stats.downgraded.fetch_add(1, Ordering::Relaxed);
+            self.stats.downgraded.inc();
             Some(resolved)
         };
         Ok((degraded_from, reservation))
@@ -293,9 +300,21 @@ impl Engine {
 
     /// Count a governor refusal in the submission tallies.
     fn refuse(&self, e: SubmitError) -> SubmitError {
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        self.stats.submitted.inc();
+        self.stats.rejected.inc();
         e
+    }
+
+    /// A refused submission still leaves a trace: one `job` span with the
+    /// rejection reason and no stage children.
+    fn trace_rejection(&self, tag: &str, err: &SubmitError) {
+        if let Some(tracer) = &self.config.tracer {
+            tracer
+                .span("job")
+                .with("tag", tag)
+                .with("rejected", err.to_string())
+                .end();
+        }
     }
 
     fn make_job(
@@ -311,6 +330,21 @@ impl Engine {
             .or(self.config.default_deadline)
             .map(|d| Instant::now() + d);
         let cancel = CancelToken::new(deadline);
+        let trace = self.config.tracer.as_ref().map(|tracer| {
+            let mut root = tracer
+                .span("job")
+                .with("job_id", id)
+                .with("tag", req.tag.as_str())
+                .with("algorithm", req.algorithm.name());
+            if let Some(from) = degraded_from {
+                root.annotate("degraded_from", from.name());
+            }
+            let queued = root.child("queued");
+            JobTrace {
+                root,
+                queued: Some(queued),
+            }
+        });
         let [a, b, c] = req.seqs;
         let job = Job {
             id,
@@ -326,16 +360,18 @@ impl Engine {
             responder: Some(responder),
             degraded_from,
             reservation,
+            trace,
         };
         (id, cancel, job)
     }
 
-    fn admit(&self, job: Job, blocking: bool) -> Result<(), SubmitError> {
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    fn admit(&self, mut job: Job, blocking: bool) -> Result<(), SubmitError> {
+        self.stats.submitted.inc();
         // Clone the producer out of the slot so a blocking push does not
         // hold the lock (shutdown must stay callable concurrently).
         let Some(queue) = self.producer.lock().clone() else {
-            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.stats.rejected.inc();
+            job.reject("shutting_down");
             return Err(SubmitError::ShuttingDown);
         };
         let pushed = if blocking {
@@ -345,14 +381,16 @@ impl Engine {
         };
         match pushed {
             Ok(()) => Ok(()),
-            Err(PushError::Full(_)) => {
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(PushError::Full(mut job)) => {
+                self.stats.rejected.inc();
+                job.reject("overloaded");
                 Err(SubmitError::Overloaded {
                     capacity: queue.capacity(),
                 })
             }
-            Err(PushError::Closed(_)) => {
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(PushError::Closed(mut job)) => {
+                self.stats.rejected.inc();
+                job.reject("shutting_down");
                 Err(SubmitError::ShuttingDown)
             }
         }
@@ -375,7 +413,9 @@ impl Engine {
         mut req: AlignRequest,
         blocking: bool,
     ) -> Result<JobHandle, SubmitError> {
-        let (degraded_from, reservation) = self.govern(&mut req, blocking)?;
+        let (degraded_from, reservation) = self
+            .govern(&mut req, blocking)
+            .inspect_err(|e| self.trace_rejection(&req.tag, e))?;
         let (tx, rx) = channel::bounded(1);
         let (id, cancel, job) =
             self.make_job(req, Responder::Channel(tx), degraded_from, reservation);
@@ -391,7 +431,9 @@ impl Engine {
         mut req: AlignRequest,
         callback: impl FnOnce(CompletedJob) + Send + 'static,
     ) -> Result<(u64, CancelToken), SubmitError> {
-        let (degraded_from, reservation) = self.govern(&mut req, false)?;
+        let (degraded_from, reservation) = self
+            .govern(&mut req, false)
+            .inspect_err(|e| self.trace_rejection(&req.tag, e))?;
         let (id, cancel, job) = self.make_job(
             req,
             Responder::Callback(Box::new(callback)),
@@ -405,6 +447,12 @@ impl Engine {
     /// Point-in-time counters, including the live queue depth.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot(self.observer.depth())
+    }
+
+    /// Prometheus-style text exposition of every service metric,
+    /// including the stage-latency histograms and the live queue depth.
+    pub fn metrics_text(&self) -> String {
+        self.stats.expose(self.observer.depth())
     }
 
     /// Jobs currently queued.
@@ -481,7 +529,7 @@ fn supervise(
                 respawned += 1;
                 let dead = std::mem::replace(slot, fresh);
                 let _ = dead.join();
-                stats.respawns.fetch_add(1, Ordering::Relaxed);
+                stats.respawns.inc();
             }
         }
         std::thread::sleep(Duration::from_millis(10));

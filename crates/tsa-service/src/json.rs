@@ -371,6 +371,20 @@ impl JsonObject {
         self
     }
 
+    /// Add an array-of-unsigned-integers field.
+    pub fn u64_array(mut self, key: &str, values: &[u64]) -> Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{v}");
+        }
+        self.out.push(']');
+        self
+    }
+
     /// Add an array-of-strings field.
     pub fn str_array(mut self, key: &str, values: &[String]) -> Self {
         self.key(key);

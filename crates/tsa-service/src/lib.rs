@@ -82,4 +82,5 @@ pub use queue::{job_queue, JobQueue, JobReceiver, PushError};
 pub use server::{run_all, run_batch, serve_listener, serve_session, serve_stdio, serve_tcp};
 pub use stats::{ServiceStats, StatsSnapshot};
 pub use tsa_core::cancel::{CancelProgress, CancelToken};
+pub use tsa_obs::{JsonSink, RingSink, SpanRecord, SpanSink, TextSink, Tracer};
 pub use worker::CompletedJob;

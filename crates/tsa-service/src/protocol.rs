@@ -7,6 +7,7 @@
 //! {"op":"submit","id":"j1","a":"GATTACA","b":"GATACA","c":"GTTACA",
 //!  "scoring":"dna","algorithm":"auto","deadline_ms":5000,"score_only":false}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -31,6 +32,9 @@ pub enum Request {
     Submit(Box<AlignRequest>),
     /// Report the engine counters.
     Stats,
+    /// Report every metric as Prometheus-style text exposition, embedded
+    /// in one JSON response line.
+    Metrics,
     /// Drain the queue, stop the workers, report final counters.
     Shutdown,
 }
@@ -153,6 +157,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         .ok_or_else(|| ProtocolError::new(id_ref, "missing string field 'op'"))?;
     match op {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "submit" => {
             let declared = parse_alphabet(&obj, id_ref)?;
@@ -314,11 +319,29 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
         .u64("latency_p99_us", stats.latency_p99_us)
+        .u64("queue_wait_p50_us", stats.queue_wait_p50_us)
+        .u64("queue_wait_p99_us", stats.queue_wait_p99_us)
+        .u64("kernel_p50_us", stats.kernel_p50_us)
+        .u64("kernel_p99_us", stats.kernel_p99_us)
+        .u64_array("latency_buckets", &stats.latency_buckets)
+        .u64_array("queue_wait_buckets", &stats.queue_wait_buckets)
+        .u64_array("kernel_buckets", &stats.kernel_buckets)
 }
 
 /// Render a `stats` response.
 pub fn render_stats(stats: &StatsSnapshot) -> String {
     stats_fields(JsonObject::new().bool("ok", true).str("op", "stats"), stats).finish()
+}
+
+/// Render a `metrics` response: the Prometheus-style exposition text is
+/// carried as one escaped string field, keeping the stream NDJSON.
+pub fn render_metrics(exposition: &str) -> String {
+    JsonObject::new()
+        .bool("ok", true)
+        .str("op", "metrics")
+        .str("format", "prometheus")
+        .str("body", exposition)
+        .finish()
 }
 
 /// Render the final `shutdown` response.
@@ -380,6 +403,10 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"op":"stats"}"#).unwrap(),
             Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
         ));
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
@@ -572,6 +599,13 @@ mod tests {
             latency_p50_us: 64,
             latency_p90_us: 128,
             latency_p99_us: 256,
+            queue_wait_p50_us: 8,
+            queue_wait_p99_us: 16,
+            kernel_p50_us: 32,
+            kernel_p99_us: 128,
+            latency_buckets: vec![0, 2, 1],
+            queue_wait_buckets: vec![3],
+            kernel_buckets: vec![],
         };
         let v = Value::parse(&render_stats(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("stats"));
@@ -580,7 +614,29 @@ mod tests {
         assert_eq!(v.get("respawns").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("downgraded").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
+        assert_eq!(v.get("queue_wait_p99_us").unwrap().as_u64(), Some(16));
+        assert_eq!(v.get("kernel_p50_us").unwrap().as_u64(), Some(32));
+        match v.get("latency_buckets").unwrap() {
+            Value::Arr(items) => {
+                let counts: Vec<u64> = items.iter().map(|i| i.as_u64().unwrap()).collect();
+                assert_eq!(counts, vec![0, 2, 1]);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(matches!(v.get("kernel_buckets"), Some(Value::Arr(a)) if a.is_empty()));
         let v = Value::parse(&render_shutdown(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn renders_metrics_as_parseable_json() {
+        let exposition = "# HELP tsa_jobs_submitted_total Submissions.\n# TYPE tsa_jobs_submitted_total counter\ntsa_jobs_submitted_total 3\n";
+        let line = render_metrics(exposition);
+        assert!(!line.contains('\n'), "metrics response stays one line");
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("metrics"));
+        assert_eq!(v.get("format").unwrap().as_str(), Some("prometheus"));
+        assert_eq!(v.get("body").unwrap().as_str(), Some(exposition));
     }
 }

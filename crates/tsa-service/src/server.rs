@@ -56,6 +56,9 @@ where
         match protocol::parse_request(line) {
             Err(err) => write_line(&writer, &protocol::render_protocol_error(&err))?,
             Ok(Request::Stats) => write_line(&writer, &protocol::render_stats(&engine.stats()))?,
+            Ok(Request::Metrics) => {
+                write_line(&writer, &protocol::render_metrics(&engine.metrics_text()))?
+            }
             Ok(Request::Shutdown) => {
                 let stats = engine.shutdown();
                 write_line(&writer, &protocol::render_shutdown(&stats))?;
@@ -154,6 +157,9 @@ pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) ->
         match protocol::parse_request(text) {
             Err(err) => immediate.push((lineno, protocol::render_protocol_error(&err))),
             Ok(Request::Stats) => immediate.push((lineno, protocol::render_stats(&engine.stats()))),
+            Ok(Request::Metrics) => {
+                immediate.push((lineno, protocol::render_metrics(&engine.metrics_text())))
+            }
             Ok(Request::Shutdown) => break,
             Ok(Request::Submit(req)) => {
                 let tag = req.tag.clone();

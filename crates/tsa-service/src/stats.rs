@@ -1,4 +1,7 @@
-//! Service counters and the completion-latency histogram.
+//! Service counters and stage-latency histograms, backed by a
+//! [`tsa_obs::Registry`] so the same numbers drive [`StatsSnapshot`],
+//! the `stats` protocol response, and the Prometheus-style `metrics`
+//! exposition.
 //!
 //! All counters are relaxed atomics — they are monotonic tallies read for
 //! observability, never used for synchronization. At quiescence (queue
@@ -6,109 +9,164 @@
 //! `submitted == completed + rejected + cancelled + failed` holds.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use tsa_obs::{Counter, Gauge, Histogram, Registry};
 
-/// Number of power-of-two latency buckets: bucket `i` counts completions
-/// with `latency_us < 2^i` (last bucket is open-ended).
-const BUCKETS: usize = 40;
-
-/// Live counters owned by the engine and shared with every worker.
-#[derive(Debug, Default)]
-pub struct ServiceStats {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) cancelled: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) cache_hits: AtomicU64,
-    pub(crate) cache_misses: AtomicU64,
-    pub(crate) panics: AtomicU64,
-    pub(crate) respawns: AtomicU64,
-    pub(crate) downgraded: AtomicU64,
-    latency: Histogram,
-}
-
+/// Live counters owned by the engine and shared with every worker. Every
+/// instrument is registered on an owned [`Registry`] under a stable
+/// `tsa_`-prefixed name (see the README's Observability section).
 #[derive(Debug)]
-struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
+pub struct ServiceStats {
+    registry: Registry,
+    pub(crate) submitted: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) cancelled: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    pub(crate) panics: Counter,
+    pub(crate) respawns: Counter,
+    pub(crate) downgraded: Counter,
+    queue_depth: Gauge,
+    latency: Histogram,
+    queue_wait: Histogram,
+    kernel: Histogram,
 }
 
-impl Default for Histogram {
+impl Default for ServiceStats {
     fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        let registry = Registry::new();
+        ServiceStats {
+            submitted: registry.counter(
+                "tsa_jobs_submitted_total",
+                "Submission attempts, including rejected ones.",
+            ),
+            completed: registry.counter(
+                "tsa_jobs_completed_total",
+                "Jobs that produced a result (fresh or cached).",
+            ),
+            rejected: registry.counter(
+                "tsa_jobs_rejected_total",
+                "Jobs refused at admission (queue full, resource governor, or shutting down).",
+            ),
+            cancelled: registry.counter(
+                "tsa_jobs_cancelled_total",
+                "Jobs that missed their deadline or were cancelled via their handle.",
+            ),
+            failed: registry.counter(
+                "tsa_jobs_failed_total",
+                "Jobs whose kernel failed, panicked, or whose worker died.",
+            ),
+            cache_hits: registry.counter(
+                "tsa_cache_hits_total",
+                "Completions served from the result cache.",
+            ),
+            cache_misses: registry.counter(
+                "tsa_cache_misses_total",
+                "Completions that had to run a kernel.",
+            ),
+            panics: registry.counter(
+                "tsa_kernel_panics_total",
+                "Kernel panics caught and converted to failed outcomes.",
+            ),
+            respawns: registry.counter(
+                "tsa_worker_respawns_total",
+                "Worker threads the supervisor found dead and replaced.",
+            ),
+            downgraded: registry.counter(
+                "tsa_jobs_downgraded_total",
+                "Auto jobs the admission governor downgraded to a lower-memory algorithm.",
+            ),
+            queue_depth: registry.gauge("tsa_queue_depth", "Jobs currently queued."),
+            latency: registry.histogram(
+                "tsa_job_latency_us",
+                "Submit-to-completion latency of completed jobs, microseconds.",
+            ),
+            queue_wait: registry.histogram(
+                "tsa_job_queue_wait_us",
+                "Time jobs spent queued before a worker picked them up, microseconds.",
+            ),
+            kernel: registry.histogram(
+                "tsa_job_kernel_us",
+                "Wall time spent inside the alignment kernel, microseconds.",
+            ),
+            registry,
         }
-    }
-}
-
-impl Histogram {
-    fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        // Bucket i covers [2^(i-1), 2^i) microseconds; 0..1us lands in 0.
-        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> Vec<u64> {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
     }
 }
 
 impl ServiceStats {
     pub(crate) fn record_latency(&self, latency: Duration) {
-        self.latency.record(latency);
+        self.latency.record_duration_us(latency);
+    }
+
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record_duration_us(wait);
+    }
+
+    pub(crate) fn record_kernel(&self, elapsed: Duration) {
+        self.kernel.record_duration_us(elapsed);
+    }
+
+    /// The registry every instrument lives on (for embedding callers that
+    /// want to add their own metrics to the same exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus-style text exposition of every metric. The live queue
+    /// depth is owned by the queue, so the engine passes it in.
+    pub fn expose(&self, queue_depth: usize) -> String {
+        self.queue_depth
+            .set(queue_depth.min(i64::MAX as usize) as i64);
+        self.registry.expose()
     }
 
     /// A consistent-enough point-in-time copy of every counter. The live
     /// queue depth is owned by the queue itself, so the engine passes it
     /// in when snapshotting.
     pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
-        let buckets = self.latency.snapshot();
+        let latency = self.latency.snapshot();
+        let queue_wait = self.queue_wait.snapshot();
+        let kernel = self.kernel.snapshot();
         StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            respawns: self.respawns.load(Ordering::Relaxed),
-            downgraded: self.downgraded.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            rejected: self.rejected.get(),
+            cancelled: self.cancelled.get(),
+            failed: self.failed.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            panics: self.panics.get(),
+            respawns: self.respawns.get(),
+            downgraded: self.downgraded.get(),
             queue_depth,
-            latency_p50_us: quantile_upper_bound(&buckets, 0.50),
-            latency_p90_us: quantile_upper_bound(&buckets, 0.90),
-            latency_p99_us: quantile_upper_bound(&buckets, 0.99),
+            latency_p50_us: latency.quantile_upper_bound(0.50),
+            latency_p90_us: latency.quantile_upper_bound(0.90),
+            latency_p99_us: latency.quantile_upper_bound(0.99),
+            queue_wait_p50_us: queue_wait.quantile_upper_bound(0.50),
+            queue_wait_p99_us: queue_wait.quantile_upper_bound(0.99),
+            kernel_p50_us: kernel.quantile_upper_bound(0.50),
+            kernel_p99_us: kernel.quantile_upper_bound(0.99),
+            latency_buckets: trim_buckets(latency.buckets),
+            queue_wait_buckets: trim_buckets(queue_wait.buckets),
+            kernel_buckets: trim_buckets(kernel.buckets),
         }
     }
 }
 
-/// Upper bound (in µs) of the histogram bucket containing quantile `q`;
-/// 0 when the histogram is empty.
-fn quantile_upper_bound(buckets: &[u64], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (q * total as f64).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, &count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            // Bucket i covers latencies < 2^i µs.
-            return 1u64 << i.min(63);
-        }
-    }
-    1u64 << (buckets.len() - 1).min(63)
+/// Drop trailing empty buckets (the snapshot still identifies bucket `i`
+/// as covering `[2^(i-1), 2^i)` µs by index).
+fn trim_buckets(mut buckets: Vec<u64>) -> Vec<u64> {
+    let keep = buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    buckets.truncate(keep);
+    buckets
 }
 
 /// Point-in-time view of the service counters, exposed through the `stats`
 /// protocol request and printed at shutdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Submission attempts, including rejected ones.
     pub submitted: u64,
@@ -140,6 +198,23 @@ pub struct StatsSnapshot {
     pub latency_p90_us: u64,
     /// 99th-percentile latency bound (µs).
     pub latency_p99_us: u64,
+    /// Median time spent queued before a worker pick-up (µs bound).
+    pub queue_wait_p50_us: u64,
+    /// 99th-percentile queue wait bound (µs).
+    pub queue_wait_p99_us: u64,
+    /// Median kernel wall time (µs bound).
+    pub kernel_p50_us: u64,
+    /// 99th-percentile kernel wall time bound (µs).
+    pub kernel_p99_us: u64,
+    /// Raw completion-latency buckets: `latency_buckets[i]` counts jobs
+    /// with latency in `[2^(i-1), 2^i)` µs (trailing zeros trimmed), so
+    /// clients can compute their own quantiles instead of trusting the
+    /// power-of-two bounds above.
+    pub latency_buckets: Vec<u64>,
+    /// Raw queue-wait buckets, same indexing as `latency_buckets`.
+    pub queue_wait_buckets: Vec<u64>,
+    /// Raw kernel-time buckets, same indexing as `latency_buckets`.
+    pub kernel_buckets: Vec<u64>,
 }
 
 impl StatsSnapshot {
@@ -167,10 +242,15 @@ impl fmt::Display for StatsSnapshot {
             "faults: {} kernel panics, {} worker respawns, {} governor downgrades",
             self.panics, self.respawns, self.downgraded
         )?;
-        write!(
+        writeln!(
             f,
             "latency (µs, bucket upper bounds): p50 ≤ {}, p90 ≤ {}, p99 ≤ {}",
             self.latency_p50_us, self.latency_p90_us, self.latency_p99_us
+        )?;
+        write!(
+            f,
+            "stages (µs): queue-wait p50 ≤ {} p99 ≤ {}; kernel p50 ≤ {} p99 ≤ {}",
+            self.queue_wait_p50_us, self.queue_wait_p99_us, self.kernel_p50_us, self.kernel_p99_us
         )
     }
 }
@@ -185,35 +265,110 @@ mod tests {
         s.record_latency(Duration::from_micros(0)); // bucket 0
         s.record_latency(Duration::from_micros(3)); // bucket 2 (<4)
         s.record_latency(Duration::from_micros(1000)); // bucket 10 (<1024)
-        let buckets = s.latency.snapshot();
-        assert_eq!(buckets[0], 1);
-        assert_eq!(buckets[2], 1);
-        assert_eq!(buckets[10], 1);
-        assert_eq!(buckets.iter().sum::<u64>(), 3);
-    }
-
-    #[test]
-    fn quantiles_from_buckets() {
-        let mut buckets = vec![0u64; BUCKETS];
-        buckets[3] = 90; // <8us
-        buckets[8] = 10; // <256us
-        assert_eq!(quantile_upper_bound(&buckets, 0.50), 8);
-        assert_eq!(quantile_upper_bound(&buckets, 0.90), 8);
-        assert_eq!(quantile_upper_bound(&buckets, 0.99), 256);
-        assert_eq!(quantile_upper_bound(&[0; 4], 0.5), 0);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.latency_buckets[0], 1);
+        assert_eq!(snap.latency_buckets[2], 1);
+        assert_eq!(snap.latency_buckets[10], 1);
+        assert_eq!(snap.latency_buckets.len(), 11, "trailing zeros trimmed");
+        assert_eq!(snap.latency_buckets.iter().sum::<u64>(), 3);
     }
 
     #[test]
     fn snapshot_reads_counters() {
         let s = ServiceStats::default();
-        s.submitted.fetch_add(5, Ordering::Relaxed);
-        s.completed.fetch_add(3, Ordering::Relaxed);
-        s.rejected.fetch_add(1, Ordering::Relaxed);
-        s.cancelled.fetch_add(1, Ordering::Relaxed);
+        s.submitted.add(5);
+        s.completed.add(3);
+        s.rejected.inc();
+        s.cancelled.inc();
         let snap = s.snapshot(2);
         assert_eq!(snap.submitted, 5);
         assert_eq!(snap.resolved(), 5);
         assert_eq!(snap.queue_depth, 2);
+        assert!(snap.latency_buckets.is_empty());
+    }
+
+    #[test]
+    fn stage_histograms_are_split() {
+        let s = ServiceStats::default();
+        s.record_queue_wait(Duration::from_micros(5)); // bucket 3
+        s.record_kernel(Duration::from_micros(500)); // bucket 9
+        let snap = s.snapshot(0);
+        assert_eq!(snap.queue_wait_buckets.iter().sum::<u64>(), 1);
+        assert_eq!(snap.kernel_buckets.iter().sum::<u64>(), 1);
+        assert_eq!(snap.queue_wait_p50_us, 8);
+        assert_eq!(snap.kernel_p50_us, 512);
+        assert!(snap.latency_buckets.is_empty());
+    }
+
+    #[test]
+    fn exposition_contains_every_metric_family() {
+        let s = ServiceStats::default();
+        s.submitted.inc();
+        s.completed.inc();
+        s.record_latency(Duration::from_micros(90));
+        s.record_queue_wait(Duration::from_micros(10));
+        s.record_kernel(Duration::from_micros(80));
+        let text = s.expose(3);
+        for name in [
+            "tsa_jobs_submitted_total",
+            "tsa_jobs_completed_total",
+            "tsa_jobs_rejected_total",
+            "tsa_jobs_cancelled_total",
+            "tsa_jobs_failed_total",
+            "tsa_cache_hits_total",
+            "tsa_cache_misses_total",
+            "tsa_kernel_panics_total",
+            "tsa_worker_respawns_total",
+            "tsa_jobs_downgraded_total",
+            "tsa_queue_depth",
+            "tsa_job_latency_us",
+            "tsa_job_queue_wait_us",
+            "tsa_job_kernel_us",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "missing {name}");
+        }
+        assert!(text.contains("tsa_queue_depth 3\n"));
+        assert!(text.contains("tsa_job_latency_us_count 1\n"));
+    }
+
+    /// Golden family order + TYPE lines: scrape configs and the CI
+    /// accounting check key on these exact names in this exact order.
+    #[test]
+    fn exposition_family_order_is_stable() {
+        let text = ServiceStats::default().expose(0);
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+        assert_eq!(
+            type_lines,
+            vec![
+                "# TYPE tsa_jobs_submitted_total counter",
+                "# TYPE tsa_jobs_completed_total counter",
+                "# TYPE tsa_jobs_rejected_total counter",
+                "# TYPE tsa_jobs_cancelled_total counter",
+                "# TYPE tsa_jobs_failed_total counter",
+                "# TYPE tsa_cache_hits_total counter",
+                "# TYPE tsa_cache_misses_total counter",
+                "# TYPE tsa_kernel_panics_total counter",
+                "# TYPE tsa_worker_respawns_total counter",
+                "# TYPE tsa_jobs_downgraded_total counter",
+                "# TYPE tsa_queue_depth gauge",
+                "# TYPE tsa_job_latency_us histogram",
+                "# TYPE tsa_job_queue_wait_us histogram",
+                "# TYPE tsa_job_kernel_us histogram",
+            ]
+        );
+        // Every TYPE line is directly preceded by its HELP line.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(name) = l
+                .strip_prefix("# TYPE ")
+                .map(|r| r.split(' ').next().unwrap())
+            {
+                assert!(
+                    lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                    "HELP must precede TYPE for {name}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -222,5 +377,7 @@ mod tests {
         assert!(text.contains("submitted"));
         assert!(text.contains("cache"));
         assert!(text.contains("p99"));
+        assert!(text.contains("queue-wait"));
+        assert!(text.contains("kernel"));
     }
 }

@@ -7,6 +7,12 @@
 //! survives. If the worker thread itself dies (a panic outside the catch
 //! region), a drop guard still resolves the job's handle with `Failed`
 //! so no waiter hangs, and the engine's supervisor respawns the thread.
+//!
+//! When the engine carries a [`tsa_obs::Tracer`], each job emits a span
+//! tree: a `job` root opened at submission, with `queued`,
+//! `cache_lookup`, `kernel`, `traceback`, and `respond` children marking
+//! the lifecycle stages. Spans record on drop, so the tree completes
+//! even when a stage panics or the job is cancelled mid-kernel.
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::error::{CancelStage, JobOutcome, JobResult};
@@ -16,12 +22,21 @@ use crate::queue::JobReceiver;
 use crate::stats::ServiceStats;
 use crossbeam::channel::Sender;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsa_core::{Algorithm, AlignError, Aligner, Alignment3, CancelProgress, CancelToken};
+use tsa_obs::Span;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
+
+/// The span tree of one traced job: the root covers the whole lifecycle;
+/// `queued` is opened at submission and closed when a worker picks the
+/// job up (its duration *is* the queue wait).
+#[derive(Debug)]
+pub(crate) struct JobTrace {
+    pub root: Span,
+    pub queued: Option<Span>,
+}
 
 /// An accepted unit of work travelling from the queue to a worker.
 #[derive(Debug)]
@@ -42,6 +57,31 @@ pub(crate) struct Job {
     pub degraded_from: Option<Algorithm>,
     /// Share of the global memory budget, released when the job drops.
     pub reservation: Option<Reservation>,
+    /// Present when the engine was configured with a tracer.
+    pub trace: Option<JobTrace>,
+}
+
+impl Job {
+    /// Attach a field to the root span, if this job is traced.
+    fn annotate(&mut self, key: &'static str, value: impl Into<tsa_obs::FieldValue>) {
+        if let Some(t) = self.trace.as_mut() {
+            t.root.annotate(key, value);
+        }
+    }
+
+    /// Open a child stage span under the root, if this job is traced.
+    fn stage(&self, name: &'static str) -> Option<Span> {
+        self.trace.as_ref().map(|t| t.root.child(name))
+    }
+
+    /// Mark a traced job as refused at admission: the `queued` stage is
+    /// closed and the root records the rejection reason.
+    pub(crate) fn reject(&mut self, reason: &'static str) {
+        if let Some(t) = self.trace.as_mut() {
+            t.queued.take();
+            t.root.annotate("rejected", reason);
+        }
+    }
 }
 
 /// How a finished job reports back: a per-job channel (library callers
@@ -92,15 +132,20 @@ pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: 
         };
         // An injected `#fault-abort` panics *outside* the kernel isolation
         // boundary: this worker thread dies, the guard resolves the
-        // handle, and the supervisor respawns the thread.
+        // handle, and the supervisor respawns the thread. Dropping `job`
+        // during the unwind still closes its spans.
         if faults::wants_abort(&job.tag) {
             panic!("injected worker abort");
         }
-        let outcome = serve_one(&job, &cache, &stats);
+        let outcome = serve_one(&mut job, &cache, &stats);
         // Return the job's share of the memory budget before the waiter
         // can observe resolution (on unwind, dropping `job` releases it).
         job.reservation.take();
+        job.annotate("outcome", outcome.label());
+        let respond_span = job.stage("respond");
         guard.resolve(outcome);
+        drop(respond_span);
+        // Dropping `job` here closes the root span.
     }
 }
 
@@ -125,7 +170,7 @@ impl JobGuard {
 impl Drop for JobGuard {
     fn drop(&mut self) {
         if let Some(responder) = self.responder.take() {
-            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            self.stats.failed.inc();
             respond(
                 responder,
                 self.id,
@@ -172,17 +217,24 @@ fn cancellable_sleep(total: Duration, cancel: &CancelToken) -> Result<(), AlignE
     }
 }
 
-fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome {
+fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome {
     let wait = job.submitted.elapsed();
+    // Close the `queued` stage: a worker now owns the job.
+    if let Some(t) = job.trace.as_mut() {
+        t.queued.take();
+    }
+    stats.record_queue_wait(wait);
 
     // Checkpoint 1: the job may have expired or been cancelled while
     // queued — no work has been done yet.
     if job.cancel.is_cancelled() {
-        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        stats.cancelled.inc();
+        job.annotate("cancelled_at", "queued");
         return JobOutcome::Cancelled { progress: None };
     }
     if job.cancel.deadline_expired() {
-        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        stats.cancelled.inc();
+        job.annotate("deadline_at", "queued");
         return JobOutcome::DeadlineExceeded {
             stage: CancelStage::Queued,
             progress: None,
@@ -201,10 +253,17 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
         job.score_only,
     );
 
-    if let Some(hit) = cache.get(&key) {
-        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-        stats.completed.fetch_add(1, Ordering::Relaxed);
+    let mut lookup_span = job.stage("cache_lookup");
+    let hit = cache.get(&key);
+    if let Some(s) = lookup_span.as_mut() {
+        s.annotate("hit", hit.is_some());
+    }
+    drop(lookup_span);
+    if let Some(hit) = hit {
+        stats.cache_hits.inc();
+        stats.completed.inc();
         stats.record_latency(job.submitted.elapsed());
+        job.annotate("cached", true);
         return JobOutcome::Done(JobResult {
             score: hit.score,
             rows: hit.rows,
@@ -215,50 +274,65 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
             service: served.elapsed(),
         });
     }
-    stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    stats.cache_misses.inc();
 
     // The isolation boundary: anything that unwinds out of the kernel
     // (including injected faults) is converted to a structured failure
     // instead of killing this worker.
-    let kernel = || -> Result<(i32, Option<[String; 3]>), AlignError> {
-        if faults::wants_panic(&job.tag) {
+    let tag = job.tag.clone();
+    let cancel = job.cancel.clone();
+    let kernel = || -> Result<(i32, Option<Alignment3>), AlignError> {
+        if faults::wants_panic(&tag) {
             panic!("injected kernel panic");
         }
-        if let Some(delay) = faults::delay_of(&job.tag) {
-            cancellable_sleep(delay, &job.cancel)?;
+        if let Some(delay) = faults::delay_of(&tag) {
+            cancellable_sleep(delay, &cancel)?;
         }
         if job.score_only {
             aligner
-                .score3_cancellable(&job.a, &job.b, &job.c, &job.cancel)
+                .score3_cancellable(&job.a, &job.b, &job.c, &cancel)
                 .map(|score| (score, None))
         } else {
             aligner
-                .align3_cancellable(&job.a, &job.b, &job.c, &job.cancel)
-                .map(|aln| (aln.score, Some(rows_to_strings(&aln))))
+                .align3_cancellable(&job.a, &job.b, &job.c, &cancel)
+                .map(|aln| (aln.score, Some(aln)))
         }
     };
-    let computed = match std::panic::catch_unwind(AssertUnwindSafe(kernel)) {
+    let mut kernel_span = job.stage("kernel");
+    if let Some(s) = kernel_span.as_mut() {
+        s.annotate("algorithm", resolved.name());
+    }
+    let kernel_started = Instant::now();
+    let computed = std::panic::catch_unwind(AssertUnwindSafe(kernel));
+    stats.record_kernel(kernel_started.elapsed());
+    let computed = match computed {
         Ok(result) => result,
         Err(payload) => {
-            stats.panics.fetch_add(1, Ordering::Relaxed);
-            stats.failed.fetch_add(1, Ordering::Relaxed);
-            return JobOutcome::Failed(format!(
-                "kernel panicked: {}",
-                panic_message(payload.as_ref())
-            ));
+            stats.panics.inc();
+            stats.failed.inc();
+            let message = panic_message(payload.as_ref()).to_string();
+            if let Some(s) = kernel_span.as_mut() {
+                s.annotate("panic", message.as_str());
+            }
+            drop(kernel_span);
+            job.annotate("panic", message.as_str());
+            return JobOutcome::Failed(format!("kernel panicked: {message}"));
         }
     };
+    drop(kernel_span);
 
-    let (score, rows) = match computed {
+    let (score, alignment) = match computed {
         Ok(r) => r,
         // The cancellation token stopped the DP loop between planes.
         Err(AlignError::Cancelled(progress)) => {
-            stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            stats.cancelled.inc();
             return if job.cancel.is_cancelled() {
+                job.annotate("cancelled_at", "kernel");
                 JobOutcome::Cancelled {
                     progress: Some(progress),
                 }
             } else {
+                job.annotate("deadline_at", "kernel");
                 JobOutcome::DeadlineExceeded {
                     stage: CancelStage::Kernel,
                     progress: Some(progress),
@@ -266,13 +340,17 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
             };
         }
         Err(e) => {
-            stats.failed.fetch_add(1, Ordering::Relaxed);
+            stats.failed.inc();
+            job.annotate("error", e.to_string());
             return JobOutcome::Failed(e.to_string());
         }
     };
 
-    // The work is done — cache it regardless of the deadline so repeat
-    // requests are cheap even when this one was too slow.
+    // Materialize the traceback into gapped rows and cache the result —
+    // done regardless of the deadline so repeat requests are cheap even
+    // when this one was too slow.
+    let traceback_span = job.stage("traceback");
+    let rows = alignment.as_ref().map(rows_to_strings);
     cache.put(
         key,
         CachedResult {
@@ -281,23 +359,27 @@ fn serve_one(job: &Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome
             algorithm: resolved,
         },
     );
+    drop(traceback_span);
 
     // Checkpoint 2: the deadline may have fired after the kernel's last
     // cancellation check.
     if job.cancel.is_cancelled() {
-        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        stats.cancelled.inc();
+        job.annotate("cancelled_at", "computed");
         return JobOutcome::Cancelled { progress: None };
     }
     if job.cancel.deadline_expired() {
-        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        stats.cancelled.inc();
+        job.annotate("deadline_at", "computed");
         return JobOutcome::DeadlineExceeded {
             stage: CancelStage::Computed,
             progress: None,
         };
     }
 
-    stats.completed.fetch_add(1, Ordering::Relaxed);
+    stats.completed.inc();
     stats.record_latency(job.submitted.elapsed());
+    job.annotate("resolved", resolved.name());
     JobOutcome::Done(JobResult {
         score,
         rows,

@@ -10,7 +10,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsa_core::Algorithm;
 use tsa_seq::{family::FamilyConfig, Seq};
-use tsa_service::{AlignRequest, CancelStage, Engine, JobOutcome, ServiceConfig, SubmitError};
+use tsa_service::{
+    AlignRequest, CancelStage, Engine, JobOutcome, RingSink, ServiceConfig, SpanRecord,
+    SubmitError, Tracer,
+};
 
 fn family(len: usize, seed: u64) -> [Seq; 3] {
     let fam = FamilyConfig::new(len, 0.1, 0.05)
@@ -187,6 +190,143 @@ fn deadline_expiring_mid_kernel_cancels_with_progress() {
     let stats = engine.shutdown();
     assert_eq!(stats.cancelled, 1);
     assert_eq!(stats.resolved(), stats.submitted);
+}
+
+/// Field value of `record` under `key`, rendered through Display.
+fn field(record: &SpanRecord, key: &str) -> Option<String> {
+    record.field(key).map(|v| v.to_string())
+}
+
+/// The root `job` span whose `tag` field equals `tag`.
+fn root_of<'a>(records: &'a [SpanRecord], tag: &str) -> &'a SpanRecord {
+    records
+        .iter()
+        .find(|r| r.name == "job" && field(r, "tag").as_deref() == Some(tag))
+        .unwrap_or_else(|| panic!("no root span for tag {tag}"))
+}
+
+/// Children of `root`, i.e. records whose parent is `root.id`.
+fn children_of<'a>(records: &'a [SpanRecord], root: &SpanRecord) -> Vec<&'a SpanRecord> {
+    records
+        .iter()
+        .filter(|r| r.parent == Some(root.id))
+        .collect()
+}
+
+#[test]
+fn faulted_jobs_emit_complete_annotated_span_trees() {
+    let sink = Arc::new(RingSink::with_capacity(256));
+    let tracer = Tracer::new(sink.clone());
+    let engine = Engine::start(ServiceConfig {
+        tracer: Some(tracer.clone()),
+        memory_budget: Some(1024 * 1024),
+        ..fault_config(2)
+    });
+    let [a, b, c] = family(40, 7);
+
+    // A job whose kernel panics: caught at the isolation boundary.
+    let outcome = engine
+        .submit(
+            AlignRequest::new("boom#fault-panic", a.clone(), b.clone(), c.clone()).score_only(true),
+        )
+        .expect("admitted")
+        .wait();
+    assert!(matches!(outcome, JobOutcome::Failed(_)));
+
+    // A job cancelled before any work: its deadline is already expired
+    // when a worker picks it up.
+    let outcome = engine
+        .submit(
+            AlignRequest::new("late", a.clone(), b.clone(), c.clone())
+                .score_only(true)
+                .deadline(Duration::ZERO),
+        )
+        .expect("admitted")
+        .wait();
+    assert!(matches!(
+        outcome,
+        JobOutcome::Cancelled { .. } | JobOutcome::DeadlineExceeded { .. }
+    ));
+
+    // An `Auto` job the governor degrades: the full-lattice resolution
+    // (~16.7 MB) is over the 1 MiB budget, Hirschberg fits.
+    let long = Seq::dna("ACGTACGTGA".repeat(16)).unwrap();
+    let outcome = engine
+        .submit(AlignRequest::new(
+            "shrunk",
+            long.clone(),
+            long.clone(),
+            long,
+        ))
+        .expect("admitted")
+        .wait();
+    let result = outcome.result().expect("degraded job completes");
+    assert!(result.degraded_from.is_some());
+
+    engine.shutdown();
+
+    // No span leaked open — every start was balanced by a record, even
+    // on the panicking path (the drop guard fires during unwind).
+    assert_eq!(tracer.open_spans(), 0, "open spans leaked");
+
+    let records = sink.snapshot();
+
+    // Panicking job: full tree, kernel child carries the panic message,
+    // root is annotated with the outcome.
+    let root = root_of(&records, "boom#fault-panic");
+    assert_eq!(field(root, "outcome").as_deref(), Some("failed"));
+    assert!(field(root, "panic")
+        .unwrap()
+        .contains("injected kernel panic"));
+    let kids = children_of(&records, root);
+    let names: Vec<&str> = kids.iter().map(|r| r.name).collect();
+    for want in ["queued", "cache_lookup", "kernel", "respond"] {
+        assert!(names.contains(&want), "missing {want} in {names:?}");
+    }
+    let kernel = kids.iter().find(|r| r.name == "kernel").unwrap();
+    assert!(field(kernel, "panic")
+        .unwrap()
+        .contains("injected kernel panic"));
+
+    // Cancelled job: annotated with where cancellation was detected; the
+    // kernel stage never ran.
+    let root = root_of(&records, "late");
+    let outcome = field(root, "outcome").unwrap();
+    assert!(outcome == "cancelled" || outcome == "deadline", "{outcome}");
+    assert!(
+        field(root, "cancelled_at").is_some() || field(root, "deadline_at").is_some(),
+        "cancellation stage annotated"
+    );
+    let kids = children_of(&records, root);
+    assert!(
+        !kids.iter().any(|r| r.name == "kernel"),
+        "pre-kernel cancellation must not run the kernel"
+    );
+
+    // Degraded job: the root records what it was degraded from and
+    // completes normally.
+    let root = root_of(&records, "shrunk");
+    assert_eq!(field(root, "outcome").as_deref(), Some("done"));
+    assert!(field(root, "degraded_from").is_some());
+    let kids = children_of(&records, root);
+    assert!(kids.iter().any(|r| r.name == "kernel"));
+
+    // Global tree invariants: every non-root span's parent exists, and
+    // every child lies within its root's time window (start only — the
+    // root's duration is recorded after the children close).
+    for r in &records {
+        if let Some(parent) = r.parent {
+            let p = records
+                .iter()
+                .find(|c| c.id == parent)
+                .unwrap_or_else(|| panic!("dangling parent {parent} for {}", r.name));
+            assert!(
+                p.start_us <= r.start_us,
+                "{} starts before its parent",
+                r.name
+            );
+        }
+    }
 }
 
 #[test]

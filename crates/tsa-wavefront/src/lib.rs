@@ -15,6 +15,8 @@
 //! * [`grid`] — [`grid::SharedGrid`], an unsafe-interior shared write buffer
 //!   for disjoint parallel writes into one allocation;
 //! * [`executor`] — a rayon plane-barrier executor;
+//! * [`profile`] — per-plane timing ([`profile::PlaneProfile`]) captured by
+//!   the profiled executor: occupancy, load imbalance, barrier overhead;
 //! * [`dataflow`] — a crossbeam counter-based dataflow executor (no global
 //!   barrier: a tile runs as soon as its own dependencies finish);
 //! * [`stats`] — wavefront shape statistics (plane sizes, critical path,
@@ -25,6 +27,7 @@ pub mod diag;
 pub mod executor;
 pub mod grid;
 pub mod plane;
+pub mod profile;
 pub mod simulate;
 pub mod stats;
 pub mod tiles;
@@ -32,4 +35,5 @@ pub mod trace;
 
 pub use grid::SharedGrid;
 pub use plane::PlaneIter;
+pub use profile::{PlaneProfile, PlaneSample, ProfileSummary};
 pub use tiles::TileGrid;

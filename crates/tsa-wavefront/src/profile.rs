@@ -1,0 +1,315 @@
+//! Per-plane wavefront profiling.
+//!
+//! The profiled executor ([`crate::executor::run_cells_wavefront_profiled`])
+//! times every anti-diagonal plane it runs: how long the plane took
+//! wall-clock, how much of that was spent inside kernel tasks (summed
+//! across workers), and how long the single longest task ran. From those
+//! three numbers per plane the [`ProfileSummary`] derives the quantities
+//! the paper's performance model cares about:
+//!
+//! * **occupancy** — `busy / (wall × workers)`: the fraction of the
+//!   workers' aggregate wall time spent executing cells. Low occupancy on
+//!   the small early/late planes is the wavefront ramp the cost model's
+//!   `ceil(s_d / P)` term predicts.
+//! * **imbalance** — `Σ max_task / Σ mean_task` over planes that split
+//!   into more than one task: how much longer the critical task runs than
+//!   the average one. `1.0` is perfect balance.
+//! * **barrier overhead** — `Σ (wall − max_task)`: plane time not
+//!   explained by the longest task, i.e. scheduling plus the join between
+//!   planes — the measured counterpart of the model's `t_barrier` term.
+//!
+//! [`PlaneProfile`] is plain data (no atomics, no handles), cheap to ship
+//! across crate boundaries: `tsa-perfmodel` calibrates a cost model from
+//! it and `tsa-bench`/the CLI render it.
+
+use std::fmt;
+
+/// Timing of a single anti-diagonal plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneSample {
+    /// Plane index `d = i + j + k`.
+    pub plane: usize,
+    /// Cells on this plane.
+    pub items: usize,
+    /// Tasks the plane was split into (1 = ran sequentially).
+    pub tasks: usize,
+    /// Wall-clock time from plane start to the inter-plane join.
+    pub wall_ns: u64,
+    /// Kernel time summed across all tasks of the plane.
+    pub busy_ns: u64,
+    /// Duration of the plane's longest task (the critical path within
+    /// the plane).
+    pub max_task_ns: u64,
+}
+
+impl PlaneSample {
+    /// Plane wall time not explained by its longest task: scheduling and
+    /// join cost. Saturating — clock jitter can make `max_task` exceed
+    /// `wall` by nanoseconds.
+    pub fn barrier_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.max_task_ns)
+    }
+
+    /// Mean task duration (`busy / tasks`).
+    pub fn mean_task_ns(&self) -> u64 {
+        self.busy_ns / self.tasks.max(1) as u64
+    }
+}
+
+/// Per-plane timing of one full wavefront sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaneProfile {
+    /// Worker threads the sweep targeted ([`rayon::current_num_threads`]
+    /// at sweep start).
+    pub workers: usize,
+    /// One sample per plane, in execution (= plane-index) order.
+    pub samples: Vec<PlaneSample>,
+}
+
+impl PlaneProfile {
+    /// Total cells across all planes.
+    pub fn total_items(&self) -> u64 {
+        self.samples.iter().map(|s| s.items as u64).sum()
+    }
+
+    /// Total wall-clock time across all planes (the sweep duration).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.samples.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Total kernel time summed across planes and workers.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.samples.iter().map(|s| s.busy_ns).sum()
+    }
+
+    /// Plane sizes in plane order — the shape vector the
+    /// `tsa-perfmodel` cost model takes as input.
+    pub fn plane_sizes(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.items).collect()
+    }
+
+    /// Roll the samples up into the summary statistics.
+    pub fn summary(&self) -> ProfileSummary {
+        let planes = self.samples.len();
+        let items = self.total_items();
+        let wall_ns = self.total_wall_ns();
+        let busy_ns = self.total_busy_ns();
+        let barrier_overhead_ns: u64 = self.samples.iter().map(|s| s.barrier_ns()).sum();
+        let parallel_planes = self.samples.iter().filter(|s| s.tasks > 1).count();
+
+        let denom = wall_ns.saturating_mul(self.workers.max(1) as u64);
+        let occupancy = if denom == 0 {
+            0.0
+        } else {
+            busy_ns as f64 / denom as f64
+        };
+
+        // Imbalance over the planes that actually split: ratio of the
+        // summed critical tasks to the summed mean tasks. Weighted by
+        // plane cost automatically (big planes contribute big numerators
+        // and denominators).
+        let (mut max_sum, mut mean_sum) = (0u64, 0u64);
+        for s in self.samples.iter().filter(|s| s.tasks > 1) {
+            max_sum += s.max_task_ns;
+            mean_sum += s.mean_task_ns();
+        }
+        let imbalance = if mean_sum == 0 {
+            1.0
+        } else {
+            max_sum as f64 / mean_sum as f64
+        };
+
+        ProfileSummary {
+            workers: self.workers,
+            planes,
+            parallel_planes,
+            items,
+            wall_ns,
+            busy_ns,
+            occupancy,
+            imbalance,
+            barrier_overhead_ns,
+        }
+    }
+}
+
+/// Sweep-level rollup of a [`PlaneProfile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSummary {
+    /// Worker threads the sweep targeted.
+    pub workers: usize,
+    /// Number of planes swept.
+    pub planes: usize,
+    /// Planes that split into more than one task.
+    pub parallel_planes: usize,
+    /// Total cells.
+    pub items: u64,
+    /// Sweep wall-clock time.
+    pub wall_ns: u64,
+    /// Kernel time summed across workers.
+    pub busy_ns: u64,
+    /// `busy / (wall × workers)` — worker utilization, in `[0, 1]`-ish
+    /// (clock jitter can nudge it past 1 on tiny sweeps).
+    pub occupancy: f64,
+    /// Critical-task over mean-task ratio on split planes (`≥ 1.0`,
+    /// `1.0` = perfect balance).
+    pub imbalance: f64,
+    /// `Σ (plane wall − plane max task)` — scheduling + join cost.
+    pub barrier_overhead_ns: u64,
+}
+
+impl ProfileSummary {
+    /// Barrier overhead as a fraction of sweep wall time.
+    pub fn barrier_frac(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.barrier_overhead_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Mean kernel time per cell — the measured `t_cell` for the cost
+    /// model.
+    pub fn t_cell_ns(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.items as f64
+        }
+    }
+
+    /// Mean barrier overhead per plane — the measured `t_barrier` for
+    /// the cost model.
+    pub fn t_barrier_ns(&self) -> f64 {
+        if self.planes == 0 {
+            0.0
+        } else {
+            self.barrier_overhead_ns as f64 / self.planes as f64
+        }
+    }
+}
+
+impl fmt::Display for ProfileSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "planes: {} ({} parallel), cells: {}, workers: {}",
+            self.planes, self.parallel_planes, self.items, self.workers
+        )?;
+        writeln!(
+            f,
+            "wall: {:.3} ms, busy: {:.3} ms, occupancy: {:.1}%",
+            self.wall_ns as f64 / 1e6,
+            self.busy_ns as f64 / 1e6,
+            self.occupancy * 100.0
+        )?;
+        write!(
+            f,
+            "imbalance: {:.3}×, barrier overhead: {:.3} ms ({:.1}% of wall, {:.0} ns/plane)",
+            self.imbalance,
+            self.barrier_overhead_ns as f64 / 1e6,
+            self.barrier_frac() * 100.0,
+            self.t_barrier_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(
+        plane: usize,
+        items: usize,
+        tasks: usize,
+        wall: u64,
+        busy: u64,
+        max: u64,
+    ) -> PlaneSample {
+        PlaneSample {
+            plane,
+            items,
+            tasks,
+            wall_ns: wall,
+            busy_ns: busy,
+            max_task_ns: max,
+        }
+    }
+
+    #[test]
+    fn summary_totals_and_occupancy() {
+        let p = PlaneProfile {
+            workers: 2,
+            samples: vec![
+                sample(0, 1, 1, 100, 100, 100),
+                sample(1, 200, 2, 1_000, 1_600, 900),
+            ],
+        };
+        let s = p.summary();
+        assert_eq!(s.planes, 2);
+        assert_eq!(s.parallel_planes, 1);
+        assert_eq!(s.items, 201);
+        assert_eq!(s.wall_ns, 1_100);
+        assert_eq!(s.busy_ns, 1_700);
+        // busy / (wall * workers) = 1700 / 2200
+        assert!((s.occupancy - 1_700.0 / 2_200.0).abs() < 1e-9);
+        // barrier: (100-100) + (1000-900)
+        assert_eq!(s.barrier_overhead_ns, 100);
+        // imbalance over the split plane only: 900 / (1600/2)
+        assert!((s.imbalance - 900.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_only_profile_is_perfectly_balanced() {
+        let p = PlaneProfile {
+            workers: 4,
+            samples: vec![sample(0, 1, 1, 50, 50, 50), sample(1, 3, 1, 60, 60, 60)],
+        };
+        let s = p.summary();
+        assert_eq!(s.parallel_planes, 0);
+        assert!((s.imbalance - 1.0).abs() < 1e-9);
+        assert_eq!(s.barrier_overhead_ns, 0);
+    }
+
+    #[test]
+    fn empty_profile_does_not_divide_by_zero() {
+        let p = PlaneProfile {
+            workers: 0,
+            samples: Vec::new(),
+        };
+        let s = p.summary();
+        assert_eq!(s.items, 0);
+        assert_eq!(s.occupancy, 0.0);
+        assert_eq!(s.t_cell_ns(), 0.0);
+        assert_eq!(s.t_barrier_ns(), 0.0);
+        assert_eq!(s.barrier_frac(), 0.0);
+    }
+
+    #[test]
+    fn plane_sizes_round_trip() {
+        let p = PlaneProfile {
+            workers: 1,
+            samples: vec![sample(0, 1, 1, 1, 1, 1), sample(1, 3, 1, 1, 1, 1)],
+        };
+        assert_eq!(p.plane_sizes(), vec![1, 3]);
+        assert_eq!(p.total_items(), 4);
+    }
+
+    #[test]
+    fn barrier_ns_saturates() {
+        let s = sample(0, 10, 2, 90, 100, 95);
+        assert_eq!(s.barrier_ns(), 0);
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let p = PlaneProfile {
+            workers: 2,
+            samples: vec![sample(0, 200, 2, 1_000, 1_600, 900)],
+        };
+        let text = p.summary().to_string();
+        assert!(text.contains("occupancy"), "{text}");
+        assert!(text.contains("imbalance"), "{text}");
+        assert!(text.contains("barrier overhead"), "{text}");
+    }
+}
