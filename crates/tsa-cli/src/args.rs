@@ -56,7 +56,13 @@ SERVICE OPTIONS (tsa serve / tsa batch):
     --memory-budget <b>  cap on estimated kernel bytes, per job and summed
                          over in-flight jobs; K/M/G suffixes accepted
     --max-cells <n>      per-job cap on estimated DP cell updates
+    --state-dir <dir>    durable state: crash-safe job journal plus kernel
+                         checkpoint snapshots; a restart with the same dir
+                         recovers finished jobs and resumes in-flight ones
+    --checkpoint-every <p>  DP planes between checkpoint snapshots        [32]
     serve --listen       serve NDJSON over TCP instead of stdin/stdout
+    serve --idle-timeout-ms <ms>  close TCP connections idle this long,
+                         0 disables                                   [300000]
     serve --trace-jobs   emit a span per job lifecycle stage on stderr
     serve --log-format   text | json — span format for --trace-jobs     [text]
     batch --file         NDJSON file of submit requests (`op` optional)
@@ -211,6 +217,10 @@ pub struct ServiceOpts {
     pub memory_budget: Option<u64>,
     /// Per-job cap on estimated DP cell updates.
     pub max_cells: Option<u64>,
+    /// Durable state directory (journal + checkpoint snapshots).
+    pub state_dir: Option<String>,
+    /// DP planes between checkpoint snapshots.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ServiceOpts {
@@ -222,6 +232,8 @@ impl Default for ServiceOpts {
             deadline_ms: None,
             memory_budget: None,
             max_cells: None,
+            state_dir: None,
+            checkpoint_every: 32,
         }
     }
 }
@@ -247,6 +259,13 @@ impl ServiceOpts {
                 self.memory_budget = Some(parse_bytes(flag, take_value(flag, it)?)?);
             }
             "--max-cells" => self.max_cells = Some(parse_num(flag, take_value(flag, it)?)?),
+            "--state-dir" => self.state_dir = Some(take_value(flag, it)?.clone()),
+            "--checkpoint-every" => {
+                self.checkpoint_every = parse_num(flag, take_value(flag, it)?)?;
+                if self.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be >= 1".into());
+                }
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -264,6 +283,8 @@ pub struct ServeArgs {
     pub trace_jobs: bool,
     /// Span format for `--trace-jobs`: `text` or `json`.
     pub log_format: String,
+    /// Close TCP connections idle this long, in milliseconds; 0 disables.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -273,6 +294,7 @@ impl Default for ServeArgs {
             service: ServiceOpts::default(),
             trace_jobs: false,
             log_format: "text".into(),
+            idle_timeout_ms: 300_000,
         }
     }
 }
@@ -464,6 +486,9 @@ fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
         }
         match flag.as_str() {
             "--listen" => s.listen = Some(take_value(flag, &mut it)?.clone()),
+            "--idle-timeout-ms" => {
+                s.idle_timeout_ms = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
             "--trace-jobs" => s.trace_jobs = true,
             "--log-format" => {
                 s.log_format = take_value(flag, &mut it)?.clone();
@@ -793,6 +818,35 @@ mod tests {
         assert!(parse(&sv(&["serve", "--memory-budget", "99999999999G"])).is_err());
         assert!(parse(&sv(&["serve", "--memory-budget"])).is_err());
         assert!(parse(&sv(&["serve", "--max-cells", "-1"])).is_err());
+    }
+
+    #[test]
+    fn durability_flags_parse() {
+        let Command::Serve(s) = parse(&sv(&[
+            "serve",
+            "--state-dir",
+            "/var/lib/tsa",
+            "--checkpoint-every",
+            "8",
+            "--idle-timeout-ms",
+            "0",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.service.state_dir.as_deref(), Some("/var/lib/tsa"));
+        assert_eq!(s.service.checkpoint_every, 8);
+        assert_eq!(s.idle_timeout_ms, 0);
+        assert!(parse(&sv(&["serve", "--checkpoint-every", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--state-dir"])).is_err());
+        assert!(parse(&sv(&["batch", "--file", "x", "--idle-timeout-ms", "1"])).is_err());
+
+        let Command::Batch(b) = parse(&sv(&["batch", "--file", "x", "--state-dir", "d"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(b.service.state_dir.as_deref(), Some("d"));
+        assert_eq!(b.service.checkpoint_every, 32);
     }
 
     #[test]

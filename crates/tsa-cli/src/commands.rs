@@ -34,9 +34,52 @@ fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
         default_deadline: opts.deadline_ms.map(Duration::from_millis),
         memory_budget: opts.memory_budget,
         max_cells: opts.max_cells,
+        state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every_planes: opts.checkpoint_every,
         tracer: None,
+        ..ServiceConfig::default()
     }
 }
+
+/// Install SIGINT/SIGTERM handlers that trip a flag, and a watcher
+/// thread that turns the flag into a graceful [`Engine::drain`]: stop
+/// admission, checkpoint in-flight durable kernels, flush the journal,
+/// and exit 0. Hand-rolled `signal(2)` FFI — the workspace carries no
+/// libc binding, and a store to a static atomic is async-signal-safe.
+#[cfg(unix)]
+fn install_drain_signals(engine: &Arc<Engine>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    let engine = Arc::clone(engine);
+    std::thread::Builder::new()
+        .name("tsa-drain-signal".into())
+        .spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("# tsa serve: signal received, draining");
+                let stats = engine.drain();
+                eprintln!("{stats}");
+                std::process::exit(0);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+}
+
+#[cfg(not(unix))]
+fn install_drain_signals(_engine: &Arc<Engine>) {}
 
 fn run_serve(s: ServeArgs) -> Result<(), String> {
     let mut config = engine_config(&s.service);
@@ -48,10 +91,15 @@ fn run_serve(s: ServeArgs) -> Result<(), String> {
         config.tracer = Some(tsa_service::Tracer::new(sink));
     }
     let engine = Arc::new(Engine::start(config));
+    install_drain_signals(&engine);
+    let options = tsa_service::ServeOptions {
+        idle_timeout: (s.idle_timeout_ms > 0).then(|| Duration::from_millis(s.idle_timeout_ms)),
+        ..tsa_service::ServeOptions::default()
+    };
     let stats = match &s.listen {
         Some(addr) => {
             eprintln!("# tsa serve: listening on {addr}");
-            tsa_service::serve_tcp(&engine, addr)
+            tsa_service::serve_tcp_with(&engine, addr, &options)
         }
         None => tsa_service::serve_stdio(&engine),
     }
@@ -63,8 +111,19 @@ fn run_serve(s: ServeArgs) -> Result<(), String> {
 fn run_batch(b: BatchArgs) -> Result<(), String> {
     let input = std::fs::read_to_string(&b.file).map_err(|e| format!("{}: {e}", b.file))?;
     let engine = Arc::new(Engine::start(engine_config(&b.service)));
+    let startup = engine.stats();
+    if b.service.state_dir.is_some() && startup.recovered + startup.resumed + startup.restarted > 0
+    {
+        eprintln!(
+            "# recovery: {} recovered, {} resumed, {} restarted from {}",
+            startup.recovered,
+            startup.resumed,
+            startup.restarted,
+            b.service.state_dir.as_deref().unwrap_or_default()
+        );
+    }
     let start = Instant::now();
-    let (mut prev_hits, mut prev_lookups) = (0u64, 0u64);
+    let (mut prev_hits, mut prev_recovered, mut prev_lookups) = (0u64, 0u64, 0u64);
     let mut first_round_ms = 0.0f64;
     for round in 0..b.repeat {
         let round_start = Instant::now();
@@ -85,7 +144,18 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
             let snap = engine.stats();
             let lookups = snap.cache_hits + snap.cache_misses;
             let (hits_d, lookups_d) = (snap.cache_hits - prev_hits, lookups - prev_lookups);
-            (prev_hits, prev_lookups) = (snap.cache_hits, lookups);
+            let recovered_d = snap.cache_recovered_hits - prev_recovered;
+            (prev_hits, prev_recovered, prev_lookups) =
+                (snap.cache_hits, snap.cache_recovered_hits, lookups);
+            // Journal-recovered hits are satisfied by entries replayed
+            // from a previous process, not warmed by an earlier round —
+            // report them apart from ordinary warm hits.
+            let warm_d = hits_d - recovered_d;
+            let recovered_note = if recovered_d > 0 {
+                format!(", {recovered_d} journal-recovered")
+            } else {
+                String::new()
+            };
             let vs_first = if round == 0 || first_round_ms <= 0.0 {
                 String::new()
             } else {
@@ -96,7 +166,7 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
             };
             eprintln!(
                 "# round {}/{}: {submitted} job(s) in {round_ms:.3} ms \
-                 (cache {hits_d}/{lookups_d} hit{vs_first})",
+                 (cache {warm_d}/{lookups_d} warm hit{recovered_note}{vs_first})",
                 round + 1,
                 b.repeat,
             );
@@ -117,8 +187,8 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
             final_snap.cache_hits as f64 / lookups as f64 * 100.0
         };
         eprintln!(
-            "# cache: {}/{lookups} lookups hit ({ratio:.1}%)",
-            final_snap.cache_hits
+            "# cache: {}/{lookups} lookups hit ({ratio:.1}%), {} from the recovery journal",
+            final_snap.cache_hits, final_snap.cache_recovered_hits
         );
     }
     eprintln!("{stats}");

@@ -3,6 +3,7 @@
 
 use crate::alignment::Alignment3;
 use crate::cancel::{CancelProgress, CancelToken};
+use crate::checkpoint::{CheckpointConfig, DurableStop, FrontierSnapshot, KernelKind, ResumeError};
 use crate::{
     affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3,
     score_only, wavefront,
@@ -393,6 +394,77 @@ impl Aligner {
         }
     }
 
+    /// The checkpointable kernel the resolved algorithm's score path maps
+    /// to, if any: the slab-rolling sweep for `FullDp`/`Hirschberg`, the
+    /// plane-rolling sweep for `Wavefront`/`ParallelHirschberg`. `None`
+    /// means [`Aligner::score3_durable`] cannot checkpoint or resume for
+    /// these lengths.
+    pub fn durable_kind(&self, n1: usize, n2: usize, n3: usize) -> Option<KernelKind> {
+        match self.resolve(n1, n2, n3) {
+            Algorithm::FullDp | Algorithm::Hirschberg => Some(KernelKind::Slabs),
+            Algorithm::Wavefront | Algorithm::ParallelHirschberg => Some(KernelKind::Planes),
+            _ => None,
+        }
+    }
+
+    /// Like [`Aligner::score3_cancellable`], plus durability: the rolling
+    /// score kernels periodically persist their frontier through `ckpt`
+    /// and, when `resume` carries a fingerprint-matching snapshot,
+    /// continue the sweep instead of starting over — with a score
+    /// bit-identical to an uninterrupted run. Algorithms without a
+    /// checkpointable score kernel (see [`Aligner::durable_kind`]) run
+    /// their cancellable path and reject any offered snapshot.
+    pub fn score3_durable(
+        &self,
+        a: &Seq,
+        b: &Seq,
+        c: &Seq,
+        cancel: &CancelToken,
+        ckpt: &CheckpointConfig<'_>,
+        resume: Option<&FrontierSnapshot>,
+    ) -> Result<i32, DurableStop> {
+        let s = &self.scoring;
+        match self.resolve(a.len(), b.len(), c.len()) {
+            Algorithm::FullDp | Algorithm::Hirschberg => {
+                self.check_linear().map_err(DurableStop::Config)?;
+                score_only::score_slabs_durable(a, b, c, s, cancel, ckpt, resume)
+            }
+            Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
+                self.check_linear().map_err(DurableStop::Config)?;
+                score_only::score_planes_parallel_durable(a, b, c, s, cancel, ckpt, resume)
+            }
+            _ => {
+                if let Some(snap) = resume {
+                    return Err(DurableStop::InvalidResume(ResumeError::Kind {
+                        expected: 0,
+                        found: snap.kind,
+                    }));
+                }
+                self.score3_cancellable(a, b, c, cancel)
+                    .map_err(|e| match e {
+                        AlignError::Cancelled(p) => DurableStop::Cancelled(p),
+                        other => DurableStop::Config(other),
+                    })
+            }
+        }
+    }
+
+    /// Validate `snapshot` against this configuration and continue the
+    /// interrupted sweep to completion (the durability entry point used by
+    /// the batch service on restart). Equivalent to
+    /// [`Aligner::score3_durable`] with `resume` set.
+    pub fn resume_from(
+        &self,
+        a: &Seq,
+        b: &Seq,
+        c: &Seq,
+        snapshot: &FrontierSnapshot,
+        cancel: &CancelToken,
+        ckpt: &CheckpointConfig<'_>,
+    ) -> Result<i32, DurableStop> {
+        self.score3_durable(a, b, c, cancel, ckpt, Some(snapshot))
+    }
+
     /// Compute only the optimal score — uses the quadratic-space passes
     /// where the algorithm permits.
     pub fn score3(&self, a: &Seq, b: &Seq, c: &Seq) -> Result<i32, AlignError> {
@@ -661,6 +733,128 @@ mod tests {
                 "{alg:?}"
             );
         }
+    }
+
+    #[test]
+    fn durable_score_matches_plain_for_every_kernel() {
+        use crate::checkpoint::{CheckpointConfig, MemorySink};
+        let (a, b, c) = family_triple(17, 18);
+        let token = CancelToken::never();
+        for alg in [
+            Algorithm::FullDp,
+            Algorithm::Hirschberg,
+            Algorithm::Wavefront,
+            Algorithm::ParallelHirschberg,
+            Algorithm::AffineDp,
+            Algorithm::Blocked { tile: 4 },
+        ] {
+            let al = Aligner::new().algorithm(alg);
+            let sink = MemorySink::new();
+            let ckpt = CheckpointConfig::new(&sink).every_planes(2);
+            assert_eq!(
+                al.score3_durable(&a, &b, &c, &token, &ckpt, None).unwrap(),
+                al.score3(&a, &b, &c).unwrap(),
+                "{alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_kind_maps_score_kernels() {
+        let al = Aligner::new();
+        use crate::checkpoint::KernelKind;
+        assert_eq!(
+            Aligner::new()
+                .algorithm(Algorithm::Hirschberg)
+                .durable_kind(8, 8, 8),
+            Some(KernelKind::Slabs)
+        );
+        assert_eq!(
+            Aligner::new()
+                .algorithm(Algorithm::Wavefront)
+                .durable_kind(8, 8, 8),
+            Some(KernelKind::Planes)
+        );
+        assert_eq!(al.durable_kind(8, 8, 8), Some(KernelKind::Planes)); // Auto
+        assert_eq!(
+            Aligner::new()
+                .algorithm(Algorithm::CenterStar)
+                .durable_kind(8, 8, 8),
+            None
+        );
+        assert_eq!(
+            Aligner::new()
+                .gap(GapModel::affine(-4, -1))
+                .durable_kind(8, 8, 8),
+            None
+        );
+    }
+
+    #[test]
+    fn resume_from_continues_a_drained_sweep() {
+        use crate::checkpoint::{CheckpointConfig, DurableStop, MemorySink};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (a, b, c) = family_triple(23, 20);
+        let al = Aligner::new().algorithm(Algorithm::Wavefront);
+        let token = CancelToken::never();
+        let sink = MemorySink::new();
+        let drain = AtomicBool::new(false);
+        let ckpt = CheckpointConfig::new(&sink)
+            .every_planes(1)
+            .drain_flag(&drain);
+
+        // Arrange a mid-sweep drain: checkpoint every plane, fire the
+        // drain flag once a snapshot exists.
+        struct FireAfter<'a> {
+            inner: &'a MemorySink,
+            drain: &'a AtomicBool,
+        }
+        impl crate::checkpoint::CheckpointSink for FireAfter<'_> {
+            fn store(&self, s: &crate::checkpoint::FrontierSnapshot) -> std::io::Result<()> {
+                self.inner.store(s)?;
+                self.drain.store(true, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+        let firing = FireAfter {
+            inner: &sink,
+            drain: &drain,
+        };
+        let interrupting = CheckpointConfig {
+            sink: &firing,
+            policy: ckpt.policy,
+            drain: Some(&drain),
+        };
+        let stop = al
+            .score3_durable(&a, &b, &c, &token, &interrupting, None)
+            .unwrap_err();
+        assert!(matches!(stop, DurableStop::Drained(_)));
+
+        let snap = sink.last().expect("snapshot stored");
+        drain.store(false, Ordering::Relaxed);
+        let resumed = al.resume_from(&a, &b, &c, &snap, &token, &ckpt).unwrap();
+        assert_eq!(resumed, al.score3(&a, &b, &c).unwrap());
+    }
+
+    #[test]
+    fn non_durable_algorithm_rejects_snapshots() {
+        use crate::checkpoint::{CheckpointConfig, DurableStop, FrontierSnapshot, MemorySink};
+        let (a, b, c) = family_triple(29, 10);
+        let sink = MemorySink::new();
+        let ckpt = CheckpointConfig::new(&sink);
+        let token = CancelToken::never();
+        let snap = FrontierSnapshot {
+            fingerprint: 1,
+            kind: 2,
+            next_index: 0,
+            cells_done: 0,
+            buffers: vec![],
+        };
+        let err = Aligner::new()
+            .algorithm(Algorithm::CenterStar)
+            .score3_durable(&a, &b, &c, &token, &ckpt, Some(&snap))
+            .unwrap_err();
+        assert!(matches!(err, DurableStop::InvalidResume(_)));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod bounds;
 pub mod cancel;
 pub mod carrillo_lipman;
 pub mod center_star;
+pub mod checkpoint;
 pub mod dp;
 pub mod format;
 pub mod full;
@@ -55,6 +56,10 @@ pub mod wavefront;
 pub use aligner::{Algorithm, AlignError, Aligner};
 pub use alignment::{Alignment3, Column3, ValidationError};
 pub use cancel::{CancelProgress, CancelToken};
+pub use checkpoint::{
+    job_fingerprint, CheckpointConfig, CheckpointPolicy, CheckpointSink, DurableStop,
+    FrontierSnapshot, KernelKind, MemorySink, ResumeError, SnapshotError,
+};
 pub use dp::NEG_INF;
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! experiment (`table3`).
 
 use crate::cancel::{CancelProgress, CancelToken};
+use crate::checkpoint::{
+    job_fingerprint, CheckpointConfig, DurableStop, FrontierSnapshot, KernelKind, Pacer,
+    ResumeError,
+};
 use crate::dp::{Kernel, NEG_INF};
 use rayon::prelude::*;
 use tsa_scoring::Scoring;
@@ -75,8 +79,6 @@ fn forward_face_impl(
 ) -> Result<Face, CancelProgress> {
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
-    let (ra, rb, rc) = (a.residues(), b.residues(), c.residues());
-    let g2 = 2 * scoring.gap_linear();
     let w3 = n3 + 1;
     let slab_len = (n2 + 1) * w3;
     let mut prev: Vec<i32> = vec![NEG_INF; slab_len];
@@ -90,51 +92,170 @@ fn forward_face_impl(
                 });
             }
         }
-        for j in 0..=n2 {
-            if i == 0 || j == 0 {
-                // Faces: generic bounds-checked kernel.
-                for k in 0..=n3 {
-                    cur[j * w3 + k] = kernel.cell(i, j, k, |pi, pj, pk| {
-                        if pi == i {
-                            cur[pj * w3 + pk]
-                        } else {
-                            prev[pj * w3 + pk]
-                        }
-                    });
-                }
-                continue;
-            }
-            // Interior rows: hoisted strides, same shape as full::fill.
-            let (ai, bj) = (ra[i - 1], rb[j - 1]);
-            let sab = scoring.sub(ai, bj);
-            let b11 = (j - 1) * w3; // prev slab, row j−1
-            let b10 = j * w3; // prev slab, row j
-            let b01 = (j - 1) * w3; // cur slab, row j−1
-            let base = j * w3;
-            cur[base] = kernel.cell(i, j, 0, |pi, pj, pk| {
-                if pi == i {
-                    cur[pj * w3 + pk]
-                } else {
-                    prev[pj * w3 + pk]
-                }
-            });
-            for k in 1..=n3 {
-                let ck = rc[k - 1];
-                let sac = scoring.sub(ai, ck);
-                let sbc = scoring.sub(bj, ck);
-                let p111 = prev[b11 + k - 1] + sab + sac + sbc;
-                let p110 = prev[b11 + k] + sab + g2;
-                let p101 = prev[b10 + k - 1] + sac + g2;
-                let p011 = cur[b01 + k - 1] + sbc + g2;
-                let single = prev[b10 + k].max(cur[b01 + k]).max(cur[base + k - 1]) + g2;
-                cur[base + k] = p111.max(p110).max(p101).max(p011).max(single);
-            }
-        }
+        compute_slab(&kernel, a, b, c, scoring, i, &prev, &mut cur);
         if i < n1 {
             std::mem::swap(&mut prev, &mut cur);
         }
     }
     Ok(cur)
+}
+
+/// Compute slab `i` into `cur`, reading slab `i−1` from `prev`. Every cell
+/// of `cur` is overwritten; its previous contents are never read, so a
+/// stale (or freshly restored) `cur` buffer is fine.
+#[allow(clippy::too_many_arguments)]
+fn compute_slab(
+    kernel: &Kernel<'_>,
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    i: usize,
+    prev: &[i32],
+    cur: &mut [i32],
+) {
+    let (_n1, n2, n3) = kernel.lens();
+    let (ra, rb, rc) = (a.residues(), b.residues(), c.residues());
+    let g2 = 2 * scoring.gap_linear();
+    let w3 = n3 + 1;
+    for j in 0..=n2 {
+        if i == 0 || j == 0 {
+            // Faces: generic bounds-checked kernel.
+            for k in 0..=n3 {
+                cur[j * w3 + k] = kernel.cell(i, j, k, |pi, pj, pk| {
+                    if pi == i {
+                        cur[pj * w3 + pk]
+                    } else {
+                        prev[pj * w3 + pk]
+                    }
+                });
+            }
+            continue;
+        }
+        // Interior rows: hoisted strides, same shape as full::fill.
+        let (ai, bj) = (ra[i - 1], rb[j - 1]);
+        let sab = scoring.sub(ai, bj);
+        let b11 = (j - 1) * w3; // prev slab, row j−1
+        let b10 = j * w3; // prev slab, row j
+        let b01 = (j - 1) * w3; // cur slab, row j−1
+        let base = j * w3;
+        cur[base] = kernel.cell(i, j, 0, |pi, pj, pk| {
+            if pi == i {
+                cur[pj * w3 + pk]
+            } else {
+                prev[pj * w3 + pk]
+            }
+        });
+        for k in 1..=n3 {
+            let ck = rc[k - 1];
+            let sac = scoring.sub(ai, ck);
+            let sbc = scoring.sub(bj, ck);
+            let p111 = prev[b11 + k - 1] + sab + sac + sbc;
+            let p110 = prev[b11 + k] + sab + g2;
+            let p101 = prev[b10 + k - 1] + sac + g2;
+            let p011 = cur[b01 + k - 1] + sbc + g2;
+            let single = prev[b10 + k].max(cur[b01 + k]).max(cur[base + k - 1]) + g2;
+            cur[base + k] = p111.max(p110).max(p101).max(p011).max(single);
+        }
+    }
+}
+
+/// Durable slab-rolling score: like [`score_slabs_cancellable`], plus
+/// periodic frontier checkpoints and optional resume.
+///
+/// At each slab boundary the kernel polls, in order: the cancel token, the
+/// drain flag (store a final snapshot, stop with
+/// [`DurableStop::Drained`]), and the checkpoint pacer (store a snapshot,
+/// keep going). A snapshot stores the one completed slab the next slab
+/// needs, so resuming continues the identical arithmetic — the returned
+/// score is bit-identical to an uninterrupted run.
+pub fn score_slabs_durable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    ckpt: &CheckpointConfig<'_>,
+    resume: Option<&FrontierSnapshot>,
+) -> Result<i32, DurableStop> {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let w3 = n3 + 1;
+    let slab_len = (n2 + 1) * w3;
+    let fp = job_fingerprint(a, b, c, scoring, KernelKind::Slabs);
+    let total = ((n1 + 1) * slab_len) as u64;
+    let progress = |done: u64| CancelProgress {
+        cells_done: done,
+        cells_total: total,
+    };
+
+    let (start, mut prev, mut cells_done) = match resume {
+        None => (0usize, vec![NEG_INF; slab_len], 0u64),
+        Some(s) => {
+            validate_resume(s, fp, KernelKind::Slabs)?;
+            let next = s.next_index as usize;
+            if next > n1 {
+                return Err(DurableStop::InvalidResume(ResumeError::Index));
+            }
+            if s.buffers.len() != 1 || s.buffers[0].len() != slab_len {
+                return Err(DurableStop::InvalidResume(ResumeError::Shape));
+            }
+            (next, s.buffers[0].clone(), s.cells_done)
+        }
+    };
+    let mut cur = vec![NEG_INF; slab_len];
+    let mut pacer = Pacer::new(ckpt.policy);
+
+    for i in start..=n1 {
+        if cancel.should_stop() {
+            return Err(DurableStop::Cancelled(progress(cells_done)));
+        }
+        if ckpt.drain_requested() {
+            store(ckpt, slab_snapshot(fp, i, cells_done, &prev))?;
+            return Err(DurableStop::Drained(progress(cells_done)));
+        }
+        compute_slab(&kernel, a, b, c, scoring, i, &prev, &mut cur);
+        cells_done += slab_len as u64;
+        if i < n1 {
+            std::mem::swap(&mut prev, &mut cur);
+            if pacer.due() {
+                store(ckpt, slab_snapshot(fp, i + 1, cells_done, &prev))?;
+            }
+        }
+    }
+    Ok(*cur.last().expect("face non-empty"))
+}
+
+fn slab_snapshot(fp: u64, next: usize, cells_done: u64, prev: &[i32]) -> FrontierSnapshot {
+    FrontierSnapshot {
+        fingerprint: fp,
+        kind: KernelKind::Slabs.code(),
+        next_index: next as u32,
+        cells_done,
+        buffers: vec![prev.to_vec()],
+    }
+}
+
+fn validate_resume(s: &FrontierSnapshot, fp: u64, kind: KernelKind) -> Result<(), DurableStop> {
+    if s.kind != kind.code() {
+        return Err(DurableStop::InvalidResume(ResumeError::Kind {
+            expected: kind.code(),
+            found: s.kind,
+        }));
+    }
+    if s.fingerprint != fp {
+        return Err(DurableStop::InvalidResume(ResumeError::Fingerprint {
+            expected: fp,
+            found: s.fingerprint,
+        }));
+    }
+    Ok(())
+}
+
+fn store(ckpt: &CheckpointConfig<'_>, snapshot: FrontierSnapshot) -> Result<(), DurableStop> {
+    ckpt.sink
+        .store(&snapshot)
+        .map_err(|e| DurableStop::Sink(e.to_string()))
 }
 
 /// The backward face: `out[j * (n3+1) + k]` is the optimal score of
@@ -271,36 +392,151 @@ fn planes_pass(
         }
         cells.clear();
         cells.extend(plane_cells(e, d));
-        let target = &buffers[d % 4];
-        // SAFETY: each (i, j) slot of the target buffer corresponds to one
-        // distinct plane cell; reads go to the three previous planes'
-        // buffers, complete before this plane starts. The buffer being
-        // overwritten (d ≡ d−4) is never read: predecessors reach back at
-        // most 3 planes.
-        let compute = |&(i, j, k): &(usize, usize, usize)| {
-            let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
-                buffers[(pi + pj + pk) % 4].get(slot(pi, pj))
-            });
-            unsafe { target.set(slot(i, j), v) };
-            if i == n1 {
-                if let Some(f) = &face {
-                    unsafe { f.set(j * (n3 + 1) + k, v) };
-                }
-            }
-        };
-        if cells.len() < MIN_CELLS_PER_TASK {
-            cells.iter().for_each(compute);
-        } else {
-            cells
-                .par_iter()
-                .with_min_len(MIN_CELLS_PER_TASK)
-                .for_each(compute);
-        }
+        compute_plane(&kernel, &buffers, face.as_ref(), &cells, d, n1, n3, w2);
         cells_done += cells.len() as u64;
     }
     let final_plane = (n1 + n2 + n3) % 4;
     let score = unsafe { buffers[final_plane].get(slot(n1, n2)) };
     Ok((score, face.map(SharedGrid::into_vec)))
+}
+
+/// Compute one anti-diagonal plane `d` into the rotating buffers (and the
+/// `i = n1` face, when one is being collected).
+#[allow(clippy::too_many_arguments)]
+fn compute_plane(
+    kernel: &Kernel<'_>,
+    buffers: &[SharedGrid<i32>; 4],
+    face: Option<&SharedGrid<i32>>,
+    cells: &[(usize, usize, usize)],
+    d: usize,
+    n1: usize,
+    n3: usize,
+    w2: usize,
+) {
+    let slot = |i: usize, j: usize| i * w2 + j;
+    let target = &buffers[d % 4];
+    // SAFETY: each (i, j) slot of the target buffer corresponds to one
+    // distinct plane cell; reads go to the three previous planes'
+    // buffers, complete before this plane starts. The buffer being
+    // overwritten (d ≡ d−4) is never read: predecessors reach back at
+    // most 3 planes.
+    let compute = |&(i, j, k): &(usize, usize, usize)| {
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+            buffers[(pi + pj + pk) % 4].get(slot(pi, pj))
+        });
+        unsafe { target.set(slot(i, j), v) };
+        if i == n1 {
+            if let Some(f) = face {
+                unsafe { f.set(j * (n3 + 1) + k, v) };
+            }
+        }
+    };
+    if cells.len() < MIN_CELLS_PER_TASK {
+        cells.iter().for_each(compute);
+    } else {
+        cells
+            .par_iter()
+            .with_min_len(MIN_CELLS_PER_TASK)
+            .for_each(compute);
+    }
+}
+
+/// Durable plane-rolling parallel score: like
+/// [`score_planes_parallel_cancellable`], plus periodic frontier
+/// checkpoints and optional resume (see [`score_slabs_durable`] for the
+/// poll order). A snapshot stores the last `min(d, 3)` completed planes —
+/// everything the recurrence can still reach — so a resumed sweep
+/// reproduces the uninterrupted score bit for bit.
+pub fn score_planes_parallel_durable(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    ckpt: &CheckpointConfig<'_>,
+    resume: Option<&FrontierSnapshot>,
+) -> Result<i32, DurableStop> {
+    let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
+    let (n1, n2, n3) = kernel.lens();
+    let e = Extents::new(n1, n2, n3);
+    let w2 = n2 + 1;
+    let plane_len = (n1 + 1) * w2;
+    let fp = job_fingerprint(a, b, c, scoring, KernelKind::Planes);
+    let progress = |done: u64| CancelProgress {
+        cells_done: done,
+        cells_total: e.cells() as u64,
+    };
+
+    let mut buffers: [SharedGrid<i32>; 4] =
+        std::array::from_fn(|_| SharedGrid::new(plane_len, NEG_INF));
+    let (start, mut cells_done) = match resume {
+        None => (0usize, 0u64),
+        Some(s) => {
+            validate_resume(s, fp, KernelKind::Planes)?;
+            let next = s.next_index as usize;
+            if next >= e.num_planes() {
+                return Err(DurableStop::InvalidResume(ResumeError::Index));
+            }
+            let expect = next.min(3);
+            if s.buffers.len() != expect || s.buffers.iter().any(|b| b.len() != plane_len) {
+                return Err(DurableStop::InvalidResume(ResumeError::Shape));
+            }
+            // Restore plane p into its rotation slot p % 4; untouched
+            // slots keep the NEG_INF initialization, exactly as at plane
+            // `next` of a fresh run.
+            for (idx, buf) in s.buffers.iter().enumerate() {
+                let p = next - expect + idx;
+                let target = &buffers[p % 4];
+                for (si, &v) in buf.iter().enumerate() {
+                    // SAFETY: exclusive access — no worker threads yet.
+                    unsafe { target.set(si, v) };
+                }
+            }
+            (next, s.cells_done)
+        }
+    };
+
+    let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
+    let mut pacer = Pacer::new(ckpt.policy);
+    for d in start..e.num_planes() {
+        if cancel.should_stop() {
+            return Err(DurableStop::Cancelled(progress(cells_done)));
+        }
+        if ckpt.drain_requested() {
+            store(ckpt, plane_snapshot(fp, d, cells_done, &mut buffers))?;
+            return Err(DurableStop::Drained(progress(cells_done)));
+        }
+        cells.clear();
+        cells.extend(plane_cells(e, d));
+        compute_plane(&kernel, &buffers, None, &cells, d, n1, n3, w2);
+        cells_done += cells.len() as u64;
+        if d + 1 < e.num_planes() && pacer.due() {
+            store(ckpt, plane_snapshot(fp, d + 1, cells_done, &mut buffers))?;
+        }
+    }
+    let final_plane = (n1 + n2 + n3) % 4;
+    Ok(unsafe { buffers[final_plane].get(n1 * w2 + n2) })
+}
+
+/// Snapshot the `min(next, 3)` planes preceding `next`, oldest first.
+fn plane_snapshot(
+    fp: u64,
+    next: usize,
+    cells_done: u64,
+    buffers: &mut [SharedGrid<i32>; 4],
+) -> FrontierSnapshot {
+    let take = next.min(3);
+    let mut bufs = Vec::with_capacity(take);
+    for p in (next - take)..next {
+        bufs.push(buffers[p % 4].snapshot());
+    }
+    FrontierSnapshot {
+        fingerprint: fp,
+        kind: KernelKind::Planes.code(),
+        next_index: next as u32,
+        cells_done,
+        buffers: bufs,
+    }
 }
 
 /// Bytes of working memory the slab-rolling score pass needs (reported by
@@ -482,6 +718,264 @@ mod tests {
             p.cells_total,
             ((a.len() + 1) * (b.len() + 1) * (c.len() + 1)) as u64
         );
+    }
+
+    mod durable {
+        use super::*;
+        use crate::checkpoint::{CheckpointPolicy, CheckpointSink, MemorySink};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Forwards snapshots to an inner [`MemorySink`] and fires a drain
+        /// flag after each store — the "interrupt at every checkpoint"
+        /// harness.
+        struct DrainOnStore<'a> {
+            inner: &'a MemorySink,
+            drain: &'a AtomicBool,
+        }
+
+        impl CheckpointSink for DrainOnStore<'_> {
+            fn store(&self, s: &FrontierSnapshot) -> std::io::Result<()> {
+                self.inner.store(s)?;
+                self.drain.store(true, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+
+        type DurableFn = fn(
+            &Seq,
+            &Seq,
+            &Seq,
+            &Scoring,
+            &CancelToken,
+            &CheckpointConfig<'_>,
+            Option<&FrontierSnapshot>,
+        ) -> Result<i32, DurableStop>;
+
+        const KERNELS: [(DurableFn, &str); 2] = [
+            (score_slabs_durable, "slabs"),
+            (score_planes_parallel_durable, "planes"),
+        ];
+
+        /// Run `kernel` to completion, draining at every checkpoint and
+        /// resuming from the stored snapshot (round-tripped through the
+        /// binary wire format) until it finishes. Returns the score and
+        /// the number of interruptions survived.
+        fn run_interrupted(
+            kernel: DurableFn,
+            a: &Seq,
+            b: &Seq,
+            c: &Seq,
+            scoring: &Scoring,
+            every_planes: usize,
+        ) -> (i32, u64) {
+            let sink = MemorySink::new();
+            let drain = AtomicBool::new(false);
+            let token = CancelToken::never();
+            let mut interruptions = 0u64;
+            let mut last_done = 0u64;
+            loop {
+                drain.store(false, Ordering::Relaxed);
+                let wrapper = DrainOnStore {
+                    inner: &sink,
+                    drain: &drain,
+                };
+                let ckpt = CheckpointConfig {
+                    sink: &wrapper,
+                    policy: CheckpointPolicy {
+                        every_planes,
+                        every: None,
+                    },
+                    drain: Some(&drain),
+                };
+                // Round-trip the snapshot through encode/decode so the test
+                // covers exactly what a process restart would replay.
+                let snap = sink
+                    .last()
+                    .map(|s| FrontierSnapshot::decode(&s.encode()).expect("round trip"));
+                match kernel(a, b, c, scoring, &token, &ckpt, snap.as_ref()) {
+                    Ok(score) => return (score, interruptions),
+                    Err(DurableStop::Drained(p)) => {
+                        assert!(p.cells_done >= last_done, "progress went backwards");
+                        last_done = p.cells_done;
+                        interruptions += 1;
+                    }
+                    Err(e) => panic!("unexpected stop: {e}"),
+                }
+            }
+        }
+
+        #[test]
+        fn durable_without_interruption_matches_plain() {
+            let (a, b, c) = family_triple(61, 14);
+            let sink = MemorySink::new();
+            let token = CancelToken::never();
+            let ckpt = CheckpointConfig::new(&sink).every_planes(4);
+            assert_eq!(
+                score_slabs_durable(&a, &b, &c, &s(), &token, &ckpt, None).unwrap(),
+                score_slabs(&a, &b, &c, &s())
+            );
+            assert!(sink.store_count() > 0, "periodic checkpoints must fire");
+            assert_eq!(
+                score_planes_parallel_durable(&a, &b, &c, &s(), &token, &ckpt, None).unwrap(),
+                score_planes_parallel(&a, &b, &c, &s())
+            );
+        }
+
+        #[test]
+        fn interrupt_at_every_checkpoint_is_bit_identical() {
+            for seed in 0..6 {
+                let (a, b, c) = random_triple(seed + 90, 12);
+                let reference = crate::full::align_score(&a, &b, &c, &s());
+                for (kernel, name) in KERNELS {
+                    let (score, interruptions) = run_interrupted(kernel, &a, &b, &c, &s(), 1);
+                    assert_eq!(score, reference, "{name} seed {seed}");
+                    // Non-degenerate inputs must actually have been
+                    // interrupted, or the harness proves nothing.
+                    if a.len() + b.len() + c.len() > 4 {
+                        assert!(interruptions > 0, "{name} seed {seed} never drained");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn empty_inputs_are_durable_too() {
+            let e = Seq::dna("").unwrap();
+            let a = Seq::dna("ACGT").unwrap();
+            for (kernel, name) in KERNELS {
+                let (score, _) = run_interrupted(kernel, &e, &e, &e, &s(), 1);
+                assert_eq!(score, 0, "{name}");
+                let (score, _) = run_interrupted(kernel, &a, &e, &e, &s(), 1);
+                assert_eq!(score, crate::full::align_score(&a, &e, &e, &s()), "{name}");
+            }
+        }
+
+        #[test]
+        fn wrong_fingerprint_is_rejected() {
+            let (a, b, c) = random_triple(70, 10);
+            let (d, _, _) = random_triple(71, 10);
+            let sink = MemorySink::new();
+            let drain = AtomicBool::new(true);
+            let token = CancelToken::never();
+            let ckpt = CheckpointConfig::new(&sink).drain_flag(&drain);
+            for (kernel, name) in KERNELS {
+                // Produce a legitimate snapshot for (a, b, c)...
+                let err = kernel(&a, &b, &c, &s(), &token, &ckpt, None).unwrap_err();
+                assert!(matches!(err, DurableStop::Drained(_)), "{name}");
+                let snap = sink.last().unwrap();
+                // ...and offer it to a different job.
+                drain.store(false, Ordering::Relaxed);
+                let err = kernel(&d, &b, &c, &s(), &token, &ckpt, Some(&snap)).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        DurableStop::InvalidResume(ResumeError::Fingerprint { .. })
+                    ),
+                    "{name}: {err:?}"
+                );
+                // A different scoring scheme is also a fingerprint change.
+                let err =
+                    kernel(&a, &b, &c, &Scoring::unit(), &token, &ckpt, Some(&snap)).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        DurableStop::InvalidResume(ResumeError::Fingerprint { .. })
+                    ),
+                    "{name}: {err:?}"
+                );
+                drain.store(true, Ordering::Relaxed);
+            }
+        }
+
+        #[test]
+        fn wrong_kind_is_rejected() {
+            let (a, b, c) = random_triple(72, 10);
+            let sink = MemorySink::new();
+            let drain = AtomicBool::new(true);
+            let token = CancelToken::never();
+            let ckpt = CheckpointConfig::new(&sink).drain_flag(&drain);
+            let err = score_slabs_durable(&a, &b, &c, &s(), &token, &ckpt, None).unwrap_err();
+            assert!(matches!(err, DurableStop::Drained(_)));
+            let snap = sink.last().unwrap();
+            drain.store(false, Ordering::Relaxed);
+            let err = score_planes_parallel_durable(&a, &b, &c, &s(), &token, &ckpt, Some(&snap))
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                DurableStop::InvalidResume(ResumeError::Kind { .. })
+            ));
+        }
+
+        #[test]
+        fn malformed_shape_and_index_are_rejected() {
+            let (a, b, c) = random_triple(73, 10);
+            let token = CancelToken::never();
+            let sink = MemorySink::new();
+            let ckpt = CheckpointConfig::new(&sink);
+            for (kernel, kind) in [
+                (KERNELS[0].0, KernelKind::Slabs),
+                (KERNELS[1].0, KernelKind::Planes),
+            ] {
+                let fp = job_fingerprint(&a, &b, &c, &s(), kind);
+                let bogus_index = FrontierSnapshot {
+                    fingerprint: fp,
+                    kind: kind.code(),
+                    next_index: u32::MAX,
+                    cells_done: 0,
+                    buffers: vec![],
+                };
+                assert!(matches!(
+                    kernel(&a, &b, &c, &s(), &token, &ckpt, Some(&bogus_index)).unwrap_err(),
+                    DurableStop::InvalidResume(ResumeError::Index)
+                ));
+                let bogus_shape = FrontierSnapshot {
+                    fingerprint: fp,
+                    kind: kind.code(),
+                    next_index: 1,
+                    cells_done: 0,
+                    buffers: vec![vec![0; 3]],
+                };
+                assert!(matches!(
+                    kernel(&a, &b, &c, &s(), &token, &ckpt, Some(&bogus_shape)).unwrap_err(),
+                    DurableStop::InvalidResume(ResumeError::Shape)
+                ));
+            }
+        }
+
+        #[test]
+        fn cancel_still_wins_inside_durable_kernels() {
+            let (a, b, c) = random_triple(74, 10);
+            let sink = MemorySink::new();
+            let ckpt = CheckpointConfig::new(&sink);
+            let token = CancelToken::never();
+            token.cancel();
+            for (kernel, name) in KERNELS {
+                assert!(
+                    matches!(
+                        kernel(&a, &b, &c, &s(), &token, &ckpt, None).unwrap_err(),
+                        DurableStop::Cancelled(_)
+                    ),
+                    "{name}"
+                );
+            }
+        }
+
+        #[test]
+        fn sink_failure_surfaces() {
+            struct FailSink;
+            impl CheckpointSink for FailSink {
+                fn store(&self, _: &FrontierSnapshot) -> std::io::Result<()> {
+                    Err(std::io::Error::other("disk full"))
+                }
+            }
+            let (a, b, c) = random_triple(75, 10);
+            let token = CancelToken::never();
+            let ckpt = CheckpointConfig::new(&FailSink).every_planes(1);
+            for (kernel, name) in KERNELS {
+                let err = kernel(&a, &b, &c, &s(), &token, &ckpt, None).unwrap_err();
+                assert!(matches!(err, DurableStop::Sink(_)), "{name}: {err:?}");
+            }
+        }
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub struct CachedResult {
     pub rows: Option<[String; 3]>,
     /// The algorithm that produced the entry.
     pub algorithm: Algorithm,
+    /// Whether the entry was preloaded from the crash journal on startup
+    /// rather than computed by this process.
+    pub recovered: bool,
 }
 
 #[derive(Debug)]
@@ -200,6 +203,7 @@ mod tests {
             score,
             rows: None,
             algorithm: Algorithm::Wavefront,
+            recovered: false,
         }
     }
 

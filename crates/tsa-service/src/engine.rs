@@ -1,19 +1,23 @@
 //! The service engine: configuration, submission, and lifecycle.
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::durability::{self, Durability, Replay};
 use crate::error::{JobOutcome, SubmitError};
 use crate::faults;
 use crate::governor::{self, MemoryGate, Reservation};
 use crate::queue::{job_queue, JobQueue, JobReceiver, PushError};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use crate::worker::{worker_loop, CompletedJob, Job, JobTrace, Responder};
+use crate::worker::{worker_loop, CompletedJob, DurableJob, Job, JobTrace, Responder};
 use crossbeam::channel::{self, Receiver};
 use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tsa_core::{Algorithm, Aligner, CancelToken};
+use tsa_core::{
+    job_fingerprint, Algorithm, Aligner, CancelToken, CheckpointPolicy, FrontierSnapshot,
+};
 use tsa_obs::Tracer;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
@@ -41,6 +45,17 @@ pub struct ServiceConfig {
     /// to this tracer's sink; refused submissions emit an annotated
     /// zero-stage `job` span. `None` disables tracing entirely.
     pub tracer: Option<Tracer>,
+    /// When set, the engine keeps a crash-safe job journal and per-job
+    /// checkpoint snapshots under this directory and replays them on
+    /// startup (see [`Engine::drain`] and the `durability` module docs).
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint cadence for durable kernels: snapshot the frontier
+    /// every N planes/slabs (clamped to ≥ 1). Only meaningful with
+    /// `state_dir`.
+    pub checkpoint_every_planes: usize,
+    /// Optional time-based checkpoint cadence (milliseconds); fires in
+    /// addition to the plane cadence. Only meaningful with `state_dir`.
+    pub checkpoint_every_millis: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +68,9 @@ impl Default for ServiceConfig {
             max_cells: None,
             memory_budget: None,
             tracer: None,
+            state_dir: None,
+            checkpoint_every_planes: 32,
+            checkpoint_every_millis: None,
         }
     }
 }
@@ -172,6 +190,8 @@ pub struct Engine {
     gate: Option<Arc<MemoryGate>>,
     stats: Arc<ServiceStats>,
     cache: Arc<ResultCache>,
+    /// Present when `state_dir` is configured and usable.
+    durability: Option<Arc<Durability>>,
     next_id: AtomicU64,
     config: ServiceConfig,
 }
@@ -180,6 +200,26 @@ impl Engine {
     /// Spawn the worker pool (plus its supervisor) and return a running
     /// engine.
     pub fn start(config: ServiceConfig) -> Engine {
+        let opened = config.state_dir.as_ref().and_then(|dir| {
+            let policy = CheckpointPolicy {
+                every_planes: config.checkpoint_every_planes.max(1),
+                every: config.checkpoint_every_millis.map(Duration::from_millis),
+            };
+            match Durability::open(dir, policy, config.cache_capacity.max(64)) {
+                Ok((d, replay)) => Some((Arc::new(d), replay)),
+                Err(e) => {
+                    eprintln!(
+                        "tsa-service: state dir {} unusable, durability disabled: {e}",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
+        let (durability, replay) = match opened {
+            Some((d, replay)) => (Some(d), Some(replay)),
+            None => (None, None),
+        };
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -213,7 +253,7 @@ impl Engine {
                 .spawn(move || supervise(&workers, &running, rx, cache, stats))
                 .expect("spawn supervisor thread")
         };
-        Engine {
+        let engine = Engine {
             producer: Mutex::new(Some(queue)),
             observer: rx,
             workers,
@@ -222,8 +262,135 @@ impl Engine {
             gate: config.memory_budget.map(MemoryGate::new),
             stats,
             cache,
+            durability,
             next_id: AtomicU64::new(1),
             config,
+        };
+        if let Some(replay) = replay {
+            engine.recover(replay);
+        }
+        engine
+    }
+
+    /// Replay the journal: preload completed jobs into the cache
+    /// (`recovered`), resubmit in-flight jobs — resuming from their
+    /// checkpoint snapshot when it decodes and its fingerprint matches
+    /// (`resumed`), re-running cleanly otherwise (`restarted`).
+    fn recover(&self, replay: Replay) {
+        let d = Arc::clone(
+            self.durability
+                .as_ref()
+                .expect("recover requires durability"),
+        );
+        let mut recovered = 0u64;
+        for done in replay.completed {
+            let req = &done.req;
+            let (n1, n2, n3) = (req.seqs[0].len(), req.seqs[1].len(), req.seqs[2].len());
+            let resolved = Aligner::auto(req.scoring.clone())
+                .algorithm(req.algorithm)
+                .resolve(n1, n2, n3);
+            let key = CacheKey::new(
+                &req.seqs[0],
+                &req.seqs[1],
+                &req.seqs[2],
+                &req.scoring,
+                resolved,
+                req.score_only,
+            );
+            self.cache.put(
+                key,
+                CachedResult {
+                    score: done.score,
+                    rows: done.rows,
+                    algorithm: done.algorithm,
+                    recovered: true,
+                },
+            );
+            recovered += 1;
+        }
+        self.stats.recovered.add(recovered);
+        let (mut resumed, mut restarted) = (0u64, 0u64);
+        for job in replay.inflight {
+            let req = job.req;
+            // The snapshot is usable only if it decodes (checksummed), was
+            // produced by the kernel kind this request resolves to, and
+            // fingerprints the same sequences and scoring.
+            let resume = if req.score_only {
+                d.load_snapshot(&job.uid).filter(|snap| {
+                    let (n1, n2, n3) = (req.seqs[0].len(), req.seqs[1].len(), req.seqs[2].len());
+                    Aligner::auto(req.scoring.clone())
+                        .algorithm(req.algorithm)
+                        .durable_kind(n1, n2, n3)
+                        .is_some_and(|kind| {
+                            snap.kind == kind.code()
+                                && snap.fingerprint
+                                    == job_fingerprint(
+                                        &req.seqs[0],
+                                        &req.seqs[1],
+                                        &req.seqs[2],
+                                        &req.scoring,
+                                        kind,
+                                    )
+                        })
+                })
+            } else {
+                None
+            };
+            if resume.is_some() {
+                resumed += 1;
+            } else {
+                restarted += 1;
+                d.remove_checkpoint(&job.uid);
+            }
+            self.resubmit_recovered(req, job.uid, resume);
+        }
+        self.stats.resumed.add(resumed);
+        self.stats.restarted.add(restarted);
+        if let Some(tracer) = &self.config.tracer {
+            tracer
+                .span("recovery")
+                .with("recovered", recovered)
+                .with("resumed", resumed)
+                .with("restarted", restarted)
+                .end();
+        }
+    }
+
+    /// Resubmit one journal-replayed in-flight job, detached. Its `job`
+    /// record is already in the (compacted) journal, so admission does
+    /// not append another; any failure to re-admit resolves it as gone.
+    fn resubmit_recovered(
+        &self,
+        mut req: AlignRequest,
+        uid: String,
+        resume: Option<FrontierSnapshot>,
+    ) {
+        let d = Arc::clone(self.durability.as_ref().expect("durability"));
+        let drop_job = |uid: &str| {
+            d.record_gone(uid);
+            d.remove_checkpoint(uid);
+        };
+        let (degraded_from, reservation) = match self.govern(&mut req, true) {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.trace_rejection(&req.tag, &e);
+                drop_job(&uid);
+                return;
+            }
+        };
+        let (_id, _cancel, mut job) = self.make_job(
+            req,
+            Responder::Callback(Box::new(|_| {})),
+            degraded_from,
+            reservation,
+        );
+        job.durable = Some(DurableJob {
+            uid: uid.clone(),
+            resume,
+            handle: Arc::clone(&d),
+        });
+        if self.admit(job, true).is_err() {
+            drop_job(&uid);
         }
     }
 
@@ -361,12 +528,41 @@ impl Engine {
             degraded_from,
             reservation,
             trace,
+            durable: None,
         };
         (id, cancel, job)
     }
 
+    /// Journal a fresh admission when durability is on and the request
+    /// can round-trip (preset scoring); returns the job's attachment.
+    fn journal_admission(&self, req: &AlignRequest) -> Option<DurableJob> {
+        let d = self.durability.as_ref()?;
+        if !durability::journalable(req) {
+            return None;
+        }
+        let uid = durability::job_uid(req);
+        d.record_job(&uid, req);
+        Some(DurableJob {
+            uid,
+            resume: None,
+            handle: Arc::clone(d),
+        })
+    }
+
     fn admit(&self, mut job: Job, blocking: bool) -> Result<(), SubmitError> {
         self.stats.submitted.inc();
+        // A draining engine refuses admission even before the producer
+        // slot is taken, so queued work stops growing the moment the
+        // drain is requested.
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.drain_requested())
+        {
+            self.stats.rejected.inc();
+            job.reject("shutting_down");
+            return Err(SubmitError::ShuttingDown);
+        }
         // Clone the producer out of the slot so a blocking push does not
         // hold the lock (shutdown must stay callable concurrently).
         let Some(queue) = self.producer.lock().clone() else {
@@ -416,10 +612,21 @@ impl Engine {
         let (degraded_from, reservation) = self
             .govern(&mut req, blocking)
             .inspect_err(|e| self.trace_rejection(&req.tag, e))?;
+        let durable = self.journal_admission(&req);
         let (tx, rx) = channel::bounded(1);
-        let (id, cancel, job) =
+        let (id, cancel, mut job) =
             self.make_job(req, Responder::Channel(tx), degraded_from, reservation);
-        self.admit(job, blocking)?;
+        job.durable = durable;
+        let journaled = job
+            .durable
+            .as_ref()
+            .map(|dj| (dj.uid.clone(), Arc::clone(&dj.handle)));
+        if let Err(e) = self.admit(job, blocking) {
+            if let Some((uid, d)) = journaled {
+                d.record_gone(&uid);
+            }
+            return Err(e);
+        }
         Ok(JobHandle { id, cancel, rx })
     }
 
@@ -434,13 +641,24 @@ impl Engine {
         let (degraded_from, reservation) = self
             .govern(&mut req, false)
             .inspect_err(|e| self.trace_rejection(&req.tag, e))?;
-        let (id, cancel, job) = self.make_job(
+        let durable = self.journal_admission(&req);
+        let (id, cancel, mut job) = self.make_job(
             req,
             Responder::Callback(Box::new(callback)),
             degraded_from,
             reservation,
         );
-        self.admit(job, false)?;
+        job.durable = durable;
+        let journaled = job
+            .durable
+            .as_ref()
+            .map(|dj| (dj.uid.clone(), Arc::clone(&dj.handle)));
+        if let Err(e) = self.admit(job, false) {
+            if let Some((uid, d)) = journaled {
+                d.record_gone(&uid);
+            }
+            return Err(e);
+        }
         Ok((id, cancel))
     }
 
@@ -497,6 +715,25 @@ impl Engine {
             let _ = handle.join();
         }
         self.stats.snapshot(self.observer.depth())
+    }
+
+    /// Graceful *drain*: like [`Engine::shutdown`], but durable work is
+    /// preserved instead of completed — admission stops, queued durable
+    /// jobs short-circuit (staying in-flight in the journal), running
+    /// durable kernels store a final checkpoint snapshot at the next
+    /// plane boundary and stop, and the journal is flushed to stable
+    /// storage. A subsequent [`Engine::start`] with the same `state_dir`
+    /// resumes the preserved jobs. Without a `state_dir` this is exactly
+    /// `shutdown`. Idempotent.
+    pub fn drain(&self) -> StatsSnapshot {
+        if let Some(d) = &self.durability {
+            d.request_drain();
+        }
+        let snap = self.shutdown();
+        if let Some(d) = &self.durability {
+            let _ = d.sync();
+        }
+        snap
     }
 }
 
@@ -863,5 +1100,151 @@ mod tests {
         assert!(done.outcome.result().is_some());
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
         engine.shutdown();
+    }
+
+    fn state_dir(tag: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        dir.push(format!("tsa-engine-{tag}-{}-{nanos}", std::process::id()));
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 32,
+            state_dir: Some(dir.to_path_buf()),
+            checkpoint_every_planes: 1,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn await_completed(engine: &Engine, want: u64) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while engine.stats().completed < want {
+            assert!(
+                Instant::now() < deadline,
+                "recovered jobs complete within the deadline"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn completed_jobs_recover_into_cache_across_restart() {
+        let dir = state_dir("recover");
+        let (a, b, c) = triple("GATTACAGATTACA");
+        let first_score = {
+            let engine = Engine::start(durable_config(&dir));
+            let outcome = engine
+                .submit(AlignRequest::new("r1", a.clone(), b.clone(), c.clone()))
+                .unwrap()
+                .wait();
+            let score = outcome.result().expect("first run completes").score;
+            engine.shutdown();
+            score
+        };
+        let engine = Engine::start(durable_config(&dir));
+        let stats = engine.stats();
+        assert_eq!(stats.recovered, 1, "done record preloads the cache");
+        assert_eq!(stats.resumed + stats.restarted, 0);
+        let outcome = engine
+            .submit(AlignRequest::new("r2", a, b, c))
+            .unwrap()
+            .wait();
+        let result = outcome.result().expect("replayed result serves");
+        assert!(result.cached);
+        assert!(result.recovered, "hit is marked as journal-recovered");
+        assert_eq!(result.score, first_score);
+        let stats = engine.shutdown();
+        assert_eq!(stats.cache_recovered_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inflight_job_without_snapshot_restarts_cleanly() {
+        let dir = state_dir("restart");
+        let (a, b, c) = triple("GATTACAGATTACA");
+        let mut req = AlignRequest::new("inflight", a.clone(), b.clone(), c.clone());
+        req.score_only = true;
+        let expected = Aligner::auto(req.scoring.clone())
+            .score3(&a, &b, &c)
+            .unwrap();
+        {
+            // A journal holding a `job` record with no `done`: the crash
+            // happened mid-run, and no checkpoint snapshot survived.
+            let policy = CheckpointPolicy {
+                every_planes: 1,
+                every: None,
+            };
+            let (d, _replay) = Durability::open(&dir, policy, 64).unwrap();
+            d.record_job(&durability::job_uid(&req), &req);
+            d.sync().unwrap();
+        }
+        let engine = Engine::start(durable_config(&dir));
+        let stats = engine.stats();
+        assert_eq!(stats.restarted, 1, "no snapshot means a clean re-run");
+        assert_eq!(stats.resumed, 0);
+        await_completed(&engine, 1);
+        let outcome = engine.submit(req).unwrap().wait();
+        let result = outcome.result().expect("re-run result is served");
+        assert!(result.cached, "recovered re-run populated the cache");
+        assert_eq!(result.score, expected);
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_preserves_queued_durable_jobs_for_restart() {
+        let dir = state_dir("drain");
+        let engine = Engine::start(durable_config(&dir));
+        // Occupy the single worker with a slow, non-journalable job
+        // (custom matrix) so the durable jobs behind it are still queued
+        // when the drain flag goes up.
+        let blocker_text: String = "GATTACAGATCCTA".repeat(16);
+        let (ba, bb, bc) = triple(&blocker_text);
+        let blocker = AlignRequest::new("blocker", ba, bb, bc).scoring(Scoring::new(
+            tsa_scoring::SubstMatrix::match_mismatch("blocker", 2, -3),
+            tsa_scoring::GapModel::linear(-2),
+        ));
+        engine.submit(blocker).unwrap();
+        let (a, b, c) = triple("GATTACAGATTACAGATTACA");
+        for i in 0..3 {
+            let mut req = AlignRequest::new(format!("d{i}"), a.clone(), b.clone(), c.clone());
+            req.score_only = true;
+            // Distinct scorings so the three jobs have distinct uids.
+            req = req.scoring(Scoring::by_name(["dna", "unit", "edit"][i]).unwrap());
+            engine.submit(req).unwrap();
+        }
+        let snap = engine.drain();
+        assert_eq!(
+            snap.submitted,
+            snap.completed + snap.rejected + snap.cancelled + snap.failed,
+            "accounting identity holds through drain"
+        );
+        let preserved = snap.cancelled;
+        assert!(
+            preserved >= 1,
+            "at least one queued durable job was preserved, not completed"
+        );
+        let engine = Engine::start(durable_config(&dir));
+        let stats = engine.stats();
+        assert_eq!(
+            stats.resumed + stats.restarted,
+            preserved,
+            "every drained job comes back in-flight"
+        );
+        assert_eq!(
+            stats.recovered,
+            3 - preserved,
+            "durable jobs that did finish recover as cache entries"
+        );
+        await_completed(&engine, preserved);
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -81,6 +81,9 @@ pub struct JobResult {
     pub degraded_from: Option<Algorithm>,
     /// Whether this result came from the result cache.
     pub cached: bool,
+    /// Whether the cache entry it came from was recovered from the crash
+    /// journal on startup (as opposed to computed by this process).
+    pub recovered: bool,
     /// Time the job spent queued before a worker picked it up.
     pub wait: Duration,
     /// Time the worker spent serving it (cache probe + kernel).

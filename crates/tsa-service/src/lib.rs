@@ -63,6 +63,7 @@
 //!   flag — so an `auto` submission and an explicit one share an entry.
 
 mod cache;
+mod durability;
 mod engine;
 mod error;
 pub mod faults;
@@ -79,7 +80,10 @@ pub use engine::{AlignRequest, Engine, JobHandle, ServiceConfig};
 pub use error::{CancelStage, JobOutcome, JobResult, SubmitError};
 pub use governor::ResourceEstimate;
 pub use queue::{job_queue, JobQueue, JobReceiver, PushError};
-pub use server::{run_all, run_batch, serve_listener, serve_session, serve_stdio, serve_tcp};
+pub use server::{
+    run_all, run_batch, serve_listener, serve_listener_with, serve_session, serve_session_with,
+    serve_stdio, serve_tcp, serve_tcp_with, ServeOptions,
+};
 pub use stats::{ServiceStats, StatsSnapshot};
 pub use tsa_core::cancel::{CancelProgress, CancelToken};
 pub use tsa_obs::{JsonSink, RingSink, SpanRecord, SpanSink, TextSink, Tracer};

@@ -37,6 +37,10 @@ pub enum Request {
     Metrics,
     /// Drain the queue, stop the workers, report final counters.
     Shutdown,
+    /// Graceful drain: stop admission, checkpoint in-flight durable
+    /// kernels, flush the journal, report final counters. Identical to
+    /// `Shutdown` when the engine has no state directory.
+    Drain,
 }
 
 /// A request that could not be honored; `id` is echoed when the line
@@ -75,6 +79,18 @@ impl ProtocolError {
             code: "invalid_argument",
             message: message.into(),
             position,
+        }
+    }
+
+    /// A request line longer than the server's configured bound; the
+    /// position is the first byte past the limit. The oversized line is
+    /// consumed, so the session survives to serve the next request.
+    pub(crate) fn line_too_long(max_bytes: usize) -> Self {
+        ProtocolError {
+            id: None,
+            code: "invalid_argument",
+            message: format!("request line exceeds {max_bytes} bytes"),
+            position: Some(max_bytes),
         }
     }
 
@@ -159,6 +175,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
+        "drain" => Ok(Request::Drain),
         "submit" => {
             let declared = parse_alphabet(&obj, id_ref)?;
             let a = parse_seq(&obj, "a", declared, id_ref)?;
@@ -245,6 +262,12 @@ pub fn render_outcome(done: &CompletedJob) -> String {
                     "service_us",
                     r.service.as_micros().min(u64::MAX as u128) as u64,
                 );
+            // Present only when true: a hit on a journal-recovered entry.
+            let obj = if r.recovered {
+                obj.bool("recovered", true)
+            } else {
+                obj
+            };
             let obj = match r.degraded_from {
                 Some(from) => obj.str("degraded_from", from.name()),
                 None => obj,
@@ -315,6 +338,10 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("panics", stats.panics)
         .u64("respawns", stats.respawns)
         .u64("downgraded", stats.downgraded)
+        .u64("recovered", stats.recovered)
+        .u64("resumed", stats.resumed)
+        .u64("restarted", stats.restarted)
+        .u64("cache_recovered_hits", stats.cache_recovered_hits)
         .u64("queue_depth", stats.queue_depth as u64)
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
@@ -351,6 +378,11 @@ pub fn render_shutdown(stats: &StatsSnapshot) -> String {
         stats,
     )
     .finish()
+}
+
+/// Render the final `drain` response.
+pub fn render_drain(stats: &StatsSnapshot) -> String {
+    stats_fields(JsonObject::new().bool("ok", true).str("op", "drain"), stats).finish()
 }
 
 #[cfg(test)]
@@ -412,6 +444,21 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         ));
+        assert!(matches!(
+            parse_request(r#"{"op":"drain"}"#).unwrap(),
+            Request::Drain
+        ));
+    }
+
+    #[test]
+    fn line_too_long_is_positioned_invalid_argument() {
+        let err = ProtocolError::line_too_long(1024);
+        assert_eq!(err.code, "invalid_argument");
+        assert_eq!(err.position, Some(1024));
+        let v = Value::parse(&render_protocol_error(&err)).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("invalid_argument"));
+        assert_eq!(v.get("position").unwrap().as_u64(), Some(1024));
+        assert!(v.get("message").unwrap().as_str().unwrap().contains("1024"));
     }
 
     #[test]
@@ -453,6 +500,7 @@ mod tests {
                 algorithm: Algorithm::Wavefront,
                 degraded_from: None,
                 cached: true,
+                recovered: false,
                 wait: Duration::from_micros(10),
                 service: Duration::from_micros(20),
             }),
@@ -465,7 +513,32 @@ mod tests {
         assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("algorithm").unwrap().as_str(), Some("wavefront"));
         assert!(v.get("degraded_from").is_none());
+        assert!(
+            v.get("recovered").is_none(),
+            "recovered omitted unless true"
+        );
         assert!(v.get("rows").is_some());
+    }
+
+    #[test]
+    fn renders_recovered_outcome() {
+        let done = CompletedJob {
+            id: 5,
+            tag: "r".into(),
+            outcome: JobOutcome::Done(JobResult {
+                score: 4,
+                rows: None,
+                algorithm: Algorithm::Wavefront,
+                degraded_from: None,
+                cached: true,
+                recovered: true,
+                wait: Duration::ZERO,
+                service: Duration::ZERO,
+            }),
+        };
+        let v = Value::parse(&render_outcome(&done)).unwrap();
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("recovered").unwrap().as_bool(), Some(true));
     }
 
     #[test]
@@ -479,6 +552,7 @@ mod tests {
                 algorithm: Algorithm::ParallelHirschberg,
                 degraded_from: Some(Algorithm::Wavefront),
                 cached: false,
+                recovered: false,
                 wait: Duration::ZERO,
                 service: Duration::ZERO,
             }),
@@ -595,6 +669,10 @@ mod tests {
             panics: 1,
             respawns: 1,
             downgraded: 2,
+            recovered: 4,
+            resumed: 1,
+            restarted: 2,
+            cache_recovered_hits: 3,
             queue_depth: 0,
             latency_p50_us: 64,
             latency_p90_us: 128,
@@ -613,6 +691,10 @@ mod tests {
         assert_eq!(v.get("panics").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("respawns").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("downgraded").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("recovered").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("resumed").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("restarted").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("cache_recovered_hits").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
         assert_eq!(v.get("queue_wait_p99_us").unwrap().as_u64(), Some(16));
         assert_eq!(v.get("kernel_p50_us").unwrap().as_u64(), Some(32));
@@ -626,6 +708,9 @@ mod tests {
         assert!(matches!(v.get("kernel_buckets"), Some(Value::Arr(a)) if a.is_empty()));
         let v = Value::parse(&render_shutdown(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("shutdown"));
+        let v = Value::parse(&render_drain(&stats)).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("drain"));
+        assert_eq!(v.get("resumed").unwrap().as_u64(), Some(1));
     }
 
     #[test]

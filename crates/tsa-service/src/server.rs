@@ -2,12 +2,35 @@
 //! connection) and the batch driver.
 
 use crate::engine::{AlignRequest, Engine, JobHandle};
-use crate::protocol::{self, Request};
+use crate::protocol::{self, ProtocolError, Request};
 use crate::stats::StatsSnapshot;
 use parking_lot::Mutex;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-session transport limits for the NDJSON frontends.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Close a TCP connection that sends no bytes for this long. `None`
+    /// disables the timeout. Only applies to TCP sessions; stdio and
+    /// in-memory readers are never timed out.
+    pub idle_timeout: Option<Duration>,
+    /// Longest accepted request line, in bytes (newline excluded). An
+    /// oversized line is consumed and answered with a positioned
+    /// `invalid_argument` error; the session keeps running.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            idle_timeout: Some(Duration::from_secs(300)),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
 
 fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> io::Result<()> {
     let mut w = writer.lock();
@@ -16,15 +39,79 @@ fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> io::Result<()> {
     w.flush()
 }
 
+enum LineRead {
+    /// Clean end of stream (nothing buffered).
+    Eof,
+    /// A complete line is in the buffer (trailing newline stripped).
+    Line,
+    /// The line exceeded the bound; it was consumed through its newline.
+    TooLong,
+}
+
+/// Read one newline-terminated line into `buf`, refusing to buffer more
+/// than `max` bytes. Works through `fill_buf`/`consume` so an oversized
+/// line is discarded in chunks rather than accumulated — a client cannot
+/// balloon server memory by never sending a newline.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<LineRead> {
+    buf.clear();
+    let mut discarding = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF mid-line still yields the partial line, matching
+            // `read_until`; EOF mid-discard reports the oversize.
+            return Ok(match (discarding, buf.is_empty()) {
+                (true, _) => LineRead::TooLong,
+                (false, true) => LineRead::Eof,
+                (false, false) => LineRead::Line,
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |pos| pos);
+        if !discarding {
+            if buf.len() + take > max {
+                buf.clear();
+                discarding = true;
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        match newline {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(if discarding {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line
+                });
+            }
+            None => {
+                let len = chunk.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
 /// Run one NDJSON session: read request lines from `reader`, write
 /// response lines to `writer` as jobs resolve (so responses can arrive
 /// out of submission order — clients correlate by `id`). Returns after a
-/// `shutdown` request (engine drained; final stats written) or at EOF
-/// (engine left running).
-pub fn serve_session<R, W>(
+/// `shutdown` or `drain` request (engine stopped; final stats written),
+/// at EOF (engine left running), or when the transport's idle timeout
+/// expires (connection closed, engine left running).
+pub fn serve_session_with<R, W>(
     engine: &Arc<Engine>,
     reader: R,
     writer: Arc<Mutex<W>>,
+    options: &ServeOptions,
 ) -> io::Result<bool>
 where
     R: BufRead,
@@ -33,9 +120,25 @@ where
     let mut reader = reader;
     let mut buf = Vec::new();
     loop {
-        buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
-            break;
+        match read_bounded_line(&mut reader, &mut buf, options.max_line_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::TooLong) => {
+                let err = ProtocolError::line_too_long(options.max_line_bytes);
+                write_line(&writer, &protocol::render_protocol_error(&err))?;
+                continue;
+            }
+            // A read timeout on the underlying socket: the peer went
+            // idle. Close this session; the engine keeps running.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
         }
         while matches!(buf.last(), Some(b'\n' | b'\r')) {
             buf.pop();
@@ -64,6 +167,11 @@ where
                 write_line(&writer, &protocol::render_shutdown(&stats))?;
                 return Ok(true);
             }
+            Ok(Request::Drain) => {
+                let stats = engine.drain();
+                write_line(&writer, &protocol::render_drain(&stats))?;
+                return Ok(true);
+            }
             Ok(Request::Submit(req)) => {
                 let tag = req.tag.clone();
                 let cb_writer = Arc::clone(&writer);
@@ -79,8 +187,21 @@ where
     Ok(false)
 }
 
-/// Serve NDJSON over stdin/stdout until `shutdown` or EOF. Returns the
-/// final stats snapshot.
+/// [`serve_session_with`] under default [`ServeOptions`].
+pub fn serve_session<R, W>(
+    engine: &Arc<Engine>,
+    reader: R,
+    writer: Arc<Mutex<W>>,
+) -> io::Result<bool>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    serve_session_with(engine, reader, writer, &ServeOptions::default())
+}
+
+/// Serve NDJSON over stdin/stdout until `shutdown`, `drain`, or EOF.
+/// Returns the final stats snapshot.
 pub fn serve_stdio(engine: &Arc<Engine>) -> io::Result<StatsSnapshot> {
     let writer = Arc::new(Mutex::new(io::stdout()));
     let shut = serve_session(engine, io::stdin().lock(), writer)?;
@@ -92,14 +213,34 @@ pub fn serve_stdio(engine: &Arc<Engine>) -> io::Result<StatsSnapshot> {
 }
 
 /// Serve NDJSON over TCP: one session thread per connection, all sharing
-/// the engine. Returns after a connection issues `shutdown`.
+/// the engine. Returns after a connection issues `shutdown` or `drain`.
 pub fn serve_tcp(engine: &Arc<Engine>, addr: &str) -> io::Result<StatsSnapshot> {
     serve_listener(engine, TcpListener::bind(addr)?)
+}
+
+/// [`serve_tcp`] with explicit [`ServeOptions`].
+pub fn serve_tcp_with(
+    engine: &Arc<Engine>,
+    addr: &str,
+    options: &ServeOptions,
+) -> io::Result<StatsSnapshot> {
+    serve_listener_with(engine, TcpListener::bind(addr)?, options)
 }
 
 /// [`serve_tcp`] over an already-bound listener (lets callers pick port 0
 /// and read the assigned address first).
 pub fn serve_listener(engine: &Arc<Engine>, listener: TcpListener) -> io::Result<StatsSnapshot> {
+    serve_listener_with(engine, listener, &ServeOptions::default())
+}
+
+/// [`serve_listener`] with explicit [`ServeOptions`]: each accepted
+/// connection gets the configured idle read timeout and request-line
+/// bound.
+pub fn serve_listener_with(
+    engine: &Arc<Engine>,
+    listener: TcpListener,
+    options: &ServeOptions,
+) -> io::Result<StatsSnapshot> {
     // Poll accept so a shutdown from one connection stops the loop.
     listener.set_nonblocking(true)?;
     let mut sessions = Vec::new();
@@ -110,11 +251,13 @@ pub fn serve_listener(engine: &Arc<Engine>, listener: TcpListener) -> io::Result
         match listener.accept() {
             Ok((stream, _peer)) => {
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(options.idle_timeout)?;
                 let engine = Arc::clone(engine);
+                let options = options.clone();
                 let reader = BufReader::new(stream.try_clone()?);
                 let writer = Arc::new(Mutex::new(stream));
                 sessions.push(std::thread::spawn(move || {
-                    let _ = serve_session(&engine, reader, writer);
+                    let _ = serve_session_with(&engine, reader, writer, &options);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -160,7 +303,7 @@ pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) ->
             Ok(Request::Metrics) => {
                 immediate.push((lineno, protocol::render_metrics(&engine.metrics_text())))
             }
-            Ok(Request::Shutdown) => break,
+            Ok(Request::Shutdown) | Ok(Request::Drain) => break,
             Ok(Request::Submit(req)) => {
                 let tag = req.tag.clone();
                 match engine.submit_blocking(*req) {
@@ -297,6 +440,73 @@ mod tests {
             .contains("UTF-8"));
         assert_eq!(out[0].get("position").unwrap().as_u64(), Some(9));
         assert_eq!(out[2].get("op").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn session_rejects_oversized_line_and_keeps_going() {
+        let engine = engine();
+        let options = ServeOptions {
+            max_line_bytes: 64,
+            ..ServeOptions::default()
+        };
+        let mut input = String::new();
+        input.push_str(&"x".repeat(200)); // no JSON, just too long
+        input.push('\n');
+        input.push_str(r#"{"op":"stats"}"#);
+        input.push('\n');
+        input.push_str(r#"{"op":"shutdown"}"#);
+        input.push('\n');
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shut =
+            serve_session_with(&engine, Cursor::new(input), Arc::clone(&writer), &options).unwrap();
+        assert!(shut, "session survives the oversized line");
+        let out = lines(&writer.lock());
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out[0].get("error").unwrap().as_str(),
+            Some("invalid_argument")
+        );
+        assert_eq!(out[0].get("position").unwrap().as_u64(), Some(64));
+        assert_eq!(out[1].get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(out[2].get("op").unwrap().as_str(), Some("shutdown"));
+    }
+
+    #[test]
+    fn line_exactly_at_bound_is_accepted() {
+        let engine = engine();
+        let line = r#"{"op":"stats"}"#;
+        let options = ServeOptions {
+            max_line_bytes: line.len(),
+            ..ServeOptions::default()
+        };
+        let input = format!("{line}\n{{\"op\":\"shutdown\"}}\n");
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        serve_session_with(&engine, Cursor::new(input), Arc::clone(&writer), &options).unwrap();
+        let out = lines(&writer.lock());
+        assert_eq!(out[0].get("op").unwrap().as_str(), Some("stats"));
+    }
+
+    #[test]
+    fn session_drain_stops_engine_and_reports_stats() {
+        let engine = engine();
+        let input = concat!(
+            r#"{"op":"submit","id":"d1","a":"GATTACA","b":"GATACA","c":"GTTACA"}"#,
+            "\n",
+            r#"{"op":"drain"}"#,
+            "\n"
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shut = serve_session(&engine, Cursor::new(input), Arc::clone(&writer)).unwrap();
+        assert!(shut);
+        assert!(!engine.is_running());
+        let out = lines(&writer.lock());
+        let drain = out
+            .iter()
+            .find(|v| v.get("op").map(|o| o.as_str()) == Some(Some("drain")))
+            .expect("drain response present");
+        assert_eq!(drain.get("ok").unwrap().as_bool(), Some(true));
+        // Without a state dir the job completes before drain returns.
+        assert_eq!(drain.get("completed").unwrap().as_u64(), Some(1));
     }
 
     #[test]

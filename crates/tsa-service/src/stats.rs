@@ -28,6 +28,10 @@ pub struct ServiceStats {
     pub(crate) panics: Counter,
     pub(crate) respawns: Counter,
     pub(crate) downgraded: Counter,
+    pub(crate) recovered: Counter,
+    pub(crate) resumed: Counter,
+    pub(crate) restarted: Counter,
+    pub(crate) cache_recovered_hits: Counter,
     queue_depth: Gauge,
     latency: Histogram,
     queue_wait: Histogram,
@@ -77,6 +81,22 @@ impl Default for ServiceStats {
             downgraded: registry.counter(
                 "tsa_jobs_downgraded_total",
                 "Auto jobs the admission governor downgraded to a lower-memory algorithm.",
+            ),
+            recovered: registry.counter(
+                "tsa_jobs_recovered_total",
+                "Completed jobs preloaded into the cache from the journal at startup.",
+            ),
+            resumed: registry.counter(
+                "tsa_jobs_resumed_total",
+                "In-flight jobs resumed from a valid checkpoint snapshot at startup.",
+            ),
+            restarted: registry.counter(
+                "tsa_jobs_restarted_total",
+                "In-flight jobs re-run cleanly at startup (missing or invalid snapshot).",
+            ),
+            cache_recovered_hits: registry.counter(
+                "tsa_cache_recovered_hits_total",
+                "Cache hits served from journal-recovered entries (a subset of cache hits).",
             ),
             queue_depth: registry.gauge("tsa_queue_depth", "Jobs currently queued."),
             latency: registry.histogram(
@@ -141,6 +161,10 @@ impl ServiceStats {
             panics: self.panics.get(),
             respawns: self.respawns.get(),
             downgraded: self.downgraded.get(),
+            recovered: self.recovered.get(),
+            resumed: self.resumed.get(),
+            restarted: self.restarted.get(),
+            cache_recovered_hits: self.cache_recovered_hits.get(),
             queue_depth,
             latency_p50_us: latency.quantile_upper_bound(0.50),
             latency_p90_us: latency.quantile_upper_bound(0.90),
@@ -190,6 +214,17 @@ pub struct StatsSnapshot {
     /// `Auto` jobs the admission governor downgraded to a lower-memory
     /// algorithm to fit the budget (a subset of `completed`).
     pub downgraded: u64,
+    /// Completed jobs preloaded into the cache from the crash journal at
+    /// startup.
+    pub recovered: u64,
+    /// In-flight jobs resumed from a valid checkpoint snapshot at startup.
+    pub resumed: u64,
+    /// In-flight jobs re-run cleanly at startup because their snapshot was
+    /// missing, stale, or corrupt.
+    pub restarted: u64,
+    /// Cache hits served from journal-recovered entries (a subset of
+    /// `cache_hits`).
+    pub cache_recovered_hits: u64,
     /// Jobs currently queued (0 at quiescence).
     pub queue_depth: usize,
     /// Median submit-to-completion latency, as a power-of-two µs bound.
@@ -241,6 +276,11 @@ impl fmt::Display for StatsSnapshot {
             f,
             "faults: {} kernel panics, {} worker respawns, {} governor downgrades",
             self.panics, self.respawns, self.downgraded
+        )?;
+        writeln!(
+            f,
+            "durability: {} recovered, {} resumed, {} restarted, {} recovered-cache hits",
+            self.recovered, self.resumed, self.restarted, self.cache_recovered_hits
         )?;
         writeln!(
             f,
@@ -320,6 +360,10 @@ mod tests {
             "tsa_kernel_panics_total",
             "tsa_worker_respawns_total",
             "tsa_jobs_downgraded_total",
+            "tsa_jobs_recovered_total",
+            "tsa_jobs_resumed_total",
+            "tsa_jobs_restarted_total",
+            "tsa_cache_recovered_hits_total",
             "tsa_queue_depth",
             "tsa_job_latency_us",
             "tsa_job_queue_wait_us",
@@ -350,6 +394,10 @@ mod tests {
                 "# TYPE tsa_kernel_panics_total counter",
                 "# TYPE tsa_worker_respawns_total counter",
                 "# TYPE tsa_jobs_downgraded_total counter",
+                "# TYPE tsa_jobs_recovered_total counter",
+                "# TYPE tsa_jobs_resumed_total counter",
+                "# TYPE tsa_jobs_restarted_total counter",
+                "# TYPE tsa_cache_recovered_hits_total counter",
                 "# TYPE tsa_queue_depth gauge",
                 "# TYPE tsa_job_latency_us histogram",
                 "# TYPE tsa_job_queue_wait_us histogram",

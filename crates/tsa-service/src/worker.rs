@@ -15,6 +15,7 @@
 //! even when a stage panics or the job is cancelled mid-kernel.
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::durability::Durability;
 use crate::error::{CancelStage, JobOutcome, JobResult};
 use crate::faults;
 use crate::governor::Reservation;
@@ -24,7 +25,10 @@ use crossbeam::channel::Sender;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tsa_core::{Algorithm, AlignError, Aligner, Alignment3, CancelProgress, CancelToken};
+use tsa_core::{
+    Algorithm, AlignError, Aligner, Alignment3, CancelProgress, CancelToken, CheckpointConfig,
+    DurableStop, FrontierSnapshot,
+};
 use tsa_obs::Span;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
@@ -59,6 +63,20 @@ pub(crate) struct Job {
     pub reservation: Option<Reservation>,
     /// Present when the engine was configured with a tracer.
     pub trace: Option<JobTrace>,
+    /// Present when the engine keeps a journal and this request is
+    /// journalable: the job's durability attachment.
+    pub durable: Option<DurableJob>,
+}
+
+/// A job's durability attachment: its journal uid, an optional
+/// pre-validated checkpoint snapshot to resume from (recovery only),
+/// and the engine's durability handle (journal, checkpoint store,
+/// drain flag, pacing policy).
+#[derive(Debug)]
+pub(crate) struct DurableJob {
+    pub uid: String,
+    pub resume: Option<FrontierSnapshot>,
+    pub handle: Arc<Durability>,
 }
 
 impl Job {
@@ -129,6 +147,10 @@ pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: 
             tag: job.tag.clone(),
             responder: job.responder.take(),
             stats: Arc::clone(&stats),
+            durable: job
+                .durable
+                .as_ref()
+                .map(|d| (d.uid.clone(), Arc::clone(&d.handle))),
         };
         // An injected `#fault-abort` panics *outside* the kernel isolation
         // boundary: this worker thread dies, the guard resolves the
@@ -138,6 +160,9 @@ pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: 
             panic!("injected worker abort");
         }
         let outcome = serve_one(&mut job, &cache, &stats);
+        if let Some(d) = &job.durable {
+            resolve_durable(d, &outcome);
+        }
         // Return the job's share of the memory budget before the waiter
         // can observe resolution (on unwind, dropping `job` releases it).
         job.reservation.take();
@@ -157,6 +182,7 @@ struct JobGuard {
     tag: String,
     responder: Option<Responder>,
     stats: Arc<ServiceStats>,
+    durable: Option<(String, Arc<Durability>)>,
 }
 
 impl JobGuard {
@@ -167,10 +193,35 @@ impl JobGuard {
     }
 }
 
+/// Resolve a durable job in the journal. Completions record their
+/// reusable result; a drain-stopped job stays *in-flight* — its `job`
+/// record and checkpoint survive so the next start resumes it; every
+/// other terminal state is recorded as gone.
+fn resolve_durable(d: &DurableJob, outcome: &JobOutcome) {
+    match outcome {
+        JobOutcome::Done(result) => {
+            d.handle.record_done(&d.uid, result);
+            d.handle.remove_checkpoint(&d.uid);
+        }
+        JobOutcome::Cancelled { .. } | JobOutcome::DeadlineExceeded { .. }
+            if d.handle.drain_requested() => {}
+        _ => {
+            d.handle.record_gone(&d.uid);
+            d.handle.remove_checkpoint(&d.uid);
+        }
+    }
+}
+
 impl Drop for JobGuard {
     fn drop(&mut self) {
         if let Some(responder) = self.responder.take() {
             self.stats.failed.inc();
+            // The worker died mid-job: resolve it as gone so a restart
+            // does not re-run (and re-crash on) the same poisoned job.
+            if let Some((uid, d)) = self.durable.take() {
+                d.record_gone(&uid);
+                d.remove_checkpoint(&uid);
+            }
             respond(
                 responder,
                 self.id,
@@ -217,6 +268,13 @@ fn cancellable_sleep(total: Duration, cancel: &CancelToken) -> Result<(), AlignE
     }
 }
 
+/// Why the kernel closure stopped: an aligner error (plain path) or a
+/// durable stop (checkpointing path).
+enum KernelErr {
+    Align(AlignError),
+    Stop(DurableStop),
+}
+
 fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOutcome {
     let wait = job.submitted.elapsed();
     // Close the `queued` stage: a worker now owns the job.
@@ -240,6 +298,16 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
             progress: None,
         };
     }
+    // A draining engine parks queued durable jobs instead of running
+    // them: their `job` record stays in the journal and the next start
+    // picks them up.
+    if let Some(d) = &job.durable {
+        if d.handle.drain_requested() {
+            stats.cancelled.inc();
+            job.annotate("drained", true);
+            return JobOutcome::Cancelled { progress: None };
+        }
+    }
 
     let served = Instant::now();
     let aligner = Aligner::auto(job.scoring.clone()).algorithm(job.algorithm);
@@ -261,6 +329,10 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
     drop(lookup_span);
     if let Some(hit) = hit {
         stats.cache_hits.inc();
+        if hit.recovered {
+            stats.cache_recovered_hits.inc();
+            job.annotate("recovered", true);
+        }
         stats.completed.inc();
         stats.record_latency(job.submitted.elapsed());
         job.annotate("cached", true);
@@ -270,6 +342,7 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
             algorithm: hit.algorithm,
             degraded_from: job.degraded_from,
             cached: true,
+            recovered: hit.recovered,
             wait,
             service: served.elapsed(),
         });
@@ -281,21 +354,51 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
     // instead of killing this worker.
     let tag = job.tag.clone();
     let cancel = job.cancel.clone();
-    let kernel = || -> Result<(i32, Option<Alignment3>), AlignError> {
+    // Durable score-only jobs with a checkpointable kernel stream
+    // frontier snapshots to their sink and poll the drain flag; all
+    // other shapes run the plain cancellable path.
+    let durable_run = job.durable.as_ref().and_then(|d| {
+        (job.score_only
+            && aligner
+                .durable_kind(job.a.len(), job.b.len(), job.c.len())
+                .is_some())
+        .then(|| (d.handle.sink_for(&d.uid), Arc::clone(&d.handle)))
+    });
+    let resume = job.durable.as_mut().and_then(|d| d.resume.take());
+    let kernel = || -> Result<(i32, Option<Alignment3>), KernelErr> {
         if faults::wants_panic(&tag) {
             panic!("injected kernel panic");
         }
         if let Some(delay) = faults::delay_of(&tag) {
-            cancellable_sleep(delay, &cancel)?;
+            cancellable_sleep(delay, &cancel).map_err(KernelErr::Align)?;
         }
-        if job.score_only {
+        if let Some((sink, handle)) = &durable_run {
+            let ckpt = CheckpointConfig {
+                sink,
+                policy: handle.policy,
+                drain: Some(&handle.drain),
+            };
+            let run = |snap: Option<&FrontierSnapshot>| {
+                aligner.score3_durable(&job.a, &job.b, &job.c, &cancel, &ckpt, snap)
+            };
+            let result = match run(resume.as_ref()) {
+                // Startup pre-validation can miss shape drift (e.g. a
+                // governor downgrade changed the kernel since the
+                // snapshot): re-run cleanly rather than failing the job.
+                Err(DurableStop::InvalidResume(_)) => run(None),
+                other => other,
+            };
+            result.map(|score| (score, None)).map_err(KernelErr::Stop)
+        } else if job.score_only {
             aligner
                 .score3_cancellable(&job.a, &job.b, &job.c, &cancel)
                 .map(|score| (score, None))
+                .map_err(KernelErr::Align)
         } else {
             aligner
                 .align3_cancellable(&job.a, &job.b, &job.c, &cancel)
                 .map(|aln| (aln.score, Some(aln)))
+                .map_err(KernelErr::Align)
         }
     };
     let mut kernel_span = job.stage("kernel");
@@ -324,7 +427,8 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
     let (score, alignment) = match computed {
         Ok(r) => r,
         // The cancellation token stopped the DP loop between planes.
-        Err(AlignError::Cancelled(progress)) => {
+        Err(KernelErr::Align(AlignError::Cancelled(progress)))
+        | Err(KernelErr::Stop(DurableStop::Cancelled(progress))) => {
             stats.cancelled.inc();
             return if job.cancel.is_cancelled() {
                 job.annotate("cancelled_at", "kernel");
@@ -339,7 +443,28 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
                 }
             };
         }
-        Err(e) => {
+        // The drain flag stopped a durable kernel after it persisted a
+        // final snapshot: the job stays in-flight and resumes next start.
+        Err(KernelErr::Stop(DurableStop::Drained(progress))) => {
+            stats.cancelled.inc();
+            job.annotate("drained", true);
+            return JobOutcome::Cancelled {
+                progress: Some(progress),
+            };
+        }
+        Err(KernelErr::Stop(DurableStop::Sink(msg))) => {
+            stats.failed.inc();
+            job.annotate("error", msg.as_str());
+            return JobOutcome::Failed(format!("checkpoint sink failed: {msg}"));
+        }
+        Err(KernelErr::Align(e)) => {
+            stats.failed.inc();
+            job.annotate("error", e.to_string());
+            return JobOutcome::Failed(e.to_string());
+        }
+        // Config errors, or an InvalidResume that survived the clean
+        // re-run fallback (cannot happen in practice).
+        Err(KernelErr::Stop(e)) => {
             stats.failed.inc();
             job.annotate("error", e.to_string());
             return JobOutcome::Failed(e.to_string());
@@ -357,6 +482,7 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
             score,
             rows: rows.clone(),
             algorithm: resolved,
+            recovered: false,
         },
     );
     drop(traceback_span);
@@ -386,6 +512,7 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
         algorithm: resolved,
         degraded_from: job.degraded_from,
         cached: false,
+        recovered: false,
         wait,
         service: served.elapsed(),
     })

@@ -19,6 +19,9 @@
 //!   the profiled executor: occupancy, load imbalance, barrier overhead;
 //! * [`dataflow`] — a crossbeam counter-based dataflow executor (no global
 //!   barrier: a tile runs as soon as its own dependencies finish);
+//! * [`snapshot`] — versioned, checksummed binary frontier snapshots
+//!   ([`snapshot::FrontierSnapshot`]) for checkpoint/resume of rolling
+//!   sweeps;
 //! * [`stats`] — wavefront shape statistics (plane sizes, critical path,
 //!   maximum parallelism) consumed by the performance model.
 
@@ -29,6 +32,7 @@ pub mod grid;
 pub mod plane;
 pub mod profile;
 pub mod simulate;
+pub mod snapshot;
 pub mod stats;
 pub mod tiles;
 pub mod trace;
@@ -36,4 +40,5 @@ pub mod trace;
 pub use grid::SharedGrid;
 pub use plane::PlaneIter;
 pub use profile::{PlaneProfile, PlaneSample, ProfileSummary};
+pub use snapshot::{FrontierSnapshot, SnapshotError};
 pub use tiles::TileGrid;
