@@ -1,0 +1,225 @@
+//! Kernel benchmark baselines and the CI perf-regression gate.
+//!
+//! ```text
+//! cargo run -p tsa-bench --release --bin bench -- run [--quick] [--out BENCH_kernel.json]
+//! cargo run -p tsa-bench --release --bin bench -- compare BENCH_kernel.json fresh.json [--tolerance 0.20]
+//! ```
+//!
+//! `run` measures the pinned workload matrix (alphabet × size ×
+//! algorithm × SIMD kernel) and writes a machine-readable baseline.
+//! `compare` diffs two baseline files and exits nonzero when any shared
+//! workload lost more than the tolerance (default 20%) of its median
+//! cells/s — that exit code is what CI gates on.
+
+use tsa_bench::baseline::{compare, sample, Baseline, Fingerprint, Record, DEFAULT_TOLERANCE};
+use tsa_bench::workload;
+use tsa_core::{Algorithm, Aligner, SimdKernel};
+use tsa_scoring::Scoring;
+use tsa_seq::family::FamilyConfig;
+use tsa_seq::Seq;
+
+const USAGE: &str = "\
+usage: bench run [--quick] [--out <path>]
+       bench compare <baseline.json> <current.json> [--tolerance <frac>]
+
+run      measure the pinned workload matrix, write a baseline JSON
+compare  diff two baselines; exit 1 on >tolerance median cells/s drop
+";
+
+const KERNELS: [SimdKernel; 4] = [
+    SimdKernel::Scalar,
+    SimdKernel::Sse2,
+    SimdKernel::Avx2,
+    SimdKernel::Auto,
+];
+
+const ALGORITHMS: [(Algorithm, &str); 2] = [
+    (Algorithm::FullDp, "full"),
+    (Algorithm::Wavefront, "wavefront"),
+];
+
+/// One workload triple plus everything needed to label its records.
+struct Workload {
+    alphabet: &'static str,
+    n: usize,
+    scoring: Scoring,
+    seqs: (Seq, Seq, Seq),
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    // The quick sizes must overlap the full ones: CI measures `--quick`
+    // and diffs it against the committed full baseline, so only shared
+    // workload ids are gated.
+    let sizes: &[usize] = if quick { &[48, 64] } else { &[64, 128, 256] };
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.push(Workload {
+            alphabet: "dna",
+            n,
+            scoring: Scoring::dna_default(),
+            seqs: workload::triple(n),
+        });
+        let [a, b, c] =
+            FamilyConfig::protein(n, workload::CANONICAL_SUB, workload::CANONICAL_INDEL)
+                .generate(workload::SEED_BASE ^ (n as u64).rotate_left(17))
+                .members;
+        out.push(Workload {
+            alphabet: "protein",
+            n,
+            scoring: Scoring::by_name("blosum62").expect("preset exists"),
+            seqs: (a, b, c),
+        });
+    }
+    out
+}
+
+fn run(quick: bool, out_path: &str) -> Result<(), String> {
+    let reps = if quick { 3 } else { 5 };
+    let fingerprint = Fingerprint::host();
+    println!(
+        "# bench run: {} matrix, {reps} reps, host {} ({} cores, avx2={})",
+        if quick { "quick" } else { "full" },
+        fingerprint.arch,
+        fingerprint.cores,
+        fingerprint.avx2
+    );
+    let mut results = Vec::new();
+    for w in workloads(quick) {
+        let (a, b, c) = &w.seqs;
+        let cells = workload::cell_updates(a, b, c);
+        for (algorithm, alg_name) in ALGORITHMS {
+            for kernel in KERNELS {
+                let aligner = Aligner::new()
+                    .scoring(w.scoring.clone())
+                    .algorithm(algorithm)
+                    .kernel(kernel);
+                // Warm-up run (pulls pages in, fills the profile cache),
+                // then the timed samples.
+                let score = aligner.score3(a, b, c).map_err(|e| e.to_string())?;
+                let samples = sample(reps, || aligner.score3(a, b, c).expect("warm-up succeeded"));
+                let record = Record::from_samples(
+                    format!("{}-{}-{}-{}", w.alphabet, w.n, alg_name, kernel.name()),
+                    w.alphabet,
+                    w.n,
+                    alg_name,
+                    kernel.name(),
+                    kernel.resolve().name(),
+                    cells,
+                    &samples,
+                );
+                println!(
+                    "{:<28} score {score:>8}  median {:>9.3} ms  {:>8.1} Mcells/s ({})",
+                    record.id,
+                    record.median_ms,
+                    record.cells_per_sec / 1e6,
+                    record.resolved
+                );
+                results.push(record);
+            }
+        }
+    }
+    let baseline = Baseline {
+        quick,
+        fingerprint,
+        results,
+    };
+    std::fs::write(out_path, baseline.encode()).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("# wrote {out_path}");
+    Ok(())
+}
+
+fn run_compare(base_path: &str, current_path: &str, tolerance: f64) -> Result<bool, String> {
+    let load = |path: &str| -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Baseline::decode(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = load(base_path)?;
+    let current = load(current_path)?;
+    let cmp = compare(&base, &current, tolerance);
+    if cmp.fingerprint_mismatch {
+        println!(
+            "# note: fingerprints differ (baseline: {} {} cores; current: {} {} cores) — \
+             cross-machine deltas are noisy",
+            base.fingerprint.arch,
+            base.fingerprint.cores,
+            current.fingerprint.arch,
+            current.fingerprint.cores
+        );
+    }
+    println!(
+        "{:<28} {:>12} {:>12} {:>7}  verdict",
+        "workload", "base Mc/s", "curr Mc/s", "ratio"
+    );
+    for d in &cmp.deltas {
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>7.3}  {}",
+            d.id,
+            d.base / 1e6,
+            d.current / 1e6,
+            d.ratio,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for id in &cmp.only_base {
+        println!("{id:<28} removed from current run");
+    }
+    for id in &cmp.only_current {
+        println!("{id:<28} new in current run (no baseline)");
+    }
+    if cmp.regressed() {
+        println!(
+            "# FAIL: median cells/s dropped more than {:.0}% on at least one workload",
+            tolerance * 1e2
+        );
+    } else {
+        println!("# OK: no workload regressed beyond {:.0}%", tolerance * 1e2);
+    }
+    Ok(cmp.regressed())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let fail = |msg: &str| -> ! {
+        eprintln!("bench: {msg}\n{USAGE}");
+        std::process::exit(2);
+    };
+    match mode {
+        Some("run") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let out = match args.iter().position(|a| a == "--out") {
+                Some(i) => args
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--out needs a path"))
+                    .clone(),
+                None => "BENCH_kernel.json".to_string(),
+            };
+            if let Err(e) = run(quick, &out) {
+                eprintln!("bench: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("compare") => {
+            let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+            if paths.len() != 2 {
+                fail("compare needs exactly two baseline paths");
+            }
+            let tolerance = match args.iter().position(|a| a == "--tolerance") {
+                Some(i) => args
+                    .get(i + 1)
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| fail("--tolerance needs a fraction in [0, 1)")),
+                None => DEFAULT_TOLERANCE,
+            };
+            match run_compare(paths[0], paths[1], tolerance) {
+                Ok(regressed) => std::process::exit(i32::from(regressed)),
+                Err(e) => {
+                    eprintln!("bench: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => fail("need a mode: run | compare"),
+    }
+}

@@ -24,7 +24,8 @@ mod table7;
 mod table8;
 mod table9;
 
-use tsa_bench::{pool, RunConfig};
+use tsa_bench::{pool, table, RunConfig};
+use tsa_service::json::escape;
 
 const IDS: &[(&str, &str)] = &[
     ("table1", "sequential runtime & MCUPS vs length"),
@@ -54,7 +55,7 @@ const IDS: &[(&str, &str)] = &[
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: experiments <id>... [--quick] [--csv]\n       experiments all [--quick] [--csv]\n\nexperiments:\n",
+        "usage: experiments <id>... [--quick] [--csv] [--json-dir <dir>]\n       experiments all [--quick] [--csv] [--json-dir <dir>]\n\nEvery printed table is also written to <dir>/<id>.json\n(default dir: results, when it exists).\n\nexperiments:\n",
     );
     for (id, desc) in IDS {
         s.push_str(&format!("  {id:<8} {desc}\n"));
@@ -62,14 +63,14 @@ fn usage() -> String {
     s
 }
 
-fn run_one(id: &str, cfg: &RunConfig) -> bool {
-    println!(
-        "\n=== {id}: {} ===",
-        IDS.iter()
-            .find(|(i, _)| *i == id)
-            .map(|(_, d)| *d)
-            .unwrap_or("")
-    );
+fn run_one(id: &str, cfg: &RunConfig, json_dir: Option<&str>) -> bool {
+    let desc = IDS
+        .iter()
+        .find(|(i, _)| *i == id)
+        .map(|(_, d)| *d)
+        .unwrap_or("");
+    println!("\n=== {id}: {desc} ===");
+    table::capture_begin();
     match id {
         "table1" => table1::run(cfg),
         "table2" => table2::run(cfg),
@@ -88,7 +89,25 @@ fn run_one(id: &str, cfg: &RunConfig) -> bool {
         "fig6" => fig6::run(cfg),
         "fig7" => fig7::run(cfg),
         "table10" => table10::run(cfg),
-        _ => return false,
+        _ => {
+            table::capture_end();
+            return false;
+        }
+    };
+    let tables = table::capture_end();
+    if let Some(dir) = json_dir {
+        let path = format!("{dir}/{id}.json");
+        let doc = format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"description\": \"{}\",\n  \"quick\": {},\n  \"tables\": [\n    {}\n  ]\n}}\n",
+            escape(id),
+            escape(desc),
+            cfg.quick,
+            tables.join(",\n    ")
+        );
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
     }
     true
 }
@@ -99,10 +118,28 @@ fn main() {
         quick: args.iter().any(|a| a == "--quick"),
         csv: args.iter().any(|a| a == "--csv"),
     };
+    let json_dir: Option<String> = match args.iter().position(|a| a == "--json-dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) => Some(dir.clone()),
+            None => {
+                eprintln!("--json-dir needs a directory\n{}", usage());
+                std::process::exit(2);
+            }
+        },
+        None => std::path::Path::new("results")
+            .is_dir()
+            .then(|| "results".to_string()),
+    };
+    let flag_values: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--json-dir")
+        .map(|i| vec![i + 1])
+        .unwrap_or_default();
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .map(|(_, a)| a.as_str())
         .collect();
     if ids.is_empty() {
         eprint!("{}", usage());
@@ -119,7 +156,7 @@ fn main() {
         ids
     };
     for id in list {
-        if !run_one(id, &cfg) {
+        if !run_one(id, &cfg, json_dir.as_deref()) {
             eprintln!("unknown experiment `{id}`\n{}", usage());
             std::process::exit(2);
         }

@@ -21,6 +21,7 @@
 //! workers. The model's shape — not the single-core wall clock — is the
 //! reproduction of the paper's cluster speedup curves; see EXPERIMENTS.md.
 
+pub mod baseline;
 pub mod pool;
 pub mod table;
 pub mod timing;

@@ -1,4 +1,28 @@
-//! Fixed-width table / CSV emission for experiment reports.
+//! Fixed-width table / CSV emission for experiment reports, plus a
+//! capture hook so the experiment driver can also persist every printed
+//! table as machine-readable JSON next to the text report.
+
+use std::sync::Mutex;
+use tsa_service::json::escape;
+
+/// When capture is armed (see [`capture_begin`]), every [`Table::print`]
+/// also appends its JSON rendering here.
+static CAPTURE: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+/// Start capturing JSON renderings of every printed table.
+pub fn capture_begin() {
+    *CAPTURE.lock().expect("capture lock") = Some(Vec::new());
+}
+
+/// Stop capturing and return the JSON documents collected since
+/// [`capture_begin`] (empty if capture was never armed).
+pub fn capture_end() -> Vec<String> {
+    CAPTURE
+        .lock()
+        .expect("capture lock")
+        .take()
+        .unwrap_or_default()
+}
 
 /// A simple column-aligned table writer. Collects all rows, then renders
 /// with per-column widths (or as CSV).
@@ -68,9 +92,29 @@ impl Table {
         out
     }
 
-    /// Render and print to stdout.
+    /// Render as a JSON object: `{"headers": [...], "rows": [[...]]}`.
+    /// Cells stay strings — they carry already-formatted measurements.
+    pub fn render_json(&self) -> String {
+        let quote_row = |cells: &[String]| -> String {
+            let quoted: Vec<String> = cells.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| quote_row(r)).collect();
+        format!(
+            "{{\"headers\": {}, \"rows\": [{}]}}",
+            quote_row(&self.headers),
+            rows.join(", ")
+        )
+    }
+
+    /// Render and print to stdout; also feeds the JSON capture buffer
+    /// when the driver armed it.
     pub fn print(&self) {
         print!("{}", self.render());
+        let mut capture = CAPTURE.lock().expect("capture lock");
+        if let Some(buf) = capture.as_mut() {
+            buf.push(self.render_json());
+        }
     }
 }
 
@@ -104,5 +148,29 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new(&["a", "b"], false);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_cells() {
+        let mut t = Table::new(&["n", "note"], false);
+        t.row(vec!["8".into(), "a \"quoted\" cell".into()]);
+        assert_eq!(
+            t.render_json(),
+            "{\"headers\": [\"n\", \"note\"], \
+             \"rows\": [[\"8\", \"a \\\"quoted\\\" cell\"]]}"
+        );
+    }
+
+    #[test]
+    fn capture_collects_printed_tables() {
+        capture_begin();
+        let mut t = Table::new(&["a"], false);
+        t.row(vec!["1".into()]);
+        t.print();
+        let captured = capture_end();
+        assert_eq!(captured, vec![t.render_json()]);
+        // Disarmed now: nothing accumulates, end is empty.
+        t.print();
+        assert!(capture_end().is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing for the `tsa` binary (no CLI-framework
 //! dependency; the surface is small and fixed).
 
-use tsa_core::Algorithm;
+use tsa_core::{Algorithm, SimdKernel};
 use tsa_scoring::{GapModel, Scoring};
 
 /// The full usage text (also the `help` output).
@@ -27,6 +27,9 @@ ALIGN OPTIONS:
     --algorithm <name>   auto | full | wavefront | blocked | dataflow |
                          hirschberg | par-hirschberg | center-star |
                          carrillo-lipman | banded | anchored | affine       [auto]
+    --kernel <k>         SIMD score kernel: auto | scalar | sse2 | avx2    [auto]
+                         (bit-identical scores; explicit requests degrade
+                         to the widest set the CPU supports)
     --tile <t>           tile edge for blocked/dataflow                     [16]
     --threads <n>        rayon worker threads (default: all cores)
     --width <w>          output wrap width, 0 = no wrap                     [60]
@@ -52,6 +55,7 @@ SERVICE OPTIONS (tsa serve / tsa batch):
     --workers <n>        worker threads (0 = all cores)                     [0]
     --queue <n>          bounded queue capacity (backpressure beyond it)    [64]
     --cache <n>          result-cache entries, 0 disables                   [1024]
+    --kernel <k>         default SIMD kernel for jobs without one          [auto]
     --deadline-ms <ms>   default per-job deadline (absent = none)
     --memory-budget <b>  cap on estimated kernel bytes, per job and summed
                          over in-flight jobs; K/M/G suffixes accepted
@@ -110,6 +114,8 @@ pub struct AlignArgs {
     pub gap_affine: Option<(i32, i32)>,
     /// Algorithm name.
     pub algorithm: String,
+    /// SIMD kernel name: auto | scalar | sse2 | avx2.
+    pub kernel: String,
     /// Tile edge for blocked algorithms.
     pub tile: usize,
     /// Worker thread count (None = rayon default).
@@ -136,6 +142,7 @@ impl Default for AlignArgs {
             gap: None,
             gap_affine: None,
             algorithm: "auto".into(),
+            kernel: "auto".into(),
             tile: 16,
             threads: None,
             width: 60,
@@ -221,6 +228,8 @@ pub struct ServiceOpts {
     pub state_dir: Option<String>,
     /// DP planes between checkpoint snapshots.
     pub checkpoint_every: usize,
+    /// Default SIMD kernel for jobs that do not pin one.
+    pub kernel: String,
 }
 
 impl Default for ServiceOpts {
@@ -234,6 +243,7 @@ impl Default for ServiceOpts {
             max_cells: None,
             state_dir: None,
             checkpoint_every: 32,
+            kernel: "auto".into(),
         }
     }
 }
@@ -265,6 +275,10 @@ impl ServiceOpts {
                 if self.checkpoint_every == 0 {
                     return Err("--checkpoint-every must be >= 1".into());
                 }
+            }
+            "--kernel" => {
+                self.kernel = take_value(flag, it)?.clone();
+                parse_kernel(&self.kernel)?;
             }
             _ => return Ok(false),
         }
@@ -380,6 +394,7 @@ fn parse_align(argv: &[String]) -> Result<AlignArgs, String> {
                 a.gap_affine = Some((a.gap_affine.map(|x| x.0).unwrap_or(-4), extend));
             }
             "--algorithm" => a.algorithm = take_value(flag, &mut it)?.clone(),
+            "--kernel" => a.kernel = take_value(flag, &mut it)?.clone(),
             "--tile" => a.tile = parse_num(flag, take_value(flag, &mut it)?)?,
             "--threads" => a.threads = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--width" => a.width = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -560,6 +575,18 @@ impl AlignArgs {
         )
         .ok_or_else(|| format!("unknown algorithm `{}`", self.algorithm))
     }
+
+    /// Resolve the kernel name through the shared [`SimdKernel::by_name`]
+    /// lookup.
+    pub fn build_kernel(&self) -> Result<SimdKernel, String> {
+        parse_kernel(&self.kernel)
+    }
+}
+
+/// Shared `--kernel` name lookup for align and service flags.
+pub fn parse_kernel(name: &str) -> Result<SimdKernel, String> {
+    SimdKernel::by_name(name)
+        .ok_or_else(|| format!("unknown kernel `{name}` (want auto|scalar|sse2|avx2)"))
 }
 
 fn num_threads_default() -> usize {
@@ -892,6 +919,39 @@ mod tests {
             panic!()
         };
         assert!(a.profile_planes);
+    }
+
+    #[test]
+    fn kernel_flag_parses_and_validates() {
+        let Command::Align(a) =
+            parse(&sv(&["align", "--file", "x", "--kernel", "scalar"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.kernel, "scalar");
+        assert_eq!(a.build_kernel().unwrap(), SimdKernel::Scalar);
+
+        let Command::Align(a) = parse(&sv(&["align", "--file", "x"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.build_kernel().unwrap(), SimdKernel::Auto);
+
+        let mut bad = AlignArgs::default();
+        bad.kernel = "avx512".into();
+        assert!(bad.build_kernel().is_err());
+
+        // Service flag: validated at parse time, shared by serve and batch.
+        let Command::Serve(s) = parse(&sv(&["serve", "--kernel", "avx2"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.service.kernel, "avx2");
+        let Command::Batch(b) = parse(&sv(&["batch", "--file", "x", "--kernel", "sse2"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(b.service.kernel, "sse2");
+        assert!(parse(&sv(&["serve", "--kernel", "mmx"])).is_err());
+        assert!(parse(&sv(&["serve", "--kernel"])).is_err());
     }
 
     #[test]

@@ -37,6 +37,9 @@ fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
         state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
         checkpoint_every_planes: opts.checkpoint_every,
         tracer: None,
+        // The parser validated the name; fall back defensively anyway.
+        default_kernel: crate::args::parse_kernel(&opts.kernel)
+            .unwrap_or(tsa_core::SimdKernel::Auto),
         ..ServiceConfig::default()
     }
 }
@@ -367,6 +370,7 @@ fn load_inputs(a: &AlignArgs) -> Result<(Seq, Seq, Seq), String> {
 fn run_align(args: AlignArgs) -> Result<(), String> {
     let scoring = args.build_scoring()?;
     let algorithm = args.build_algorithm()?;
+    let kernel = args.build_kernel()?;
     let (a, b, c) = load_inputs(&args)?;
 
     if let Some(t) = args.threads {
@@ -376,7 +380,19 @@ fn run_align(args: AlignArgs) -> Result<(), String> {
             .map_err(|e| format!("thread pool: {e}"))?;
     }
 
-    let aligner = Aligner::auto(scoring.clone()).algorithm(algorithm);
+    let aligner = Aligner::auto(scoring.clone())
+        .algorithm(algorithm)
+        .kernel(kernel);
+
+    // A bare score request takes the quadratic-space score-only sweeps,
+    // which honor --kernel; the full alignment paths below need the
+    // traceback machinery and keep their own inner loops.
+    if args.score_only && !args.profile_planes {
+        let score = aligner.score3(&a, &b, &c).map_err(|e| e.to_string())?;
+        println!("{score}");
+        return Ok(());
+    }
+
     let start = Instant::now();
     let aln = if args.profile_planes {
         if scoring.gap.linear_penalty().is_none() {

@@ -4,6 +4,7 @@
 use crate::alignment::Alignment3;
 use crate::cancel::{CancelProgress, CancelToken};
 use crate::checkpoint::{CheckpointConfig, DurableStop, FrontierSnapshot, KernelKind, ResumeError};
+use crate::kernel::SimdKernel;
 use crate::{
     affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3,
     score_only, wavefront,
@@ -163,6 +164,7 @@ pub struct Aligner {
     scoring: Scoring,
     algorithm: Algorithm,
     max_lattice_bytes: usize,
+    kernel: SimdKernel,
 }
 
 impl Default for Aligner {
@@ -179,6 +181,7 @@ impl Aligner {
             scoring: Scoring::dna_default(),
             algorithm: Algorithm::Auto,
             max_lattice_bytes: 4 << 30,
+            kernel: SimdKernel::Auto,
         }
     }
 
@@ -213,6 +216,20 @@ impl Aligner {
     pub fn max_lattice_bytes(mut self, bytes: usize) -> Self {
         self.max_lattice_bytes = bytes;
         self
+    }
+
+    /// Select the SIMD kernel for the score-only inner loops (the
+    /// `kernel={scalar,auto,sse2,avx2}` knob). Every choice produces
+    /// bit-identical scores; requests the CPU cannot honor degrade to the
+    /// widest supported subset (see [`SimdKernel::resolve`]).
+    pub fn kernel(mut self, kernel: SimdKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured SIMD kernel request.
+    pub fn kernel_choice(&self) -> SimdKernel {
+        self.kernel
     }
 
     /// The effective algorithm `Auto` would resolve to for these lengths.
@@ -375,12 +392,12 @@ impl Aligner {
         match self.resolve(a.len(), b.len(), c.len()) {
             Algorithm::FullDp | Algorithm::Hirschberg => {
                 self.check_linear()?;
-                score_only::score_slabs_cancellable(a, b, c, s, cancel)
+                score_only::score_slabs_cancellable_with(a, b, c, s, cancel, self.kernel)
                     .map_err(AlignError::Cancelled)
             }
             Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
                 self.check_linear()?;
-                score_only::score_planes_parallel_cancellable(a, b, c, s, cancel)
+                score_only::score_planes_parallel_cancellable_with(a, b, c, s, cancel, self.kernel)
                     .map_err(AlignError::Cancelled)
             }
             Algorithm::AffineDp => {
@@ -427,11 +444,20 @@ impl Aligner {
         match self.resolve(a.len(), b.len(), c.len()) {
             Algorithm::FullDp | Algorithm::Hirschberg => {
                 self.check_linear().map_err(DurableStop::Config)?;
-                score_only::score_slabs_durable(a, b, c, s, cancel, ckpt, resume)
+                score_only::score_slabs_durable_with(a, b, c, s, cancel, ckpt, resume, self.kernel)
             }
             Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
                 self.check_linear().map_err(DurableStop::Config)?;
-                score_only::score_planes_parallel_durable(a, b, c, s, cancel, ckpt, resume)
+                score_only::score_planes_parallel_durable_with(
+                    a,
+                    b,
+                    c,
+                    s,
+                    cancel,
+                    ckpt,
+                    resume,
+                    self.kernel,
+                )
             }
             _ => {
                 if let Some(snap) = resume {
@@ -472,11 +498,17 @@ impl Aligner {
         match self.resolve(a.len(), b.len(), c.len()) {
             Algorithm::FullDp | Algorithm::Hirschberg => {
                 self.check_linear()?;
-                Ok(score_only::score_slabs(a, b, c, s))
+                Ok(score_only::score_slabs_with(a, b, c, s, self.kernel))
             }
             Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
                 self.check_linear()?;
-                Ok(score_only::score_planes_parallel(a, b, c, s))
+                Ok(score_only::score_planes_parallel_with(
+                    a,
+                    b,
+                    c,
+                    s,
+                    self.kernel,
+                ))
             }
             Algorithm::AffineDp => Ok(affine::align_score(a, b, c, s)),
             // The remaining variants have no cheaper score-only path.

@@ -48,6 +48,7 @@ pub mod dp;
 pub mod format;
 pub mod full;
 pub mod hirschberg3;
+pub mod kernel;
 pub mod local;
 pub mod score_only;
 pub mod stats;
@@ -61,6 +62,7 @@ pub use checkpoint::{
     FrontierSnapshot, KernelKind, MemorySink, ResumeError, SnapshotError,
 };
 pub use dp::NEG_INF;
+pub use kernel::{ResolvedKernel, SimdKernel};
 
 #[cfg(test)]
 pub(crate) mod test_util {

@@ -13,6 +13,12 @@
 //!
 //! Both give `O(n²)` memory instead of `O(n³)`, the headline of the memory
 //! experiment (`table3`).
+//!
+//! Every entry point has a `*_with` twin taking a [`SimdKernel`] selector;
+//! the plain spellings run `SimdKernel::Auto` (the widest instruction set
+//! the CPU supports). All kernels produce **bit-identical** scores — the
+//! SIMD row kernels in [`crate::kernel`] restate the same `i32` arithmetic
+//! — so the choice is purely a throughput knob.
 
 use crate::cancel::{CancelProgress, CancelToken};
 use crate::checkpoint::{
@@ -20,10 +26,13 @@ use crate::checkpoint::{
     ResumeError,
 };
 use crate::dp::{Kernel, NEG_INF};
+use crate::kernel::{
+    plane_row, slab_row, PlaneRow, PlaneScratch, Profiles, ResolvedKernel, SimdKernel, SlabRow,
+};
 use rayon::prelude::*;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
-use tsa_wavefront::plane::{plane_cells, Extents};
+use tsa_wavefront::plane::{plane_cells, plane_rows, Extents};
 use tsa_wavefront::SharedGrid;
 
 /// A face of the lattice at fixed `i`: scores indexed by `(j, k)` as
@@ -32,7 +41,12 @@ pub type Face = Vec<i32>;
 
 /// Sequential slab-rolling score: `O(n³)` time, two slabs of memory.
 pub fn score_slabs(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
-    *forward_face(a, b, c, scoring)
+    score_slabs_with(a, b, c, scoring, SimdKernel::Auto)
+}
+
+/// [`score_slabs`] with an explicit SIMD kernel selection.
+pub fn score_slabs_with(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring, simd: SimdKernel) -> i32 {
+    *forward_face_with(a, b, c, scoring, simd)
         .last()
         .expect("face non-empty")
 }
@@ -45,14 +59,31 @@ pub fn score_slabs_cancellable(
     scoring: &Scoring,
     cancel: &CancelToken,
 ) -> Result<i32, CancelProgress> {
-    let face = forward_face_cancellable(a, b, c, scoring, cancel)?;
+    score_slabs_cancellable_with(a, b, c, scoring, cancel, SimdKernel::Auto)
+}
+
+/// [`score_slabs_cancellable`] with an explicit SIMD kernel selection.
+pub fn score_slabs_cancellable_with(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    simd: SimdKernel,
+) -> Result<i32, CancelProgress> {
+    let face = forward_face_impl(a, b, c, scoring, Some(cancel), simd.resolve())?;
     Ok(*face.last().expect("face non-empty"))
 }
 
 /// The forward face `D[|a|][j][k]` for all `(j, k)`: the optimal score of
 /// aligning **all of `a`** against the prefixes `b[..j]`, `c[..k]`.
 pub fn forward_face(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
-    match forward_face_impl(a, b, c, scoring, None) {
+    forward_face_with(a, b, c, scoring, SimdKernel::Auto)
+}
+
+/// [`forward_face`] with an explicit SIMD kernel selection.
+pub fn forward_face_with(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring, simd: SimdKernel) -> Face {
+    match forward_face_impl(a, b, c, scoring, None, simd.resolve()) {
         Ok(face) => face,
         Err(_) => unreachable!("no token, no cancellation"),
     }
@@ -67,7 +98,7 @@ pub fn forward_face_cancellable(
     scoring: &Scoring,
     cancel: &CancelToken,
 ) -> Result<Face, CancelProgress> {
-    forward_face_impl(a, b, c, scoring, Some(cancel))
+    forward_face_impl(a, b, c, scoring, Some(cancel), SimdKernel::Auto.resolve())
 }
 
 fn forward_face_impl(
@@ -76,11 +107,13 @@ fn forward_face_impl(
     c: &Seq,
     scoring: &Scoring,
     cancel: Option<&CancelToken>,
+    rk: ResolvedKernel,
 ) -> Result<Face, CancelProgress> {
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let w3 = n3 + 1;
     let slab_len = (n2 + 1) * w3;
+    let prof = slab_profiles(a, b, c, scoring, rk);
     let mut prev: Vec<i32> = vec![NEG_INF; slab_len];
     let mut cur: Vec<i32> = vec![NEG_INF; slab_len];
     for i in 0..=n1 {
@@ -92,7 +125,18 @@ fn forward_face_impl(
                 });
             }
         }
-        compute_slab(&kernel, a, b, c, scoring, i, &prev, &mut cur);
+        compute_slab(
+            &kernel,
+            a,
+            b,
+            c,
+            scoring,
+            i,
+            &prev,
+            &mut cur,
+            rk,
+            prof.as_ref(),
+        );
         if i < n1 {
             std::mem::swap(&mut prev, &mut cur);
         }
@@ -100,9 +144,25 @@ fn forward_face_impl(
     Ok(cur)
 }
 
+/// Substitution profiles for the slab sweep — only built when a SIMD
+/// kernel will consume them.
+fn slab_profiles(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    rk: ResolvedKernel,
+) -> Option<Profiles> {
+    (!rk.is_scalar()).then(|| Profiles::new(scoring, a.residues(), b.residues(), c.residues()))
+}
+
 /// Compute slab `i` into `cur`, reading slab `i−1` from `prev`. Every cell
 /// of `cur` is overwritten; its previous contents are never read, so a
 /// stale (or freshly restored) `cur` buffer is fine.
+///
+/// `rk` selects the inner row kernel; the scalar arm below is the
+/// reference the SIMD rows are property-tested against, and `prof` is only
+/// consulted (and only `Some`) on the SIMD arms.
 #[allow(clippy::too_many_arguments)]
 fn compute_slab(
     kernel: &Kernel<'_>,
@@ -113,6 +173,8 @@ fn compute_slab(
     i: usize,
     prev: &[i32],
     cur: &mut [i32],
+    rk: ResolvedKernel,
+    prof: Option<&Profiles>,
 ) {
     let (_n1, n2, n3) = kernel.lens();
     let (ra, rb, rc) = (a.residues(), b.residues(), c.residues());
@@ -146,16 +208,35 @@ fn compute_slab(
                 prev[pj * w3 + pk]
             }
         });
-        for k in 1..=n3 {
-            let ck = rc[k - 1];
-            let sac = scoring.sub(ai, ck);
-            let sbc = scoring.sub(bj, ck);
-            let p111 = prev[b11 + k - 1] + sab + sac + sbc;
-            let p110 = prev[b11 + k] + sab + g2;
-            let p101 = prev[b10 + k - 1] + sac + g2;
-            let p011 = cur[b01 + k - 1] + sbc + g2;
-            let single = prev[b10 + k].max(cur[b01 + k]).max(cur[base + k - 1]) + g2;
-            cur[base + k] = p111.max(p110).max(p101).max(p011).max(single);
+        match prof {
+            Some(prof) if !rk.is_scalar() => {
+                // SIMD row: the split at `base` makes the completed row
+                // `j−1` and the row being written disjoint borrows.
+                let (done, open) = cur.split_at_mut(base);
+                let row = SlabRow {
+                    g2,
+                    sab,
+                    sac: &prof.ac(ai)[..n3],
+                    sbc: &prof.bc(bj)[..n3],
+                    prev_j1: &prev[b11..b11 + w3],
+                    prev_j: &prev[b10..b10 + w3],
+                    cur_j1: &done[b01..b01 + w3],
+                };
+                slab_row(rk, &row, &mut open[..w3]);
+            }
+            _ => {
+                for k in 1..=n3 {
+                    let ck = rc[k - 1];
+                    let sac = scoring.sub(ai, ck);
+                    let sbc = scoring.sub(bj, ck);
+                    let p111 = prev[b11 + k - 1] + sab + sac + sbc;
+                    let p110 = prev[b11 + k] + sab + g2;
+                    let p101 = prev[b10 + k - 1] + sac + g2;
+                    let p011 = cur[b01 + k - 1] + sbc + g2;
+                    let single = prev[b10 + k].max(cur[b01 + k]).max(cur[base + k - 1]) + g2;
+                    cur[base + k] = p111.max(p110).max(p101).max(p011).max(single);
+                }
+            }
         }
     }
 }
@@ -178,6 +259,26 @@ pub fn score_slabs_durable(
     ckpt: &CheckpointConfig<'_>,
     resume: Option<&FrontierSnapshot>,
 ) -> Result<i32, DurableStop> {
+    score_slabs_durable_with(a, b, c, scoring, cancel, ckpt, resume, SimdKernel::Auto)
+}
+
+/// [`score_slabs_durable`] with an explicit SIMD kernel selection. The
+/// kernel does **not** enter the job fingerprint: scores are bit-identical
+/// across kernels, so a sweep checkpointed under one kernel may resume
+/// under another.
+#[allow(clippy::too_many_arguments)]
+pub fn score_slabs_durable_with(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    ckpt: &CheckpointConfig<'_>,
+    resume: Option<&FrontierSnapshot>,
+    simd: SimdKernel,
+) -> Result<i32, DurableStop> {
+    let rk = simd.resolve();
+    let prof = slab_profiles(a, b, c, scoring, rk);
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let w3 = n3 + 1;
@@ -214,7 +315,18 @@ pub fn score_slabs_durable(
             store(ckpt, slab_snapshot(fp, i, cells_done, &prev))?;
             return Err(DurableStop::Drained(progress(cells_done)));
         }
-        compute_slab(&kernel, a, b, c, scoring, i, &prev, &mut cur);
+        compute_slab(
+            &kernel,
+            a,
+            b,
+            c,
+            scoring,
+            i,
+            &prev,
+            &mut cur,
+            rk,
+            prof.as_ref(),
+        );
         cells_done += slab_len as u64;
         if i < n1 {
             std::mem::swap(&mut prev, &mut cur);
@@ -295,7 +407,18 @@ fn reindex_backward(rev: Face, n2: usize, n3: usize) -> Face {
 /// Plane-rolling parallel score: cells of each anti-diagonal plane in
 /// parallel, four rotating `(n1+1)(n2+1)` buffers.
 pub fn score_planes_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> i32 {
-    match planes_pass(a, b, c, scoring, false, None) {
+    score_planes_parallel_with(a, b, c, scoring, SimdKernel::Auto)
+}
+
+/// [`score_planes_parallel`] with an explicit SIMD kernel selection.
+pub fn score_planes_parallel_with(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    simd: SimdKernel,
+) -> i32 {
+    match planes_pass(a, b, c, scoring, false, None, simd.resolve()) {
         Ok((score, _face)) => score,
         Err(_) => unreachable!("no token, no cancellation"),
     }
@@ -310,14 +433,27 @@ pub fn score_planes_parallel_cancellable(
     scoring: &Scoring,
     cancel: &CancelToken,
 ) -> Result<i32, CancelProgress> {
-    let (score, _face) = planes_pass(a, b, c, scoring, false, Some(cancel))?;
+    score_planes_parallel_cancellable_with(a, b, c, scoring, cancel, SimdKernel::Auto)
+}
+
+/// [`score_planes_parallel_cancellable`] with an explicit SIMD kernel
+/// selection.
+pub fn score_planes_parallel_cancellable_with(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    simd: SimdKernel,
+) -> Result<i32, CancelProgress> {
+    let (score, _face) = planes_pass(a, b, c, scoring, false, Some(cancel), simd.resolve())?;
     Ok(score)
 }
 
 /// Parallel forward face (same values as [`forward_face`], computed with
 /// plane-parallel sweeps — used by the parallel divide-and-conquer).
 pub fn forward_face_parallel(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring) -> Face {
-    match planes_pass(a, b, c, scoring, true, None) {
+    match planes_pass(a, b, c, scoring, true, None, SimdKernel::Auto.resolve()) {
         Ok((_score, face)) => face.expect("face requested"),
         Err(_) => unreachable!("no token, no cancellation"),
     }
@@ -331,7 +467,15 @@ pub fn forward_face_parallel_cancellable(
     scoring: &Scoring,
     cancel: &CancelToken,
 ) -> Result<Face, CancelProgress> {
-    let (_score, face) = planes_pass(a, b, c, scoring, true, Some(cancel))?;
+    let (_score, face) = planes_pass(
+        a,
+        b,
+        c,
+        scoring,
+        true,
+        Some(cancel),
+        SimdKernel::Auto.resolve(),
+    )?;
     Ok(face.expect("face requested"))
 }
 
@@ -365,12 +509,14 @@ fn planes_pass(
     scoring: &Scoring,
     want_face: bool,
     cancel: Option<&CancelToken>,
+    rk: ResolvedKernel,
 ) -> Result<(i32, Option<Face>), CancelProgress> {
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let e = Extents::new(n1, n2, n3);
     let w2 = n2 + 1;
     let slot = |i: usize, j: usize| i * w2 + j;
+    let prof = slab_profiles(a, b, c, scoring, rk);
 
     // Four rotating plane buffers indexed by (i, j); the k of a stored
     // value is implied by its plane: k = d − i − j.
@@ -379,6 +525,19 @@ fn planes_pass(
     // Face at i = n1, filled as its cells are computed (only if wanted).
     let face: Option<SharedGrid<i32>> = want_face.then(|| SharedGrid::new(w2 * (n3 + 1), NEG_INF));
 
+    let ctx = PlaneCtx {
+        kernel: &kernel,
+        buffers: &buffers,
+        n1,
+        n3,
+        w2,
+        rk,
+        prof: prof.as_ref(),
+        scoring,
+        ra: a.residues(),
+        rb: b.residues(),
+        rc: c.residues(),
+    };
     let mut cells: Vec<(usize, usize, usize)> = Vec::with_capacity(e.max_plane_len());
     let mut cells_done: u64 = 0;
     for d in 0..e.num_planes() {
@@ -390,29 +549,67 @@ fn planes_pass(
                 });
             }
         }
-        cells.clear();
-        cells.extend(plane_cells(e, d));
-        compute_plane(&kernel, &buffers, face.as_ref(), &cells, d, n1, n3, w2);
-        cells_done += cells.len() as u64;
+        cells_done += compute_plane(&ctx, face.as_ref(), &mut cells, e, d) as u64;
     }
     let final_plane = (n1 + n2 + n3) % 4;
     let score = unsafe { buffers[final_plane].get(slot(n1, n2)) };
     Ok((score, face.map(SharedGrid::into_vec)))
 }
 
-/// Compute one anti-diagonal plane `d` into the rotating buffers (and the
-/// `i = n1` face, when one is being collected).
-#[allow(clippy::too_many_arguments)]
-fn compute_plane(
-    kernel: &Kernel<'_>,
-    buffers: &[SharedGrid<i32>; 4],
-    face: Option<&SharedGrid<i32>>,
-    cells: &[(usize, usize, usize)],
-    d: usize,
+/// Loop-invariant context of one plane-rolling sweep, shared by every
+/// plane and worker.
+struct PlaneCtx<'a> {
+    kernel: &'a Kernel<'a>,
+    buffers: &'a [SharedGrid<i32>; 4],
     n1: usize,
     n3: usize,
     w2: usize,
+    rk: ResolvedKernel,
+    prof: Option<&'a Profiles>,
+    scoring: &'a Scoring,
+    ra: &'a [u8],
+    rb: &'a [u8],
+    rc: &'a [u8],
+}
+
+/// Compute one anti-diagonal plane `d` into the rotating buffers (and the
+/// `i = n1` face, when one is being collected). Returns the number of
+/// cells on the plane. `scratch` is plane-loop-reused scrap space for the
+/// scalar path's cell list.
+fn compute_plane(
+    ctx: &PlaneCtx<'_>,
+    face: Option<&SharedGrid<i32>>,
+    scratch: &mut Vec<(usize, usize, usize)>,
+    e: Extents,
+    d: usize,
+) -> usize {
+    match ctx.prof {
+        Some(prof) if !ctx.rk.is_scalar() => compute_plane_rows(ctx, prof, face, e, d),
+        _ => {
+            scratch.clear();
+            scratch.extend(plane_cells(e, d));
+            compute_plane_cells(ctx, face, scratch, d);
+            scratch.len()
+        }
+    }
+}
+
+/// The scalar reference plane pass: one generic bounds-checked kernel
+/// evaluation per cell.
+fn compute_plane_cells(
+    ctx: &PlaneCtx<'_>,
+    face: Option<&SharedGrid<i32>>,
+    cells: &[(usize, usize, usize)],
+    d: usize,
 ) {
+    let PlaneCtx {
+        kernel,
+        buffers,
+        n1,
+        n3,
+        w2,
+        ..
+    } = *ctx;
     let slot = |i: usize, j: usize| i * w2 + j;
     let target = &buffers[d % 4];
     // SAFETY: each (i, j) slot of the target buffer corresponds to one
@@ -441,6 +638,154 @@ fn compute_plane(
     }
 }
 
+/// The SIMD plane pass: whole `(i, j-run)` rows at a time. The interior
+/// segment of each row reads all seven predecessors (and writes its
+/// output) through unit-stride slices of the rotating buffers; edge cells
+/// (`i`, `j`, or `k` of 0) fall back to the generic kernel. Scores are
+/// bit-identical to [`compute_plane_cells`]. Returns the plane's cell
+/// count.
+fn compute_plane_rows(
+    ctx: &PlaneCtx<'_>,
+    prof: &Profiles,
+    face: Option<&SharedGrid<i32>>,
+    e: Extents,
+    d: usize,
+) -> usize {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<PlaneScratch> =
+            std::cell::RefCell::new(PlaneScratch::default());
+    }
+    let rows: Vec<(usize, usize, usize)> = plane_rows(e, d).collect();
+    let total: usize = rows.iter().map(|&(_, lo, hi)| hi - lo + 1).sum();
+    let do_row = |&(i, j_lo, j_hi): &(usize, usize, usize)| {
+        SCRATCH
+            .with(|s| plane_row_segmented(ctx, prof, face, d, i, j_lo, j_hi, &mut s.borrow_mut()));
+    };
+    if total < MIN_CELLS_PER_TASK {
+        rows.iter().for_each(do_row);
+    } else {
+        rows.par_iter().for_each(do_row);
+    }
+    total
+}
+
+/// One plane row `(i, j_lo..=j_hi)`: generic edge cells around a
+/// vectorized interior segment.
+#[allow(clippy::too_many_arguments)]
+fn plane_row_segmented(
+    ctx: &PlaneCtx<'_>,
+    prof: &Profiles,
+    face: Option<&SharedGrid<i32>>,
+    d: usize,
+    i: usize,
+    j_lo: usize,
+    j_hi: usize,
+    scratch: &mut PlaneScratch,
+) {
+    let PlaneCtx {
+        kernel,
+        buffers,
+        n1,
+        n3,
+        w2,
+        rk,
+        scoring,
+        ra,
+        rb,
+        rc,
+        ..
+    } = *ctx;
+    let slot = |i: usize, j: usize| i * w2 + j;
+    let target = &buffers[d % 4];
+    // SAFETY: as in `compute_plane_cells` — writes land in this row's own
+    // target slots, reads come from the three previous planes' buffers.
+    let cell = |i: usize, j: usize, k: usize| {
+        let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
+            buffers[(pi + pj + pk) % 4].get(slot(pi, pj))
+        });
+        unsafe { target.set(slot(i, j), v) };
+        if i == n1 {
+            if let Some(f) = face {
+                unsafe { f.set(j * (n3 + 1) + k, v) };
+            }
+        }
+    };
+    // Interior cells need i ≥ 1 and j, k ≥ 1; with k = d − i − j that is
+    // j ∈ [max(j_lo, 1), min(j_hi, d − i − 1)].
+    let seg = if i >= 1 && d > i {
+        let js = j_lo.max(1);
+        let je = j_hi.min(d - i - 1);
+        (js <= je).then_some((js, je))
+    } else {
+        None
+    };
+    let Some((js, je)) = seg else {
+        for j in j_lo..=j_hi {
+            cell(i, j, d - i - j);
+        }
+        return;
+    };
+    for j in j_lo..js {
+        cell(i, j, d - i - j);
+    }
+    let len = je - js + 1;
+    scratch.ensure(len);
+    let g2 = 2 * scoring.gap_linear();
+    let ai = ra[i - 1];
+    let (pab, pac) = (prof.ab(ai), prof.ac(ai));
+    for (x, j) in (js..=je).enumerate() {
+        let k = d - i - j;
+        let sab = pab[j - 1];
+        let sac = pac[k - 1];
+        let sbc = scoring.sub(rb[j - 1], rc[k - 1]);
+        scratch.t111[x] = sab + sac + sbc;
+        scratch.t110[x] = sab + g2;
+        scratch.t101[x] = sac + g2;
+        scratch.t011[x] = sbc + g2;
+    }
+    // Interior cells have d = i + j + k ≥ 3, so planes d−1..d−3 exist and
+    // occupy the three rotation slots the target (d mod 4) doesn't.
+    let p1 = &buffers[(d - 1) % 4];
+    let p2 = &buffers[(d - 2) % 4];
+    let p3 = &buffers[(d - 3) % 4];
+    // SAFETY: the predecessor slices view earlier planes' buffers, fully
+    // written before this plane began and never written during it; the
+    // output slice covers exactly this row's target slots, disjoint from
+    // every other row of the plane. Slice bounds stay inside the buffers:
+    // slots run from (i−1)·w2 + js−1 to i·w2 + je ≤ (n1+1)·w2 − 1.
+    unsafe {
+        let sl =
+            |g: &SharedGrid<i32>, at: usize| std::slice::from_raw_parts(g.as_ptr().add(at), len);
+        let row = PlaneRow {
+            g2,
+            t111: &scratch.t111[..len],
+            t110: &scratch.t110[..len],
+            t101: &scratch.t101[..len],
+            t011: &scratch.t011[..len],
+            p3_111: sl(p3, slot(i - 1, js - 1)),
+            p2_110: sl(p2, slot(i - 1, js - 1)),
+            p2_101: sl(p2, slot(i - 1, js)),
+            p2_011: sl(p2, slot(i, js - 1)),
+            p1_100: sl(p1, slot(i - 1, js)),
+            p1_010: sl(p1, slot(i, js - 1)),
+            p1_001: sl(p1, slot(i, js)),
+        };
+        let out = std::slice::from_raw_parts_mut(target.as_ptr().add(slot(i, js)), len);
+        plane_row(rk, &row, out);
+    }
+    if i == n1 {
+        if let Some(f) = face {
+            for j in js..=je {
+                // SAFETY: reading back this row's own completed cells.
+                unsafe { f.set(j * (n3 + 1) + (d - i - j), target.get(slot(i, j))) };
+            }
+        }
+    }
+    for j in (je + 1)..=j_hi {
+        cell(i, j, d - i - j);
+    }
+}
+
 /// Durable plane-rolling parallel score: like
 /// [`score_planes_parallel_cancellable`], plus periodic frontier
 /// checkpoints and optional resume (see [`score_slabs_durable`] for the
@@ -456,6 +801,25 @@ pub fn score_planes_parallel_durable(
     ckpt: &CheckpointConfig<'_>,
     resume: Option<&FrontierSnapshot>,
 ) -> Result<i32, DurableStop> {
+    score_planes_parallel_durable_with(a, b, c, scoring, cancel, ckpt, resume, SimdKernel::Auto)
+}
+
+/// [`score_planes_parallel_durable`] with an explicit SIMD kernel
+/// selection. As with [`score_slabs_durable_with`], the kernel stays out
+/// of the job fingerprint — snapshots are portable across kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn score_planes_parallel_durable_with(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    cancel: &CancelToken,
+    ckpt: &CheckpointConfig<'_>,
+    resume: Option<&FrontierSnapshot>,
+    simd: SimdKernel,
+) -> Result<i32, DurableStop> {
+    let rk = simd.resolve();
+    let prof = slab_profiles(a, b, c, scoring, rk);
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let e = Extents::new(n1, n2, n3);
@@ -506,10 +870,22 @@ pub fn score_planes_parallel_durable(
             store(ckpt, plane_snapshot(fp, d, cells_done, &mut buffers))?;
             return Err(DurableStop::Drained(progress(cells_done)));
         }
-        cells.clear();
-        cells.extend(plane_cells(e, d));
-        compute_plane(&kernel, &buffers, None, &cells, d, n1, n3, w2);
-        cells_done += cells.len() as u64;
+        // The context only borrows; rebuilt per plane so the snapshot
+        // calls above/below can borrow the buffers mutably.
+        let ctx = PlaneCtx {
+            kernel: &kernel,
+            buffers: &buffers,
+            n1,
+            n3,
+            w2,
+            rk,
+            prof: prof.as_ref(),
+            scoring,
+            ra: a.residues(),
+            rb: b.residues(),
+            rc: c.residues(),
+        };
+        cells_done += compute_plane(&ctx, None, &mut cells, e, d) as u64;
         if d + 1 < e.num_planes() && pacer.due() {
             store(ckpt, plane_snapshot(fp, d + 1, cells_done, &mut buffers))?;
         }

@@ -78,7 +78,8 @@ pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
                     continue;
                 }
                 let dij = d[i * k + j];
-                if best.is_none_or(|(_, _, bd)| dij < bd) {
+                // `map_or`, not `is_none_or`: MSRV 1.75 predates the latter.
+                if best.map_or(true, |(_, _, bd)| dij < bd) {
                     best = Some((i, j, dij));
                 }
             }
@@ -142,7 +143,7 @@ pub fn neighbor_joining(dist: &DistanceMatrix) -> GuideTree {
                     continue;
                 }
                 let q = (active as f64 - 2.0) * d[i * k + j] - ri - row_sum(j, &clusters, &d);
-                if best.is_none_or(|(_, _, bq)| q < bq) {
+                if best.map_or(true, |(_, _, bq)| q < bq) {
                     best = Some((i, j, q));
                 }
             }

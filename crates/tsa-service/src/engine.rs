@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tsa_core::{
     job_fingerprint, Algorithm, Aligner, CancelToken, CheckpointPolicy, FrontierSnapshot,
+    SimdKernel,
 };
 use tsa_obs::Tracer;
 use tsa_scoring::Scoring;
@@ -56,6 +57,10 @@ pub struct ServiceConfig {
     /// Optional time-based checkpoint cadence (milliseconds); fires in
     /// addition to the plane cadence. Only meaningful with `state_dir`.
     pub checkpoint_every_millis: Option<u64>,
+    /// SIMD kernel applied to jobs that do not pin one themselves (their
+    /// `kernel` field is `Auto`). Scores are bit-identical across kernels,
+    /// so this only affects throughput.
+    pub default_kernel: SimdKernel,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +76,7 @@ impl Default for ServiceConfig {
             state_dir: None,
             checkpoint_every_planes: 32,
             checkpoint_every_millis: None,
+            default_kernel: SimdKernel::Auto,
         }
     }
 }
@@ -90,6 +96,9 @@ pub struct AlignRequest {
     pub score_only: bool,
     /// Per-job deadline, overriding the engine default.
     pub deadline: Option<Duration>,
+    /// SIMD kernel for the score inner loops; `Auto` defers to the
+    /// engine's [`ServiceConfig::default_kernel`].
+    pub kernel: SimdKernel,
 }
 
 impl AlignRequest {
@@ -103,6 +112,7 @@ impl AlignRequest {
             algorithm: Algorithm::Auto,
             score_only: false,
             deadline: None,
+            kernel: SimdKernel::Auto,
         }
     }
 
@@ -127,6 +137,12 @@ impl AlignRequest {
     /// Set a per-job deadline.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Pin the SIMD kernel for this job's score inner loops.
+    pub fn kernel(mut self, kernel: SimdKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -513,6 +529,10 @@ impl Engine {
             }
         });
         let [a, b, c] = req.seqs;
+        let kernel = match req.kernel {
+            SimdKernel::Auto => self.config.default_kernel,
+            pinned => pinned,
+        };
         let job = Job {
             id,
             tag: req.tag,
@@ -522,6 +542,7 @@ impl Engine {
             scoring: req.scoring,
             algorithm: req.algorithm,
             score_only: req.score_only,
+            kernel,
             cancel: cancel.clone(),
             submitted: Instant::now(),
             responder: Some(responder),
@@ -611,7 +632,11 @@ impl Engine {
     ) -> Result<JobHandle, SubmitError> {
         let (degraded_from, reservation) = self
             .govern(&mut req, blocking)
-            .inspect_err(|e| self.trace_rejection(&req.tag, e))?;
+            // `map_err`, not `inspect_err`: MSRV 1.75 predates the latter.
+            .map_err(|e| {
+                self.trace_rejection(&req.tag, &e);
+                e
+            })?;
         let durable = self.journal_admission(&req);
         let (tx, rx) = channel::bounded(1);
         let (id, cancel, mut job) =
@@ -638,9 +663,10 @@ impl Engine {
         mut req: AlignRequest,
         callback: impl FnOnce(CompletedJob) + Send + 'static,
     ) -> Result<(u64, CancelToken), SubmitError> {
-        let (degraded_from, reservation) = self
-            .govern(&mut req, false)
-            .inspect_err(|e| self.trace_rejection(&req.tag, e))?;
+        let (degraded_from, reservation) = self.govern(&mut req, false).map_err(|e| {
+            self.trace_rejection(&req.tag, &e);
+            e
+        })?;
         let durable = self.journal_admission(&req);
         let (id, cancel, mut job) = self.make_job(
             req,

@@ -21,7 +21,7 @@ use crate::json::{JsonObject, Value};
 use crate::stats::StatsSnapshot;
 use crate::worker::CompletedJob;
 use std::time::Duration;
-use tsa_core::Algorithm;
+use tsa_core::{Algorithm, SimdKernel};
 use tsa_scoring::Scoring;
 use tsa_seq::{Alphabet, Seq};
 
@@ -206,6 +206,15 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                     ProtocolError::new(id_ref, format!("unknown algorithm '{name}'"))
                 })?,
             };
+            let kernel = match obj.get("kernel").and_then(Value::as_str) {
+                None => SimdKernel::Auto,
+                Some(name) => SimdKernel::by_name(name).ok_or_else(|| {
+                    ProtocolError::new(
+                        id_ref,
+                        format!("unknown kernel '{name}' (want scalar|auto|sse2|avx2)"),
+                    )
+                })?,
+            };
             let score_only = match obj.get("score_only") {
                 None => false,
                 Some(v) => v
@@ -221,7 +230,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             let mut req = AlignRequest::new(id.unwrap_or_default(), a, b, c)
                 .scoring(scoring)
                 .algorithm(algorithm)
-                .score_only(score_only);
+                .score_only(score_only)
+                .kernel(kernel);
             req.deadline = deadline;
             Ok(Request::Submit(Box::new(req)))
         }
@@ -342,6 +352,7 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("resumed", stats.resumed)
         .u64("restarted", stats.restarted)
         .u64("cache_recovered_hits", stats.cache_recovered_hits)
+        .u64("simd_jobs", stats.simd_jobs)
         .u64("queue_depth", stats.queue_depth as u64)
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
@@ -418,6 +429,35 @@ mod tests {
             }
             other => panic!("expected submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn kernel_field_parses_and_validates() {
+        for (name, want) in [
+            ("scalar", SimdKernel::Scalar),
+            ("auto", SimdKernel::Auto),
+            ("sse2", SimdKernel::Sse2),
+            ("avx2", SimdKernel::Avx2),
+        ] {
+            let line = format!(
+                r#"{{"op":"submit","id":"k","a":"ACGT","b":"ACG","c":"AGT","kernel":"{name}"}}"#
+            );
+            match parse_request(&line).unwrap() {
+                Request::Submit(r) => assert_eq!(r.kernel, want, "{name}"),
+                other => panic!("expected submit, got {other:?}"),
+            }
+        }
+        // Absent field defaults to auto; junk is rejected with the id.
+        match parse_request(r#"{"op":"submit","id":"d","a":"A","b":"C","c":"G"}"#).unwrap() {
+            Request::Submit(r) => assert_eq!(r.kernel, SimdKernel::Auto),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        let err = parse_request(
+            r#"{"op":"submit","id":"bad","a":"A","b":"C","c":"G","kernel":"avx512"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("bad"));
+        assert!(err.message.contains("avx512"));
     }
 
     #[test]
@@ -673,6 +713,7 @@ mod tests {
             resumed: 1,
             restarted: 2,
             cache_recovered_hits: 3,
+            simd_jobs: 2,
             queue_depth: 0,
             latency_p50_us: 64,
             latency_p90_us: 128,
@@ -695,6 +736,7 @@ mod tests {
         assert_eq!(v.get("resumed").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("restarted").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("cache_recovered_hits").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("simd_jobs").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
         assert_eq!(v.get("queue_wait_p99_us").unwrap().as_u64(), Some(16));
         assert_eq!(v.get("kernel_p50_us").unwrap().as_u64(), Some(32));

@@ -32,6 +32,7 @@ pub struct ServiceStats {
     pub(crate) resumed: Counter,
     pub(crate) restarted: Counter,
     pub(crate) cache_recovered_hits: Counter,
+    pub(crate) simd: Counter,
     queue_depth: Gauge,
     latency: Histogram,
     queue_wait: Histogram,
@@ -97,6 +98,10 @@ impl Default for ServiceStats {
             cache_recovered_hits: registry.counter(
                 "tsa_cache_recovered_hits_total",
                 "Cache hits served from journal-recovered entries (a subset of cache hits).",
+            ),
+            simd: registry.counter(
+                "tsa_jobs_simd_total",
+                "Kernel executions that ran a SIMD (non-scalar) score implementation.",
             ),
             queue_depth: registry.gauge("tsa_queue_depth", "Jobs currently queued."),
             latency: registry.histogram(
@@ -165,6 +170,7 @@ impl ServiceStats {
             resumed: self.resumed.get(),
             restarted: self.restarted.get(),
             cache_recovered_hits: self.cache_recovered_hits.get(),
+            simd_jobs: self.simd.get(),
             queue_depth,
             latency_p50_us: latency.quantile_upper_bound(0.50),
             latency_p90_us: latency.quantile_upper_bound(0.90),
@@ -225,6 +231,9 @@ pub struct StatsSnapshot {
     /// Cache hits served from journal-recovered entries (a subset of
     /// `cache_hits`).
     pub cache_recovered_hits: u64,
+    /// Kernel executions that ran a SIMD (non-scalar) score implementation
+    /// (a subset of `cache_misses`; scores are identical either way).
+    pub simd_jobs: u64,
     /// Jobs currently queued (0 at quiescence).
     pub queue_depth: usize,
     /// Median submit-to-completion latency, as a power-of-two µs bound.
@@ -282,6 +291,7 @@ impl fmt::Display for StatsSnapshot {
             "durability: {} recovered, {} resumed, {} restarted, {} recovered-cache hits",
             self.recovered, self.resumed, self.restarted, self.cache_recovered_hits
         )?;
+        writeln!(f, "kernels: {} SIMD-accelerated", self.simd_jobs)?;
         writeln!(
             f,
             "latency (µs, bucket upper bounds): p50 ≤ {}, p90 ≤ {}, p99 ≤ {}",
@@ -364,6 +374,7 @@ mod tests {
             "tsa_jobs_resumed_total",
             "tsa_jobs_restarted_total",
             "tsa_cache_recovered_hits_total",
+            "tsa_jobs_simd_total",
             "tsa_queue_depth",
             "tsa_job_latency_us",
             "tsa_job_queue_wait_us",
@@ -398,6 +409,7 @@ mod tests {
                 "# TYPE tsa_jobs_resumed_total counter",
                 "# TYPE tsa_jobs_restarted_total counter",
                 "# TYPE tsa_cache_recovered_hits_total counter",
+                "# TYPE tsa_jobs_simd_total counter",
                 "# TYPE tsa_queue_depth gauge",
                 "# TYPE tsa_job_latency_us histogram",
                 "# TYPE tsa_job_queue_wait_us histogram",

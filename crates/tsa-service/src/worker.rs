@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsa_core::{
     Algorithm, AlignError, Aligner, Alignment3, CancelProgress, CancelToken, CheckpointConfig,
-    DurableStop, FrontierSnapshot,
+    DurableStop, FrontierSnapshot, SimdKernel,
 };
 use tsa_obs::Span;
 use tsa_scoring::Scoring;
@@ -53,6 +53,8 @@ pub(crate) struct Job {
     pub scoring: Scoring,
     pub algorithm: Algorithm,
     pub score_only: bool,
+    /// Effective SIMD kernel request (engine default already applied).
+    pub kernel: SimdKernel,
     pub cancel: CancelToken,
     pub submitted: Instant,
     /// Taken by the worker before serving; `Some` until then.
@@ -310,7 +312,9 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
     }
 
     let served = Instant::now();
-    let aligner = Aligner::auto(job.scoring.clone()).algorithm(job.algorithm);
+    let aligner = Aligner::auto(job.scoring.clone())
+        .algorithm(job.algorithm)
+        .kernel(job.kernel);
     let resolved = aligner.resolve(job.a.len(), job.b.len(), job.c.len());
     let key = CacheKey::new(
         &job.a,
@@ -401,9 +405,15 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
                 .map_err(KernelErr::Align)
         }
     };
+    // What the CPU actually runs for this request (degradation applied).
+    let simd = job.kernel.resolve();
+    if !simd.is_scalar() {
+        stats.simd.inc();
+    }
     let mut kernel_span = job.stage("kernel");
     if let Some(s) = kernel_span.as_mut() {
         s.annotate("algorithm", resolved.name());
+        s.annotate("simd_kernel", simd.name());
     }
     let kernel_started = Instant::now();
     let computed = std::panic::catch_unwind(AssertUnwindSafe(kernel));

@@ -67,6 +67,15 @@ impl<T: Copy> SharedGrid<T> {
         *self.cells[idx].get() = value;
     }
 
+    /// Raw pointer to the first cell, for bulk (e.g. SIMD) access to runs
+    /// of cells. `UnsafeCell<T>` is `repr(transparent)` over `T`, so the
+    /// cast is layout-sound. Dereferencing inherits the [`SharedGrid::get`]
+    /// / [`SharedGrid::set`] contracts over every cell touched: reads must
+    /// target cells no thread is writing, writes must be exclusive.
+    pub fn as_ptr(&self) -> *mut T {
+        self.cells.as_ptr() as *mut T
+    }
+
     /// Consume the grid, returning the underlying values. Requires `&mut`
     /// semantics (ownership), so no concurrent access can remain.
     pub fn into_vec(self) -> Vec<T> {

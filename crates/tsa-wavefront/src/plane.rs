@@ -132,6 +132,21 @@ pub fn plane_cells_vec(e: Extents, d: usize) -> Vec<(usize, usize, usize)> {
     plane_cells(e, d).collect()
 }
 
+/// Iterate plane `d` as whole rows `(i, j_lo, j_hi)`: for each valid `i`,
+/// the contiguous run of valid `j` (with `k = d − i − j` implied). This is
+/// the unit the SIMD row kernels consume — every cell of a row reads its
+/// seven predecessors at unit stride in `j`.
+pub fn plane_rows(e: Extents, d: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+    let i_lo = d.saturating_sub(e.n2 + e.n3);
+    let i_hi = d.min(e.n1);
+    (i_lo..=i_hi).filter_map(move |i| {
+        if d > e.n1 + e.n2 + e.n3 {
+            return None;
+        }
+        diag::diag_i_range(e.n2, e.n3, d - i).map(|(lo, hi)| (i, lo, hi))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +181,23 @@ mod tests {
             let got = plane_cells_vec(e, d);
             let want = exhaustive_plane(e, d);
             assert_eq!(got, want, "plane {d}");
+        }
+    }
+
+    #[test]
+    fn rows_flatten_to_cells() {
+        for (n1, n2, n3) in [(0, 0, 0), (3, 4, 2), (5, 1, 0), (2, 7, 3), (4, 4, 4)] {
+            let e = Extents::new(n1, n2, n3);
+            for d in 0..e.num_planes() + 2 {
+                let from_rows: Vec<(usize, usize, usize)> = plane_rows(e, d)
+                    .flat_map(|(i, lo, hi)| (lo..=hi).map(move |j| (i, j, d - i - j)))
+                    .collect();
+                assert_eq!(
+                    from_rows,
+                    plane_cells_vec(e, d),
+                    "({n1},{n2},{n3}) plane {d}"
+                );
+            }
         }
     }
 
