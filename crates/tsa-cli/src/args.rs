@@ -17,6 +17,7 @@ USAGE:
     tsa info --file <fasta>
     tsa serve [--listen <addr:port>] [service options]
     tsa batch --file <ndjson> [--repeat <n>] [--quiet] [service options]
+    tsa cluster [--workers <n>] [--attach <addr:port>]... [cluster options]
     tsa help
 
 ALIGN OPTIONS:
@@ -65,6 +66,10 @@ SERVICE OPTIONS (tsa serve / tsa batch):
                          recovers finished jobs and resumes in-flight ones
     --checkpoint-every <p>  DP planes between checkpoint snapshots        [32]
     serve --listen       serve NDJSON over TCP instead of stdin/stdout
+                         (the bound address is announced on stderr, so
+                         port 0 picks a free port discoverably)
+    serve --shard <n>    cluster shard identity, reported by the
+                         shard_info and hello ops
     serve --idle-timeout-ms <ms>  close TCP connections idle this long,
                          0 disables                                   [300000]
     serve --trace-jobs   emit a span per job lifecycle stage on stderr
@@ -73,6 +78,23 @@ SERVICE OPTIONS (tsa serve / tsa batch):
     batch --repeat <n>   run the batch n times (cache warm after first)    [1]
     batch --quiet        suppress per-job response lines, print stats only
     batch --metrics      dump the Prometheus exposition on stderr at exit
+
+CLUSTER OPTIONS (tsa cluster):
+    --workers <n>        local worker processes to spawn                    [2]
+    --attach <addr>      also attach a pre-started `tsa serve --listen`
+                         worker over TCP (repeatable)
+    --listen <addr>      serve the cluster over TCP through the poll(2)
+                         event-loop front door; without it a batch runs
+                         from --batch (or stdin) and the cluster exits
+    --batch <file>       NDJSON request file, `-` for stdin
+    --state-dir <dir>    root state dir; worker n journals under
+                         <dir>/shard-n and recovers it on respawn
+    --worker-threads <n> engine threads per worker (0 = all cores)
+    --queue <n>          per-worker queue capacity                         [64]
+    --cache <n>          per-worker result-cache entries                 [1024]
+    --deadline-ms <ms>   default per-job deadline, per worker
+    --kernel <k>         default SIMD kernel, per worker                 [auto]
+    --heartbeat-ms <ms>  supervisor health-check cadence                  [500]
 ";
 
 /// A parsed command line.
@@ -95,6 +117,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Run a file of NDJSON requests through the service engine.
     Batch(BatchArgs),
+    /// Run a sharded multi-worker cluster (coordinator + N workers).
+    Cluster(ClusterArgs),
     /// Print usage.
     Help,
 }
@@ -291,6 +315,8 @@ impl ServiceOpts {
 pub struct ServeArgs {
     /// TCP listen address; stdin/stdout when absent.
     pub listen: Option<String>,
+    /// Cluster shard identity, reported by `shard_info` and `hello`.
+    pub shard: Option<u64>,
     /// Engine sizing.
     pub service: ServiceOpts,
     /// Emit a span per job lifecycle stage on stderr.
@@ -305,10 +331,56 @@ impl Default for ServeArgs {
     fn default() -> Self {
         ServeArgs {
             listen: None,
+            shard: None,
             service: ServiceOpts::default(),
             trace_jobs: false,
             log_format: "text".into(),
             idle_timeout_ms: 300_000,
+        }
+    }
+}
+
+/// Arguments of `tsa cluster`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterArgs {
+    /// Local worker processes to spawn.
+    pub workers: u32,
+    /// Pre-started workers to attach over TCP.
+    pub attach: Vec<String>,
+    /// Front-door TCP listen address; batch mode when absent.
+    pub listen: Option<String>,
+    /// NDJSON request file (`-` = stdin) for batch mode.
+    pub batch: Option<String>,
+    /// Root state directory (worker n journals under `shard-n`).
+    pub state_dir: Option<String>,
+    /// Engine threads per worker (0 = all cores).
+    pub worker_threads: Option<usize>,
+    /// Per-worker queue capacity.
+    pub queue: Option<usize>,
+    /// Per-worker result-cache entries.
+    pub cache: Option<usize>,
+    /// Default per-job deadline, per worker.
+    pub deadline_ms: Option<u64>,
+    /// Default SIMD kernel, per worker.
+    pub kernel: Option<String>,
+    /// Supervisor health-check cadence in milliseconds.
+    pub heartbeat_ms: u64,
+}
+
+impl Default for ClusterArgs {
+    fn default() -> Self {
+        ClusterArgs {
+            workers: 2,
+            attach: Vec::new(),
+            listen: None,
+            batch: None,
+            state_dir: None,
+            worker_threads: None,
+            queue: None,
+            cache: None,
+            deadline_ms: None,
+            kernel: None,
+            heartbeat_ms: 500,
         }
     }
 }
@@ -339,6 +411,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("msa") => parse_msa(it.as_slice()).map(Command::Msa),
         Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
         Some("batch") => parse_batch(it.as_slice()).map(Command::Batch),
+        Some("cluster") => parse_cluster(it.as_slice()).map(Command::Cluster),
         Some("info") => {
             let rest = it.as_slice();
             match rest {
@@ -501,6 +574,7 @@ fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
         }
         match flag.as_str() {
             "--listen" => s.listen = Some(take_value(flag, &mut it)?.clone()),
+            "--shard" => s.shard = Some(parse_num(flag, take_value(flag, &mut it)?)?),
             "--idle-timeout-ms" => {
                 s.idle_timeout_ms = parse_num(flag, take_value(flag, &mut it)?)?;
             }
@@ -550,6 +624,57 @@ fn parse_batch(argv: &[String]) -> Result<BatchArgs, String> {
         return Err("batch needs --file".into());
     }
     Ok(b)
+}
+
+fn parse_cluster(argv: &[String]) -> Result<ClusterArgs, String> {
+    let mut c = ClusterArgs::default();
+    let mut workers_given = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workers" => {
+                c.workers = parse_num(flag, take_value(flag, &mut it)?)?;
+                workers_given = true;
+            }
+            "--attach" => c.attach.push(take_value(flag, &mut it)?.clone()),
+            "--listen" => c.listen = Some(take_value(flag, &mut it)?.clone()),
+            "--batch" => c.batch = Some(take_value(flag, &mut it)?.clone()),
+            "--state-dir" => c.state_dir = Some(take_value(flag, &mut it)?.clone()),
+            "--worker-threads" => {
+                c.worker_threads = Some(parse_num(flag, take_value(flag, &mut it)?)?);
+            }
+            "--queue" => {
+                let queue: usize = parse_num(flag, take_value(flag, &mut it)?)?;
+                if queue == 0 {
+                    return Err("--queue must be >= 1".into());
+                }
+                c.queue = Some(queue);
+            }
+            "--cache" => c.cache = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--deadline-ms" => c.deadline_ms = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+            "--kernel" => {
+                let kernel = take_value(flag, &mut it)?.clone();
+                parse_kernel(&kernel)?;
+                c.kernel = Some(kernel);
+            }
+            "--heartbeat-ms" => {
+                c.heartbeat_ms = parse_num(flag, take_value(flag, &mut it)?)?;
+                if c.heartbeat_ms == 0 {
+                    return Err("--heartbeat-ms must be >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown cluster flag `{other}`")),
+        }
+    }
+    // `--workers 0 --attach host:port` is an attach-only cluster; an
+    // explicit zero with nothing attached cannot serve anything.
+    if workers_given && c.workers == 0 && c.attach.is_empty() {
+        return Err("a cluster needs at least one worker (--workers or --attach)".into());
+    }
+    if c.listen.is_some() && c.batch.is_some() {
+        return Err("give either --listen or --batch, not both".into());
+    }
+    Ok(c)
 }
 
 impl AlignArgs {
@@ -952,6 +1077,82 @@ mod tests {
         assert_eq!(b.service.kernel, "sse2");
         assert!(parse(&sv(&["serve", "--kernel", "mmx"])).is_err());
         assert!(parse(&sv(&["serve", "--kernel"])).is_err());
+    }
+
+    #[test]
+    fn serve_shard_flag_parses() {
+        let Command::Serve(s) = parse(&sv(&["serve", "--shard", "3"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.shard, Some(3));
+        assert_eq!(ServeArgs::default().shard, None);
+        assert!(parse(&sv(&["serve", "--shard", "minus-one"])).is_err());
+        assert!(parse(&sv(&["serve", "--shard"])).is_err());
+    }
+
+    #[test]
+    fn cluster_parses_defaults_and_flags() {
+        let Command::Cluster(c) = parse(&sv(&["cluster"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c, ClusterArgs::default());
+        assert_eq!(c.workers, 2);
+
+        let Command::Cluster(c) = parse(&sv(&[
+            "cluster",
+            "--workers",
+            "4",
+            "--attach",
+            "10.0.0.1:7777",
+            "--attach",
+            "10.0.0.2:7777",
+            "--state-dir",
+            "/var/lib/tsa",
+            "--worker-threads",
+            "2",
+            "--queue",
+            "16",
+            "--cache",
+            "64",
+            "--deadline-ms",
+            "250",
+            "--kernel",
+            "scalar",
+            "--heartbeat-ms",
+            "100",
+            "--batch",
+            "-",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.attach, vec!["10.0.0.1:7777", "10.0.0.2:7777"]);
+        assert_eq!(c.state_dir.as_deref(), Some("/var/lib/tsa"));
+        assert_eq!(c.worker_threads, Some(2));
+        assert_eq!(c.queue, Some(16));
+        assert_eq!(c.cache, Some(64));
+        assert_eq!(c.deadline_ms, Some(250));
+        assert_eq!(c.kernel.as_deref(), Some("scalar"));
+        assert_eq!(c.heartbeat_ms, 100);
+        assert_eq!(c.batch.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn cluster_validates_topology_and_modes() {
+        // Attach-only is fine; zero workers with nothing attached is not.
+        let Command::Cluster(c) =
+            parse(&sv(&["cluster", "--workers", "0", "--attach", "h:1"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.workers, 0);
+        assert!(parse(&sv(&["cluster", "--workers", "0"])).is_err());
+        assert!(parse(&sv(&["cluster", "--listen", "0:0", "--batch", "x.ndjson"])).is_err());
+        assert!(parse(&sv(&["cluster", "--queue", "0"])).is_err());
+        assert!(parse(&sv(&["cluster", "--heartbeat-ms", "0"])).is_err());
+        assert!(parse(&sv(&["cluster", "--kernel", "mmx"])).is_err());
+        assert!(parse(&sv(&["cluster", "--bogus"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Info { file } => run_info(&file),
         Command::Serve(s) => run_serve(s),
         Command::Batch(b) => run_batch(b),
+        Command::Cluster(c) => crate::cluster::run_cluster(c),
     }
 }
 
@@ -97,13 +98,17 @@ fn run_serve(s: ServeArgs) -> Result<(), String> {
     install_drain_signals(&engine);
     let options = tsa_service::ServeOptions {
         idle_timeout: (s.idle_timeout_ms > 0).then(|| Duration::from_millis(s.idle_timeout_ms)),
+        shard: s.shard,
         ..tsa_service::ServeOptions::default()
     };
     let stats = match &s.listen {
-        Some(addr) => {
-            eprintln!("# tsa serve: listening on {addr}");
-            tsa_service::serve_tcp_with(&engine, addr, &options)
-        }
+        Some(addr) => std::net::TcpListener::bind(addr).and_then(|listener| {
+            // Announce the address the listener actually bound
+            // (not the one requested), so `--listen 127.0.0.1:0`
+            // picks a free port that callers can discover.
+            eprintln!("# tsa serve: listening on {}", listener.local_addr()?);
+            tsa_service::serve_listener_with(&engine, listener, &options)
+        }),
         None => tsa_service::serve_stdio(&engine),
     }
     .map_err(|e| format!("serve: {e}"))?;

@@ -10,6 +10,7 @@
 //! Run `tsa help` for the full option list.
 
 mod args;
+mod cluster;
 mod commands;
 
 use std::process::ExitCode;

@@ -1,0 +1,1167 @@
+//! The cluster coordinator: owns the member table and the shard map,
+//! routes submissions by content uid, supervises worker processes, and
+//! aggregates control-plane answers across the whole cluster.
+//!
+//! ## Routing = cache affinity
+//!
+//! A submission routes by [`tsa_service::content_uid`] — the same
+//! fingerprint (minus the client tag) that keys each worker's result
+//! cache and journal. Two submissions with identical content therefore
+//! always land on the same worker, so the second one is a cache hit
+//! there instead of a recompute elsewhere. The rendezvous hash in
+//! [`crate::shard`] keeps that alignment stable across membership
+//! changes: removing a worker re-routes only the uids it owned.
+//!
+//! ## Identity rewriting
+//!
+//! Client tags need not be unique (or present), but the coordinator
+//! must correlate worker responses to callers. Every forwarded job gets
+//! an internal id `<original>#@<n>`; since the fault-injection
+//! directives (`#fault-delay=…` and friends) are substring-matched and
+//! their numeric arguments stop at the first non-digit, the suffix is
+//! transparent to them. Responses are restored by substituting the
+//! internal id back out of the raw response line, so unknown fields a
+//! newer worker adds survive the round trip untouched.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tsa_obs::{Counter, Gauge, Registry};
+use tsa_service::json::{escape, JsonObject, Value};
+use tsa_service::protocol::{self, Request};
+use tsa_service::{content_uid, AlignRequest};
+
+use crate::link::{spawn_worker, Event, SpawnOptions, WorkerLink};
+use crate::shard::{ShardId, ShardMap};
+
+/// Counter fields summed across workers in aggregated `stats`.
+const SUM_FIELDS: [&str; 16] = [
+    "submitted",
+    "completed",
+    "rejected",
+    "cancelled",
+    "failed",
+    "cache_hits",
+    "cache_misses",
+    "panics",
+    "respawns",
+    "downgraded",
+    "recovered",
+    "resumed",
+    "restarted",
+    "cache_recovered_hits",
+    "simd_jobs",
+    "queue_depth",
+];
+
+/// How a cluster is shaped and how its workers are provisioned.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker binary; `None` re-executes the current binary.
+    pub binary: Option<PathBuf>,
+    /// Number of locally spawned workers (shards `0..workers`).
+    pub workers: u32,
+    /// Extra pre-started workers to attach over TCP (shards continue
+    /// after the spawned range).
+    pub attach: Vec<String>,
+    /// Root state directory; each spawned worker journals under
+    /// `<dir>/shard-<n>` so respawns recover their own shard.
+    pub state_dir: Option<PathBuf>,
+    /// Per-worker pool size (worker default when `None`).
+    pub worker_threads: Option<usize>,
+    /// Per-worker queue capacity.
+    pub queue: Option<usize>,
+    /// Per-worker result-cache capacity.
+    pub cache: Option<usize>,
+    /// Per-worker default deadline.
+    pub deadline_ms: Option<u64>,
+    /// Per-worker SIMD kernel pin.
+    pub kernel: Option<String>,
+    /// Supervisor health-check cadence.
+    pub heartbeat: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            binary: None,
+            workers: 2,
+            attach: Vec::new(),
+            state_dir: None,
+            worker_threads: None,
+            queue: None,
+            cache: None,
+            deadline_ms: None,
+            kernel: None,
+            heartbeat: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Whether the coordinator owns the worker process or only a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemberKind {
+    /// Local child process: health = process liveness; failure =
+    /// respawn (same shard, same state dir) + resubmit.
+    Spawned,
+    /// Remote worker reached over TCP: health = ping/pong; failure =
+    /// one reconnect attempt, then removal + deterministic rehash.
+    Attached,
+}
+
+/// One cluster member's live state.
+struct Member {
+    shard: ShardId,
+    kind: MemberKind,
+    addr: Mutex<SocketAddr>,
+    link: Mutex<Option<Arc<WorkerLink>>>,
+    child: Mutex<Option<Child>>,
+    alive: AtomicBool,
+    /// Bumped on every (re)connect so stale disconnect events from a
+    /// replaced link are ignored.
+    generation: AtomicU64,
+    pid: AtomicU64,
+    version: Mutex<String>,
+}
+
+/// Where a submission's response goes once a worker answers.
+pub enum ReplyTo {
+    /// A batch caller blocked on this channel.
+    Blocking(SyncSender<String>),
+    /// A front-door connection: the line lands in the outbox tagged
+    /// with the connection id and the event loop is woken to flush it.
+    Conn {
+        /// Front-door connection id.
+        conn: u64,
+    },
+}
+
+/// An in-flight submission, keyed by its internal id. Kept until a
+/// response arrives so a respawned or re-routed worker can be fed the
+/// exact original wire line again.
+struct Pending {
+    shard: ShardId,
+    uid: String,
+    original_id: String,
+    line: String,
+    reply: ReplyTo,
+}
+
+enum ControlOp {
+    Stats,
+    Metrics,
+    Shutdown,
+    Drain,
+}
+
+/// Per-shard FIFO of waiters for id-less control responses, keyed by
+/// the response `op` each waiter expects.
+type ControlLanes = HashMap<ShardId, VecDeque<(&'static str, SyncSender<Value>)>>;
+
+/// The coordinator. Cheap to share; every method takes `&self`.
+pub struct Coordinator {
+    config: ClusterConfig,
+    started: Instant,
+    members: Mutex<HashMap<ShardId, Arc<Member>>>,
+    map: Mutex<ShardMap>,
+    pending: Mutex<HashMap<String, Pending>>,
+    /// FIFO lanes of waiters for id-less control responses, per shard:
+    /// a `stats` answer resolves the oldest waiter expecting `stats`.
+    lanes: Mutex<ControlLanes>,
+    seq: AtomicU64,
+    running: AtomicBool,
+    events_tx: Sender<Event>,
+    outbox: Mutex<Vec<(u64, String)>>,
+    waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    registry: Registry,
+    routed: Counter,
+    respawns: Counter,
+    resubmitted: Counter,
+    removed: Counter,
+    members_gauge: Gauge,
+}
+
+impl Coordinator {
+    /// Boot the cluster: spawn/attach every worker, handshake each one,
+    /// and start the dispatcher and supervisor threads. On any boot
+    /// failure all spawned children are killed before returning.
+    pub fn start(config: ClusterConfig) -> io::Result<Arc<Coordinator>> {
+        if config.workers == 0 && config.attach.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one worker (--workers or --attach)",
+            ));
+        }
+        let (events_tx, events_rx) = channel();
+        let registry = Registry::new();
+        let coordinator = Arc::new(Coordinator {
+            started: Instant::now(),
+            members: Mutex::new(HashMap::new()),
+            map: Mutex::new(ShardMap::default()),
+            pending: Mutex::new(HashMap::new()),
+            lanes: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+            events_tx,
+            outbox: Mutex::new(Vec::new()),
+            waker: Mutex::new(None),
+            routed: registry.counter("tsa_cluster_routed_total", "Jobs routed to a shard."),
+            respawns: registry.counter("tsa_cluster_respawns_total", "Workers respawned."),
+            resubmitted: registry.counter(
+                "tsa_cluster_resubmitted_total",
+                "In-flight jobs re-sent after a worker respawn or removal.",
+            ),
+            removed: registry.counter(
+                "tsa_cluster_members_removed_total",
+                "Members removed from the shard map.",
+            ),
+            members_gauge: registry.gauge("tsa_cluster_members", "Current cluster member count."),
+            registry,
+            config,
+        });
+
+        {
+            let c = Arc::clone(&coordinator);
+            thread::Builder::new()
+                .name("tsa-cluster-dispatch".into())
+                .spawn(move || c.dispatch_loop(events_rx))?;
+        }
+
+        let booted = coordinator.boot_members();
+        if let Err(e) = booted {
+            coordinator.kill_children();
+            coordinator.running.store(false, Ordering::SeqCst);
+            return Err(e);
+        }
+
+        {
+            let c = Arc::clone(&coordinator);
+            thread::Builder::new()
+                .name("tsa-cluster-supervise".into())
+                .spawn(move || c.supervise())?;
+        }
+        Ok(coordinator)
+    }
+
+    fn boot_members(&self) -> io::Result<()> {
+        for shard in 0..self.config.workers {
+            self.spawn_member(shard)?;
+        }
+        for (i, addr) in self.config.attach.clone().iter().enumerate() {
+            self.attach_member(self.config.workers + i as ShardId, addr)?;
+        }
+        let members: Vec<Arc<Member>> = self.sorted_members();
+        for member in members {
+            self.handshake(&member, Duration::from_secs(10))?;
+        }
+        Ok(())
+    }
+
+    /// Shards and addresses, for topology logging.
+    pub fn topology(&self) -> Vec<(ShardId, SocketAddr, bool)> {
+        self.sorted_members()
+            .iter()
+            .map(|m| {
+                (
+                    m.shard,
+                    *m.addr.lock().unwrap(),
+                    m.kind == MemberKind::Spawned,
+                )
+            })
+            .collect()
+    }
+
+    /// False once `shutdown`/`drain` has run.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    /// Install the front-door wake callback (poked whenever a response
+    /// lands in the outbox from a worker or control thread).
+    pub fn set_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        *self.waker.lock().unwrap() = Some(waker);
+    }
+
+    /// Drain queued front-door deliveries as `(conn, line)` pairs.
+    pub fn take_outbox(&self) -> Vec<(u64, String)> {
+        std::mem::take(&mut *self.outbox.lock().unwrap())
+    }
+
+    fn wake(&self) {
+        if let Some(waker) = self.waker.lock().unwrap().as_ref() {
+            waker();
+        }
+    }
+
+    fn binary(&self) -> io::Result<PathBuf> {
+        match &self.config.binary {
+            Some(p) => Ok(p.clone()),
+            None => std::env::current_exe(),
+        }
+    }
+
+    fn spawn_options(&self, shard: ShardId) -> SpawnOptions {
+        SpawnOptions {
+            state_dir: self
+                .config
+                .state_dir
+                .as_ref()
+                .map(|d| d.join(format!("shard-{shard}"))),
+            worker_threads: self.config.worker_threads,
+            queue: self.config.queue,
+            cache: self.config.cache,
+            deadline_ms: self.config.deadline_ms,
+            kernel: self.config.kernel.clone(),
+        }
+    }
+
+    fn sorted_members(&self) -> Vec<Arc<Member>> {
+        let mut v: Vec<Arc<Member>> = self.members.lock().unwrap().values().cloned().collect();
+        v.sort_by_key(|m| m.shard);
+        v
+    }
+
+    fn spawn_member(&self, shard: ShardId) -> io::Result<()> {
+        let binary = self.binary()?;
+        let spawned = spawn_worker(&binary, shard, &self.spawn_options(shard))?;
+        let generation = 1;
+        let link = WorkerLink::connect(shard, spawned.addr, generation, self.events_tx.clone())?;
+        let member = Arc::new(Member {
+            shard,
+            kind: MemberKind::Spawned,
+            addr: Mutex::new(spawned.addr),
+            link: Mutex::new(Some(Arc::new(link))),
+            pid: AtomicU64::new(spawned.child.id() as u64),
+            child: Mutex::new(Some(spawned.child)),
+            alive: AtomicBool::new(true),
+            generation: AtomicU64::new(generation),
+            version: Mutex::new(String::new()),
+        });
+        self.insert_member(member);
+        Ok(())
+    }
+
+    fn attach_member(&self, shard: ShardId, addr: &str) -> io::Result<()> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("unresolvable {addr}"))
+        })?;
+        let generation = 1;
+        let link = WorkerLink::connect(shard, addr, generation, self.events_tx.clone())?;
+        let member = Arc::new(Member {
+            shard,
+            kind: MemberKind::Attached,
+            addr: Mutex::new(addr),
+            link: Mutex::new(Some(Arc::new(link))),
+            pid: AtomicU64::new(0),
+            child: Mutex::new(None),
+            alive: AtomicBool::new(true),
+            generation: AtomicU64::new(generation),
+            version: Mutex::new(String::new()),
+        });
+        self.insert_member(member);
+        Ok(())
+    }
+
+    fn insert_member(&self, member: Arc<Member>) {
+        let shard = member.shard;
+        let mut members = self.members.lock().unwrap();
+        members.insert(shard, member);
+        self.members_gauge.set(members.len() as i64);
+        drop(members);
+        self.map.lock().unwrap().add(shard);
+    }
+
+    /// Verify a worker answers the protocol; learn its version/pid.
+    fn handshake(&self, member: &Member, timeout: Duration) -> io::Result<()> {
+        let shard = member.shard;
+        let link = member.link.lock().unwrap().clone().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("shard {shard} has no link"),
+            )
+        })?;
+        let (tx, rx) = sync_channel(1);
+        self.lanes
+            .lock()
+            .unwrap()
+            .entry(shard)
+            .or_default()
+            .push_back(("hello", tx));
+        link.send("{\"op\":\"hello\"}")?;
+        let value = rx.recv_timeout(timeout).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("shard {shard} did not answer the hello handshake"),
+            )
+        })?;
+        if member.kind == MemberKind::Spawned {
+            match value.get("shard").and_then(Value::as_u64) {
+                Some(s) if s == shard as u64 => {}
+                got => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("worker at shard {shard} identifies as {got:?}"),
+                    ))
+                }
+            }
+        }
+        if let Some(server) = value.get("server") {
+            if let Some(pid) = server.get("pid").and_then(Value::as_u64) {
+                member.pid.store(pid, Ordering::SeqCst);
+            }
+            if let Some(version) = server.get("version").and_then(Value::as_str) {
+                *member.version.lock().unwrap() = version.to_string();
+            }
+        }
+        Ok(())
+    }
+
+    // ---- dispatch -------------------------------------------------
+
+    fn dispatch_loop(&self, events: Receiver<Event>) {
+        loop {
+            match events.recv_timeout(Duration::from_secs(1)) {
+                Ok(event) => self.on_event(event),
+                Err(RecvTimeoutError::Timeout) => {
+                    if !self.is_running() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    fn on_event(&self, event: Event) {
+        match event {
+            Event::Response { shard, line, value } => {
+                if let Some(id) = value.get("id").and_then(Value::as_str) {
+                    // A data-plane response. Unknown ids are duplicates
+                    // from a pre-respawn delivery — drop them.
+                    let entry = self.pending.lock().unwrap().remove(id);
+                    if let Some(p) = entry {
+                        let restored = restore_id(&line, id, &p.original_id);
+                        self.deliver(p.reply, restored);
+                    }
+                } else {
+                    let op = value.get("op").and_then(Value::as_str).unwrap_or("");
+                    let waiter = {
+                        let mut lanes = self.lanes.lock().unwrap();
+                        lanes.get_mut(&shard).and_then(|q| {
+                            q.iter()
+                                .position(|(expect, _)| *expect == op)
+                                .and_then(|at| q.remove(at))
+                        })
+                    };
+                    if let Some((_, tx)) = waiter {
+                        tx.send(value).ok();
+                    }
+                }
+            }
+            Event::Disconnected { shard, generation } => {
+                let member = self.members.lock().unwrap().get(&shard).cloned();
+                if let Some(m) = member {
+                    if m.generation.load(Ordering::SeqCst) == generation {
+                        m.alive.store(false, Ordering::SeqCst);
+                        *m.link.lock().unwrap() = None;
+                        self.lanes.lock().unwrap().remove(&shard);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(&self, reply: ReplyTo, line: String) {
+        match reply {
+            ReplyTo::Blocking(tx) => {
+                tx.send(line).ok();
+            }
+            ReplyTo::Conn { conn } => {
+                self.outbox.lock().unwrap().push((conn, line));
+                self.wake();
+            }
+        }
+    }
+
+    // ---- data plane -----------------------------------------------
+
+    /// Route one submission to its content-owning shard. The response
+    /// (or an immediate refusal) arrives through `reply`.
+    pub fn submit(&self, mut req: AlignRequest, reply: ReplyTo) {
+        let original = req.tag.clone();
+        let uid = content_uid(&req);
+        let internal = format!("{original}#@{}", self.seq.fetch_add(1, Ordering::SeqCst));
+        req.tag = internal.clone();
+        let line = match protocol::render_submit(&req) {
+            Some(line) => line,
+            None => {
+                self.deliver(
+                    reply,
+                    error_line(
+                        &original,
+                        "unserializable",
+                        "custom scoring cannot be forwarded over the cluster wire",
+                    ),
+                );
+                return;
+            }
+        };
+        let shard = match self.map.lock().unwrap().route(&uid) {
+            Some(shard) => shard,
+            None => {
+                self.deliver(
+                    reply,
+                    error_line(&original, "unavailable", "no live workers"),
+                );
+                return;
+            }
+        };
+        self.pending.lock().unwrap().insert(
+            internal,
+            Pending {
+                shard,
+                uid,
+                original_id: original,
+                line: line.clone(),
+                reply,
+            },
+        );
+        self.routed.inc();
+        let link = self
+            .members
+            .lock()
+            .unwrap()
+            .get(&shard)
+            .and_then(|m| m.link.lock().unwrap().clone());
+        if let Some(link) = link {
+            // A send failure surfaces as a disconnect; the supervisor
+            // will resubmit this pending entry after the respawn.
+            link.send(&line).ok();
+        }
+    }
+
+    // ---- supervision ----------------------------------------------
+
+    fn supervise(&self) {
+        while self.is_running() {
+            thread::sleep(self.config.heartbeat);
+            if !self.is_running() {
+                break;
+            }
+            for member in self.sorted_members() {
+                match member.kind {
+                    MemberKind::Spawned => {
+                        let exited = {
+                            let mut child = member.child.lock().unwrap();
+                            match child.as_mut() {
+                                Some(c) => matches!(c.try_wait(), Ok(Some(_))),
+                                None => true,
+                            }
+                        };
+                        if exited || !member.alive.load(Ordering::SeqCst) {
+                            if !self.is_running() {
+                                break;
+                            }
+                            if let Err(e) = self.respawn(&member) {
+                                eprintln!(
+                                    "# tsa cluster: respawn of shard {} failed: {e}",
+                                    member.shard
+                                );
+                            }
+                        }
+                    }
+                    MemberKind::Attached => {
+                        if member.alive.load(Ordering::SeqCst) {
+                            if !self.ping(&member) {
+                                member.alive.store(false, Ordering::SeqCst);
+                            }
+                        } else if self.reconnect(&member).is_err() {
+                            self.remove_member(member.shard);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn respawn(&self, member: &Member) -> io::Result<()> {
+        {
+            let mut child = member.child.lock().unwrap();
+            if let Some(c) = child.as_mut() {
+                c.kill().ok();
+                c.wait().ok();
+            }
+            *child = None;
+        }
+        let binary = self.binary()?;
+        let spawned = spawn_worker(&binary, member.shard, &self.spawn_options(member.shard))?;
+        let generation = member.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let link = Arc::new(WorkerLink::connect(
+            member.shard,
+            spawned.addr,
+            generation,
+            self.events_tx.clone(),
+        )?);
+        member
+            .pid
+            .store(spawned.child.id() as u64, Ordering::SeqCst);
+        *member.addr.lock().unwrap() = spawned.addr;
+        *member.child.lock().unwrap() = Some(spawned.child);
+        *member.link.lock().unwrap() = Some(link);
+        member.alive.store(true, Ordering::SeqCst);
+        self.handshake(member, Duration::from_secs(10))?;
+        self.respawns.inc();
+        eprintln!(
+            "# tsa cluster: respawned shard {} (pid {})",
+            member.shard,
+            member.pid.load(Ordering::SeqCst)
+        );
+        self.resubmit_shard(member.shard);
+        Ok(())
+    }
+
+    fn reconnect(&self, member: &Member) -> io::Result<()> {
+        let addr = *member.addr.lock().unwrap();
+        let generation = member.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let link = Arc::new(WorkerLink::connect(
+            member.shard,
+            addr,
+            generation,
+            self.events_tx.clone(),
+        )?);
+        *member.link.lock().unwrap() = Some(link);
+        member.alive.store(true, Ordering::SeqCst);
+        self.handshake(member, Duration::from_secs(5))?;
+        self.resubmit_shard(member.shard);
+        Ok(())
+    }
+
+    fn ping(&self, member: &Member) -> bool {
+        let link = match member.link.lock().unwrap().clone() {
+            Some(l) => l,
+            None => return false,
+        };
+        let (tx, rx) = sync_channel(1);
+        self.lanes
+            .lock()
+            .unwrap()
+            .entry(member.shard)
+            .or_default()
+            .push_back(("pong", tx));
+        if link.send("{\"op\":\"ping\"}").is_err() {
+            return false;
+        }
+        rx.recv_timeout(Duration::from_secs(5)).is_ok()
+    }
+
+    /// Re-send every pending submission owned by `shard` to its (new)
+    /// link. Workers that journal will answer replays of already
+    /// completed content from their recovered cache.
+    fn resubmit_shard(&self, shard: ShardId) {
+        let lines: Vec<String> = self
+            .pending
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|p| p.shard == shard)
+            .map(|p| p.line.clone())
+            .collect();
+        if lines.is_empty() {
+            return;
+        }
+        let link = self
+            .members
+            .lock()
+            .unwrap()
+            .get(&shard)
+            .and_then(|m| m.link.lock().unwrap().clone());
+        if let Some(link) = link {
+            for line in &lines {
+                if link.send(line).is_err() {
+                    break;
+                }
+                self.resubmitted.inc();
+            }
+        }
+    }
+
+    /// Drop an unreachable member and rehash: only the departed
+    /// shard's pending jobs move (rendezvous-hash guarantee); each is
+    /// re-routed to its new owner or failed when no workers remain.
+    fn remove_member(&self, shard: ShardId) {
+        {
+            let mut members = self.members.lock().unwrap();
+            if members.remove(&shard).is_none() {
+                return;
+            }
+            self.members_gauge.set(members.len() as i64);
+        }
+        self.map.lock().unwrap().remove(shard);
+        self.lanes.lock().unwrap().remove(&shard);
+        self.removed.inc();
+        eprintln!("# tsa cluster: removed unreachable shard {shard}; rehashing its jobs");
+        let orphans: Vec<String> = self
+            .pending
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, p)| p.shard == shard)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in orphans {
+            let entry = self.pending.lock().unwrap().remove(&id);
+            let Some(mut p) = entry else { continue };
+            match self.map.lock().unwrap().route(&p.uid) {
+                Some(new_shard) => {
+                    p.shard = new_shard;
+                    let line = p.line.clone();
+                    self.pending.lock().unwrap().insert(id, p);
+                    let link = self
+                        .members
+                        .lock()
+                        .unwrap()
+                        .get(&new_shard)
+                        .and_then(|m| m.link.lock().unwrap().clone());
+                    if let Some(link) = link {
+                        link.send(&line).ok();
+                        self.resubmitted.inc();
+                    }
+                }
+                None => self.deliver(
+                    p.reply,
+                    error_line(&p.original_id, "unavailable", "all workers departed"),
+                ),
+            }
+        }
+    }
+
+    fn kill_children(&self) {
+        for member in self.sorted_members() {
+            if let Some(mut child) = member.child.lock().unwrap().take() {
+                child.kill().ok();
+                child.wait().ok();
+            }
+        }
+    }
+
+    // ---- control plane --------------------------------------------
+
+    /// Send `request` to every live worker and gather responses whose
+    /// `op` equals `expect`, within one shared deadline.
+    fn collect_control(
+        &self,
+        request: &str,
+        expect: &'static str,
+        timeout: Duration,
+    ) -> Vec<(ShardId, Value)> {
+        let mut waits = Vec::new();
+        for member in self.sorted_members() {
+            if !member.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let link = match member.link.lock().unwrap().clone() {
+                Some(l) => l,
+                None => continue,
+            };
+            let (tx, rx) = sync_channel(1);
+            self.lanes
+                .lock()
+                .unwrap()
+                .entry(member.shard)
+                .or_default()
+                .push_back((expect, tx));
+            if link.send(request).is_ok() {
+                waits.push((member.shard, rx));
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        for (shard, rx) in waits {
+            let left = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            if let Ok(value) = rx.recv_timeout(left) {
+                out.push((shard, value));
+            }
+        }
+        out
+    }
+
+    /// Cluster-wide `stats`: coordinator section, summed counters, and
+    /// a per-shard breakdown.
+    pub fn stats_line(&self) -> String {
+        let rows = self.collect_control("{\"op\":\"stats\"}", "stats", Duration::from_secs(10));
+        self.render_aggregate("stats", &rows)
+    }
+
+    /// Cluster-wide `metrics`: every worker's exposition merged with
+    /// the coordinator's own registry (summed families plus per-shard
+    /// labeled series).
+    pub fn metrics_line(&self) -> String {
+        let rows = self.collect_control("{\"op\":\"metrics\"}", "metrics", Duration::from_secs(10));
+        let mut parts: Vec<(String, String)> = rows
+            .iter()
+            .filter_map(|(shard, v)| {
+                v.get("body")
+                    .and_then(Value::as_str)
+                    .map(|body| (shard.to_string(), body.to_string()))
+            })
+            .collect();
+        parts.push(("coordinator".to_string(), self.registry.expose()));
+        protocol::render_metrics(&tsa_obs::aggregate::merge_expositions(&parts))
+    }
+
+    /// Cluster topology: every member's shard, address, liveness, pid.
+    pub fn shard_info_line(&self) -> String {
+        let members = self.sorted_members();
+        let rows = members
+            .iter()
+            .map(|m| {
+                JsonObject::new()
+                    .u64("shard", m.shard as u64)
+                    .str("addr", &m.addr.lock().unwrap().to_string())
+                    .bool("alive", m.alive.load(Ordering::SeqCst))
+                    .bool("spawned", m.kind == MemberKind::Spawned)
+                    .u64("pid", m.pid.load(Ordering::SeqCst))
+                    .str("version", &m.version.lock().unwrap())
+            })
+            .collect();
+        JsonObject::new()
+            .bool("ok", true)
+            .str("op", "shard_info")
+            .str("scope", "cluster")
+            .u64("workers", members.len() as u64)
+            .objects("members", rows)
+            .finish()
+    }
+
+    /// Coordinator-level handshake answer.
+    pub fn hello_line(&self) -> String {
+        JsonObject::new()
+            .bool("ok", true)
+            .str("op", "hello")
+            .u64("proto", 1)
+            .str("scope", "cluster")
+            .u64("workers", self.members.lock().unwrap().len() as u64)
+            .finish()
+    }
+
+    /// Coordinator-level liveness answer.
+    pub fn pong_line(&self, seq: Option<u64>) -> String {
+        let obj = JsonObject::new().bool("ok", true).str("op", "pong");
+        let obj = match seq {
+            Some(seq) => obj.u64("seq", seq),
+            None => obj,
+        };
+        obj.u64(
+            "uptime_ms",
+            self.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        )
+        .finish()
+    }
+
+    /// Broadcast `shutdown` or `drain`, aggregate the final counters,
+    /// reap children, and stop the coordinator threads.
+    pub fn shutdown(&self, op: &'static str) -> String {
+        let line = self.broadcast_shutdown(op);
+        self.stop();
+        line
+    }
+
+    /// The collection half of [`Coordinator::shutdown`]: broadcast the
+    /// op and render the final aggregate, leaving the coordinator
+    /// running so the caller can still deliver the response line.
+    fn broadcast_shutdown(&self, op: &'static str) -> String {
+        let request = format!("{{\"op\":\"{op}\"}}");
+        let rows = self.collect_control(&request, op, Duration::from_secs(60));
+        self.render_aggregate(op, &rows)
+    }
+
+    /// The teardown half of [`Coordinator::shutdown`]: stop the event
+    /// loop and dispatcher, then reap spawned children.
+    fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        for member in self.sorted_members() {
+            if let Some(mut child) = member.child.lock().unwrap().take() {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    if matches!(child.try_wait(), Ok(Some(_))) {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        child.kill().ok();
+                        child.wait().ok();
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+            member.alive.store(false, Ordering::SeqCst);
+        }
+        self.wake();
+    }
+
+    fn render_aggregate(&self, op: &str, rows: &[(ShardId, Value)]) -> String {
+        let mut sums = [0u64; SUM_FIELDS.len()];
+        let mut shard_rows = Vec::new();
+        for (shard, value) in rows {
+            let mut row = JsonObject::new().u64("shard", *shard as u64);
+            if let Some(server) = value.get("server") {
+                if let Some(version) = server.get("version").and_then(Value::as_str) {
+                    row = row.str("version", version);
+                }
+                if let Some(pid) = server.get("pid").and_then(Value::as_u64) {
+                    row = row.u64("pid", pid);
+                }
+                if let Some(uptime) = server.get("uptime_ms").and_then(Value::as_u64) {
+                    row = row.u64("uptime_ms", uptime);
+                }
+            }
+            for (i, field) in SUM_FIELDS.iter().enumerate() {
+                if let Some(n) = value.get(field).and_then(Value::as_u64) {
+                    sums[i] += n;
+                    row = row.u64(field, n);
+                }
+            }
+            shard_rows.push(row);
+        }
+        let (workers, alive) = {
+            let members = self.members.lock().unwrap();
+            (
+                members.len(),
+                members
+                    .values()
+                    .filter(|m| m.alive.load(Ordering::SeqCst))
+                    .count(),
+            )
+        };
+        let coordinator = JsonObject::new()
+            .u64("workers", workers as u64)
+            .u64("alive", alive as u64)
+            .u64("routed", self.routed.get())
+            .u64("respawns", self.respawns.get())
+            .u64("resubmitted", self.resubmitted.get())
+            .u64("removed", self.removed.get());
+        let mut obj = JsonObject::new()
+            .bool("ok", true)
+            .str("op", op)
+            .str("scope", "cluster")
+            .object("coordinator", coordinator);
+        for (i, field) in SUM_FIELDS.iter().enumerate() {
+            obj = obj.u64(field, sums[i]);
+        }
+        obj.objects("shards", shard_rows).finish()
+    }
+
+    // ---- front-door line handling ---------------------------------
+
+    /// Handle one NDJSON line from a front-door connection. Returns
+    /// lines to write immediately; submissions and cluster-wide
+    /// control answers arrive later through the outbox.
+    pub fn handle_front_line(self: &Arc<Self>, conn: u64, line: &str) -> Vec<String> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Vec::new();
+        }
+        let owned;
+        let text = if trimmed.contains("\"op\"") {
+            trimmed
+        } else {
+            owned = format!("{{\"op\":\"submit\",{}", trimmed.trim_start_matches('{'));
+            &owned
+        };
+        match protocol::parse_request(text) {
+            Err(err) => vec![protocol::render_protocol_error(&err)],
+            Ok(Request::Submit(req)) => {
+                self.submit(*req, ReplyTo::Conn { conn });
+                Vec::new()
+            }
+            Ok(Request::Hello) => vec![self.hello_line()],
+            Ok(Request::Ping { seq }) => vec![self.pong_line(seq)],
+            Ok(Request::ShardInfo) => vec![self.shard_info_line()],
+            Ok(Request::Stats) => {
+                self.spawn_control(conn, ControlOp::Stats);
+                Vec::new()
+            }
+            Ok(Request::Metrics) => {
+                self.spawn_control(conn, ControlOp::Metrics);
+                Vec::new()
+            }
+            Ok(Request::Shutdown) => {
+                self.spawn_control(conn, ControlOp::Shutdown);
+                Vec::new()
+            }
+            Ok(Request::Drain) => {
+                self.spawn_control(conn, ControlOp::Drain);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Cluster-wide control ops block on worker round-trips, so they
+    /// run on a short-lived thread and answer through the outbox — the
+    /// event loop never stalls.
+    fn spawn_control(self: &Arc<Self>, conn: u64, op: ControlOp) {
+        let c = Arc::clone(self);
+        thread::spawn(move || {
+            let line = match op {
+                ControlOp::Stats => c.stats_line(),
+                ControlOp::Metrics => c.metrics_line(),
+                ControlOp::Shutdown => c.broadcast_shutdown("shutdown"),
+                ControlOp::Drain => c.broadcast_shutdown("drain"),
+            };
+            // The response must be queued before the loop is told to
+            // stop, or the final flush would find an empty outbox and
+            // drop the shutdown answer on the floor.
+            c.outbox.lock().unwrap().push((conn, line));
+            c.wake();
+            if matches!(op, ControlOp::Shutdown | ControlOp::Drain) {
+                c.stop();
+            }
+        });
+    }
+}
+
+/// Run a batch file through the cluster: submissions scatter to their
+/// owning shards concurrently and responses are written in submission
+/// order. Mirrors [`tsa_service::run_batch`], including bare-object
+/// submit injection and stopping at `shutdown`/`drain`.
+pub fn run_batch<W: Write>(
+    coordinator: &Arc<Coordinator>,
+    input: &str,
+    writer: &mut W,
+) -> io::Result<usize> {
+    let mut pending: Vec<(usize, Receiver<String>)> = Vec::new();
+    let mut responses: Vec<(usize, String)> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let owned;
+        let text = if line.contains("\"op\"") {
+            line
+        } else {
+            owned = format!(
+                "{{\"op\":\"submit\",{}",
+                line.trim_start().trim_start_matches('{')
+            );
+            &owned
+        };
+        match protocol::parse_request(text) {
+            Err(err) => responses.push((lineno, protocol::render_protocol_error(&err))),
+            Ok(Request::Stats) => responses.push((lineno, coordinator.stats_line())),
+            Ok(Request::Metrics) => responses.push((lineno, coordinator.metrics_line())),
+            Ok(Request::ShardInfo) => responses.push((lineno, coordinator.shard_info_line())),
+            Ok(Request::Hello) => responses.push((lineno, coordinator.hello_line())),
+            Ok(Request::Ping { seq }) => responses.push((lineno, coordinator.pong_line(seq))),
+            Ok(Request::Shutdown) | Ok(Request::Drain) => break,
+            Ok(Request::Submit(req)) => {
+                let (tx, rx) = sync_channel(1);
+                coordinator.submit(*req, ReplyTo::Blocking(tx));
+                pending.push((lineno, rx));
+            }
+        }
+    }
+    let submitted = pending.len();
+    for (lineno, rx) in pending {
+        let line = rx
+            .recv_timeout(Duration::from_secs(600))
+            .unwrap_or_else(|_| {
+                error_line("", "timeout", "no response from the cluster within 600s")
+            });
+        responses.push((lineno, line));
+    }
+    responses.sort_by_key(|(lineno, _)| *lineno);
+    for (_, line) in &responses {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+    Ok(submitted)
+}
+
+/// A coordinator-originated submit refusal, shaped like a worker one.
+fn error_line(id: &str, code: &str, message: &str) -> String {
+    let obj = JsonObject::new().bool("ok", false).str("op", "submit");
+    let obj = if id.is_empty() {
+        obj
+    } else {
+        obj.str("id", id)
+    };
+    obj.str("error", code).str("message", message).finish()
+}
+
+/// Swap the internal id in a raw response line back to the caller's
+/// original tag (or remove the field when the original was empty),
+/// leaving every other byte of the worker's answer untouched.
+fn restore_id(line: &str, internal: &str, original: &str) -> String {
+    let needle = format!("\"id\":\"{}\"", escape(internal));
+    if !original.is_empty() {
+        return line.replacen(&needle, &format!("\"id\":\"{}\"", escape(original)), 1);
+    }
+    match line.find(&needle) {
+        Some(at) => {
+            let mut out = String::with_capacity(line.len());
+            out.push_str(&line[..at]);
+            let mut rest = &line[at + needle.len()..];
+            if let Some(stripped) = rest.strip_prefix(',') {
+                rest = stripped;
+            } else if out.ends_with(',') {
+                out.pop();
+            }
+            out.push_str(rest);
+            out
+        }
+        None => line.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restore_id_round_trips_original_tags() {
+        let line = r#"{"ok":true,"op":"submit","id":"job-7#@42","score":-3}"#;
+        assert_eq!(
+            restore_id(line, "job-7#@42", "job-7"),
+            r#"{"ok":true,"op":"submit","id":"job-7","score":-3}"#
+        );
+    }
+
+    #[test]
+    fn restore_id_removes_the_field_for_anonymous_submissions() {
+        let line = r##"{"ok":true,"op":"submit","id":"#@0","score":-3}"##;
+        assert_eq!(
+            restore_id(line, "#@0", ""),
+            r#"{"ok":true,"op":"submit","score":-3}"#
+        );
+        let tail = r##"{"score":-3,"id":"#@0"}"##;
+        assert_eq!(restore_id(tail, "#@0", ""), r#"{"score":-3}"#);
+    }
+
+    #[test]
+    fn restore_id_preserves_fault_directives() {
+        let line = r#"{"ok":true,"op":"submit","id":"x#fault-delay=30#@9","score":1}"#;
+        assert_eq!(
+            restore_id(line, "x#fault-delay=30#@9", "x#fault-delay=30"),
+            r#"{"ok":true,"op":"submit","id":"x#fault-delay=30","score":1}"#
+        );
+    }
+
+    #[test]
+    fn error_lines_follow_the_submit_refusal_shape() {
+        assert_eq!(
+            error_line("j1", "unavailable", "no live workers"),
+            r#"{"ok":false,"op":"submit","id":"j1","error":"unavailable","message":"no live workers"}"#
+        );
+        assert!(!error_line("", "timeout", "m").contains("\"id\""));
+    }
+}

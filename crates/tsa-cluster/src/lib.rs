@@ -1,0 +1,36 @@
+//! # tsa-cluster — sharded multi-worker cluster mode
+//!
+//! Scales the single-process `tsa-service` engine across worker
+//! *processes*: a coordinator spawns (or attaches to) N workers, each
+//! running the existing NDJSON protocol over TCP with its own engine,
+//! cache, and journal, and routes every submission to the worker that
+//! owns its content fingerprint.
+//!
+//! The three load-bearing decisions, in order:
+//!
+//! 1. **Routing is cache affinity.** Jobs route by
+//!    [`tsa_service::content_uid`] — the tag-free fingerprint that also
+//!    keys each worker's result cache — under rendezvous hashing
+//!    ([`shard::ShardMap`]). Identical content always lands on the same
+//!    worker (second submission = cache hit), and removing a worker
+//!    re-routes only the jobs it owned.
+//! 2. **Workers are supervised, not trusted.** Spawned workers are
+//!    health-checked by process liveness and respawned onto the same
+//!    shard and state directory, so the journal recovery ladder replays
+//!    their completed work; in-flight jobs are resubmitted verbatim.
+//!    Attached workers get ping/pong probes, one reconnect attempt, and
+//!    then removal + deterministic rehash.
+//! 3. **The front door is an event loop.** One thread, one `poll(2)`,
+//!    nonblocking sockets ([`front::serve_front`]) — per-connection
+//!    cost is two buffers, so thousands of idle clients are fine.
+//!    Batches ([`coordinator::run_batch`]) scatter across shards and
+//!    gather in submission order.
+
+pub mod coordinator;
+pub mod front;
+pub mod link;
+pub mod shard;
+
+pub use coordinator::{run_batch, ClusterConfig, Coordinator, ReplyTo};
+pub use front::serve_front;
+pub use shard::{ShardId, ShardMap};

@@ -1,0 +1,155 @@
+//! Deterministic shard routing via highest-random-weight (rendezvous)
+//! hashing.
+//!
+//! Every `(uid, member)` pair gets a pseudo-random weight from the same
+//! FNV-1a construction the result cache and job journal use for content
+//! fingerprints; a uid routes to the member with the highest weight.
+//! Because each pair's weight is independent of the rest of the member
+//! set, removing a member can only re-route the uids that member owned
+//! — everything else keeps its argmax — which is exactly the membership
+//! semantics the cluster wants: a departed shard's jobs rehash over the
+//! survivors while warm caches elsewhere stay warm.
+
+/// Identifies one cluster worker (its shard number).
+pub type ShardId = u32;
+
+/// FNV-1a with a selectable offset basis (the construction shared with
+/// `tsa-service`'s cache fingerprints and job uids). The std hasher is
+/// randomly seeded per process, which would make routing disagree
+/// between coordinator restarts — this one is stable by construction.
+fn fnv1a(basis: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = basis;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The rendezvous weight of `member` for `uid`.
+fn weight(uid: &str, member: ShardId) -> u64 {
+    let seed = fnv1a(0xCBF2_9CE4_8422_2325, uid.bytes());
+    fnv1a(seed, member.to_le_bytes())
+}
+
+/// The live member set, routing uids by rendezvous hashing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardMap {
+    members: Vec<ShardId>,
+}
+
+impl ShardMap {
+    /// A map over the given members (duplicates collapse).
+    pub fn new(members: impl IntoIterator<Item = ShardId>) -> ShardMap {
+        let mut members: Vec<ShardId> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        ShardMap { members }
+    }
+
+    /// The members, ascending.
+    pub fn members(&self) -> &[ShardId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members remain.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when `member` is in the map.
+    pub fn contains(&self, member: ShardId) -> bool {
+        self.members.binary_search(&member).is_ok()
+    }
+
+    /// Add a member; returns false when it was already present.
+    pub fn add(&mut self, member: ShardId) -> bool {
+        match self.members.binary_search(&member) {
+            Ok(_) => false,
+            Err(at) => {
+                self.members.insert(at, member);
+                true
+            }
+        }
+    }
+
+    /// Remove a member; returns false when it was not present.
+    pub fn remove(&mut self, member: ShardId) -> bool {
+        match self.members.binary_search(&member) {
+            Ok(at) => {
+                self.members.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The member owning `uid`, or `None` when the map is empty. Ties
+    /// break on the higher member id, so the choice is deterministic.
+    pub fn route(&self, uid: &str) -> Option<ShardId> {
+        self.members
+            .iter()
+            .copied()
+            .max_by_key(|&m| (weight(uid, m), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_deterministically_and_covers_all_members() {
+        let map = ShardMap::new(0..4);
+        let mut hit = [false; 4];
+        for i in 0..256 {
+            let uid = format!("{i:032x}");
+            let owner = map.route(&uid).unwrap();
+            assert_eq!(map.route(&uid), Some(owner), "stable on repeat");
+            hit[owner as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 uids reach all 4 shards");
+    }
+
+    #[test]
+    fn membership_edits_keep_the_set_sorted_and_unique() {
+        let mut map = ShardMap::new([3, 1, 1, 2]);
+        assert_eq!(map.members(), &[1, 2, 3]);
+        assert!(map.add(0));
+        assert!(!map.add(2));
+        assert_eq!(map.members(), &[0, 1, 2, 3]);
+        assert!(map.remove(1));
+        assert!(!map.remove(1));
+        assert_eq!(map.members(), &[0, 2, 3]);
+        assert!(map.contains(0));
+        assert!(!map.contains(1));
+    }
+
+    #[test]
+    fn empty_map_routes_nowhere() {
+        let map = ShardMap::default();
+        assert!(map.is_empty());
+        assert_eq!(map.route("abc"), None);
+    }
+
+    #[test]
+    fn removal_only_moves_the_departed_members_uids() {
+        let mut map = ShardMap::new(0..5);
+        let uids: Vec<String> = (0..512).map(|i| format!("uid-{i}")).collect();
+        let before: Vec<ShardId> = uids.iter().map(|u| map.route(u).unwrap()).collect();
+        map.remove(2);
+        for (uid, owner) in uids.iter().zip(&before) {
+            let after = map.route(uid).unwrap();
+            if *owner != 2 {
+                assert_eq!(after, *owner, "{uid} moved although its owner survived");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the rendezvous shard map — the contract the
+//! whole cluster leans on: routing is a pure function of (uid,
+//! membership), and membership changes only move the jobs they must.
+
+use proptest::prelude::*;
+use tsa_cluster::{ShardId, ShardMap};
+
+/// A uid strategy shaped like the 32-hex-digit content fingerprints
+/// the coordinator actually routes, plus arbitrary short strings to
+/// keep the hash honest about non-hex input.
+fn uid_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(a, b)| format!("{a:016x}{b:016x}")),
+        prop::collection::vec(any::<u8>(), 0..24)
+            .prop_map(|bytes| bytes.iter().map(|b| (b'a' + b % 26) as char).collect()),
+    ]
+}
+
+fn members_strategy() -> impl Strategy<Value = Vec<ShardId>> {
+    prop::collection::vec(0u32..64, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same membership ⇒ same route, regardless of the order the
+    /// members were added in.
+    #[test]
+    fn routing_is_stable_under_same_membership(
+        members in members_strategy(),
+        uids in prop::collection::vec(uid_strategy(), 1..40),
+    ) {
+        let forward = ShardMap::new(members.clone());
+        let reversed = ShardMap::new(members.iter().rev().copied());
+        let mut incremental = ShardMap::default();
+        for &m in members.iter().rev() {
+            incremental.add(m);
+        }
+        for uid in &uids {
+            let owner = forward.route(uid);
+            prop_assert!(owner.is_some());
+            prop_assert_eq!(owner, forward.route(uid));
+            prop_assert_eq!(owner, reversed.route(uid));
+            prop_assert_eq!(owner, incremental.route(uid));
+        }
+    }
+
+    /// Removing one member moves exactly the uids it owned; every
+    /// other uid keeps its shard. (This is why a worker crash does not
+    /// cold the surviving workers' caches.)
+    #[test]
+    fn removal_only_rehashes_the_departed_shard(
+        members in prop::collection::vec(0u32..64, 2..12),
+        uids in prop::collection::vec(uid_strategy(), 1..60),
+        pick in any::<u64>(),
+    ) {
+        let mut map = ShardMap::new(members);
+        let departed = map.members()[(pick % map.len() as u64) as usize];
+        let before: Vec<(String, ShardId)> = uids
+            .iter()
+            .map(|u| (u.clone(), map.route(u).unwrap()))
+            .collect();
+        map.remove(departed);
+        for (uid, owner) in &before {
+            let after = map.route(uid).unwrap();
+            if *owner == departed {
+                prop_assert!(after != departed);
+                prop_assert!(map.contains(after));
+            } else {
+                prop_assert_eq!(after, *owner);
+            }
+        }
+    }
+
+    /// Adding a member only pulls uids onto the new member — nothing
+    /// shuffles between survivors.
+    #[test]
+    fn addition_only_moves_uids_to_the_new_member(
+        members in members_strategy(),
+        uids in prop::collection::vec(uid_strategy(), 1..60),
+        newcomer in 64u32..128,
+    ) {
+        let mut map = ShardMap::new(members);
+        let before: Vec<(String, ShardId)> = uids
+            .iter()
+            .map(|u| (u.clone(), map.route(u).unwrap()))
+            .collect();
+        map.add(newcomer);
+        for (uid, owner) in &before {
+            let after = map.route(uid).unwrap();
+            prop_assert!(after == *owner || after == newcomer);
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Merging several Prometheus-style text expositions into one.
+//!
+//! The cluster coordinator gathers one exposition per worker (plus its
+//! own registry) and needs a single scrape body that shows both the
+//! cluster totals and the per-shard breakdown. [`merge_expositions`]
+//! does that purely textually: for every metric family it emits the
+//! summed series first, then each source's series again with a
+//! `shard="<label>"` label injected, so dashboards can graph either.
+//!
+//! One subtlety is histogram tails: [`crate::Registry::expose`] elides
+//! trailing empty buckets, so two workers can disagree about which `le`
+//! bounds exist. A worker missing a bound *above* its largest observed
+//! value has, by cumulativity, all of its observations under that
+//! bound — its `+Inf` count is the correct contribution there.
+
+use std::collections::HashMap;
+
+/// One parsed sample line: `name` or `name{labels}`, and its value.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    /// Label pairs without the surrounding braces (`le="4"`); empty
+    /// when the series is unlabeled.
+    labels: String,
+    value: f64,
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    help: String,
+    typ: String,
+    /// Per input part: that part's samples of this family, in order.
+    per_part: Vec<(usize, Vec<Sample>)>,
+}
+
+/// Merge labeled expositions into one body: per family, summed series
+/// followed by per-source series labeled `shard="<label>"`.
+pub fn merge_expositions(parts: &[(String, String)]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut families: HashMap<String, Family> = HashMap::new();
+
+    for (part_idx, (_, text)) in parts.iter().enumerate() {
+        let mut current: Option<String> = None;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = match rest.split_once(' ') {
+                    Some((n, h)) => (n.to_string(), h.to_string()),
+                    None => (rest.to_string(), String::new()),
+                };
+                let fam = fetch(&mut families, &mut order, &name);
+                if fam.help.is_empty() {
+                    fam.help = help;
+                }
+                current = Some(name);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, typ) = match rest.split_once(' ') {
+                    Some((n, t)) => (n.to_string(), t.to_string()),
+                    None => (rest.to_string(), String::new()),
+                };
+                let fam = fetch(&mut families, &mut order, &name);
+                if fam.typ.is_empty() {
+                    fam.typ = typ;
+                }
+                current = Some(name);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let Some(sample) = parse_sample(line) else {
+                continue;
+            };
+            // A sample belongs to the family whose header preceded it;
+            // headerless strays get an implicit untyped family.
+            let family_name = match &current {
+                Some(f) if sample.name == *f || sample.name.starts_with(&format!("{f}_")) => {
+                    f.clone()
+                }
+                _ => sample.name.clone(),
+            };
+            let fam = fetch(&mut families, &mut order, &family_name);
+            match fam.per_part.last_mut() {
+                Some((idx, samples)) if *idx == part_idx => samples.push(sample),
+                _ => fam.per_part.push((part_idx, vec![sample])),
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for name in &order {
+        let fam = &families[name];
+        out.push_str(&format!("# HELP {name} {}\n", fam.help));
+        let typ = if fam.typ.is_empty() {
+            "untyped"
+        } else {
+            &fam.typ
+        };
+        out.push_str(&format!("# TYPE {name} {typ}\n"));
+        if typ == "histogram" {
+            emit_summed_histogram(&mut out, name, fam);
+        } else {
+            emit_summed_generic(&mut out, fam);
+        }
+        for (part_idx, samples) in &fam.per_part {
+            let shard = &parts[*part_idx].0;
+            for s in samples {
+                let labels = if s.labels.is_empty() {
+                    format!("shard=\"{shard}\"")
+                } else {
+                    format!("shard=\"{shard}\",{}", s.labels)
+                };
+                out.push_str(&format!("{}{{{labels}}} {}\n", s.name, fmt(s.value)));
+            }
+        }
+    }
+    out
+}
+
+fn fetch<'a>(
+    families: &'a mut HashMap<String, Family>,
+    order: &mut Vec<String>,
+    name: &str,
+) -> &'a mut Family {
+    if !families.contains_key(name) {
+        order.push(name.to_string());
+        families.insert(name.to_string(), Family::default());
+    }
+    families.get_mut(name).unwrap()
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    match series.split_once('{') {
+        Some((name, labels)) => Some(Sample {
+            name: name.to_string(),
+            labels: labels.strip_suffix('}')?.to_string(),
+            value,
+        }),
+        None => Some(Sample {
+            name: series.to_string(),
+            labels: String::new(),
+            value,
+        }),
+    }
+}
+
+/// Sum series across parts, keyed by `(name, labels)`, preserving
+/// first-seen order.
+fn emit_summed_generic(out: &mut String, fam: &Family) {
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut sums: HashMap<(String, String), f64> = HashMap::new();
+    for (_, samples) in &fam.per_part {
+        for s in samples {
+            let key = (s.name.clone(), s.labels.clone());
+            if let Some(total) = sums.get_mut(&key) {
+                *total += s.value;
+            } else {
+                sums.insert(key.clone(), s.value);
+                order.push(key);
+            }
+        }
+    }
+    for key in &order {
+        let series = if key.1.is_empty() {
+            key.0.clone()
+        } else {
+            format!("{}{{{}}}", key.0, key.1)
+        };
+        out.push_str(&format!("{series} {}\n", fmt(sums[key])));
+    }
+}
+
+/// Sum a histogram family across parts over the *union* of bucket
+/// bounds, crediting each part's `+Inf` count at any bound above its
+/// own elided tail.
+fn emit_summed_histogram(out: &mut String, name: &str, fam: &Family) {
+    let bucket_name = format!("{name}_bucket");
+    let sum_name = format!("{name}_sum");
+    let count_name = format!("{name}_count");
+
+    // Per part: finite (le, cumulative) pairs, +Inf count, _sum, _count.
+    struct PartHist {
+        finite: Vec<(u64, f64)>,
+        inf: f64,
+        sum: f64,
+        count: f64,
+    }
+    let mut hists: Vec<PartHist> = Vec::new();
+    let mut union: Vec<u64> = Vec::new();
+    for (_, samples) in &fam.per_part {
+        let mut h = PartHist {
+            finite: Vec::new(),
+            inf: 0.0,
+            sum: 0.0,
+            count: 0.0,
+        };
+        for s in samples {
+            if s.name == bucket_name {
+                match le_bound(&s.labels) {
+                    Some(LeBound::Finite(le)) => {
+                        if !union.contains(&le) {
+                            union.push(le);
+                        }
+                        h.finite.push((le, s.value));
+                    }
+                    Some(LeBound::Inf) => h.inf = s.value,
+                    None => {}
+                }
+            } else if s.name == sum_name {
+                h.sum = s.value;
+            } else if s.name == count_name {
+                h.count = s.value;
+            }
+        }
+        h.finite.sort_by_key(|&(le, _)| le);
+        hists.push(h);
+    }
+    union.sort_unstable();
+
+    // A part's cumulative count at a bound it never emitted: past its
+    // elided tail everything it observed is below the bound (+Inf
+    // count); between its recorded bounds the largest bound below
+    // carries the cumulative count; below its first bound it is 0.
+    fn cumulative_at(h: &PartHist, le: u64) -> f64 {
+        match h.finite.last() {
+            None => h.inf,
+            Some(&(max, _)) if le > max => h.inf,
+            _ => h
+                .finite
+                .iter()
+                .rev()
+                .find(|&&(b, _)| b <= le)
+                .map_or(0.0, |&(_, v)| v),
+        }
+    }
+    for &le in &union {
+        let total: f64 = hists.iter().map(|h| cumulative_at(h, le)).sum();
+        out.push_str(&format!("{bucket_name}{{le=\"{le}\"}} {}\n", fmt(total)));
+    }
+    let inf: f64 = hists.iter().map(|h| h.inf).sum();
+    let sum: f64 = hists.iter().map(|h| h.sum).sum();
+    let count: f64 = hists.iter().map(|h| h.count).sum();
+    out.push_str(&format!("{bucket_name}{{le=\"+Inf\"}} {}\n", fmt(inf)));
+    out.push_str(&format!("{sum_name} {}\n", fmt(sum)));
+    out.push_str(&format!("{count_name} {}\n", fmt(count)));
+}
+
+enum LeBound {
+    Finite(u64),
+    Inf,
+}
+
+fn le_bound(labels: &str) -> Option<LeBound> {
+    for pair in labels.split(',') {
+        if let Some(v) = pair.trim().strip_prefix("le=\"") {
+            let v = v.strip_suffix('"')?;
+            return if v == "+Inf" {
+                Some(LeBound::Inf)
+            } else {
+                v.parse().ok().map(LeBound::Finite)
+            };
+        }
+    }
+    None
+}
+
+/// Integral values print without a decimal point, matching
+/// [`crate::Registry::expose`] output for counters and gauges.
+fn fmt(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_counters_and_labels_per_shard_series() {
+        let a = "# HELP tsa_jobs_total Jobs.\n# TYPE tsa_jobs_total counter\ntsa_jobs_total 3\n";
+        let b = "# HELP tsa_jobs_total Jobs.\n# TYPE tsa_jobs_total counter\ntsa_jobs_total 4\n";
+        let merged = merge_expositions(&[("0".into(), a.into()), ("1".into(), b.into())]);
+        assert!(merged.contains("# HELP tsa_jobs_total Jobs.\n"));
+        assert!(
+            merged.contains("\ntsa_jobs_total 7\n") || merged.starts_with("tsa_jobs_total 7\n")
+        );
+        assert!(merged.contains("tsa_jobs_total{shard=\"0\"} 3\n"));
+        assert!(merged.contains("tsa_jobs_total{shard=\"1\"} 4\n"));
+    }
+
+    #[test]
+    fn histogram_merge_credits_elided_tails_at_higher_bounds() {
+        // Part 0 observed only small values: its exposition stops at
+        // le="2". Part 1 reaches le="8". At le="4" and le="8", part 0
+        // must contribute its full count (3), not zero.
+        let a = concat!(
+            "# HELP lat_us Latency.\n# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"1\"} 1\n",
+            "lat_us_bucket{le=\"2\"} 3\n",
+            "lat_us_bucket{le=\"+Inf\"} 3\n",
+            "lat_us_sum 5\nlat_us_count 3\n"
+        );
+        let b = concat!(
+            "# HELP lat_us Latency.\n# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"1\"} 0\n",
+            "lat_us_bucket{le=\"2\"} 1\n",
+            "lat_us_bucket{le=\"4\"} 1\n",
+            "lat_us_bucket{le=\"8\"} 2\n",
+            "lat_us_bucket{le=\"+Inf\"} 2\n",
+            "lat_us_sum 13\nlat_us_count 2\n"
+        );
+        let merged = merge_expositions(&[("0".into(), a.into()), ("1".into(), b.into())]);
+        assert!(merged.contains("lat_us_bucket{le=\"1\"} 1\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"2\"} 4\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"4\"} 4\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"8\"} 5\n"), "{merged}");
+        assert!(
+            merged.contains("lat_us_bucket{le=\"+Inf\"} 5\n"),
+            "{merged}"
+        );
+        assert!(merged.contains("lat_us_sum 18\n"));
+        assert!(merged.contains("lat_us_count 5\n"));
+        assert!(merged.contains("lat_us_bucket{shard=\"1\",le=\"8\"} 2\n"));
+    }
+
+    #[test]
+    fn families_unique_to_one_part_still_appear() {
+        let a = "# HELP only_a A.\n# TYPE only_a gauge\nonly_a 2\n";
+        let b = "# HELP only_b B.\n# TYPE only_b gauge\nonly_b -1\n";
+        let merged = merge_expositions(&[("x".into(), a.into()), ("y".into(), b.into())]);
+        assert!(merged.contains("only_a 2\n"));
+        assert!(merged.contains("only_a{shard=\"x\"} 2\n"));
+        assert!(merged.contains("only_b -1\n"));
+        assert!(merged.contains("only_b{shard=\"y\"} -1\n"));
+    }
+}

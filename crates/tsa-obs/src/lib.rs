@@ -21,6 +21,7 @@
 //! records are single relaxed atomic RMWs; an unsampled span costs two
 //! `Instant` reads plus one sink call at end.
 
+pub mod aggregate;
 pub mod metrics;
 pub mod trace;
 

@@ -96,20 +96,20 @@ fn fnv1a(basis: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
-fn gap_tuple(scoring: &Scoring) -> (u8, i32, i32) {
+pub(crate) fn gap_tuple(scoring: &Scoring) -> (u8, i32, i32) {
     match scoring.gap.linear_penalty() {
         Some(g) => (0, g, 0),
         None => (1, scoring.gap.open_penalty(), scoring.gap.extend_penalty()),
     }
 }
 
-/// Content identity of a journaled job: 32 hex chars from two
-/// independent FNV-1a digests over the full request.
-pub(crate) fn job_uid(req: &AlignRequest) -> String {
+fn uid_digest(req: &AlignRequest, include_tag: bool) -> String {
     let content = || {
         let mut bytes: Vec<u8> = Vec::new();
-        bytes.extend_from_slice(req.tag.as_bytes());
-        bytes.push(0xFF);
+        if include_tag {
+            bytes.extend_from_slice(req.tag.as_bytes());
+            bytes.push(0xFF);
+        }
         for seq in &req.seqs {
             bytes.extend_from_slice(seq.alphabet().name().as_bytes());
             bytes.push(0);
@@ -133,13 +133,28 @@ pub(crate) fn job_uid(req: &AlignRequest) -> String {
     )
 }
 
+/// Content identity of a journaled job: 32 hex chars from two
+/// independent FNV-1a digests over the full request, tag included.
+pub(crate) fn job_uid(req: &AlignRequest) -> String {
+    uid_digest(req, true)
+}
+
+/// Tag-independent content identity: the same digest with the client's
+/// id excluded, so resubmissions of the same sequences/scoring/algorithm
+/// under different ids collapse to one value. This is what the cluster
+/// coordinator routes by — it follows the result cache's content-only
+/// keying, so every repeat lands on the shard whose cache is warm.
+pub fn content_uid(req: &AlignRequest) -> String {
+    uid_digest(req, false)
+}
+
 /// The `Scoring::by_name` key this scoring's matrix journals under, if
 /// any. Preset display names differ in case from their lookup keys
 /// (`"BLOSUM62"` vs `"blosum62"`), so the key is the lowercased display
 /// name — accepted only when the tables actually agree, so a *custom*
 /// matrix that merely reuses a preset's name is not mis-recovered as
 /// the preset.
-fn preset_key(scoring: &Scoring) -> Option<String> {
+pub(crate) fn preset_key(scoring: &Scoring) -> Option<String> {
     let key = scoring.matrix.name().to_ascii_lowercase();
     let preset = Scoring::by_name(&key)?;
     let same_table = (0..=255u8)
@@ -544,6 +559,24 @@ mod tests {
         assert_ne!(job_uid(&r1), job_uid(&scored));
         assert_eq!(job_uid(&r1).len(), 32);
         assert!(job_uid(&r1).bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn content_uid_ignores_the_tag_but_tracks_content() {
+        let r1 = request("t", "GATTACA", false);
+        assert_eq!(
+            content_uid(&r1),
+            content_uid(&request("t2", "GATTACA", false))
+        );
+        assert_ne!(
+            content_uid(&r1),
+            content_uid(&request("t", "GATTACC", false))
+        );
+        assert_ne!(
+            content_uid(&r1),
+            content_uid(&request("t", "GATTACA", true))
+        );
+        assert_eq!(content_uid(&r1).len(), 32);
     }
 
     #[test]

@@ -210,6 +210,9 @@ pub struct Engine {
     durability: Option<Arc<Durability>>,
     next_id: AtomicU64,
     config: ServiceConfig,
+    /// When this engine was started; reported as `uptime_ms` in the
+    /// protocol's `server` stats section.
+    started: Instant,
 }
 
 impl Engine {
@@ -281,6 +284,7 @@ impl Engine {
             durability,
             next_id: AtomicU64::new(1),
             config,
+            started: Instant::now(),
         };
         if let Some(replay) = replay {
             engine.recover(replay);
@@ -712,6 +716,11 @@ impl Engine {
     /// The configuration the engine was started with.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// How long this engine has been running.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// False once [`Engine::shutdown`] has begun; new submissions are

@@ -399,6 +399,27 @@ impl JsonObject {
         self
     }
 
+    /// Add a nested-object field built from another writer.
+    pub fn object(mut self, key: &str, inner: JsonObject) -> Self {
+        self.key(key);
+        self.out.push_str(&inner.finish());
+        self
+    }
+
+    /// Add an array-of-objects field built from other writers.
+    pub fn objects(mut self, key: &str, items: Vec<JsonObject>) -> Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, item) in items.into_iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&item.finish());
+        }
+        self.out.push(']');
+        self
+    }
+
     /// Close the object and return the JSON text (one line, no newline).
     pub fn finish(mut self) -> String {
         self.out.push('}');
@@ -527,6 +548,32 @@ mod tests {
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("id").unwrap().as_str(), Some("a\"b"));
         assert_eq!(v.get("delta").unwrap().as_i64(), Some(-2));
+    }
+
+    #[test]
+    fn writer_nests_objects_and_object_arrays() {
+        let line = JsonObject::new()
+            .bool("ok", true)
+            .object(
+                "server",
+                JsonObject::new().str("version", "1.0").u64("pid", 7),
+            )
+            .objects(
+                "shards",
+                vec![
+                    JsonObject::new().u64("shard", 0),
+                    JsonObject::new().u64("shard", 1),
+                ],
+            )
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"ok":true,"server":{"version":"1.0","pid":7},"shards":[{"shard":0},{"shard":1}]}"#
+        );
+        let v = Value::parse(&line).unwrap();
+        let server = v.get("server").unwrap();
+        assert_eq!(server.get("pid").unwrap().as_u64(), Some(7));
+        assert!(matches!(v.get("shards"), Some(Value::Arr(a)) if a.len() == 2));
     }
 
     #[test]

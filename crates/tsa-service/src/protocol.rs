@@ -41,6 +41,17 @@ pub enum Request {
     /// kernels, flush the journal, report final counters. Identical to
     /// `Shutdown` when the engine has no state directory.
     Drain,
+    /// Report this server's shard identity (set when it runs as a
+    /// cluster worker) and state directory.
+    ShardInfo,
+    /// Cluster handshake: the coordinator verifies the worker answers
+    /// the NDJSON protocol and learns its shard/version/pid.
+    Hello,
+    /// Liveness probe; answered with `pong`, echoing `seq` when given.
+    Ping {
+        /// Client-chosen sequence number, echoed in the response.
+        seq: Option<u64>,
+    },
 }
 
 /// A request that could not be honored; `id` is echoed when the line
@@ -176,6 +187,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "drain" => Ok(Request::Drain),
+        "shard_info" => Ok(Request::ShardInfo),
+        "hello" => Ok(Request::Hello),
+        "ping" => Ok(Request::Ping {
+            seq: obj.get("seq").and_then(Value::as_u64),
+        }),
         "submit" => {
             let declared = parse_alphabet(&obj, id_ref)?;
             let a = parse_seq(&obj, "a", declared, id_ref)?;
@@ -337,6 +353,36 @@ pub fn render_protocol_error(err: &ProtocolError) -> String {
     }
 }
 
+/// Identity of the answering process, carried as a nested `server`
+/// section so multi-worker aggregators can label per-worker rows.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Crate version of the serving binary.
+    pub version: &'static str,
+    /// Operating-system process id.
+    pub pid: u32,
+    /// Milliseconds since the engine started.
+    pub uptime_ms: u64,
+}
+
+impl ServerInfo {
+    /// This process's identity with the given engine uptime.
+    pub fn current(uptime: Duration) -> ServerInfo {
+        ServerInfo {
+            version: env!("CARGO_PKG_VERSION"),
+            pid: std::process::id(),
+            uptime_ms: uptime.as_millis().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    fn fields(&self) -> JsonObject {
+        JsonObject::new()
+            .str("version", self.version)
+            .u64("pid", self.pid as u64)
+            .u64("uptime_ms", self.uptime_ms)
+    }
+}
+
 fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
     obj.u64("submitted", stats.submitted)
         .u64("completed", stats.completed)
@@ -366,9 +412,18 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64_array("kernel_buckets", &stats.kernel_buckets)
 }
 
-/// Render a `stats` response.
-pub fn render_stats(stats: &StatsSnapshot) -> String {
-    stats_fields(JsonObject::new().bool("ok", true).str("op", "stats"), stats).finish()
+/// Render a `stats` response. The counters stay top-level (older clients
+/// keep working); the answering process identifies itself in the nested
+/// `server` section.
+pub fn render_stats(stats: &StatsSnapshot, server: &ServerInfo) -> String {
+    stats_fields(
+        JsonObject::new()
+            .bool("ok", true)
+            .str("op", "stats")
+            .object("server", server.fields()),
+        stats,
+    )
+    .finish()
 }
 
 /// Render a `metrics` response: the Prometheus-style exposition text is
@@ -394,6 +449,105 @@ pub fn render_shutdown(stats: &StatsSnapshot) -> String {
 /// Render the final `drain` response.
 pub fn render_drain(stats: &StatsSnapshot) -> String {
     stats_fields(JsonObject::new().bool("ok", true).str("op", "drain"), stats).finish()
+}
+
+/// Render a `shard_info` response: the worker's cluster shard identity
+/// (absent when the server is not a cluster worker) and state directory.
+pub fn render_shard_info(
+    shard: Option<u64>,
+    state_dir: Option<&str>,
+    server: &ServerInfo,
+) -> String {
+    let obj = JsonObject::new().bool("ok", true).str("op", "shard_info");
+    let obj = match shard {
+        Some(shard) => obj.u64("shard", shard),
+        None => obj,
+    };
+    let obj = match state_dir {
+        Some(dir) => obj.str("state_dir", dir),
+        None => obj,
+    };
+    obj.object("server", server.fields()).finish()
+}
+
+/// Render a `hello` handshake response.
+pub fn render_hello(shard: Option<u64>, server: &ServerInfo) -> String {
+    let obj = JsonObject::new()
+        .bool("ok", true)
+        .str("op", "hello")
+        .u64("proto", 1);
+    let obj = match shard {
+        Some(shard) => obj.u64("shard", shard),
+        None => obj,
+    };
+    obj.object("server", server.fields()).finish()
+}
+
+/// Render a `pong` liveness answer, echoing the probe's `seq`.
+pub fn render_pong(seq: Option<u64>, server: &ServerInfo) -> String {
+    let obj = JsonObject::new().bool("ok", true).str("op", "pong");
+    let obj = match seq {
+        Some(seq) => obj.u64("seq", seq),
+        None => obj,
+    };
+    obj.u64("uptime_ms", server.uptime_ms).finish()
+}
+
+/// Re-render a parsed submit request as one wire line — the inverse of
+/// [`parse_request`], used by the cluster coordinator to forward (and
+/// resubmit) jobs to workers. Returns `None` when the request cannot
+/// round-trip losslessly: the scoring must be a named preset with its
+/// default gap model, which is the only kind the wire can express in
+/// the first place, so every wire-originated request re-renders.
+pub fn render_submit(req: &AlignRequest) -> Option<String> {
+    let scoring_key = crate::durability::preset_key(&req.scoring)?;
+    let preset = Scoring::by_name(&scoring_key)?;
+    if crate::durability::gap_tuple(&preset) != crate::durability::gap_tuple(&req.scoring) {
+        return None;
+    }
+    let mut obj = JsonObject::new().str("op", "submit");
+    if !req.tag.is_empty() {
+        obj = obj.str("id", &req.tag);
+    }
+    // Re-declare a uniform alphabet explicitly; mixed alphabets are
+    // omitted and re-inferred per sequence, which is deterministic.
+    let alphabet = req.seqs[0].alphabet();
+    if req.seqs.iter().all(|s| s.alphabet() == alphabet) {
+        obj = obj.str(
+            "alphabet",
+            match alphabet {
+                Alphabet::Dna => "dna",
+                Alphabet::Rna => "rna",
+                Alphabet::Protein => "protein",
+            },
+        );
+    }
+    obj = obj
+        .str("a", req.seqs[0].as_str())
+        .str("b", req.seqs[1].as_str())
+        .str("c", req.seqs[2].as_str())
+        .str("scoring", &scoring_key);
+    match req.algorithm {
+        Algorithm::Blocked { tile } => obj = obj.u64("tile", tile as u64),
+        Algorithm::BlockedDataflow { tile, threads } => {
+            obj = obj.u64("tile", tile as u64).u64("threads", threads as u64);
+        }
+        _ => {}
+    }
+    obj = obj.str("algorithm", req.algorithm.name());
+    if req.kernel != SimdKernel::Auto {
+        obj = obj.str("kernel", req.kernel.name());
+    }
+    if req.score_only {
+        obj = obj.bool("score_only", true);
+    }
+    if let Some(deadline) = req.deadline {
+        obj = obj.u64(
+            "deadline_ms",
+            deadline.as_millis().min(u64::MAX as u128) as u64,
+        );
+    }
+    Some(obj.finish())
 }
 
 #[cfg(test)]
@@ -726,8 +880,17 @@ mod tests {
             queue_wait_buckets: vec![3],
             kernel_buckets: vec![],
         };
-        let v = Value::parse(&render_stats(&stats)).unwrap();
+        let server = ServerInfo {
+            version: "9.9.9",
+            pid: 4242,
+            uptime_ms: 1500,
+        };
+        let v = Value::parse(&render_stats(&stats, &server)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("stats"));
+        let srv = v.get("server").expect("server section present");
+        assert_eq!(srv.get("version").unwrap().as_str(), Some("9.9.9"));
+        assert_eq!(srv.get("pid").unwrap().as_u64(), Some(4242));
+        assert_eq!(srv.get("uptime_ms").unwrap().as_u64(), Some(1500));
         assert_eq!(v.get("submitted").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("panics").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("respawns").unwrap().as_u64(), Some(1));
@@ -753,6 +916,106 @@ mod tests {
         let v = Value::parse(&render_drain(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("drain"));
         assert_eq!(v.get("resumed").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn parses_cluster_ops() {
+        assert!(matches!(
+            parse_request(r#"{"op":"shard_info"}"#).unwrap(),
+            Request::ShardInfo
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"hello"}"#).unwrap(),
+            Request::Hello
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"ping","seq":7}"#).unwrap(),
+            Request::Ping { seq: Some(7) }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping { seq: None }
+        ));
+    }
+
+    #[test]
+    fn renders_cluster_op_responses() {
+        let server = ServerInfo {
+            version: "1.2.3",
+            pid: 99,
+            uptime_ms: 12,
+        };
+        let v = Value::parse(&render_shard_info(Some(3), Some("/tmp/s3"), &server)).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("shard_info"));
+        assert_eq!(v.get("shard").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("state_dir").unwrap().as_str(), Some("/tmp/s3"));
+        assert_eq!(
+            v.get("server").unwrap().get("pid").unwrap().as_u64(),
+            Some(99)
+        );
+
+        let v = Value::parse(&render_shard_info(None, None, &server)).unwrap();
+        assert!(v.get("shard").is_none());
+        assert!(v.get("state_dir").is_none());
+
+        let v = Value::parse(&render_hello(Some(1), &server)).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("hello"));
+        assert_eq!(v.get("proto").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("shard").unwrap().as_u64(), Some(1));
+
+        let v = Value::parse(&render_pong(Some(41), &server)).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("pong"));
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(41));
+        assert_eq!(v.get("uptime_ms").unwrap().as_u64(), Some(12));
+    }
+
+    #[test]
+    fn submit_round_trips_through_render() {
+        let line = r#"{"op":"submit","id":"rt#1","alphabet":"dna","a":"ACGT","b":"ACG","c":"AGT",
+            "scoring":"unit","algorithm":"wavefront","kernel":"scalar",
+            "deadline_ms":250,"score_only":true}"#;
+        let Request::Submit(req) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        let rendered = render_submit(&req).expect("wire request re-renders");
+        let Request::Submit(again) = parse_request(&rendered).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(again.tag, req.tag);
+        assert_eq!(again.seqs[0].residues(), req.seqs[0].residues());
+        assert_eq!(again.algorithm, req.algorithm);
+        assert_eq!(again.kernel, req.kernel);
+        assert_eq!(again.score_only, req.score_only);
+        assert_eq!(again.deadline, req.deadline);
+        assert_eq!(
+            crate::durability::job_uid(&again),
+            crate::durability::job_uid(&req),
+            "identity is preserved across the round trip"
+        );
+
+        // Blocked algorithms carry their tile through the round trip.
+        let line = r#"{"op":"submit","id":"t","a":"ACGT","b":"ACG","c":"AGT",
+            "algorithm":"blocked","tile":8}"#;
+        let Request::Submit(req) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        let Request::Submit(again) = parse_request(&render_submit(&req).unwrap()).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(again.algorithm, Algorithm::Blocked { tile: 8 });
+
+        // A custom matrix cannot be expressed on the wire: no render.
+        let custom = AlignRequest::new(
+            "c",
+            Seq::dna("ACGT").unwrap(),
+            Seq::dna("ACG").unwrap(),
+            Seq::dna("AGT").unwrap(),
+        )
+        .scoring(Scoring::new(
+            tsa_scoring::SubstMatrix::match_mismatch("house-rules", 3, -3),
+            tsa_scoring::GapModel::linear(-4),
+        ));
+        assert!(render_submit(&custom).is_none());
     }
 
     #[test]

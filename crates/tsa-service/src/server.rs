@@ -21,6 +21,9 @@ pub struct ServeOptions {
     /// oversized line is consumed and answered with a positioned
     /// `invalid_argument` error; the session keeps running.
     pub max_line_bytes: usize,
+    /// This server's shard identity when it runs as a cluster worker;
+    /// reported by the `shard_info` and `hello` ops.
+    pub shard: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -28,8 +31,14 @@ impl Default for ServeOptions {
         ServeOptions {
             idle_timeout: Some(Duration::from_secs(300)),
             max_line_bytes: 1 << 20,
+            shard: None,
         }
     }
+}
+
+/// The answering engine's identity for `server` response sections.
+fn server_info(engine: &Engine) -> protocol::ServerInfo {
+    protocol::ServerInfo::current(engine.uptime())
 }
 
 fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> io::Result<()> {
@@ -158,9 +167,34 @@ where
         }
         match protocol::parse_request(line) {
             Err(err) => write_line(&writer, &protocol::render_protocol_error(&err))?,
-            Ok(Request::Stats) => write_line(&writer, &protocol::render_stats(&engine.stats()))?,
+            Ok(Request::Stats) => write_line(
+                &writer,
+                &protocol::render_stats(&engine.stats(), &server_info(engine)),
+            )?,
             Ok(Request::Metrics) => {
                 write_line(&writer, &protocol::render_metrics(&engine.metrics_text()))?
+            }
+            Ok(Request::ShardInfo) => {
+                let state_dir = engine
+                    .config()
+                    .state_dir
+                    .as_ref()
+                    .map(|p| p.display().to_string());
+                write_line(
+                    &writer,
+                    &protocol::render_shard_info(
+                        options.shard,
+                        state_dir.as_deref(),
+                        &server_info(engine),
+                    ),
+                )?
+            }
+            Ok(Request::Hello) => write_line(
+                &writer,
+                &protocol::render_hello(options.shard, &server_info(engine)),
+            )?,
+            Ok(Request::Ping { seq }) => {
+                write_line(&writer, &protocol::render_pong(seq, &server_info(engine)))?
             }
             Ok(Request::Shutdown) => {
                 let stats = engine.shutdown();
@@ -299,9 +333,29 @@ pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) ->
         };
         match protocol::parse_request(text) {
             Err(err) => immediate.push((lineno, protocol::render_protocol_error(&err))),
-            Ok(Request::Stats) => immediate.push((lineno, protocol::render_stats(&engine.stats()))),
+            Ok(Request::Stats) => immediate.push((
+                lineno,
+                protocol::render_stats(&engine.stats(), &server_info(engine)),
+            )),
             Ok(Request::Metrics) => {
                 immediate.push((lineno, protocol::render_metrics(&engine.metrics_text())))
+            }
+            Ok(Request::ShardInfo) => {
+                let state_dir = engine
+                    .config()
+                    .state_dir
+                    .as_ref()
+                    .map(|p| p.display().to_string());
+                immediate.push((
+                    lineno,
+                    protocol::render_shard_info(None, state_dir.as_deref(), &server_info(engine)),
+                ));
+            }
+            Ok(Request::Hello) => {
+                immediate.push((lineno, protocol::render_hello(None, &server_info(engine))))
+            }
+            Ok(Request::Ping { seq }) => {
+                immediate.push((lineno, protocol::render_pong(seq, &server_info(engine))))
             }
             Ok(Request::Shutdown) | Ok(Request::Drain) => break,
             Ok(Request::Submit(req)) => {
@@ -484,6 +538,47 @@ mod tests {
         serve_session_with(&engine, Cursor::new(input), Arc::clone(&writer), &options).unwrap();
         let out = lines(&writer.lock());
         assert_eq!(out[0].get("op").unwrap().as_str(), Some("stats"));
+    }
+
+    #[test]
+    fn session_stats_carry_server_identity_and_shard_info_answers() {
+        let engine = engine();
+        let options = ServeOptions {
+            shard: Some(2),
+            ..ServeOptions::default()
+        };
+        let input = concat!(
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shard_info"}"#,
+            "\n",
+            r#"{"op":"hello"}"#,
+            "\n",
+            r#"{"op":"ping","seq":5}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n"
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        serve_session_with(&engine, Cursor::new(input), Arc::clone(&writer), &options).unwrap();
+        let out = lines(&writer.lock());
+        assert_eq!(out.len(), 5);
+        let server = out[0].get("server").expect("stats carry a server section");
+        assert_eq!(
+            server.get("pid").unwrap().as_u64(),
+            Some(std::process::id() as u64)
+        );
+        assert_eq!(
+            server.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(server.get("uptime_ms").unwrap().as_u64().is_some());
+        assert_eq!(out[1].get("op").unwrap().as_str(), Some("shard_info"));
+        assert_eq!(out[1].get("shard").unwrap().as_u64(), Some(2));
+        assert_eq!(out[2].get("op").unwrap().as_str(), Some("hello"));
+        assert_eq!(out[2].get("shard").unwrap().as_u64(), Some(2));
+        assert_eq!(out[3].get("op").unwrap().as_str(), Some("pong"));
+        assert_eq!(out[3].get("seq").unwrap().as_u64(), Some(5));
     }
 
     #[test]
