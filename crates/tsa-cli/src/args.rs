@@ -65,6 +65,12 @@ SERVICE OPTIONS (tsa serve / tsa batch):
                          checkpoint snapshots; a restart with the same dir
                          recovers finished jobs and resumes in-flight ones
     --checkpoint-every <p>  DP planes between checkpoint snapshots        [32]
+    --client-rate <r>    per-client token-bucket rate (jobs/second) for
+                         requests carrying a `client` field; absent = no
+                         rate limiting
+    --max-in-flight-per-client <n>  per-client in-flight quota; beyond it
+                         submissions are rejected with `overloaded` and a
+                         retry_after_ms hint; absent = unbounded
     serve --listen       serve NDJSON over TCP instead of stdin/stdout
                          (the bound address is announced on stderr, so
                          port 0 picks a free port discoverably)
@@ -95,6 +101,19 @@ CLUSTER OPTIONS (tsa cluster):
     --deadline-ms <ms>   default per-job deadline, per worker
     --kernel <k>         default SIMD kernel, per worker                 [auto]
     --heartbeat-ms <ms>  supervisor health-check cadence                  [500]
+    --breaker-threshold <n>  consecutive shard failures that trip its
+                         circuit breaker; 0 disables breakers              [0]
+    --breaker-cooldown-ms <ms>  open-breaker cooldown before a half-open
+                         probe is admitted                              [1000]
+    --retry-budget <pct> cluster-wide retry budget: retries stay under
+                         pct% of routed traffic; 0 disables retries        [0]
+    --hedge-after-ms <ms>  race a pending job on its runner-up shard
+                         after this long; 0 disables hedging               [0]
+    --client-rate <r>    per-client rate limit, forwarded to every worker
+    --max-in-flight-per-client <n>  per-client in-flight quota, forwarded
+                         to every worker
+    --idle-timeout-ms <ms>  close front-door connections idle this long,
+                         0 disables                                   [300000]
 ";
 
 /// A parsed command line.
@@ -254,6 +273,10 @@ pub struct ServiceOpts {
     pub checkpoint_every: usize,
     /// Default SIMD kernel for jobs that do not pin one.
     pub kernel: String,
+    /// Per-client token-bucket rate (jobs/second); `None` = unlimited.
+    pub client_rate: Option<f64>,
+    /// Per-client in-flight quota; `None` = unbounded.
+    pub max_in_flight_per_client: Option<usize>,
 }
 
 impl Default for ServiceOpts {
@@ -268,6 +291,8 @@ impl Default for ServiceOpts {
             state_dir: None,
             checkpoint_every: 32,
             kernel: "auto".into(),
+            client_rate: None,
+            max_in_flight_per_client: None,
         }
     }
 }
@@ -303,6 +328,20 @@ impl ServiceOpts {
             "--kernel" => {
                 self.kernel = take_value(flag, it)?.clone();
                 parse_kernel(&self.kernel)?;
+            }
+            "--client-rate" => {
+                let rate: f64 = parse_num(flag, take_value(flag, it)?)?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--client-rate must be a positive number".into());
+                }
+                self.client_rate = Some(rate);
+            }
+            "--max-in-flight-per-client" => {
+                let n: usize = parse_num(flag, take_value(flag, it)?)?;
+                if n == 0 {
+                    return Err("--max-in-flight-per-client must be >= 1".into());
+                }
+                self.max_in_flight_per_client = Some(n);
             }
             _ => return Ok(false),
         }
@@ -365,6 +404,22 @@ pub struct ClusterArgs {
     pub kernel: Option<String>,
     /// Supervisor health-check cadence in milliseconds.
     pub heartbeat_ms: u64,
+    /// Consecutive shard failures that trip its breaker; 0 disables.
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown before a half-open probe, milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Cluster-wide retry budget as a percent of routed traffic; 0
+    /// disables retries.
+    pub retry_budget: f64,
+    /// Hedge a pending job on its runner-up shard after this many
+    /// milliseconds; 0 disables hedging.
+    pub hedge_after_ms: u64,
+    /// Per-client rate limit forwarded to every worker.
+    pub client_rate: Option<f64>,
+    /// Per-client in-flight quota forwarded to every worker.
+    pub max_in_flight_per_client: Option<usize>,
+    /// Close front-door connections idle this long (ms); 0 disables.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ClusterArgs {
@@ -381,6 +436,13 @@ impl Default for ClusterArgs {
             deadline_ms: None,
             kernel: None,
             heartbeat_ms: 500,
+            breaker_threshold: 0,
+            breaker_cooldown_ms: 1000,
+            retry_budget: 0.0,
+            hedge_after_ms: 0,
+            client_rate: None,
+            max_in_flight_per_client: None,
+            idle_timeout_ms: 300_000,
         }
     }
 }
@@ -662,6 +724,41 @@ fn parse_cluster(argv: &[String]) -> Result<ClusterArgs, String> {
                 if c.heartbeat_ms == 0 {
                     return Err("--heartbeat-ms must be >= 1".into());
                 }
+            }
+            "--breaker-threshold" => {
+                c.breaker_threshold = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--breaker-cooldown-ms" => {
+                c.breaker_cooldown_ms = parse_num(flag, take_value(flag, &mut it)?)?;
+                if c.breaker_cooldown_ms == 0 {
+                    return Err("--breaker-cooldown-ms must be >= 1".into());
+                }
+            }
+            "--retry-budget" => {
+                c.retry_budget = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !c.retry_budget.is_finite() || c.retry_budget < 0.0 {
+                    return Err("--retry-budget must be a non-negative percentage".into());
+                }
+            }
+            "--hedge-after-ms" => {
+                c.hedge_after_ms = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--client-rate" => {
+                let rate: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--client-rate must be a positive number".into());
+                }
+                c.client_rate = Some(rate);
+            }
+            "--max-in-flight-per-client" => {
+                let n: usize = parse_num(flag, take_value(flag, &mut it)?)?;
+                if n == 0 {
+                    return Err("--max-in-flight-per-client must be >= 1".into());
+                }
+                c.max_in_flight_per_client = Some(n);
+            }
+            "--idle-timeout-ms" => {
+                c.idle_timeout_ms = parse_num(flag, take_value(flag, &mut it)?)?;
             }
             other => return Err(format!("unknown cluster flag `{other}`")),
         }
@@ -1153,6 +1250,81 @@ mod tests {
         assert!(parse(&sv(&["cluster", "--heartbeat-ms", "0"])).is_err());
         assert!(parse(&sv(&["cluster", "--kernel", "mmx"])).is_err());
         assert!(parse(&sv(&["cluster", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn overload_flags_parse_and_default_off() {
+        // Everything defaults off/unbounded: an unconfigured cluster
+        // is byte-identical to the pre-robustness behavior.
+        let d = ClusterArgs::default();
+        assert_eq!(d.breaker_threshold, 0);
+        assert_eq!(d.retry_budget, 0.0);
+        assert_eq!(d.hedge_after_ms, 0);
+        assert_eq!(d.client_rate, None);
+        assert_eq!(d.max_in_flight_per_client, None);
+        assert_eq!(d.idle_timeout_ms, 300_000);
+        assert_eq!(ServiceOpts::default().client_rate, None);
+        assert_eq!(ServiceOpts::default().max_in_flight_per_client, None);
+
+        let Command::Cluster(c) = parse(&sv(&[
+            "cluster",
+            "--breaker-threshold",
+            "3",
+            "--breaker-cooldown-ms",
+            "200",
+            "--retry-budget",
+            "10",
+            "--hedge-after-ms",
+            "50",
+            "--client-rate",
+            "2.5",
+            "--max-in-flight-per-client",
+            "4",
+            "--idle-timeout-ms",
+            "0",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.breaker_threshold, 3);
+        assert_eq!(c.breaker_cooldown_ms, 200);
+        assert_eq!(c.retry_budget, 10.0);
+        assert_eq!(c.hedge_after_ms, 50);
+        assert_eq!(c.client_rate, Some(2.5));
+        assert_eq!(c.max_in_flight_per_client, Some(4));
+        assert_eq!(c.idle_timeout_ms, 0);
+
+        assert!(parse(&sv(&["cluster", "--retry-budget", "-1"])).is_err());
+        assert!(parse(&sv(&["cluster", "--client-rate", "0"])).is_err());
+        assert!(parse(&sv(&["cluster", "--max-in-flight-per-client", "0"])).is_err());
+        assert!(parse(&sv(&["cluster", "--breaker-cooldown-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn fairness_flags_parse_for_serve_and_batch() {
+        let Command::Serve(s) = parse(&sv(&[
+            "serve",
+            "--client-rate",
+            "5",
+            "--max-in-flight-per-client",
+            "2",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.service.client_rate, Some(5.0));
+        assert_eq!(s.service.max_in_flight_per_client, Some(2));
+
+        let Command::Batch(b) =
+            parse(&sv(&["batch", "--file", "x", "--client-rate", "0.5"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(b.service.client_rate, Some(0.5));
+
+        assert!(parse(&sv(&["serve", "--client-rate", "nan"])).is_err());
+        assert!(parse(&sv(&["serve", "--client-rate", "-2"])).is_err());
+        assert!(parse(&sv(&["serve", "--max-in-flight-per-client", "0"])).is_err());
     }
 
     #[test]

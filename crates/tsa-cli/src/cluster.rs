@@ -22,6 +22,12 @@ pub fn run_cluster(c: ClusterArgs) -> Result<(), String> {
         deadline_ms: c.deadline_ms,
         kernel: c.kernel.clone(),
         heartbeat: Duration::from_millis(c.heartbeat_ms),
+        breaker_threshold: c.breaker_threshold,
+        breaker_cooldown: Duration::from_millis(c.breaker_cooldown_ms),
+        retry_budget: c.retry_budget,
+        hedge_after_ms: c.hedge_after_ms,
+        client_rate: c.client_rate,
+        max_in_flight_per_client: c.max_in_flight_per_client,
     };
     let coordinator = Coordinator::start(config).map_err(|e| format!("cluster: {e}"))?;
     for (shard, addr, spawned) in coordinator.topology() {
@@ -35,7 +41,11 @@ pub fn run_cluster(c: ClusterArgs) -> Result<(), String> {
                 std::net::TcpListener::bind(addr).map_err(|e| format!("cluster: {addr}: {e}"))?;
             let bound = listener.local_addr().map_err(|e| format!("cluster: {e}"))?;
             eprintln!("# tsa cluster: listening on {bound}");
-            tsa_cluster::serve_front(&coordinator, listener)
+            let options = tsa_cluster::FrontOptions {
+                idle_timeout: (c.idle_timeout_ms > 0)
+                    .then(|| Duration::from_millis(c.idle_timeout_ms)),
+            };
+            tsa_cluster::serve_front_with(&coordinator, listener, options)
                 .map_err(|e| format!("cluster: {e}"))?;
         }
         None => {
@@ -52,10 +62,14 @@ pub fn run_cluster(c: ClusterArgs) -> Result<(), String> {
                 }
             };
             let mut stdout = std::io::stdout().lock();
-            tsa_cluster::run_batch(&coordinator, &input, &mut stdout)
+            let summary = tsa_cluster::run_batch(&coordinator, &input, &mut stdout)
                 .map_err(|e| format!("cluster: {e}"))?;
             let line = coordinator.shutdown("shutdown");
             eprintln!("{line}");
+            eprintln!("# batch outcomes: {summary}");
+            if !summary.all_ok() {
+                return Err(format!("batch had non-success outcomes: {summary}"));
+            }
         }
     }
     Ok(())

@@ -37,6 +37,8 @@ fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
         max_cells: opts.max_cells,
         state_dir: opts.state_dir.as_ref().map(std::path::PathBuf::from),
         checkpoint_every_planes: opts.checkpoint_every,
+        client_rate: opts.client_rate,
+        max_in_flight_per_client: opts.max_in_flight_per_client,
         tracer: None,
         // The parser validated the name; fall back defensively anyway.
         default_kernel: crate::args::parse_kernel(&opts.kernel)
@@ -133,14 +135,22 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
     let start = Instant::now();
     let (mut prev_hits, mut prev_recovered, mut prev_lookups) = (0u64, 0u64, 0u64);
     let mut first_round_ms = 0.0f64;
+    let mut total = tsa_service::BatchSummary::default();
     for round in 0..b.repeat {
         let round_start = Instant::now();
-        let submitted = if b.quiet {
+        let summary = if b.quiet {
             tsa_service::run_batch(&engine, &input, &mut std::io::sink())
         } else {
             tsa_service::run_batch(&engine, &input, &mut std::io::stdout().lock())
         }
         .map_err(|e| format!("batch: {e}"))?;
+        let submitted = summary.submitted;
+        total.submitted += summary.submitted;
+        total.done += summary.done;
+        total.deadline += summary.deadline;
+        total.cancelled += summary.cancelled;
+        total.failed += summary.failed;
+        total.errors += summary.errors;
         let round_ms = round_start.elapsed().as_secs_f64() * 1e3;
         if round == 0 {
             first_round_ms = round_ms;
@@ -187,6 +197,7 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
         "# batch finished in {:.3} ms",
         start.elapsed().as_secs_f64() * 1e3
     );
+    eprintln!("# batch outcomes: {total}");
     if b.repeat > 1 {
         let lookups = final_snap.cache_hits + final_snap.cache_misses;
         let ratio = if lookups == 0 {
@@ -203,6 +214,9 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
     if let Some(text) = exposition {
         eprintln!("# metrics exposition:");
         eprint!("{text}");
+    }
+    if !total.all_ok() {
+        return Err(format!("batch had non-success outcomes: {total}"));
     }
     Ok(())
 }

@@ -273,6 +273,275 @@ fn cluster_answers_topology_and_merged_metrics() {
     assert!(c.child.wait().unwrap().success());
 }
 
+/// Overload drill 1: a pinned fault trips both breakers, submissions
+/// are shed with a structured `unavailable` + `retry_after_ms` refusal
+/// (no hang), and after the fault clears the half-open probes restore
+/// service.
+#[test]
+#[cfg(all(unix, feature = "faults"))]
+fn breaker_opens_sheds_with_hint_and_half_open_restores() {
+    let mut c = Cluster::spawn(&[
+        "--workers",
+        "2",
+        "--breaker-threshold",
+        "2",
+        "--breaker-cooldown-ms",
+        "1500",
+    ]);
+
+    // Trip phase: a cancellable 300ms kernel sleep under a 30ms
+    // deadline is a deterministic `deadline` failure wherever it lands.
+    // Once one shard's breaker opens, failover concentrates the
+    // failures on the survivor, so both breakers open within a handful
+    // of jobs and the next submission is shed at the coordinator.
+    let mut shed = None;
+    for i in 0..40 {
+        let (a, b, c_seq) = content(i);
+        c.send(&format!(
+            r#"{{"op":"submit","id":"trip{i}#fault-delay=300","a":"{a}","b":"{b}","c":"{c_seq}","deadline_ms":30}}"#
+        ));
+        let v = c.next_matching(|v| id_of(v).is_some_and(|id| id.starts_with("trip")));
+        if v.get("error").and_then(Value::as_str) == Some("unavailable") {
+            shed = Some(v);
+            break;
+        }
+        assert_eq!(
+            v.get("status").and_then(Value::as_str),
+            Some("deadline"),
+            "trip jobs fail by deadline until the breakers open: {v:?}"
+        );
+    }
+    let shed = shed.expect("breakers never opened across 40 consecutive failures");
+    assert_eq!(shed.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(
+        field(&shed, "retry_after_ms") > 0,
+        "a shed refusal carries a concrete retry hint: {shed:?}"
+    );
+
+    let stats = c.poll_stats(|v| {
+        shard_rows(v)
+            .iter()
+            .all(|row| row.get("breaker").and_then(Value::as_str) == Some("open"))
+    });
+    let coord = stats.get("coordinator").expect("coordinator section");
+    assert!(
+        field(coord, "shed") >= 1,
+        "the coordinator counts shed submissions: {stats:?}"
+    );
+
+    // Recovery: past the cooldown each breaker admits one half-open
+    // probe; healthy (fault-free) jobs close whichever breaker they
+    // land on, and the cluster converges back to fully closed.
+    std::thread::sleep(Duration::from_millis(1600));
+    let mut all_closed = false;
+    for j in 0..60 {
+        let (a, b, c_seq) = content(100 + j);
+        c.send(&format!(
+            r#"{{"op":"submit","id":"heal{j}","a":"{a}","b":"{b}","c":"{c_seq}"}}"#
+        ));
+        let v = c.next_matching(|v| id_of(v).is_some_and(|id| id.starts_with("heal")));
+        if v.get("status").and_then(Value::as_str) != Some("done") {
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        c.send(r#"{"op":"stats"}"#);
+        let stats = c.next_matching(|v| v.get("op").and_then(Value::as_str) == Some("stats"));
+        if shard_rows(&stats)
+            .iter()
+            .all(|row| row.get("breaker").and_then(Value::as_str) == Some("closed"))
+        {
+            all_closed = true;
+            break;
+        }
+    }
+    assert!(
+        all_closed,
+        "both breakers must close after the fault clears"
+    );
+
+    c.send(r#"{"op":"shutdown"}"#);
+    c.next_matching(|v| v.get("op").and_then(Value::as_str) == Some("shutdown"));
+    assert!(c.child.wait().unwrap().success());
+}
+
+/// Overload drill 2: the cluster-wide retry budget. With `retries ≤
+/// 5% × routed`, a lone flapping job fails through to the client, but
+/// once enough clean traffic has been routed the same flap is absorbed
+/// by exactly one budgeted retry (same internal id, so the worker's
+/// per-tag flap counter sees attempt two).
+#[test]
+#[cfg(all(unix, feature = "faults"))]
+fn retry_budget_gates_flap_retries() {
+    let mut c = Cluster::spawn(&["--workers", "2", "--retry-budget", "5"]);
+
+    // One routed job = budget for zero retries.
+    let (a, b, c_seq) = content(200);
+    c.send(&format!(
+        r#"{{"op":"submit","id":"f1#fault-flap=1","a":"{a}","b":"{b}","c":"{c_seq}"}}"#
+    ));
+    let v = c.next_matching(|v| id_of(v).is_some_and(|id| id.starts_with("f1")));
+    assert_eq!(
+        v.get("status").and_then(Value::as_str),
+        Some("failed"),
+        "under an exhausted budget the failure passes through: {v:?}"
+    );
+    let stats = c.poll_stats(|v| field(v, "queue_depth") == 0);
+    assert_eq!(
+        field(stats.get("coordinator").unwrap(), "retries"),
+        0,
+        "no budget, no retry: {stats:?}"
+    );
+
+    // 25 clean jobs raise `routed` far enough that 5% covers one retry.
+    for i in 0..25 {
+        c.send(&submit_line(&format!("pad{i}"), 210 + i));
+    }
+    for _ in 0..25 {
+        let v = c.next_matching(|v| id_of(v).is_some_and(|id| id.starts_with("pad")));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("done"));
+    }
+
+    let (a, b, c_seq) = content(300);
+    c.send(&format!(
+        r#"{{"op":"submit","id":"f2#fault-flap=1","a":"{a}","b":"{b}","c":"{c_seq}"}}"#
+    ));
+    let v = c.next_matching(|v| id_of(v).is_some_and(|id| id.starts_with("f2")));
+    assert_eq!(
+        v.get("status").and_then(Value::as_str),
+        Some("done"),
+        "a budgeted retry absorbs the flap before the client sees it: {v:?}"
+    );
+
+    let stats = c.poll_stats(|v| v.get("coordinator").map(|co| field(co, "retries")) == Some(1));
+    let coord = stats.get("coordinator").unwrap();
+    assert!(
+        (field(coord, "retries") as f64) * 100.0 <= 5.0 * field(coord, "routed") as f64,
+        "retries never exceed the budget: {stats:?}"
+    );
+    assert_accounting(&stats);
+
+    c.send(r#"{"op":"shutdown"}"#);
+    c.next_matching(|v| v.get("op").and_then(Value::as_str) == Some("shutdown"));
+    assert!(c.child.wait().unwrap().success());
+}
+
+/// Overload drill 3: fairness. A heavy client floods past its
+/// per-client in-flight quota and is shed with structured `overloaded`
+/// refusals, while a light client's sequential jobs all complete, and
+/// the per-client lane counters surface in cluster `stats`.
+#[test]
+#[cfg(all(unix, feature = "faults"))]
+fn fair_quotas_protect_the_light_client_under_a_flood() {
+    let mut c = Cluster::spawn(&[
+        "--workers",
+        "2",
+        "--worker-threads",
+        "2",
+        "--max-in-flight-per-client",
+        "1",
+    ]);
+
+    // The flood: 12 long jobs in one burst. Quota 1 admits roughly one
+    // per shard; the rest are rejected immediately.
+    for i in 0..12 {
+        let (a, b, c_seq) = content(400 + i);
+        c.send(&format!(
+            r#"{{"op":"submit","id":"hog{i}#fault-delay=400","client":"hog","a":"{a}","b":"{b}","c":"{c_seq}"}}"#
+        ));
+    }
+    // The light client, well-behaved in its own lane: one job at a
+    // time, each must complete while the flood is being shed around it.
+    let mut hog_responses = Vec::new();
+    for i in 0..3 {
+        let (a, b, c_seq) = content(450 + i);
+        c.send(&format!(
+            r#"{{"op":"submit","id":"lite{i}","client":"tenant","a":"{a}","b":"{b}","c":"{c_seq}"}}"#
+        ));
+        loop {
+            let v = c.next();
+            let is_lite = id_of(&v).is_some_and(|id| id.starts_with("lite"));
+            let is_hog = id_of(&v).is_some_and(|id| id.starts_with("hog"));
+            if is_lite {
+                assert_eq!(
+                    v.get("status").and_then(Value::as_str),
+                    Some("done"),
+                    "the light client must never be shed by the flood: {v:?}"
+                );
+                break;
+            } else if is_hog {
+                hog_responses.push(v);
+            }
+        }
+    }
+    while hog_responses.len() < 12 {
+        let v = c.next_matching(|v| id_of(v).is_some_and(|id| id.starts_with("hog")));
+        hog_responses.push(v);
+    }
+    let (mut done, mut rejected) = (0, 0);
+    for v in &hog_responses {
+        match v.get("error").and_then(Value::as_str) {
+            Some("overloaded") => {
+                assert_eq!(v.get("scope").and_then(Value::as_str), Some("in-flight"));
+                assert!(
+                    field(v, "retry_after_ms") > 0,
+                    "quota refusals carry a retry hint: {v:?}"
+                );
+                rejected += 1;
+            }
+            None => {
+                assert_eq!(
+                    v.get("status").and_then(Value::as_str),
+                    Some("done"),
+                    "{v:?}"
+                );
+                done += 1;
+            }
+            other => panic!("unexpected hog outcome {other:?}: {v:?}"),
+        }
+    }
+    assert!(rejected >= 1, "the flood must overrun the in-flight quota");
+    assert_eq!(done + rejected, 12);
+
+    // Quiescent accounting plus per-client lane counters cluster-wide.
+    let stats = c.poll_stats(|v| {
+        field(v, "queue_depth") == 0
+            && field(v, "submitted")
+                == field(v, "completed")
+                    + field(v, "rejected")
+                    + field(v, "cancelled")
+                    + field(v, "failed")
+    });
+    assert_accounting(&stats);
+    let (mut hog_rejected, mut tenant_rejected, mut tenant_submitted) = (0, 0, 0);
+    for row in shard_rows(&stats) {
+        if let Some(Value::Arr(lanes)) = row.get("lanes") {
+            for lane in lanes {
+                match lane.get("client").and_then(Value::as_str) {
+                    Some("hog") => hog_rejected += field(lane, "rejected"),
+                    Some("tenant") => {
+                        tenant_rejected += field(lane, "rejected");
+                        tenant_submitted += field(lane, "submitted");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(
+        hog_rejected >= 1,
+        "the heavy lane records its shed traffic: {stats:?}"
+    );
+    assert_eq!(tenant_rejected, 0, "the light lane is untouched: {stats:?}");
+    assert!(
+        tenant_submitted >= 3,
+        "lane counters are visible cluster-wide: {stats:?}"
+    );
+
+    c.send(r#"{"op":"shutdown"}"#);
+    c.next_matching(|v| v.get("op").and_then(Value::as_str) == Some("shutdown"));
+    assert!(c.child.wait().unwrap().success());
+}
+
 /// Satellite drill: SIGKILL one worker mid-batch under `--state-dir`.
 /// The coordinator must respawn it onto the same shard, the journal
 /// recovery ladder must serve recomputation-free hits for work the dead

@@ -1,0 +1,286 @@
+//! Per-shard circuit breaker: stop routing to a worker that keeps
+//! failing, probe it after a cooldown, restore it on the first success.
+//!
+//! The state machine is the classic three-state breaker:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ───────────────────────────────────▶ Open
+//!     ▲                                          │ cooldown elapses
+//!     │ probe succeeds                           ▼
+//!     └────────────────────────────────────── HalfOpen
+//!                 probe fails ──▶ back to Open (cooldown restarts)
+//! ```
+//!
+//! Failures are *consecutive*: any success resets the count, so a
+//! worker that fails occasionally under load never trips. What counts
+//! as a failure is the caller's policy (the coordinator counts worker
+//! disconnects, `failed` outcomes, and `deadline` outcomes); the
+//! breaker only does the bookkeeping. While `HalfOpen`, exactly one
+//! probe submission is admitted; everything else is denied until the
+//! probe resolves. A threshold of 0 disables the breaker entirely —
+//! every admission is allowed and nothing is recorded.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic flows.
+    Closed,
+    /// Tripped: traffic is denied until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe is in flight (or admissible).
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name, used in stats rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Numeric encoding for gauges: 0 closed, 1 open, 2 half-open.
+    pub fn code(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// An admission decision for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Route normally.
+    Allow,
+    /// Route as the half-open probe (the next outcome decides the
+    /// breaker's fate; only one of these is granted per cooldown).
+    Probe,
+    /// Do not route here; retry after the hinted wait.
+    Deny {
+        /// Time until the next half-open probe window.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    /// Consecutive failures while `Closed`.
+    failures: u32,
+    /// When the breaker tripped (drives the cooldown clock).
+    opened_at: Option<Instant>,
+    /// A half-open probe has been admitted and has not resolved.
+    probe_in_flight: bool,
+}
+
+/// One shard's breaker. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct Breaker {
+    /// Consecutive failures that trip the breaker; 0 disables it.
+    threshold: u32,
+    /// How long `Open` lasts before a half-open probe is admitted.
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// probing after `cooldown`. `threshold == 0` disables it.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold,
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    /// True when the breaker can trip (threshold > 0).
+    pub fn enabled(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Current state (advancing `Open → HalfOpen` if the cooldown has
+    /// elapsed, so gauges never show a stale `Open`).
+    pub fn state(&self) -> BreakerState {
+        let mut inner = self.inner.lock().unwrap();
+        self.advance(&mut inner);
+        inner.state
+    }
+
+    /// Decide whether one submission may route to this shard.
+    pub fn admit(&self) -> Admission {
+        if !self.enabled() {
+            return Admission::Allow;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        self.advance(&mut inner);
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => Admission::Deny {
+                retry_after: self.retry_after(&inner),
+            },
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    Admission::Deny {
+                        retry_after: self.retry_after(&inner),
+                    }
+                } else {
+                    inner.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record a successful outcome from this shard.
+    pub fn record_success(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        self.advance(&mut inner);
+        inner.failures = 0;
+        inner.probe_in_flight = false;
+        inner.opened_at = None;
+        inner.state = BreakerState::Closed;
+    }
+
+    /// Record a failed outcome (or disconnect) from this shard.
+    pub fn record_failure(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        self.advance(&mut inner);
+        match inner.state {
+            BreakerState::Closed => {
+                inner.failures += 1;
+                if inner.failures >= self.threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                }
+            }
+            // A failure while half-open (the probe, or a straggler from
+            // before the trip) re-opens and restarts the cooldown.
+            BreakerState::HalfOpen | BreakerState::Open => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probe_in_flight = false;
+            }
+        }
+    }
+
+    fn advance(&self, inner: &mut Inner) {
+        if inner.state == BreakerState::Open {
+            let elapsed = inner.opened_at.map(|at| at.elapsed()).unwrap_or_default();
+            if elapsed >= self.cooldown {
+                inner.state = BreakerState::HalfOpen;
+                inner.probe_in_flight = false;
+            }
+        }
+    }
+
+    /// Time until the next probe window, for `retry_after_ms` hints.
+    fn retry_after(&self, inner: &Inner) -> Duration {
+        match (inner.state, inner.opened_at) {
+            (BreakerState::Open, Some(at)) => self.cooldown.saturating_sub(at.elapsed()),
+            // Half-open with a probe outstanding: the caller should
+            // retry shortly; the probe resolves at worker latency, not
+            // at cooldown scale.
+            _ => Duration::from_millis(50),
+        }
+        .max(Duration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_breaker_always_allows() {
+        let b = Breaker::new(0, Duration::from_millis(10));
+        assert!(!b.enabled());
+        for _ in 0..100 {
+            b.record_failure();
+        }
+        assert_eq!(b.admit(), Admission::Allow);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = Breaker::new(3, Duration::from_secs(60));
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // resets the streak
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        match b.admit() {
+            Admission::Deny { retry_after } => assert!(retry_after <= Duration::from_secs(60)),
+            other => panic!("expected deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_and_success_closes() {
+        let b = Breaker::new(1, Duration::from_millis(0));
+        b.record_failure();
+        // Zero cooldown: immediately half-open.
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Admission::Probe);
+        assert!(matches!(b.admit(), Admission::Deny { .. }), "single probe");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let b = Breaker::new(1, Duration::from_millis(0));
+        b.record_failure();
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_failure();
+        // Cooldown is zero so it is immediately probe-able again, but
+        // it did pass through Open (probe flag cleared each time).
+        assert_eq!(b.admit(), Admission::Probe);
+    }
+
+    #[test]
+    fn open_breaker_stays_open_through_the_cooldown() {
+        let b = Breaker::new(1, Duration::from_secs(3600));
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        let Admission::Deny { retry_after } = b.admit() else {
+            panic!("expected deny");
+        };
+        assert!(retry_after > Duration::from_secs(3000));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn state_codes_and_names_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::Open.code(), 1);
+        assert_eq!(BreakerState::HalfOpen.code(), 2);
+        assert_eq!(BreakerState::Closed.name(), "closed");
+        assert_eq!(BreakerState::Open.name(), "open");
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
+    }
+}

@@ -37,13 +37,14 @@ use std::time::{Duration, Instant};
 use tsa_obs::{Counter, Gauge, Registry};
 use tsa_service::json::{escape, JsonObject, Value};
 use tsa_service::protocol::{self, Request};
-use tsa_service::{content_uid, AlignRequest};
+use tsa_service::{content_uid, AlignRequest, BatchSummary};
 
+use crate::breaker::{Admission, Breaker};
 use crate::link::{spawn_worker, Event, SpawnOptions, WorkerLink};
 use crate::shard::{ShardId, ShardMap};
 
 /// Counter fields summed across workers in aggregated `stats`.
-const SUM_FIELDS: [&str; 16] = [
+const SUM_FIELDS: [&str; 17] = [
     "submitted",
     "completed",
     "rejected",
@@ -59,8 +60,15 @@ const SUM_FIELDS: [&str; 16] = [
     "restarted",
     "cache_recovered_hits",
     "simd_jobs",
+    "shed",
     "queue_depth",
 ];
+
+/// Retries per job are bounded regardless of the cluster-wide budget.
+const RETRY_MAX_ATTEMPTS: u32 = 3;
+
+/// Base unit of the jittered exponential retry backoff.
+const RETRY_BACKOFF_MS: u64 = 50;
 
 /// How a cluster is shaped and how its workers are provisioned.
 #[derive(Debug, Clone)]
@@ -87,6 +95,26 @@ pub struct ClusterConfig {
     pub kernel: Option<String>,
     /// Supervisor health-check cadence.
     pub heartbeat: Duration,
+    /// Consecutive per-shard failures (disconnects, `failed` or
+    /// `deadline` outcomes) that trip that shard's circuit breaker.
+    /// 0 disables breakers (the default): routing behaves as before.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before a single half-open
+    /// probe is admitted.
+    pub breaker_cooldown: Duration,
+    /// Cluster-wide retry budget as a percentage of routed traffic:
+    /// retries are only granted while `retries ≤ budget% × routed`, so
+    /// a retry storm cannot amplify an outage. 0 disables retries (the
+    /// default).
+    pub retry_budget: f64,
+    /// Hedge a still-pending submission to the runner-up shard after
+    /// this many milliseconds; first response wins. 0 disables hedging
+    /// (the default).
+    pub hedge_after_ms: u64,
+    /// Per-client token-bucket rate forwarded to every worker.
+    pub client_rate: Option<f64>,
+    /// Per-client in-flight quota forwarded to every worker.
+    pub max_in_flight_per_client: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -102,6 +130,12 @@ impl Default for ClusterConfig {
             deadline_ms: None,
             kernel: None,
             heartbeat: Duration::from_millis(500),
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(1000),
+            retry_budget: 0.0,
+            hedge_after_ms: 0,
+            client_rate: None,
+            max_in_flight_per_client: None,
         }
     }
 }
@@ -130,6 +164,10 @@ struct Member {
     generation: AtomicU64,
     pid: AtomicU64,
     version: Mutex<String>,
+    /// This shard's circuit breaker. Survives respawns on purpose: a
+    /// worker that crash-loops keeps its failure history until a real
+    /// success closes the breaker.
+    breaker: Breaker,
 }
 
 /// Where a submission's response goes once a worker answers.
@@ -146,13 +184,30 @@ pub enum ReplyTo {
 
 /// An in-flight submission, keyed by its internal id. Kept until a
 /// response arrives so a respawned or re-routed worker can be fed the
-/// exact original wire line again.
+/// job again — re-rendered with whatever remains of the client's
+/// deadline, so workers never burn cycles on jobs the coordinator has
+/// already abandoned.
 struct Pending {
     shard: ShardId,
     uid: String,
     original_id: String,
+    /// The wire line last sent (internal id, current deadline).
     line: String,
-    reply: ReplyTo,
+    /// Where the winning response goes. `None` on a hedge twin — the
+    /// primary entry owns the reply until the twin wins it.
+    reply: Option<ReplyTo>,
+    /// The parsed request (tag = internal id, deadline = the client's
+    /// original), kept so retries and resubmits can re-render `line`
+    /// with the remaining deadline.
+    req: AlignRequest,
+    /// When the job was first accepted; the deadline clock.
+    submitted_at: Instant,
+    /// Send attempts so far (1 = the initial submit).
+    attempts: u32,
+    /// Internal id of this job's hedge twin, when one was launched.
+    hedge: Option<String>,
+    /// Set on a hedge twin: the internal id of its primary.
+    hedge_of: Option<String>,
 }
 
 enum ControlOp {
@@ -181,11 +236,16 @@ pub struct Coordinator {
     events_tx: Sender<Event>,
     outbox: Mutex<Vec<(u64, String)>>,
     waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    /// Retries waiting out their backoff: `(fire_at, internal_id)`.
+    retry_queue: Mutex<Vec<(Instant, String)>>,
     registry: Registry,
     routed: Counter,
     respawns: Counter,
     resubmitted: Counter,
     removed: Counter,
+    retries: Counter,
+    hedges: Counter,
+    shed: Counter,
     members_gauge: Gauge,
 }
 
@@ -223,6 +283,19 @@ impl Coordinator {
                 "tsa_cluster_members_removed_total",
                 "Members removed from the shard map.",
             ),
+            retries: registry.counter(
+                "tsa_cluster_retries_total",
+                "Jobs re-sent after a retryable failure, within the retry budget.",
+            ),
+            hedges: registry.counter(
+                "tsa_cluster_hedges_total",
+                "Hedge twins raced against a slow shard.",
+            ),
+            shed: registry.counter(
+                "tsa_cluster_shed_total",
+                "Submissions refused because every eligible shard's breaker was open.",
+            ),
+            retry_queue: Mutex::new(Vec::new()),
             members_gauge: registry.gauge("tsa_cluster_members", "Current cluster member count."),
             registry,
             config,
@@ -247,6 +320,15 @@ impl Coordinator {
             thread::Builder::new()
                 .name("tsa-cluster-supervise".into())
                 .spawn(move || c.supervise())?;
+        }
+
+        // Retry backoffs and hedge launches need a fine-grained clock;
+        // the thread only exists when either feature is on.
+        if coordinator.config.retry_budget > 0.0 || coordinator.config.hedge_after_ms > 0 {
+            let c = Arc::clone(&coordinator);
+            thread::Builder::new()
+                .name("tsa-cluster-robust".into())
+                .spawn(move || c.robustness_loop())?;
         }
         Ok(coordinator)
     }
@@ -320,7 +402,13 @@ impl Coordinator {
             cache: self.config.cache,
             deadline_ms: self.config.deadline_ms,
             kernel: self.config.kernel.clone(),
+            client_rate: self.config.client_rate,
+            max_in_flight_per_client: self.config.max_in_flight_per_client,
         }
+    }
+
+    fn new_breaker(&self) -> Breaker {
+        Breaker::new(self.config.breaker_threshold, self.config.breaker_cooldown)
     }
 
     fn sorted_members(&self) -> Vec<Arc<Member>> {
@@ -344,6 +432,7 @@ impl Coordinator {
             alive: AtomicBool::new(true),
             generation: AtomicU64::new(generation),
             version: Mutex::new(String::new()),
+            breaker: self.new_breaker(),
         });
         self.insert_member(member);
         Ok(())
@@ -365,6 +454,7 @@ impl Coordinator {
             alive: AtomicBool::new(true),
             generation: AtomicU64::new(generation),
             version: Mutex::new(String::new()),
+            breaker: self.new_breaker(),
         });
         self.insert_member(member);
         Ok(())
@@ -444,13 +534,7 @@ impl Coordinator {
         match event {
             Event::Response { shard, line, value } => {
                 if let Some(id) = value.get("id").and_then(Value::as_str) {
-                    // A data-plane response. Unknown ids are duplicates
-                    // from a pre-respawn delivery — drop them.
-                    let entry = self.pending.lock().unwrap().remove(id);
-                    if let Some(p) = entry {
-                        let restored = restore_id(&line, id, &p.original_id);
-                        self.deliver(p.reply, restored);
-                    }
+                    self.on_data_response(shard, id, &line, &value);
                 } else {
                     let op = value.get("op").and_then(Value::as_str).unwrap_or("");
                     let waiter = {
@@ -473,9 +557,328 @@ impl Coordinator {
                         m.alive.store(false, Ordering::SeqCst);
                         *m.link.lock().unwrap() = None;
                         self.lanes.lock().unwrap().remove(&shard);
+                        // One disconnect = one breaker failure; a
+                        // single crash never trips a threshold > 1.
+                        m.breaker.record_failure();
                     }
                 }
             }
+        }
+    }
+
+    /// Resolve one data-plane response: feed the shard's breaker,
+    /// settle hedge races, grant in-budget retries, deliver the rest.
+    /// Unknown ids are duplicates from a pre-respawn delivery or a
+    /// settled hedge race — dropped.
+    fn on_data_response(&self, shard: ShardId, id: &str, line: &str, value: &Value) {
+        let ok = value.get("ok").and_then(Value::as_bool).unwrap_or(false);
+        let status = value.get("status").and_then(Value::as_str);
+        // Breaker bookkeeping sees every response from the shard, even
+        // ones whose pending entry is already gone: completed work is
+        // evidence of health, failed work of sickness.
+        if let Some(member) = self.members.lock().unwrap().get(&shard) {
+            match status {
+                Some("done") => member.breaker.record_success(),
+                Some("deadline") | Some("failed") => member.breaker.record_failure(),
+                _ => {}
+            }
+        }
+        let Some(mut p) = self.pending.lock().unwrap().remove(id) else {
+            return;
+        };
+        if let Some(primary_id) = &p.hedge_of {
+            // A hedge twin answered. A winning (ok) answer takes the
+            // primary's reply; a losing one just leaves the race.
+            let primary = if ok {
+                self.pending.lock().unwrap().remove(primary_id)
+            } else {
+                if let Some(pr) = self.pending.lock().unwrap().get_mut(primary_id) {
+                    pr.hedge = None;
+                }
+                None
+            };
+            if let Some(pr) = primary {
+                if let Some(reply) = pr.reply {
+                    self.deliver(reply, restore_id(line, id, &p.original_id));
+                }
+            }
+            return;
+        }
+        if let Some(hedge_id) = p.hedge.take() {
+            if ok {
+                self.pending.lock().unwrap().remove(&hedge_id);
+            } else {
+                // The primary failed while its hedge still races: the
+                // hedge inherits the reply and becomes the job.
+                let mut pending = self.pending.lock().unwrap();
+                if let Some(h) = pending.get_mut(&hedge_id) {
+                    h.hedge_of = None;
+                    h.reply = p.reply;
+                    return;
+                }
+            }
+        }
+        // A retryable failure: `failed` outcomes (crashed kernels) and
+        // worker backpressure. Deadline expiry is not retried — the
+        // client's budget is gone either way.
+        let retryable = matches!(status, Some("failed"))
+            || matches!(
+                value.get("error").and_then(Value::as_str),
+                Some("overloaded")
+            );
+        if !ok && retryable && p.attempts < RETRY_MAX_ATTEMPTS && self.retry_allowed() {
+            let hint = value
+                .get("retry_after_ms")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            self.schedule_retry(id.to_string(), p, hint);
+            return;
+        }
+        if let Some(reply) = p.reply {
+            self.deliver(reply, restore_id(line, id, &p.original_id));
+        }
+    }
+
+    /// True while the cluster-wide retry budget has room for one more
+    /// retry: `retries ≤ budget% × routed`.
+    fn retry_allowed(&self) -> bool {
+        let pct = self.config.retry_budget;
+        pct > 0.0 && ((self.retries.get() + 1) as f64) * 100.0 <= pct * (self.routed.get() as f64)
+    }
+
+    /// Park `p` back in the pending table and queue its re-send after a
+    /// jittered exponential backoff, floored at the worker's
+    /// `retry_after_ms` hint when one was given.
+    fn schedule_retry(&self, id: String, mut p: Pending, hint_ms: u64) {
+        let backoff = RETRY_BACKOFF_MS << (p.attempts.min(10) - 1);
+        // Deterministic per-id jitter decorrelates simultaneous
+        // failures without a global RNG.
+        let jitter = fnv1a_str(&id) % (RETRY_BACKOFF_MS / 2).max(1);
+        let wait = Duration::from_millis((backoff + jitter).max(hint_ms));
+        p.attempts += 1;
+        let fire_at = Instant::now() + wait;
+        self.pending.lock().unwrap().insert(id.clone(), p);
+        self.retry_queue.lock().unwrap().push((fire_at, id));
+        self.retries.inc();
+    }
+
+    /// The fine-grained clock behind retries and hedging. Exists only
+    /// when either feature is enabled; 10ms resolution.
+    fn robustness_loop(&self) {
+        while self.is_running() {
+            thread::sleep(Duration::from_millis(10));
+            self.fire_due_retries();
+            if self.config.hedge_after_ms > 0 {
+                self.launch_hedges();
+            }
+        }
+    }
+
+    fn fire_due_retries(&self) {
+        let now = Instant::now();
+        let due: Vec<String> = {
+            let mut queue = self.retry_queue.lock().unwrap();
+            let mut due = Vec::new();
+            queue.retain(|(at, id)| {
+                let fire = *at <= now;
+                if fire {
+                    due.push(id.clone());
+                }
+                !fire
+            });
+            due
+        };
+        for id in due {
+            self.fire_retry(&id);
+        }
+    }
+
+    /// Re-send one parked retry. The line re-renders with whatever
+    /// remains of the client's deadline and re-routes through the
+    /// breakers, so a retry never lands on a shard that tripped while
+    /// it waited (and an expired job never reaches a worker at all).
+    fn fire_retry(&self, id: &str) {
+        let Some(mut p) = self.pending.lock().unwrap().remove(id) else {
+            return; // answered by a duplicate delivery while parked
+        };
+        let Some(line) = line_for(&mut p) else {
+            if let Some(reply) = p.reply {
+                self.deliver(
+                    reply,
+                    error_line(
+                        &p.original_id,
+                        "deadline",
+                        "deadline exceeded while waiting to retry",
+                    ),
+                );
+            }
+            return;
+        };
+        match self.route_admitted(&p.uid) {
+            Ok(shard) => {
+                p.shard = shard;
+                self.pending.lock().unwrap().insert(id.to_string(), p);
+                self.send_to(shard, &line);
+            }
+            Err(None) => {
+                if let Some(reply) = p.reply {
+                    self.deliver(
+                        reply,
+                        error_line(&p.original_id, "unavailable", "no live workers"),
+                    );
+                }
+            }
+            Err(Some(retry_after)) => {
+                self.shed.inc();
+                if let Some(reply) = p.reply {
+                    self.deliver(
+                        reply,
+                        error_line_with_retry(
+                            &p.original_id,
+                            "unavailable",
+                            "every eligible shard's circuit breaker is open",
+                            retry_after,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Race a second copy of every submission pending longer than the
+    /// hedge threshold on its runner-up shard; first response wins.
+    fn launch_hedges(&self) {
+        let threshold = Duration::from_millis(self.config.hedge_after_ms);
+        let now = Instant::now();
+        let candidates: Vec<String> = self
+            .pending
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, p)| {
+                p.hedge.is_none()
+                    && p.hedge_of.is_none()
+                    && now.duration_since(p.submitted_at) >= threshold
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in candidates {
+            self.launch_hedge(&id);
+        }
+    }
+
+    fn launch_hedge(&self, id: &str) {
+        let snapshot = {
+            let pending = self.pending.lock().unwrap();
+            pending.get(id).map(|p| {
+                (
+                    p.uid.clone(),
+                    p.shard,
+                    p.req.clone(),
+                    p.original_id.clone(),
+                    p.submitted_at,
+                )
+            })
+        };
+        let Some((uid, primary_shard, req, original_id, submitted_at)) = snapshot else {
+            return;
+        };
+        let Some(alt) = self
+            .map
+            .lock()
+            .unwrap()
+            .route_excluding(&uid, primary_shard)
+        else {
+            return;
+        };
+        // The hedge respects the alternate's breaker like any submit.
+        let admitted = match self.members.lock().unwrap().get(&alt) {
+            Some(m) => !matches!(m.breaker.admit(), Admission::Deny { .. }),
+            None => false,
+        };
+        if !admitted {
+            return;
+        }
+        let twin_id = format!("{original_id}#@{}", self.seq.fetch_add(1, Ordering::SeqCst));
+        let mut twin_req = req;
+        twin_req.tag = twin_id.clone();
+        let Some(base_line) = protocol::render_submit(&twin_req) else {
+            return;
+        };
+        let mut twin = Pending {
+            shard: alt,
+            uid,
+            original_id,
+            line: base_line,
+            reply: None,
+            req: twin_req,
+            submitted_at,
+            attempts: 1,
+            hedge: None,
+            hedge_of: Some(id.to_string()),
+        };
+        let Some(line) = line_for(&mut twin) else {
+            return; // deadline already spent; nothing to race
+        };
+        {
+            // Link under one lock so a response racing this launch
+            // either sees both entries or neither.
+            let mut pending = self.pending.lock().unwrap();
+            let Some(p) = pending.get_mut(id) else { return };
+            if p.hedge.is_some() {
+                return;
+            }
+            p.hedge = Some(twin_id.clone());
+            pending.insert(twin_id, twin);
+        }
+        self.hedges.inc();
+        self.send_to(alt, &line);
+    }
+
+    /// Pick the shard for `uid`, honoring breakers: the rendezvous
+    /// owner when its breaker admits, otherwise the runner-up,
+    /// otherwise a shed decision carrying the shortest wait until a
+    /// probe window. `Err(None)` means the map is empty.
+    fn route_admitted(&self, uid: &str) -> Result<ShardId, Option<Duration>> {
+        let map = self.map.lock().unwrap().clone();
+        let Some(owner) = map.route(uid) else {
+            return Err(None);
+        };
+        match self.admit(owner) {
+            Admission::Allow | Admission::Probe => Ok(owner),
+            Admission::Deny { retry_after } => match map.route_excluding(uid, owner) {
+                None => Err(Some(retry_after)),
+                Some(alt) => match self.admit(alt) {
+                    Admission::Allow | Admission::Probe => Ok(alt),
+                    Admission::Deny {
+                        retry_after: alt_after,
+                    } => Err(Some(retry_after.min(alt_after))),
+                },
+            },
+        }
+    }
+
+    fn admit(&self, shard: ShardId) -> Admission {
+        match self.members.lock().unwrap().get(&shard) {
+            Some(m) => m.breaker.admit(),
+            None => Admission::Deny {
+                retry_after: Duration::from_millis(1),
+            },
+        }
+    }
+
+    /// Best-effort send of one line to a shard's link. A failure
+    /// surfaces as a disconnect; the supervisor resubmits after the
+    /// respawn.
+    fn send_to(&self, shard: ShardId, line: &str) {
+        let link = self
+            .members
+            .lock()
+            .unwrap()
+            .get(&shard)
+            .and_then(|m| m.link.lock().unwrap().clone());
+        if let Some(link) = link {
+            link.send(line).ok();
         }
     }
 
@@ -514,12 +917,25 @@ impl Coordinator {
                 return;
             }
         };
-        let shard = match self.map.lock().unwrap().route(&uid) {
-            Some(shard) => shard,
-            None => {
+        let shard = match self.route_admitted(&uid) {
+            Ok(shard) => shard,
+            Err(None) => {
                 self.deliver(
                     reply,
                     error_line(&original, "unavailable", "no live workers"),
+                );
+                return;
+            }
+            Err(Some(retry_after)) => {
+                self.shed.inc();
+                self.deliver(
+                    reply,
+                    error_line_with_retry(
+                        &original,
+                        "unavailable",
+                        "every eligible shard's circuit breaker is open",
+                        retry_after,
+                    ),
                 );
                 return;
             }
@@ -531,21 +947,18 @@ impl Coordinator {
                 uid,
                 original_id: original,
                 line: line.clone(),
-                reply,
+                reply: Some(reply),
+                req,
+                submitted_at: Instant::now(),
+                attempts: 1,
+                hedge: None,
+                hedge_of: None,
             },
         );
         self.routed.inc();
-        let link = self
-            .members
-            .lock()
-            .unwrap()
-            .get(&shard)
-            .and_then(|m| m.link.lock().unwrap().clone());
-        if let Some(link) = link {
-            // A send failure surfaces as a disconnect; the supervisor
-            // will resubmit this pending entry after the respawn.
-            link.send(&line).ok();
-        }
+        // A send failure surfaces as a disconnect; the supervisor will
+        // resubmit this pending entry after the respawn.
+        self.send_to(shard, &line);
     }
 
     // ---- supervision ----------------------------------------------
@@ -664,17 +1077,20 @@ impl Coordinator {
 
     /// Re-send every pending submission owned by `shard` to its (new)
     /// link. Workers that journal will answer replays of already
-    /// completed content from their recovered cache.
+    /// completed content from their recovered cache. Each line is
+    /// re-rendered with the deadline that remains; jobs whose deadline
+    /// expired during the outage are answered here instead of burning
+    /// a fresh worker's cycles.
     fn resubmit_shard(&self, shard: ShardId) {
-        let lines: Vec<String> = self
+        let ids: Vec<String> = self
             .pending
             .lock()
             .unwrap()
-            .values()
-            .filter(|p| p.shard == shard)
-            .map(|p| p.line.clone())
+            .iter()
+            .filter(|(_, p)| p.shard == shard)
+            .map(|(id, _)| id.clone())
             .collect();
-        if lines.is_empty() {
+        if ids.is_empty() {
             return;
         }
         let link = self
@@ -683,9 +1099,33 @@ impl Coordinator {
             .unwrap()
             .get(&shard)
             .and_then(|m| m.link.lock().unwrap().clone());
-        if let Some(link) = link {
-            for line in &lines {
-                if link.send(line).is_err() {
+        for id in ids {
+            let line = {
+                let mut pending = self.pending.lock().unwrap();
+                let Some(p) = pending.get_mut(&id) else {
+                    continue;
+                };
+                match line_for(p) {
+                    Some(line) => line,
+                    None => {
+                        let p = pending.remove(&id).expect("entry present under lock");
+                        drop(pending);
+                        if let Some(reply) = p.reply {
+                            self.deliver(
+                                reply,
+                                error_line(
+                                    &p.original_id,
+                                    "deadline",
+                                    "deadline exceeded during a worker respawn",
+                                ),
+                            );
+                        }
+                        continue;
+                    }
+                }
+            };
+            if let Some(link) = &link {
+                if link.send(&line).is_err() {
                     break;
                 }
                 self.resubmitted.inc();
@@ -719,26 +1159,34 @@ impl Coordinator {
         for id in orphans {
             let entry = self.pending.lock().unwrap().remove(&id);
             let Some(mut p) = entry else { continue };
+            let Some(line) = line_for(&mut p) else {
+                if let Some(reply) = p.reply {
+                    self.deliver(
+                        reply,
+                        error_line(
+                            &p.original_id,
+                            "deadline",
+                            "deadline exceeded while rehashing a departed shard",
+                        ),
+                    );
+                }
+                continue;
+            };
             match self.map.lock().unwrap().route(&p.uid) {
                 Some(new_shard) => {
                     p.shard = new_shard;
-                    let line = p.line.clone();
                     self.pending.lock().unwrap().insert(id, p);
-                    let link = self
-                        .members
-                        .lock()
-                        .unwrap()
-                        .get(&new_shard)
-                        .and_then(|m| m.link.lock().unwrap().clone());
-                    if let Some(link) = link {
-                        link.send(&line).ok();
-                        self.resubmitted.inc();
+                    self.send_to(new_shard, &line);
+                    self.resubmitted.inc();
+                }
+                None => {
+                    if let Some(reply) = p.reply {
+                        self.deliver(
+                            reply,
+                            error_line(&p.original_id, "unavailable", "all workers departed"),
+                        )
                     }
                 }
-                None => self.deliver(
-                    p.reply,
-                    error_line(&p.original_id, "unavailable", "all workers departed"),
-                ),
             }
         }
     }
@@ -815,7 +1263,26 @@ impl Coordinator {
                     .map(|body| (shard.to_string(), body.to_string()))
             })
             .collect();
-        parts.push(("coordinator".to_string(), self.registry.expose()));
+        let mut own = self.registry.expose();
+        if self.config.breaker_threshold > 0 {
+            // Hand-rolled gauge family: one series per member. The
+            // label is `member=` (not `shard=`) because the merge
+            // below tags every coordinator series with
+            // `shard="coordinator"` and a label may not repeat.
+            own.push_str(concat!(
+                "# HELP tsa_cluster_breaker_state Circuit breaker state per member ",
+                "(0 closed, 1 open, 2 half-open).\n",
+                "# TYPE tsa_cluster_breaker_state gauge\n",
+            ));
+            for m in self.sorted_members() {
+                own.push_str(&format!(
+                    "tsa_cluster_breaker_state{{member=\"{}\"}} {}\n",
+                    m.shard,
+                    m.breaker.state().code()
+                ));
+            }
+        }
+        parts.push(("coordinator".to_string(), own));
         protocol::render_metrics(&tsa_obs::aggregate::merge_expositions(&parts))
     }
 
@@ -931,6 +1398,33 @@ impl Coordinator {
                     row = row.u64(field, n);
                 }
             }
+            // Per-client lane counters pass through verbatim so a
+            // cluster `stats` shows each worker's fairness picture.
+            if let Some(Value::Arr(items)) = value.get("lanes") {
+                let lane_rows: Vec<JsonObject> = items
+                    .iter()
+                    .filter_map(|lane| {
+                        let client = lane.get("client")?.as_str()?;
+                        let field = |key| lane.get(key).and_then(Value::as_u64).unwrap_or_default();
+                        Some(
+                            JsonObject::new()
+                                .str("client", client)
+                                .u64("queued", field("queued"))
+                                .u64("in_flight", field("in_flight"))
+                                .u64("submitted", field("submitted"))
+                                .u64("rejected", field("rejected")),
+                        )
+                    })
+                    .collect();
+                if !lane_rows.is_empty() {
+                    row = row.objects("lanes", lane_rows);
+                }
+            }
+            if self.config.breaker_threshold > 0 {
+                if let Some(m) = self.members.lock().unwrap().get(shard) {
+                    row = row.str("breaker", m.breaker.state().name());
+                }
+            }
             shard_rows.push(row);
         }
         let (workers, alive) = {
@@ -949,7 +1443,10 @@ impl Coordinator {
             .u64("routed", self.routed.get())
             .u64("respawns", self.respawns.get())
             .u64("resubmitted", self.resubmitted.get())
-            .u64("removed", self.removed.get());
+            .u64("removed", self.removed.get())
+            .u64("retries", self.retries.get())
+            .u64("hedges", self.hedges.get())
+            .u64("shed", self.shed.get());
         let mut obj = JsonObject::new()
             .bool("ok", true)
             .str("op", op)
@@ -1033,12 +1530,15 @@ impl Coordinator {
 /// Run a batch file through the cluster: submissions scatter to their
 /// owning shards concurrently and responses are written in submission
 /// order. Mirrors [`tsa_service::run_batch`], including bare-object
-/// submit injection and stopping at `shutdown`/`drain`.
+/// submit injection, stopping at `shutdown`/`drain`, and the returned
+/// per-outcome tally (`tsa batch` exits nonzero unless
+/// [`BatchSummary::all_ok`]).
 pub fn run_batch<W: Write>(
     coordinator: &Arc<Coordinator>,
     input: &str,
     writer: &mut W,
-) -> io::Result<usize> {
+) -> io::Result<BatchSummary> {
+    let mut summary = BatchSummary::default();
     let mut pending: Vec<(usize, Receiver<String>)> = Vec::new();
     let mut responses: Vec<(usize, String)> = Vec::new();
     for (lineno, line) in input.lines().enumerate() {
@@ -1056,7 +1556,10 @@ pub fn run_batch<W: Write>(
             &owned
         };
         match protocol::parse_request(text) {
-            Err(err) => responses.push((lineno, protocol::render_protocol_error(&err))),
+            Err(err) => {
+                summary.errors += 1;
+                responses.push((lineno, protocol::render_protocol_error(&err)));
+            }
             Ok(Request::Stats) => responses.push((lineno, coordinator.stats_line())),
             Ok(Request::Metrics) => responses.push((lineno, coordinator.metrics_line())),
             Ok(Request::ShardInfo) => responses.push((lineno, coordinator.shard_info_line())),
@@ -1070,13 +1573,14 @@ pub fn run_batch<W: Write>(
             }
         }
     }
-    let submitted = pending.len();
+    summary.submitted = pending.len();
     for (lineno, rx) in pending {
         let line = rx
             .recv_timeout(Duration::from_secs(600))
             .unwrap_or_else(|_| {
                 error_line("", "timeout", "no response from the cluster within 600s")
             });
+        tally(&mut summary, &line);
         responses.push((lineno, line));
     }
     responses.sort_by_key(|(lineno, _)| *lineno);
@@ -1084,7 +1588,28 @@ pub fn run_batch<W: Write>(
         writeln!(writer, "{line}")?;
     }
     writer.flush()?;
-    Ok(submitted)
+    Ok(summary)
+}
+
+/// Bucket one submission response into the batch tally: terminal
+/// outcomes count under their `status`, refusals (coordinator sheds,
+/// worker `overloaded`, unserializable requests) under `errors`.
+fn tally(summary: &mut BatchSummary, line: &str) {
+    let Ok(value) = Value::parse(line) else {
+        summary.errors += 1;
+        return;
+    };
+    match value.get("status").and_then(Value::as_str) {
+        Some("done") => summary.done += 1,
+        Some("deadline") => summary.deadline += 1,
+        Some("cancelled") => summary.cancelled += 1,
+        Some("failed") => summary.failed += 1,
+        _ => {
+            if value.get("error").is_some() {
+                summary.errors += 1;
+            }
+        }
+    }
 }
 
 /// A coordinator-originated submit refusal, shaped like a worker one.
@@ -1096,6 +1621,52 @@ fn error_line(id: &str, code: &str, message: &str) -> String {
         obj.str("id", id)
     };
     obj.str("error", code).str("message", message).finish()
+}
+
+/// An [`error_line`] carrying a `retry_after_ms` hint, shaped like a
+/// worker `overloaded` refusal so clients handle both alike.
+fn error_line_with_retry(id: &str, code: &str, message: &str, retry_after: Duration) -> String {
+    let obj = JsonObject::new().bool("ok", false).str("op", "submit");
+    let obj = if id.is_empty() {
+        obj
+    } else {
+        obj.str("id", id)
+    };
+    obj.str("error", code)
+        .str("message", message)
+        .u64(
+            "retry_after_ms",
+            retry_after.as_millis().min(u64::MAX as u128) as u64,
+        )
+        .finish()
+}
+
+/// Re-render `p.line` with whatever remains of the client's deadline
+/// (deadline propagation: queue and routing time already spent is
+/// deducted before the job reaches a worker again). `None` when the
+/// deadline has fully elapsed — the coordinator answers such jobs
+/// itself. Deadline-less jobs reuse the line as sent.
+fn line_for(p: &mut Pending) -> Option<String> {
+    if let Some(total) = p.req.deadline {
+        let remaining = total.checked_sub(p.submitted_at.elapsed())?;
+        if remaining.is_zero() {
+            return None;
+        }
+        let mut req = p.req.clone();
+        req.deadline = Some(remaining);
+        p.line = protocol::render_submit(&req)?;
+    }
+    Some(p.line.clone())
+}
+
+/// FNV-1a over a string, for deterministic retry jitter.
+fn fnv1a_str(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Swap the internal id in a raw response line back to the caller's
@@ -1163,5 +1734,87 @@ mod tests {
             r#"{"ok":false,"op":"submit","id":"j1","error":"unavailable","message":"no live workers"}"#
         );
         assert!(!error_line("", "timeout", "m").contains("\"id\""));
+    }
+
+    #[test]
+    fn shed_refusals_carry_a_retry_hint() {
+        let line = error_line_with_retry("j2", "unavailable", "shed", Duration::from_millis(120));
+        assert_eq!(
+            line,
+            r#"{"ok":false,"op":"submit","id":"j2","error":"unavailable","message":"shed","retry_after_ms":120}"#
+        );
+    }
+
+    fn parse_submit(line: &str) -> AlignRequest {
+        match protocol::parse_request(line) {
+            Ok(Request::Submit(req)) => *req,
+            other => panic!("expected a submit, got {other:?}"),
+        }
+    }
+
+    fn pending_for(req: AlignRequest) -> Pending {
+        let line = protocol::render_submit(&req).unwrap();
+        Pending {
+            shard: 0,
+            uid: content_uid(&req),
+            original_id: String::new(),
+            line,
+            reply: None,
+            req,
+            submitted_at: Instant::now(),
+            attempts: 1,
+            hedge: None,
+            hedge_of: None,
+        }
+    }
+
+    #[test]
+    fn line_for_propagates_the_remaining_deadline() {
+        let req =
+            parse_submit(r#"{"op":"submit","a":"ACG","b":"AC","c":"AG","deadline_ms":3600000}"#);
+        let mut p = pending_for(req);
+        p.submitted_at = Instant::now() - Duration::from_secs(1800);
+        let line = line_for(&mut p).expect("deadline not yet spent");
+        let ms = Value::parse(&line)
+            .unwrap()
+            .get("deadline_ms")
+            .and_then(Value::as_u64)
+            .expect("deadline_ms present");
+        assert!(
+            (1_700_000..=1_800_000).contains(&ms),
+            "~half the budget left, got {ms}"
+        );
+        // Fully elapsed: the coordinator answers instead of forwarding.
+        p.submitted_at = Instant::now() - Duration::from_secs(7200);
+        assert_eq!(line_for(&mut p), None);
+        // Deadline-less jobs reuse the line as sent.
+        let mut free = pending_for(parse_submit(
+            r#"{"op":"submit","a":"ACG","b":"AC","c":"AG"}"#,
+        ));
+        let original = free.line.clone();
+        assert_eq!(line_for(&mut free), Some(original));
+    }
+
+    #[test]
+    fn batch_tally_buckets_outcomes_and_refusals() {
+        let mut s = BatchSummary::default();
+        tally(
+            &mut s,
+            r#"{"ok":true,"op":"submit","status":"done","score":-1}"#,
+        );
+        tally(&mut s, r#"{"ok":false,"op":"submit","status":"deadline"}"#);
+        tally(
+            &mut s,
+            r#"{"ok":false,"op":"submit","status":"failed","error":"boom"}"#,
+        );
+        tally(
+            &mut s,
+            r#"{"ok":false,"op":"submit","error":"overloaded","retry_after_ms":50}"#,
+        );
+        tally(&mut s, "not json");
+        assert_eq!(s.done, 1);
+        assert_eq!(s.deadline, 1);
+        assert_eq!(s.failed, 1, "status wins over error when both appear");
+        assert_eq!(s.errors, 2);
     }
 }

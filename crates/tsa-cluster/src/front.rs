@@ -17,12 +17,31 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::coordinator::Coordinator;
 
 /// A line longer than this without a newline is a protocol abuse; the
 /// connection is answered with an error and closed.
 const MAX_LINE: usize = 1 << 20;
+
+/// Tunables for the front-door event loop.
+#[derive(Debug, Clone)]
+pub struct FrontOptions {
+    /// Close a connection that has sent no bytes for this long, so
+    /// dead clients cannot pin poll slots forever. `None` disables the
+    /// sweep. The default matches `tsa serve`'s per-connection read
+    /// timeout (300s).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for FrontOptions {
+    fn default() -> FrontOptions {
+        FrontOptions {
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
 
 #[cfg(unix)]
 mod sys {
@@ -70,12 +89,25 @@ struct Conn {
     stream: std::net::TcpStream,
     rbuf: Vec<u8>,
     wbuf: Vec<u8>,
+    /// Last time the peer sent bytes or a response was queued for it;
+    /// the idle sweep closes connections quiet past the timeout.
+    last_activity: std::time::Instant,
 }
 
 /// Serve the cluster protocol on `listener` until the coordinator
 /// stops running (a `shutdown`/`drain` op). Blocks the calling thread.
-#[cfg(unix)]
+/// Uses the default [`FrontOptions`].
 pub fn serve_front(coordinator: &Arc<Coordinator>, listener: TcpListener) -> io::Result<()> {
+    serve_front_with(coordinator, listener, FrontOptions::default())
+}
+
+/// [`serve_front`] with explicit options.
+#[cfg(unix)]
+pub fn serve_front_with(
+    coordinator: &Arc<Coordinator>,
+    listener: TcpListener,
+    options: FrontOptions,
+) -> io::Result<()> {
     use std::os::unix::io::AsRawFd;
     use sys::*;
 
@@ -141,6 +173,7 @@ pub fn serve_front(coordinator: &Arc<Coordinator>, listener: TcpListener) -> io:
                                 stream,
                                 rbuf: Vec::new(),
                                 wbuf: Vec::new(),
+                                last_activity: std::time::Instant::now(),
                             },
                         );
                         next_conn += 1;
@@ -161,6 +194,8 @@ pub fn serve_front(coordinator: &Arc<Coordinator>, listener: TcpListener) -> io:
             if let Some(conn) = conns.get_mut(&conn_id) {
                 conn.wbuf.extend_from_slice(line.as_bytes());
                 conn.wbuf.push(b'\n');
+                // A connection waiting on a slow job is not idle.
+                conn.last_activity = std::time::Instant::now();
             }
             // A departed connection drops its responses on the floor —
             // same as a stdio client that hung up mid-batch.
@@ -187,6 +222,7 @@ pub fn serve_front(coordinator: &Arc<Coordinator>, listener: TcpListener) -> io:
                             break;
                         }
                         Ok(n) => {
+                            conn.last_activity = std::time::Instant::now();
                             conn.rbuf.extend_from_slice(&buf[..n]);
                             while let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') {
                                 let line: Vec<u8> = conn.rbuf.drain(..=nl).collect();
@@ -226,6 +262,13 @@ pub fn serve_front(coordinator: &Arc<Coordinator>, listener: TcpListener) -> io:
         }
         for id in closed {
             conns.remove(&id);
+        }
+
+        // Idle sweep: the 250ms poll timeout bounds how stale this
+        // check can get, so no extra timer is needed.
+        if let Some(idle) = options.idle_timeout {
+            let now = std::time::Instant::now();
+            conns.retain(|_, conn| now.duration_since(conn.last_activity) < idle);
         }
 
         if !coordinator.is_running() {
@@ -274,7 +317,11 @@ fn write_some(stream: &mut std::net::TcpStream, wbuf: &mut Vec<u8>) -> io::Resul
 /// Non-unix targets have no `poll(2)`; the cluster front door is a
 /// unix-only feature (batch mode still works everywhere).
 #[cfg(not(unix))]
-pub fn serve_front(_coordinator: &Arc<Coordinator>, _listener: TcpListener) -> io::Result<()> {
+pub fn serve_front_with(
+    _coordinator: &Arc<Coordinator>,
+    _listener: TcpListener,
+    _options: FrontOptions,
+) -> io::Result<()> {
     Err(io::Error::new(
         io::ErrorKind::Unsupported,
         "the cluster front door requires poll(2); use --batch on this platform",

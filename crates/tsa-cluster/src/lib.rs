@@ -25,12 +25,22 @@
 //!    cost is two buffers, so thousands of idle clients are fine.
 //!    Batches ([`coordinator::run_batch`]) scatter across shards and
 //!    gather in submission order.
+//! 4. **Overload is handled, not hoped away.** Each shard has a
+//!    circuit breaker ([`breaker::Breaker`]): consecutive failures
+//!    stop traffic to it, a half-open probe restores it. Retries are
+//!    bounded by a cluster-wide budget so a retry storm cannot amplify
+//!    an outage, slow shards can be raced with hedged submits, and
+//!    every forwarded job carries only the deadline the client has
+//!    left (queue and routing time already deducted). All of it
+//!    defaults off: an unconfigured cluster behaves exactly as before.
 
+pub mod breaker;
 pub mod coordinator;
 pub mod front;
 pub mod link;
 pub mod shard;
 
+pub use breaker::{Admission, Breaker, BreakerState};
 pub use coordinator::{run_batch, ClusterConfig, Coordinator, ReplyTo};
-pub use front::serve_front;
+pub use front::{serve_front, serve_front_with, FrontOptions};
 pub use shard::{ShardId, ShardMap};

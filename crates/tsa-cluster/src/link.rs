@@ -94,6 +94,8 @@ pub struct SpawnOptions {
     pub cache: Option<usize>,
     pub deadline_ms: Option<u64>,
     pub kernel: Option<String>,
+    pub client_rate: Option<f64>,
+    pub max_in_flight_per_client: Option<usize>,
 }
 
 /// A freshly spawned local worker: the child process and the address
@@ -133,6 +135,12 @@ pub fn spawn_worker(
     }
     if let Some(k) = &opts.kernel {
         cmd.arg("--kernel").arg(k);
+    }
+    if let Some(rate) = opts.client_rate {
+        cmd.arg("--client-rate").arg(rate.to_string());
+    }
+    if let Some(n) = opts.max_in_flight_per_client {
+        cmd.arg("--max-in-flight-per-client").arg(n.to_string());
     }
     cmd.stdin(Stdio::null())
         .stdout(Stdio::null())

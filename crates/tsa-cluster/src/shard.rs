@@ -97,6 +97,18 @@ impl ShardMap {
             .copied()
             .max_by_key(|&m| (weight(uid, m), m))
     }
+
+    /// The best member for `uid` other than `exclude` — the second
+    /// choice of the rendezvous ranking when `exclude` owns the uid.
+    /// Used for hedged submits and breaker reroutes; deterministic like
+    /// [`ShardMap::route`]. `None` when no other member exists.
+    pub fn route_excluding(&self, uid: &str, exclude: ShardId) -> Option<ShardId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| m != exclude)
+            .max_by_key(|&m| (weight(uid, m), m))
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +140,26 @@ mod tests {
         assert_eq!(map.members(), &[0, 2, 3]);
         assert!(map.contains(0));
         assert!(!map.contains(1));
+    }
+
+    #[test]
+    fn route_excluding_picks_the_runner_up() {
+        let map = ShardMap::new(0..4);
+        for i in 0..128 {
+            let uid = format!("uid-{i}");
+            let owner = map.route(&uid).unwrap();
+            let second = map.route_excluding(&uid, owner).unwrap();
+            assert_ne!(second, owner);
+            // Removing the owner must route to exactly the runner-up:
+            // the exclusion is the rendezvous ranking's second place.
+            let mut without = map.clone();
+            without.remove(owner);
+            assert_eq!(without.route(&uid), Some(second));
+            // Excluding a non-owner changes nothing.
+            assert_eq!(map.route_excluding(&uid, (owner + 1) % 4), Some(owner));
+        }
+        let single = ShardMap::new([7]);
+        assert_eq!(single.route_excluding("x", 7), None);
     }
 
     #[test]

@@ -334,6 +334,78 @@ mod tests {
     }
 
     #[test]
+    fn empty_expositions_merge_to_nothing() {
+        assert_eq!(merge_expositions(&[]), "");
+        assert_eq!(
+            merge_expositions(&[("0".into(), String::new()), ("1".into(), "\n\n".into())]),
+            ""
+        );
+    }
+
+    #[test]
+    fn empty_part_does_not_perturb_a_real_one() {
+        let a = "# HELP up Up.\n# TYPE up gauge\nup 1\n";
+        let merged = merge_expositions(&[("0".into(), a.into()), ("1".into(), String::new())]);
+        assert!(merged.contains("\nup 1\n"));
+        assert!(merged.contains("up{shard=\"0\"} 1\n"));
+        assert!(!merged.contains("shard=\"1\""));
+    }
+
+    #[test]
+    fn single_shard_passthrough_keeps_every_value() {
+        let a = concat!(
+            "# HELP tsa_jobs_total Jobs.\n# TYPE tsa_jobs_total counter\n",
+            "tsa_jobs_total 9\n",
+            "# HELP lat_us Latency.\n# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"1\"} 2\n",
+            "lat_us_bucket{le=\"+Inf\"} 4\n",
+            "lat_us_sum 7\nlat_us_count 4\n"
+        );
+        let merged = merge_expositions(&[("solo".into(), a.into())]);
+        // The summed series of one part is that part, verbatim values.
+        assert!(merged.contains("\ntsa_jobs_total 9\n"));
+        assert!(merged.contains("lat_us_bucket{le=\"1\"} 2\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(merged.contains("lat_us_sum 7\n"));
+        assert!(merged.contains("lat_us_count 4\n"));
+        // ... plus the shard-labeled copy of each series.
+        assert!(merged.contains("tsa_jobs_total{shard=\"solo\"} 9\n"));
+        assert!(merged.contains("lat_us_bucket{shard=\"solo\",le=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn disjoint_bucket_sets_merge_over_the_union() {
+        // No shared finite bound at all: part 0 stops at le="2", part 1
+        // starts at le="4". Every union bound must interpolate the
+        // other part correctly — 0 below its first bound, its +Inf
+        // count above its elided tail.
+        let a = concat!(
+            "# HELP lat_us Latency.\n# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"1\"} 1\n",
+            "lat_us_bucket{le=\"2\"} 3\n",
+            "lat_us_bucket{le=\"+Inf\"} 3\n",
+            "lat_us_sum 5\nlat_us_count 3\n"
+        );
+        let b = concat!(
+            "# HELP lat_us Latency.\n# TYPE lat_us histogram\n",
+            "lat_us_bucket{le=\"4\"} 1\n",
+            "lat_us_bucket{le=\"8\"} 2\n",
+            "lat_us_bucket{le=\"+Inf\"} 2\n",
+            "lat_us_sum 11\nlat_us_count 2\n"
+        );
+        let merged = merge_expositions(&[("0".into(), a.into()), ("1".into(), b.into())]);
+        // le=1,2: part 1 contributes 0 (below its first bound).
+        assert!(merged.contains("lat_us_bucket{le=\"1\"} 1\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"2\"} 3\n"), "{merged}");
+        // le=4,8: part 0's tail was elided, so its +Inf count (3) counts.
+        assert!(merged.contains("lat_us_bucket{le=\"4\"} 4\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"8\"} 5\n"), "{merged}");
+        assert!(merged.contains("lat_us_bucket{le=\"+Inf\"} 5\n"));
+        assert!(merged.contains("lat_us_sum 16\n"));
+        assert!(merged.contains("lat_us_count 5\n"));
+    }
+
+    #[test]
     fn families_unique_to_one_part_still_appear() {
         let a = "# HELP only_a A.\n# TYPE only_a gauge\nonly_a 2\n";
         let b = "# HELP only_b B.\n# TYPE only_b gauge\nonly_b -1\n";

@@ -5,11 +5,13 @@ use crate::durability::{self, Durability, Replay};
 use crate::error::{JobOutcome, SubmitError};
 use crate::faults;
 use crate::governor::{self, MemoryGate, Reservation};
-use crate::queue::{job_queue, JobQueue, JobReceiver, PushError};
-use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::queue::PushError;
+use crate::sched::{fair_queue, FairQueue, FairReceiver};
+use crate::stats::{LaneSnapshot, ServiceStats, StatsSnapshot};
 use crate::worker::{worker_loop, CompletedJob, DurableJob, Job, JobTrace, Responder};
 use crossbeam::channel::{self, Receiver};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,6 +63,15 @@ pub struct ServiceConfig {
     /// `kernel` field is `Auto`). Scores are bit-identical across kernels,
     /// so this only affects throughput.
     pub default_kernel: SimdKernel,
+    /// Per-client token-bucket rate limit, jobs per second (burst = one
+    /// second's worth, at least 1). Applies only to *named* clients
+    /// ([`AlignRequest::client`]); anonymous traffic is never limited.
+    /// `None` (the default) disables rate limiting.
+    pub client_rate: Option<f64>,
+    /// Per-client cap on jobs admitted but not yet resolved. Like
+    /// `client_rate`, it governs only named clients; `None` (the
+    /// default) disables the quota.
+    pub max_in_flight_per_client: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +88,109 @@ impl Default for ServiceConfig {
             checkpoint_every_planes: 32,
             checkpoint_every_millis: None,
             default_kernel: SimdKernel::Auto,
+            client_rate: None,
+            max_in_flight_per_client: None,
+        }
+    }
+}
+
+/// Retry hint reported when the earliest viable resubmission time is not
+/// computable (queue or quota pressure, as opposed to a token-bucket
+/// refill, whose hint is exact).
+pub(crate) const RETRY_HINT_MS: u64 = 100;
+
+/// Per-client admission control: a token bucket (rate limiting), an
+/// in-flight quota, and per-lane tallies for the `stats` lanes section.
+/// Both limits govern *named* clients only — anonymous submissions (an
+/// empty [`AlignRequest::client`]) bypass this entirely, so single-tenant
+/// deployments pay nothing and observe no behavior change.
+#[derive(Debug)]
+struct ClientGovernor {
+    /// Tokens per second; `None` disables rate limiting.
+    rate: Option<f64>,
+    /// In-flight cap per client; `None` disables the quota.
+    max_in_flight: Option<usize>,
+    lanes: Mutex<HashMap<String, ClientLane>>,
+}
+
+#[derive(Debug, Default)]
+struct ClientLane {
+    tokens: f64,
+    /// Last refill instant; `None` until the first sighting (which
+    /// starts the bucket full).
+    refilled: Option<Instant>,
+    in_flight: usize,
+    submitted: u64,
+    rejected: u64,
+}
+
+impl ClientGovernor {
+    /// Admit one submission from `client`, consuming a token and (when a
+    /// quota is configured) an in-flight slot. The returned slot must be
+    /// dropped when the job resolves.
+    fn admit(self: &Arc<Self>, client: &str) -> Result<Option<ClientSlot>, SubmitError> {
+        if client.is_empty() {
+            return Ok(None);
+        }
+        let mut lanes = self.lanes.lock();
+        let lane = lanes.entry(client.to_owned()).or_default();
+        lane.submitted += 1;
+        if let Some(rate) = self.rate {
+            let burst = rate.max(1.0);
+            let now = Instant::now();
+            match lane.refilled {
+                None => lane.tokens = burst,
+                Some(last) => {
+                    lane.tokens =
+                        (lane.tokens + now.duration_since(last).as_secs_f64() * rate).min(burst);
+                }
+            }
+            lane.refilled = Some(now);
+            if lane.tokens < 1.0 {
+                lane.rejected += 1;
+                let wait_s = (1.0 - lane.tokens) / rate;
+                return Err(SubmitError::Overloaded {
+                    capacity: burst as usize,
+                    retry_after_ms: ((wait_s * 1000.0).ceil() as u64).max(1),
+                    scope: "client-rate",
+                });
+            }
+            lane.tokens -= 1.0;
+        }
+        match self.max_in_flight {
+            None => Ok(None),
+            Some(quota) if lane.in_flight >= quota => {
+                lane.rejected += 1;
+                Err(SubmitError::Overloaded {
+                    capacity: quota,
+                    retry_after_ms: RETRY_HINT_MS,
+                    scope: "in-flight",
+                })
+            }
+            Some(_) => {
+                lane.in_flight += 1;
+                Ok(Some(ClientSlot {
+                    governor: Arc::clone(self),
+                    client: client.to_owned(),
+                }))
+            }
+        }
+    }
+}
+
+/// RAII share of a client's in-flight quota, held by the job and
+/// released when it resolves (or is dropped on any teardown path).
+#[derive(Debug)]
+pub(crate) struct ClientSlot {
+    governor: Arc<ClientGovernor>,
+    client: String,
+}
+
+impl Drop for ClientSlot {
+    fn drop(&mut self) {
+        let mut lanes = self.governor.lanes.lock();
+        if let Some(lane) = lanes.get_mut(&self.client) {
+            lane.in_flight = lane.in_flight.saturating_sub(1);
         }
     }
 }
@@ -99,6 +213,11 @@ pub struct AlignRequest {
     /// SIMD kernel for the score inner loops; `Auto` defers to the
     /// engine's [`ServiceConfig::default_kernel`].
     pub kernel: SimdKernel,
+    /// Client lane for multi-tenant fairness: the scheduler round-robins
+    /// across lanes (FIFO within one), and the per-client rate limit and
+    /// in-flight quota key on this. Empty (the default) is the shared
+    /// anonymous lane, which is never limited.
+    pub client: String,
 }
 
 impl AlignRequest {
@@ -113,6 +232,7 @@ impl AlignRequest {
             score_only: false,
             deadline: None,
             kernel: SimdKernel::Auto,
+            client: String::new(),
         }
     }
 
@@ -143,6 +263,13 @@ impl AlignRequest {
     /// Pin the SIMD kernel for this job's score inner loops.
     pub fn kernel(mut self, kernel: SimdKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Attribute this request to a client lane (see
+    /// [`AlignRequest::client`] the field).
+    pub fn client(mut self, client: impl Into<String>) -> Self {
+        self.client = client.into();
         self
     }
 }
@@ -195,9 +322,11 @@ impl JobHandle {
 pub struct Engine {
     /// The single producer slot. `None` after shutdown; taking it drops
     /// the last sender, which disconnects the channel and drains workers.
-    producer: Mutex<Option<JobQueue<Job>>>,
+    producer: Mutex<Option<FairQueue<Job>>>,
     /// Receiver clone kept only for depth observation (never popped).
-    observer: JobReceiver<Job>,
+    observer: FairReceiver<Job>,
+    /// Per-client rate limiting, in-flight quotas, and lane tallies.
+    clients: Arc<ClientGovernor>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
     /// Cleared at the start of shutdown; stops the supervisor respawning.
@@ -244,7 +373,7 @@ impl Engine {
         } else {
             config.workers
         };
-        let (queue, rx) = job_queue::<Job>(config.queue_capacity);
+        let (queue, rx) = fair_queue::<Job>(config.queue_capacity);
         let stats = Arc::new(ServiceStats::default());
         let shards = workers.next_power_of_two().min(16);
         let cache = Arc::new(ResultCache::new(config.cache_capacity, shards));
@@ -272,9 +401,15 @@ impl Engine {
                 .spawn(move || supervise(&workers, &running, rx, cache, stats))
                 .expect("spawn supervisor thread")
         };
+        let clients = Arc::new(ClientGovernor {
+            rate: config.client_rate.filter(|&r| r > 0.0),
+            max_in_flight: config.max_in_flight_per_client.filter(|&q| q > 0),
+            lanes: Mutex::new(HashMap::new()),
+        });
         let engine = Engine {
             producer: Mutex::new(Some(queue)),
             observer: rx,
+            clients,
             workers,
             supervisor: Mutex::new(Some(supervisor)),
             running,
@@ -540,6 +675,7 @@ impl Engine {
         let job = Job {
             id,
             tag: req.tag,
+            client: req.client,
             a,
             b,
             c,
@@ -554,6 +690,7 @@ impl Engine {
             reservation,
             trace,
             durable: None,
+            client_slot: None,
         };
         (id, cancel, job)
     }
@@ -595,10 +732,11 @@ impl Engine {
             job.reject("shutting_down");
             return Err(SubmitError::ShuttingDown);
         };
+        let lane = job.client.clone();
         let pushed = if blocking {
-            queue.push_blocking(job)
+            queue.push_blocking(&lane, job)
         } else {
-            queue.try_push(job)
+            queue.try_push(&lane, job)
         };
         match pushed {
             Ok(()) => Ok(()),
@@ -607,6 +745,8 @@ impl Engine {
                 job.reject("overloaded");
                 Err(SubmitError::Overloaded {
                     capacity: queue.capacity(),
+                    retry_after_ms: RETRY_HINT_MS,
+                    scope: "queue",
                 })
             }
             Err(PushError::Closed(mut job)) => {
@@ -629,11 +769,24 @@ impl Engine {
         self.submit_inner(req, true)
     }
 
+    /// Per-client admission: the token-bucket rate limit and in-flight
+    /// quota for named clients, tallied like any other refusal.
+    fn admit_client(&self, req: &AlignRequest) -> Result<Option<ClientSlot>, SubmitError> {
+        self.clients.admit(&req.client).map_err(|e| {
+            self.stats.submitted.inc();
+            self.stats.rejected.inc();
+            self.stats.shed.inc();
+            self.trace_rejection(&req.tag, &e);
+            e
+        })
+    }
+
     fn submit_inner(
         &self,
         mut req: AlignRequest,
         blocking: bool,
     ) -> Result<JobHandle, SubmitError> {
+        let slot = self.admit_client(&req)?;
         let (degraded_from, reservation) = self
             .govern(&mut req, blocking)
             // `map_err`, not `inspect_err`: MSRV 1.75 predates the latter.
@@ -646,6 +799,7 @@ impl Engine {
         let (id, cancel, mut job) =
             self.make_job(req, Responder::Channel(tx), degraded_from, reservation);
         job.durable = durable;
+        job.client_slot = slot;
         let journaled = job
             .durable
             .as_ref()
@@ -667,6 +821,7 @@ impl Engine {
         mut req: AlignRequest,
         callback: impl FnOnce(CompletedJob) + Send + 'static,
     ) -> Result<(u64, CancelToken), SubmitError> {
+        let slot = self.admit_client(&req)?;
         let (degraded_from, reservation) = self.govern(&mut req, false).map_err(|e| {
             self.trace_rejection(&req.tag, &e);
             e
@@ -679,6 +834,7 @@ impl Engine {
             reservation,
         );
         job.durable = durable;
+        job.client_slot = slot;
         let journaled = job
             .durable
             .as_ref()
@@ -692,15 +848,82 @@ impl Engine {
         Ok((id, cancel))
     }
 
-    /// Point-in-time counters, including the live queue depth.
+    /// Point-in-time counters, including the live queue depth and (once
+    /// any named client has been seen) the per-client lane rows.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot(self.observer.depth())
+        let mut snap = self.stats.snapshot(self.observer.depth());
+        snap.lanes = self.lane_snapshots();
+        snap
+    }
+
+    /// Per-client lane rows: the fair scheduler's live depths joined with
+    /// the client governor's tallies. Empty while only the anonymous
+    /// default lane has ever been seen, so single-tenant `stats`
+    /// responses are unchanged.
+    fn lane_snapshots(&self) -> Vec<LaneSnapshot> {
+        let depths = self.observer.lane_depths();
+        let lanes = self.clients.lanes.lock();
+        if lanes.is_empty() && depths.iter().all(|(client, _)| client.is_empty()) {
+            return Vec::new();
+        }
+        // Scheduler lanes first (first-seen order), then governor-only
+        // lanes (clients shed before ever enqueueing) alphabetically.
+        let mut rows: Vec<LaneSnapshot> = depths
+            .into_iter()
+            .map(|(client, queued)| {
+                let mut row = LaneSnapshot {
+                    client,
+                    queued,
+                    ..LaneSnapshot::default()
+                };
+                if let Some(lane) = lanes.get(&row.client) {
+                    row.in_flight = lane.in_flight as u64;
+                    row.submitted = lane.submitted;
+                    row.rejected = lane.rejected;
+                }
+                row
+            })
+            .collect();
+        let mut extra: Vec<(&String, &ClientLane)> = lanes
+            .iter()
+            .filter(|(client, _)| !rows.iter().any(|row| &&row.client == client))
+            .collect();
+        extra.sort_by(|a, b| a.0.cmp(b.0));
+        for (client, lane) in extra {
+            rows.push(LaneSnapshot {
+                client: client.clone(),
+                queued: 0,
+                in_flight: lane.in_flight as u64,
+                submitted: lane.submitted,
+                rejected: lane.rejected,
+            });
+        }
+        rows
     }
 
     /// Prometheus-style text exposition of every service metric,
     /// including the stage-latency histograms and the live queue depth.
+    /// Once any named client has been seen, a labeled
+    /// `tsa_lane_queue_depth{client="..."}` gauge family is appended.
     pub fn metrics_text(&self) -> String {
-        self.stats.expose(self.observer.depth())
+        let mut text = self.stats.expose(self.observer.depth());
+        let lanes = self.lane_snapshots();
+        if !lanes.is_empty() {
+            text.push_str("# HELP tsa_lane_queue_depth Jobs currently queued per client lane.\n");
+            text.push_str("# TYPE tsa_lane_queue_depth gauge\n");
+            for lane in &lanes {
+                let label = lane
+                    .client
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n");
+                text.push_str(&format!(
+                    "tsa_lane_queue_depth{{client=\"{label}\"}} {}\n",
+                    lane.queued
+                ));
+            }
+        }
+        text
     }
 
     /// Jobs currently queued.
@@ -749,7 +972,9 @@ impl Engine {
         for handle in workers {
             let _ = handle.join();
         }
-        self.stats.snapshot(self.observer.depth())
+        let mut snap = self.stats.snapshot(self.observer.depth());
+        snap.lanes = self.lane_snapshots();
+        snap
     }
 
     /// Graceful *drain*: like [`Engine::shutdown`], but durable work is
@@ -779,7 +1004,7 @@ impl Engine {
 fn supervise(
     workers: &Mutex<Vec<JoinHandle<()>>>,
     running: &AtomicBool,
-    rx: JobReceiver<Job>,
+    rx: FairReceiver<Job>,
     cache: Arc<ResultCache>,
     stats: Arc<ServiceStats>,
 ) {
@@ -945,7 +1170,14 @@ mod tests {
                 }
             }
         }
-        assert_eq!(rejected, Some(SubmitError::Overloaded { capacity: 1 }));
+        assert_eq!(
+            rejected,
+            Some(SubmitError::Overloaded {
+                capacity: 1,
+                retry_after_ms: RETRY_HINT_MS,
+                scope: "queue",
+            })
+        );
         assert!(h1.wait().result().is_some());
         for h in held {
             assert!(h.wait().result().is_some());
@@ -954,6 +1186,181 @@ mod tests {
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.resolved(), stats.submitted);
         assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn client_rate_limit_sheds_with_retry_hint() {
+        let engine = Engine::start(ServiceConfig {
+            client_rate: Some(1.0), // burst of 1: the second submit sheds
+            ..small_config()
+        });
+        let (a, b, c) = triple("GATTACA");
+        let first = engine
+            .submit(AlignRequest::new("r1", a.clone(), b.clone(), c.clone()).client("tenant-a"));
+        assert!(first.is_ok(), "a full bucket admits");
+        let err = engine
+            .submit(AlignRequest::new("r2", a.clone(), b.clone(), c.clone()).client("tenant-a"))
+            .unwrap_err();
+        match err {
+            SubmitError::Overloaded {
+                scope,
+                retry_after_ms,
+                capacity,
+            } => {
+                assert_eq!(scope, "client-rate");
+                assert!(retry_after_ms > 0, "refill time is a concrete hint");
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected client-rate shed, got {other:?}"),
+        }
+        // Anonymous traffic is never rate limited.
+        for i in 0..4 {
+            let (a, b, c) = triple("GATTACA");
+            assert!(engine
+                .submit(AlignRequest::new(format!("anon{i}"), a, b, c))
+                .is_ok());
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.resolved(), stats.submitted);
+        let lane = stats
+            .lanes
+            .iter()
+            .find(|l| l.client == "tenant-a")
+            .expect("named client gets a lane row");
+        assert_eq!(lane.submitted, 2);
+        assert_eq!(lane.rejected, 1);
+    }
+
+    #[test]
+    fn client_in_flight_quota_rejects_and_releases() {
+        let engine = Engine::start(ServiceConfig {
+            workers: 1,
+            max_in_flight_per_client: Some(1),
+            ..small_config()
+        });
+        // Pin the single worker with a slow anonymous job so tenant-a's
+        // first job is guaranteed still in flight for the second.
+        let slow = Seq::dna("ACGTACGTAC".repeat(12)).unwrap();
+        let blocker = engine
+            .submit(AlignRequest::new("slow", slow.clone(), slow.clone(), slow))
+            .unwrap();
+        let (a, b, c) = triple("GATTACA");
+        let held = engine
+            .submit(AlignRequest::new("q1", a.clone(), b.clone(), c.clone()).client("tenant-a"))
+            .unwrap();
+        let err = engine
+            .submit(AlignRequest::new("q2", a.clone(), b.clone(), c.clone()).client("tenant-a"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Overloaded {
+                scope: "in-flight",
+                capacity: 1,
+                retry_after_ms: RETRY_HINT_MS,
+            }
+        ));
+        // Another client has its own quota.
+        let other = engine
+            .submit(AlignRequest::new("q3", a.clone(), b.clone(), c.clone()).client("tenant-b"))
+            .unwrap();
+        assert!(blocker.wait().result().is_some());
+        assert!(held.wait().result().is_some());
+        assert!(other.wait().result().is_some());
+        // The slot came back: tenant-a can submit again.
+        assert!(engine
+            .submit(AlignRequest::new("q4", a, b, c).client("tenant-a"))
+            .is_ok());
+        let stats = engine.shutdown();
+        assert_eq!(stats.shed, 1);
+        let lane = stats.lanes.iter().find(|l| l.client == "tenant-a").unwrap();
+        assert_eq!(lane.in_flight, 0, "slots drain to zero");
+        assert_eq!(lane.rejected, 1);
+    }
+
+    #[test]
+    fn scheduler_interleaves_client_lanes() {
+        // One worker => completion order is dequeue order. A blocker pins
+        // the worker while both lanes fill; DRR then alternates them even
+        // though "heavy" enqueued all its jobs first.
+        let engine = Engine::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 32,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let order = Arc::new(Mutex::new(Vec::<String>::new()));
+        let slow = Seq::dna("ACGTACGTAC".repeat(12)).unwrap();
+        let submit = |tag: &str, client: &str, seq: &Seq| {
+            let order = Arc::clone(&order);
+            engine
+                .submit_with(
+                    AlignRequest::new(tag, seq.clone(), seq.clone(), seq.clone()).client(client),
+                    move |done| order.lock().push(done.tag),
+                )
+                .unwrap();
+        };
+        submit("blocker", "", &slow);
+        let (tiny, _, _) = triple("GATTACA");
+        for i in 0..6 {
+            submit(&format!("h{i}"), "heavy", &tiny);
+        }
+        for i in 0..2 {
+            submit(&format!("l{i}"), "light", &tiny);
+        }
+        engine.shutdown();
+        let order: Vec<String> = order.lock().clone();
+        assert_eq!(order.len(), 9);
+        let pos = |tag: &str| order.iter().position(|t| t == tag).unwrap();
+        // Fairness: light's two jobs are served within the first two DRR
+        // rotations, not behind heavy's whole backlog.
+        assert!(pos("l0") < pos("h2"), "order was {order:?}");
+        assert!(pos("l1") < pos("h3"), "order was {order:?}");
+        // FIFO within each lane.
+        for i in 0..5 {
+            assert!(pos(&format!("h{i}")) < pos(&format!("h{}", i + 1)));
+        }
+    }
+
+    #[test]
+    fn heavy_client_cannot_starve_light_client() {
+        // The overload-isolation contract: with an in-flight quota below
+        // the queue capacity, a flooding tenant saturates its own quota
+        // while the other tenant's submissions are admitted and complete.
+        let engine = Engine::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 0,
+            max_in_flight_per_client: Some(4),
+            ..ServiceConfig::default()
+        });
+        let slow = Seq::dna("ACGTACGTAC".repeat(8)).unwrap();
+        let mut flood_rejected = 0u64;
+        for i in 0..40 {
+            let req = AlignRequest::new(format!("a{i}"), slow.clone(), slow.clone(), slow.clone())
+                .client("heavy")
+                .score_only(true);
+            if engine.submit(req).is_err() {
+                flood_rejected += 1;
+            }
+        }
+        assert!(flood_rejected > 0, "the flood exceeds the quota");
+        for i in 0..10 {
+            let (a, b, c) = triple("GATTACA");
+            let outcome = engine
+                .submit(AlignRequest::new(format!("b{i}"), a, b, c).client("light"))
+                .expect("light client is never rejected")
+                .wait();
+            assert!(outcome.result().is_some(), "light job {i} completes");
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.resolved(), stats.submitted);
+        let heavy = stats.lanes.iter().find(|l| l.client == "heavy").unwrap();
+        let light = stats.lanes.iter().find(|l| l.client == "light").unwrap();
+        assert_eq!(heavy.rejected, flood_rejected);
+        assert_eq!(light.rejected, 0);
+        assert_eq!(light.submitted, 10);
     }
 
     #[test]

@@ -8,11 +8,22 @@ use tsa_core::{Algorithm, CancelProgress};
 /// the queue; nothing was computed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is full — explicit backpressure. Re-submit later
-    /// or slow down; the engine never buffers beyond its queue capacity.
+    /// Admission refused the job as overload shedding — explicit
+    /// backpressure. Re-submit after `retry_after_ms`; the engine never
+    /// buffers beyond its configured limits. `scope` says which limit
+    /// tripped: the shared bounded queue (`"queue"`), the client's token
+    /// bucket (`"client-rate"`), or the client's in-flight quota
+    /// (`"in-flight"`).
     Overloaded {
-        /// The configured queue capacity that was exhausted.
+        /// The configured limit that was exhausted (queue capacity,
+        /// bucket burst size, or in-flight quota).
         capacity: usize,
+        /// Hint: earliest time, in milliseconds, at which a retry has a
+        /// chance of being admitted (0 when unknowable).
+        retry_after_ms: u64,
+        /// Which limit tripped: `"queue"`, `"client-rate"`, or
+        /// `"in-flight"`.
+        scope: &'static str,
     },
     /// The resource governor refused the job: its estimated footprint
     /// exceeds a configured limit (and, for `Algorithm::Auto`, no
@@ -32,8 +43,16 @@ pub enum SubmitError {
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::Overloaded { capacity } => {
-                write!(f, "service overloaded: queue at capacity {capacity}")
+            SubmitError::Overloaded {
+                capacity,
+                retry_after_ms,
+                scope,
+            } => {
+                write!(f, "service overloaded: {scope} at capacity {capacity}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
             }
             SubmitError::ResourceExhausted {
                 required,
@@ -143,9 +162,20 @@ mod tests {
 
     #[test]
     fn submit_errors_render() {
-        assert!(SubmitError::Overloaded { capacity: 8 }
-            .to_string()
-            .contains('8'));
+        let overloaded = SubmitError::Overloaded {
+            capacity: 8,
+            retry_after_ms: 40,
+            scope: "queue",
+        };
+        assert!(overloaded.to_string().contains('8'));
+        assert!(overloaded.to_string().contains("queue"));
+        assert!(overloaded.to_string().contains("40 ms"));
+        let silent = SubmitError::Overloaded {
+            capacity: 2,
+            retry_after_ms: 0,
+            scope: "in-flight",
+        };
+        assert!(!silent.to_string().contains("retry"));
         assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
         let e = SubmitError::ResourceExhausted {
             required: 100,

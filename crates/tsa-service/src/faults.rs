@@ -12,6 +12,7 @@
 //! | `#fault-abort` | panic *outside* the catch region (worker dies; supervisor respawns) |
 //! | `#fault-delay=N` | sleep `N` ms inside the kernel region, honoring cancellation |
 //! | `#fault-inflate=N` | multiply the governor's byte estimate by `N` |
+//! | `#fault-flap=N` | fail the first `N` kernel attempts for this tag, then succeed |
 //!
 //! Directives are inert without the feature: production builds carry a
 //! handful of `#[inline]` functions that constant-fold to `false`/`None`.
@@ -73,6 +74,41 @@ pub fn inflate_factor(tag: &str) -> u64 {
     }
 }
 
+/// `true` while the tag's `#fault-flap=N` budget is unspent: the first
+/// `N` kernel attempts carrying this exact tag fail (injected panic,
+/// caught and reported as `Failed`), and every later attempt succeeds.
+/// The per-tag counter is process-global, so a retried submission that
+/// reuses its tag observes the fault clearing deterministically —
+/// exactly the shape retry/backoff e2e tests need.
+#[inline]
+pub fn flap_now(tag: &str) -> bool {
+    #[cfg(feature = "faults")]
+    {
+        let budget = match directive_value(tag, "#fault-flap=") {
+            Some(n) => n,
+            None => return false,
+        };
+        use std::collections::HashMap;
+        use std::sync::OnceLock;
+        static SEEN: OnceLock<parking_lot::Mutex<HashMap<String, u64>>> = OnceLock::new();
+        let mut seen = SEEN
+            .get_or_init(|| parking_lot::Mutex::new(HashMap::new()))
+            .lock();
+        let count = seen.entry(tag.to_owned()).or_insert(0);
+        if *count < budget {
+            *count += 1;
+            true
+        } else {
+            false
+        }
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = tag;
+        false
+    }
+}
+
 /// Parse the decimal value following `key` in `tag` (`#fault-delay=250`).
 #[cfg(feature = "faults")]
 fn directive_value(tag: &str, key: &str) -> Option<u64> {
@@ -100,6 +136,22 @@ mod tests {
         assert_eq!(inflate_factor("t"), 1);
         assert_eq!(inflate_factor("t#fault-inflate=0"), 1);
     }
+
+    #[test]
+    fn flap_clears_after_its_budget() {
+        assert!(!flap_now("steady"), "no directive, no flap");
+        // Each tag gets its own budget; these tags are unique to this test.
+        assert!(flap_now("flap-test-a#fault-flap=2"));
+        assert!(flap_now("flap-test-a#fault-flap=2"));
+        assert!(!flap_now("flap-test-a#fault-flap=2"), "budget spent");
+        assert!(!flap_now("flap-test-a#fault-flap=2"), "stays clear");
+        assert!(flap_now("flap-test-b#fault-flap=1"), "independent counter");
+        assert!(!flap_now("flap-test-b#fault-flap=1"));
+        assert!(
+            !flap_now("flap-test-c#fault-flap=0"),
+            "zero budget never fails"
+        );
+    }
 }
 
 #[cfg(all(test, not(feature = "faults")))]
@@ -112,5 +164,6 @@ mod tests {
         assert!(!wants_abort("job#fault-abort"));
         assert_eq!(delay_of("job#fault-delay=250"), None);
         assert_eq!(inflate_factor("job#fault-inflate=100"), 1);
+        assert!(!flap_now("job#fault-flap=3"));
     }
 }

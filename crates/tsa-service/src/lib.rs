@@ -71,6 +71,7 @@ mod governor;
 pub mod json;
 pub mod protocol;
 mod queue;
+mod sched;
 mod server;
 mod stats;
 mod worker;
@@ -81,11 +82,12 @@ pub use engine::{AlignRequest, Engine, JobHandle, ServiceConfig};
 pub use error::{CancelStage, JobOutcome, JobResult, SubmitError};
 pub use governor::ResourceEstimate;
 pub use queue::{job_queue, JobQueue, JobReceiver, PushError};
+pub use sched::{fair_queue, FairQueue, FairReceiver};
 pub use server::{
     run_all, run_batch, serve_listener, serve_listener_with, serve_session, serve_session_with,
-    serve_stdio, serve_tcp, serve_tcp_with, ServeOptions,
+    serve_stdio, serve_tcp, serve_tcp_with, BatchSummary, ServeOptions,
 };
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{LaneSnapshot, ServiceStats, StatsSnapshot};
 pub use tsa_core::cancel::{CancelProgress, CancelToken};
 pub use tsa_obs::{JsonSink, RingSink, SpanRecord, SpanSink, TextSink, Tracer};
 pub use worker::CompletedJob;

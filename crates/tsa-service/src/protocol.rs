@@ -243,11 +243,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                     ProtocolError::new(id_ref, "'deadline_ms' must be a non-negative integer")
                 })?)),
             };
+            let client = match obj.get("client") {
+                None => String::new(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::new(id_ref, "'client' must be a string"))?
+                    .to_owned(),
+            };
             let mut req = AlignRequest::new(id.unwrap_or_default(), a, b, c)
                 .scoring(scoring)
                 .algorithm(algorithm)
                 .score_only(score_only)
-                .kernel(kernel);
+                .kernel(kernel)
+                .client(client);
             req.deadline = deadline;
             Ok(Request::Submit(Box::new(req)))
         }
@@ -324,9 +332,15 @@ pub fn render_outcome(done: &CompletedJob) -> String {
 /// a governor refusal is `resource_exhausted`.
 pub fn render_submit_error(id: &str, err: &SubmitError) -> String {
     match err {
-        SubmitError::Overloaded { capacity } => base(false, id)
+        SubmitError::Overloaded {
+            capacity,
+            retry_after_ms,
+            scope,
+        } => base(false, id)
             .str("error", "overloaded")
             .u64("capacity", *capacity as u64)
+            .str("scope", scope)
+            .u64("retry_after_ms", *retry_after_ms)
             .finish(),
         SubmitError::ResourceExhausted {
             required,
@@ -384,7 +398,8 @@ impl ServerInfo {
 }
 
 fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
-    obj.u64("submitted", stats.submitted)
+    let obj = obj
+        .u64("submitted", stats.submitted)
         .u64("completed", stats.completed)
         .u64("rejected", stats.rejected)
         .u64("cancelled", stats.cancelled)
@@ -399,6 +414,7 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("restarted", stats.restarted)
         .u64("cache_recovered_hits", stats.cache_recovered_hits)
         .u64("simd_jobs", stats.simd_jobs)
+        .u64("shed", stats.shed)
         .u64("queue_depth", stats.queue_depth as u64)
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
@@ -409,7 +425,28 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("kernel_p99_us", stats.kernel_p99_us)
         .u64_array("latency_buckets", &stats.latency_buckets)
         .u64_array("queue_wait_buckets", &stats.queue_wait_buckets)
-        .u64_array("kernel_buckets", &stats.kernel_buckets)
+        .u64_array("kernel_buckets", &stats.kernel_buckets);
+    // Per-client lane rows appear only once a named client has been
+    // seen, so single-tenant responses are byte-identical to before.
+    if stats.lanes.is_empty() {
+        obj
+    } else {
+        obj.objects(
+            "lanes",
+            stats
+                .lanes
+                .iter()
+                .map(|lane| {
+                    JsonObject::new()
+                        .str("client", &lane.client)
+                        .u64("queued", lane.queued as u64)
+                        .u64("in_flight", lane.in_flight)
+                        .u64("submitted", lane.submitted)
+                        .u64("rejected", lane.rejected)
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Render a `stats` response. The counters stay top-level (older clients
@@ -509,6 +546,9 @@ pub fn render_submit(req: &AlignRequest) -> Option<String> {
     if !req.tag.is_empty() {
         obj = obj.str("id", &req.tag);
     }
+    if !req.client.is_empty() {
+        obj = obj.str("client", &req.client);
+    }
     // Re-declare a uniform alphabet explicitly; mixed alphabets are
     // omitted and re-inferred per sequence, which is deterministic.
     let alphabet = req.seqs[0].alphabet();
@@ -566,9 +606,24 @@ mod tests {
                 assert_eq!(r.algorithm, Algorithm::Auto);
                 assert!(!r.score_only);
                 assert!(r.deadline.is_none());
+                assert!(r.client.is_empty());
             }
             other => panic!("expected submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn client_field_parses_and_validates() {
+        let line =
+            r#"{"op":"submit","id":"j1","client":"tenant-a","a":"ACGT","b":"ACG","c":"AGT"}"#;
+        match parse_request(line).unwrap() {
+            Request::Submit(r) => assert_eq!(r.client, "tenant-a"),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        let err = parse_request(r#"{"op":"submit","id":"j2","client":7,"a":"A","b":"C","c":"G"}"#)
+            .unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("j2"));
+        assert!(err.message.contains("client"));
     }
 
     #[test]
@@ -788,10 +843,19 @@ mod tests {
         assert_eq!(v.get("cells_done").unwrap().as_u64(), Some(120));
         assert_eq!(v.get("cells_total").unwrap().as_u64(), Some(1000));
 
-        let line = render_submit_error("j3", &SubmitError::Overloaded { capacity: 4 });
+        let line = render_submit_error(
+            "j3",
+            &SubmitError::Overloaded {
+                capacity: 4,
+                retry_after_ms: 250,
+                scope: "client-rate",
+            },
+        );
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("overloaded"));
         assert_eq!(v.get("capacity").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("scope").unwrap().as_str(), Some("client-rate"));
+        assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(250));
 
         let line = render_submit_error(
             "j5",
@@ -868,6 +932,8 @@ mod tests {
             restarted: 2,
             cache_recovered_hits: 3,
             simd_jobs: 2,
+            shed: 4,
+            lanes: Vec::new(),
             queue_depth: 0,
             latency_p50_us: 64,
             latency_p90_us: 128,
@@ -900,6 +966,8 @@ mod tests {
         assert_eq!(v.get("restarted").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("cache_recovered_hits").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("simd_jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("shed").unwrap().as_u64(), Some(4));
+        assert!(v.get("lanes").is_none(), "empty lane set is not rendered");
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
         assert_eq!(v.get("queue_wait_p99_us").unwrap().as_u64(), Some(16));
         assert_eq!(v.get("kernel_p50_us").unwrap().as_u64(), Some(32));
@@ -916,6 +984,29 @@ mod tests {
         let v = Value::parse(&render_drain(&stats)).unwrap();
         assert_eq!(v.get("op").unwrap().as_str(), Some("drain"));
         assert_eq!(v.get("resumed").unwrap().as_u64(), Some(1));
+
+        // With named lanes present, stats carry a per-client array.
+        let mut stats = stats;
+        stats.lanes = vec![crate::stats::LaneSnapshot {
+            client: "tenant-a".to_owned(),
+            queued: 2,
+            in_flight: 1,
+            submitted: 9,
+            rejected: 3,
+        }];
+        let v = Value::parse(&render_stats(&stats, &server)).unwrap();
+        match v.get("lanes").unwrap() {
+            Value::Arr(items) => {
+                assert_eq!(items.len(), 1);
+                let lane = &items[0];
+                assert_eq!(lane.get("client").unwrap().as_str(), Some("tenant-a"));
+                assert_eq!(lane.get("queued").unwrap().as_u64(), Some(2));
+                assert_eq!(lane.get("in_flight").unwrap().as_u64(), Some(1));
+                assert_eq!(lane.get("submitted").unwrap().as_u64(), Some(9));
+                assert_eq!(lane.get("rejected").unwrap().as_u64(), Some(3));
+            }
+            other => panic!("expected lanes array, got {other:?}"),
+        }
     }
 
     #[test]
@@ -971,7 +1062,8 @@ mod tests {
 
     #[test]
     fn submit_round_trips_through_render() {
-        let line = r#"{"op":"submit","id":"rt#1","alphabet":"dna","a":"ACGT","b":"ACG","c":"AGT",
+        let line = r#"{"op":"submit","id":"rt#1","client":"tenant-a","alphabet":"dna",
+            "a":"ACGT","b":"ACG","c":"AGT",
             "scoring":"unit","algorithm":"wavefront","kernel":"scalar",
             "deadline_ms":250,"score_only":true}"#;
         let Request::Submit(req) = parse_request(line).unwrap() else {
@@ -987,6 +1079,7 @@ mod tests {
         assert_eq!(again.kernel, req.kernel);
         assert_eq!(again.score_only, req.score_only);
         assert_eq!(again.deadline, req.deadline);
+        assert_eq!(again.client, "tenant-a");
         assert_eq!(
             crate::durability::job_uid(&again),
             crate::durability::job_uid(&req),

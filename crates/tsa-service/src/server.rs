@@ -306,14 +306,59 @@ pub fn serve_listener_with(
     Ok(engine.stats())
 }
 
+/// Per-outcome tally for one [`run_batch`] invocation.
+///
+/// `submitted` counts lines that produced a job; the four outcome
+/// counters partition those jobs, and `errors` counts lines answered
+/// with an error instead (parse failures and refused submits). A batch
+/// is clean — [`BatchSummary::all_ok`] — exactly when every job ran to
+/// completion and no line errored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Lines that produced a job (accepted submits).
+    pub submitted: usize,
+    /// Jobs that finished with a result.
+    pub done: usize,
+    /// Jobs that exceeded their deadline.
+    pub deadline: usize,
+    /// Jobs cancelled before completion.
+    pub cancelled: usize,
+    /// Jobs whose kernel failed.
+    pub failed: usize,
+    /// Lines answered with an error line (bad requests, refused submits).
+    pub errors: usize,
+}
+
+impl BatchSummary {
+    /// True when every line in the batch resolved successfully.
+    pub fn all_ok(&self) -> bool {
+        self.deadline == 0 && self.cancelled == 0 && self.failed == 0 && self.errors == 0
+    }
+}
+
+impl std::fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted={} done={} deadline={} cancelled={} failed={} errors={}",
+            self.submitted, self.done, self.deadline, self.cancelled, self.failed, self.errors
+        )
+    }
+}
+
 /// Feed a batch of requests through the engine at full parallelism.
 ///
 /// Each line of `input` is a protocol `submit` object (the `op` field is
 /// optional in batch mode). Submission uses the blocking path — the
 /// bounded queue throttles the reader instead of rejecting — and
-/// responses are written in input order. Returns the number of lines
-/// that produced a job.
-pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) -> io::Result<usize> {
+/// responses are written in input order. Returns the per-outcome
+/// [`BatchSummary`] so callers can fail a run that contained errors.
+pub fn run_batch<W: Write>(
+    engine: &Arc<Engine>,
+    input: &str,
+    writer: &mut W,
+) -> io::Result<BatchSummary> {
+    let mut summary = BatchSummary::default();
     let mut pending: Vec<(usize, String, JobHandle)> = Vec::new();
     let mut immediate: Vec<(usize, String)> = Vec::new();
     for (lineno, line) in input.lines().enumerate() {
@@ -332,7 +377,10 @@ pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) ->
             &owned
         };
         match protocol::parse_request(text) {
-            Err(err) => immediate.push((lineno, protocol::render_protocol_error(&err))),
+            Err(err) => {
+                summary.errors += 1;
+                immediate.push((lineno, protocol::render_protocol_error(&err)));
+            }
             Ok(Request::Stats) => immediate.push((
                 lineno,
                 protocol::render_stats(&engine.stats(), &server_info(engine)),
@@ -360,18 +408,39 @@ pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) ->
             Ok(Request::Shutdown) | Ok(Request::Drain) => break,
             Ok(Request::Submit(req)) => {
                 let tag = req.tag.clone();
-                match engine.submit_blocking(*req) {
+                // A structured `overloaded` refusal carries a pacing
+                // hint; the batch driver honors it with one bounded
+                // sleep-and-retry before counting the line as an error.
+                let result = match engine.submit_blocking((*req).clone()) {
+                    Err(crate::SubmitError::Overloaded { retry_after_ms, .. })
+                        if retry_after_ms > 0 =>
+                    {
+                        std::thread::sleep(Duration::from_millis(retry_after_ms.min(5_000)));
+                        engine.submit_blocking(*req)
+                    }
+                    other => other,
+                };
+                match result {
                     Ok(handle) => pending.push((lineno, tag, handle)),
-                    Err(err) => immediate.push((lineno, protocol::render_submit_error(&tag, &err))),
+                    Err(err) => {
+                        summary.errors += 1;
+                        immediate.push((lineno, protocol::render_submit_error(&tag, &err)));
+                    }
                 }
             }
         }
     }
-    let submitted = pending.len();
+    summary.submitted = pending.len();
     let mut responses: Vec<(usize, String)> = immediate;
     for (lineno, tag, handle) in pending {
         let id = handle.id;
         let outcome = handle.wait();
+        match &outcome {
+            crate::JobOutcome::Done(_) => summary.done += 1,
+            crate::JobOutcome::DeadlineExceeded { .. } => summary.deadline += 1,
+            crate::JobOutcome::Cancelled { .. } => summary.cancelled += 1,
+            crate::JobOutcome::Failed(_) => summary.failed += 1,
+        }
         responses.push((
             lineno,
             protocol::render_outcome(&crate::worker::CompletedJob { id, tag, outcome }),
@@ -383,7 +452,7 @@ pub fn run_batch<W: Write>(engine: &Arc<Engine>, input: &str, writer: &mut W) ->
         writer.write_all(b"\n")?;
     }
     writer.flush()?;
-    Ok(submitted)
+    Ok(summary)
 }
 
 /// Convenience for tests and benchmarks: submit every request with the
@@ -625,13 +694,38 @@ mod tests {
             "\n"
         );
         let mut out = Vec::new();
-        let submitted = run_batch(&engine, input, &mut out).unwrap();
-        assert_eq!(submitted, 2);
+        let summary = run_batch(&engine, input, &mut out).unwrap();
+        assert_eq!(summary.submitted, 2);
+        assert_eq!(summary.done, 2);
+        assert_eq!(summary.errors, 1, "the garbage line is tallied");
+        assert!(!summary.all_ok(), "an errored line marks the batch dirty");
         let out = lines(&out);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].get("id").unwrap().as_str(), Some("first"));
         assert_eq!(out[1].get("error").unwrap().as_str(), Some("bad_request"));
         assert_eq!(out[2].get("id").unwrap().as_str(), Some("second"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_summary_tallies_outcomes_and_renders() {
+        let engine = engine();
+        let input = r#"{"id":"ok1","a":"GATTACA","b":"GATACA","c":"GTTACA"}"#;
+        let mut out = Vec::new();
+        let summary = run_batch(&engine, input, &mut out).unwrap();
+        assert_eq!(
+            summary,
+            BatchSummary {
+                submitted: 1,
+                done: 1,
+                ..BatchSummary::default()
+            }
+        );
+        assert!(summary.all_ok());
+        assert_eq!(
+            summary.to_string(),
+            "submitted=1 done=1 deadline=0 cancelled=0 failed=0 errors=0"
+        );
         engine.shutdown();
     }
 

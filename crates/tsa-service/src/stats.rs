@@ -33,6 +33,7 @@ pub struct ServiceStats {
     pub(crate) restarted: Counter,
     pub(crate) cache_recovered_hits: Counter,
     pub(crate) simd: Counter,
+    pub(crate) shed: Counter,
     queue_depth: Gauge,
     latency: Histogram,
     queue_wait: Histogram,
@@ -103,6 +104,10 @@ impl Default for ServiceStats {
                 "tsa_jobs_simd_total",
                 "Kernel executions that ran a SIMD (non-scalar) score implementation.",
             ),
+            shed: registry.counter(
+                "tsa_jobs_shed_total",
+                "Jobs refused by per-client admission (rate limit or in-flight quota); a subset of rejected.",
+            ),
             queue_depth: registry.gauge("tsa_queue_depth", "Jobs currently queued."),
             latency: registry.histogram(
                 "tsa_job_latency_us",
@@ -171,6 +176,8 @@ impl ServiceStats {
             restarted: self.restarted.get(),
             cache_recovered_hits: self.cache_recovered_hits.get(),
             simd_jobs: self.simd.get(),
+            shed: self.shed.get(),
+            lanes: Vec::new(),
             queue_depth,
             latency_p50_us: latency.quantile_upper_bound(0.50),
             latency_p90_us: latency.quantile_upper_bound(0.90),
@@ -192,6 +199,23 @@ fn trim_buckets(mut buckets: Vec<u64>) -> Vec<u64> {
     let keep = buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
     buckets.truncate(keep);
     buckets
+}
+
+/// One per-client lane row in a [`StatsSnapshot`]: the fair scheduler's
+/// live queue depth joined with the client governor's admission tallies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaneSnapshot {
+    /// Client name; empty for the anonymous default lane.
+    pub client: String,
+    /// Jobs currently queued in this lane.
+    pub queued: usize,
+    /// Jobs admitted and not yet resolved (quota accounting; stays 0
+    /// when no in-flight quota is configured).
+    pub in_flight: u64,
+    /// Admission attempts from this client.
+    pub submitted: u64,
+    /// Attempts shed by the client governor (rate limit or quota).
+    pub rejected: u64,
 }
 
 /// Point-in-time view of the service counters, exposed through the `stats`
@@ -234,6 +258,13 @@ pub struct StatsSnapshot {
     /// Kernel executions that ran a SIMD (non-scalar) score implementation
     /// (a subset of `cache_misses`; scores are identical either way).
     pub simd_jobs: u64,
+    /// Jobs refused by per-client admission — the token-bucket rate limit
+    /// or the in-flight quota (a subset of `rejected`).
+    pub shed: u64,
+    /// Per-client lane rows, present only once a *named* client has been
+    /// seen; empty in single-tenant operation so the `stats` wire
+    /// response is unchanged for existing clients.
+    pub lanes: Vec<LaneSnapshot>,
     /// Jobs currently queued (0 at quiescence).
     pub queue_depth: usize,
     /// Median submit-to-completion latency, as a power-of-two µs bound.
@@ -375,6 +406,7 @@ mod tests {
             "tsa_jobs_restarted_total",
             "tsa_cache_recovered_hits_total",
             "tsa_jobs_simd_total",
+            "tsa_jobs_shed_total",
             "tsa_queue_depth",
             "tsa_job_latency_us",
             "tsa_job_queue_wait_us",
@@ -410,6 +442,7 @@ mod tests {
                 "# TYPE tsa_jobs_restarted_total counter",
                 "# TYPE tsa_cache_recovered_hits_total counter",
                 "# TYPE tsa_jobs_simd_total counter",
+                "# TYPE tsa_jobs_shed_total counter",
                 "# TYPE tsa_queue_depth gauge",
                 "# TYPE tsa_job_latency_us histogram",
                 "# TYPE tsa_job_queue_wait_us histogram",

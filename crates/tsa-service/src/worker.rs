@@ -16,10 +16,11 @@
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::durability::Durability;
+use crate::engine::ClientSlot;
 use crate::error::{CancelStage, JobOutcome, JobResult};
 use crate::faults;
 use crate::governor::Reservation;
-use crate::queue::JobReceiver;
+use crate::sched::FairReceiver;
 use crate::stats::ServiceStats;
 use crossbeam::channel::Sender;
 use std::panic::AssertUnwindSafe;
@@ -47,6 +48,8 @@ pub(crate) struct JobTrace {
 pub(crate) struct Job {
     pub id: u64,
     pub tag: String,
+    /// Client lane this job was admitted under (empty = anonymous).
+    pub client: String,
     pub a: Seq,
     pub b: Seq,
     pub c: Seq,
@@ -68,6 +71,9 @@ pub(crate) struct Job {
     /// Present when the engine keeps a journal and this request is
     /// journalable: the job's durability attachment.
     pub durable: Option<DurableJob>,
+    /// Share of the client's in-flight quota, released when the job
+    /// resolves (or drops on any teardown path).
+    pub client_slot: Option<ClientSlot>,
 }
 
 /// A job's durability attachment: its journal uid, an optional
@@ -142,7 +148,11 @@ fn rows_to_strings(alignment: &Alignment3) -> [String; 3] {
 }
 
 /// Run one worker until the queue disconnects and drains.
-pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: Arc<ServiceStats>) {
+pub(crate) fn worker_loop(
+    rx: FairReceiver<Job>,
+    cache: Arc<ResultCache>,
+    stats: Arc<ServiceStats>,
+) {
     while let Some(mut job) = rx.pop() {
         let mut guard = JobGuard {
             id: job.id,
@@ -165,9 +175,11 @@ pub(crate) fn worker_loop(rx: JobReceiver<Job>, cache: Arc<ResultCache>, stats: 
         if let Some(d) = &job.durable {
             resolve_durable(d, &outcome);
         }
-        // Return the job's share of the memory budget before the waiter
-        // can observe resolution (on unwind, dropping `job` releases it).
+        // Return the job's share of the memory budget and its client's
+        // in-flight slot before the waiter can observe resolution (on
+        // unwind, dropping `job` releases both).
         job.reservation.take();
+        job.client_slot.take();
         job.annotate("outcome", outcome.label());
         let respond_span = job.stage("respond");
         guard.resolve(outcome);
@@ -372,6 +384,9 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
     let kernel = || -> Result<(i32, Option<Alignment3>), KernelErr> {
         if faults::wants_panic(&tag) {
             panic!("injected kernel panic");
+        }
+        if faults::flap_now(&tag) {
+            panic!("injected flap failure");
         }
         if let Some(delay) = faults::delay_of(&tag) {
             cancellable_sleep(delay, &cancel).map_err(KernelErr::Align)?;

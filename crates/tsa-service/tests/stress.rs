@@ -149,7 +149,7 @@ fn nonblocking_overload_storm_keeps_accounting_consistent() {
                             accepted += 1;
                             waiters.push(h);
                         }
-                        Err(tsa_service::SubmitError::Overloaded { capacity }) => {
+                        Err(tsa_service::SubmitError::Overloaded { capacity, .. }) => {
                             assert_eq!(capacity, 4);
                             rejected += 1;
                         }
