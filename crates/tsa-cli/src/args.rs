@@ -18,6 +18,7 @@ USAGE:
     tsa serve [--listen <addr:port>] [service options]
     tsa batch --file <ndjson> [--repeat <n>] [--quiet] [service options]
     tsa cluster [--workers <n>] [--attach <addr:port>]... [cluster options]
+    tsa trace --connect <addr:port> [<trace-id>] [--recent <n>] [--json]
     tsa help
 
 ALIGN OPTIONS:
@@ -71,6 +72,15 @@ SERVICE OPTIONS (tsa serve / tsa batch):
     --max-in-flight-per-client <n>  per-client in-flight quota; beyond it
                          submissions are rejected with `overloaded` and a
                          retry_after_ms hint; absent = unbounded
+    --flight-recorder <n>  keep the last n completed trace trees in an
+                         in-memory ring, queryable via the `trace` op
+                         and dumped to --state-dir on SIGUSR1; errors,
+                         sheds, retries and hedges are always retained;
+                         0 disables                                      [0]
+    --slow-ms <ms>       with --flight-recorder, also always retain
+                         requests slower than this; 0 disables           [0]
+    --trace-sample <n>   with --flight-recorder, keep one in n clean
+                         (fast, successful) traces                       [1]
     serve --listen       serve NDJSON over TCP instead of stdin/stdout
                          (the bound address is announced on stderr, so
                          port 0 picks a free port discoverably)
@@ -114,6 +124,20 @@ CLUSTER OPTIONS (tsa cluster):
                          to every worker
     --idle-timeout-ms <ms>  close front-door connections idle this long,
                          0 disables                                   [300000]
+    --flight-recorder <n>  coordinator + per-worker flight recorders of
+                         n trace trees; the coordinator stitches its
+                         routing/retry/hedge spans with each worker's
+                         job subtree on a `trace` query; 0 disables      [0]
+    --slow-ms <ms>       always retain traces slower than this           [0]
+    --trace-sample <n>   keep one in n clean traces                      [1]
+
+TRACE OPTIONS (tsa trace — query a serve/cluster flight recorder):
+    --connect <addr>     server or cluster front door to query
+    <trace-id>           16-hex trace id (as printed in responses and
+                         batch reports); omit for the recent notable set
+    --recent <n>         how many recent notable traces to list           [5]
+    --json               print the raw `trace` response line instead of
+                         rendered text trees
 ";
 
 /// A parsed command line.
@@ -138,8 +162,23 @@ pub enum Command {
     Batch(BatchArgs),
     /// Run a sharded multi-worker cluster (coordinator + N workers).
     Cluster(ClusterArgs),
+    /// Query a running server's or cluster's flight recorder.
+    Trace(TraceArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `tsa trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Server or cluster front door to query.
+    pub connect: String,
+    /// 16-hex trace id to fetch; `None` lists recent notable traces.
+    pub id: Option<String>,
+    /// How many recent notable traces to list when no id is given.
+    pub recent: usize,
+    /// Print the raw response line instead of rendered text trees.
+    pub json: bool,
 }
 
 /// Arguments of `tsa align`.
@@ -277,6 +316,13 @@ pub struct ServiceOpts {
     pub client_rate: Option<f64>,
     /// Per-client in-flight quota; `None` = unbounded.
     pub max_in_flight_per_client: Option<usize>,
+    /// Flight-recorder ring capacity (trace trees); 0 disables.
+    pub flight_recorder: usize,
+    /// With the recorder, always retain traces slower than this; 0
+    /// disables the slow trigger.
+    pub slow_ms: u64,
+    /// Keep one in this many clean traces (≤ 1 keeps every one).
+    pub trace_sample: u64,
 }
 
 impl Default for ServiceOpts {
@@ -293,6 +339,9 @@ impl Default for ServiceOpts {
             kernel: "auto".into(),
             client_rate: None,
             max_in_flight_per_client: None,
+            flight_recorder: 0,
+            slow_ms: 0,
+            trace_sample: 1,
         }
     }
 }
@@ -342,6 +391,16 @@ impl ServiceOpts {
                     return Err("--max-in-flight-per-client must be >= 1".into());
                 }
                 self.max_in_flight_per_client = Some(n);
+            }
+            "--flight-recorder" => {
+                self.flight_recorder = parse_num(flag, take_value(flag, it)?)?;
+            }
+            "--slow-ms" => self.slow_ms = parse_num(flag, take_value(flag, it)?)?,
+            "--trace-sample" => {
+                self.trace_sample = parse_num(flag, take_value(flag, it)?)?;
+                if self.trace_sample == 0 {
+                    return Err("--trace-sample must be >= 1".into());
+                }
             }
             _ => return Ok(false),
         }
@@ -420,6 +479,13 @@ pub struct ClusterArgs {
     pub max_in_flight_per_client: Option<usize>,
     /// Close front-door connections idle this long (ms); 0 disables.
     pub idle_timeout_ms: u64,
+    /// Flight-recorder ring capacity on the coordinator and every
+    /// worker; 0 disables distributed tracing.
+    pub flight_recorder: usize,
+    /// Always retain traces slower than this (ms); 0 disables.
+    pub slow_ms: u64,
+    /// Keep one in this many clean traces (≤ 1 keeps every one).
+    pub trace_sample: u64,
 }
 
 impl Default for ClusterArgs {
@@ -443,6 +509,9 @@ impl Default for ClusterArgs {
             client_rate: None,
             max_in_flight_per_client: None,
             idle_timeout_ms: 300_000,
+            flight_recorder: 0,
+            slow_ms: 0,
+            trace_sample: 1,
         }
     }
 }
@@ -474,6 +543,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("serve") => parse_serve(it.as_slice()).map(Command::Serve),
         Some("batch") => parse_batch(it.as_slice()).map(Command::Batch),
         Some("cluster") => parse_cluster(it.as_slice()).map(Command::Cluster),
+        Some("trace") => parse_trace(it.as_slice()).map(Command::Trace),
         Some("info") => {
             let rest = it.as_slice();
             match rest {
@@ -760,6 +830,16 @@ fn parse_cluster(argv: &[String]) -> Result<ClusterArgs, String> {
             "--idle-timeout-ms" => {
                 c.idle_timeout_ms = parse_num(flag, take_value(flag, &mut it)?)?;
             }
+            "--flight-recorder" => {
+                c.flight_recorder = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--slow-ms" => c.slow_ms = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--trace-sample" => {
+                c.trace_sample = parse_num(flag, take_value(flag, &mut it)?)?;
+                if c.trace_sample == 0 {
+                    return Err("--trace-sample must be >= 1".into());
+                }
+            }
             other => return Err(format!("unknown cluster flag `{other}`")),
         }
     }
@@ -772,6 +852,42 @@ fn parse_cluster(argv: &[String]) -> Result<ClusterArgs, String> {
         return Err("give either --listen or --batch, not both".into());
     }
     Ok(c)
+}
+
+fn parse_trace(argv: &[String]) -> Result<TraceArgs, String> {
+    let mut t = TraceArgs {
+        connect: String::new(),
+        id: None,
+        recent: 5,
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => t.connect = take_value(arg, &mut it)?.clone(),
+            "--recent" => {
+                t.recent = parse_num(arg, take_value(arg, &mut it)?)?;
+                if t.recent == 0 {
+                    return Err("--recent must be >= 1".into());
+                }
+            }
+            "--json" => t.json = true,
+            other if !other.starts_with("--") => {
+                if t.id.is_some() {
+                    return Err("trace takes at most one <trace-id>".into());
+                }
+                if u64::from_str_radix(other, 16).is_err() {
+                    return Err(format!("`{other}` is not a hex trace id"));
+                }
+                t.id = Some(other.to_string());
+            }
+            other => return Err(format!("unknown trace flag `{other}`")),
+        }
+    }
+    if t.connect.is_empty() {
+        return Err("trace needs --connect <addr:port>".into());
+    }
+    Ok(t)
 }
 
 impl AlignArgs {
@@ -1325,6 +1441,88 @@ mod tests {
         assert!(parse(&sv(&["serve", "--client-rate", "nan"])).is_err());
         assert!(parse(&sv(&["serve", "--client-rate", "-2"])).is_err());
         assert!(parse(&sv(&["serve", "--max-in-flight-per-client", "0"])).is_err());
+    }
+
+    #[test]
+    fn tracing_flags_parse_and_default_off() {
+        // Unconfigured behavior is byte-identical: every tracing knob
+        // defaults off.
+        let d = ServiceOpts::default();
+        assert_eq!(d.flight_recorder, 0);
+        assert_eq!(d.slow_ms, 0);
+        assert_eq!(d.trace_sample, 1);
+        let cd = ClusterArgs::default();
+        assert_eq!(cd.flight_recorder, 0);
+        assert_eq!(cd.slow_ms, 0);
+        assert_eq!(cd.trace_sample, 1);
+
+        let Command::Serve(s) = parse(&sv(&[
+            "serve",
+            "--flight-recorder",
+            "256",
+            "--slow-ms",
+            "50",
+            "--trace-sample",
+            "10",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.service.flight_recorder, 256);
+        assert_eq!(s.service.slow_ms, 50);
+        assert_eq!(s.service.trace_sample, 10);
+        assert!(parse(&sv(&["serve", "--trace-sample", "0"])).is_err());
+
+        let Command::Cluster(c) = parse(&sv(&[
+            "cluster",
+            "--flight-recorder",
+            "64",
+            "--slow-ms",
+            "5",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.flight_recorder, 64);
+        assert_eq!(c.slow_ms, 5);
+        assert!(parse(&sv(&["cluster", "--trace-sample", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_subcommand_parses_and_validates() {
+        let Command::Trace(t) = parse(&sv(&[
+            "trace",
+            "--connect",
+            "127.0.0.1:7777",
+            "00000000000000ff",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.connect, "127.0.0.1:7777");
+        assert_eq!(t.id.as_deref(), Some("00000000000000ff"));
+        assert_eq!(t.recent, 5);
+        assert!(!t.json);
+
+        let Command::Trace(t) = parse(&sv(&[
+            "trace",
+            "--connect",
+            "h:1",
+            "--recent",
+            "3",
+            "--json",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.id, None);
+        assert_eq!(t.recent, 3);
+        assert!(t.json);
+
+        assert!(parse(&sv(&["trace"])).is_err(), "needs --connect");
+        assert!(parse(&sv(&["trace", "--connect", "h:1", "zz-not-hex"])).is_err());
+        assert!(parse(&sv(&["trace", "--connect", "h:1", "--recent", "0"])).is_err());
+        assert!(parse(&sv(&["trace", "--connect", "h:1", "1", "2"])).is_err());
     }
 
     #[test]

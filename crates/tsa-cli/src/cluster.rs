@@ -28,6 +28,9 @@ pub fn run_cluster(c: ClusterArgs) -> Result<(), String> {
         hedge_after_ms: c.hedge_after_ms,
         client_rate: c.client_rate,
         max_in_flight_per_client: c.max_in_flight_per_client,
+        flight_recorder: c.flight_recorder,
+        slow_ms: c.slow_ms,
+        trace_sample: c.trace_sample,
     };
     let coordinator = Coordinator::start(config).map_err(|e| format!("cluster: {e}"))?;
     for (shard, addr, spawned) in coordinator.topology() {
@@ -67,6 +70,7 @@ pub fn run_cluster(c: ClusterArgs) -> Result<(), String> {
             let line = coordinator.shutdown("shutdown");
             eprintln!("{line}");
             eprintln!("# batch outcomes: {summary}");
+            crate::commands::report_flagged(&summary.flagged);
             if !summary.all_ok() {
                 return Err(format!("batch had non-success outcomes: {summary}"));
             }

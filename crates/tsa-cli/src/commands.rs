@@ -1,13 +1,15 @@
 //! Command implementations for the `tsa` binary.
 
-use crate::args::{AlignArgs, BatchArgs, Command, GenArgs, MsaArgs, PlanArgs, ServeArgs, USAGE};
+use crate::args::{
+    AlignArgs, BatchArgs, Command, GenArgs, MsaArgs, PlanArgs, ServeArgs, TraceArgs, USAGE,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tsa_core::{bounds, format, Aligner};
 use tsa_perfmodel::{memory, model, planes, ClusterModel, CostModel};
 use tsa_seq::family::FamilyConfig;
 use tsa_seq::{fasta, Alphabet, Seq};
-use tsa_service::{Engine, ServiceConfig};
+use tsa_service::{Engine, FlightRecorder, RecorderConfig, ServiceConfig};
 
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -24,10 +26,21 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Serve(s) => run_serve(s),
         Command::Batch(b) => run_batch(b),
         Command::Cluster(c) => crate::cluster::run_cluster(c),
+        Command::Trace(t) => run_trace(t),
     }
 }
 
 fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
+    // With a flight recorder the engine needs a tracer sinking into it;
+    // every job then records a span tree, and the `trace` op queries
+    // the ring. Without one, nothing is traced (byte-identical).
+    let recorder = (opts.flight_recorder > 0).then(|| {
+        Arc::new(FlightRecorder::new(RecorderConfig {
+            capacity: opts.flight_recorder,
+            slow_us: opts.slow_ms.saturating_mul(1_000),
+            sample_one_in: opts.trace_sample,
+        }))
+    });
     ServiceConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
@@ -39,7 +52,10 @@ fn engine_config(opts: &crate::args::ServiceOpts) -> ServiceConfig {
         checkpoint_every_planes: opts.checkpoint_every,
         client_rate: opts.client_rate,
         max_in_flight_per_client: opts.max_in_flight_per_client,
-        tracer: None,
+        tracer: recorder
+            .as_ref()
+            .map(|r| tsa_service::Tracer::new(Arc::clone(r) as Arc<dyn tsa_service::SpanSink>)),
+        recorder,
         // The parser validated the name; fall back defensively anyway.
         default_kernel: crate::args::parse_kernel(&opts.kernel)
             .unwrap_or(tsa_core::SimdKernel::Auto),
@@ -57,17 +73,25 @@ fn install_drain_signals(engine: &Arc<Engine>) {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    static DUMP: AtomicBool = AtomicBool::new(false);
     extern "C" fn on_signal(_sig: i32) {
         SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" fn on_dump(_sig: i32) {
+        DUMP.store(true, Ordering::SeqCst);
     }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    const SIGUSR1: i32 = 10;
     unsafe {
         signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
         signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        // SIGUSR1 dumps the flight recorder to --state-dir without
+        // disturbing the server.
+        signal(SIGUSR1, on_dump as extern "C" fn(i32) as usize);
     }
     let engine = Arc::clone(engine);
     std::thread::Builder::new()
@@ -78,6 +102,17 @@ fn install_drain_signals(engine: &Arc<Engine>) {
                 let stats = engine.drain();
                 eprintln!("{stats}");
                 std::process::exit(0);
+            }
+            if DUMP.swap(false, Ordering::SeqCst) {
+                match engine.dump_traces() {
+                    Ok(Some(path)) => {
+                        eprintln!("# tsa serve: flight recorder dumped to {}", path.display())
+                    }
+                    Ok(None) => eprintln!(
+                        "# tsa serve: SIGUSR1 ignored (needs --flight-recorder and --state-dir)"
+                    ),
+                    Err(e) => eprintln!("# tsa serve: trace dump failed: {e}"),
+                }
             }
             std::thread::sleep(Duration::from_millis(50));
         })
@@ -90,9 +125,17 @@ fn install_drain_signals(_engine: &Arc<Engine>) {}
 fn run_serve(s: ServeArgs) -> Result<(), String> {
     let mut config = engine_config(&s.service);
     if s.trace_jobs {
-        let sink: Arc<dyn tsa_service::SpanSink> = match s.log_format.as_str() {
+        let stderr_sink: Arc<dyn tsa_service::SpanSink> = match s.log_format.as_str() {
             "json" => Arc::new(tsa_service::JsonSink::new(std::io::stderr())),
             _ => Arc::new(tsa_service::TextSink::new(std::io::stderr())),
+        };
+        // With a flight recorder too, fan spans out to both sinks.
+        let sink: Arc<dyn tsa_service::SpanSink> = match config.recorder.clone() {
+            Some(recorder) => Arc::new(tsa_service::MultiSink::new(vec![
+                stderr_sink,
+                recorder as Arc<dyn tsa_service::SpanSink>,
+            ])),
+            None => stderr_sink,
         };
         config.tracer = Some(tsa_service::Tracer::new(sink));
     }
@@ -151,6 +194,7 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
         total.cancelled += summary.cancelled;
         total.failed += summary.failed;
         total.errors += summary.errors;
+        total.flagged.extend(summary.flagged);
         let round_ms = round_start.elapsed().as_secs_f64() * 1e3;
         if round == 0 {
             first_round_ms = round_ms;
@@ -198,6 +242,7 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
         start.elapsed().as_secs_f64() * 1e3
     );
     eprintln!("# batch outcomes: {total}");
+    report_flagged(&total.flagged);
     if b.repeat > 1 {
         let lookups = final_snap.cache_hits + final_snap.cache_misses;
         let ratio = if lookups == 0 {
@@ -217,6 +262,84 @@ fn run_batch(b: BatchArgs) -> Result<(), String> {
     }
     if !total.all_ok() {
         return Err(format!("batch had non-success outcomes: {total}"));
+    }
+    Ok(())
+}
+
+/// Print every non-clean job from a batch tally with its trace id, so
+/// failures are immediately queryable via `tsa trace`. Bounded: a
+/// flood of failures summarizes past the first 20.
+pub fn report_flagged(flagged: &[tsa_service::FlaggedJob]) {
+    const MAX_LINES: usize = 20;
+    for f in flagged.iter().take(MAX_LINES) {
+        let tag = if f.tag.is_empty() {
+            "(anonymous)"
+        } else {
+            &f.tag
+        };
+        if f.trace_id != 0 {
+            eprintln!("#   {}: {} trace {:016x}", tag, f.outcome, f.trace_id);
+        } else {
+            eprintln!("#   {}: {}", tag, f.outcome);
+        }
+    }
+    if flagged.len() > MAX_LINES {
+        eprintln!(
+            "#   … and {} more flagged job(s)",
+            flagged.len() - MAX_LINES
+        );
+    }
+}
+
+/// `tsa trace` — query a running server's (or cluster front door's)
+/// flight recorder and render the stitched trace trees.
+fn run_trace(t: TraceArgs) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use tsa_service::json::Value;
+
+    let stream =
+        std::net::TcpStream::connect(&t.connect).map_err(|e| format!("{}: {e}", t.connect))?;
+    let request = match &t.id {
+        Some(id) => format!("{{\"op\":\"trace\",\"trace_id\":\"{id}\"}}\n"),
+        None => format!("{{\"op\":\"trace\",\"recent\":{}}}\n", t.recent),
+    };
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("{}: {e}", t.connect))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("{}: {e}", t.connect))?;
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(format!(
+            "{}: connection closed without a response",
+            t.connect
+        ));
+    }
+    if t.json {
+        println!("{line}");
+        return Ok(());
+    }
+    let value = Value::parse(line).map_err(|e| format!("unparseable trace response: {e}"))?;
+    if !value.get("ok").and_then(Value::as_bool).unwrap_or(false) {
+        let message = value
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap_or("trace query refused");
+        return Err(message.to_string());
+    }
+    let trees = tsa_service::protocol::parse_trace_trees(&value);
+    if trees.is_empty() {
+        match &t.id {
+            Some(id) => println!("no trace {id} (evicted, sampled out, or never recorded)"),
+            None => println!("no notable traces recorded yet"),
+        }
+        return Ok(());
+    }
+    for tree in &trees {
+        print!("{}", tsa_service::render_tree(tree));
     }
     Ok(())
 }

@@ -34,10 +34,13 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use tsa_obs::{Counter, Gauge, Registry};
+use tsa_obs::{
+    Counter, FlightRecorder, Gauge, RecorderConfig, Registry, Span, SpanSink, TraceContext,
+    TraceTree, Tracer,
+};
 use tsa_service::json::{escape, JsonObject, Value};
 use tsa_service::protocol::{self, Request};
-use tsa_service::{content_uid, AlignRequest, BatchSummary};
+use tsa_service::{content_uid, AlignRequest, BatchSummary, FlaggedJob};
 
 use crate::breaker::{Admission, Breaker};
 use crate::link::{spawn_worker, Event, SpawnOptions, WorkerLink};
@@ -115,6 +118,19 @@ pub struct ClusterConfig {
     pub client_rate: Option<f64>,
     /// Per-client in-flight quota forwarded to every worker.
     pub max_in_flight_per_client: Option<usize>,
+    /// Flight-recorder ring capacity. When > 0 the coordinator mints a
+    /// trace per submission, stamps a trace context on every outgoing
+    /// line, records its own routing/retry/hedge spans, and starts
+    /// every worker with a same-sized recorder so the `trace` op can
+    /// stitch one tree per job across the cluster. 0 (the default)
+    /// disables tracing entirely: the wire stays byte-identical.
+    pub flight_recorder: usize,
+    /// Traces slower end-to-end than this many milliseconds are always
+    /// retained (and marked notable). 0 disables the threshold.
+    pub slow_ms: u64,
+    /// Keep one in N clean traces; ≤ 1 keeps all. Errors, sheds,
+    /// retries, hedges, and slow traces are always retained.
+    pub trace_sample: u64,
 }
 
 impl Default for ClusterConfig {
@@ -136,6 +152,9 @@ impl Default for ClusterConfig {
             hedge_after_ms: 0,
             client_rate: None,
             max_in_flight_per_client: None,
+            flight_recorder: 0,
+            slow_ms: 0,
+            trace_sample: 1,
         }
     }
 }
@@ -208,6 +227,84 @@ struct Pending {
     hedge: Option<String>,
     /// Set on a hedge twin: the internal id of its primary.
     hedge_of: Option<String>,
+    /// This submission's distributed-trace handle; `None` when the
+    /// flight recorder is off.
+    trace: Option<PendingTrace>,
+}
+
+/// The coordinator's span handle for one pending submission.
+///
+/// Spans record to the sink when dropped, and the flight recorder
+/// treats the *root's* arrival as trace completion — so field order
+/// matters: `attempt` is declared before `root`, guaranteeing the last
+/// attempt records before the root does whenever a `Pending` (or this
+/// struct) is dropped whole.
+struct PendingTrace {
+    /// The current send attempt. Replaced — and thereby recorded — by
+    /// [`PendingTrace::reattempt`] on every retry/resubmit/rehash.
+    attempt: Span,
+    /// The submission root. `None` on a hedge twin: the primary owns
+    /// the root until the twin wins the race and inherits it.
+    root: Option<Span>,
+    /// The root span's id, valid on twins too; fresh attempts parent
+    /// under it.
+    root_id: u64,
+}
+
+impl PendingTrace {
+    /// Mint a trace for one accepted submission: a `submit` root span
+    /// plus its first `attempt` child.
+    fn open(tracer: &Tracer, original_id: &str) -> PendingTrace {
+        let ctx = TraceContext {
+            trace_id: tracer.mint_trace_id(),
+            parent_span: 0,
+        };
+        let mut root = tracer.span_in("submit", ctx);
+        if !original_id.is_empty() {
+            root.annotate("id", original_id);
+        }
+        let mut attempt = root.child("attempt");
+        attempt.annotate("kind", "first");
+        let root_id = root.id();
+        PendingTrace {
+            attempt,
+            root: Some(root),
+            root_id,
+        }
+    }
+
+    /// The trace handle for a hedge twin: a sibling `attempt` under the
+    /// primary's root, with no root of its own.
+    fn twin(&self, tracer: &Tracer) -> PendingTrace {
+        let mut attempt = tracer.span_under("attempt", self.trace_id(), self.root_id);
+        attempt.annotate("kind", "hedge");
+        PendingTrace {
+            attempt,
+            root: None,
+            root_id: self.root_id,
+        }
+    }
+
+    fn trace_id(&self) -> u64 {
+        self.attempt.trace_id()
+    }
+
+    /// The context to stamp on the next outgoing line: the worker's
+    /// `job` root parents under the current attempt.
+    fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id(),
+            parent_span: self.attempt.id(),
+        }
+    }
+
+    /// Open a fresh attempt (`kind` = `"retry"`, `"resubmit"`, or
+    /// `"rehash"`); the previous attempt records as it is replaced.
+    fn reattempt(&mut self, tracer: &Tracer, kind: &'static str) {
+        let mut attempt = tracer.span_under("attempt", self.trace_id(), self.root_id);
+        attempt.annotate("kind", kind);
+        self.attempt = attempt;
+    }
 }
 
 enum ControlOp {
@@ -215,6 +312,10 @@ enum ControlOp {
     Metrics,
     Shutdown,
     Drain,
+    Trace {
+        trace_id: Option<u64>,
+        recent: usize,
+    },
 }
 
 /// Per-shard FIFO of waiters for id-less control responses, keyed by
@@ -238,6 +339,11 @@ pub struct Coordinator {
     waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
     /// Retries waiting out their backoff: `(fire_at, internal_id)`.
     retry_queue: Mutex<Vec<(Instant, String)>>,
+    /// Present when `flight_recorder > 0`; mints trace ids and records
+    /// the coordinator's routing/retry/hedge spans into `recorder`.
+    tracer: Option<Tracer>,
+    /// The coordinator's own ring of completed trace trees.
+    recorder: Option<Arc<FlightRecorder>>,
     registry: Registry,
     routed: Counter,
     respawns: Counter,
@@ -262,6 +368,18 @@ impl Coordinator {
         }
         let (events_tx, events_rx) = channel();
         let registry = Registry::new();
+        let recorder = if config.flight_recorder > 0 {
+            Some(Arc::new(FlightRecorder::new(RecorderConfig {
+                capacity: config.flight_recorder,
+                slow_us: config.slow_ms.saturating_mul(1_000),
+                sample_one_in: config.trace_sample,
+            })))
+        } else {
+            None
+        };
+        let tracer = recorder
+            .as_ref()
+            .map(|r| Tracer::new(Arc::clone(r) as Arc<dyn SpanSink>));
         let coordinator = Arc::new(Coordinator {
             started: Instant::now(),
             members: Mutex::new(HashMap::new()),
@@ -297,6 +415,8 @@ impl Coordinator {
             ),
             retry_queue: Mutex::new(Vec::new()),
             members_gauge: registry.gauge("tsa_cluster_members", "Current cluster member count."),
+            tracer,
+            recorder,
             registry,
             config,
         });
@@ -404,6 +524,10 @@ impl Coordinator {
             kernel: self.config.kernel.clone(),
             client_rate: self.config.client_rate,
             max_in_flight_per_client: self.config.max_in_flight_per_client,
+            flight_recorder: (self.config.flight_recorder > 0)
+                .then_some(self.config.flight_recorder),
+            slow_ms: (self.config.slow_ms > 0).then_some(self.config.slow_ms),
+            trace_sample: (self.config.trace_sample > 1).then_some(self.config.trace_sample),
         }
     }
 
@@ -586,6 +710,11 @@ impl Coordinator {
         let Some(mut p) = self.pending.lock().unwrap().remove(id) else {
             return;
         };
+        // Every settled attempt records its outcome (or error code) so
+        // the stitched tree tells which attempt won and how each lost.
+        let outcome_label = status
+            .or_else(|| value.get("error").and_then(Value::as_str))
+            .unwrap_or("unknown");
         if let Some(primary_id) = &p.hedge_of {
             // A hedge twin answered. A winning (ok) answer takes the
             // primary's reply; a losing one just leaves the race.
@@ -597,8 +726,21 @@ impl Coordinator {
                 }
                 None
             };
-            if let Some(pr) = primary {
-                if let Some(reply) = pr.reply {
+            if let Some(t) = p.trace.as_mut() {
+                t.attempt.annotate("outcome", outcome_label);
+                if !ok {
+                    t.attempt.annotate("hedge_loser", true);
+                }
+            }
+            if let Some(mut pr) = primary {
+                // The twin won. Record its attempt *before* the
+                // primary drops: the primary owns the root, and the
+                // root's arrival completes the trace in the recorder.
+                drop(p.trace.take());
+                if let Some(t) = pr.trace.as_mut() {
+                    t.attempt.annotate("hedge_loser", true);
+                }
+                if let Some(reply) = pr.reply.take() {
                     self.deliver(reply, restore_id(line, id, &p.original_id));
                 }
             }
@@ -606,14 +748,28 @@ impl Coordinator {
         }
         if let Some(hedge_id) = p.hedge.take() {
             if ok {
-                self.pending.lock().unwrap().remove(&hedge_id);
+                if let Some(mut h) = self.pending.lock().unwrap().remove(&hedge_id) {
+                    if let Some(t) = h.trace.as_mut() {
+                        t.attempt.annotate("hedge_loser", true);
+                    }
+                    // `h` drops here: the losing twin's attempt records
+                    // before the primary's root completes the trace.
+                }
             } else {
                 // The primary failed while its hedge still races: the
-                // hedge inherits the reply and becomes the job.
+                // hedge inherits the reply — and the trace root, which
+                // must not complete until the surviving attempt does —
+                // and becomes the job.
                 let mut pending = self.pending.lock().unwrap();
                 if let Some(h) = pending.get_mut(&hedge_id) {
                     h.hedge_of = None;
-                    h.reply = p.reply;
+                    h.reply = p.reply.take();
+                    if let Some(pt) = p.trace.as_mut() {
+                        pt.attempt.annotate("outcome", outcome_label);
+                        if let Some(ht) = h.trace.as_mut() {
+                            ht.root = pt.root.take();
+                        }
+                    }
                     return;
                 }
             }
@@ -627,6 +783,9 @@ impl Coordinator {
                 Some("overloaded")
             );
         if !ok && retryable && p.attempts < RETRY_MAX_ATTEMPTS && self.retry_allowed() {
+            if let Some(t) = p.trace.as_mut() {
+                t.attempt.annotate("outcome", outcome_label);
+            }
             let hint = value
                 .get("retry_after_ms")
                 .and_then(Value::as_u64)
@@ -634,7 +793,10 @@ impl Coordinator {
             self.schedule_retry(id.to_string(), p, hint);
             return;
         }
-        if let Some(reply) = p.reply {
+        if let Some(t) = p.trace.as_mut() {
+            t.attempt.annotate("outcome", outcome_label);
+        }
+        if let Some(reply) = p.reply.take() {
             self.deliver(reply, restore_id(line, id, &p.original_id));
         }
     }
@@ -701,7 +863,18 @@ impl Coordinator {
         let Some(mut p) = self.pending.lock().unwrap().remove(id) else {
             return; // answered by a duplicate delivery while parked
         };
+        // A retry is a fresh attempt under the same root; the new
+        // attempt span must exist before the line re-renders so the
+        // outgoing stamp parents under it.
+        if let (Some(t), Some(tracer)) = (p.trace.as_mut(), self.tracer.as_ref()) {
+            t.reattempt(tracer, "retry");
+            p.req.trace = Some(t.context());
+        }
+        let trace_id = p.trace.as_ref().map(PendingTrace::trace_id).unwrap_or(0);
         let Some(line) = line_for(&mut p) else {
+            if let Some(t) = p.trace.as_mut() {
+                t.attempt.annotate("outcome", "deadline");
+            }
             if let Some(reply) = p.reply {
                 self.deliver(
                     reply,
@@ -709,6 +882,7 @@ impl Coordinator {
                         &p.original_id,
                         "deadline",
                         "deadline exceeded while waiting to retry",
+                        trace_id,
                     ),
                 );
             }
@@ -717,19 +891,28 @@ impl Coordinator {
         match self.route_admitted(&p.uid) {
             Ok(shard) => {
                 p.shard = shard;
+                if let Some(t) = p.trace.as_mut() {
+                    t.attempt.annotate("shard", shard as u64);
+                }
                 self.pending.lock().unwrap().insert(id.to_string(), p);
                 self.send_to(shard, &line);
             }
             Err(None) => {
+                if let Some(t) = p.trace.as_mut() {
+                    t.attempt.annotate("outcome", "unavailable");
+                }
                 if let Some(reply) = p.reply {
                     self.deliver(
                         reply,
-                        error_line(&p.original_id, "unavailable", "no live workers"),
+                        error_line(&p.original_id, "unavailable", "no live workers", trace_id),
                     );
                 }
             }
             Err(Some(retry_after)) => {
                 self.shed.inc();
+                if let Some(t) = p.trace.as_mut() {
+                    t.attempt.annotate("outcome", "shed");
+                }
                 if let Some(reply) = p.reply {
                     self.deliver(
                         reply,
@@ -738,6 +921,7 @@ impl Coordinator {
                             "unavailable",
                             "every eligible shard's circuit breaker is open",
                             retry_after,
+                            trace_id,
                         ),
                     );
                 }
@@ -802,6 +986,20 @@ impl Coordinator {
         let twin_id = format!("{original_id}#@{}", self.seq.fetch_add(1, Ordering::SeqCst));
         let mut twin_req = req;
         twin_req.tag = twin_id.clone();
+        // The twin is a sibling attempt under the primary's root; it
+        // carries its own span but never the root, which stays with
+        // the primary unless the primary loses the race first.
+        let mut twin_trace = self.tracer.as_ref().and_then(|tracer| {
+            let pending = self.pending.lock().unwrap();
+            pending.get(id).and_then(|p| p.trace.as_ref()).map(|t| {
+                let mut tt = t.twin(tracer);
+                tt.attempt.annotate("shard", alt as u64);
+                tt
+            })
+        });
+        if let Some(tt) = twin_trace.as_ref() {
+            twin_req.trace = Some(tt.context());
+        }
         let Some(base_line) = protocol::render_submit(&twin_req) else {
             return;
         };
@@ -816,6 +1014,7 @@ impl Coordinator {
             attempts: 1,
             hedge: None,
             hedge_of: Some(id.to_string()),
+            trace: twin_trace.take(),
         };
         let Some(line) = line_for(&mut twin) else {
             return; // deadline already spent; nothing to race
@@ -903,15 +1102,32 @@ impl Coordinator {
         let uid = content_uid(&req);
         let internal = format!("{original}#@{}", self.seq.fetch_add(1, Ordering::SeqCst));
         req.tag = internal.clone();
+        let mut trace = self
+            .tracer
+            .as_ref()
+            .map(|t| PendingTrace::open(t, &original));
+        let trace_id = trace.as_ref().map_or(0, PendingTrace::trace_id);
+        // One stamp per outgoing line: the trace context is written into
+        // the request *before* every render, so the worker's `job` span
+        // parents under the attempt that actually carried it.
+        if let Some(t) = &trace {
+            req.trace = Some(t.context());
+        }
         let line = match protocol::render_submit(&req) {
             Some(line) => line,
             None => {
+                if let Some(t) = trace.as_mut() {
+                    if let Some(root) = t.root.as_mut() {
+                        root.annotate("rejected", "unserializable");
+                    }
+                }
                 self.deliver(
                     reply,
                     error_line(
                         &original,
                         "unserializable",
                         "custom scoring cannot be forwarded over the cluster wire",
+                        trace_id,
                     ),
                 );
                 return;
@@ -920,14 +1136,24 @@ impl Coordinator {
         let shard = match self.route_admitted(&uid) {
             Ok(shard) => shard,
             Err(None) => {
+                if let Some(t) = trace.as_mut() {
+                    if let Some(root) = t.root.as_mut() {
+                        root.annotate("rejected", "no live workers");
+                    }
+                }
                 self.deliver(
                     reply,
-                    error_line(&original, "unavailable", "no live workers"),
+                    error_line(&original, "unavailable", "no live workers", trace_id),
                 );
                 return;
             }
             Err(Some(retry_after)) => {
                 self.shed.inc();
+                if let Some(t) = trace.as_mut() {
+                    if let Some(root) = t.root.as_mut() {
+                        root.annotate("shed", "breaker_open");
+                    }
+                }
                 self.deliver(
                     reply,
                     error_line_with_retry(
@@ -935,11 +1161,15 @@ impl Coordinator {
                         "unavailable",
                         "every eligible shard's circuit breaker is open",
                         retry_after,
+                        trace_id,
                     ),
                 );
                 return;
             }
         };
+        if let Some(t) = trace.as_mut() {
+            t.attempt.annotate("shard", shard as u64);
+        }
         self.pending.lock().unwrap().insert(
             internal,
             Pending {
@@ -953,6 +1183,7 @@ impl Coordinator {
                 attempts: 1,
                 hedge: None,
                 hedge_of: None,
+                trace,
             },
         );
         self.routed.inc();
@@ -1105,11 +1336,20 @@ impl Coordinator {
                 let Some(p) = pending.get_mut(&id) else {
                     continue;
                 };
+                if let (Some(t), Some(tracer)) = (p.trace.as_mut(), self.tracer.as_ref()) {
+                    t.reattempt(tracer, "resubmit");
+                    t.attempt.annotate("shard", shard as u64);
+                    p.req.trace = Some(t.context());
+                }
                 match line_for(p) {
                     Some(line) => line,
                     None => {
-                        let p = pending.remove(&id).expect("entry present under lock");
+                        let mut p = pending.remove(&id).expect("entry present under lock");
                         drop(pending);
+                        let trace_id = p.trace.as_ref().map(PendingTrace::trace_id).unwrap_or(0);
+                        if let Some(t) = p.trace.as_mut() {
+                            t.attempt.annotate("outcome", "deadline");
+                        }
                         if let Some(reply) = p.reply {
                             self.deliver(
                                 reply,
@@ -1117,6 +1357,7 @@ impl Coordinator {
                                     &p.original_id,
                                     "deadline",
                                     "deadline exceeded during a worker respawn",
+                                    trace_id,
                                 ),
                             );
                         }
@@ -1159,7 +1400,15 @@ impl Coordinator {
         for id in orphans {
             let entry = self.pending.lock().unwrap().remove(&id);
             let Some(mut p) = entry else { continue };
+            if let (Some(t), Some(tracer)) = (p.trace.as_mut(), self.tracer.as_ref()) {
+                t.reattempt(tracer, "rehash");
+                p.req.trace = Some(t.context());
+            }
+            let trace_id = p.trace.as_ref().map(PendingTrace::trace_id).unwrap_or(0);
             let Some(line) = line_for(&mut p) else {
+                if let Some(t) = p.trace.as_mut() {
+                    t.attempt.annotate("outcome", "deadline");
+                }
                 if let Some(reply) = p.reply {
                     self.deliver(
                         reply,
@@ -1167,6 +1416,7 @@ impl Coordinator {
                             &p.original_id,
                             "deadline",
                             "deadline exceeded while rehashing a departed shard",
+                            trace_id,
                         ),
                     );
                 }
@@ -1175,15 +1425,26 @@ impl Coordinator {
             match self.map.lock().unwrap().route(&p.uid) {
                 Some(new_shard) => {
                     p.shard = new_shard;
+                    if let Some(t) = p.trace.as_mut() {
+                        t.attempt.annotate("shard", new_shard as u64);
+                    }
                     self.pending.lock().unwrap().insert(id, p);
                     self.send_to(new_shard, &line);
                     self.resubmitted.inc();
                 }
                 None => {
+                    if let Some(t) = p.trace.as_mut() {
+                        t.attempt.annotate("outcome", "unavailable");
+                    }
                     if let Some(reply) = p.reply {
                         self.deliver(
                             reply,
-                            error_line(&p.original_id, "unavailable", "all workers departed"),
+                            error_line(
+                                &p.original_id,
+                                "unavailable",
+                                "all workers departed",
+                                trace_id,
+                            ),
                         )
                     }
                 }
@@ -1250,6 +1511,59 @@ impl Coordinator {
         self.render_aggregate("stats", &rows)
     }
 
+    /// Cluster-wide `trace`: by id, stitch the coordinator's recorded
+    /// spans with each worker's subtree (fetched by fanning the `trace`
+    /// op out over the control lanes) into one tree; `recent` answers
+    /// from the coordinator's recorder alone, which retains every
+    /// notable (failed/shed/retried/hedged/slow) submission.
+    pub fn trace_line(&self, trace_id: Option<u64>, recent: usize) -> String {
+        let Some(recorder) = self.recorder.as_ref() else {
+            return protocol::render_trace_unavailable();
+        };
+        let Some(id) = trace_id else {
+            return protocol::render_trace_response(&recorder.recent(recent));
+        };
+        let mut tree = recorder.get(id);
+        let request = format!("{{\"op\":\"trace\",\"trace_id\":\"{id:016x}\"}}");
+        let rows = self.collect_control(&request, "trace", Duration::from_secs(10));
+        let mut worker_spans = Vec::new();
+        let mut workers_notable = false;
+        for (shard, value) in &rows {
+            for wtree in protocol::parse_trace_trees(value) {
+                workers_notable |= wtree.notable;
+                for mut span in wtree.spans {
+                    // A worker reports its own spans unsharded; tag
+                    // them with the shard they came from so ids from
+                    // different workers can never collide in the tree.
+                    if span.shard.is_none() {
+                        span.shard = Some(*shard as u64);
+                    }
+                    worker_spans.push(span);
+                }
+            }
+        }
+        if tree.is_none() && !worker_spans.is_empty() {
+            // The coordinator's ring evicted (or sampled out) its half,
+            // but a worker still holds the job subtree — serve that.
+            tree = Some(TraceTree {
+                trace_id: id,
+                notable: workers_notable,
+                spans: Vec::new(),
+            });
+        }
+        match tree {
+            Some(mut tree) => {
+                // Worker spans append *after* the coordinator's own:
+                // same-shard parents must appear later in arrival
+                // order, and cross-shard parents resolve against the
+                // coordinator's unsharded id space.
+                tree.spans.extend(worker_spans);
+                protocol::render_trace_response(&[tree])
+            }
+            None => protocol::render_trace_response(&[]),
+        }
+    }
+
     /// Cluster-wide `metrics`: every worker's exposition merged with
     /// the coordinator's own registry (summed families plus per-shard
     /// labeled series).
@@ -1279,6 +1593,48 @@ impl Coordinator {
                     "tsa_cluster_breaker_state{{member=\"{}\"}} {}\n",
                     m.shard,
                     m.breaker.state().code()
+                ));
+            }
+        }
+        if let Some(recorder) = self.recorder.as_ref() {
+            // Same hand-rolled families the worker engine exposes, so
+            // the merge sums worker and coordinator recorders alike.
+            let rs = recorder.stats();
+            let families: [(&str, &str, &str, u64); 5] = [
+                (
+                    "tsa_recorder_traces_total",
+                    "counter",
+                    "Distributed traces completed (root span recorded).",
+                    rs.completed,
+                ),
+                (
+                    "tsa_recorder_retained_total",
+                    "counter",
+                    "Completed traces admitted to the flight-recorder ring.",
+                    rs.retained,
+                ),
+                (
+                    "tsa_recorder_sampled_out_total",
+                    "counter",
+                    "Clean traces dropped by probabilistic sampling.",
+                    rs.sampled_out,
+                ),
+                (
+                    "tsa_recorder_evicted_total",
+                    "counter",
+                    "Traces pushed out of the ring or pending buffer by the bound.",
+                    rs.evicted,
+                ),
+                (
+                    "tsa_recorder_pending_traces",
+                    "gauge",
+                    "Traces buffered awaiting their root span.",
+                    rs.pending,
+                ),
+            ];
+            for (name, kind, help, value) in families {
+                own.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
                 ));
             }
         }
@@ -1378,8 +1734,25 @@ impl Coordinator {
 
     fn render_aggregate(&self, op: &str, rows: &[(ShardId, Value)]) -> String {
         let mut sums = [0u64; SUM_FIELDS.len()];
+        // Histogram bucket arrays sum element-wise; quantiles are then
+        // derived from the merged histogram. Summing the workers'
+        // per-shard percentiles would be statistically meaningless.
+        const BUCKET_FIELDS: [&str; 3] =
+            ["latency_buckets", "queue_wait_buckets", "kernel_buckets"];
+        let mut bucket_sums: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         let mut shard_rows = Vec::new();
         for (shard, value) in rows {
+            for (bi, field) in BUCKET_FIELDS.iter().enumerate() {
+                if let Some(Value::Arr(items)) = value.get(field) {
+                    let acc = &mut bucket_sums[bi];
+                    if acc.len() < items.len() {
+                        acc.resize(items.len(), 0);
+                    }
+                    for (i, item) in items.iter().enumerate() {
+                        acc[i] += item.as_u64().unwrap_or(0);
+                    }
+                }
+            }
             let mut row = JsonObject::new().u64("shard", *shard as u64);
             if let Some(server) = value.get("server") {
                 if let Some(version) = server.get("version").and_then(Value::as_str) {
@@ -1455,6 +1828,18 @@ impl Coordinator {
         for (i, field) in SUM_FIELDS.iter().enumerate() {
             obj = obj.u64(field, sums[i]);
         }
+        for (bi, prefix) in ["latency", "queue_wait", "kernel"].iter().enumerate() {
+            let buckets = &bucket_sums[bi];
+            if buckets.is_empty() {
+                continue;
+            }
+            for (q, tag) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                obj = obj.u64(
+                    &format!("{prefix}_{tag}_us"),
+                    tsa_obs::metrics::quantile_upper_bound(buckets, q),
+                );
+            }
+        }
         obj.objects("shards", shard_rows).finish()
     }
 
@@ -1500,6 +1885,12 @@ impl Coordinator {
                 self.spawn_control(conn, ControlOp::Drain);
                 Vec::new()
             }
+            Ok(Request::Trace { trace_id, recent }) => {
+                // Stitching fans out to the workers, so it blocks like
+                // stats/metrics and answers through the outbox.
+                self.spawn_control(conn, ControlOp::Trace { trace_id, recent });
+                Vec::new()
+            }
         }
     }
 
@@ -1514,6 +1905,7 @@ impl Coordinator {
                 ControlOp::Metrics => c.metrics_line(),
                 ControlOp::Shutdown => c.broadcast_shutdown("shutdown"),
                 ControlOp::Drain => c.broadcast_shutdown("drain"),
+                ControlOp::Trace { trace_id, recent } => c.trace_line(trace_id, recent),
             };
             // The response must be queued before the loop is told to
             // stop, or the final flush would find an empty outbox and
@@ -1562,6 +1954,9 @@ pub fn run_batch<W: Write>(
             }
             Ok(Request::Stats) => responses.push((lineno, coordinator.stats_line())),
             Ok(Request::Metrics) => responses.push((lineno, coordinator.metrics_line())),
+            Ok(Request::Trace { trace_id, recent }) => {
+                responses.push((lineno, coordinator.trace_line(trace_id, recent)))
+            }
             Ok(Request::ShardInfo) => responses.push((lineno, coordinator.shard_info_line())),
             Ok(Request::Hello) => responses.push((lineno, coordinator.hello_line())),
             Ok(Request::Ping { seq }) => responses.push((lineno, coordinator.pong_line(seq))),
@@ -1578,7 +1973,7 @@ pub fn run_batch<W: Write>(
         let line = rx
             .recv_timeout(Duration::from_secs(600))
             .unwrap_or_else(|_| {
-                error_line("", "timeout", "no response from the cluster within 600s")
+                error_line("", "timeout", "no response from the cluster within 600s", 0)
             });
         tally(&mut summary, &line);
         responses.push((lineno, line));
@@ -1593,52 +1988,101 @@ pub fn run_batch<W: Write>(
 
 /// Bucket one submission response into the batch tally: terminal
 /// outcomes count under their `status`, refusals (coordinator sheds,
-/// worker `overloaded`, unserializable requests) under `errors`.
+/// worker `overloaded`, unserializable requests) under `errors`. Every
+/// non-clean line is also flagged with its `trace_id` so the batch
+/// report prints something directly queryable via the `trace` op.
 fn tally(summary: &mut BatchSummary, line: &str) {
     let Ok(value) = Value::parse(line) else {
         summary.errors += 1;
         return;
     };
-    match value.get("status").and_then(Value::as_str) {
-        Some("done") => summary.done += 1,
-        Some("deadline") => summary.deadline += 1,
-        Some("cancelled") => summary.cancelled += 1,
-        Some("failed") => summary.failed += 1,
+    let outcome = match value.get("status").and_then(Value::as_str) {
+        Some("done") => {
+            summary.done += 1;
+            None
+        }
+        Some("deadline") => {
+            summary.deadline += 1;
+            Some("deadline")
+        }
+        Some("cancelled") => {
+            summary.cancelled += 1;
+            Some("cancelled")
+        }
+        Some("failed") => {
+            summary.failed += 1;
+            Some("failed")
+        }
         _ => {
             if value.get("error").is_some() {
                 summary.errors += 1;
+                Some("error")
+            } else {
+                None
             }
         }
+    };
+    if let Some(outcome) = outcome {
+        summary.flagged.push(FlaggedJob {
+            tag: value
+                .get("id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            outcome,
+            trace_id: value
+                .get("trace_id")
+                .and_then(Value::as_str)
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .unwrap_or(0),
+        });
     }
 }
 
 /// A coordinator-originated submit refusal, shaped like a worker one.
-fn error_line(id: &str, code: &str, message: &str) -> String {
+/// A nonzero `trace_id` is echoed so the refusal is queryable in the
+/// flight recorder; untraced refusals (0) keep the historical shape.
+fn error_line(id: &str, code: &str, message: &str, trace_id: u64) -> String {
     let obj = JsonObject::new().bool("ok", false).str("op", "submit");
     let obj = if id.is_empty() {
         obj
     } else {
         obj.str("id", id)
     };
-    obj.str("error", code).str("message", message).finish()
+    let obj = obj.str("error", code).str("message", message);
+    let obj = if trace_id != 0 {
+        obj.str("trace_id", &format!("{trace_id:016x}"))
+    } else {
+        obj
+    };
+    obj.finish()
 }
 
 /// An [`error_line`] carrying a `retry_after_ms` hint, shaped like a
 /// worker `overloaded` refusal so clients handle both alike.
-fn error_line_with_retry(id: &str, code: &str, message: &str, retry_after: Duration) -> String {
+fn error_line_with_retry(
+    id: &str,
+    code: &str,
+    message: &str,
+    retry_after: Duration,
+    trace_id: u64,
+) -> String {
     let obj = JsonObject::new().bool("ok", false).str("op", "submit");
     let obj = if id.is_empty() {
         obj
     } else {
         obj.str("id", id)
     };
-    obj.str("error", code)
-        .str("message", message)
-        .u64(
-            "retry_after_ms",
-            retry_after.as_millis().min(u64::MAX as u128) as u64,
-        )
-        .finish()
+    let obj = obj.str("error", code).str("message", message).u64(
+        "retry_after_ms",
+        retry_after.as_millis().min(u64::MAX as u128) as u64,
+    );
+    let obj = if trace_id != 0 {
+        obj.str("trace_id", &format!("{trace_id:016x}"))
+    } else {
+        obj
+    };
+    obj.finish()
 }
 
 /// Re-render `p.line` with whatever remains of the client's deadline
@@ -1655,6 +2099,10 @@ fn line_for(p: &mut Pending) -> Option<String> {
         let mut req = p.req.clone();
         req.deadline = Some(remaining);
         p.line = protocol::render_submit(&req)?;
+    } else if p.req.trace.is_some() {
+        // No deadline to shrink, but a traced job must re-render so
+        // the outgoing stamp parents under the *current* attempt span.
+        p.line = protocol::render_submit(&p.req)?;
     }
     Some(p.line.clone())
 }
@@ -1730,19 +2178,28 @@ mod tests {
     #[test]
     fn error_lines_follow_the_submit_refusal_shape() {
         assert_eq!(
-            error_line("j1", "unavailable", "no live workers"),
+            error_line("j1", "unavailable", "no live workers", 0),
             r#"{"ok":false,"op":"submit","id":"j1","error":"unavailable","message":"no live workers"}"#
         );
-        assert!(!error_line("", "timeout", "m").contains("\"id\""));
+        assert!(!error_line("", "timeout", "m", 0).contains("\"id\""));
+        // A traced refusal echoes the trace id so it stays queryable.
+        assert_eq!(
+            error_line("j1", "unavailable", "m", 0xabc),
+            r#"{"ok":false,"op":"submit","id":"j1","error":"unavailable","message":"m","trace_id":"0000000000000abc"}"#
+        );
     }
 
     #[test]
     fn shed_refusals_carry_a_retry_hint() {
-        let line = error_line_with_retry("j2", "unavailable", "shed", Duration::from_millis(120));
+        let line =
+            error_line_with_retry("j2", "unavailable", "shed", Duration::from_millis(120), 0);
         assert_eq!(
             line,
             r#"{"ok":false,"op":"submit","id":"j2","error":"unavailable","message":"shed","retry_after_ms":120}"#
         );
+        let traced =
+            error_line_with_retry("j2", "unavailable", "shed", Duration::from_millis(5), 0x1f);
+        assert!(traced.ends_with(r#""retry_after_ms":5,"trace_id":"000000000000001f"}"#));
     }
 
     fn parse_submit(line: &str) -> AlignRequest {
@@ -1765,6 +2222,7 @@ mod tests {
             attempts: 1,
             hedge: None,
             hedge_of: None,
+            trace: None,
         }
     }
 
@@ -1816,5 +2274,138 @@ mod tests {
         assert_eq!(s.deadline, 1);
         assert_eq!(s.failed, 1, "status wins over error when both appear");
         assert_eq!(s.errors, 2);
+        // Every parseable non-clean line is flagged for the report.
+        assert_eq!(s.flagged.len(), 3);
+        assert_eq!(s.flagged[0].outcome, "deadline");
+        assert_eq!(s.flagged[2].outcome, "error");
+    }
+
+    // ---- span-tree completeness under overload paths --------------
+    //
+    // These drive PendingTrace through the exact ownership moves the
+    // coordinator performs on its overload paths (retry, hedge win,
+    // hedge loss with root transfer, breaker shed) and assert every
+    // path yields a complete tree in the recorder with zero leaked
+    // spans.
+
+    fn recorder_tracer() -> (Arc<FlightRecorder>, Tracer) {
+        let recorder = Arc::new(FlightRecorder::new(RecorderConfig {
+            capacity: 16,
+            slow_us: 0,
+            sample_one_in: 1,
+        }));
+        let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn SpanSink>);
+        (recorder, tracer)
+    }
+
+    #[test]
+    fn retried_submission_yields_one_complete_leak_free_tree() {
+        let (recorder, tracer) = recorder_tracer();
+        let mut t = PendingTrace::open(&tracer, "job-1");
+        let tid = t.trace_id();
+        t.attempt.annotate("outcome", "overloaded");
+        t.reattempt(&tracer, "retry");
+        t.attempt.annotate("shard", 1u64);
+        t.attempt.annotate("outcome", "done");
+        drop(t);
+        assert_eq!(tracer.open_spans(), 0, "no span may outlive its trace");
+        let tree = recorder.get(tid).expect("retried traces are retained");
+        assert!(tree.notable, "a retry marks the trace notable");
+        assert_eq!(tree.spans.len(), 3, "root + first attempt + retry");
+        let root = tree.spans.iter().find(|s| s.name == "submit").unwrap();
+        let kinds: Vec<&str> = tree
+            .spans
+            .iter()
+            .filter(|s| s.name == "attempt")
+            .map(|s| {
+                assert_eq!(s.parent, Some(root.id), "attempts parent under the root");
+                s.field("kind").unwrap()
+            })
+            .collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.contains(&"first") && kinds.contains(&"retry"));
+    }
+
+    #[test]
+    fn losing_hedge_twin_closes_annotated_before_the_root() {
+        let (recorder, tracer) = recorder_tracer();
+        let mut p = PendingTrace::open(&tracer, "job-2");
+        let tid = p.trace_id();
+        let mut twin = p.twin(&tracer);
+        assert_eq!(twin.trace_id(), tid, "the twin shares the trace");
+        assert!(twin.root.is_none(), "the primary owns the root");
+        // The primary answers first: the loser must record (annotated)
+        // before the primary's root completes the trace.
+        twin.attempt.annotate("hedge_loser", true);
+        drop(twin);
+        p.attempt.annotate("outcome", "done");
+        drop(p);
+        assert_eq!(tracer.open_spans(), 0);
+        let tree = recorder.get(tid).expect("hedged traces are retained");
+        assert!(tree.notable);
+        assert_eq!(tree.spans.len(), 3, "root + primary attempt + twin");
+        let root = tree.spans.iter().find(|s| s.name == "submit").unwrap();
+        let loser = tree
+            .spans
+            .iter()
+            .find(|s| s.field("hedge_loser").is_some())
+            .expect("loser span annotated");
+        assert_eq!(loser.name, "attempt");
+        assert_eq!(loser.field("kind"), Some("hedge"));
+        assert_eq!(loser.parent, Some(root.id));
+    }
+
+    #[test]
+    fn root_transfer_keeps_the_trace_open_until_the_survivor_settles() {
+        let (recorder, tracer) = recorder_tracer();
+        let mut p = PendingTrace::open(&tracer, "job-3");
+        let tid = p.trace_id();
+        let mut twin = p.twin(&tracer);
+        // The primary fails while its hedge still races: the twin
+        // inherits the root so the trace stays open for the survivor.
+        p.attempt.annotate("outcome", "failed");
+        twin.root = p.root.take();
+        drop(p);
+        assert!(
+            recorder.get(tid).is_none(),
+            "the trace must not complete while an attempt still races"
+        );
+        twin.attempt.annotate("outcome", "done");
+        drop(twin);
+        assert_eq!(tracer.open_spans(), 0);
+        let tree = recorder
+            .get(tid)
+            .expect("completed once the survivor settled");
+        assert_eq!(tree.spans.len(), 3);
+        assert!(tree.notable, "the failed primary attempt marks it");
+    }
+
+    #[test]
+    fn breaker_shed_yields_a_complete_notable_tree() {
+        let (recorder, tracer) = recorder_tracer();
+        let mut t = PendingTrace::open(&tracer, "job-4");
+        let tid = t.trace_id();
+        if let Some(root) = t.root.as_mut() {
+            root.annotate("shed", true);
+            root.annotate("outcome", "breaker_open");
+        }
+        drop(t);
+        assert_eq!(tracer.open_spans(), 0);
+        let tree = recorder.get(tid).expect("sheds are always retained");
+        assert!(tree.notable);
+        assert_eq!(tree.spans.len(), 2, "root + the never-sent attempt");
+    }
+
+    #[test]
+    fn batch_tally_flags_carry_tag_and_trace_id() {
+        let mut s = BatchSummary::default();
+        tally(
+            &mut s,
+            r#"{"ok":false,"op":"submit","id":"j9","status":"failed","trace_id":"00000000000000ff"}"#,
+        );
+        assert_eq!(s.flagged.len(), 1);
+        assert_eq!(s.flagged[0].tag, "j9");
+        assert_eq!(s.flagged[0].outcome, "failed");
+        assert_eq!(s.flagged[0].trace_id, 0xff);
     }
 }

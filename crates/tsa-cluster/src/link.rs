@@ -96,6 +96,9 @@ pub struct SpawnOptions {
     pub kernel: Option<String>,
     pub client_rate: Option<f64>,
     pub max_in_flight_per_client: Option<usize>,
+    pub flight_recorder: Option<usize>,
+    pub slow_ms: Option<u64>,
+    pub trace_sample: Option<u64>,
 }
 
 /// A freshly spawned local worker: the child process and the address
@@ -141,6 +144,15 @@ pub fn spawn_worker(
     }
     if let Some(n) = opts.max_in_flight_per_client {
         cmd.arg("--max-in-flight-per-client").arg(n.to_string());
+    }
+    if let Some(n) = opts.flight_recorder {
+        cmd.arg("--flight-recorder").arg(n.to_string());
+    }
+    if let Some(ms) = opts.slow_ms {
+        cmd.arg("--slow-ms").arg(ms.to_string());
+    }
+    if let Some(n) = opts.trace_sample {
+        cmd.arg("--trace-sample").arg(n.to_string());
     }
     cmd.stdin(Stdio::null())
         .stdout(Stdio::null())

@@ -406,6 +406,92 @@ mod tests {
     }
 
     #[test]
+    fn golden_merge_of_recorder_families_and_breaker_gauges() {
+        // Byte-exact golden: the coordinator part carries the breaker
+        // gauge plus its own flight-recorder families; a worker part
+        // carries only recorder families. Family order in the merged
+        // exposition must be first-seen order across parts, each family
+        // emitting summed series before shard-labeled copies — any
+        // reordering or reformatting regression fails the comparison.
+        let coordinator = concat!(
+            "# HELP tsa_cluster_breaker_state Breaker state per member (0 closed, 1 open, 2 half-open).\n",
+            "# TYPE tsa_cluster_breaker_state gauge\n",
+            "tsa_cluster_breaker_state{member=\"0\"} 0\n",
+            "tsa_cluster_breaker_state{member=\"1\"} 2\n",
+            "# HELP tsa_recorder_traces_total Distributed traces completed (root span recorded).\n",
+            "# TYPE tsa_recorder_traces_total counter\n",
+            "tsa_recorder_traces_total 6\n",
+            "# HELP tsa_recorder_retained_total Completed traces admitted to the flight-recorder ring.\n",
+            "# TYPE tsa_recorder_retained_total counter\n",
+            "tsa_recorder_retained_total 4\n",
+            "# HELP tsa_recorder_sampled_out_total Clean traces dropped by probabilistic sampling.\n",
+            "# TYPE tsa_recorder_sampled_out_total counter\n",
+            "tsa_recorder_sampled_out_total 2\n",
+            "# HELP tsa_recorder_evicted_total Traces pushed out of the ring or pending buffer by the bound.\n",
+            "# TYPE tsa_recorder_evicted_total counter\n",
+            "tsa_recorder_evicted_total 0\n",
+            "# HELP tsa_recorder_pending_traces Traces buffered awaiting their root span.\n",
+            "# TYPE tsa_recorder_pending_traces gauge\n",
+            "tsa_recorder_pending_traces 1\n",
+        );
+        let worker = concat!(
+            "# HELP tsa_recorder_traces_total Distributed traces completed (root span recorded).\n",
+            "# TYPE tsa_recorder_traces_total counter\n",
+            "tsa_recorder_traces_total 3\n",
+            "# HELP tsa_recorder_retained_total Completed traces admitted to the flight-recorder ring.\n",
+            "# TYPE tsa_recorder_retained_total counter\n",
+            "tsa_recorder_retained_total 3\n",
+            "# HELP tsa_recorder_sampled_out_total Clean traces dropped by probabilistic sampling.\n",
+            "# TYPE tsa_recorder_sampled_out_total counter\n",
+            "tsa_recorder_sampled_out_total 0\n",
+            "# HELP tsa_recorder_evicted_total Traces pushed out of the ring or pending buffer by the bound.\n",
+            "# TYPE tsa_recorder_evicted_total counter\n",
+            "tsa_recorder_evicted_total 1\n",
+            "# HELP tsa_recorder_pending_traces Traces buffered awaiting their root span.\n",
+            "# TYPE tsa_recorder_pending_traces gauge\n",
+            "tsa_recorder_pending_traces 0\n",
+        );
+        let merged = merge_expositions(&[
+            ("coordinator".into(), coordinator.into()),
+            ("0".into(), worker.into()),
+        ]);
+        let golden = concat!(
+            "# HELP tsa_cluster_breaker_state Breaker state per member (0 closed, 1 open, 2 half-open).\n",
+            "# TYPE tsa_cluster_breaker_state gauge\n",
+            "tsa_cluster_breaker_state{member=\"0\"} 0\n",
+            "tsa_cluster_breaker_state{member=\"1\"} 2\n",
+            "tsa_cluster_breaker_state{shard=\"coordinator\",member=\"0\"} 0\n",
+            "tsa_cluster_breaker_state{shard=\"coordinator\",member=\"1\"} 2\n",
+            "# HELP tsa_recorder_traces_total Distributed traces completed (root span recorded).\n",
+            "# TYPE tsa_recorder_traces_total counter\n",
+            "tsa_recorder_traces_total 9\n",
+            "tsa_recorder_traces_total{shard=\"coordinator\"} 6\n",
+            "tsa_recorder_traces_total{shard=\"0\"} 3\n",
+            "# HELP tsa_recorder_retained_total Completed traces admitted to the flight-recorder ring.\n",
+            "# TYPE tsa_recorder_retained_total counter\n",
+            "tsa_recorder_retained_total 7\n",
+            "tsa_recorder_retained_total{shard=\"coordinator\"} 4\n",
+            "tsa_recorder_retained_total{shard=\"0\"} 3\n",
+            "# HELP tsa_recorder_sampled_out_total Clean traces dropped by probabilistic sampling.\n",
+            "# TYPE tsa_recorder_sampled_out_total counter\n",
+            "tsa_recorder_sampled_out_total 2\n",
+            "tsa_recorder_sampled_out_total{shard=\"coordinator\"} 2\n",
+            "tsa_recorder_sampled_out_total{shard=\"0\"} 0\n",
+            "# HELP tsa_recorder_evicted_total Traces pushed out of the ring or pending buffer by the bound.\n",
+            "# TYPE tsa_recorder_evicted_total counter\n",
+            "tsa_recorder_evicted_total 1\n",
+            "tsa_recorder_evicted_total{shard=\"coordinator\"} 0\n",
+            "tsa_recorder_evicted_total{shard=\"0\"} 1\n",
+            "# HELP tsa_recorder_pending_traces Traces buffered awaiting their root span.\n",
+            "# TYPE tsa_recorder_pending_traces gauge\n",
+            "tsa_recorder_pending_traces 1\n",
+            "tsa_recorder_pending_traces{shard=\"coordinator\"} 1\n",
+            "tsa_recorder_pending_traces{shard=\"0\"} 0\n",
+        );
+        assert_eq!(merged, golden);
+    }
+
+    #[test]
     fn families_unique_to_one_part_still_appear() {
         let a = "# HELP only_a A.\n# TYPE only_a gauge\nonly_a 2\n";
         let b = "# HELP only_b B.\n# TYPE only_b gauge\nonly_b -1\n";

@@ -16,18 +16,27 @@
 //! * **[`metrics`]** — a [`Registry`] of named [`Counter`]s, [`Gauge`]s
 //!   and power-of-two [`Histogram`]s, rendered on demand as
 //!   Prometheus-style text exposition ([`Registry::expose`]).
+//! * **[`recorder`]** — an always-on flight recorder: a bounded ring of
+//!   completed distributed-trace trees ([`FlightRecorder`]) that always
+//!   retains errors, sheds, retries, hedges, and slow requests, samples
+//!   the rest, and renders stitched trees as text ([`render_tree`]).
 //!
-//! Both halves are cheap enough to leave on: counters and histogram
+//! All of it is cheap enough to leave on: counters and histogram
 //! records are single relaxed atomic RMWs; an unsampled span costs two
 //! `Instant` reads plus one sink call at end.
 
 pub mod aggregate;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    render_tree, FlightRecorder, RecorderConfig, RecorderStats, StitchSpan, TraceTree,
+};
 pub use trace::{
-    FieldValue, JsonSink, MultiSink, RingSink, Span, SpanRecord, SpanSink, TextSink, Tracer,
+    FieldValue, JsonSink, MultiSink, RingSink, Span, SpanRecord, SpanSink, TextSink, TraceContext,
+    Tracer,
 };
 
 /// Escape a string for inclusion in a JSON string literal (shared by the

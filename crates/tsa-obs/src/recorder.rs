@@ -1,0 +1,552 @@
+//! The always-on flight recorder: a bounded ring of *completed* trace
+//! trees, fed span-by-span as a [`SpanSink`].
+//!
+//! Spans with a nonzero `trace_id` are buffered per trace until the
+//! trace's root span (the one with no parent) arrives — drop-guard
+//! ordering guarantees the root records last within a process — at
+//! which point a retention decision is made for the whole tree:
+//!
+//! * **Notable traces are always retained**: any span carrying an
+//!   error/panic/rejection/shed annotation, a retry/hedge/resubmit
+//!   attempt, a `hedge_loser` mark, a cancellation or deadline field,
+//!   or a non-`done` outcome.
+//! * **Slow traces are always retained**: root duration ≥ the
+//!   configured `slow_us` threshold (0 disables the slow trigger).
+//! * **Everything else is sampled**: one in `sample_one_in` clean
+//!   traces is kept (deterministically, by trace id), the rest are
+//!   counted and dropped.
+//!
+//! Both the pending buffer and the completed ring are bounded by
+//! `capacity`, so memory stays flat under a flood of any size; the ring
+//! evicts oldest-first.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::trace::{SpanRecord, SpanSink};
+
+/// Field keys/values that make a whole trace worth keeping verbatim.
+fn span_notable(span: &StitchSpan) -> bool {
+    span.fields.iter().any(|(k, v)| match k.as_str() {
+        "error" | "panic" | "rejected" | "shed" | "hedge_loser" | "cancelled_at"
+        | "deadline_at" => true,
+        "kind" => matches!(v.as_str(), "retry" | "hedge" | "resubmit" | "rehash"),
+        "outcome" | "status" => v != "done",
+        _ => false,
+    })
+}
+
+/// Sizing and retention policy for a [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Completed trace trees retained (and pending traces buffered).
+    pub capacity: usize,
+    /// Root spans at least this long are always retained; 0 disables
+    /// the slow trigger.
+    pub slow_us: u64,
+    /// Keep one in this many *clean* traces (deterministic by trace
+    /// id); ≤ 1 keeps every one.
+    pub sample_one_in: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            capacity: 256,
+            slow_us: 0,
+            sample_one_in: 1,
+        }
+    }
+}
+
+/// One span of a (possibly cross-process) stitched trace tree. Unlike
+/// [`SpanRecord`] the name and field values are owned strings, so spans
+/// parsed back off the wire and locally recorded ones mix freely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StitchSpan {
+    /// Which cluster shard recorded the span; `None` = the coordinator
+    /// (or a standalone server).
+    pub shard: Option<u64>,
+    /// Span id, unique only within its recording process.
+    pub id: u64,
+    /// Parent span id — resolved first within the same shard, then
+    /// against the coordinator's id space (cross-process parenting).
+    pub parent: Option<u64>,
+    /// Stage name (`"job"`, `"kernel"`, `"attempt"`, …).
+    pub name: String,
+    /// Start, microseconds since the recording process's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Fields, stringified, in annotation order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl StitchSpan {
+    /// Convert a locally recorded span (no shard tag).
+    pub fn from_record(rec: &SpanRecord) -> StitchSpan {
+        StitchSpan {
+            shard: None,
+            id: rec.id,
+            parent: rec.parent,
+            name: rec.name.to_string(),
+            start_us: rec.start_us,
+            dur_us: rec.dur_us,
+            fields: rec
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Value of the first field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A completed trace: every span that arrived before (and including)
+/// the root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTree {
+    /// The distributed trace id.
+    pub trace_id: u64,
+    /// True when retained for cause (error/overload/slow) rather than
+    /// by sampling.
+    pub notable: bool,
+    /// Spans in arrival order (children before their parents).
+    pub spans: Vec<StitchSpan>,
+}
+
+/// Live counters describing what the recorder has seen and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecorderStats {
+    /// Traces whose root span arrived.
+    pub completed: u64,
+    /// Traces admitted to the ring (notable, slow, or sampled in).
+    pub retained: u64,
+    /// Clean traces dropped by sampling.
+    pub sampled_out: u64,
+    /// Traces pushed out of the ring or the pending buffer by bound.
+    pub evicted: u64,
+    /// Traces currently buffered awaiting their root span.
+    pub pending: u64,
+    /// Traces currently stored in the ring.
+    pub stored: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    pending: HashMap<u64, Vec<StitchSpan>>,
+    pending_order: VecDeque<u64>,
+    done: VecDeque<TraceTree>,
+    completed: u64,
+    retained: u64,
+    sampled_out: u64,
+    evicted: u64,
+}
+
+/// The bounded trace-tree ring. Install it as (part of) a tracer's
+/// sink; query with [`FlightRecorder::get`] / [`FlightRecorder::recent`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    config: RecorderConfig,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given policy (capacity is floored at 1).
+    pub fn new(mut config: RecorderConfig) -> FlightRecorder {
+        config.capacity = config.capacity.max(1);
+        FlightRecorder {
+            config,
+            inner: Mutex::new(Inner {
+                pending: HashMap::new(),
+                pending_order: VecDeque::new(),
+                done: VecDeque::new(),
+                completed: 0,
+                retained: 0,
+                sampled_out: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// The retained tree for `trace_id`, newest match first.
+    pub fn get(&self, trace_id: u64) -> Option<TraceTree> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .done
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Up to `limit` notable (slow/failed/overloaded) traces, newest
+    /// first.
+    pub fn recent(&self, limit: usize) -> Vec<TraceTree> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .done
+            .iter()
+            .rev()
+            .filter(|t| t.notable)
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Every retained trace, newest first. The SIGUSR1 dump path.
+    pub fn all(&self) -> Vec<TraceTree> {
+        let inner = self.inner.lock().unwrap();
+        inner.done.iter().rev().cloned().collect()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RecorderStats {
+        let inner = self.inner.lock().unwrap();
+        RecorderStats {
+            completed: inner.completed,
+            retained: inner.retained,
+            sampled_out: inner.sampled_out,
+            evicted: inner.evicted,
+            pending: inner.pending.len() as u64,
+            stored: inner.done.len() as u64,
+        }
+    }
+
+    /// Every retained trace rendered as a text tree, newest first,
+    /// separated by blank lines.
+    pub fn dump_text(&self) -> String {
+        let mut out = String::new();
+        for tree in self.all() {
+            out.push_str(&render_tree(&tree));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn sampled_in(&self, trace_id: u64) -> bool {
+        self.config.sample_one_in <= 1 || trace_id % self.config.sample_one_in == 0
+    }
+}
+
+impl SpanSink for FlightRecorder {
+    fn record(&self, rec: &SpanRecord) {
+        if rec.trace_id == 0 {
+            return;
+        }
+        let span = StitchSpan::from_record(rec);
+        // A propagated root (remote parent) completes its process-local
+        // subtree: the worker's recorder must not wait for a coordinator
+        // span that will never arrive here.
+        let is_root = rec.parent.is_none() || rec.remote_parent;
+        let mut inner = self.inner.lock().unwrap();
+        match inner.pending.entry(rec.trace_id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(span),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vec![span]);
+                inner.pending_order.push_back(rec.trace_id);
+            }
+        }
+        if is_root {
+            let spans = inner.pending.remove(&rec.trace_id).unwrap_or_default();
+            inner.pending_order.retain(|t| *t != rec.trace_id);
+            inner.completed += 1;
+            let notable = spans.iter().any(span_notable);
+            let slow = self.config.slow_us > 0 && rec.dur_us >= self.config.slow_us;
+            if !(notable || slow || self.sampled_in(rec.trace_id)) {
+                inner.sampled_out += 1;
+                return;
+            }
+            inner.retained += 1;
+            inner.done.push_back(TraceTree {
+                trace_id: rec.trace_id,
+                notable: notable || slow,
+                spans,
+            });
+            if inner.done.len() > self.config.capacity {
+                inner.done.pop_front();
+                inner.evicted += 1;
+            }
+        } else if inner.pending.len() > self.config.capacity {
+            // A rootless flood (leaked or out-of-order spans) cannot
+            // grow the buffer: the oldest incomplete trace goes.
+            if let Some(oldest) = inner.pending_order.pop_front() {
+                inner.pending.remove(&oldest);
+                inner.evicted += 1;
+            }
+        }
+    }
+}
+
+/// Render one stitched tree as indented text, cross-process parents
+/// resolved shard-first then coordinator:
+///
+/// ```text
+/// trace 00000000000000ab
+///   submit#1 1200us tag=j1
+///     attempt#2 900us kind=primary shard=0
+///       job#1 850us [shard 0] outcome=done
+///         kernel#3 700us [shard 0] algorithm=wavefront
+/// ```
+pub fn render_tree(tree: &TraceTree) -> String {
+    // Parent resolution leans on the drop-order invariant: a real
+    // parent always records *after* its children, so within a shard a
+    // parent id must appear later in arrival order. A worker root whose
+    // propagated parent id happens to collide with a local span id is
+    // therefore still stitched under the coordinator span, not the
+    // colliding local one (which already ended).
+    let mut children: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in tree.spans.iter().enumerate() {
+        let parent_idx = s.parent.and_then(|p| {
+            let same_shard_later = tree
+                .spans
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .find(|(_, c)| c.shard == s.shard && c.id == p)
+                .map(|(j, _)| j);
+            same_shard_later.or_else(|| {
+                // Cross-process: a sharded span's parent lives in the
+                // coordinator's id space.
+                s.shard.and_then(|_| {
+                    tree.spans
+                        .iter()
+                        .position(|c| c.shard.is_none() && c.id == p)
+                })
+            })
+        });
+        match parent_idx {
+            Some(j) => children.entry(j).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    let by_start = |a: &usize, b: &usize| {
+        let (sa, sb) = (&tree.spans[*a], &tree.spans[*b]);
+        sa.start_us.cmp(&sb.start_us).then(sa.id.cmp(&sb.id))
+    };
+    roots.sort_by(by_start);
+    for v in children.values_mut() {
+        v.sort_by(by_start);
+    }
+    let mut out = format!("trace {:016x}\n", tree.trace_id);
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 1)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let s = &tree.spans[i];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{}#{} {}us", s.name, s.id, s.dur_us));
+        if let Some(shard) = s.shard {
+            out.push_str(&format!(" [shard {shard}]"));
+        }
+        for (k, v) in &s.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&i) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceContext, Tracer};
+    use std::sync::Arc;
+
+    fn recorder(config: RecorderConfig) -> (Tracer, Arc<FlightRecorder>) {
+        let rec = Arc::new(FlightRecorder::new(config));
+        (Tracer::new(rec.clone()), rec)
+    }
+
+    fn ctx(trace_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent_span: 0,
+        }
+    }
+
+    #[test]
+    fn completes_a_trace_when_its_root_records() {
+        let (tracer, rec) = recorder(RecorderConfig::default());
+        {
+            let root = tracer.span_in("job", ctx(5)).with("tag", "j1");
+            root.child("kernel").end();
+            assert_eq!(rec.stats().pending, 1, "kernel buffered, root still open");
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.retained, 1);
+        assert_eq!(stats.pending, 0);
+        let tree = rec.get(5).expect("retained");
+        let names: Vec<_> = tree.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["kernel", "job"]);
+        assert!(!tree.notable);
+    }
+
+    #[test]
+    fn untraced_spans_are_ignored() {
+        let (tracer, rec) = recorder(RecorderConfig::default());
+        tracer.span("job").end();
+        assert_eq!(rec.stats().completed, 0);
+        assert_eq!(rec.stats().pending, 0);
+    }
+
+    #[test]
+    fn notable_traces_survive_sampling() {
+        let (tracer, rec) = recorder(RecorderConfig {
+            sample_one_in: u64::MAX, // sample every clean trace out
+            ..RecorderConfig::default()
+        });
+        tracer.span_in("job", ctx(10)).end(); // clean → sampled out
+        tracer
+            .span_in("job", ctx(11))
+            .with("outcome", "failed")
+            .end();
+        tracer
+            .span_in("submit", ctx(12))
+            .with("shed", "breakers open")
+            .end();
+        {
+            let root = tracer.span_in("submit", ctx(13));
+            root.child("attempt").with("kind", "retry").end();
+        }
+        tracer
+            .span_in("submit", ctx(14))
+            .with("hedge_loser", true)
+            .end();
+        tracer.span_in("job", ctx(15)).with("outcome", "done").end(); // clean
+        let stats = rec.stats();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.retained, 4);
+        assert_eq!(stats.sampled_out, 2);
+        for id in [11, 12, 13, 14] {
+            assert!(rec.get(id).is_some_and(|t| t.notable), "trace {id}");
+        }
+        assert!(rec.get(10).is_none());
+        assert!(rec.get(15).is_none());
+        let recent: Vec<u64> = rec.recent(10).iter().map(|t| t.trace_id).collect();
+        assert_eq!(recent, vec![14, 13, 12, 11], "newest first, notable only");
+    }
+
+    #[test]
+    fn slow_threshold_marks_traces_notable() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            slow_us: 100,
+            sample_one_in: u64::MAX,
+            ..RecorderConfig::default()
+        });
+        let span = |trace_id, dur_us| SpanRecord {
+            id: 1,
+            trace_id,
+            parent: None,
+            remote_parent: false,
+            name: "job",
+            start_us: 0,
+            dur_us,
+            fields: Vec::new(),
+        };
+        rec.record(&span(1, 50)); // fast and clean → dropped
+        rec.record(&span(2, 150)); // slow → kept
+        assert!(rec.get(1).is_none());
+        assert!(rec.get(2).is_some_and(|t| t.notable));
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_a_ten_thousand_job_flood() {
+        let (tracer, rec) = recorder(RecorderConfig {
+            capacity: 64,
+            ..RecorderConfig::default()
+        });
+        for i in 1..=10_000u64 {
+            let root = tracer.span_in("job", ctx(i)).with("outcome", "failed");
+            root.child("kernel").end();
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.completed, 10_000);
+        assert_eq!(stats.stored, 64, "ring bounded at capacity");
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.evicted, 10_000 - 64);
+        assert_eq!(rec.all().len(), 64);
+        // Newest flood entries survived.
+        assert!(rec.get(10_000).is_some());
+        assert!(rec.get(1).is_none());
+        assert_eq!(tracer.open_spans(), 0, "no leaked spans");
+    }
+
+    #[test]
+    fn rootless_spans_cannot_grow_the_pending_buffer() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            capacity: 8,
+            ..RecorderConfig::default()
+        });
+        for i in 1..=1000u64 {
+            rec.record(&SpanRecord {
+                id: 2,
+                trace_id: i,
+                parent: Some(1), // root never arrives
+                remote_parent: false,
+                name: "kernel",
+                start_us: 0,
+                dur_us: 1,
+                fields: Vec::new(),
+            });
+        }
+        let stats = rec.stats();
+        assert!(stats.pending <= 9, "pending bounded, saw {}", stats.pending);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn render_tree_stitches_across_id_spaces() {
+        // Coordinator spans (shard None) and a worker subtree (shard 0)
+        // whose ids collide with coordinator ids.
+        let mk = |shard, id, parent, name: &str, start_us| StitchSpan {
+            shard,
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            dur_us: 10,
+            fields: Vec::new(),
+        };
+        // Arrival order: children before parents, worker spans appended
+        // after the coordinator's own (the stitch order).
+        let tree = TraceTree {
+            trace_id: 0xAB,
+            notable: false,
+            spans: vec![
+                mk(None, 2, Some(1), "attempt", 1),
+                mk(None, 1, None, "submit", 0),
+                // Worker root parents under coordinator span 2 even
+                // though the worker also has a span id 2 of its own —
+                // a same-shard parent must record *later*, and the
+                // worker's kernel#2 recorded earlier.
+                mk(Some(0), 2, Some(1), "kernel", 1),
+                mk(Some(0), 1, Some(2), "job", 0),
+                mk(Some(7), 9, Some(999), "orphan", 5),
+            ],
+        };
+        let text = render_tree(&tree);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "trace 00000000000000ab");
+        assert_eq!(lines[1], "  submit#1 10us");
+        assert_eq!(lines[2], "    attempt#2 10us");
+        assert_eq!(lines[3], "      job#1 10us [shard 0]");
+        assert_eq!(lines[4], "        kernel#2 10us [shard 0]");
+        assert_eq!(
+            lines[5], "  orphan#9 10us [shard 7]",
+            "unresolvable parents float to the top"
+        );
+    }
+}

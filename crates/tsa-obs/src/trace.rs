@@ -15,6 +15,44 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// A propagated trace identity: which distributed trace a span belongs
+/// to and which remote span is its parent. Crosses process boundaries
+/// as a single string field (`"<trace_id as 16 hex digits>:<parent
+/// span id>"`), so any NDJSON line can carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace identity, minted once per logical submission. Never 0 in
+    /// a valid context — 0 is the in-band "untraced" marker.
+    pub trace_id: u64,
+    /// Span id (in the *sender's* id space) the receiver should parent
+    /// its root span under. 0 means "no parent": the receiver's root
+    /// is the trace root.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The wire form: 16 lowercase hex digits, a colon, and the parent
+    /// span id in decimal.
+    pub fn render(&self) -> String {
+        format!("{:016x}:{}", self.trace_id, self.parent_span)
+    }
+
+    /// Parse the wire form. `None` for malformed input or a zero
+    /// trace id.
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let (hex, parent) = s.split_once(':')?;
+        let trace_id = u64::from_str_radix(hex, 16).ok()?;
+        let parent_span = parent.parse::<u64>().ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            parent_span,
+        })
+    }
+}
+
 /// A typed span field value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FieldValue {
@@ -86,8 +124,14 @@ impl From<bool> for FieldValue {
 pub struct SpanRecord {
     /// Tracer-unique span id (monotonic, starts at 1).
     pub id: u64,
+    /// Distributed trace this span belongs to; 0 = untraced.
+    pub trace_id: u64,
     /// Id of the enclosing span, if any.
     pub parent: Option<u64>,
+    /// True when `parent` names a span in *another process* (a
+    /// propagated [`TraceContext`]): this span is the local root of its
+    /// process's subtree even though it has a parent.
+    pub remote_parent: bool,
     /// Static stage name (e.g. `"job"`, `"kernel"`).
     pub name: &'static str,
     /// Start time in microseconds since the tracer's epoch.
@@ -148,7 +192,47 @@ impl Tracer {
 
     /// Start a root span. It records to the sink when dropped.
     pub fn span(&self, name: &'static str) -> Span {
-        self.start_span(name, None)
+        self.start_span(name, None, 0)
+    }
+
+    /// Start a root span under a propagated [`TraceContext`]: the span
+    /// carries the context's trace id, and its parent is the remote
+    /// span named by `ctx.parent_span` (none when 0). This is how a
+    /// worker parents its `job` tree under the coordinator's attempt
+    /// span.
+    pub fn span_in(&self, name: &'static str, ctx: TraceContext) -> Span {
+        let parent = (ctx.parent_span != 0).then_some(ctx.parent_span);
+        let mut span = self.start_span(name, parent, ctx.trace_id);
+        span.remote_parent = span.parent.is_some();
+        span
+    }
+
+    /// Start a span in an existing trace under a *local* parent span
+    /// id. Unlike [`Tracer::span_in`] the parent lives in this process,
+    /// so a [`crate::FlightRecorder`] buffers the span rather than
+    /// treating it as a subtree root. This is how the coordinator opens
+    /// fresh `attempt` spans under a submission's long-lived root.
+    pub fn span_under(&self, name: &'static str, trace_id: u64, parent: u64) -> Span {
+        self.start_span(name, Some(parent), trace_id)
+    }
+
+    /// Mint a fresh, never-zero trace id: wall-clock nanoseconds mixed
+    /// (FNV-1a) with the pid and a per-tracer counter, so concurrent
+    /// tracers and rapid submissions cannot collide in practice.
+    pub fn mint_trace_id(&self) -> u64 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for word in [nanos, std::process::id() as u64, seq] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h.max(1)
     }
 
     /// Number of spans started but not yet ended. Zero means every span
@@ -157,14 +241,16 @@ impl Tracer {
         self.inner.open.load(Ordering::Relaxed)
     }
 
-    fn start_span(&self, name: &'static str, parent: Option<u64>) -> Span {
+    fn start_span(&self, name: &'static str, parent: Option<u64>, trace_id: u64) -> Span {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.open.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         Span {
             tracer: self.clone(),
             id,
+            trace_id,
             parent,
+            remote_parent: false,
             name,
             start: now,
             start_us: now.duration_since(self.inner.epoch).as_micros() as u64,
@@ -178,7 +264,9 @@ impl Tracer {
 pub struct Span {
     tracer: Tracer,
     id: u64,
+    trace_id: u64,
     parent: Option<u64>,
+    remote_parent: bool,
     name: &'static str,
     start: Instant,
     start_us: u64,
@@ -201,10 +289,24 @@ impl Span {
         self.id
     }
 
+    /// The distributed trace this span belongs to; 0 = untraced.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// A context that parents remote work under this span: same trace
+    /// id, `parent_span` = this span's id. `None` when untraced.
+    pub fn context(&self) -> Option<TraceContext> {
+        (self.trace_id != 0).then_some(TraceContext {
+            trace_id: self.trace_id,
+            parent_span: self.id,
+        })
+    }
+
     /// Start a child span. The child should end before its parent, but
     /// nothing breaks if it does not — records carry explicit parents.
     pub fn child(&self, name: &'static str) -> Span {
-        self.tracer.start_span(name, Some(self.id))
+        self.tracer.start_span(name, Some(self.id), self.trace_id)
     }
 
     /// Attach a field. Keys may repeat; order is preserved.
@@ -227,7 +329,9 @@ impl Drop for Span {
         self.tracer.inner.open.fetch_sub(1, Ordering::Relaxed);
         let record = SpanRecord {
             id: self.id,
+            trace_id: self.trace_id,
             parent: self.parent,
+            remote_parent: self.remote_parent,
             name: self.name,
             start_us: self.start_us,
             dur_us: self.start.elapsed().as_micros() as u64,
@@ -307,6 +411,9 @@ impl<W: Write + Send> SpanSink for TextSink<W> {
         if let Some(parent) = span.parent {
             line.push_str(&format!(" <-#{parent}"));
         }
+        if span.trace_id != 0 {
+            line.push_str(&format!(" trace={:016x}", span.trace_id));
+        }
         for (k, v) in &span.fields {
             line.push_str(&format!(" {k}={v}"));
         }
@@ -346,6 +453,9 @@ impl<W: Write + Send> SpanSink for JsonSink<W> {
             span.start_us,
             span.dur_us
         );
+        if span.trace_id != 0 {
+            line.push_str(&format!(",\"trace_id\":\"{:016x}\"", span.trace_id));
+        }
         line.push_str(",\"fields\":{");
         for (i, (k, v)) in span.fields.iter().enumerate() {
             if i > 0 {
@@ -489,6 +599,98 @@ mod tests {
         assert!(text.starts_with("{\"span\":\"job\",\"id\":1,\"parent\":null,"));
         assert!(text.contains("\"fields\":{\"tag\":\"a\\\"b\",\"cells\":42,\"cached\":true}"));
         assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn trace_context_round_trips_the_wire_form() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_0000_0001,
+            parent_span: 42,
+        };
+        let wire = ctx.render();
+        assert_eq!(wire, "deadbeef00000001:42");
+        assert_eq!(TraceContext::parse(&wire), Some(ctx));
+        assert_eq!(TraceContext::parse("nope"), None);
+        assert_eq!(TraceContext::parse("0000000000000000:1"), None);
+        assert_eq!(TraceContext::parse("zz:1"), None);
+    }
+
+    #[test]
+    fn span_in_propagates_trace_id_and_remote_parent() {
+        let (tracer, sink) = collector();
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 99,
+        };
+        {
+            let root = tracer.span_in("job", ctx);
+            assert_eq!(root.trace_id(), 7);
+            let child = root.child("kernel");
+            assert_eq!(child.trace_id(), 7, "children inherit the trace id");
+            let down = root.context().expect("traced span has a context");
+            assert_eq!(down.trace_id, 7);
+            assert_eq!(down.parent_span, root.id());
+        }
+        let spans = sink.snapshot();
+        assert!(spans.iter().all(|s| s.trace_id == 7));
+        assert_eq!(
+            spans[1].parent,
+            Some(99),
+            "root parents under the remote span"
+        );
+        // A rootless context (parent 0) yields a true root.
+        let free = tracer.span_in(
+            "job",
+            TraceContext {
+                trace_id: 8,
+                parent_span: 0,
+            },
+        );
+        assert!(free.context().is_some());
+        drop(free);
+        assert_eq!(sink.snapshot().last().unwrap().parent, None);
+        // Untraced spans have no context.
+        assert!(tracer.span("job").context().is_none());
+    }
+
+    #[test]
+    fn minted_trace_ids_are_nonzero_and_distinct() {
+        let (tracer, _) = collector();
+        let a = tracer.mint_trace_id();
+        let b = tracer.mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sinks_emit_trace_ids_only_when_traced() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Arc::new(JsonSink::new(Shared(buf.clone()))));
+        tracer.span("a").end();
+        tracer
+            .span_in(
+                "b",
+                TraceContext {
+                    trace_id: 0xAB,
+                    parent_span: 0,
+                },
+            )
+            .end();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert!(!lines[0].contains("trace_id"));
+        assert!(lines[1].contains("\"trace_id\":\"00000000000000ab\""));
     }
 
     #[test]

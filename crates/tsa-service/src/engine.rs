@@ -21,7 +21,7 @@ use tsa_core::{
     job_fingerprint, Algorithm, Aligner, CancelToken, CheckpointPolicy, FrontierSnapshot,
     SimdKernel,
 };
-use tsa_obs::Tracer;
+use tsa_obs::{FlightRecorder, TraceContext, Tracer};
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
 
@@ -48,6 +48,13 @@ pub struct ServiceConfig {
     /// to this tracer's sink; refused submissions emit an annotated
     /// zero-stage `job` span. `None` disables tracing entirely.
     pub tracer: Option<Tracer>,
+    /// When set (alongside `tracer`, whose sink must feed it), every job
+    /// runs under a distributed trace: propagated contexts
+    /// ([`AlignRequest::trace`]) are honored, purely local submissions
+    /// mint a fresh trace id, and completed trees land in this flight
+    /// recorder, queryable via the protocol's `trace` op. `None` (the
+    /// default) changes nothing.
+    pub recorder: Option<Arc<FlightRecorder>>,
     /// When set, the engine keeps a crash-safe job journal and per-job
     /// checkpoint snapshots under this directory and replays them on
     /// startup (see [`Engine::drain`] and the `durability` module docs).
@@ -84,6 +91,7 @@ impl Default for ServiceConfig {
             max_cells: None,
             memory_budget: None,
             tracer: None,
+            recorder: None,
             state_dir: None,
             checkpoint_every_planes: 32,
             checkpoint_every_millis: None,
@@ -218,6 +226,11 @@ pub struct AlignRequest {
     /// in-flight quota key on this. Empty (the default) is the shared
     /// anonymous lane, which is never limited.
     pub client: String,
+    /// Distributed trace context propagated by an upstream coordinator:
+    /// the job's `job` span joins this trace, parented under the
+    /// sender's span. `None` (the default) leaves the span tree local
+    /// (or mints a fresh trace when a flight recorder is configured).
+    pub trace: Option<TraceContext>,
 }
 
 impl AlignRequest {
@@ -233,6 +246,7 @@ impl AlignRequest {
             deadline: None,
             kernel: SimdKernel::Auto,
             client: String::new(),
+            trace: None,
         }
     }
 
@@ -294,6 +308,13 @@ impl JobHandle {
             // on abnormal teardown); surface it as a cancellation.
             Err(_) => JobOutcome::Cancelled { progress: None },
         }
+    }
+
+    /// Like [`JobHandle::wait`], but returns the full completion record
+    /// — tag, distributed trace id, outcome — instead of just the
+    /// outcome. `None` only on abnormal engine teardown.
+    pub fn wait_completed(self) -> Option<CompletedJob> {
+        self.rx.recv().ok()
     }
 
     /// Request cooperative cancellation of this job.
@@ -528,7 +549,7 @@ impl Engine {
         let (degraded_from, reservation) = match self.govern(&mut req, true) {
             Ok(parts) => parts,
             Err(e) => {
-                self.trace_rejection(&req.tag, &e);
+                self.trace_rejection(&req, &e);
                 drop_job(&uid);
                 return;
             }
@@ -628,15 +649,33 @@ impl Engine {
     }
 
     /// A refused submission still leaves a trace: one `job` span with the
-    /// rejection reason and no stage children.
-    fn trace_rejection(&self, tag: &str, err: &SubmitError) {
+    /// rejection reason and no stage children. Carries the request's
+    /// distributed context (or a freshly minted one when the flight
+    /// recorder is on) so sheds show up in stitched trees too.
+    fn trace_rejection(&self, req: &AlignRequest, err: &SubmitError) {
         if let Some(tracer) = &self.config.tracer {
-            tracer
-                .span("job")
-                .with("tag", tag)
+            let span = match self.trace_context(req, tracer) {
+                Some(ctx) => tracer.span_in("job", ctx),
+                None => tracer.span("job"),
+            };
+            span.with("tag", req.tag.as_str())
                 .with("rejected", err.to_string())
                 .end();
         }
+    }
+
+    /// The distributed context a job's `job` span starts under: the
+    /// propagated context when the request carries one; a freshly minted
+    /// trace when the flight recorder is on (so purely local traffic is
+    /// recorded too); `None` otherwise (plain local span, byte-identical
+    /// to the pre-recorder behavior).
+    fn trace_context(&self, req: &AlignRequest, tracer: &Tracer) -> Option<TraceContext> {
+        req.trace.or_else(|| {
+            self.config.recorder.as_ref().map(|_| TraceContext {
+                trace_id: tracer.mint_trace_id(),
+                parent_span: 0,
+            })
+        })
     }
 
     fn make_job(
@@ -653,8 +692,11 @@ impl Engine {
             .map(|d| Instant::now() + d);
         let cancel = CancelToken::new(deadline);
         let trace = self.config.tracer.as_ref().map(|tracer| {
-            let mut root = tracer
-                .span("job")
+            let root = match self.trace_context(&req, tracer) {
+                Some(ctx) => tracer.span_in("job", ctx),
+                None => tracer.span("job"),
+            };
+            let mut root = root
                 .with("job_id", id)
                 .with("tag", req.tag.as_str())
                 .with("algorithm", req.algorithm.name());
@@ -776,7 +818,7 @@ impl Engine {
             self.stats.submitted.inc();
             self.stats.rejected.inc();
             self.stats.shed.inc();
-            self.trace_rejection(&req.tag, &e);
+            self.trace_rejection(req, &e);
             e
         })
     }
@@ -791,7 +833,7 @@ impl Engine {
             .govern(&mut req, blocking)
             // `map_err`, not `inspect_err`: MSRV 1.75 predates the latter.
             .map_err(|e| {
-                self.trace_rejection(&req.tag, &e);
+                self.trace_rejection(&req, &e);
                 e
             })?;
         let durable = self.journal_admission(&req);
@@ -823,7 +865,7 @@ impl Engine {
     ) -> Result<(u64, CancelToken), SubmitError> {
         let slot = self.admit_client(&req)?;
         let (degraded_from, reservation) = self.govern(&mut req, false).map_err(|e| {
-            self.trace_rejection(&req.tag, &e);
+            self.trace_rejection(&req, &e);
             e
         })?;
         let durable = self.journal_admission(&req);
@@ -923,7 +965,67 @@ impl Engine {
                 ));
             }
         }
+        if let Some(recorder) = &self.config.recorder {
+            let rs = recorder.stats();
+            let families: [(&str, &str, &str, u64); 5] = [
+                (
+                    "tsa_recorder_traces_total",
+                    "counter",
+                    "Distributed traces completed (root span recorded).",
+                    rs.completed,
+                ),
+                (
+                    "tsa_recorder_retained_total",
+                    "counter",
+                    "Completed traces admitted to the flight-recorder ring.",
+                    rs.retained,
+                ),
+                (
+                    "tsa_recorder_sampled_out_total",
+                    "counter",
+                    "Clean traces dropped by probabilistic sampling.",
+                    rs.sampled_out,
+                ),
+                (
+                    "tsa_recorder_evicted_total",
+                    "counter",
+                    "Traces pushed out of the ring or pending buffer by the bound.",
+                    rs.evicted,
+                ),
+                (
+                    "tsa_recorder_pending_traces",
+                    "gauge",
+                    "Traces buffered awaiting their root span.",
+                    rs.pending,
+                ),
+            ];
+            for (name, kind, help, value) in families {
+                text.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+                ));
+            }
+        }
         text
+    }
+
+    /// The flight recorder, when one is configured (the protocol's
+    /// `trace` op queries through this).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.config.recorder.as_ref()
+    }
+
+    /// Dump every retained trace tree as text to
+    /// `<state_dir>/traces-dump.txt` (the SIGUSR1 path). `Ok(None)` when
+    /// the recorder or the state dir is not configured.
+    pub fn dump_traces(&self) -> std::io::Result<Option<PathBuf>> {
+        let (recorder, dir) = match (&self.config.recorder, &self.config.state_dir) {
+            (Some(r), Some(d)) => (r, d),
+            _ => return Ok(None),
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("traces-dump.txt");
+        std::fs::write(&path, recorder.dump_text())?;
+        Ok(Some(path))
     }
 
     /// Jobs currently queued.

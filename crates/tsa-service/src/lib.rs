@@ -85,9 +85,12 @@ pub use queue::{job_queue, JobQueue, JobReceiver, PushError};
 pub use sched::{fair_queue, FairQueue, FairReceiver};
 pub use server::{
     run_all, run_batch, serve_listener, serve_listener_with, serve_session, serve_session_with,
-    serve_stdio, serve_tcp, serve_tcp_with, BatchSummary, ServeOptions,
+    serve_stdio, serve_tcp, serve_tcp_with, BatchSummary, FlaggedJob, ServeOptions,
 };
 pub use stats::{LaneSnapshot, ServiceStats, StatsSnapshot};
 pub use tsa_core::cancel::{CancelProgress, CancelToken};
-pub use tsa_obs::{JsonSink, RingSink, SpanRecord, SpanSink, TextSink, Tracer};
+pub use tsa_obs::{
+    render_tree, FlightRecorder, JsonSink, MultiSink, RecorderConfig, RingSink, SpanRecord,
+    SpanSink, TextSink, TraceContext, TraceTree, Tracer,
+};
 pub use worker::CompletedJob;

@@ -22,6 +22,7 @@ use crate::stats::StatsSnapshot;
 use crate::worker::CompletedJob;
 use std::time::Duration;
 use tsa_core::{Algorithm, SimdKernel};
+use tsa_obs::{StitchSpan, TraceTree};
 use tsa_scoring::Scoring;
 use tsa_seq::{Alphabet, Seq};
 
@@ -51,6 +52,16 @@ pub enum Request {
     Ping {
         /// Client-chosen sequence number, echoed in the response.
         seq: Option<u64>,
+    },
+    /// Query the flight recorder: one stitched trace tree by id
+    /// (`{"op":"trace","trace_id":"<16 hex>"}`) or the most recent
+    /// notable (slow/failed/overloaded) traces
+    /// (`{"op":"trace","recent":5}`).
+    Trace {
+        /// The trace to fetch, when querying by id.
+        trace_id: Option<u64>,
+        /// How many recent notable traces to return otherwise.
+        recent: usize,
     },
 }
 
@@ -192,6 +203,34 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "ping" => Ok(Request::Ping {
             seq: obj.get("seq").and_then(Value::as_u64),
         }),
+        "trace" => {
+            let trace_id = match obj.get("trace_id") {
+                None => None,
+                Some(v) => {
+                    let hex = v.as_str().ok_or_else(|| {
+                        ProtocolError::new(id_ref, "'trace_id' must be a hex string")
+                    })?;
+                    Some(
+                        u64::from_str_radix(hex, 16)
+                            .ok()
+                            .filter(|&t| t != 0)
+                            .ok_or_else(|| {
+                                ProtocolError::new(
+                                    id_ref,
+                                    format!("'trace_id' is not a nonzero hex id: '{hex}'"),
+                                )
+                            })?,
+                    )
+                }
+            };
+            let recent = match obj.get("recent") {
+                None => 10,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ProtocolError::new(id_ref, "'recent' must be a non-negative integer")
+                })? as usize,
+            };
+            Ok(Request::Trace { trace_id, recent })
+        }
         "submit" => {
             let declared = parse_alphabet(&obj, id_ref)?;
             let a = parse_seq(&obj, "a", declared, id_ref)?;
@@ -250,6 +289,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                     .ok_or_else(|| ProtocolError::new(id_ref, "'client' must be a string"))?
                     .to_owned(),
             };
+            let trace = match obj.get("trace") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .and_then(tsa_obs::TraceContext::parse)
+                        .ok_or_else(|| {
+                            ProtocolError::new(
+                                id_ref,
+                                "'trace' must be \"<16 hex digits>:<parent span id>\"",
+                            )
+                        })?,
+                ),
+            };
             let mut req = AlignRequest::new(id.unwrap_or_default(), a, b, c)
                 .scoring(scoring)
                 .algorithm(algorithm)
@@ -257,6 +309,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 .kernel(kernel)
                 .client(client);
             req.deadline = deadline;
+            req.trace = trace;
             Ok(Request::Submit(Box::new(req)))
         }
         other => Err(ProtocolError::new(id_ref, format!("unknown op '{other}'"))),
@@ -285,6 +338,12 @@ fn progress_fields(obj: JsonObject, progress: &Option<tsa_core::CancelProgress>)
 /// Render a resolved job as one response line (no trailing newline).
 pub fn render_outcome(done: &CompletedJob) -> String {
     let obj = base(done.outcome.result().is_some(), &done.tag).str("status", done.outcome.label());
+    // Untraced jobs render byte-identically to before tracing existed.
+    let obj = if done.trace_id != 0 {
+        obj.str("trace_id", &format!("{:016x}", done.trace_id))
+    } else {
+        obj
+    };
     match &done.outcome {
         JobOutcome::Done(r) => {
             let obj = obj
@@ -418,10 +477,13 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("queue_depth", stats.queue_depth as u64)
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
+        .u64("latency_p95_us", stats.latency_p95_us)
         .u64("latency_p99_us", stats.latency_p99_us)
         .u64("queue_wait_p50_us", stats.queue_wait_p50_us)
+        .u64("queue_wait_p95_us", stats.queue_wait_p95_us)
         .u64("queue_wait_p99_us", stats.queue_wait_p99_us)
         .u64("kernel_p50_us", stats.kernel_p50_us)
+        .u64("kernel_p95_us", stats.kernel_p95_us)
         .u64("kernel_p99_us", stats.kernel_p99_us)
         .u64_array("latency_buckets", &stats.latency_buckets)
         .u64_array("queue_wait_buckets", &stats.queue_wait_buckets)
@@ -587,7 +649,114 @@ pub fn render_submit(req: &AlignRequest) -> Option<String> {
             deadline.as_millis().min(u64::MAX as u128) as u64,
         );
     }
+    // One stamp per outgoing line: the trace context rides as a single
+    // string field, so retries/hedges re-render with a fresh parent.
+    if let Some(ctx) = req.trace {
+        obj = obj.str("trace", &ctx.render());
+    }
     Some(obj.finish())
+}
+
+fn trace_tree_json(tree: &TraceTree) -> JsonObject {
+    JsonObject::new()
+        .str("trace_id", &format!("{:016x}", tree.trace_id))
+        .bool("notable", tree.notable)
+        .objects(
+            "spans",
+            tree.spans
+                .iter()
+                .map(|s| {
+                    let obj = JsonObject::new().u64("id", s.id);
+                    let obj = match s.parent {
+                        Some(p) => obj.u64("parent", p),
+                        None => obj,
+                    };
+                    let obj = match s.shard {
+                        Some(shard) => obj.u64("shard", shard),
+                        None => obj,
+                    };
+                    let mut obj = obj
+                        .str("name", &s.name)
+                        .u64("start_us", s.start_us)
+                        .u64("dur_us", s.dur_us);
+                    if !s.fields.is_empty() {
+                        let mut fields = JsonObject::new();
+                        for (k, v) in &s.fields {
+                            fields = fields.str(k, v);
+                        }
+                        obj = obj.object("fields", fields);
+                    }
+                    obj
+                })
+                .collect(),
+        )
+}
+
+/// Render a `trace` response carrying zero or more stitched trace trees.
+pub fn render_trace_response(trees: &[TraceTree]) -> String {
+    JsonObject::new()
+        .bool("ok", true)
+        .str("op", "trace")
+        .objects("traces", trees.iter().map(trace_tree_json).collect())
+        .finish()
+}
+
+/// Render the `trace` refusal for a server with no flight recorder.
+pub fn render_trace_unavailable() -> String {
+    JsonObject::new()
+        .bool("ok", false)
+        .str("op", "trace")
+        .str("error", "no_recorder")
+        .str(
+            "message",
+            "flight recorder is not enabled; start with --flight-recorder N",
+        )
+        .finish()
+}
+
+/// Parse the trees out of a `trace` response line — the inverse of
+/// [`render_trace_response`], used by the cluster coordinator to stitch
+/// worker subtrees into its own and by `tsa trace` to render text. The
+/// response value must be the parsed line; returns an empty vector when
+/// it carries no `traces` array.
+pub fn parse_trace_trees(response: &Value) -> Vec<TraceTree> {
+    let Some(Value::Arr(items)) = response.get("traces") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|t| {
+            let trace_id = u64::from_str_radix(t.get("trace_id")?.as_str()?, 16).ok()?;
+            let spans = match t.get("spans") {
+                Some(Value::Arr(spans)) => spans
+                    .iter()
+                    .filter_map(|s| {
+                        Some(StitchSpan {
+                            shard: s.get("shard").and_then(Value::as_u64),
+                            id: s.get("id")?.as_u64()?,
+                            parent: s.get("parent").and_then(Value::as_u64),
+                            name: s.get("name")?.as_str()?.to_owned(),
+                            start_us: s.get("start_us").and_then(Value::as_u64).unwrap_or(0),
+                            dur_us: s.get("dur_us").and_then(Value::as_u64).unwrap_or(0),
+                            fields: match s.get("fields") {
+                                Some(Value::Obj(fields)) => fields
+                                    .iter()
+                                    .filter_map(|(k, v)| Some((k.clone(), v.as_str()?.to_owned())))
+                                    .collect(),
+                                _ => Vec::new(),
+                            },
+                        })
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            Some(TraceTree {
+                trace_id,
+                notable: t.get("notable").and_then(Value::as_bool).unwrap_or(false),
+                spans,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -743,6 +912,7 @@ mod tests {
         let done = CompletedJob {
             id: 3,
             tag: "j1".into(),
+            trace_id: 0,
             outcome: JobOutcome::Done(JobResult {
                 score: -7,
                 rows: Some(["A-C".into(), "AGC".into(), "A-C".into()]),
@@ -774,6 +944,7 @@ mod tests {
         let done = CompletedJob {
             id: 5,
             tag: "r".into(),
+            trace_id: 0,
             outcome: JobOutcome::Done(JobResult {
                 score: 4,
                 rows: None,
@@ -795,6 +966,7 @@ mod tests {
         let done = CompletedJob {
             id: 4,
             tag: "g".into(),
+            trace_id: 0,
             outcome: JobOutcome::Done(JobResult {
                 score: 9,
                 rows: None,
@@ -816,6 +988,7 @@ mod tests {
         let line = render_outcome(&CompletedJob {
             id: 1,
             tag: "d".into(),
+            trace_id: 0,
             outcome: JobOutcome::DeadlineExceeded {
                 stage: CancelStage::Queued,
                 progress: None,
@@ -830,6 +1003,7 @@ mod tests {
         let line = render_outcome(&CompletedJob {
             id: 2,
             tag: "k".into(),
+            trace_id: 0,
             outcome: JobOutcome::DeadlineExceeded {
                 stage: CancelStage::Kernel,
                 progress: Some(tsa_core::CancelProgress {
@@ -937,10 +1111,13 @@ mod tests {
             queue_depth: 0,
             latency_p50_us: 64,
             latency_p90_us: 128,
+            latency_p95_us: 192,
             latency_p99_us: 256,
             queue_wait_p50_us: 8,
+            queue_wait_p95_us: 12,
             queue_wait_p99_us: 16,
             kernel_p50_us: 32,
+            kernel_p95_us: 64,
             kernel_p99_us: 128,
             latency_buckets: vec![0, 2, 1],
             queue_wait_buckets: vec![3],
@@ -968,7 +1145,10 @@ mod tests {
         assert_eq!(v.get("simd_jobs").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("shed").unwrap().as_u64(), Some(4));
         assert!(v.get("lanes").is_none(), "empty lane set is not rendered");
+        assert_eq!(v.get("latency_p95_us").unwrap().as_u64(), Some(192));
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));
+        assert_eq!(v.get("queue_wait_p95_us").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("kernel_p95_us").unwrap().as_u64(), Some(64));
         assert_eq!(v.get("queue_wait_p99_us").unwrap().as_u64(), Some(16));
         assert_eq!(v.get("kernel_p50_us").unwrap().as_u64(), Some(32));
         match v.get("latency_buckets").unwrap() {

@@ -41,6 +41,21 @@ fn server_info(engine: &Engine) -> protocol::ServerInfo {
     protocol::ServerInfo::current(engine.uptime())
 }
 
+/// Answer a `trace` op from the engine's flight recorder: one tree by
+/// id, the recent notable trees, or a structured "not enabled" error.
+fn trace_response(engine: &Engine, trace_id: Option<u64>, recent: usize) -> String {
+    match engine.recorder() {
+        None => protocol::render_trace_unavailable(),
+        Some(recorder) => {
+            let trees = match trace_id {
+                Some(id) => recorder.get(id).into_iter().collect(),
+                None => recorder.recent(recent),
+            };
+            protocol::render_trace_response(&trees)
+        }
+    }
+}
+
 fn write_line<W: Write>(writer: &Mutex<W>, line: &str) -> io::Result<()> {
     let mut w = writer.lock();
     w.write_all(line.as_bytes())?;
@@ -196,6 +211,9 @@ where
             Ok(Request::Ping { seq }) => {
                 write_line(&writer, &protocol::render_pong(seq, &server_info(engine)))?
             }
+            Ok(Request::Trace { trace_id, recent }) => {
+                write_line(&writer, &trace_response(engine, trace_id, recent))?
+            }
             Ok(Request::Shutdown) => {
                 let stats = engine.shutdown();
                 write_line(&writer, &protocol::render_shutdown(&stats))?;
@@ -313,7 +331,7 @@ pub fn serve_listener_with(
 /// with an error instead (parse failures and refused submits). A batch
 /// is clean — [`BatchSummary::all_ok`] — exactly when every job ran to
 /// completion and no line errored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BatchSummary {
     /// Lines that produced a job (accepted submits).
     pub submitted: usize,
@@ -327,6 +345,21 @@ pub struct BatchSummary {
     pub failed: usize,
     /// Lines answered with an error line (bad requests, refused submits).
     pub errors: usize,
+    /// Every job that did *not* finish cleanly, with its distributed
+    /// trace id so failures are immediately queryable via the `trace`
+    /// op. Not part of [`BatchSummary`]'s `Display` line.
+    pub flagged: Vec<FlaggedJob>,
+}
+
+/// One non-clean batch line: enough identity to go fetch its trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlaggedJob {
+    /// The caller's tag for the line.
+    pub tag: String,
+    /// Outcome label: `"deadline"`, `"cancelled"`, or `"failed"`.
+    pub outcome: &'static str,
+    /// Distributed trace id; 0 when the job ran untraced.
+    pub trace_id: u64,
 }
 
 impl BatchSummary {
@@ -405,6 +438,9 @@ pub fn run_batch<W: Write>(
             Ok(Request::Ping { seq }) => {
                 immediate.push((lineno, protocol::render_pong(seq, &server_info(engine))))
             }
+            Ok(Request::Trace { trace_id, recent }) => {
+                immediate.push((lineno, trace_response(engine, trace_id, recent)))
+            }
             Ok(Request::Shutdown) | Ok(Request::Drain) => break,
             Ok(Request::Submit(req)) => {
                 let tag = req.tag.clone();
@@ -434,17 +470,40 @@ pub fn run_batch<W: Write>(
     let mut responses: Vec<(usize, String)> = immediate;
     for (lineno, tag, handle) in pending {
         let id = handle.id;
-        let outcome = handle.wait();
-        match &outcome {
-            crate::JobOutcome::Done(_) => summary.done += 1,
-            crate::JobOutcome::DeadlineExceeded { .. } => summary.deadline += 1,
-            crate::JobOutcome::Cancelled { .. } => summary.cancelled += 1,
-            crate::JobOutcome::Failed(_) => summary.failed += 1,
+        let done = handle
+            .wait_completed()
+            .unwrap_or(crate::worker::CompletedJob {
+                id,
+                tag,
+                trace_id: 0,
+                outcome: crate::JobOutcome::Cancelled { progress: None },
+            });
+        let label = match &done.outcome {
+            crate::JobOutcome::Done(_) => {
+                summary.done += 1;
+                None
+            }
+            crate::JobOutcome::DeadlineExceeded { .. } => {
+                summary.deadline += 1;
+                Some("deadline")
+            }
+            crate::JobOutcome::Cancelled { .. } => {
+                summary.cancelled += 1;
+                Some("cancelled")
+            }
+            crate::JobOutcome::Failed(_) => {
+                summary.failed += 1;
+                Some("failed")
+            }
+        };
+        if let Some(outcome) = label {
+            summary.flagged.push(FlaggedJob {
+                tag: done.tag.clone(),
+                outcome,
+                trace_id: done.trace_id,
+            });
         }
-        responses.push((
-            lineno,
-            protocol::render_outcome(&crate::worker::CompletedJob { id, tag, outcome }),
-        ));
+        responses.push((lineno, protocol::render_outcome(&done)));
     }
     responses.sort_by_key(|(lineno, _)| *lineno);
     for (_, line) in &responses {

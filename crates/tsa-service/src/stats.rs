@@ -181,10 +181,13 @@ impl ServiceStats {
             queue_depth,
             latency_p50_us: latency.quantile_upper_bound(0.50),
             latency_p90_us: latency.quantile_upper_bound(0.90),
+            latency_p95_us: latency.quantile_upper_bound(0.95),
             latency_p99_us: latency.quantile_upper_bound(0.99),
             queue_wait_p50_us: queue_wait.quantile_upper_bound(0.50),
+            queue_wait_p95_us: queue_wait.quantile_upper_bound(0.95),
             queue_wait_p99_us: queue_wait.quantile_upper_bound(0.99),
             kernel_p50_us: kernel.quantile_upper_bound(0.50),
+            kernel_p95_us: kernel.quantile_upper_bound(0.95),
             kernel_p99_us: kernel.quantile_upper_bound(0.99),
             latency_buckets: trim_buckets(latency.buckets),
             queue_wait_buckets: trim_buckets(queue_wait.buckets),
@@ -271,14 +274,20 @@ pub struct StatsSnapshot {
     pub latency_p50_us: u64,
     /// 90th-percentile latency bound (µs).
     pub latency_p90_us: u64,
+    /// 95th-percentile latency bound (µs).
+    pub latency_p95_us: u64,
     /// 99th-percentile latency bound (µs).
     pub latency_p99_us: u64,
     /// Median time spent queued before a worker pick-up (µs bound).
     pub queue_wait_p50_us: u64,
+    /// 95th-percentile queue wait bound (µs).
+    pub queue_wait_p95_us: u64,
     /// 99th-percentile queue wait bound (µs).
     pub queue_wait_p99_us: u64,
     /// Median kernel wall time (µs bound).
     pub kernel_p50_us: u64,
+    /// 95th-percentile kernel wall time bound (µs).
+    pub kernel_p95_us: u64,
     /// 99th-percentile kernel wall time bound (µs).
     pub kernel_p99_us: u64,
     /// Raw completion-latency buckets: `latency_buckets[i]` counts jobs
@@ -325,13 +334,18 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "kernels: {} SIMD-accelerated", self.simd_jobs)?;
         writeln!(
             f,
-            "latency (µs, bucket upper bounds): p50 ≤ {}, p90 ≤ {}, p99 ≤ {}",
-            self.latency_p50_us, self.latency_p90_us, self.latency_p99_us
+            "latency (µs, bucket upper bounds): p50 ≤ {}, p90 ≤ {}, p95 ≤ {}, p99 ≤ {}",
+            self.latency_p50_us, self.latency_p90_us, self.latency_p95_us, self.latency_p99_us
         )?;
         write!(
             f,
-            "stages (µs): queue-wait p50 ≤ {} p99 ≤ {}; kernel p50 ≤ {} p99 ≤ {}",
-            self.queue_wait_p50_us, self.queue_wait_p99_us, self.kernel_p50_us, self.kernel_p99_us
+            "stages (µs): queue-wait p50 ≤ {} p95 ≤ {} p99 ≤ {}; kernel p50 ≤ {} p95 ≤ {} p99 ≤ {}",
+            self.queue_wait_p50_us,
+            self.queue_wait_p95_us,
+            self.queue_wait_p99_us,
+            self.kernel_p50_us,
+            self.kernel_p95_us,
+            self.kernel_p99_us
         )
     }
 }
@@ -378,6 +392,11 @@ mod tests {
         assert_eq!(snap.kernel_buckets.iter().sum::<u64>(), 1);
         assert_eq!(snap.queue_wait_p50_us, 8);
         assert_eq!(snap.kernel_p50_us, 512);
+        assert_eq!(
+            snap.queue_wait_p95_us, 8,
+            "single sample: every quantile lands in its bucket"
+        );
+        assert_eq!(snap.kernel_p95_us, 512);
         assert!(snap.latency_buckets.is_empty());
     }
 

@@ -134,6 +134,9 @@ pub struct CompletedJob {
     pub id: u64,
     /// Caller-supplied tag (echoed in protocol responses).
     pub tag: String,
+    /// Distributed trace id, echoed in protocol responses so failures
+    /// are queryable via the `trace` op; 0 = untraced.
+    pub trace_id: u64,
     /// Terminal state.
     pub outcome: JobOutcome,
 }
@@ -157,6 +160,7 @@ pub(crate) fn worker_loop(
         let mut guard = JobGuard {
             id: job.id,
             tag: job.tag.clone(),
+            trace_id: job.trace.as_ref().map_or(0, |t| t.root.trace_id()),
             responder: job.responder.take(),
             stats: Arc::clone(&stats),
             durable: job
@@ -194,6 +198,7 @@ pub(crate) fn worker_loop(
 struct JobGuard {
     id: u64,
     tag: String,
+    trace_id: u64,
     responder: Option<Responder>,
     stats: Arc<ServiceStats>,
     durable: Option<(String, Arc<Durability>)>,
@@ -202,7 +207,13 @@ struct JobGuard {
 impl JobGuard {
     fn resolve(&mut self, outcome: JobOutcome) {
         if let Some(responder) = self.responder.take() {
-            respond(responder, self.id, std::mem::take(&mut self.tag), outcome);
+            respond(
+                responder,
+                self.id,
+                std::mem::take(&mut self.tag),
+                self.trace_id,
+                outcome,
+            );
         }
     }
 }
@@ -240,14 +251,20 @@ impl Drop for JobGuard {
                 responder,
                 self.id,
                 std::mem::take(&mut self.tag),
+                self.trace_id,
                 JobOutcome::Failed("worker thread died mid-job".into()),
             );
         }
     }
 }
 
-fn respond(responder: Responder, id: u64, tag: String, outcome: JobOutcome) {
-    let done = CompletedJob { id, tag, outcome };
+fn respond(responder: Responder, id: u64, tag: String, trace_id: u64, outcome: JobOutcome) {
+    let done = CompletedJob {
+        id,
+        tag,
+        trace_id,
+        outcome,
+    };
     match responder {
         // A dropped handle means nobody is waiting; that is fine.
         Responder::Channel(tx) => drop(tx.send(done)),
