@@ -1,0 +1,419 @@
+//! The chaos harness proper: boot a real cluster (spawned `tsa serve`
+//! worker processes, real sockets, real journals), drive the seeded
+//! workload through it in segments, fire the schedule's injections at
+//! the segment boundaries, and check every global invariant once the
+//! cluster quiesces.
+//!
+//! ## The determinism contract
+//!
+//! The harness writes a *logical* event log: seed, schedule, workload
+//! content, injections, per-job outcomes (sorted by submission index),
+//! and invariant verdicts. Nothing timed — no timestamps, pids, ports,
+//! latencies, or cache/recovered flags — ever reaches the log, so two
+//! runs with the same seed and spec produce byte-identical logs even
+//! though their physical interleavings (which worker died mid-which
+//! write) differ. A failing run is reproduced by re-running the spec
+//! with the seed on its first log line.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
+
+use tsa_cluster::{ClusterConfig, Coordinator, ReplyTo, ShardId};
+use tsa_core::{Algorithm, Aligner, SimdKernel};
+use tsa_scoring::Scoring;
+use tsa_seq::Seq;
+use tsa_service::json::Value;
+
+use crate::invariants::{self, Check, ResponseRow};
+use crate::spec::{ChaosAction, ChaosSpec};
+use crate::workload::{self, ChaosJob};
+
+/// How long to wait for any single job's response. Generous: a job can
+/// sit through several kill/respawn/replay cycles.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long to wait for every shard to answer stats after the last
+/// injection (a trailing kill needs a respawn + journal replay before
+/// its counters are visible again).
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Harness options that do not affect the logical run (and therefore
+/// may vary between replays of the same seed).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosOptions {
+    /// Worker binary; `None` re-executes the current binary (which must
+    /// understand `serve --listen`).
+    pub binary: Option<PathBuf>,
+    /// Cluster state root; `None` uses a fresh directory under the OS
+    /// temp dir. The directory is wiped before the run.
+    pub state_dir: Option<PathBuf>,
+    /// Keep the state directory after a passing run (always kept after
+    /// a failing one, for post-mortems).
+    pub keep_state: bool,
+}
+
+/// The outcome of one chaos run.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The seed that reproduces this run.
+    pub seed: u64,
+    /// Whether every invariant held.
+    pub passed: bool,
+    /// The full deterministic event log, newline-terminated.
+    pub log: String,
+    /// Where the cluster state lived (kept on failure).
+    pub state_dir: PathBuf,
+}
+
+/// Run one chaos schedule against a real cluster.
+pub fn run_spec(spec: &ChaosSpec, opts: &ChaosOptions) -> io::Result<ChaosReport> {
+    let state_dir = opts.state_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "tsa-chaos-{}-{:016x}",
+            std::process::id(),
+            spec.seed
+        ))
+    });
+    if state_dir.exists() {
+        fs::remove_dir_all(&state_dir)?;
+    }
+    fs::create_dir_all(&state_dir)?;
+
+    let mut log: Vec<String> = Vec::new();
+    log.push(format!("# tsa-chaos seed={}", spec.seed));
+    log.push(spec.summary_line());
+
+    let jobs = workload::generate(spec);
+    for job in &jobs {
+        log.push(submit_line(job));
+    }
+
+    let coordinator = Coordinator::start(ClusterConfig {
+        binary: opts.binary.clone(),
+        workers: spec.workers,
+        state_dir: Some(state_dir.clone()),
+        worker_threads: Some(2),
+        heartbeat: Duration::from_millis(100),
+        flight_recorder: 256,
+        ..ClusterConfig::default()
+    })?;
+
+    let mut rows: Vec<ResponseRow> = Vec::new();
+    // Bit flips sitting in a journal that no respawn has replayed yet,
+    // per shard; a kill or sever moves them into `replayed_flips`.
+    let mut outstanding_flips: HashMap<ShardId, u32> = HashMap::new();
+    let mut replayed_flips: u64 = 0;
+
+    let mut next_event = 0;
+    let mut at = 0;
+    while at < jobs.len() || next_event < spec.events.len() {
+        // Fire every injection scheduled at this boundary, in order.
+        let mut paused: Vec<(ShardId, u64)> = Vec::new();
+        while next_event < spec.events.len() && spec.events[next_event].at <= at {
+            let action = &spec.events[next_event].action;
+            apply_action(
+                &coordinator,
+                action,
+                &state_dir,
+                &mut outstanding_flips,
+                &mut replayed_flips,
+                &mut paused,
+                &mut log,
+            );
+            next_event += 1;
+        }
+        // Submit the segment up to the next boundary, while the fault
+        // (dead worker, severed link, frozen process) is still live.
+        let seg_end = spec
+            .events
+            .get(next_event)
+            .map_or(jobs.len(), |e| e.at.min(jobs.len()))
+            .max(at);
+        let mut waits = Vec::new();
+        for job in &jobs[at..seg_end] {
+            let (tx, rx) = sync_channel(1);
+            coordinator.submit(job.request(), ReplyTo::Blocking(tx));
+            waits.push((job.index, rx));
+        }
+        // Frozen shards thaw only after their configured stall, with
+        // the segment's jobs already racing them.
+        for (shard, for_ms) in paused {
+            std::thread::sleep(Duration::from_millis(for_ms));
+            coordinator.resume_shard(shard);
+            log.push(format!("inject resume shard={shard}"));
+        }
+        // Collect the whole segment (submission order == index order).
+        for (index, rx) in waits {
+            let row = match rx.recv_timeout(RESPONSE_TIMEOUT) {
+                Ok(line) => response_row(index, &line),
+                Err(_) => ResponseRow {
+                    index,
+                    status: "timeout".into(),
+                    score: None,
+                    algorithm: None,
+                    traced: false,
+                },
+            };
+            log.push(done_line(&row));
+            rows.push(row);
+        }
+        at = seg_end;
+    }
+
+    // Quiesce: every shard answering stats again (a trailing kill needs
+    // its respawn + replay to finish before counters are credible).
+    let stats = wait_for_quiesce(&coordinator, spec.workers);
+
+    let mut checks: Vec<Check> = Vec::new();
+    checks.push(invariants::responses_complete(&rows, jobs.len()));
+    let repeats: Vec<(usize, usize)> = jobs
+        .iter()
+        .filter_map(|j| j.repeat_of.map(|o| (j.index, o)))
+        .collect();
+    checks.push(invariants::repeat_consistency(&rows, &repeats));
+    checks.push(invariants::trace_completeness(&rows));
+    checks.push(shadow_verify(&jobs, &rows));
+    match &stats {
+        Some(stats) => {
+            checks.push(invariants::accounting(stats));
+            checks.push(invariants::quarantine_accounting(stats, replayed_flips));
+        }
+        None => checks.push(Check {
+            name: "cluster-quiesce",
+            passed: false,
+            detail: "not every shard answered stats before the quiesce timeout".into(),
+        }),
+    }
+    checks.push(journal_check(&state_dir, spec.workers, &outstanding_flips));
+
+    for check in &checks {
+        log.push(check.log_line());
+    }
+    let passed = checks.iter().all(|c| c.passed);
+    log.push(format!("verdict {}", if passed { "pass" } else { "FAIL" }));
+
+    let line = coordinator.shutdown("shutdown");
+    let _ = line;
+    if passed && !opts.keep_state {
+        fs::remove_dir_all(&state_dir).ok();
+    }
+    Ok(ChaosReport {
+        seed: spec.seed,
+        passed,
+        log: log.join("\n") + "\n",
+        state_dir,
+    })
+}
+
+fn submit_line(job: &ChaosJob) -> String {
+    let mut line = format!(
+        "submit {} uid={} len={},{},{}",
+        job.index,
+        job.uid,
+        job.seqs[0].len(),
+        job.seqs[1].len(),
+        job.seqs[2].len()
+    );
+    if let Some(original) = job.repeat_of {
+        line.push_str(&format!(" repeat_of={original}"));
+    }
+    if job.shadow_verify {
+        line.push_str(" shadow");
+    }
+    if let Some(directive) = job.tag.find('#') {
+        line.push_str(&format!(" tag_fault={}", &job.tag[directive..]));
+    }
+    line
+}
+
+fn done_line(row: &ResponseRow) -> String {
+    let mut line = format!("done {} status={}", row.index, row.status);
+    if let Some(score) = row.score {
+        line.push_str(&format!(" score={score}"));
+    }
+    if let Some(algorithm) = &row.algorithm {
+        line.push_str(&format!(" algorithm={algorithm}"));
+    }
+    line
+}
+
+fn response_row(index: usize, line: &str) -> ResponseRow {
+    let Ok(v) = Value::parse(line) else {
+        return ResponseRow {
+            index,
+            status: "unparseable".into(),
+            score: None,
+            algorithm: None,
+            traced: false,
+        };
+    };
+    ResponseRow {
+        index,
+        status: v
+            .get("status")
+            .and_then(Value::as_str)
+            .unwrap_or("error")
+            .to_string(),
+        score: v.get("score").and_then(Value::as_i64),
+        algorithm: v
+            .get("algorithm")
+            .and_then(Value::as_str)
+            .map(str::to_owned),
+        traced: v
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .is_some_and(|t| t.chars().any(|c| c != '0')),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_action(
+    coordinator: &Coordinator,
+    action: &ChaosAction,
+    state_dir: &std::path::Path,
+    outstanding_flips: &mut HashMap<ShardId, u32>,
+    replayed_flips: &mut u64,
+    paused: &mut Vec<(ShardId, u64)>,
+    log: &mut Vec<String>,
+) {
+    match *action {
+        ChaosAction::Kill { shard } => {
+            coordinator.kill_shard(shard);
+            // The respawn replays the shard's journal: every corrupt
+            // record in it must now surface as a quarantine.
+            *replayed_flips += u64::from(outstanding_flips.remove(&shard).unwrap_or(0));
+            log.push(format!("inject kill shard={shard}"));
+        }
+        ChaosAction::Sever { shard } => {
+            coordinator.sever_shard_link(shard);
+            // A severed spawned worker is respawned too (the supervisor
+            // cannot tell a dead socket from a dead process), so its
+            // journal also replays.
+            *replayed_flips += u64::from(outstanding_flips.remove(&shard).unwrap_or(0));
+            log.push(format!("inject sever shard={shard}"));
+        }
+        ChaosAction::Pause { shard, for_ms } => {
+            coordinator.pause_shard(shard);
+            paused.push((shard, for_ms));
+            log.push(format!("inject pause shard={shard}"));
+        }
+        ChaosAction::CorruptJournal { shard, flips } => {
+            let journal = state_dir
+                .join(format!("shard-{shard}"))
+                .join("journal.ndjson");
+            match crate::inject::corrupt_journal_scores(&journal, flips) {
+                Ok(performed) => {
+                    *outstanding_flips.entry(shard).or_insert(0) += performed;
+                    log.push(format!("inject corrupt-journal shard={shard}"));
+                }
+                Err(e) => log.push(format!("inject corrupt-journal shard={shard} FAIL: {e}")),
+            }
+        }
+        ChaosAction::CorruptCheckpoints { shard } => {
+            let dir = state_dir.join(format!("shard-{shard}")).join("checkpoints");
+            match crate::inject::corrupt_checkpoints(&dir) {
+                Ok(_) => log.push(format!("inject corrupt-checkpoints shard={shard}")),
+                Err(e) => log.push(format!(
+                    "inject corrupt-checkpoints shard={shard} FAIL: {e}"
+                )),
+            }
+        }
+    }
+}
+
+/// Poll cluster stats until every spawned shard reports a row with an
+/// empty queue, or the quiesce timeout passes.
+fn wait_for_quiesce(coordinator: &Coordinator, workers: u32) -> Option<Value> {
+    let deadline = Instant::now() + QUIESCE_TIMEOUT;
+    loop {
+        let stats = Value::parse(&coordinator.stats_line()).ok();
+        if let Some(stats) = &stats {
+            if let Some(Value::Arr(shards)) = stats.get("shards") {
+                let settled = shards.len() as u32 == workers
+                    && shards
+                        .iter()
+                        .all(|row| row.get("queue_depth").and_then(Value::as_u64) == Some(0));
+                if settled {
+                    return stats.clone().into();
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// **Shadow verification.** Re-run every sampled job's alignment with
+/// the sequential full-lattice DP on the scalar kernel — the reference
+/// implementation everything else in the workspace is differential-
+/// tested against — and require score agreement with whatever the
+/// cluster served (fresh, cached, or recovered).
+fn shadow_verify(jobs: &[ChaosJob], rows: &[ResponseRow]) -> Check {
+    let aligner = Aligner::new()
+        .scoring(Scoring::dna_default())
+        .algorithm(Algorithm::FullDp)
+        .kernel(SimdKernel::Scalar);
+    let mut bad = Vec::new();
+    for job in jobs.iter().filter(|j| j.shadow_verify) {
+        let Some(row) = rows.iter().find(|r| r.index == job.index) else {
+            continue; // responses_complete already flags the gap
+        };
+        if row.status != "done" {
+            continue;
+        }
+        let reference = aligner
+            .align3(
+                &Seq::dna(&job.seqs[0]).unwrap(),
+                &Seq::dna(&job.seqs[1]).unwrap(),
+                &Seq::dna(&job.seqs[2]).unwrap(),
+            )
+            .map(|a| a.score as i64);
+        match reference {
+            Ok(expected) if row.score == Some(expected) => {}
+            Ok(expected) => bad.push(format!(
+                "job {}: served {:?}, reference {expected}",
+                job.index, row.score
+            )),
+            Err(e) => bad.push(format!("job {}: reference kernel failed: {e}", job.index)),
+        }
+    }
+    if bad.is_empty() {
+        Check {
+            name: "shadow-recompute",
+            passed: true,
+            detail: String::new(),
+        }
+    } else {
+        Check {
+            name: "shadow-recompute",
+            passed: false,
+            detail: bad.join("; "),
+        }
+    }
+}
+
+/// Read every shard's journal twice and hand the texts to the
+/// idempotence/checksum invariant.
+fn journal_check(
+    state_dir: &std::path::Path,
+    workers: u32,
+    outstanding_flips: &HashMap<ShardId, u32>,
+) -> Check {
+    let mut journals = Vec::new();
+    for shard in 0..workers {
+        let path = state_dir
+            .join(format!("shard-{shard}"))
+            .join("journal.ndjson");
+        let first = fs::read_to_string(&path).unwrap_or_default();
+        let second = fs::read_to_string(&path).unwrap_or_default();
+        let expected_bad = outstanding_flips.get(&shard).copied().unwrap_or(0);
+        journals.push((shard, first, second, expected_bad));
+    }
+    invariants::journal_integrity(&journals)
+}

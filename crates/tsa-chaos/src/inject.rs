@@ -1,0 +1,152 @@
+//! On-disk corruption injectors. These never make a file unparseable:
+//! a journal flip turns one digit of a `done` record's score into
+//! another digit, so the line still reads as valid JSON and only the
+//! record's content checksum (`ck`) can expose it — which is exactly
+//! the failure mode silent disk corruption presents in production.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Flip one low bit in the score digit of each of the last `flips`
+/// `done` records of a journal. Returns how many records were actually
+/// flipped (fewer than asked when the journal holds fewer done
+/// records).
+pub fn corrupt_journal_scores(journal: &Path, flips: u32) -> io::Result<u32> {
+    let text = fs::read_to_string(journal)?;
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let done_lines: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains("\"ev\":\"done\""))
+        .map(|(i, _)| i)
+        .collect();
+    let mut performed = 0;
+    for &i in done_lines.iter().rev().take(flips as usize) {
+        if let Some(flipped) = flip_score_digit(&lines[i]) {
+            lines[i] = flipped;
+            performed += 1;
+        }
+    }
+    if performed > 0 {
+        let mut out = lines.join("\n");
+        out.push('\n');
+        fs::write(journal, out)?;
+    }
+    Ok(performed)
+}
+
+/// XOR the lowest bit of the score's *last* digit: every ASCII digit
+/// maps to its even/odd neighbor (`'3'` ↔ `'2'`), so the value changes
+/// but the JSON stays well-formed (the last digit can never become a
+/// leading zero).
+fn flip_score_digit(line: &str) -> Option<String> {
+    let key = "\"score\":";
+    let mut i = line.find(key)? + key.len();
+    let bytes = line.as_bytes();
+    if bytes.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    if !bytes.get(i)?.is_ascii_digit() {
+        return None;
+    }
+    while i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+    }
+    let mut out = bytes.to_vec();
+    out[i] ^= 1;
+    String::from_utf8(out).ok()
+}
+
+/// Flip one byte in the middle of every `*.ckpt` snapshot under `dir`.
+/// Returns how many snapshots were corrupted. The recovery scrub
+/// (`tsa_core::scrub_snapshot_dir`) must detect and delete every one.
+pub fn corrupt_checkpoints(dir: &Path) -> io::Result<u32> {
+    let mut performed = 0;
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let mut bytes = fs::read(&path)?;
+        if bytes.is_empty() {
+            continue;
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, bytes)?;
+        performed += 1;
+    }
+    Ok(performed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_flip_changes_the_digit_but_not_the_shape() {
+        let line = r#"{"ev":"done","uid":"ab","score":-3,"algorithm":"wavefront","ck":"00"}"#;
+        let flipped = flip_score_digit(line).unwrap();
+        assert_ne!(flipped, line);
+        assert!(flipped.contains("\"score\":-2"));
+        // Still a valid JSON object with every other field untouched.
+        let v = tsa_service::json::Value::parse(&flipped).unwrap();
+        assert_eq!(v.get("score").and_then(|s| s.as_i64()), Some(-2));
+        assert_eq!(v.get("ev").and_then(|s| s.as_str()), Some("done"));
+    }
+
+    #[test]
+    fn journal_corruption_targets_the_last_done_records_only() {
+        let dir = std::env::temp_dir().join(format!("tsa-chaos-inject-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.ndjson");
+        fs::write(
+            &journal,
+            concat!(
+                "{\"ev\":\"start\",\"uid\":\"u1\"}\n",
+                "{\"ev\":\"done\",\"uid\":\"u1\",\"score\":-4,\"ck\":\"aa\"}\n",
+                "{\"ev\":\"done\",\"uid\":\"u2\",\"score\":10,\"ck\":\"bb\"}\n",
+                "{\"ev\":\"done\",\"uid\":\"u3\",\"score\":0,\"ck\":\"cc\"}\n",
+            ),
+        )
+        .unwrap();
+        // Ask for more flips than done records exist: performs 3.
+        assert_eq!(corrupt_journal_scores(&journal, 5).unwrap(), 3);
+        let text = fs::read_to_string(&journal).unwrap();
+        // -4 → -5, 10 → 11, 0 → 1: last digit, low bit.
+        assert!(text.contains("\"score\":-5"), "{text}");
+        assert!(text.contains("\"score\":11"), "{text}");
+        assert!(
+            text.contains("\"score\":1,") || text.ends_with("\"score\":1\n"),
+            "{text}"
+        );
+        assert!(text.contains("\"ev\":\"start\""), "start records untouched");
+        // Every line still parses.
+        for line in text.lines() {
+            tsa_service::json::Value::parse(line).unwrap();
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_corruption_flips_every_snapshot() {
+        let dir = std::env::temp_dir().join(format!("tsa-chaos-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("a.ckpt"), b"snapshot-bytes-a").unwrap();
+        fs::write(dir.join("b.ckpt"), b"snapshot-bytes-b").unwrap();
+        fs::write(dir.join("ignore.txt"), b"not a snapshot").unwrap();
+        assert_eq!(corrupt_checkpoints(&dir).unwrap(), 2);
+        assert_ne!(fs::read(dir.join("a.ckpt")).unwrap(), b"snapshot-bytes-a");
+        assert_eq!(fs::read(dir.join("ignore.txt")).unwrap(), b"not a snapshot");
+        // A missing directory is a no-op, not an error.
+        assert_eq!(corrupt_checkpoints(&dir.join("absent")).unwrap(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,39 @@
+//! # tsa-chaos — deterministic chaos harness + result-integrity verifier
+//!
+//! This crate turns the cluster's fault-injection hooks into a seeded,
+//! fully reproducible chaos engine. One run:
+//!
+//! 1. parses a **schedule spec** ([`ChaosSpec`]) — worker count, job
+//!    count, and a list of injections (`kill`, `pause`, `sever`,
+//!    `corrupt-journal`, `corrupt-checkpoints`) pinned to submission
+//!    indices, plus optional ambient slow-disk latency via the
+//!    existing `#fault-disk-slow` tag directive;
+//! 2. generates a **deterministic workload** from the spec's seed
+//!    (repeats included, so cache and journal-recovery paths are
+//!    exercised);
+//! 3. drives a real [`tsa_cluster::Coordinator`] — spawned worker
+//!    processes, real sockets, real journals — firing each injection
+//!    at its boundary while the surrounding jobs are in flight;
+//! 4. checks **global invariants** at quiesce: the accounting identity,
+//!    journal-replay idempotence, per-record content checksums, trace
+//!    completeness, repeat-consistency, quarantine accounting
+//!    (`integrity_quarantined` must equal the number of injected flips
+//!    whose journals were replayed), and a shadow recompute of a
+//!    sampled job fraction against the scalar reference kernel.
+//!
+//! The harness writes a logical event log with *no* timing-dependent
+//! content: two runs of the same seed and spec produce byte-identical
+//! logs, and any failing run replays from the `# tsa-chaos seed=N`
+//! line it printed.
+
+pub mod harness;
+pub mod inject;
+pub mod invariants;
+pub mod rng;
+pub mod spec;
+pub mod workload;
+
+pub use harness::{run_spec, ChaosOptions, ChaosReport};
+pub use rng::ChaosRng;
+pub use spec::{ChaosAction, ChaosEvent, ChaosSpec, SlowDisk};
+pub use workload::{generate, ChaosJob};

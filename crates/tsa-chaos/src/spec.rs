@@ -1,0 +1,337 @@
+//! The chaos schedule spec: one JSON document that fully determines a
+//! run (together with its seed). Parsed with the workspace's hand-rolled
+//! JSON reader — same zero-dependency rule as the wire protocol.
+//!
+//! ```json
+//! {
+//!   "seed": 42,
+//!   "jobs": 24,
+//!   "workers": 2,
+//!   "max_len": 10,
+//!   "repeat_every": 4,
+//!   "verify_one_in": 3,
+//!   "slow_disk": { "every": 5, "ms": 10 },
+//!   "events": [
+//!     { "at": 8,  "action": "kill",            "shard": 0 },
+//!     { "at": 12, "action": "corrupt-journal", "shard": 0, "flips": 2 },
+//!     { "at": 12, "action": "kill",            "shard": 0 },
+//!     { "at": 16, "action": "sever",           "shard": 1 },
+//!     { "at": 20, "action": "pause",           "shard": 1, "for_ms": 150 }
+//!   ]
+//! }
+//! ```
+//!
+//! `at` is a *job index*: the injection fires at the boundary before job
+//! `at` is submitted, after every earlier job's response has been
+//! collected. Several events may share a boundary; they apply in listed
+//! order (so `corrupt-journal` then `kill` of the same shard forces a
+//! replay of the corrupted journal). Durations (`for_ms`) shape real
+//! time only — nothing timed is ever written to the event log, which is
+//! what keeps same-seed logs byte-identical.
+
+use tsa_cluster::ShardId;
+use tsa_service::json::Value;
+
+/// One injection, fired at a job-index boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// SIGKILL the shard's worker process (supervisor respawns it and
+    /// the journal replay recovers completed work).
+    Kill { shard: ShardId },
+    /// SIGSTOP the worker for `for_ms`, then SIGCONT: a frozen — not
+    /// dead — shard, the pathology breakers and hedges exist for.
+    Pause { shard: ShardId, for_ms: u64 },
+    /// Shut down the coordinator↔worker TCP connection: a network drop
+    /// without process failure.
+    Sever { shard: ShardId },
+    /// Flip one low bit in the score of each of the last `flips` done
+    /// records of the shard's journal. Keeps the JSON well-formed, so
+    /// only the record checksum can catch it.
+    CorruptJournal { shard: ShardId, flips: u32 },
+    /// Flip one byte in every checkpoint snapshot under the shard's
+    /// state dir (caught by the decode scrub on recovery).
+    CorruptCheckpoints { shard: ShardId },
+}
+
+impl ChaosAction {
+    /// Stable name used in specs and event-log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosAction::Kill { .. } => "kill",
+            ChaosAction::Pause { .. } => "pause",
+            ChaosAction::Sever { .. } => "sever",
+            ChaosAction::CorruptJournal { .. } => "corrupt-journal",
+            ChaosAction::CorruptCheckpoints { .. } => "corrupt-checkpoints",
+        }
+    }
+
+    /// The shard this action targets.
+    pub fn shard(&self) -> ShardId {
+        match *self {
+            ChaosAction::Kill { shard }
+            | ChaosAction::Pause { shard, .. }
+            | ChaosAction::Sever { shard }
+            | ChaosAction::CorruptJournal { shard, .. }
+            | ChaosAction::CorruptCheckpoints { shard } => shard,
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Job-index boundary the action fires at (`0..=jobs`).
+    pub at: usize,
+    /// What to inject.
+    pub action: ChaosAction,
+}
+
+/// Periodic `#fault-disk-slow` tagging: every `every`-th job carries a
+/// journal-write stall of `ms` milliseconds. Only bites when the worker
+/// binary is built with the `faults` feature; inert otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowDisk {
+    /// Tag every n-th job (0 disables).
+    pub every: usize,
+    /// Stall duration in milliseconds.
+    pub ms: u64,
+}
+
+/// A parsed, validated chaos schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed for every random decision the harness makes.
+    pub seed: u64,
+    /// Total jobs in the workload.
+    pub jobs: usize,
+    /// Spawned worker processes.
+    pub workers: u32,
+    /// Maximum sequence length (each of the three, independently).
+    pub max_len: usize,
+    /// Every n-th job re-submits earlier content (cache/recovery hits);
+    /// 0 disables repeats.
+    pub repeat_every: usize,
+    /// Shadow-recompute one in n results with the scalar reference
+    /// kernel; 0 disables sampling.
+    pub verify_one_in: u64,
+    /// Optional periodic slow-disk fault tagging.
+    pub slow_disk: Option<SlowDisk>,
+    /// The injection schedule, sorted by `at` (stable, so listed order
+    /// breaks ties).
+    pub events: Vec<ChaosEvent>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> ChaosSpec {
+        ChaosSpec {
+            seed: 42,
+            jobs: 24,
+            workers: 2,
+            max_len: 10,
+            repeat_every: 4,
+            verify_one_in: 3,
+            slow_disk: None,
+            events: Vec::new(),
+        }
+    }
+}
+
+fn field_u64(obj: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+    }
+}
+
+impl ChaosSpec {
+    /// Parse and validate a spec document.
+    pub fn parse(text: &str) -> Result<ChaosSpec, String> {
+        let obj = Value::parse(text).map_err(|e| format!("spec is not valid JSON: {e}"))?;
+        let defaults = ChaosSpec::default();
+        let workers = field_u64(&obj, "workers", defaults.workers as u64)? as u32;
+        let jobs = field_u64(&obj, "jobs", defaults.jobs as u64)? as usize;
+        let mut spec = ChaosSpec {
+            seed: field_u64(&obj, "seed", defaults.seed)?,
+            jobs,
+            workers,
+            max_len: field_u64(&obj, "max_len", defaults.max_len as u64)? as usize,
+            repeat_every: field_u64(&obj, "repeat_every", defaults.repeat_every as u64)? as usize,
+            verify_one_in: field_u64(&obj, "verify_one_in", defaults.verify_one_in)?,
+            slow_disk: None,
+            events: Vec::new(),
+        };
+        if spec.jobs == 0 {
+            return Err("'jobs' must be at least 1".into());
+        }
+        if spec.workers == 0 {
+            return Err("'workers' must be at least 1".into());
+        }
+        if spec.max_len == 0 {
+            return Err("'max_len' must be at least 1".into());
+        }
+        if let Some(sd) = obj.get("slow_disk") {
+            let every = field_u64(sd, "every", 0)? as usize;
+            let ms = field_u64(sd, "ms", 0)?;
+            if every > 0 && ms > 0 {
+                spec.slow_disk = Some(SlowDisk { every, ms });
+            }
+        }
+        if let Some(events) = obj.get("events") {
+            let Value::Arr(items) = events else {
+                return Err("'events' must be an array".into());
+            };
+            for (i, item) in items.iter().enumerate() {
+                spec.events.push(
+                    parse_event(item, spec.jobs, spec.workers)
+                        .map_err(|e| format!("events[{i}]: {e}"))?,
+                );
+            }
+        }
+        // Stable sort: same-boundary events keep their listed order, so
+        // "corrupt then kill" recipes mean what they say.
+        spec.events.sort_by_key(|e| e.at);
+        Ok(spec)
+    }
+
+    /// One deterministic line summarizing the schedule, for the event
+    /// log header (everything that shapes the run, nothing that times
+    /// it).
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "spec jobs={} workers={} max_len={} repeat_every={} verify_one_in={}",
+            self.jobs, self.workers, self.max_len, self.repeat_every, self.verify_one_in
+        );
+        if let Some(sd) = self.slow_disk {
+            line.push_str(&format!(" slow_disk={}every/{}ms", sd.every, sd.ms));
+        }
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| format!("{}@{}:{}", e.action.name(), e.at, e.action.shard()))
+            .collect();
+        line.push_str(&format!(" events=[{}]", events.join(",")));
+        line
+    }
+}
+
+fn parse_event(item: &Value, jobs: usize, workers: u32) -> Result<ChaosEvent, String> {
+    let at = field_u64(item, "at", u64::MAX)?;
+    if at == u64::MAX {
+        return Err("missing 'at' (job-index boundary)".into());
+    }
+    if at as usize > jobs {
+        return Err(format!("'at' {at} is past the last job boundary {jobs}"));
+    }
+    let shard = field_u64(item, "shard", u64::MAX)?;
+    if shard == u64::MAX {
+        return Err("missing 'shard'".into());
+    }
+    if shard >= workers as u64 {
+        return Err(format!(
+            "'shard' {shard} is not a spawned shard (workers={workers})"
+        ));
+    }
+    let shard = shard as ShardId;
+    let action = match item.get("action").and_then(Value::as_str) {
+        Some("kill") => ChaosAction::Kill { shard },
+        Some("pause") => ChaosAction::Pause {
+            shard,
+            for_ms: field_u64(item, "for_ms", 100)?,
+        },
+        Some("sever") => ChaosAction::Sever { shard },
+        Some("corrupt-journal") => ChaosAction::CorruptJournal {
+            shard,
+            flips: field_u64(item, "flips", 1)?.max(1) as u32,
+        },
+        Some("corrupt-checkpoints") => ChaosAction::CorruptCheckpoints { shard },
+        Some(other) => return Err(format!("unknown action '{other}'")),
+        None => return Err("missing string field 'action'".into()),
+    };
+    Ok(ChaosEvent {
+        at: at as usize,
+        action,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_takes_defaults() {
+        let spec = ChaosSpec::parse("{}").unwrap();
+        assert_eq!(spec, ChaosSpec::default());
+        assert!(spec.summary_line().starts_with("spec jobs=24 workers=2"));
+    }
+
+    #[test]
+    fn full_spec_round_trips_every_action() {
+        let spec = ChaosSpec::parse(
+            r#"{
+                "seed": 7, "jobs": 30, "workers": 3, "max_len": 8,
+                "repeat_every": 3, "verify_one_in": 2,
+                "slow_disk": {"every": 5, "ms": 10},
+                "events": [
+                    {"at": 20, "action": "pause", "shard": 2, "for_ms": 50},
+                    {"at": 10, "action": "corrupt-journal", "shard": 1, "flips": 2},
+                    {"at": 10, "action": "kill", "shard": 1},
+                    {"at": 15, "action": "sever", "shard": 0},
+                    {"at": 25, "action": "corrupt-checkpoints", "shard": 0}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.slow_disk, Some(SlowDisk { every: 5, ms: 10 }));
+        // Sorted by boundary, ties in listed order: corrupt before kill.
+        let order: Vec<(usize, &str)> = spec
+            .events
+            .iter()
+            .map(|e| (e.at, e.action.name()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (10, "corrupt-journal"),
+                (10, "kill"),
+                (15, "sever"),
+                (20, "pause"),
+                (25, "corrupt-checkpoints"),
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_reasons() {
+        assert!(ChaosSpec::parse("not json").unwrap_err().contains("JSON"));
+        assert!(ChaosSpec::parse(r#"{"jobs": 0}"#)
+            .unwrap_err()
+            .contains("jobs"));
+        assert!(ChaosSpec::parse(r#"{"workers": 0}"#)
+            .unwrap_err()
+            .contains("workers"));
+        let err =
+            ChaosSpec::parse(r#"{"events":[{"at":1,"action":"kill","shard":9}]}"#).unwrap_err();
+        assert!(err.contains("not a spawned shard"), "{err}");
+        let err = ChaosSpec::parse(r#"{"jobs":4,"events":[{"at":99,"action":"kill","shard":0}]}"#)
+            .unwrap_err();
+        assert!(err.contains("past the last job boundary"), "{err}");
+        let err =
+            ChaosSpec::parse(r#"{"events":[{"at":1,"shard":0,"action":"melt"}]}"#).unwrap_err();
+        assert!(err.contains("unknown action"), "{err}");
+    }
+
+    #[test]
+    fn summary_line_is_deterministic_and_complete() {
+        let text = r#"{"seed":1,"jobs":6,"workers":2,"events":[
+            {"at":2,"action":"kill","shard":0},
+            {"at":4,"action":"corrupt-journal","shard":1,"flips":3}
+        ]}"#;
+        let a = ChaosSpec::parse(text).unwrap().summary_line();
+        let b = ChaosSpec::parse(text).unwrap().summary_line();
+        assert_eq!(a, b);
+        assert!(a.contains("events=[kill@2:0,corrupt-journal@4:1]"), "{a}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic workload generation: the job list is a pure function
+//! of the spec (seed, counts, rates). Repeats re-submit earlier content
+//! so the run exercises cache hits and journal-recovered hits — the
+//! paths the integrity checksums guard.
+
+use tsa_seq::Seq;
+use tsa_service::{content_uid, AlignRequest};
+
+use crate::rng::ChaosRng;
+use crate::spec::ChaosSpec;
+
+/// One generated job, fully determined by the spec.
+#[derive(Debug, Clone)]
+pub struct ChaosJob {
+    /// Submission index (also the segment-ordering key in the log).
+    pub index: usize,
+    /// The request tag: `chaos-<index>`, plus a `#fault-disk-slow`
+    /// directive on slow-disk-tagged jobs.
+    pub tag: String,
+    /// The three DNA sequences.
+    pub seqs: [String; 3],
+    /// `Some(i)` when this job re-submits job `i`'s content.
+    pub repeat_of: Option<usize>,
+    /// Whether the verifier shadow-recomputes this job's score with the
+    /// scalar reference kernel.
+    pub shadow_verify: bool,
+    /// The content fingerprint the cluster routes (and caches) by.
+    pub uid: String,
+}
+
+impl ChaosJob {
+    /// The wire request for this job.
+    pub fn request(&self) -> AlignRequest {
+        AlignRequest::new(
+            self.tag.clone(),
+            Seq::dna(&self.seqs[0]).expect("generated DNA is valid"),
+            Seq::dna(&self.seqs[1]).expect("generated DNA is valid"),
+            Seq::dna(&self.seqs[2]).expect("generated DNA is valid"),
+        )
+    }
+}
+
+fn random_dna(rng: &mut ChaosRng, max_len: usize) -> String {
+    const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+    let len = 1 + rng.below(max_len as u64) as usize;
+    (0..len).map(|_| BASES[rng.below(4) as usize]).collect()
+}
+
+/// Generate the full job list for a spec. The draw order is fixed —
+/// repeat pick, then content, then the shadow-verify coin — so the
+/// same seed always yields the same workload.
+pub fn generate(spec: &ChaosSpec) -> Vec<ChaosJob> {
+    let mut rng = ChaosRng::new(spec.seed);
+    let mut jobs: Vec<ChaosJob> = Vec::with_capacity(spec.jobs);
+    for index in 0..spec.jobs {
+        let repeat_of = (spec.repeat_every > 0 && index > 0 && index % spec.repeat_every == 0)
+            .then(|| rng.below(index as u64) as usize);
+        let seqs = match repeat_of {
+            Some(original) => jobs[original].seqs.clone(),
+            None => [
+                random_dna(&mut rng, spec.max_len),
+                random_dna(&mut rng, spec.max_len),
+                random_dna(&mut rng, spec.max_len),
+            ],
+        };
+        let shadow_verify = rng.one_in(spec.verify_one_in);
+        let mut tag = format!("chaos-{index}");
+        if let Some(sd) = spec.slow_disk {
+            if sd.every > 0 && index % sd.every == 0 {
+                tag.push_str(&format!("#fault-disk-slow={}", sd.ms));
+            }
+        }
+        let mut job = ChaosJob {
+            index,
+            tag,
+            seqs,
+            repeat_of,
+            shadow_verify,
+            uid: String::new(),
+        };
+        job.uid = content_uid(&job.request());
+        jobs.push(job);
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SlowDisk;
+
+    fn spec() -> ChaosSpec {
+        ChaosSpec {
+            seed: 11,
+            jobs: 20,
+            repeat_every: 4,
+            verify_one_in: 3,
+            ..ChaosSpec::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_generates_the_identical_workload() {
+        let a = generate(&spec());
+        let b = generate(&spec());
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seqs, y.seqs);
+            assert_eq!(x.tag, y.tag);
+            assert_eq!(x.uid, y.uid);
+            assert_eq!(x.repeat_of, y.repeat_of);
+            assert_eq!(x.shadow_verify, y.shadow_verify);
+        }
+    }
+
+    #[test]
+    fn repeats_share_content_and_route_identically() {
+        let jobs = generate(&spec());
+        let repeats: Vec<&ChaosJob> = jobs.iter().filter(|j| j.repeat_of.is_some()).collect();
+        assert!(!repeats.is_empty());
+        for r in repeats {
+            let original = &jobs[r.repeat_of.unwrap()];
+            assert_eq!(r.seqs, original.seqs);
+            // Tags differ but the routing/caching fingerprint must not:
+            // a repeat is only a cache hit if it lands on the same shard.
+            assert_ne!(r.tag, original.tag);
+            assert_eq!(r.uid, original.uid);
+        }
+    }
+
+    #[test]
+    fn slow_disk_tags_every_nth_job_with_the_directive() {
+        let mut s = spec();
+        s.slow_disk = Some(SlowDisk { every: 5, ms: 7 });
+        let jobs = generate(&s);
+        for job in &jobs {
+            let tagged = job.tag.contains("#fault-disk-slow=7");
+            assert_eq!(tagged, job.index % 5 == 0, "job {}", job.index);
+        }
+        // The directive lives in the tag, not the content: tagged jobs
+        // still fingerprint by sequence alone.
+        let plain = generate(&spec());
+        assert_eq!(jobs[0].uid, plain[0].uid);
+    }
+
+    #[test]
+    fn sequences_respect_the_length_bound_and_alphabet() {
+        let mut s = spec();
+        s.max_len = 6;
+        for job in generate(&s) {
+            for seq in &job.seqs {
+                assert!(!seq.is_empty() && seq.len() <= 6);
+                assert!(seq.bytes().all(|b| b"ACGT".contains(&b)));
+            }
+        }
+    }
+}

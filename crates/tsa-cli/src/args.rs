@@ -19,6 +19,7 @@ USAGE:
     tsa batch --file <ndjson> [--repeat <n>] [--quiet] [service options]
     tsa cluster [--workers <n>] [--attach <addr:port>]... [cluster options]
     tsa trace --connect <addr:port> [<trace-id>] [--recent <n>] [--json]
+    tsa chaos run <spec.json> [chaos options]
     tsa help
 
 ALIGN OPTIONS:
@@ -131,6 +132,21 @@ CLUSTER OPTIONS (tsa cluster):
     --slow-ms <ms>       always retain traces slower than this           [0]
     --trace-sample <n>   keep one in n clean traces                      [1]
 
+CHAOS OPTIONS (tsa chaos run — deterministic chaos + integrity check):
+    <spec.json>          schedule spec: seed, workload shape, and a list
+                         of injections (kill / pause / sever /
+                         corrupt-journal / corrupt-checkpoints) pinned
+                         to submission indices; see DESIGN.md §4i
+    --seed <u64>         override the spec's seed (replay a printed
+                         failing seed without editing the spec)
+    --log <file>         also write the deterministic event log to a
+                         file (it always goes to stdout)
+    --state-dir <dir>    cluster state root for the run (default: a
+                         fresh directory under the OS temp dir)
+    --binary <path>      worker binary to spawn (default: this binary)
+    --keep-state         keep the state directory after a passing run
+                         (failing runs always keep it)
+
 TRACE OPTIONS (tsa trace — query a serve/cluster flight recorder):
     --connect <addr>     server or cluster front door to query
     <trace-id>           16-hex trace id (as printed in responses and
@@ -164,8 +180,27 @@ pub enum Command {
     Cluster(ClusterArgs),
     /// Query a running server's or cluster's flight recorder.
     Trace(TraceArgs),
+    /// Run a deterministic chaos schedule against a real cluster.
+    Chaos(ChaosArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `tsa chaos run`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosArgs {
+    /// Schedule spec file (JSON).
+    pub spec: String,
+    /// Seed override (replay a printed failing seed).
+    pub seed: Option<u64>,
+    /// Also write the event log here (stdout always gets it).
+    pub log: Option<String>,
+    /// Cluster state root (default: fresh temp directory).
+    pub state_dir: Option<String>,
+    /// Worker binary to spawn (default: the current binary).
+    pub binary: Option<String>,
+    /// Keep the state directory after a passing run.
+    pub keep_state: bool,
 }
 
 /// Arguments of `tsa trace`.
@@ -544,6 +579,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         Some("batch") => parse_batch(it.as_slice()).map(Command::Batch),
         Some("cluster") => parse_cluster(it.as_slice()).map(Command::Cluster),
         Some("trace") => parse_trace(it.as_slice()).map(Command::Trace),
+        Some("chaos") => parse_chaos(it.as_slice()).map(Command::Chaos),
         Some("info") => {
             let rest = it.as_slice();
             match rest {
@@ -888,6 +924,36 @@ fn parse_trace(argv: &[String]) -> Result<TraceArgs, String> {
         return Err("trace needs --connect <addr:port>".into());
     }
     Ok(t)
+}
+
+fn parse_chaos(argv: &[String]) -> Result<ChaosArgs, String> {
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("run") => {}
+        Some(other) => return Err(format!("unknown chaos subcommand `{other}` (try `run`)")),
+        None => return Err("chaos needs a subcommand: run <spec.json>".into()),
+    }
+    let mut c = ChaosArgs::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => c.seed = Some(parse_num(arg, take_value(arg, &mut it)?)?),
+            "--log" => c.log = Some(take_value(arg, &mut it)?.clone()),
+            "--state-dir" => c.state_dir = Some(take_value(arg, &mut it)?.clone()),
+            "--binary" => c.binary = Some(take_value(arg, &mut it)?.clone()),
+            "--keep-state" => c.keep_state = true,
+            other if !other.starts_with("--") => {
+                if !c.spec.is_empty() {
+                    return Err("chaos run takes exactly one <spec.json>".into());
+                }
+                c.spec = other.to_string();
+            }
+            other => return Err(format!("unknown chaos flag `{other}`")),
+        }
+    }
+    if c.spec.is_empty() {
+        return Err("chaos run needs a <spec.json> schedule file".into());
+    }
+    Ok(c)
 }
 
 impl AlignArgs {

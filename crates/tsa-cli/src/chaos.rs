@@ -1,0 +1,45 @@
+//! `tsa chaos run` — execute a deterministic chaos schedule against a
+//! real local cluster and verify the global invariants.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tsa_chaos::{run_spec, ChaosOptions, ChaosSpec};
+
+use crate::args::ChaosArgs;
+
+/// Run `tsa chaos run <spec.json>`.
+///
+/// The deterministic event log goes to stdout (and `--log <file>` if
+/// given); anything timing-dependent — the state-dir path of a failing
+/// run, progress notes — goes to stderr so stdout stays byte-identical
+/// across same-seed runs.
+pub fn run_chaos(args: ChaosArgs) -> Result<(), String> {
+    let text = fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read spec `{}`: {e}", args.spec))?;
+    let mut spec = ChaosSpec::parse(&text).map_err(|e| format!("bad spec: {e}"))?;
+    if let Some(seed) = args.seed {
+        spec.seed = seed;
+    }
+    let opts = ChaosOptions {
+        binary: args.binary.map(PathBuf::from),
+        state_dir: args.state_dir.map(PathBuf::from),
+        keep_state: args.keep_state,
+    };
+    let report = run_spec(&spec, &opts).map_err(|e| format!("chaos run failed: {e}"))?;
+    print!("{}", report.log);
+    if let Some(path) = &args.log {
+        fs::write(path, &report.log).map_err(|e| format!("cannot write --log `{path}`: {e}"))?;
+    }
+    if report.passed {
+        Ok(())
+    } else {
+        eprintln!(
+            "chaos: invariants FAILED; replay with `tsa chaos run {} --seed {}`; state kept at {}",
+            args.spec,
+            report.seed,
+            report.state_dir.display()
+        );
+        Err(format!("chaos seed {} failed its invariants", report.seed))
+    }
+}

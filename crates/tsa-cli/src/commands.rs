@@ -27,6 +27,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Batch(b) => run_batch(b),
         Command::Cluster(c) => crate::cluster::run_cluster(c),
         Command::Trace(t) => run_trace(t),
+        Command::Chaos(c) => crate::chaos::run_chaos(c),
     }
 }
 

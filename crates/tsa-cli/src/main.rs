@@ -10,6 +10,7 @@
 //! Run `tsa help` for the full option list.
 
 mod args;
+mod chaos;
 mod cluster;
 mod commands;
 

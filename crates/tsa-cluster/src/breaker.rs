@@ -275,6 +275,73 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probe_racing_a_respawn_never_double_probes() {
+        // A shard trips its breaker, cools down, and a half-open probe
+        // is admitted. While the probe is in flight the worker dies and
+        // the supervisor respawns it: the disconnect records a failure
+        // (re-opening the breaker) and the probe job is resubmitted to
+        // the new generation. The re-opened window must grant exactly
+        // one fresh probe for the resubmission — never two racing ones.
+        let b = Breaker::new(1, Duration::from_millis(0));
+        b.record_failure(); // trip
+        assert_eq!(b.admit(), Admission::Probe, "cooldown elapsed: probe");
+        // The respawn path surfaces the dying worker as a failure while
+        // the probe is still unresolved.
+        b.record_failure();
+        // Zero cooldown makes it immediately probe-able again, but only
+        // once: the resubmitted job takes the slot...
+        assert_eq!(b.admit(), Admission::Probe);
+        // ...and every other submission is denied while it races the
+        // respawned worker's recovery.
+        assert!(matches!(b.admit(), Admission::Deny { .. }));
+        assert!(matches!(b.admit(), Admission::Deny { .. }));
+        // The resubmitted probe answers from the respawned worker.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn concurrent_admits_mint_exactly_one_probe_per_window() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // Sixteen submissions race the half-open window on every
+        // supervise cycle (trip → respawn-failure → re-probe, eight
+        // times over): each window must admit exactly one probe.
+        let b = Arc::new(Breaker::new(1, Duration::from_millis(0)));
+        for window in 0..8 {
+            b.record_failure();
+            let probes = Arc::new(AtomicUsize::new(0));
+            let denies = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    let probes = Arc::clone(&probes);
+                    let denies = Arc::clone(&denies);
+                    std::thread::spawn(move || match b.admit() {
+                        Admission::Probe => {
+                            probes.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Admission::Deny { .. } => {
+                            denies.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Admission::Allow => {}
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                probes.load(Ordering::SeqCst),
+                1,
+                "window {window}: exactly one probe"
+            );
+            assert_eq!(denies.load(Ordering::SeqCst), 15, "window {window}");
+        }
+    }
+
+    #[test]
     fn state_codes_and_names_are_stable() {
         assert_eq!(BreakerState::Closed.code(), 0);
         assert_eq!(BreakerState::Open.code(), 1);

@@ -47,7 +47,7 @@ use crate::link::{spawn_worker, Event, SpawnOptions, WorkerLink};
 use crate::shard::{ShardId, ShardMap};
 
 /// Counter fields summed across workers in aggregated `stats`.
-const SUM_FIELDS: [&str; 17] = [
+const SUM_FIELDS: [&str; 18] = [
     "submitted",
     "completed",
     "rejected",
@@ -64,6 +64,7 @@ const SUM_FIELDS: [&str; 17] = [
     "cache_recovered_hits",
     "simd_jobs",
     "shed",
+    "integrity_quarantined",
     "queue_depth",
 ];
 
@@ -1190,6 +1191,111 @@ impl Coordinator {
         // A send failure surfaces as a disconnect; the supervisor will
         // resubmit this pending entry after the respawn.
         self.send_to(shard, &line);
+    }
+
+    // ---- chaos hooks ----------------------------------------------
+    //
+    // Narrow, deliberately low-level handles for the `tsa-chaos`
+    // harness: address real processes and sockets (not mocks), so a
+    // chaos schedule exercises the same supervise/respawn/resubmit
+    // paths a production incident would.
+
+    /// The OS pid of a shard's worker process (0 until the handshake
+    /// learns it for attached members).
+    pub fn shard_pid(&self, shard: ShardId) -> Option<u64> {
+        self.members
+            .lock()
+            .unwrap()
+            .get(&shard)
+            .map(|m| m.pid.load(Ordering::SeqCst))
+    }
+
+    /// Shards the coordinator itself spawned (and therefore supervises
+    /// with full kill/respawn authority), sorted.
+    pub fn spawned_shards(&self) -> Vec<ShardId> {
+        let mut v: Vec<ShardId> = self
+            .members
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|m| m.kind == MemberKind::Spawned)
+            .map(|m| m.shard)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The on-disk state directory a spawned shard journals into, when
+    /// the cluster runs durable (`--state-dir`). This is the directory
+    /// chaos corruption injectors flip bits in.
+    pub fn shard_state_dir(&self, shard: ShardId) -> Option<PathBuf> {
+        self.config
+            .state_dir
+            .as_ref()
+            .map(|d| d.join(format!("shard-{shard}")))
+    }
+
+    /// SIGKILL a spawned shard's worker process. The supervisor notices
+    /// the child's exit and respawns it; in-flight jobs are resubmitted
+    /// after the journal replay. Returns false for unknown/attached
+    /// shards.
+    pub fn kill_shard(&self, shard: ShardId) -> bool {
+        self.signal_spawned(shard, 9)
+    }
+
+    /// SIGSTOP a spawned shard: the process freezes without exiting, so
+    /// the supervisor does *not* respawn it — jobs routed there stall
+    /// until hedging/retry or [`Coordinator::resume_shard`].
+    pub fn pause_shard(&self, shard: ShardId) -> bool {
+        self.signal_spawned(shard, 19)
+    }
+
+    /// SIGCONT a shard previously paused with [`Coordinator::pause_shard`].
+    pub fn resume_shard(&self, shard: ShardId) -> bool {
+        self.signal_spawned(shard, 18)
+    }
+
+    /// Sever the coordinator↔worker TCP connection without touching the
+    /// process: the reader thread sees EOF, `Disconnected` fires, and
+    /// the normal reconnect (attached) or respawn (spawned) path runs.
+    pub fn sever_shard_link(&self, shard: ShardId) -> bool {
+        let link = self
+            .members
+            .lock()
+            .unwrap()
+            .get(&shard)
+            .and_then(|m| m.link.lock().unwrap().clone());
+        match link {
+            Some(link) => {
+                link.sever().ok();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn signal_spawned(&self, shard: ShardId, sig: i32) -> bool {
+        let pid = match self.members.lock().unwrap().get(&shard) {
+            Some(m) if m.kind == MemberKind::Spawned => m.pid.load(Ordering::SeqCst),
+            _ => return false,
+        };
+        if pid == 0 {
+            return false;
+        }
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn kill(pid: i32, sig: i32) -> i32;
+            }
+            // SAFETY: kill(2) with a pid we spawned; worst case the pid
+            // was already reaped and the call fails with ESRCH.
+            unsafe { kill(pid as i32, sig) == 0 }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (pid, sig);
+            false
+        }
     }
 
     // ---- supervision ----------------------------------------------

@@ -83,6 +83,17 @@ impl WorkerLink {
         w.write_all(b"\n")?;
         w.flush()
     }
+
+    /// Tear down the connection at the socket level. The reader thread
+    /// observes EOF and reports [`Event::Disconnected`], driving the
+    /// coordinator through its normal reconnect/respawn machinery —
+    /// exactly what a mid-flight network drop looks like.
+    pub fn sever(&self) -> io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap()
+            .shutdown(std::net::Shutdown::Both)
+    }
 }
 
 /// Options for spawning a local worker process.

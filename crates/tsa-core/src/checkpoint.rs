@@ -98,6 +98,51 @@ pub fn job_fingerprint(a: &Seq, b: &Seq, c: &Seq, scoring: &Scoring, kind: Kerne
     h
 }
 
+/// Result of [`scrub_snapshot_dir`]: how many snapshot files survived
+/// validation and how many were deleted as undecodable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotScrub {
+    /// `.ckpt` files that decoded cleanly and were left in place.
+    pub kept: usize,
+    /// `.ckpt` files that failed to decode (bad magic, version, shape,
+    /// or checksum) and were deleted.
+    pub removed: usize,
+}
+
+/// Validate every `.ckpt` file in `dir` before anything resumes from it,
+/// deleting the ones that no longer decode — on-disk corruption must
+/// deterministically route a job to the clean re-run rung, never crash or
+/// stall a resume. Stale `.ckpt.tmp` files (a crash mid-store) are swept
+/// silently. A missing directory is an empty scrub, not an error.
+pub fn scrub_snapshot_dir(dir: &std::path::Path) -> std::io::Result<SnapshotScrub> {
+    let mut scrub = SnapshotScrub::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(scrub),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("tmp") => {
+                let _ = std::fs::remove_file(&path);
+            }
+            Some("ckpt") => {
+                let valid = std::fs::read(&path)
+                    .is_ok_and(|bytes| FrontierSnapshot::decode(&bytes).is_ok());
+                if valid {
+                    scrub.kept += 1;
+                } else {
+                    let _ = std::fs::remove_file(&path);
+                    scrub.removed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(scrub)
+}
+
 /// Destination for frontier snapshots. Implementations must be cheap to
 /// call once per checkpoint interval and durable enough for their purpose
 /// (the service's file sink writes via rename so a crash mid-store can
@@ -433,6 +478,49 @@ mod tests {
             every: Some(Duration::ZERO),
         });
         assert!(p.due());
+    }
+
+    #[test]
+    fn scrub_keeps_valid_snapshots_and_deletes_the_rest() {
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("tsa-scrub-{}-{nonce}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = FrontierSnapshot {
+            fingerprint: 1,
+            kind: 0,
+            next_index: 2,
+            cells_done: 3,
+            buffers: vec![vec![0; 4]],
+        };
+        std::fs::write(dir.join("good.ckpt"), snap.encode()).unwrap();
+        let mut bad = snap.encode();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        std::fs::write(dir.join("bad.ckpt"), &bad).unwrap();
+        std::fs::write(dir.join("torn.ckpt.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+
+        let scrub = scrub_snapshot_dir(&dir).unwrap();
+        assert_eq!(
+            scrub,
+            SnapshotScrub {
+                kept: 1,
+                removed: 1
+            }
+        );
+        assert!(dir.join("good.ckpt").exists());
+        assert!(!dir.join("bad.ckpt").exists());
+        assert!(!dir.join("torn.ckpt.tmp").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(
+            scrub_snapshot_dir(&dir.join("missing")).unwrap(),
+            SnapshotScrub::default(),
+            "missing directory scrubs empty"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

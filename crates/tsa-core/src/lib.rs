@@ -58,8 +58,9 @@ pub use aligner::{Algorithm, AlignError, Aligner};
 pub use alignment::{Alignment3, Column3, ValidationError};
 pub use cancel::{CancelProgress, CancelToken};
 pub use checkpoint::{
-    job_fingerprint, CheckpointConfig, CheckpointPolicy, CheckpointSink, DurableStop,
-    FrontierSnapshot, KernelKind, MemorySink, ResumeError, SnapshotError,
+    job_fingerprint, scrub_snapshot_dir, CheckpointConfig, CheckpointPolicy, CheckpointSink,
+    DurableStop, FrontierSnapshot, KernelKind, MemorySink, ResumeError, SnapshotError,
+    SnapshotScrub,
 };
 pub use dp::NEG_INF;
 pub use kernel::{ResolvedKernel, SimdKernel};

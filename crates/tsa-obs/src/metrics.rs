@@ -4,6 +4,30 @@
 //! Handles are cheap `Arc` clones around atomics; recording never locks.
 //! The registry itself is only locked to register a metric or to render
 //! the exposition text, both cold paths.
+//!
+//! ## Family naming conventions
+//!
+//! Every family this workspace registers is prefixed `tsa_` and grouped
+//! by subsystem so dashboards can glob them:
+//!
+//! * `tsa_jobs_*`, `tsa_queue_*`, `tsa_cache_*` — the service engine's
+//!   throughput, queueing, and result-cache picture.
+//! * `tsa_cluster_*` — coordinator-side families (routing, respawns,
+//!   breaker state); per-worker series carry a `shard` label when the
+//!   cluster merges expositions.
+//! * `tsa_integrity_*` — result-integrity verification. The load-bearing
+//!   family is `tsa_integrity_quarantined_total`: cached or
+//!   journal-recovered results whose content checksum failed and were
+//!   therefore quarantined and recomputed, never served. Any nonzero
+//!   rate here means storage is corrupting data under the service.
+//!   The count is durable: journal compaction carries the tally across
+//!   worker restarts, so it is monotonic per state directory, not per
+//!   process.
+//!
+//! The chaos harness (`tsa chaos run`) asserts over these families —
+//! its quarantine-accounting invariant requires the cluster-summed
+//! `tsa_integrity_quarantined_total` to equal the number of bit flips
+//! it injected into journals that were subsequently replayed.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

@@ -88,6 +88,28 @@ impl CacheKey {
     }
 }
 
+/// Content checksum of an alignment result: a double-separated FNV-1a
+/// fold over the score, the resolved algorithm name, and the gapped rows
+/// (with an explicit present/absent marker so a score-only entry can
+/// never alias a full alignment). Stored alongside every cache entry and
+/// journal `done` record; verified before any cached or recovered result
+/// is served, so a flipped bit anywhere in the payload quarantines the
+/// entry instead of reaching a client.
+pub fn result_checksum(score: i32, rows: Option<&[String; 3]>, algorithm: Algorithm) -> u64 {
+    let mut h = fnv1a(0xCBF2_9CE4_8422_2325, score.to_le_bytes());
+    h = fnv1a(h, algorithm.name().bytes().chain(std::iter::once(0)));
+    match rows {
+        None => fnv1a(h, [0u8]),
+        Some(rows) => {
+            h = fnv1a(h, [1u8]);
+            for row in rows {
+                h = fnv1a(h, row.bytes().chain(std::iter::once(0)));
+            }
+            h
+        }
+    }
+}
+
 /// A cached alignment outcome.
 #[derive(Debug, Clone)]
 pub struct CachedResult {
@@ -100,6 +122,17 @@ pub struct CachedResult {
     /// Whether the entry was preloaded from the crash journal on startup
     /// rather than computed by this process.
     pub recovered: bool,
+    /// [`result_checksum`] of the payload, computed when the entry was
+    /// stored. A hit whose recomputed checksum disagrees is corrupt and
+    /// must be quarantined (removed and recomputed), never served.
+    pub checksum: u64,
+}
+
+impl CachedResult {
+    /// True when the stored checksum still matches the payload.
+    pub fn verify(&self) -> bool {
+        self.checksum == result_checksum(self.score, self.rows.as_ref(), self.algorithm)
+    }
 }
 
 #[derive(Debug)]
@@ -177,6 +210,16 @@ impl ResultCache {
         );
     }
 
+    /// Drop an entry (integrity quarantine: a corrupt value must not be
+    /// served to the next hit). Returns whether an entry was present.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut shard = self.shards[key.shard_of(self.shards.len())].lock();
+        shard.map.remove(key).is_some()
+    }
+
     /// Total entries currently stored.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
@@ -204,6 +247,7 @@ mod tests {
             rows: None,
             algorithm: Algorithm::Wavefront,
             recovered: false,
+            checksum: result_checksum(score, None, Algorithm::Wavefront),
         }
     }
 
@@ -285,6 +329,51 @@ mod tests {
         assert!(cache.get(&ka).is_some(), "recently used survives");
         assert!(cache.get(&kb).is_none(), "LRU entry evicted");
         assert!(cache.get(&kc).is_some());
+    }
+
+    #[test]
+    fn checksum_separates_payload_shapes() {
+        let rows = [
+            "AC-GT".to_string(),
+            "ACG-T".to_string(),
+            "ACGT-".to_string(),
+        ];
+        let full = result_checksum(7, Some(&rows), Algorithm::Wavefront);
+        assert_eq!(full, result_checksum(7, Some(&rows), Algorithm::Wavefront));
+        assert_ne!(full, result_checksum(8, Some(&rows), Algorithm::Wavefront));
+        assert_ne!(full, result_checksum(7, None, Algorithm::Wavefront));
+        assert_ne!(full, result_checksum(7, Some(&rows), Algorithm::FullDp));
+        let shifted = [
+            "AC-GTA".to_string(),
+            "CG-T".to_string(),
+            "ACGT-".to_string(),
+        ];
+        assert_ne!(
+            full,
+            result_checksum(7, Some(&shifted), Algorithm::Wavefront),
+            "row boundaries are part of the digest"
+        );
+    }
+
+    #[test]
+    fn verify_catches_a_flipped_payload() {
+        let mut r = result(42);
+        assert!(r.verify());
+        r.score ^= 1;
+        assert!(!r.verify(), "score flip breaks the checksum");
+        let mut r = result(42);
+        r.rows = Some(["A".into(), "A".into(), "A".into()]);
+        assert!(!r.verify(), "rows appearing breaks a score-only checksum");
+    }
+
+    #[test]
+    fn remove_quarantines_an_entry() {
+        let cache = ResultCache::new(8, 2);
+        let k = key("ACGT", Algorithm::Wavefront);
+        cache.put(k.clone(), result(1));
+        assert!(cache.remove(&k));
+        assert!(cache.get(&k).is_none());
+        assert!(!cache.remove(&k), "second remove finds nothing");
     }
 
     #[test]

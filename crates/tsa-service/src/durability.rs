@@ -34,6 +34,7 @@
 //! recovery re-verifies both before resuming (the `resumed` rung) and
 //! falls back to a clean re-run otherwise (the `restarted` rung).
 
+use crate::cache::result_checksum;
 use crate::engine::AlignRequest;
 use crate::error::JobResult;
 use crate::json::{JsonObject, Value};
@@ -217,6 +218,15 @@ pub(crate) struct RecoveredDone {
 pub(crate) struct Replay {
     pub completed: Vec<RecoveredDone>,
     pub inflight: Vec<RecoveredJob>,
+    /// `done` records refused during replay because their content
+    /// checksum was missing or wrong — each job falls back to in-flight
+    /// (re-run) instead of preloading a possibly corrupt result.
+    /// Cumulative across this journal's generations: compaction writes
+    /// the tally into the rewritten journal so a later restart still
+    /// reports quarantines it can no longer see.
+    pub quarantined: u64,
+    /// Corrupt checkpoint snapshots deleted by the scrub at open.
+    pub scrubbed: u64,
 }
 
 fn parse_alphabet(name: &str) -> Option<Alphabet> {
@@ -259,20 +269,41 @@ fn job_record(uid: &str, req: &AlignRequest) -> String {
         .finish()
 }
 
-fn done_record(uid: &str, result: &JobResult) -> String {
+/// Render one `done` line. The `ck` field is the payload's
+/// [`result_checksum`] in hex; replay refuses to preload any record
+/// whose stored checksum is missing or disagrees with a recomputation,
+/// so a bit flipped on disk quarantines the record instead of serving a
+/// wrong score.
+fn done_line(uid: &str, score: i32, rows: Option<&[String; 3]>, algorithm: Algorithm) -> String {
+    let ck = result_checksum(score, rows, algorithm);
     let obj = JsonObject::new()
         .str("ev", "done")
         .str("uid", uid)
-        .i64("score", result.score as i64)
-        .str("algorithm", result.algorithm.name());
-    match &result.rows {
+        .i64("score", score as i64)
+        .str("algorithm", algorithm.name())
+        .str("ck", &format!("{ck:016x}"));
+    match rows {
         Some(rows) => obj.str_array("rows", rows.as_slice()).finish(),
         None => obj.finish(),
     }
 }
 
+fn done_record(uid: &str, result: &JobResult) -> String {
+    done_line(uid, result.score, result.rows.as_ref(), result.algorithm)
+}
+
 fn gone_record(uid: &str) -> String {
     JsonObject::new().str("ev", "gone").str("uid", uid).finish()
+}
+
+/// Render the cumulative-quarantine meta record compaction carries
+/// forward, so the count survives journal rewrites and process
+/// restarts.
+fn quarantined_record(n: u64) -> String {
+    JsonObject::new()
+        .str("ev", "quarantined")
+        .u64("n", n)
+        .finish()
 }
 
 fn parse_job_record(v: &Value) -> Option<AlignRequest> {
@@ -325,6 +356,17 @@ fn parse_done_record(v: &Value) -> Option<DoneInfo> {
     })
 }
 
+/// True when the record's stored `ck` matches a recomputation over its
+/// payload. Records without a `ck` (pre-checksum journals, or a flip
+/// that mangled the field itself) fail closed: they are quarantined and
+/// the job re-runs rather than trusting an unverifiable result.
+fn done_record_verified(v: &Value, info: &DoneInfo) -> bool {
+    v.get("ck")
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .is_some_and(|ck| ck == result_checksum(info.score, info.rows.as_ref(), info.algorithm))
+}
+
 /// Replay the journal, tolerating a torn (or otherwise malformed)
 /// trailing line: bad lines are skipped, later records win.
 fn replay_journal(path: &Path) -> io::Result<Replay> {
@@ -340,6 +382,7 @@ fn replay_journal(path: &Path) -> io::Result<Replay> {
         Err(e) => return Err(e),
     };
     let mut order: Vec<String> = Vec::new();
+    let mut quarantined = 0u64;
     let mut slots: std::collections::HashMap<String, Slot> = std::collections::HashMap::new();
     for line in BufReader::new(file).split(b'\n') {
         let line = line?;
@@ -352,10 +395,20 @@ fn replay_journal(path: &Path) -> io::Result<Replay> {
         let Ok(v) = Value::parse(text) else {
             continue;
         };
-        let (Some(ev), Some(uid)) = (
-            v.get("ev").and_then(Value::as_str),
-            v.get("uid").and_then(Value::as_str),
-        ) else {
+        let Some(ev) = v.get("ev").and_then(Value::as_str) else {
+            continue;
+        };
+        // The carried-forward quarantine tally from earlier generations
+        // of this journal (written by compaction). Without it a respawn
+        // after the respawn that *did* the quarantining would reset the
+        // count to zero — the corrupt records are gone from the clean
+        // compacted journal — and `integrity_quarantined` would
+        // under-report across restarts.
+        if ev == "quarantined" {
+            quarantined += v.get("n").and_then(Value::as_u64).unwrap_or(0);
+            continue;
+        }
+        let Some(uid) = v.get("uid").and_then(Value::as_str) else {
             continue;
         };
         let slot = slots.entry(uid.to_owned()).or_insert_with(|| {
@@ -370,17 +423,24 @@ fn replay_journal(path: &Path) -> io::Result<Replay> {
                     slot.gone = false;
                 }
             }
-            "done" => {
-                if let Some(done) = parse_done_record(&v) {
+            "done" => match parse_done_record(&v) {
+                Some(done) if done_record_verified(&v, &done) => {
                     slot.done = Some(done);
                     slot.gone = false;
                 }
-            }
+                // Structurally broken or checksum-failed: quarantine.
+                // The slot keeps its `job` record, so the work re-runs
+                // instead of a corrupt result being preloaded.
+                _ => quarantined += 1,
+            },
             "gone" => slot.gone = true,
             _ => {}
         }
     }
-    let mut replay = Replay::default();
+    let mut replay = Replay {
+        quarantined,
+        ..Replay::default()
+    };
     for uid in order {
         let slot = slots.remove(&uid).expect("slot recorded");
         if slot.gone {
@@ -424,25 +484,31 @@ impl Durability {
         let state = StateDir::create(root)?;
         let journal_path = state.journal_path();
         let mut replay = replay_journal(&journal_path)?;
+        // Scrub the checkpoint store before anything resumes from it:
+        // snapshots that no longer decode (bad magic, version, or
+        // checksum) are deleted so recovery deterministically takes the
+        // clean re-run rung instead of tripping over them later.
+        replay.scrubbed = tsa_core::scrub_snapshot_dir(&root.join("checkpoints"))?.removed as u64;
         let dropped = replay.completed.len().saturating_sub(keep_completed);
         replay.completed.drain(..dropped);
         // Compact: rewrite only the live records, atomically.
         let tmp = journal_path.with_extension("ndjson.tmp");
         {
             let mut f = File::create(&tmp)?;
+            // Quarantines are cumulative across generations: the corrupt
+            // records themselves are dropped by this rewrite, so the
+            // tally is the only trace they ever existed.
+            if replay.quarantined > 0 {
+                writeln!(f, "{}", quarantined_record(replay.quarantined))?;
+            }
             for done in &replay.completed {
                 let uid = job_uid(&done.req);
                 writeln!(f, "{}", job_record(&uid, &done.req))?;
-                let result_line = JsonObject::new()
-                    .str("ev", "done")
-                    .str("uid", &uid)
-                    .i64("score", done.score as i64)
-                    .str("algorithm", done.algorithm.name());
-                let result_line = match &done.rows {
-                    Some(rows) => result_line.str_array("rows", rows.as_slice()),
-                    None => result_line,
-                };
-                writeln!(f, "{}", result_line.finish())?;
+                writeln!(
+                    f,
+                    "{}",
+                    done_line(&uid, done.score, done.rows.as_ref(), done.algorithm)
+                )?;
             }
             for job in &replay.inflight {
                 writeln!(f, "{}", job_record(&job.uid, &job.req))?;
@@ -715,6 +781,151 @@ mod tests {
         let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
         assert_eq!(replay.completed.len(), 2);
         assert!(replay.inflight.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn done_result(score: i32) -> JobResult {
+        JobResult {
+            score,
+            rows: None,
+            algorithm: Algorithm::Wavefront,
+            degraded_from: None,
+            cached: false,
+            recovered: false,
+            wait: Default::default(),
+            service: Default::default(),
+        }
+    }
+
+    #[test]
+    fn done_records_carry_a_verifying_checksum() {
+        let line = done_line("u1", -7, None, Algorithm::Wavefront);
+        let v = Value::parse(&line).unwrap();
+        let info = parse_done_record(&v).unwrap();
+        assert!(done_record_verified(&v, &info));
+        assert_eq!(
+            v.get("ck").unwrap().as_str().unwrap().len(),
+            16,
+            "ck is a fixed-width hex digest"
+        );
+        // A record without ck (legacy journal) fails closed.
+        let bare = JsonObject::new()
+            .str("ev", "done")
+            .str("uid", "u1")
+            .i64("score", -7)
+            .str("algorithm", Algorithm::Wavefront.name())
+            .finish();
+        let bare = Value::parse(&bare).unwrap();
+        let info = parse_done_record(&bare).unwrap();
+        assert!(!done_record_verified(&bare, &info));
+    }
+
+    #[test]
+    fn corrupt_done_record_is_quarantined_and_re_run() {
+        let dir = tmp_dir("quarantine");
+        let (d, _) = Durability::open(&dir, policy(), 64).unwrap();
+        let req = request("q", "GATTACA", true);
+        let uid = job_uid(&req);
+        d.record_job(&uid, &req);
+        d.record_done(&uid, &done_result(-3));
+        drop(d);
+        // Flip one score digit in place, keeping the line valid JSON —
+        // exactly what the chaos harness's bit-flip injector does.
+        let journal = dir.join("journal.ndjson");
+        let text = fs::read_to_string(&journal).unwrap();
+        let needle = "\"score\":-3";
+        let flipped = text.replace(needle, "\"score\":-2");
+        assert_ne!(text, flipped, "corruption target present");
+        fs::write(&journal, flipped).unwrap();
+
+        let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.quarantined, 1, "the flip is counted");
+        assert!(replay.completed.is_empty(), "never preloaded");
+        assert_eq!(replay.inflight.len(), 1, "the job re-runs instead");
+        assert_eq!(replay.inflight[0].uid, uid);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_tally_survives_compaction_and_later_restarts() {
+        let dir = tmp_dir("quarantine-carry");
+        let (d, _) = Durability::open(&dir, policy(), 64).unwrap();
+        let req = request("qc", "GATTACA", true);
+        let uid = job_uid(&req);
+        d.record_job(&uid, &req);
+        d.record_done(&uid, &done_result(-3));
+        drop(d);
+        let journal = dir.join("journal.ndjson");
+        let text = fs::read_to_string(&journal).unwrap();
+        fs::write(&journal, text.replace("\"score\":-3", "\"score\":-2")).unwrap();
+
+        // The reopen quarantines the flip and compacts it away; the
+        // rewritten journal must carry the tally forward so restarts
+        // that never saw the corrupt record still report it.
+        let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.quarantined, 1);
+        let compacted = fs::read_to_string(&journal).unwrap();
+        assert!(compacted.contains("\"ev\":\"quarantined\""), "{compacted}");
+        assert!(
+            !compacted.contains("\"score\":-2"),
+            "corrupt record dropped"
+        );
+
+        let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.quarantined, 1, "carried across a clean restart");
+        let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.quarantined, 1, "no double counting");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacted_done_records_still_verify() {
+        let dir = tmp_dir("compact-ck");
+        let (d, _) = Durability::open(&dir, policy(), 64).unwrap();
+        let req = request("c", "GATTACA", true);
+        let uid = job_uid(&req);
+        d.record_job(&uid, &req);
+        d.record_done(&uid, &done_result(5));
+        drop(d);
+        // First reopen compacts (rewrites the done line); the second
+        // reopen must still verify and preload it.
+        let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.completed.len(), 1);
+        assert_eq!(replay.quarantined, 0);
+        let (_, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.completed.len(), 1);
+        assert_eq!(replay.completed[0].score, 5);
+        assert_eq!(replay.quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_scrubs_corrupt_checkpoints() {
+        let dir = tmp_dir("scrub");
+        let (d, _) = Durability::open(&dir, policy(), 64).unwrap();
+        let snap = FrontierSnapshot {
+            fingerprint: 7,
+            kind: 0,
+            next_index: 1,
+            cells_done: 5,
+            buffers: vec![vec![0; 8]],
+        };
+        d.sink_for("good").store(&snap).unwrap();
+        d.sink_for("bad").store(&snap).unwrap();
+        let bad = dir.join("checkpoints").join("bad.ckpt");
+        let mut bytes = fs::read(&bad).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&bad, &bytes).unwrap();
+        // A stale temp file from a crash mid-store is swept too.
+        fs::write(dir.join("checkpoints").join("stale.ckpt.tmp"), b"junk").unwrap();
+        drop(d);
+
+        let (d, replay) = Durability::open(&dir, policy(), 64).unwrap();
+        assert_eq!(replay.scrubbed, 1, "one corrupt snapshot deleted");
+        assert!(!bad.exists());
+        assert!(!dir.join("checkpoints").join("stale.ckpt.tmp").exists());
+        assert_eq!(d.load_snapshot("good").unwrap(), snap, "valid one kept");
         let _ = fs::remove_dir_all(&dir);
     }
 

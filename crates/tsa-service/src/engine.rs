@@ -1,6 +1,6 @@
 //! The service engine: configuration, submission, and lifecycle.
 
-use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::cache::{result_checksum, CacheKey, CachedResult, ResultCache};
 use crate::durability::{self, Durability, Replay};
 use crate::error::{JobOutcome, SubmitError};
 use crate::faults;
@@ -473,6 +473,10 @@ impl Engine {
                 resolved,
                 req.score_only,
             );
+            // The record's journal checksum was verified during replay;
+            // re-derive the in-memory checksum so cache-hit verification
+            // guards the entry from here on.
+            let checksum = result_checksum(done.score, done.rows.as_ref(), done.algorithm);
             self.cache.put(
                 key,
                 CachedResult {
@@ -480,11 +484,16 @@ impl Engine {
                     rows: done.rows,
                     algorithm: done.algorithm,
                     recovered: true,
+                    checksum,
                 },
             );
             recovered += 1;
         }
         self.stats.recovered.add(recovered);
+        // Journal records refused by the replay checksum check: counted
+        // here so `integrity_quarantined` spans both quarantine sites
+        // (replay preload and live cache hits).
+        self.stats.integrity_quarantined.add(replay.quarantined);
         let (mut resumed, mut restarted) = (0u64, 0u64);
         for job in replay.inflight {
             let req = job.req;
@@ -528,6 +537,8 @@ impl Engine {
                 .with("recovered", recovered)
                 .with("resumed", resumed)
                 .with("restarted", restarted)
+                .with("quarantined", replay.quarantined)
+                .with("scrubbed_checkpoints", replay.scrubbed)
                 .end();
         }
     }
@@ -1016,7 +1027,9 @@ impl Engine {
 
     /// Dump every retained trace tree as text to
     /// `<state_dir>/traces-dump.txt` (the SIGUSR1 path). `Ok(None)` when
-    /// the recorder or the state dir is not configured.
+    /// the recorder or the state dir is not configured. The write is
+    /// atomic (temp file → fsync → rename, like snapshot files), so a
+    /// crash mid-dump never leaves a torn file over a previous dump.
     pub fn dump_traces(&self) -> std::io::Result<Option<PathBuf>> {
         let (recorder, dir) = match (&self.config.recorder, &self.config.state_dir) {
             (Some(r), Some(d)) => (r, d),
@@ -1024,7 +1037,14 @@ impl Engine {
         };
         std::fs::create_dir_all(dir)?;
         let path = dir.join("traces-dump.txt");
-        std::fs::write(&path, recorder.dump_text())?;
+        let tmp = dir.join("traces-dump.txt.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            use std::io::Write as _;
+            f.write_all(recorder.dump_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
         Ok(Some(path))
     }
 

@@ -13,6 +13,7 @@
 //! | `#fault-delay=N` | sleep `N` ms inside the kernel region, honoring cancellation |
 //! | `#fault-inflate=N` | multiply the governor's byte estimate by `N` |
 //! | `#fault-flap=N` | fail the first `N` kernel attempts for this tag, then succeed |
+//! | `#fault-disk-slow=N` | stall the job's journal resolution `N` ms (slow-disk chaos) |
 //!
 //! Directives are inert without the feature: production builds carry a
 //! handful of `#[inline]` functions that constant-fold to `false`/`None`.
@@ -52,6 +53,21 @@ pub fn delay_of(tag: &str) -> Option<std::time::Duration> {
     #[cfg(feature = "faults")]
     {
         directive_value(tag, "#fault-delay=").map(std::time::Duration::from_millis)
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = tag;
+        None
+    }
+}
+
+/// Artificial stall applied to the job's durable resolution (journal
+/// append + checkpoint removal), simulating a slow or saturated disk.
+#[inline]
+pub fn disk_delay_of(tag: &str) -> Option<std::time::Duration> {
+    #[cfg(feature = "faults")]
+    {
+        directive_value(tag, "#fault-disk-slow=").map(std::time::Duration::from_millis)
     }
     #[cfg(not(feature = "faults"))]
     {
@@ -132,6 +148,11 @@ mod tests {
             Some(Duration::from_millis(250))
         );
         assert_eq!(delay_of("t"), None);
+        assert_eq!(
+            disk_delay_of("t#fault-disk-slow=40"),
+            Some(Duration::from_millis(40))
+        );
+        assert_eq!(disk_delay_of("t#fault-delay=40"), None);
         assert_eq!(inflate_factor("t#fault-inflate=100"), 100);
         assert_eq!(inflate_factor("t"), 1);
         assert_eq!(inflate_factor("t#fault-inflate=0"), 1);
@@ -163,6 +184,7 @@ mod tests {
         assert!(!wants_panic("job#fault-panic"));
         assert!(!wants_abort("job#fault-abort"));
         assert_eq!(delay_of("job#fault-delay=250"), None);
+        assert_eq!(disk_delay_of("job#fault-disk-slow=250"), None);
         assert_eq!(inflate_factor("job#fault-inflate=100"), 1);
         assert!(!flap_now("job#fault-flap=3"));
     }

@@ -76,7 +76,7 @@ mod server;
 mod stats;
 mod worker;
 
-pub use cache::{CacheKey, CachedResult, ResultCache};
+pub use cache::{result_checksum, CacheKey, CachedResult, ResultCache};
 pub use durability::content_uid;
 pub use engine::{AlignRequest, Engine, JobHandle, ServiceConfig};
 pub use error::{CancelStage, JobOutcome, JobResult, SubmitError};

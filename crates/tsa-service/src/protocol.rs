@@ -474,6 +474,7 @@ fn stats_fields(obj: JsonObject, stats: &StatsSnapshot) -> JsonObject {
         .u64("cache_recovered_hits", stats.cache_recovered_hits)
         .u64("simd_jobs", stats.simd_jobs)
         .u64("shed", stats.shed)
+        .u64("integrity_quarantined", stats.integrity_quarantined)
         .u64("queue_depth", stats.queue_depth as u64)
         .u64("latency_p50_us", stats.latency_p50_us)
         .u64("latency_p90_us", stats.latency_p90_us)
@@ -1107,6 +1108,7 @@ mod tests {
             cache_recovered_hits: 3,
             simd_jobs: 2,
             shed: 4,
+            integrity_quarantined: 1,
             lanes: Vec::new(),
             queue_depth: 0,
             latency_p50_us: 64,
@@ -1144,6 +1146,7 @@ mod tests {
         assert_eq!(v.get("cache_recovered_hits").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("simd_jobs").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("shed").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("integrity_quarantined").unwrap().as_u64(), Some(1));
         assert!(v.get("lanes").is_none(), "empty lane set is not rendered");
         assert_eq!(v.get("latency_p95_us").unwrap().as_u64(), Some(192));
         assert_eq!(v.get("latency_p99_us").unwrap().as_u64(), Some(256));

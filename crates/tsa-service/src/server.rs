@@ -447,11 +447,20 @@ pub fn run_batch<W: Write>(
                 // A structured `overloaded` refusal carries a pacing
                 // hint; the batch driver honors it with one bounded
                 // sleep-and-retry before counting the line as an error.
+                // The sleep is additionally capped by the job's own
+                // deadline budget (its explicit deadline, else the
+                // engine default): sleeping past the deadline would
+                // guarantee the retry is submitted already expired.
                 let result = match engine.submit_blocking((*req).clone()) {
                     Err(crate::SubmitError::Overloaded { retry_after_ms, .. })
                         if retry_after_ms > 0 =>
                     {
-                        std::thread::sleep(Duration::from_millis(retry_after_ms.min(5_000)));
+                        let budget = req
+                            .deadline
+                            .or(engine.config().default_deadline)
+                            .unwrap_or(Duration::from_millis(5_000));
+                        let pause = Duration::from_millis(retry_after_ms.min(5_000)).min(budget);
+                        std::thread::sleep(pause);
                         engine.submit_blocking(*req)
                     }
                     other => other,
@@ -784,6 +793,41 @@ mod tests {
         assert_eq!(
             summary.to_string(),
             "submitted=1 done=1 deadline=0 cancelled=0 failed=0 errors=0"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_overload_retry_sleep_is_capped_by_the_deadline_budget() {
+        use std::time::Instant;
+        // client_rate 1.0 = burst of one: the second line sheds with a
+        // retry hint of ~1000 ms. With a 20 ms deadline budget the
+        // retry sleep must be capped at 20 ms, not the full hint —
+        // sleeping a second for a job that expires in 20 ms is useless.
+        let engine = Arc::new(Engine::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            client_rate: Some(1.0),
+            default_deadline: Some(Duration::from_millis(20)),
+            ..ServiceConfig::default()
+        }));
+        let input = concat!(
+            r#"{"id":"a1","client":"capped","a":"GATTACA","b":"GATACA","c":"GTTACA"}"#,
+            "\n",
+            r#"{"id":"a2","client":"capped","a":"ACGTACGT","b":"ACGTACG","c":"CGTACGT"}"#,
+            "\n"
+        );
+        let started = Instant::now();
+        let mut out = Vec::new();
+        let summary = run_batch(&engine, input, &mut out).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_millis(900),
+            "retry slept ~the full 1 s hint instead of the deadline budget"
+        );
+        assert_eq!(summary.submitted + summary.errors, 2);
+        assert_eq!(
+            summary.errors, 1,
+            "the shed line errors after its capped retry"
         );
         engine.shutdown();
     }

@@ -34,6 +34,7 @@ pub struct ServiceStats {
     pub(crate) cache_recovered_hits: Counter,
     pub(crate) simd: Counter,
     pub(crate) shed: Counter,
+    pub(crate) integrity_quarantined: Counter,
     queue_depth: Gauge,
     latency: Histogram,
     queue_wait: Histogram,
@@ -108,6 +109,10 @@ impl Default for ServiceStats {
                 "tsa_jobs_shed_total",
                 "Jobs refused by per-client admission (rate limit or in-flight quota); a subset of rejected.",
             ),
+            integrity_quarantined: registry.counter(
+                "tsa_integrity_quarantined_total",
+                "Cached or journal-recovered results whose content checksum failed verification; quarantined and recomputed, never served.",
+            ),
             queue_depth: registry.gauge("tsa_queue_depth", "Jobs currently queued."),
             latency: registry.histogram(
                 "tsa_job_latency_us",
@@ -177,6 +182,7 @@ impl ServiceStats {
             cache_recovered_hits: self.cache_recovered_hits.get(),
             simd_jobs: self.simd.get(),
             shed: self.shed.get(),
+            integrity_quarantined: self.integrity_quarantined.get(),
             lanes: Vec::new(),
             queue_depth,
             latency_p50_us: latency.quantile_upper_bound(0.50),
@@ -264,6 +270,10 @@ pub struct StatsSnapshot {
     /// Jobs refused by per-client admission — the token-bucket rate limit
     /// or the in-flight quota (a subset of `rejected`).
     pub shed: u64,
+    /// Cached or journal-recovered results whose content checksum failed
+    /// verification. Each was quarantined (dropped, then recomputed
+    /// fresh) instead of being served.
+    pub integrity_quarantined: u64,
     /// Per-client lane rows, present only once a *named* client has been
     /// seen; empty in single-tenant operation so the `stats` wire
     /// response is unchanged for existing clients.
@@ -330,6 +340,11 @@ impl fmt::Display for StatsSnapshot {
             f,
             "durability: {} recovered, {} resumed, {} restarted, {} recovered-cache hits",
             self.recovered, self.resumed, self.restarted, self.cache_recovered_hits
+        )?;
+        writeln!(
+            f,
+            "integrity: {} quarantined (checksum-failed entries recomputed, never served)",
+            self.integrity_quarantined
         )?;
         writeln!(f, "kernels: {} SIMD-accelerated", self.simd_jobs)?;
         writeln!(
@@ -426,6 +441,7 @@ mod tests {
             "tsa_cache_recovered_hits_total",
             "tsa_jobs_simd_total",
             "tsa_jobs_shed_total",
+            "tsa_integrity_quarantined_total",
             "tsa_queue_depth",
             "tsa_job_latency_us",
             "tsa_job_queue_wait_us",
@@ -462,6 +478,7 @@ mod tests {
                 "# TYPE tsa_cache_recovered_hits_total counter",
                 "# TYPE tsa_jobs_simd_total counter",
                 "# TYPE tsa_jobs_shed_total counter",
+                "# TYPE tsa_integrity_quarantined_total counter",
                 "# TYPE tsa_queue_depth gauge",
                 "# TYPE tsa_job_latency_us histogram",
                 "# TYPE tsa_job_queue_wait_us histogram",
@@ -488,6 +505,7 @@ mod tests {
         let text = ServiceStats::default().snapshot(0).to_string();
         assert!(text.contains("submitted"));
         assert!(text.contains("cache"));
+        assert!(text.contains("quarantined"));
         assert!(text.contains("p99"));
         assert!(text.contains("queue-wait"));
         assert!(text.contains("kernel"));

@@ -14,7 +14,7 @@
 //! the lifecycle stages. Spans record on drop, so the tree completes
 //! even when a stage panics or the job is cancelled mid-kernel.
 
-use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::cache::{result_checksum, CacheKey, CachedResult, ResultCache};
 use crate::durability::Durability;
 use crate::engine::ClientSlot;
 use crate::error::{CancelStage, JobOutcome, JobResult};
@@ -177,7 +177,7 @@ pub(crate) fn worker_loop(
         }
         let outcome = serve_one(&mut job, &cache, &stats);
         if let Some(d) = &job.durable {
-            resolve_durable(d, &outcome);
+            resolve_durable(d, &job.tag, &outcome);
         }
         // Return the job's share of the memory budget and its client's
         // in-flight slot before the waiter can observe resolution (on
@@ -222,7 +222,13 @@ impl JobGuard {
 /// reusable result; a drain-stopped job stays *in-flight* — its `job`
 /// record and checkpoint survive so the next start resumes it; every
 /// other terminal state is recorded as gone.
-fn resolve_durable(d: &DurableJob, outcome: &JobOutcome) {
+fn resolve_durable(d: &DurableJob, tag: &str, outcome: &JobOutcome) {
+    // An injected `#fault-disk-slow=N` stalls the journal append the way
+    // a saturated or failing disk would, so the chaos harness can compose
+    // slow durability with kills and corruption.
+    if let Some(delay) = faults::disk_delay_of(tag) {
+        std::thread::sleep(delay);
+    }
     match outcome {
         JobOutcome::Done(result) => {
             d.handle.record_done(&d.uid, result);
@@ -356,6 +362,22 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
 
     let mut lookup_span = job.stage("cache_lookup");
     let hit = cache.get(&key);
+    // Integrity gate: a hit whose recomputed checksum disagrees with the
+    // stored one is corrupt. Quarantine it (remove, count, annotate) and
+    // fall through to a fresh kernel run — a wrong answer is strictly
+    // worse than a recompute.
+    let hit = match hit {
+        Some(h) if !h.verify() => {
+            cache.remove(&key);
+            stats.integrity_quarantined.inc();
+            if let Some(s) = lookup_span.as_mut() {
+                s.annotate("quarantined", true);
+            }
+            job.annotate("quarantined", true);
+            None
+        }
+        other => other,
+    };
     if let Some(s) = lookup_span.as_mut() {
         s.annotate("hit", hit.is_some());
     }
@@ -525,6 +547,7 @@ fn serve_one(job: &mut Job, cache: &ResultCache, stats: &ServiceStats) -> JobOut
             rows: rows.clone(),
             algorithm: resolved,
             recovered: false,
+            checksum: result_checksum(score, rows.as_ref(), resolved),
         },
     );
     drop(traceback_span);

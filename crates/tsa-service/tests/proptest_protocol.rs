@@ -1,0 +1,108 @@
+//! Property tests for the NDJSON protocol parser — the surface every
+//! byte from the network crosses first. The contract: `parse_request`
+//! never panics on any input, every rejection is a structured
+//! [`ProtocolError`] that renders to one valid JSON line, and bad
+//! *values* inside well-formed lines come back as positioned
+//! `invalid_argument` errors (not blanket `bad_request`).
+
+use proptest::prelude::*;
+use tsa_service::json::Value;
+use tsa_service::protocol::{parse_request, render_protocol_error, Request};
+
+/// Strings that lean on the parser's sore spots: JSON-ish fragments,
+/// quotes, braces, escapes, and control characters — not just uniform
+/// random noise.
+fn hostile_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Arbitrary unicode, the honest fuzz case.
+        ".*",
+        // Arbitrary bytes squeezed through the same lossy conversion a
+        // non-UTF-8 network line undergoes before reaching the parser.
+        prop::collection::vec(any::<u8>(), 0..256)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+        // JSON-shaped prefixes with garbage tails.
+        r#"\{"op":"submit".*"#,
+        // Deep quote/brace/escape soup.
+        prop::collection::vec(
+            prop::sample::select(vec![
+                "{", "}", "\"", "\\", ":", ",", "op", "submit", "[", "]"
+            ]),
+            0..64
+        )
+        .prop_map(|parts| parts.concat()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser never panics, and every rejection renders to exactly
+    /// one line of well-formed JSON carrying a known error code.
+    #[test]
+    fn arbitrary_lines_never_panic_and_errors_render_clean(line in hostile_line()) {
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err(err) => {
+                prop_assert!(
+                    err.code == "bad_request" || err.code == "invalid_argument",
+                    "unknown error code {:?}", err.code
+                );
+                let rendered = render_protocol_error(&err);
+                prop_assert!(!rendered.contains('\n'), "one response line per request");
+                let v = Value::parse(&rendered)
+                    .expect("error responses must themselves be valid JSON");
+                prop_assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+                prop_assert_eq!(v.get("error").and_then(Value::as_str), Some(err.code));
+                if let Some(p) = err.position {
+                    prop_assert_eq!(v.get("position").and_then(Value::as_u64), Some(p as u64));
+                }
+            }
+        }
+    }
+
+    /// A well-formed submit whose sequence has one out-of-alphabet
+    /// residue is rejected `invalid_argument` with the exact byte
+    /// position of the offender — under every declared alphabet.
+    #[test]
+    fn bad_residues_are_positioned_invalid_arguments(
+        prefix in prop::collection::vec(prop::sample::select(vec!['A', 'C', 'G', 'T']), 0..24),
+        bad in prop::sample::select(vec!['1', '!', '~', 'J', 'O']),
+        field in prop::sample::select(vec!["a", "b", "c"]),
+    ) {
+        let mut seq: String = prefix.iter().collect();
+        let position = seq.len();
+        seq.push(bad);
+        let mk = |f: &str| if f == field { seq.clone() } else { "ACGT".to_string() };
+        let line = format!(
+            r#"{{"op":"submit","id":"p1","alphabet":"dna","a":"{}","b":"{}","c":"{}"}}"#,
+            mk("a"), mk("b"), mk("c"),
+        );
+        let err = parse_request(&line).expect_err("out-of-alphabet residue must be rejected");
+        prop_assert_eq!(err.code, "invalid_argument");
+        prop_assert_eq!(err.position, Some(position));
+        prop_assert_eq!(err.id.as_deref(), Some("p1"));
+    }
+
+    /// Valid submits round-trip whatever id they carried; the parser's
+    /// acceptance is stable (same line parses the same way twice).
+    #[test]
+    fn valid_submits_parse_deterministically(
+        id in "[a-z0-9-]{0,16}",
+        a in "[ACGT]{1,32}",
+        b in "[ACGT]{1,32}",
+        c in "[ACGT]{1,32}",
+    ) {
+        let line = format!(r#"{{"op":"submit","id":"{id}","a":"{a}","b":"{b}","c":"{c}"}}"#);
+        let first = match parse_request(&line) {
+            Ok(Request::Submit(req)) => req,
+            other => panic!("expected a submit, got {other:?}"),
+        };
+        let again = match parse_request(&line) {
+            Ok(Request::Submit(req)) => req,
+            other => panic!("expected a submit, got {other:?}"),
+        };
+        prop_assert_eq!(&first.tag, &id);
+        prop_assert_eq!(&first.tag, &again.tag);
+        prop_assert_eq!(first.seqs[0].residues(), again.seqs[0].residues());
+    }
+}
