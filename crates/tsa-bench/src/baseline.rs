@@ -13,7 +13,18 @@ use std::time::{Duration, Instant};
 use tsa_service::json::{escape, Value};
 
 /// Format version stamped into every baseline file.
-pub const SCHEMA: &str = "tsa-bench/kernel-baseline/v1";
+///
+/// v2 added the i16 kernel variants and a `threads` column. Records
+/// measured at `threads = 1` keep their v1 ids (`dna-64-full-scalar`);
+/// multi-thread records append a `-t{N}` suffix. [`Baseline::decode`]
+/// still reads [`SCHEMA_V1`] files (every record defaulting to
+/// `threads = 1`), so diffing a fresh v2 run against a committed v1
+/// baseline gates all the ids the two matrices share — the regression
+/// gate stays non-vacuous across the migration.
+pub const SCHEMA: &str = "tsa-bench/kernel-baseline/v2";
+
+/// The previous format version, still accepted by [`Baseline::decode`].
+pub const SCHEMA_V1: &str = "tsa-bench/kernel-baseline/v1";
 
 /// Default regression tolerance: fail on >20% median cells/s drop.
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
@@ -68,10 +79,14 @@ pub struct Record {
     pub n: u64,
     /// Algorithm name (`full`, `wavefront`).
     pub algorithm: String,
-    /// Requested kernel knob (`scalar`, `sse2`, `avx2`, `auto`).
+    /// Requested kernel knob (`scalar`, `sse2`, `avx2`, `sse2-i16`,
+    /// `avx2-i16`, `auto`).
     pub kernel: String,
     /// What the knob resolved to on the measuring host.
     pub resolved: String,
+    /// Rayon worker threads the measurement ran under (1 = sequential
+    /// column; v1 records decode to 1).
+    pub threads: u64,
     /// Lattice cells per run (the cells/s numerator).
     pub cells: u64,
     /// Number of timed repetitions behind the statistics.
@@ -94,6 +109,7 @@ impl Record {
         algorithm: &str,
         kernel: &str,
         resolved: &str,
+        threads: usize,
         cells: usize,
         samples: &[Duration],
     ) -> Record {
@@ -109,6 +125,7 @@ impl Record {
             algorithm: algorithm.to_string(),
             kernel: kernel.to_string(),
             resolved: resolved.to_string(),
+            threads: threads as u64,
             cells: cells as u64,
             samples: samples.len() as u64,
             median_ms: median * 1e3,
@@ -159,14 +176,15 @@ impl Baseline {
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"alphabet\": \"{}\", \"n\": {}, \
                  \"algorithm\": \"{}\", \"kernel\": \"{}\", \"resolved\": \"{}\", \
-                 \"cells\": {}, \"samples\": {}, \"median_ms\": {}, \"p10_ms\": {}, \
-                 \"cells_per_sec\": {}}}{}\n",
+                 \"threads\": {}, \"cells\": {}, \"samples\": {}, \"median_ms\": {}, \
+                 \"p10_ms\": {}, \"cells_per_sec\": {}}}{}\n",
                 escape(&r.id),
                 escape(&r.alphabet),
                 r.n,
                 escape(&r.algorithm),
                 escape(&r.kernel),
                 escape(&r.resolved),
+                r.threads,
                 r.cells,
                 r.samples,
                 json_f64(r.median_ms),
@@ -186,8 +204,10 @@ impl Baseline {
             .get("schema")
             .and_then(Value::as_str)
             .ok_or("missing `schema`")?;
-        if schema != SCHEMA {
-            return Err(format!("schema `{schema}`, want `{SCHEMA}`"));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "schema `{schema}`, want `{SCHEMA}` (or `{SCHEMA_V1}`)"
+            ));
         }
         let fp = doc.get("fingerprint").ok_or("missing `fingerprint`")?;
         let fingerprint = Fingerprint {
@@ -210,6 +230,12 @@ impl Baseline {
                         algorithm: str_field(item, "algorithm")?,
                         kernel: str_field(item, "kernel")?,
                         resolved: str_field(item, "resolved")?,
+                        // v1 predates the threads column; those runs were
+                        // all single-threaded.
+                        threads: match item.get("threads") {
+                            Some(Value::Num(n)) => *n as u64,
+                            _ => 1,
+                        },
                         cells: num_field(item, "cells")? as u64,
                         samples: num_field(item, "samples")? as u64,
                         median_ms: num_field(item, "median_ms")?,
@@ -349,6 +375,7 @@ mod tests {
             algorithm: "wavefront".into(),
             kernel: "auto".into(),
             resolved: "avx2".into(),
+            threads: 1,
             cells: 1000,
             samples: 5,
             median_ms: 1.5,
@@ -380,6 +407,36 @@ mod tests {
     }
 
     #[test]
+    fn decode_accepts_v1_with_threads_defaulting_to_one() {
+        // A v1 document: old schema stamp, records without `threads`.
+        let text = format!(
+            "{{\"schema\": \"{SCHEMA_V1}\", \"quick\": false, \
+             \"fingerprint\": {{\"arch\": \"x86_64\", \"cores\": 1, \"avx2\": true, \"cpu\": \"\"}}, \
+             \"results\": [{{\"id\": \"dna-64-full-scalar\", \"alphabet\": \"dna\", \"n\": 64, \
+             \"algorithm\": \"full\", \"kernel\": \"scalar\", \"resolved\": \"scalar\", \
+             \"cells\": 1000, \"samples\": 5, \"median_ms\": 1.0, \"p10_ms\": 0.9, \
+             \"cells_per_sec\": 1000000.0}}]}}"
+        );
+        let v1 = Baseline::decode(&text).unwrap();
+        assert_eq!(v1.results[0].threads, 1);
+
+        // Migration non-vacuity: the single-thread ids of a v2 run are
+        // unchanged, so a v1 baseline still gates them.
+        let mut new_style = rec("dna-64-full-scalar", 5e5);
+        new_style.cells_per_sec = 5e5; // 50% drop vs the v1 figure
+        let mut multi = rec("dna-64-wavefront-auto-t8", 1e9);
+        multi.threads = 8;
+        let current = base_with(vec![new_style, multi]);
+        let cmp = compare(&v1, &current, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.deltas.len(), 1, "shared v1 id is still gated");
+        assert!(cmp.deltas[0].regressed);
+        assert_eq!(
+            cmp.only_current,
+            vec!["dna-64-wavefront-auto-t8".to_string()]
+        );
+    }
+
+    #[test]
     fn from_samples_computes_median_and_p10() {
         let samples: Vec<Duration> = [30, 10, 20, 50, 40]
             .iter()
@@ -392,6 +449,7 @@ mod tests {
             "full",
             "scalar",
             "scalar",
+            1,
             3_000_000,
             &samples,
         );

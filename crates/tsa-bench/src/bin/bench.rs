@@ -1,18 +1,25 @@
-//! Kernel benchmark baselines and the CI perf-regression gate.
+//! Kernel benchmark baselines and the CI perf-regression gates.
 //!
 //! ```text
 //! cargo run -p tsa-bench --release --bin bench -- run [--quick] [--out BENCH_kernel.json]
 //! cargo run -p tsa-bench --release --bin bench -- compare BENCH_kernel.json fresh.json [--tolerance 0.20]
+//! cargo run -p tsa-bench --release --bin bench -- gate-compose [--quick] [--baseline BENCH_kernel.json] [--out BENCH_compose.json]
 //! ```
 //!
 //! `run` measures the pinned workload matrix (alphabet × size ×
-//! algorithm × SIMD kernel) and writes a machine-readable baseline.
-//! `compare` diffs two baseline files and exits nonzero when any shared
-//! workload lost more than the tolerance (default 20%) of its median
-//! cells/s — that exit code is what CI gates on.
+//! algorithm × SIMD kernel × threads) and writes a machine-readable
+//! baseline. `compare` diffs two baseline files and exits nonzero when
+//! any shared workload lost more than the tolerance (default 20%) of
+//! its median cells/s — that exit code is what CI gates on.
+//! `gate-compose` is the composition gate: it measures the
+//! tile-wavefront (`auto` kernel) at 2 threads against the
+//! single-thread scalar slab reference at `n ≥ 128` and exits nonzero
+//! when tiling + SIMD + threads fail to beat the classic sequential
+//! DP — the win the tile executor exists for (the old cell-plane
+//! wavefront *lost* this comparison).
 
 use tsa_bench::baseline::{compare, sample, Baseline, Fingerprint, Record, DEFAULT_TOLERANCE};
-use tsa_bench::workload;
+use tsa_bench::{pool, workload};
 use tsa_core::{Algorithm, Aligner, SimdKernel};
 use tsa_scoring::Scoring;
 use tsa_seq::family::FamilyConfig;
@@ -21,22 +28,44 @@ use tsa_seq::Seq;
 const USAGE: &str = "\
 usage: bench run [--quick] [--out <path>]
        bench compare <baseline.json> <current.json> [--tolerance <frac>]
+       bench gate-compose [--quick] [--baseline <path>] [--out <path>]
 
-run      measure the pinned workload matrix, write a baseline JSON
-compare  diff two baselines; exit 1 on >tolerance median cells/s drop
+run           measure the pinned workload matrix, write a baseline JSON
+compare       diff two baselines; exit 1 on >tolerance median cells/s drop
+gate-compose  assert tile-wavefront@2 threads >= scalar slab@1 at n>=128
 ";
 
-const KERNELS: [SimdKernel; 4] = [
+const KERNELS: [SimdKernel; 6] = [
     SimdKernel::Scalar,
     SimdKernel::Sse2,
     SimdKernel::Avx2,
+    SimdKernel::Sse2I16,
+    SimdKernel::Avx2I16,
     SimdKernel::Auto,
 ];
 
-const ALGORITHMS: [(Algorithm, &str); 2] = [
-    (Algorithm::FullDp, "full"),
-    (Algorithm::Wavefront, "wavefront"),
+/// Tile edge for the tile-wavefront column: long enough for full AVX2
+/// i16 rows inside a tile, small enough to expose tile parallelism at
+/// the bench sizes.
+const TILE: usize = 32;
+
+/// `(algorithm, id label, parallel)` — parallel algorithms are measured
+/// at both thread counts, sequential ones only at `threads = 1`.
+const ALGORITHMS: [(Algorithm, &str, bool); 3] = [
+    (Algorithm::FullDp, "full", false),
+    (Algorithm::Wavefront, "wavefront", true),
+    (
+        Algorithm::TileWavefront { tile: TILE },
+        "tile-wavefront",
+        true,
+    ),
 ];
+
+/// The multi-thread column: host parallelism, floored at 2 so the
+/// column exists (time-shared) even on single-core containers.
+fn multi_threads() -> usize {
+    pool::host_cores().max(2)
+}
 
 /// One workload triple plus everything needed to label its records.
 struct Workload {
@@ -73,6 +102,66 @@ fn workloads(quick: bool) -> Vec<Workload> {
     out
 }
 
+/// Measure one cell of the matrix inside a dedicated `threads`-wide
+/// rayon pool and label the record (`-t{N}` id suffix above one thread,
+/// so single-thread ids stay stable across the v1 → v2 migration).
+#[allow(clippy::too_many_arguments)] // one label per JSON field
+fn measure(
+    w: &Workload,
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    cells: usize,
+    algorithm: Algorithm,
+    alg_name: &str,
+    kernel: SimdKernel,
+    threads: usize,
+    reps: usize,
+) -> Result<Record, String> {
+    let aligner = Aligner::new()
+        .scoring(w.scoring.clone())
+        .algorithm(algorithm)
+        .kernel(kernel);
+    // Warm-up run (pulls pages in, fills the profile cache), then the
+    // timed samples — all inside the pool the record is labelled with.
+    let (score, samples) = pool::with_pool(threads, || {
+        let score = aligner.score3(a, b, c).map_err(|e| e.to_string())?;
+        let samples = sample(reps, || aligner.score3(a, b, c).expect("warm-up succeeded"));
+        Ok::<_, String>((score, samples))
+    })?;
+    let id = if threads == 1 {
+        format!("{}-{}-{}-{}", w.alphabet, w.n, alg_name, kernel.name())
+    } else {
+        format!(
+            "{}-{}-{}-{}-t{}",
+            w.alphabet,
+            w.n,
+            alg_name,
+            kernel.name(),
+            threads
+        )
+    };
+    let record = Record::from_samples(
+        id,
+        w.alphabet,
+        w.n,
+        alg_name,
+        kernel.name(),
+        kernel.resolve().name(),
+        threads,
+        cells,
+        &samples,
+    );
+    println!(
+        "{:<40} score {score:>8}  median {:>9.3} ms  {:>8.1} Mcells/s ({})",
+        record.id,
+        record.median_ms,
+        record.cells_per_sec / 1e6,
+        record.resolved
+    );
+    Ok(record)
+}
+
 fn run(quick: bool, out_path: &str) -> Result<(), String> {
     let reps = if quick { 3 } else { 5 };
     let fingerprint = Fingerprint::host();
@@ -87,34 +176,19 @@ fn run(quick: bool, out_path: &str) -> Result<(), String> {
     for w in workloads(quick) {
         let (a, b, c) = &w.seqs;
         let cells = workload::cell_updates(a, b, c);
-        for (algorithm, alg_name) in ALGORITHMS {
-            for kernel in KERNELS {
-                let aligner = Aligner::new()
-                    .scoring(w.scoring.clone())
-                    .algorithm(algorithm)
-                    .kernel(kernel);
-                // Warm-up run (pulls pages in, fills the profile cache),
-                // then the timed samples.
-                let score = aligner.score3(a, b, c).map_err(|e| e.to_string())?;
-                let samples = sample(reps, || aligner.score3(a, b, c).expect("warm-up succeeded"));
-                let record = Record::from_samples(
-                    format!("{}-{}-{}-{}", w.alphabet, w.n, alg_name, kernel.name()),
-                    w.alphabet,
-                    w.n,
-                    alg_name,
-                    kernel.name(),
-                    kernel.resolve().name(),
-                    cells,
-                    &samples,
-                );
-                println!(
-                    "{:<28} score {score:>8}  median {:>9.3} ms  {:>8.1} Mcells/s ({})",
-                    record.id,
-                    record.median_ms,
-                    record.cells_per_sec / 1e6,
-                    record.resolved
-                );
-                results.push(record);
+        for (algorithm, alg_name, parallel) in ALGORITHMS {
+            let thread_counts: &[usize] = if parallel {
+                &[1, multi_threads()]
+            } else {
+                &[1]
+            };
+            for &threads in thread_counts {
+                for kernel in KERNELS {
+                    let record = measure(
+                        &w, a, b, c, cells, algorithm, alg_name, kernel, threads, reps,
+                    )?;
+                    results.push(record);
+                }
             }
         }
     }
@@ -126,6 +200,114 @@ fn run(quick: bool, out_path: &str) -> Result<(), String> {
     std::fs::write(out_path, baseline.encode()).map_err(|e| format!("write {out_path}: {e}"))?;
     println!("# wrote {out_path}");
     Ok(())
+}
+
+/// The composition gate: tile-wavefront (`auto`) at 2 threads must match
+/// or beat the single-thread scalar slab reference on DNA at `n ≥ 128`.
+/// Exits via the returned flag; the measurements are also written as a
+/// baseline-format artifact so CI can upload them.
+fn gate_compose(quick: bool, baseline_path: &str, out_path: &str) -> Result<bool, String> {
+    let sizes: &[usize] = if quick { &[128] } else { &[128, 256] };
+    let reps = if quick { 3 } else { 5 };
+    let fingerprint = Fingerprint::host();
+    println!(
+        "# gate-compose: dna n in {sizes:?}, tile {TILE}, host {} ({} cores, avx2={})",
+        fingerprint.arch, fingerprint.cores, fingerprint.avx2
+    );
+    let mut results = Vec::new();
+    let mut failed = false;
+    for &n in sizes {
+        let w = Workload {
+            alphabet: "dna",
+            n,
+            scoring: Scoring::dna_default(),
+            seqs: workload::triple(n),
+        };
+        let (a, b, c) = &w.seqs;
+        let cells = workload::cell_updates(a, b, c);
+        // Baseline: the single-thread *scalar* slab — the repo's reference
+        // semantics and the classic sequential DP the parallel claim is
+        // measured against. (The vectorized slab is not the bar here: its
+        // rolling O(n²) working set is cache-resident while any
+        // full-lattice sweep is DRAM-bound, so comparing against it would
+        // measure memory systems, not scheduling.)
+        let slab = measure(
+            &w,
+            a,
+            b,
+            c,
+            cells,
+            Algorithm::FullDp,
+            "full",
+            SimdKernel::Scalar,
+            1,
+            reps,
+        )?;
+        let tiled = measure(
+            &w,
+            a,
+            b,
+            c,
+            cells,
+            Algorithm::TileWavefront { tile: TILE },
+            "tile-wavefront",
+            SimdKernel::Auto,
+            2,
+            reps,
+        )?;
+        let ratio = if slab.cells_per_sec > 0.0 {
+            tiled.cells_per_sec / slab.cells_per_sec
+        } else {
+            0.0
+        };
+        let ok = tiled.cells_per_sec >= slab.cells_per_sec;
+        println!(
+            "# compose n={n}: tile-wavefront(auto)@2 / slab(scalar)@1 = {ratio:.3} — {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        failed |= !ok;
+        results.push(slab);
+        results.push(tiled);
+    }
+    let doc = Baseline {
+        quick,
+        fingerprint,
+        results,
+    };
+    std::fs::write(out_path, doc.encode()).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("# wrote {out_path}");
+    // Annotate (never fail) when the committed baseline cannot
+    // cross-check these measurements yet.
+    match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match Baseline::decode(&text) {
+            Ok(base) => {
+                let shared = doc
+                    .results
+                    .iter()
+                    .filter(|r| base.results.iter().any(|b| b.id == r.id))
+                    .count();
+                if shared == 0 {
+                    println!(
+                        "::warning::baseline {baseline_path} has no composition ids; \
+                         cross-run drift is unmonitored until it is regenerated at v2"
+                    );
+                }
+            }
+            Err(e) => println!(
+                "::warning::baseline {baseline_path} unreadable ({e}); \
+                 compose gate ran self-contained"
+            ),
+        },
+        Err(_) => println!(
+            "::warning::missing bench baseline {baseline_path}; compose gate ran self-contained"
+        ),
+    }
+    if failed {
+        println!("# FAIL: tile-wavefront at 2 threads lost to the single-thread scalar slab");
+    } else {
+        println!("# OK: thread x SIMD composition holds at n >= 128");
+    }
+    Ok(failed)
 }
 
 fn run_compare(base_path: &str, current_path: &str, tolerance: f64) -> Result<bool, String> {
@@ -233,6 +415,27 @@ fn main() {
                 }
             }
         }
-        _ => fail("need a mode: run | compare"),
+        Some("gate-compose") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let value_of = |flag: &str, default: &str| -> String {
+                match args.iter().position(|a| a == flag) {
+                    Some(i) => args
+                        .get(i + 1)
+                        .unwrap_or_else(|| fail(&format!("{flag} needs a path")))
+                        .clone(),
+                    None => default.to_string(),
+                }
+            };
+            let baseline = value_of("--baseline", "BENCH_kernel.json");
+            let out = value_of("--out", "BENCH_compose.json");
+            match gate_compose(quick, &baseline, &out) {
+                Ok(failed) => std::process::exit(i32::from(failed)),
+                Err(e) => {
+                    eprintln!("bench: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => fail("need a mode: run | compare | gate-compose"),
     }
 }

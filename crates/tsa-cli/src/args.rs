@@ -28,12 +28,14 @@ ALIGN OPTIONS:
     --gap-open <o>       affine gap open (with --gap-extend)
     --gap-extend <e>     affine gap extend
     --algorithm <name>   auto | full | wavefront | blocked | dataflow |
-                         hirschberg | par-hirschberg | center-star |
-                         carrillo-lipman | banded | anchored | affine       [auto]
-    --kernel <k>         SIMD score kernel: auto | scalar | sse2 | avx2    [auto]
+                         tile-wavefront | hirschberg | par-hirschberg |
+                         center-star | carrillo-lipman | banded |
+                         anchored | affine                                  [auto]
+    --kernel <k>         SIMD score kernel: auto | scalar | sse2 | avx2
+                         | sse2-i16 | avx2-i16                             [auto]
                          (bit-identical scores; explicit requests degrade
                          to the widest set the CPU supports)
-    --tile <t>           tile edge for blocked/dataflow                     [16]
+    --tile <t>           tile edge for blocked/dataflow/tile-wavefront      [16]
     --threads <n>        rayon worker threads (default: all cores)
     --width <w>          output wrap width, 0 = no wrap                     [60]
     --format <f>         plain | fasta | clustal                            [plain]
@@ -231,9 +233,9 @@ pub struct AlignArgs {
     pub gap_affine: Option<(i32, i32)>,
     /// Algorithm name.
     pub algorithm: String,
-    /// SIMD kernel name: auto | scalar | sse2 | avx2.
+    /// SIMD kernel name: auto | scalar | sse2 | avx2 | sse2-i16 | avx2-i16.
     pub kernel: String,
-    /// Tile edge for blocked algorithms.
+    /// Tile edge for blocked and tile-wavefront algorithms.
     pub tile: usize,
     /// Worker thread count (None = rayon default).
     pub threads: Option<usize>,
@@ -989,8 +991,9 @@ impl AlignArgs {
 
 /// Shared `--kernel` name lookup for align and service flags.
 pub fn parse_kernel(name: &str) -> Result<SimdKernel, String> {
-    SimdKernel::by_name(name)
-        .ok_or_else(|| format!("unknown kernel `{name}` (want auto|scalar|sse2|avx2)"))
+    SimdKernel::by_name(name).ok_or_else(|| {
+        format!("unknown kernel `{name}` (want auto|scalar|sse2|avx2|sse2-i16|avx2-i16)")
+    })
 }
 
 fn num_threads_default() -> usize {
@@ -1609,6 +1612,11 @@ mod tests {
         a.algorithm = "blocked".into();
         a.tile = 8;
         assert_eq!(a.build_algorithm().unwrap(), Algorithm::Blocked { tile: 8 });
+        a.algorithm = "tile-wavefront".into();
+        assert_eq!(
+            a.build_algorithm().unwrap(),
+            Algorithm::TileWavefront { tile: 8 }
+        );
         a.algorithm = "whatever".into();
         assert!(a.build_algorithm().is_err());
     }

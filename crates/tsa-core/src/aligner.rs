@@ -7,7 +7,7 @@ use crate::checkpoint::{CheckpointConfig, DurableStop, FrontierSnapshot, KernelK
 use crate::kernel::SimdKernel;
 use crate::{
     affine, anchored, banded3, blocked, carrillo_lipman, center_star, full, hirschberg3,
-    score_only, wavefront,
+    score_only, tiled, wavefront,
 };
 use std::fmt;
 use tsa_scoring::Scoring;
@@ -37,6 +37,13 @@ pub enum Algorithm {
         tile: usize,
         /// Worker thread count.
         threads: usize,
+    },
+    /// `t×t×t` tile-wavefront: rayon over anti-diagonal planes of tiles,
+    /// SIMD slab rows inside each tile (the score path of choice for long
+    /// vector rows; `align3` falls back to the blocked traceback).
+    TileWavefront {
+        /// Tile edge length.
+        tile: usize,
     },
     /// Sequential divide and conquer: optimal alignment in `O(n²)` space.
     Hirschberg,
@@ -70,6 +77,7 @@ impl Algorithm {
             "wavefront" => Algorithm::Wavefront,
             "blocked" => Algorithm::Blocked { tile },
             "dataflow" => Algorithm::BlockedDataflow { tile, threads },
+            "tile-wavefront" => Algorithm::TileWavefront { tile },
             "hirschberg" => Algorithm::Hirschberg,
             "par-hirschberg" => Algorithm::ParallelHirschberg,
             "center-star" => Algorithm::CenterStar,
@@ -89,6 +97,7 @@ impl Algorithm {
             Algorithm::Wavefront => "wavefront",
             Algorithm::Blocked { .. } => "blocked",
             Algorithm::BlockedDataflow { .. } => "dataflow",
+            Algorithm::TileWavefront { .. } => "tile-wavefront",
             Algorithm::Hirschberg => "hirschberg",
             Algorithm::ParallelHirschberg => "par-hirschberg",
             Algorithm::CenterStar => "center-star",
@@ -300,6 +309,16 @@ impl Aligner {
                 }
                 Ok(blocked::align_dataflow(a, b, c, s, tile, threads))
             }
+            Algorithm::TileWavefront { tile } => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                if tile == 0 {
+                    return Err(AlignError::BadParameter("tile must be ≥ 1"));
+                }
+                // Traceback needs per-cell moves; the blocked tiling
+                // produces the identical canonical alignment.
+                Ok(blocked::align(a, b, c, s, tile))
+            }
             Algorithm::Hirschberg => {
                 self.check_linear()?;
                 Ok(hirschberg3::align(a, b, c, s))
@@ -400,6 +419,15 @@ impl Aligner {
                 score_only::score_planes_parallel_cancellable_with(a, b, c, s, cancel, self.kernel)
                     .map_err(AlignError::Cancelled)
             }
+            Algorithm::TileWavefront { tile } => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                if tile == 0 {
+                    return Err(AlignError::BadParameter("tile must be ≥ 1"));
+                }
+                tiled::score_tiles_cancellable_with(a, b, c, s, tile, cancel, self.kernel)
+                    .map_err(AlignError::Cancelled)
+            }
             Algorithm::AffineDp => {
                 if cancel.should_stop() {
                     return Err(AlignError::Cancelled(CancelProgress::default()));
@@ -419,7 +447,9 @@ impl Aligner {
     pub fn durable_kind(&self, n1: usize, n2: usize, n3: usize) -> Option<KernelKind> {
         match self.resolve(n1, n2, n3) {
             Algorithm::FullDp | Algorithm::Hirschberg => Some(KernelKind::Slabs),
-            Algorithm::Wavefront | Algorithm::ParallelHirschberg => Some(KernelKind::Planes),
+            Algorithm::Wavefront
+            | Algorithm::ParallelHirschberg
+            | Algorithm::TileWavefront { .. } => Some(KernelKind::Planes),
             _ => None,
         }
     }
@@ -446,7 +476,12 @@ impl Aligner {
                 self.check_linear().map_err(DurableStop::Config)?;
                 score_only::score_slabs_durable_with(a, b, c, s, cancel, ckpt, resume, self.kernel)
             }
-            Algorithm::Wavefront | Algorithm::ParallelHirschberg => {
+            // Tile-wavefront checkpoints through the plane-rolling sweep:
+            // its durable path keeps the plane-boundary frontier format so
+            // snapshots stay interchangeable with `Wavefront` runs.
+            Algorithm::Wavefront
+            | Algorithm::ParallelHirschberg
+            | Algorithm::TileWavefront { .. } => {
                 self.check_linear().map_err(DurableStop::Config)?;
                 score_only::score_planes_parallel_durable_with(
                     a,
@@ -510,6 +545,14 @@ impl Aligner {
                     self.kernel,
                 ))
             }
+            Algorithm::TileWavefront { tile } => {
+                self.check_linear()?;
+                self.check_lattice(a.len(), b.len(), c.len())?;
+                if tile == 0 {
+                    return Err(AlignError::BadParameter("tile must be ≥ 1"));
+                }
+                Ok(tiled::score_tiles_with(a, b, c, s, tile, self.kernel))
+            }
             Algorithm::AffineDp => Ok(affine::align_score(a, b, c, s)),
             // The remaining variants have no cheaper score-only path.
             _ => Ok(self.align3(a, b, c)?.score),
@@ -543,6 +586,7 @@ mod tests {
                 tile: 8,
                 threads: 3,
             },
+            Algorithm::TileWavefront { tile: 8 },
             Algorithm::Hirschberg,
             Algorithm::ParallelHirschberg,
             Algorithm::CarrilloLipman,
@@ -564,6 +608,7 @@ mod tests {
             Algorithm::Hirschberg,
             Algorithm::ParallelHirschberg,
             Algorithm::Blocked { tile: 4 },
+            Algorithm::TileWavefront { tile: 4 },
         ] {
             let al = Aligner::new().algorithm(alg).align3(&a, &b, &c).unwrap();
             let sc = Aligner::new().algorithm(alg).score3(&a, &b, &c).unwrap();
@@ -582,6 +627,7 @@ mod tests {
                 tile: 8,
                 threads: 2,
             },
+            Algorithm::TileWavefront { tile: 8 },
             Algorithm::Hirschberg,
             Algorithm::ParallelHirschberg,
             Algorithm::CenterStar,
@@ -679,6 +725,12 @@ mod tests {
                 .align3(&a, &b, &c),
             Err(AlignError::BadParameter(_))
         ));
+        assert!(matches!(
+            Aligner::new()
+                .algorithm(Algorithm::TileWavefront { tile: 0 })
+                .score3(&a, &b, &c),
+            Err(AlignError::BadParameter(_))
+        ));
     }
 
     #[test]
@@ -721,6 +773,7 @@ mod tests {
             Algorithm::Hirschberg,
             Algorithm::ParallelHirschberg,
             Algorithm::Blocked { tile: 4 },
+            Algorithm::TileWavefront { tile: 4 },
         ] {
             let al = Aligner::new().algorithm(alg);
             assert_eq!(
@@ -747,6 +800,7 @@ mod tests {
             Algorithm::Hirschberg,
             Algorithm::ParallelHirschberg,
             Algorithm::Blocked { tile: 4 },
+            Algorithm::TileWavefront { tile: 4 },
             Algorithm::AffineDp,
         ] {
             let al = Aligner::new().algorithm(alg);
@@ -779,6 +833,7 @@ mod tests {
             Algorithm::ParallelHirschberg,
             Algorithm::AffineDp,
             Algorithm::Blocked { tile: 4 },
+            Algorithm::TileWavefront { tile: 4 },
         ] {
             let al = Aligner::new().algorithm(alg);
             let sink = MemorySink::new();

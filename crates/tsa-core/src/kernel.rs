@@ -27,9 +27,10 @@
 use tsa_scoring::Scoring;
 
 /// Which SIMD implementation of the inner row kernels to use. This is the
-/// `kernel={scalar,auto,sse2,avx2}` knob exposed by the CLI (`--kernel`)
-/// and the batch-service protocol; [`SimdKernel::resolve`] maps a request
-/// to what the running CPU actually supports.
+/// `kernel={scalar,auto,sse2,avx2,sse2-i16,avx2-i16}` knob exposed by the
+/// CLI (`--kernel`) and the batch-service protocol;
+/// [`SimdKernel::resolve`] maps a request to what the running CPU actually
+/// supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimdKernel {
     /// Pick the widest supported instruction set at runtime (the default).
@@ -41,6 +42,12 @@ pub enum SimdKernel {
     Sse2,
     /// 256-bit AVX2 lanes (8 cells per step; runtime-detected).
     Avx2,
+    /// 128-bit SSE2 lanes over saturating `i16` (8 cells per step), with
+    /// per-row overflow detection and bit-identical fallback to [`Self::Sse2`].
+    Sse2I16,
+    /// 256-bit AVX2 lanes over saturating `i16` (16 cells per step), with
+    /// per-row overflow detection and bit-identical fallback to [`Self::Avx2`].
+    Avx2I16,
 }
 
 impl SimdKernel {
@@ -52,6 +59,8 @@ impl SimdKernel {
             "scalar" => SimdKernel::Scalar,
             "sse2" => SimdKernel::Sse2,
             "avx2" => SimdKernel::Avx2,
+            "sse2-i16" => SimdKernel::Sse2I16,
+            "avx2-i16" => SimdKernel::Avx2I16,
             _ => return None,
         })
     }
@@ -63,24 +72,37 @@ impl SimdKernel {
             SimdKernel::Scalar => "scalar",
             SimdKernel::Sse2 => "sse2",
             SimdKernel::Avx2 => "avx2",
+            SimdKernel::Sse2I16 => "sse2-i16",
+            SimdKernel::Avx2I16 => "avx2-i16",
         }
     }
 
-    /// Resolve the request against the running CPU. `Auto` picks the widest
-    /// available set; explicit requests degrade gracefully (`avx2` on a
-    /// non-AVX2 part runs SSE2; any x86 request on a non-x86 target runs
-    /// scalar). The effective choice is what job spans and benchmarks
-    /// record.
+    /// Resolve the request against the running CPU. `Auto` walks the
+    /// ladder `avx2-i16 → avx2 → sse2-i16 → sse2 → scalar` (an `i16`
+    /// variant subsumes its `i32` sibling: it falls back to the `i32`
+    /// lanes row-by-row whenever the narrow arithmetic could overflow, so
+    /// preferring it never loses correctness). Explicit requests degrade
+    /// gracefully (`avx2-i16` on a non-AVX2 part runs `sse2-i16`; any x86
+    /// request on a non-x86 target runs scalar). The effective choice is
+    /// what job spans and benchmarks record.
     pub fn resolve(&self) -> ResolvedKernel {
         match self {
             SimdKernel::Scalar => ResolvedKernel(Resolved::Scalar),
-            SimdKernel::Auto | SimdKernel::Avx2 => {
+            SimdKernel::Auto | SimdKernel::Avx2I16 => {
+                if avx2_available() {
+                    ResolvedKernel(Resolved::Avx2I16)
+                } else {
+                    best_sse2_i16()
+                }
+            }
+            SimdKernel::Avx2 => {
                 if avx2_available() {
                     ResolvedKernel(Resolved::Avx2)
                 } else {
                     best_sse2()
                 }
             }
+            SimdKernel::Sse2I16 => best_sse2_i16(),
             SimdKernel::Sse2 => best_sse2(),
         }
     }
@@ -89,8 +111,8 @@ impl SimdKernel {
     pub fn is_native(&self) -> bool {
         match self {
             SimdKernel::Auto | SimdKernel::Scalar => true,
-            SimdKernel::Sse2 => cfg!(target_arch = "x86_64"),
-            SimdKernel::Avx2 => avx2_available(),
+            SimdKernel::Sse2 | SimdKernel::Sse2I16 => cfg!(target_arch = "x86_64"),
+            SimdKernel::Avx2 | SimdKernel::Avx2I16 => avx2_available(),
         }
     }
 }
@@ -119,6 +141,14 @@ fn best_sse2() -> ResolvedKernel {
     }
 }
 
+fn best_sse2_i16() -> ResolvedKernel {
+    if cfg!(target_arch = "x86_64") {
+        ResolvedKernel(Resolved::Sse2I16)
+    } else {
+        ResolvedKernel(Resolved::Scalar)
+    }
+}
+
 /// The implementation a [`SimdKernel`] request resolved to on this CPU.
 ///
 /// Deliberately not constructible outside the crate: the SIMD entry points
@@ -133,16 +163,20 @@ pub(crate) enum Resolved {
     Scalar,
     Sse2,
     Avx2,
+    Sse2I16,
+    Avx2I16,
 }
 
 impl ResolvedKernel {
     /// The canonical name of the implementation that actually runs
-    /// (`"scalar"`, `"sse2"`, or `"avx2"`).
+    /// (`"scalar"`, `"sse2"`, `"avx2"`, `"sse2-i16"`, or `"avx2-i16"`).
     pub fn name(&self) -> &'static str {
         match self.0 {
             Resolved::Scalar => "scalar",
             Resolved::Sse2 => "sse2",
             Resolved::Avx2 => "avx2",
+            Resolved::Sse2I16 => "sse2-i16",
+            Resolved::Avx2I16 => "avx2-i16",
         }
     }
 
@@ -151,12 +185,29 @@ impl ResolvedKernel {
         self.0 == Resolved::Scalar
     }
 
+    /// True when this implementation runs saturating `i16` lanes (with
+    /// automatic per-row fallback to the [`Self::widened`] `i32` lanes).
+    pub fn is_i16(&self) -> bool {
+        matches!(self.0, Resolved::Sse2I16 | Resolved::Avx2I16)
+    }
+
+    /// The `i32` sibling an `i16` kernel falls back to when a row's values
+    /// leave the exact-`i16` range (identity for the `i32` kernels).
+    pub(crate) fn widened(&self) -> ResolvedKernel {
+        match self.0 {
+            Resolved::Sse2I16 => ResolvedKernel(Resolved::Sse2),
+            Resolved::Avx2I16 => ResolvedKernel(Resolved::Avx2),
+            other => ResolvedKernel(other),
+        }
+    }
+
     /// Lattice cells processed per SIMD step (1 for scalar).
     pub fn lanes(&self) -> usize {
         match self.0 {
             Resolved::Scalar => 1,
             Resolved::Sse2 => 4,
-            Resolved::Avx2 => 8,
+            Resolved::Avx2 | Resolved::Sse2I16 => 8,
+            Resolved::Avx2I16 => 16,
         }
     }
 }
@@ -228,7 +279,9 @@ impl Profiles {
 }
 
 /// Per-thread scratch for the plane-row kernel: the four per-cell score
-/// terms, prefilled scalar then consumed by vector loads.
+/// terms, prefilled scalar then consumed by vector loads. The `i16` rows
+/// (`s…`) are only filled on the narrow path ([`crate::kernel_i16`]); the
+/// `i32` rows only on the wide path — each row segment uses one set.
 #[derive(Default)]
 pub(crate) struct PlaneScratch {
     /// `sab + sac + sbc` (the δ=111 column score).
@@ -239,6 +292,14 @@ pub(crate) struct PlaneScratch {
     pub t101: Vec<i32>,
     /// `sbc + g2` (δ=011).
     pub t011: Vec<i32>,
+    /// Narrowed δ=111 terms.
+    pub s111: Vec<i16>,
+    /// Narrowed δ=110 terms.
+    pub s110: Vec<i16>,
+    /// Narrowed δ=101 terms.
+    pub s101: Vec<i16>,
+    /// Narrowed δ=011 terms.
+    pub s011: Vec<i16>,
 }
 
 impl PlaneScratch {
@@ -247,6 +308,13 @@ impl PlaneScratch {
         self.t110.resize(len, 0);
         self.t101.resize(len, 0);
         self.t011.resize(len, 0);
+    }
+
+    pub(crate) fn ensure_i16(&mut self, len: usize) {
+        self.s111.resize(len, 0);
+        self.s110.resize(len, 0);
+        self.s101.resize(len, 0);
+        self.s011.resize(len, 0);
     }
 }
 
@@ -280,9 +348,9 @@ pub(crate) fn slab_row(rk: ResolvedKernel, row: &SlabRow<'_>, cur_j: &mut [i32])
         // SAFETY: `Resolved::Sse2`/`Avx2` are only constructed by
         // `SimdKernel::resolve`, which checks the feature at runtime
         // (SSE2 is unconditionally part of the x86_64 baseline).
-        Resolved::Sse2 => unsafe { x86::slab_row_sse2(row, cur_j) },
+        Resolved::Sse2 | Resolved::Sse2I16 => unsafe { x86::slab_row_sse2(row, cur_j) },
         #[cfg(target_arch = "x86_64")]
-        Resolved::Avx2 => unsafe { x86::slab_row_avx2(row, cur_j) },
+        Resolved::Avx2 | Resolved::Avx2I16 => unsafe { x86::slab_row_avx2(row, cur_j) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => slab_row_scalar(row, cur_j),
     }
@@ -291,7 +359,7 @@ pub(crate) fn slab_row(rk: ResolvedKernel, row: &SlabRow<'_>, cur_j: &mut [i32])
 /// Scalar tail/fallback of the slab row: the exact recurrence of the
 /// reference loop in `score_only::compute_slab`, starting at `k = from`.
 #[inline(always)]
-fn slab_row_tail(row: &SlabRow<'_>, cur_j: &mut [i32], from: usize) {
+pub(crate) fn slab_row_tail(row: &SlabRow<'_>, cur_j: &mut [i32], from: usize) {
     let n3 = row.sac.len();
     let (g2, sab) = (row.g2, row.sab);
     for k in from..=n3 {
@@ -347,9 +415,9 @@ pub(crate) fn plane_row(rk: ResolvedKernel, row: &PlaneRow<'_>, out: &mut [i32])
         Resolved::Scalar => plane_row_tail(row, out, 0),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: see `slab_row` — resolution guarantees the feature.
-        Resolved::Sse2 => unsafe { x86::plane_row_sse2(row, out) },
+        Resolved::Sse2 | Resolved::Sse2I16 => unsafe { x86::plane_row_sse2(row, out) },
         #[cfg(target_arch = "x86_64")]
-        Resolved::Avx2 => unsafe { x86::plane_row_avx2(row, out) },
+        Resolved::Avx2 | Resolved::Avx2I16 => unsafe { x86::plane_row_avx2(row, out) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => plane_row_tail(row, out, 0),
     }
@@ -582,6 +650,8 @@ mod tests {
             SimdKernel::Scalar,
             SimdKernel::Sse2,
             SimdKernel::Avx2,
+            SimdKernel::Sse2I16,
+            SimdKernel::Avx2I16,
         ] {
             assert_eq!(SimdKernel::by_name(k.name()), Some(k));
             assert_eq!(format!("{k}"), k.name());
@@ -593,16 +663,40 @@ mod tests {
     #[test]
     fn resolution_is_sane() {
         let auto = SimdKernel::Auto.resolve();
-        assert!(["scalar", "sse2", "avx2"].contains(&auto.name()));
+        assert!(["scalar", "sse2", "avx2", "sse2-i16", "avx2-i16"].contains(&auto.name()));
         assert!(SimdKernel::Scalar.resolve().is_scalar());
         assert_eq!(SimdKernel::Scalar.resolve().lanes(), 1);
         assert!(auto.lanes() >= 1);
         // Every resolution degrades to something that runs here.
-        for k in [SimdKernel::Sse2, SimdKernel::Avx2] {
+        for k in [
+            SimdKernel::Sse2,
+            SimdKernel::Avx2,
+            SimdKernel::Sse2I16,
+            SimdKernel::Avx2I16,
+        ] {
             let r = k.resolve();
             assert!(!r.name().is_empty());
         }
         assert_eq!(format!("{auto}"), auto.name());
+    }
+
+    #[test]
+    fn auto_ladder_prefers_i16_over_its_i32_sibling() {
+        // On x86_64 the auto ladder lands on an i16 variant (whose per-row
+        // fallback IS the i32 sibling); elsewhere it resolves scalar.
+        let auto = SimdKernel::Auto.resolve();
+        if cfg!(target_arch = "x86_64") {
+            assert!(auto.is_i16());
+            assert_eq!(auto.widened().lanes() * 2, auto.lanes());
+        } else {
+            assert!(auto.is_scalar());
+        }
+        // Widening is idempotent and maps each i16 kernel to its sibling.
+        for k in [SimdKernel::Sse2I16, SimdKernel::Avx2I16] {
+            let r = k.resolve();
+            assert_eq!(r.widened().widened(), r.widened());
+            assert!(!r.widened().is_i16());
+        }
     }
 
     /// Random slab rows: every SIMD width must reproduce the scalar

@@ -1,0 +1,1185 @@
+//! Saturating `i16` row kernels: double-width SIMD with exact fallback.
+//!
+//! The `i32` kernels in [`crate::kernel`] process 4 (SSE2) or 8 (AVX2)
+//! cells per step. DP cell values near the lattice origin are small — for
+//! typical scoring they stay within a few thousand — so most rows fit
+//! comfortably in `i16`, doubling the lane count (8 / 16 cells per step).
+//! This module supplies those narrow variants plus the bookkeeping that
+//! keeps them **bit-identical** to the `i32` reference:
+//!
+//! * **Pass gate** ([`I16Profiles::new`]): the narrow path is only armed
+//!   when every occurring substitution score and the doubled gap `g2`
+//!   satisfy `|term| ≤ `[`I16_TERM_BOUND`]` = 1024` and `g2 ≤ 0`.
+//! * **Row gate**: a narrow row additionally requires every predecessor
+//!   value within `±`[`I16_PRED_BOUND`]` = 14000`. Under both gates every
+//!   candidate is `≥ −14000 − 2·1024` and the true cell value lies in
+//!   `[−15024, 17072]`, so no saturating add (`padds`) ever clips a value
+//!   that can win a `max` — the narrow arithmetic is *exact*, not merely
+//!   approximate. Each narrow row records whether its **outputs** stayed
+//!   within `±I16_PRED_BOUND`; if not, the row is still exact (outputs fit
+//!   `i16`) but is disqualified as a *predecessor*, and the next row falls
+//!   back to the `i32` kernel ([`crate::kernel::slab_row`]) — which is the
+//!   reference — so results never depend on which path ran.
+//! * **Mirrors** ([`SlabI16`]): the `i32` slab buffers stay authoritative;
+//!   the narrow kernel reads `i16` mirror rows that rotate with the sweep
+//!   (one `i32→i16` narrowing per row in steady state) and writes both the
+//!   widened `i32` row and the next mirror.
+//! * **Shadows** ([`PlaneShadows`]): the wavefront keeps four `i16` shadow
+//!   planes beside the rotating `i32` planes, with a validity bit per
+//!   buffer. Rows on a plane whose three predecessor shadows are valid run
+//!   the 16-lane element-wise kernel; otherwise the `i32` kernel runs and
+//!   its output is narrowed back into the shadow, so validity recovers
+//!   within one plane (e.g. after a durable resume, which restores only
+//!   the `i32` buffers).
+//! * **Packed DNA** ([`I16Profiles`] over [`tsa_seq::packed::PackedDna`]):
+//!   for strict-`ACGT` inputs the 16 possible `(a,b)` residue pairs get
+//!   prebuilt `sub(a,c[k]) + sub(b,c[k])` rows, built with a 4-entry
+//!   `pshufb` lookup over 2-bit codes — the slab kernel then consumes one
+//!   precomputed row per `(i,j)` instead of gathering two.
+
+use crate::kernel::{slab_row, slab_row_tail, Resolved, ResolvedKernel, SlabRow};
+use std::sync::atomic::{AtomicBool, Ordering};
+use tsa_scoring::Scoring;
+use tsa_seq::packed::{dna_code, dna_letter, PackedDna};
+use tsa_wavefront::SharedGrid;
+
+/// Largest per-move score term (substitution score or `|g2|`) the narrow
+/// kernels accept; larger terms disable the `i16` path for the whole pass.
+pub(crate) const I16_TERM_BOUND: i32 = 1024;
+
+/// Largest predecessor magnitude for which a narrow row is exact. With
+/// terms bounded by [`I16_TERM_BOUND`], candidates stay `≥ −16048`, scan
+/// carries `≥ −31408`, and outputs `≤ 17072` — all strictly inside `i16`.
+pub(crate) const I16_PRED_BOUND: i32 = 14000;
+
+/// True when `v` may serve as a predecessor of a narrow row.
+#[inline(always)]
+pub(crate) fn fits_i16(v: i32) -> bool {
+    (-I16_PRED_BOUND..=I16_PRED_BOUND).contains(&v)
+}
+
+/// Narrowed substitution profiles for one score pass, or `None` when the
+/// scoring violates the pass gate (some `|sub|` or `|g2|` above
+/// [`I16_TERM_BOUND`], or a non-negative-cost gap) — callers then keep the
+/// `i32` kernels unconditionally.
+pub(crate) struct I16Profiles {
+    g2: i16,
+    /// `ab[r][j-1] = sub(r, b[j-1])` for residues `r` of `a`.
+    ab: Vec<Box<[i16]>>,
+    /// `ac[r][k-1] = sub(r, c[k-1])` for residues `r` of `a`.
+    ac: Vec<Box<[i16]>>,
+    /// `bc[r][k-1] = sub(r, c[k-1])` for residues `r` of `b`.
+    bc: Vec<Box<[i16]>>,
+    /// `acg2[r][k-1] = sub(r, c[k-1]) + g2`.
+    acg2: Vec<Box<[i16]>>,
+    /// `bcg2[r][k-1] = sub(r, c[k-1]) + g2`.
+    bcg2: Vec<Box<[i16]>>,
+    /// Prebuilt pair rows when all three sequences are strict `ACGT`.
+    dna: Option<DnaPairs>,
+}
+
+/// The 16 prebuilt `(a-residue, b-residue)` pair substitution rows of a
+/// DNA pass: `pairs[(ca << 2) | cb][k-1] = sub(A, c[k-1]) + sub(B, c[k-1])`
+/// where `ca`/`cb` are the 2-bit codes of residues `A`/`B`.
+struct DnaPairs {
+    pairs: Vec<Box<[i16]>>,
+}
+
+impl I16Profiles {
+    /// Build narrowed profiles, or `None` when the pass gate fails.
+    pub(crate) fn new(scoring: &Scoring, ra: &[u8], rb: &[u8], rc: &[u8]) -> Option<I16Profiles> {
+        let g2 = 2 * scoring.gap_linear();
+        if !(-I16_TERM_BOUND..=0).contains(&g2) {
+            return None;
+        }
+        let uniq = |s: &[u8]| -> Vec<u8> {
+            let mut seen = [false; 256];
+            let mut u = Vec::new();
+            for &r in s {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    u.push(r);
+                }
+            }
+            u
+        };
+        let (ua, ub, uc) = (uniq(ra), uniq(rb), uniq(rc));
+        let gated = |xs: &[u8], ys: &[u8]| {
+            xs.iter().all(|&x| {
+                ys.iter()
+                    .all(|&y| scoring.sub(x, y).abs() <= I16_TERM_BOUND)
+            })
+        };
+        if !(gated(&ua, &ub) && gated(&ua, &uc) && gated(&ub, &uc)) {
+            return None;
+        }
+        let build = |from: &[u8], against: &[u8], add: i32| -> Vec<Box<[i16]>> {
+            let mut rows: Vec<Box<[i16]>> = (0..256).map(|_| Box::from([])).collect();
+            for &r in from {
+                if rows[r as usize].is_empty() {
+                    rows[r as usize] = against
+                        .iter()
+                        .map(|&x| (scoring.sub(r, x) + add) as i16)
+                        .collect();
+                }
+            }
+            rows
+        };
+        let dna = build_dna_pairs(scoring, ra, rb, rc);
+        Some(I16Profiles {
+            g2: g2 as i16,
+            ab: build(&ua, rb, 0),
+            ac: build(&ua, rc, 0),
+            bc: build(&ub, rc, 0),
+            acg2: build(&ua, rc, g2),
+            bcg2: build(&ub, rc, g2),
+            dna,
+        })
+    }
+
+    /// The doubled gap penalty, already narrowed.
+    pub(crate) fn g2(&self) -> i16 {
+        self.g2
+    }
+
+    /// Narrowed profile of residue `r` (from `a`) against all of `b`.
+    #[inline(always)]
+    pub(crate) fn ab16(&self, r: u8) -> &[i16] {
+        &self.ab[r as usize]
+    }
+
+    /// Narrowed profile of residue `r` (from `a`) against all of `c`.
+    #[inline(always)]
+    pub(crate) fn ac16(&self, r: u8) -> &[i16] {
+        &self.ac[r as usize]
+    }
+
+    /// Narrowed profile of residue `r` (from `b`) against all of `c`.
+    #[inline(always)]
+    pub(crate) fn bc16(&self, r: u8) -> &[i16] {
+        &self.bc[r as usize]
+    }
+
+    /// True when the prebuilt packed-DNA pair rows are armed.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_dna(&self) -> bool {
+        self.dna.is_some()
+    }
+}
+
+/// Build the 16 DNA pair rows when all three sequences are strict `ACGT`.
+fn build_dna_pairs(scoring: &Scoring, ra: &[u8], rb: &[u8], rc: &[u8]) -> Option<DnaPairs> {
+    PackedDna::from_residues(ra)?;
+    PackedDna::from_residues(rb)?;
+    let codes_c = PackedDna::from_residues(rc)?.codes();
+    let mut pairs = Vec::with_capacity(16);
+    for ca in 0..4u8 {
+        for cb in 0..4u8 {
+            let mut lut = [0i16; 4];
+            for (cc, slot) in lut.iter_mut().enumerate() {
+                let c = dna_letter(cc as u8);
+                *slot = (scoring.sub(dna_letter(ca), c) + scoring.sub(dna_letter(cb), c)) as i16;
+            }
+            pairs.push(pair_row(&codes_c, &lut));
+        }
+    }
+    Some(DnaPairs { pairs })
+}
+
+/// Map 2-bit codes through a 4-entry `i16` LUT — the "shuffle not gather"
+/// profile build. Uses `pshufb` when AVX2 is up, else a scalar loop.
+fn pair_row(codes: &[u8], lut: &[i16; 4]) -> Box<[i16]> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature checked on the line above.
+        return unsafe { x86::pair_row_avx2(codes, lut) };
+    }
+    codes.iter().map(|&c| lut[c as usize]).collect()
+}
+
+/// Selects the profile rows of one slab row: the residues `a[i-1]`,
+/// `b[j-1]` and the global `k`-offset of the row's first interior cell
+/// (non-zero only for tiled sweeps).
+pub(crate) struct RowSel<'a> {
+    pub prof: &'a I16Profiles,
+    pub ai: u8,
+    pub bj: u8,
+    pub k_off: usize,
+}
+
+/// Borrowed narrow inputs of one interior slab row; the `i16` twin of
+/// [`SlabRow`], with the `sac`/`sbc` gathers pre-combined into `pair` and
+/// the constant `g2` pre-added into `acg2`/`bcg2`.
+pub(crate) struct SlabRowI16<'a> {
+    pub g2: i16,
+    pub sab: i16,
+    /// `sac + sbc` at `k-1`, length `n3`.
+    pub pair: &'a [i16],
+    /// `sac + g2` at `k-1`.
+    pub acg2: &'a [i16],
+    /// `sbc + g2` at `k-1`.
+    pub bcg2: &'a [i16],
+    /// Mirror of the previous slab, row `j-1` (length `n3+1`).
+    pub prev_j1: &'a [i16],
+    /// Mirror of the previous slab, row `j`.
+    pub prev_j: &'a [i16],
+    /// Mirror of the current slab, row `j-1`.
+    pub cur_j1: &'a [i16],
+}
+
+/// Rotating `i16` mirror state for a slab sweep. The sweep calls
+/// [`SlabI16::begin_slab`] once per `i` and [`SlabI16::row`] once per
+/// interior row `j = 1, 2, …`; the mirrors rotate so steady state costs one
+/// `i32→i16` narrowing per row.
+pub(crate) struct SlabI16 {
+    m_prev_j1: Vec<i16>,
+    m_prev_j: Vec<i16>,
+    m_cur_j1: Vec<i16>,
+    m_out: Vec<i16>,
+    v_prev_j1: bool,
+    v_prev_j: bool,
+    v_cur_j1: bool,
+    v_out: bool,
+    fresh: bool,
+    pair_buf: Vec<i16>,
+}
+
+impl SlabI16 {
+    /// Mirrors sized for rows of up to `w3` cells.
+    pub(crate) fn new(w3: usize) -> SlabI16 {
+        SlabI16 {
+            m_prev_j1: vec![0; w3],
+            m_prev_j: vec![0; w3],
+            m_cur_j1: vec![0; w3],
+            m_out: vec![0; w3],
+            v_prev_j1: false,
+            v_prev_j: false,
+            v_cur_j1: false,
+            v_out: false,
+            fresh: true,
+            pair_buf: vec![0; w3],
+        }
+    }
+
+    /// Invalidate all mirrors: the next [`SlabI16::row`] call re-narrows
+    /// its three predecessor rows from the authoritative `i32` buffers.
+    pub(crate) fn begin_slab(&mut self) {
+        self.fresh = true;
+    }
+
+    /// Fill `cur_j[1..]` of one interior row, bit-identically to
+    /// [`slab_row`] with `rk.widened()`: via the narrow kernel when all
+    /// three mirror rows (and the seed `cur_j[0]`) pass the row gate, via
+    /// the `i32` kernel plus a narrowing otherwise.
+    pub(crate) fn row(
+        &mut self,
+        rk: ResolvedKernel,
+        sel: &RowSel<'_>,
+        row32: &SlabRow<'_>,
+        cur_j: &mut [i32],
+    ) {
+        let w3 = cur_j.len();
+        debug_assert!(w3 <= self.m_out.len() && row32.prev_j1.len() == w3);
+        if self.fresh {
+            self.fresh = false;
+            self.v_prev_j1 = narrow_row(rk, row32.prev_j1, &mut self.m_prev_j1[..w3]);
+            self.v_prev_j = narrow_row(rk, row32.prev_j, &mut self.m_prev_j[..w3]);
+            self.v_cur_j1 = narrow_row(rk, row32.cur_j1, &mut self.m_cur_j1[..w3]);
+        } else {
+            // Advance one row: prev[j-1] ← prev[j] (swap, still narrow),
+            // cur[j-1] ← last output (swap), then narrow the new prev[j].
+            std::mem::swap(&mut self.m_prev_j1, &mut self.m_prev_j);
+            self.v_prev_j1 = self.v_prev_j;
+            self.v_prev_j = narrow_row(rk, row32.prev_j, &mut self.m_prev_j[..w3]);
+            std::mem::swap(&mut self.m_cur_j1, &mut self.m_out);
+            self.v_cur_j1 = self.v_out;
+        }
+        let seed = cur_j[0];
+        if self.v_prev_j1 && self.v_prev_j && self.v_cur_j1 && fits_i16(seed) {
+            let n3 = w3 - 1;
+            let prof = sel.prof;
+            let Self {
+                m_prev_j1,
+                m_prev_j,
+                m_cur_j1,
+                m_out,
+                pair_buf,
+                ..
+            } = self;
+            let pair: &[i16] = match &prof.dna {
+                Some(d) => {
+                    let ca = dna_code(sel.ai).unwrap_or(0);
+                    let cb = dna_code(sel.bj).unwrap_or(0);
+                    &d.pairs[((ca << 2) | cb) as usize][sel.k_off..sel.k_off + n3]
+                }
+                None => {
+                    for (p, (&sac, &sbc)) in pair_buf
+                        .iter_mut()
+                        .zip(row32.sac.iter().zip(row32.sbc.iter()))
+                    {
+                        *p = (sac + sbc) as i16;
+                    }
+                    &pair_buf[..n3]
+                }
+            };
+            let row16 = SlabRowI16 {
+                g2: prof.g2,
+                sab: row32.sab as i16,
+                pair,
+                acg2: &prof.acg2[sel.ai as usize][sel.k_off..sel.k_off + n3],
+                bcg2: &prof.bcg2[sel.bj as usize][sel.k_off..sel.k_off + n3],
+                prev_j1: &m_prev_j1[..w3],
+                prev_j: &m_prev_j[..w3],
+                cur_j1: &m_cur_j1[..w3],
+            };
+            m_out[0] = seed as i16;
+            self.v_out = slab_row_i16(rk, &row16, row32, cur_j, &mut m_out[..w3]);
+        } else {
+            slab_row(rk.widened(), row32, cur_j);
+            self.v_out = narrow_row(rk, cur_j, &mut self.m_out[..w3]);
+        }
+    }
+}
+
+/// Fill `cur_j[1..]` with the narrow kernel (`cur_j[0]` and `out16[0]`
+/// seeded by the caller), writing both the widened `i32` row and the raw
+/// `i16` row. Returns true when every output fits the predecessor bound.
+pub(crate) fn slab_row_i16(
+    rk: ResolvedKernel,
+    row: &SlabRowI16<'_>,
+    row32: &SlabRow<'_>,
+    cur_j: &mut [i32],
+    out16: &mut [i16],
+) -> bool {
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = row;
+    let (from, mut ok) = match rk.0 {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Resolved` variants come from `SimdKernel::resolve`,
+        // which checks the instruction set at runtime.
+        Resolved::Sse2I16 => unsafe { x86::slab_row_i16_sse2(row, cur_j, out16) },
+        #[cfg(target_arch = "x86_64")]
+        Resolved::Avx2I16 => unsafe { x86::slab_row_i16_avx2(row, cur_j, out16) },
+        _ => (1, true),
+    };
+    slab_row_tail(row32, cur_j, from);
+    for k in from..cur_j.len() {
+        let v = cur_j[k];
+        out16[k] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        ok &= fits_i16(v);
+    }
+    ok
+}
+
+/// Narrow an `i32` row into an `i16` mirror (saturating, like `packssdw`).
+/// Returns true when every value fits the predecessor bound — only then may
+/// the mirror feed a narrow row.
+pub(crate) fn narrow_row(rk: ResolvedKernel, src: &[i32], dst: &mut [i16]) -> bool {
+    debug_assert_eq!(src.len(), dst.len());
+    let (from, mut ok) = match rk.0 {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `slab_row_i16`.
+        Resolved::Sse2 | Resolved::Sse2I16 => unsafe { x86::narrow_sse2(src, dst) },
+        #[cfg(target_arch = "x86_64")]
+        Resolved::Avx2 | Resolved::Avx2I16 => unsafe { x86::narrow_avx2(src, dst) },
+        _ => (0, true),
+    };
+    for x in from..src.len() {
+        let v = src[x];
+        dst[x] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        ok &= fits_i16(v);
+    }
+    ok
+}
+
+/// Four `i16` shadow planes beside the wavefront's rotating `i32` planes,
+/// each with a validity bit. A shadow is valid when every cell written on
+/// its plane passed the predecessor bound; rows reset the bit for their
+/// plane's slot via [`PlaneShadows::begin_plane`] and clear it with
+/// [`PlaneShadows::record`]. Shadows start invalid (also after a durable
+/// resume, which restores only the `i32` buffers) and recover as soon as
+/// three consecutive planes narrow cleanly.
+pub(crate) struct PlaneShadows {
+    bufs: [SharedGrid<i16>; 4],
+    ok: [AtomicBool; 4],
+}
+
+impl PlaneShadows {
+    pub(crate) fn new(len: usize) -> PlaneShadows {
+        PlaneShadows {
+            bufs: std::array::from_fn(|_| SharedGrid::new(len, 0i16)),
+            ok: std::array::from_fn(|_| AtomicBool::new(false)),
+        }
+    }
+
+    /// Arm the validity bit of plane `d` before its rows run.
+    pub(crate) fn begin_plane(&self, d: usize) {
+        self.ok[d % 4].store(true, Ordering::Relaxed);
+    }
+
+    /// True when all three predecessor shadows of plane `d` are valid.
+    pub(crate) fn preds_valid(&self, d: usize) -> bool {
+        d >= 3 && (1..=3).all(|b| self.ok[(d - b) % 4].load(Ordering::Relaxed))
+    }
+
+    /// Record one row's (or cell's) range outcome for plane `d`. Rows run
+    /// concurrently; a single out-of-range row invalidates the plane.
+    pub(crate) fn record(&self, d: usize, in_range: bool) {
+        if !in_range {
+            self.ok[d % 4].store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// The shadow buffer of plane `d` (slot `d mod 4`).
+    pub(crate) fn buf(&self, d: usize) -> &SharedGrid<i16> {
+        &self.bufs[d % 4]
+    }
+}
+
+/// Borrowed narrow inputs of one interior plane row segment; the `i16`
+/// twin of [`crate::kernel::PlaneRow`], with predecessor slices drawn from
+/// the shadow planes.
+pub(crate) struct PlaneRowI16<'a> {
+    pub g2: i16,
+    pub t111: &'a [i16],
+    pub t110: &'a [i16],
+    pub t101: &'a [i16],
+    pub t011: &'a [i16],
+    pub p3_111: &'a [i16],
+    pub p2_110: &'a [i16],
+    pub p2_101: &'a [i16],
+    pub p2_011: &'a [i16],
+    pub p1_100: &'a [i16],
+    pub p1_010: &'a [i16],
+    pub p1_001: &'a [i16],
+}
+
+/// Compute one interior plane row segment from narrow inputs, writing both
+/// the widened `i32` outputs and the `i16` shadow row. Returns true when
+/// every output fits the predecessor bound. Exact (bit-identical to the
+/// `i32` kernel) whenever every predecessor fits `±`[`I16_PRED_BOUND`].
+pub(crate) fn plane_row_i16(
+    rk: ResolvedKernel,
+    row: &PlaneRowI16<'_>,
+    out: &mut [i32],
+    out16: &mut [i16],
+) -> bool {
+    let (from, mut ok) = match rk.0 {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see `slab_row_i16`.
+        Resolved::Sse2I16 => unsafe { x86::plane_row_i16_sse2(row, out, out16) },
+        #[cfg(target_arch = "x86_64")]
+        Resolved::Avx2I16 => unsafe { x86::plane_row_i16_avx2(row, out, out16) },
+        _ => (0, true),
+    };
+    for x in from..out.len() {
+        let diag = (row.p3_111[x] as i32 + row.t111[x] as i32)
+            .max(row.p2_110[x] as i32 + row.t110[x] as i32)
+            .max(row.p2_101[x] as i32 + row.t101[x] as i32)
+            .max(row.p2_011[x] as i32 + row.t011[x] as i32);
+        let single = (row.p1_100[x] as i32)
+            .max(row.p1_010[x] as i32)
+            .max(row.p1_001[x] as i32)
+            + row.g2 as i32;
+        let v = diag.max(single);
+        out[x] = v;
+        out16[x] = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        ok &= fits_i16(v);
+    }
+    ok
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{PlaneRowI16, SlabRowI16, I16_PRED_BOUND};
+    use std::arch::x86_64::*;
+
+    /// Sentinel shifted into vacated `i16` scan lanes: `i16::MIN`, so a
+    /// saturating `+ m·g2` leaves it at `i16::MIN`, below every true value
+    /// (which the row gate keeps `≥ −15024`) — it loses every `max`.
+    const SENTINEL16: i16 = i16::MIN;
+
+    #[inline(always)]
+    unsafe fn load128i32(s: &[i32], at: usize) -> __m128i {
+        debug_assert!(at + 4 <= s.len());
+        _mm_loadu_si128(s.as_ptr().add(at) as *const __m128i)
+    }
+
+    #[inline(always)]
+    unsafe fn load256i32(s: &[i32], at: usize) -> __m256i {
+        debug_assert!(at + 8 <= s.len());
+        _mm256_loadu_si256(s.as_ptr().add(at) as *const __m256i)
+    }
+
+    #[inline(always)]
+    unsafe fn load128i16(s: &[i16], at: usize) -> __m128i {
+        debug_assert!(at + 8 <= s.len());
+        _mm_loadu_si128(s.as_ptr().add(at) as *const __m128i)
+    }
+
+    #[inline(always)]
+    unsafe fn load256i16(s: &[i16], at: usize) -> __m256i {
+        debug_assert!(at + 16 <= s.len());
+        _mm256_loadu_si256(s.as_ptr().add(at) as *const __m256i)
+    }
+
+    /// Widen 8 `i16` lanes to two stores of 4 `i32` (sign-extension via
+    /// compare + unpack: `pmovsxwd` needs SSE4.1, this is plain SSE2).
+    #[inline(always)]
+    unsafe fn store_widened_sse2(v: __m128i, out: *mut i32) {
+        let sign = _mm_cmpgt_epi16(_mm_setzero_si128(), v);
+        _mm_storeu_si128(out as *mut __m128i, _mm_unpacklo_epi16(v, sign));
+        _mm_storeu_si128(out.add(4) as *mut __m128i, _mm_unpackhi_epi16(v, sign));
+    }
+
+    /// Widen 16 `i16` lanes to two stores of 8 `i32`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_widened_avx2(v: __m256i, out: *mut i32) {
+        let lo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(v));
+        let hi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256::<1>(v));
+        _mm256_storeu_si256(out as *mut __m256i, lo);
+        _mm256_storeu_si256(out.add(8) as *mut __m256i, hi);
+    }
+
+    /// True when the accumulated lane minima/maxima stay inside the
+    /// predecessor bound.
+    #[inline(always)]
+    unsafe fn minmax_ok_128(vmin: __m128i, vmax: __m128i) -> bool {
+        let mut lo = [0i16; 8];
+        let mut hi = [0i16; 8];
+        _mm_storeu_si128(lo.as_mut_ptr() as *mut __m128i, vmin);
+        _mm_storeu_si128(hi.as_mut_ptr() as *mut __m128i, vmax);
+        lo.iter().all(|&v| i32::from(v) >= -I16_PRED_BOUND)
+            && hi.iter().all(|&v| i32::from(v) <= I16_PRED_BOUND)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn minmax_ok_256(vmin: __m256i, vmax: __m256i) -> bool {
+        let mut lo = [0i16; 16];
+        let mut hi = [0i16; 16];
+        _mm256_storeu_si256(lo.as_mut_ptr() as *mut __m256i, vmin);
+        _mm256_storeu_si256(hi.as_mut_ptr() as *mut __m256i, vmax);
+        lo.iter().all(|&v| i32::from(v) >= -I16_PRED_BOUND)
+            && hi.iter().all(|&v| i32::from(v) <= I16_PRED_BOUND)
+    }
+
+    /// Slab row, 8 `i16` lanes: saturating independent terms + 3-step
+    /// max-plus scan. Returns `(next_k, outputs_in_range)`; the caller runs
+    /// the `i32` reference tail from `next_k`.
+    pub(super) unsafe fn slab_row_i16_sse2(
+        row: &SlabRowI16<'_>,
+        cur_j: &mut [i32],
+        out16: &mut [i16],
+    ) -> (usize, bool) {
+        let n3 = row.pair.len();
+        let g2 = i32::from(row.g2);
+        let vg2 = _mm_set1_epi16(row.g2);
+        let vsab = _mm_set1_epi16(row.sab);
+        let vsabg2 = _mm_set1_epi16((i32::from(row.sab) + g2) as i16);
+        let vincr2 = _mm_set1_epi16((2 * g2) as i16);
+        let vincr4 = _mm_set1_epi16((4 * g2) as i16);
+        let s = SENTINEL16;
+        let sent1 = _mm_set_epi16(0, 0, 0, 0, 0, 0, 0, s);
+        let sent2 = _mm_set_epi16(0, 0, 0, 0, 0, 0, s, s);
+        let sent4 = _mm_set_epi16(0, 0, 0, 0, s, s, s, s);
+        let ramp = _mm_set_epi16(
+            (8 * g2) as i16,
+            (7 * g2) as i16,
+            (6 * g2) as i16,
+            (5 * g2) as i16,
+            (4 * g2) as i16,
+            (3 * g2) as i16,
+            (2 * g2) as i16,
+            g2 as i16,
+        );
+        let mut vmin = _mm_set1_epi16(i16::MAX);
+        let mut vmax = _mm_set1_epi16(i16::MIN);
+        let mut carry = out16[0];
+        let mut k = 1usize;
+        while k + 8 <= n3 + 1 {
+            let o = k - 1;
+            let p111 = _mm_adds_epi16(
+                _mm_adds_epi16(load128i16(row.prev_j1, o), load128i16(row.pair, o)),
+                vsab,
+            );
+            let p110 = _mm_adds_epi16(load128i16(row.prev_j1, k), vsabg2);
+            let p101 = _mm_adds_epi16(load128i16(row.prev_j, o), load128i16(row.acg2, o));
+            let p011 = _mm_adds_epi16(load128i16(row.cur_j1, o), load128i16(row.bcg2, o));
+            let pair = _mm_adds_epi16(
+                _mm_max_epi16(load128i16(row.prev_j, k), load128i16(row.cur_j1, k)),
+                vg2,
+            );
+            let mut v = _mm_max_epi16(
+                _mm_max_epi16(p111, p110),
+                _mm_max_epi16(_mm_max_epi16(p101, p011), pair),
+            );
+            // Inclusive max-plus scan over 8 lanes (shift 1, 2, 4) …
+            let sh1 = _mm_or_si128(_mm_slli_si128::<2>(v), sent1);
+            v = _mm_max_epi16(v, _mm_adds_epi16(sh1, vg2));
+            let sh2 = _mm_or_si128(_mm_slli_si128::<4>(v), sent2);
+            v = _mm_max_epi16(v, _mm_adds_epi16(sh2, vincr2));
+            let sh4 = _mm_or_si128(_mm_slli_si128::<8>(v), sent4);
+            v = _mm_max_epi16(v, _mm_adds_epi16(sh4, vincr4));
+            // … then the carry chain from the previous block.
+            v = _mm_max_epi16(v, _mm_adds_epi16(_mm_set1_epi16(carry), ramp));
+            _mm_storeu_si128(out16.as_mut_ptr().add(k) as *mut __m128i, v);
+            store_widened_sse2(v, cur_j.as_mut_ptr().add(k));
+            vmin = _mm_min_epi16(vmin, v);
+            vmax = _mm_max_epi16(vmax, v);
+            carry = out16[k + 7];
+            k += 8;
+        }
+        (k, minmax_ok_128(vmin, vmax))
+    }
+
+    /// Slab row, 16 `i16` lanes (4-step scan). Cross-lane shifts use the
+    /// `permute2x128` + `alignr` idiom; vacated lanes arrive as zeros and
+    /// are OR-rewritten to the sentinel (`0x8000`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn slab_row_i16_avx2(
+        row: &SlabRowI16<'_>,
+        cur_j: &mut [i32],
+        out16: &mut [i16],
+    ) -> (usize, bool) {
+        let n3 = row.pair.len();
+        let g2 = i32::from(row.g2);
+        let vg2 = _mm256_set1_epi16(row.g2);
+        let vsab = _mm256_set1_epi16(row.sab);
+        let vsabg2 = _mm256_set1_epi16((i32::from(row.sab) + g2) as i16);
+        let vincr2 = _mm256_set1_epi16((2 * g2) as i16);
+        let vincr4 = _mm256_set1_epi16((4 * g2) as i16);
+        let vincr8 = _mm256_set1_epi16((8 * g2) as i16);
+        let s = SENTINEL16;
+        let sent1 = _mm256_set_epi16(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, s);
+        let sent2 = _mm256_set_epi16(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, s, s);
+        let sent4 = _mm256_set_epi16(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, s, s, s, s);
+        let sent8 = _mm256_set_epi16(0, 0, 0, 0, 0, 0, 0, 0, s, s, s, s, s, s, s, s);
+        let ramp = _mm256_set_epi16(
+            (16 * g2) as i16,
+            (15 * g2) as i16,
+            (14 * g2) as i16,
+            (13 * g2) as i16,
+            (12 * g2) as i16,
+            (11 * g2) as i16,
+            (10 * g2) as i16,
+            (9 * g2) as i16,
+            (8 * g2) as i16,
+            (7 * g2) as i16,
+            (6 * g2) as i16,
+            (5 * g2) as i16,
+            (4 * g2) as i16,
+            (3 * g2) as i16,
+            (2 * g2) as i16,
+            g2 as i16,
+        );
+        let mut vmin = _mm256_set1_epi16(i16::MAX);
+        let mut vmax = _mm256_set1_epi16(i16::MIN);
+        let mut carry = out16[0];
+        let mut k = 1usize;
+        while k + 16 <= n3 + 1 {
+            let o = k - 1;
+            let p111 = _mm256_adds_epi16(
+                _mm256_adds_epi16(load256i16(row.prev_j1, o), load256i16(row.pair, o)),
+                vsab,
+            );
+            let p110 = _mm256_adds_epi16(load256i16(row.prev_j1, k), vsabg2);
+            let p101 = _mm256_adds_epi16(load256i16(row.prev_j, o), load256i16(row.acg2, o));
+            let p011 = _mm256_adds_epi16(load256i16(row.cur_j1, o), load256i16(row.bcg2, o));
+            let pair = _mm256_adds_epi16(
+                _mm256_max_epi16(load256i16(row.prev_j, k), load256i16(row.cur_j1, k)),
+                vg2,
+            );
+            let mut v = _mm256_max_epi16(
+                _mm256_max_epi16(p111, p110),
+                _mm256_max_epi16(_mm256_max_epi16(p101, p011), pair),
+            );
+            // Inclusive max-plus scan: shift by 1, 2, 4, then 8 lanes.
+            let low = _mm256_permute2x128_si256::<0x08>(v, v);
+            let sh1 = _mm256_or_si256(_mm256_alignr_epi8::<14>(v, low), sent1);
+            v = _mm256_max_epi16(v, _mm256_adds_epi16(sh1, vg2));
+            let low = _mm256_permute2x128_si256::<0x08>(v, v);
+            let sh2 = _mm256_or_si256(_mm256_alignr_epi8::<12>(v, low), sent2);
+            v = _mm256_max_epi16(v, _mm256_adds_epi16(sh2, vincr2));
+            let low = _mm256_permute2x128_si256::<0x08>(v, v);
+            let sh4 = _mm256_or_si256(_mm256_alignr_epi8::<8>(v, low), sent4);
+            v = _mm256_max_epi16(v, _mm256_adds_epi16(sh4, vincr4));
+            let low = _mm256_permute2x128_si256::<0x08>(v, v);
+            let sh8 = _mm256_or_si256(low, sent8);
+            v = _mm256_max_epi16(v, _mm256_adds_epi16(sh8, vincr8));
+            v = _mm256_max_epi16(v, _mm256_adds_epi16(_mm256_set1_epi16(carry), ramp));
+            _mm256_storeu_si256(out16.as_mut_ptr().add(k) as *mut __m256i, v);
+            store_widened_avx2(v, cur_j.as_mut_ptr().add(k));
+            vmin = _mm256_min_epi16(vmin, v);
+            vmax = _mm256_max_epi16(vmax, v);
+            carry = out16[k + 15];
+            k += 16;
+        }
+        (k, minmax_ok_256(vmin, vmax))
+    }
+
+    /// Plane row, 8 `i16` lanes: element-wise seven-way max.
+    pub(super) unsafe fn plane_row_i16_sse2(
+        row: &PlaneRowI16<'_>,
+        out: &mut [i32],
+        out16: &mut [i16],
+    ) -> (usize, bool) {
+        let vg2 = _mm_set1_epi16(row.g2);
+        let mut vmin = _mm_set1_epi16(i16::MAX);
+        let mut vmax = _mm_set1_epi16(i16::MIN);
+        let mut x = 0usize;
+        while x + 8 <= out.len() {
+            let diag = _mm_max_epi16(
+                _mm_max_epi16(
+                    _mm_adds_epi16(load128i16(row.p3_111, x), load128i16(row.t111, x)),
+                    _mm_adds_epi16(load128i16(row.p2_110, x), load128i16(row.t110, x)),
+                ),
+                _mm_max_epi16(
+                    _mm_adds_epi16(load128i16(row.p2_101, x), load128i16(row.t101, x)),
+                    _mm_adds_epi16(load128i16(row.p2_011, x), load128i16(row.t011, x)),
+                ),
+            );
+            let single = _mm_adds_epi16(
+                _mm_max_epi16(
+                    _mm_max_epi16(load128i16(row.p1_100, x), load128i16(row.p1_010, x)),
+                    load128i16(row.p1_001, x),
+                ),
+                vg2,
+            );
+            let v = _mm_max_epi16(diag, single);
+            _mm_storeu_si128(out16.as_mut_ptr().add(x) as *mut __m128i, v);
+            store_widened_sse2(v, out.as_mut_ptr().add(x));
+            vmin = _mm_min_epi16(vmin, v);
+            vmax = _mm_max_epi16(vmax, v);
+            x += 8;
+        }
+        (x, minmax_ok_128(vmin, vmax))
+    }
+
+    /// Plane row, 16 `i16` lanes.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn plane_row_i16_avx2(
+        row: &PlaneRowI16<'_>,
+        out: &mut [i32],
+        out16: &mut [i16],
+    ) -> (usize, bool) {
+        let vg2 = _mm256_set1_epi16(row.g2);
+        let mut vmin = _mm256_set1_epi16(i16::MAX);
+        let mut vmax = _mm256_set1_epi16(i16::MIN);
+        let mut x = 0usize;
+        while x + 16 <= out.len() {
+            let diag = _mm256_max_epi16(
+                _mm256_max_epi16(
+                    _mm256_adds_epi16(load256i16(row.p3_111, x), load256i16(row.t111, x)),
+                    _mm256_adds_epi16(load256i16(row.p2_110, x), load256i16(row.t110, x)),
+                ),
+                _mm256_max_epi16(
+                    _mm256_adds_epi16(load256i16(row.p2_101, x), load256i16(row.t101, x)),
+                    _mm256_adds_epi16(load256i16(row.p2_011, x), load256i16(row.t011, x)),
+                ),
+            );
+            let single = _mm256_adds_epi16(
+                _mm256_max_epi16(
+                    _mm256_max_epi16(load256i16(row.p1_100, x), load256i16(row.p1_010, x)),
+                    load256i16(row.p1_001, x),
+                ),
+                vg2,
+            );
+            let v = _mm256_max_epi16(diag, single);
+            _mm256_storeu_si256(out16.as_mut_ptr().add(x) as *mut __m256i, v);
+            store_widened_avx2(v, out.as_mut_ptr().add(x));
+            vmin = _mm256_min_epi16(vmin, v);
+            vmax = _mm256_max_epi16(vmax, v);
+            x += 16;
+        }
+        (x, minmax_ok_256(vmin, vmax))
+    }
+
+    /// Narrow a run of `i32` to `i16` with `packssdw` saturation,
+    /// accumulating the range check.
+    pub(super) unsafe fn narrow_sse2(src: &[i32], dst: &mut [i16]) -> (usize, bool) {
+        let mut vmin = _mm_set1_epi16(i16::MAX);
+        let mut vmax = _mm_set1_epi16(i16::MIN);
+        let mut x = 0usize;
+        while x + 8 <= src.len() {
+            let v = _mm_packs_epi32(load128i32(src, x), load128i32(src, x + 4));
+            _mm_storeu_si128(dst.as_mut_ptr().add(x) as *mut __m128i, v);
+            vmin = _mm_min_epi16(vmin, v);
+            vmax = _mm_max_epi16(vmax, v);
+            x += 8;
+        }
+        (x, minmax_ok_128(vmin, vmax))
+    }
+
+    /// 16-wide narrowing (`vpackssdw` interleaves 128-bit halves; the
+    /// `permute4x64` restores element order). Out-of-range `i32` values
+    /// saturate past the predecessor bound, so the check still sees them.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn narrow_avx2(src: &[i32], dst: &mut [i16]) -> (usize, bool) {
+        let mut vmin = _mm256_set1_epi16(i16::MAX);
+        let mut vmax = _mm256_set1_epi16(i16::MIN);
+        let mut x = 0usize;
+        while x + 16 <= src.len() {
+            let packed = _mm256_packs_epi32(load256i32(src, x), load256i32(src, x + 8));
+            let v = _mm256_permute4x64_epi64::<0xD8>(packed);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(x) as *mut __m256i, v);
+            vmin = _mm256_min_epi16(vmin, v);
+            vmax = _mm256_max_epi16(vmax, v);
+            x += 16;
+        }
+        (x, minmax_ok_256(vmin, vmax))
+    }
+
+    /// Build one DNA pair row by shuffling a 4-entry `i16` LUT: codes map
+    /// to byte-pair indices `(2c, 2c+1)` and one `vpshufb` materializes 16
+    /// `i16` values per step.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pair_row_avx2(codes: &[u8], lut: &[i16; 4]) -> Box<[i16]> {
+        let mut out = vec![0i16; codes.len()];
+        let mut bytes = [0u8; 8];
+        for (i, &v) in lut.iter().enumerate() {
+            bytes[2 * i..2 * i + 2].copy_from_slice(&v.to_le_bytes());
+        }
+        let vlut = _mm256_set1_epi64x(i64::from_le_bytes(bytes));
+        let scale = _mm256_set1_epi16(0x0202);
+        let base = _mm256_set1_epi16(0x0100);
+        let mut x = 0usize;
+        while x + 16 <= codes.len() {
+            let c8 = _mm_loadu_si128(codes.as_ptr().add(x) as *const __m128i);
+            let c16 = _mm256_cvtepu8_epi16(c8);
+            // Each i16 lane becomes the byte pair (2c, 2c+1): 514·c + 256.
+            let idx = _mm256_add_epi16(_mm256_mullo_epi16(c16, scale), base);
+            let v = _mm256_shuffle_epi8(vlut, idx);
+            _mm256_storeu_si256(out.as_mut_ptr().add(x) as *mut __m256i, v);
+            x += 16;
+        }
+        for (slot, &c) in out.iter_mut().zip(codes.iter()).skip(x) {
+            *slot = lut[c as usize];
+        }
+        out.into_boxed_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{plane_row, PlaneRow, SimdKernel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn i16_kernels() -> Vec<ResolvedKernel> {
+        let mut ks = vec![SimdKernel::Sse2I16.resolve()];
+        if SimdKernel::Avx2I16.is_native() {
+            ks.push(SimdKernel::Avx2I16.resolve());
+        }
+        ks.dedup();
+        ks
+    }
+
+    fn narrowed(src: &[i32]) -> Vec<i16> {
+        src.iter().map(|&v| v as i16).collect()
+    }
+
+    #[test]
+    fn narrow_row_detects_out_of_range() {
+        let mut rng = StdRng::seed_from_u64(0x17_0001);
+        for trial in 0..200 {
+            let len = rng.gen_range(0..50);
+            let poison = rng.gen_bool(0.3);
+            let src: Vec<i32> = (0..len)
+                .map(|_| {
+                    if poison && rng.gen_range(0..10) == 0 {
+                        rng.gen_range(I16_PRED_BOUND + 1..1_000_000)
+                            * [1, -1][rng.gen_range(0..2usize)]
+                    } else {
+                        rng.gen_range(-I16_PRED_BOUND..=I16_PRED_BOUND)
+                    }
+                })
+                .collect();
+            let want_ok = src.iter().all(|&v| fits_i16(v));
+            for rk in i16_kernels() {
+                let mut dst = vec![0i16; len];
+                let ok = narrow_row(rk, &src, &mut dst);
+                assert_eq!(ok, want_ok, "trial {trial}, kernel {rk}");
+                if ok {
+                    assert_eq!(dst, narrowed(&src), "trial {trial}, kernel {rk}");
+                }
+            }
+        }
+    }
+
+    /// Random in-gate slab rows: the narrow kernel must equal the scalar
+    /// `i32` reference bit for bit and judge its output range correctly.
+    #[test]
+    fn slab_row_i16_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(0x17_0002);
+        for trial in 0..300 {
+            let n3 = rng.gen_range(0..60);
+            let w3 = n3 + 1;
+            let g2 = rng.gen_range(-40..=0);
+            let sab = rng.gen_range(-1024..=1024);
+            let mut terms =
+                |n: usize| -> Vec<i32> { (0..n).map(|_| rng.gen_range(-1024..=1024)).collect() };
+            let sac = terms(n3);
+            let sbc = terms(n3);
+            let mut preds = |n: usize| -> Vec<i32> {
+                (0..n)
+                    .map(|_| rng.gen_range(-I16_PRED_BOUND..=I16_PRED_BOUND))
+                    .collect()
+            };
+            let prev_j1 = preds(w3);
+            let prev_j = preds(w3);
+            let cur_j1 = preds(w3);
+            let seed = rng.gen_range(-I16_PRED_BOUND..=I16_PRED_BOUND);
+            let row32 = SlabRow {
+                g2,
+                sab,
+                sac: &sac,
+                sbc: &sbc,
+                prev_j1: &prev_j1,
+                prev_j: &prev_j,
+                cur_j1: &cur_j1,
+            };
+            let mut want = vec![0; w3];
+            want[0] = seed;
+            slab_row(SimdKernel::Scalar.resolve(), &row32, &mut want);
+            let pair: Vec<i16> = sac
+                .iter()
+                .zip(sbc.iter())
+                .map(|(&a, &b)| (a + b) as i16)
+                .collect();
+            let acg2: Vec<i16> = sac.iter().map(|&v| (v + g2) as i16).collect();
+            let bcg2: Vec<i16> = sbc.iter().map(|&v| (v + g2) as i16).collect();
+            let (m1, m2, m3) = (narrowed(&prev_j1), narrowed(&prev_j), narrowed(&cur_j1));
+            for rk in i16_kernels() {
+                let row16 = SlabRowI16 {
+                    g2: g2 as i16,
+                    sab: sab as i16,
+                    pair: &pair,
+                    acg2: &acg2,
+                    bcg2: &bcg2,
+                    prev_j1: &m1,
+                    prev_j: &m2,
+                    cur_j1: &m3,
+                };
+                let mut got = vec![0; w3];
+                got[0] = seed;
+                let mut out16 = vec![0i16; w3];
+                out16[0] = seed as i16;
+                let ok = slab_row_i16(rk, &row16, &row32, &mut got, &mut out16);
+                assert_eq!(got, want, "trial {trial}, kernel {rk}");
+                assert_eq!(out16, narrowed(&want), "trial {trial}, kernel {rk}");
+                assert_eq!(
+                    ok,
+                    want[1..].iter().all(|&v| fits_i16(v)),
+                    "trial {trial}, kernel {rk}"
+                );
+            }
+        }
+    }
+
+    /// Drive the full mirror state machine over chained rows, with scores
+    /// hot enough to cross the predecessor bound mid-slab: outputs must
+    /// stay bit-identical to the reference through fallback and back.
+    #[test]
+    fn slab_i16_state_machine_survives_range_crossings() {
+        let scoring = Scoring::dna_default();
+        let mut rng = StdRng::seed_from_u64(0x17_0003);
+        for trial in 0..40 {
+            let n3 = rng.gen_range(1..40);
+            let w3 = n3 + 1;
+            let seqlen = |rng: &mut StdRng, n: usize| -> Vec<u8> {
+                (0..n).map(|_| b"ACGT"[rng.gen_range(0..4usize)]).collect()
+            };
+            let (a1, b1) = (seqlen(&mut rng, 6), seqlen(&mut rng, 8));
+            let c1 = seqlen(&mut rng, n3);
+            let prof = I16Profiles::new(&scoring, &a1, &b1, &c1).expect("dna scoring is gated in");
+            for rk in i16_kernels() {
+                let mut s = SlabI16::new(w3);
+                // Hot rows push values far outside ±I16_PRED_BOUND and
+                // back, exercising fallback, re-narrowing, and recovery.
+                let mut spread = 2000i32;
+                let mut prev_rows: Vec<Vec<i32>> = Vec::new();
+                for _ in 0..10 {
+                    prev_rows.push((0..w3).map(|_| rng.gen_range(-spread..=spread)).collect());
+                    spread = if rng.gen_bool(0.3) { 40_000 } else { 2000 };
+                }
+                s.begin_slab();
+                let mut cur_prev: Vec<i32> = (0..w3).map(|_| rng.gen_range(-2000..=2000)).collect();
+                for j in 1..prev_rows.len() {
+                    let ai = a1[rng.gen_range(0..a1.len())];
+                    let bj = b1[rng.gen_range(0..b1.len())];
+                    let sac = prof_row_i32(&scoring, ai, &c1);
+                    let sbc = prof_row_i32(&scoring, bj, &c1);
+                    let row32 = SlabRow {
+                        g2: 2 * scoring.gap_linear(),
+                        sab: scoring.sub(ai, bj),
+                        sac: &sac,
+                        sbc: &sbc,
+                        prev_j1: &prev_rows[j - 1],
+                        prev_j: &prev_rows[j],
+                        cur_j1: &cur_prev,
+                    };
+                    let seed = rng.gen_range(-2000..=2000);
+                    let mut want = vec![0; w3];
+                    want[0] = seed;
+                    slab_row(SimdKernel::Scalar.resolve(), &row32, &mut want);
+                    let mut got = vec![0; w3];
+                    got[0] = seed;
+                    let sel = RowSel {
+                        prof: &prof,
+                        ai,
+                        bj,
+                        k_off: 0,
+                    };
+                    s.row(rk, &sel, &row32, &mut got);
+                    assert_eq!(got, want, "trial {trial}, row {j}, kernel {rk}");
+                    cur_prev = got;
+                }
+            }
+        }
+    }
+
+    fn prof_row_i32(scoring: &Scoring, r: u8, seq: &[u8]) -> Vec<i32> {
+        seq.iter().map(|&x| scoring.sub(r, x)).collect()
+    }
+
+    #[test]
+    fn plane_row_i16_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(0x17_0004);
+        for trial in 0..300 {
+            let len = rng.gen_range(0..60);
+            let g2 = rng.gen_range(-40..=0);
+            let mut terms = |bound: i32| -> Vec<i32> {
+                (0..len).map(|_| rng.gen_range(-bound..=bound)).collect()
+            };
+            let (t111, t110, t101, t011) = (terms(3072), terms(2048), terms(2048), terms(2048));
+            let mut preds = || -> Vec<i32> {
+                (0..len)
+                    .map(|_| rng.gen_range(-I16_PRED_BOUND..=I16_PRED_BOUND))
+                    .collect()
+            };
+            let (p3, p2a, p2b, p2c) = (preds(), preds(), preds(), preds());
+            let (p1a, p1b, p1c) = (preds(), preds(), preds());
+            let row32 = PlaneRow {
+                g2,
+                t111: &t111,
+                t110: &t110,
+                t101: &t101,
+                t011: &t011,
+                p3_111: &p3,
+                p2_110: &p2a,
+                p2_101: &p2b,
+                p2_011: &p2c,
+                p1_100: &p1a,
+                p1_010: &p1b,
+                p1_001: &p1c,
+            };
+            let mut want = vec![0; len];
+            plane_row(SimdKernel::Scalar.resolve(), &row32, &mut want);
+            let nt = narrowed;
+            let (t111s, t110s, t101s, t011s) = (nt(&t111), nt(&t110), nt(&t101), nt(&t011));
+            let (p3s, p2as, p2bs, p2cs) = (nt(&p3), nt(&p2a), nt(&p2b), nt(&p2c));
+            let (p1as, p1bs, p1cs) = (nt(&p1a), nt(&p1b), nt(&p1c));
+            for rk in i16_kernels() {
+                let row16 = PlaneRowI16 {
+                    g2: g2 as i16,
+                    t111: &t111s,
+                    t110: &t110s,
+                    t101: &t101s,
+                    t011: &t011s,
+                    p3_111: &p3s,
+                    p2_110: &p2as,
+                    p2_101: &p2bs,
+                    p2_011: &p2cs,
+                    p1_100: &p1as,
+                    p1_010: &p1bs,
+                    p1_001: &p1cs,
+                };
+                let mut got = vec![0; len];
+                let mut out16 = vec![0i16; len];
+                let ok = plane_row_i16(rk, &row16, &mut got, &mut out16);
+                assert_eq!(got, want, "trial {trial}, kernel {rk}");
+                assert_eq!(out16, narrowed(&want), "trial {trial}, kernel {rk}");
+                assert_eq!(
+                    ok,
+                    want.iter().all(|&v| fits_i16(v)),
+                    "trial {trial}, kernel {rk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_gate_vets_the_scoring() {
+        use tsa_scoring::{GapModel, SubstMatrix};
+        // DNA and protein presets all fit the term bound.
+        let dna = I16Profiles::new(&Scoring::dna_default(), b"ACGT", b"ACGT", b"ACGT");
+        assert!(dna.as_ref().is_some_and(|p| p.is_dna()));
+        let blosum = I16Profiles::new(&Scoring::blosum62(), b"ARND", b"NDCQ", b"QEGH");
+        assert!(blosum.as_ref().is_some_and(|p| !p.is_dna()));
+        // A matrix with entries past the term bound is rejected …
+        let hot = Scoring::new(
+            SubstMatrix::from_fn(
+                "hot",
+                |a, b| if a == b'T' || b == b'T' { 30_000 } else { 1 },
+            ),
+            GapModel::linear(-2),
+        );
+        assert!(I16Profiles::new(&hot, b"ACGT", b"ACGT", b"ACGT").is_none());
+        // … but only when the offending residues actually occur.
+        assert!(I16Profiles::new(&hot, b"ACG", b"ACG", b"ACG").is_some());
+        // Gap penalties past the term bound, or rewarding gaps, also bail.
+        let wide_gap = Scoring::dna_default().with_gap(GapModel::linear(-600));
+        assert!(I16Profiles::new(&wide_gap, b"AC", b"AC", b"AC").is_none());
+        let positive_gap = Scoring::dna_default().with_gap(GapModel::linear(1));
+        assert!(I16Profiles::new(&positive_gap, b"AC", b"AC", b"AC").is_none());
+    }
+
+    #[test]
+    fn dna_pair_rows_match_the_table() {
+        let scoring = Scoring::dna_default();
+        let mut rng = StdRng::seed_from_u64(0x17_0005);
+        let c: Vec<u8> = (0..100)
+            .map(|_| b"ACGT"[rng.gen_range(0..4usize)])
+            .collect();
+        let prof = I16Profiles::new(&scoring, b"ACGT", b"ACGT", &c).unwrap();
+        let d = prof.dna.as_ref().unwrap();
+        for ca in 0..4u8 {
+            for cb in 0..4u8 {
+                let row = &d.pairs[((ca << 2) | cb) as usize];
+                assert_eq!(row.len(), c.len());
+                for (k, &v) in row.iter().enumerate() {
+                    let want =
+                        scoring.sub(dna_letter(ca), c[k]) + scoring.sub(dna_letter(cb), c[k]);
+                    assert_eq!(i32::from(v), want, "pair ({ca},{cb}) at {k}");
+                }
+            }
+        }
+        // Mixed-alphabet input keeps the generic path.
+        let prof = I16Profiles::new(&scoring, b"ACGN", b"ACGT", &c).unwrap();
+        assert!(!prof.is_dna());
+    }
+
+    #[test]
+    fn shadows_track_validity_per_slot() {
+        let sh = PlaneShadows::new(16);
+        assert!(!sh.preds_valid(3));
+        for d in 0..3 {
+            sh.begin_plane(d);
+            sh.record(d, true);
+        }
+        assert!(sh.preds_valid(3));
+        assert!(!sh.preds_valid(2)); // d < 3 never qualifies
+        sh.begin_plane(3);
+        sh.record(3, false);
+        sh.record(3, true); // a later in-range row must not revalidate
+        assert!(!sh.preds_valid(4));
+        unsafe {
+            sh.buf(3).set(5, 123i16);
+            assert_eq!(sh.buf(3).get(5), 123);
+            assert_eq!(sh.buf(7).get(5), 123); // slot is d mod 4
+        }
+    }
+}

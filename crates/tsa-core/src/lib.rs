@@ -10,6 +10,7 @@
 //! | [`wavefront`] | plane-parallel DP (rayon) | score + alignment | `O(n³/P)` | `O(n³)` |
 //! | [`blocked`] | tiled wavefront DP (barrier or dataflow) | score + alignment | `O(n³/P)` | `O(n³)` |
 //! | [`score_only`] | rolling-planes DP, sequential or parallel | score | `O(n³)` | `O(n²)` |
+//! | [`tiled`] | `t×t×t` tile-wavefront DP (rayon over tile planes, SIMD rows inside tiles) | score | `O(n³/P)` | `O(n³)` |
 //! | [`hirschberg3`] | 3D divide & conquer, sequential or parallel | score + alignment | `≤ 2·O(n³)` | `O(n²)` |
 //! | [`affine`] | quasi-natural affine-gap DP (Gotoh-style, 7 gap states) | score + alignment | `O(7²·n³)` | `O(7·n³)` |
 //! | [`carrillo_lipman`] | bound-pruned DP (skips cells no optimal path can cross) | score + alignment | `≪ O(n³)` for similar inputs | `O(n³)` |
@@ -49,9 +50,11 @@ pub mod format;
 pub mod full;
 pub mod hirschberg3;
 pub mod kernel;
+mod kernel_i16;
 pub mod local;
 pub mod score_only;
 pub mod stats;
+pub mod tiled;
 pub mod wavefront;
 
 pub use aligner::{Algorithm, AlignError, Aligner};

@@ -29,6 +29,9 @@ use crate::dp::{Kernel, NEG_INF};
 use crate::kernel::{
     plane_row, slab_row, PlaneRow, PlaneScratch, Profiles, ResolvedKernel, SimdKernel, SlabRow,
 };
+use crate::kernel_i16::{
+    fits_i16, narrow_row, plane_row_i16, I16Profiles, PlaneRowI16, PlaneShadows, RowSel, SlabI16,
+};
 use rayon::prelude::*;
 use tsa_scoring::Scoring;
 use tsa_seq::Seq;
@@ -114,6 +117,8 @@ fn forward_face_impl(
     let w3 = n3 + 1;
     let slab_len = (n2 + 1) * w3;
     let prof = slab_profiles(a, b, c, scoring, rk);
+    let prof16 = i16_profiles(a, b, c, scoring, rk);
+    let mut slab16 = prof16.as_ref().map(|_| SlabI16::new(w3));
     let mut prev: Vec<i32> = vec![NEG_INF; slab_len];
     let mut cur: Vec<i32> = vec![NEG_INF; slab_len];
     for i in 0..=n1 {
@@ -136,6 +141,8 @@ fn forward_face_impl(
             &mut cur,
             rk,
             prof.as_ref(),
+            prof16.as_ref(),
+            &mut slab16,
         );
         if i < n1 {
             std::mem::swap(&mut prev, &mut cur);
@@ -156,13 +163,30 @@ fn slab_profiles(
     (!rk.is_scalar()).then(|| Profiles::new(scoring, a.residues(), b.residues(), c.residues()))
 }
 
+/// Narrowed `i16` profiles — only for an `i16` kernel, and only when the
+/// scoring passes the narrow-range gate. `None` keeps the `i32` kernels
+/// (an `i16` [`ResolvedKernel`] then dispatches to its widened sibling).
+fn i16_profiles(
+    a: &Seq,
+    b: &Seq,
+    c: &Seq,
+    scoring: &Scoring,
+    rk: ResolvedKernel,
+) -> Option<I16Profiles> {
+    rk.is_i16()
+        .then(|| I16Profiles::new(scoring, a.residues(), b.residues(), c.residues()))
+        .flatten()
+}
+
 /// Compute slab `i` into `cur`, reading slab `i−1` from `prev`. Every cell
 /// of `cur` is overwritten; its previous contents are never read, so a
 /// stale (or freshly restored) `cur` buffer is fine.
 ///
 /// `rk` selects the inner row kernel; the scalar arm below is the
 /// reference the SIMD rows are property-tested against, and `prof` is only
-/// consulted (and only `Some`) on the SIMD arms.
+/// consulted (and only `Some`) on the SIMD arms. `prof16`/`slab16` arm the
+/// saturating `i16` row path (they are `Some` together); its per-row
+/// fallback keeps the output bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 fn compute_slab(
     kernel: &Kernel<'_>,
@@ -175,7 +199,12 @@ fn compute_slab(
     cur: &mut [i32],
     rk: ResolvedKernel,
     prof: Option<&Profiles>,
+    prof16: Option<&I16Profiles>,
+    slab16: &mut Option<SlabI16>,
 ) {
+    if let Some(s16) = slab16.as_mut() {
+        s16.begin_slab();
+    }
     let (_n1, n2, n3) = kernel.lens();
     let (ra, rb, rc) = (a.residues(), b.residues(), c.residues());
     let g2 = 2 * scoring.gap_linear();
@@ -222,7 +251,18 @@ fn compute_slab(
                     prev_j: &prev[b10..b10 + w3],
                     cur_j1: &done[b01..b01 + w3],
                 };
-                slab_row(rk, &row, &mut open[..w3]);
+                match (prof16, slab16.as_mut()) {
+                    (Some(p16), Some(s16)) => {
+                        let sel = RowSel {
+                            prof: p16,
+                            ai,
+                            bj,
+                            k_off: 0,
+                        };
+                        s16.row(rk, &sel, &row, &mut open[..w3]);
+                    }
+                    _ => slab_row(rk, &row, &mut open[..w3]),
+                }
             }
             _ => {
                 for k in 1..=n3 {
@@ -279,9 +319,11 @@ pub fn score_slabs_durable_with(
 ) -> Result<i32, DurableStop> {
     let rk = simd.resolve();
     let prof = slab_profiles(a, b, c, scoring, rk);
+    let prof16 = i16_profiles(a, b, c, scoring, rk);
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let w3 = n3 + 1;
+    let mut slab16 = prof16.as_ref().map(|_| SlabI16::new(w3));
     let slab_len = (n2 + 1) * w3;
     let fp = job_fingerprint(a, b, c, scoring, KernelKind::Slabs);
     let total = ((n1 + 1) * slab_len) as u64;
@@ -326,6 +368,8 @@ pub fn score_slabs_durable_with(
             &mut cur,
             rk,
             prof.as_ref(),
+            prof16.as_ref(),
+            &mut slab16,
         );
         cells_done += slab_len as u64;
         if i < n1 {
@@ -517,6 +561,8 @@ fn planes_pass(
     let w2 = n2 + 1;
     let slot = |i: usize, j: usize| i * w2 + j;
     let prof = slab_profiles(a, b, c, scoring, rk);
+    let prof16 = i16_profiles(a, b, c, scoring, rk);
+    let shadows = prof16.as_ref().map(|_| PlaneShadows::new((n1 + 1) * w2));
 
     // Four rotating plane buffers indexed by (i, j); the k of a stored
     // value is implied by its plane: k = d − i − j.
@@ -533,6 +579,8 @@ fn planes_pass(
         w2,
         rk,
         prof: prof.as_ref(),
+        prof16: prof16.as_ref(),
+        shadows: shadows.as_ref(),
         scoring,
         ra: a.residues(),
         rb: b.residues(),
@@ -548,6 +596,9 @@ fn planes_pass(
                     cells_total: e.cells() as u64,
                 });
             }
+        }
+        if let Some(sh) = &shadows {
+            sh.begin_plane(d);
         }
         cells_done += compute_plane(&ctx, face.as_ref(), &mut cells, e, d) as u64;
     }
@@ -566,6 +617,11 @@ struct PlaneCtx<'a> {
     w2: usize,
     rk: ResolvedKernel,
     prof: Option<&'a Profiles>,
+    /// Narrowed profiles — `Some` only for an `i16` kernel whose scoring
+    /// passed the range gate; always paired with `shadows`.
+    prof16: Option<&'a I16Profiles>,
+    /// The four `i16` shadow planes mirroring `buffers`.
+    shadows: Option<&'a PlaneShadows>,
     scoring: &'a Scoring,
     ra: &'a [u8],
     rb: &'a [u8],
@@ -697,13 +753,20 @@ fn plane_row_segmented(
     } = *ctx;
     let slot = |i: usize, j: usize| i * w2 + j;
     let target = &buffers[d % 4];
+    let shadows = ctx.shadows;
     // SAFETY: as in `compute_plane_cells` — writes land in this row's own
     // target slots, reads come from the three previous planes' buffers.
+    // Shadow writes mirror target writes slot for slot.
     let cell = |i: usize, j: usize, k: usize| {
         let v = kernel.cell(i, j, k, |pi, pj, pk| unsafe {
             buffers[(pi + pj + pk) % 4].get(slot(pi, pj))
         });
         unsafe { target.set(slot(i, j), v) };
+        if let Some(sh) = shadows {
+            let nv = v.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+            unsafe { sh.buf(d).set(slot(i, j), nv) };
+            sh.record(d, fits_i16(v));
+        }
         if i == n1 {
             if let Some(f) = face {
                 unsafe { f.set(j * (n3 + 1) + k, v) };
@@ -729,49 +792,100 @@ fn plane_row_segmented(
         cell(i, j, d - i - j);
     }
     let len = je - js + 1;
-    scratch.ensure(len);
     let g2 = 2 * scoring.gap_linear();
     let ai = ra[i - 1];
-    let (pab, pac) = (prof.ab(ai), prof.ac(ai));
-    for (x, j) in (js..=je).enumerate() {
-        let k = d - i - j;
-        let sab = pab[j - 1];
-        let sac = pac[k - 1];
-        let sbc = scoring.sub(rb[j - 1], rc[k - 1]);
-        scratch.t111[x] = sab + sac + sbc;
-        scratch.t110[x] = sab + g2;
-        scratch.t101[x] = sac + g2;
-        scratch.t011[x] = sbc + g2;
-    }
-    // Interior cells have d = i + j + k ≥ 3, so planes d−1..d−3 exist and
-    // occupy the three rotation slots the target (d mod 4) doesn't.
-    let p1 = &buffers[(d - 1) % 4];
-    let p2 = &buffers[(d - 2) % 4];
-    let p3 = &buffers[(d - 3) % 4];
-    // SAFETY: the predecessor slices view earlier planes' buffers, fully
-    // written before this plane began and never written during it; the
-    // output slice covers exactly this row's target slots, disjoint from
-    // every other row of the plane. Slice bounds stay inside the buffers:
-    // slots run from (i−1)·w2 + js−1 to i·w2 + je ≤ (n1+1)·w2 − 1.
+    // The narrow path runs when the `i16` machinery is armed and all three
+    // predecessor shadow planes narrowed cleanly; otherwise the `i32`
+    // kernel runs and (when shadows exist) its output is narrowed back so
+    // validity recovers on the next plane.
+    let narrow = match (ctx.prof16, shadows) {
+        (Some(p16), Some(sh)) if sh.preds_valid(d) => Some((p16, sh)),
+        _ => None,
+    };
+    // SAFETY: the predecessor slices view earlier planes' buffers (and
+    // shadow buffers), fully written before this plane began and never
+    // written during it; the output slices cover exactly this row's target
+    // (and shadow) slots, disjoint from every other row of the plane.
+    // Slice bounds stay inside the buffers: slots run from
+    // (i−1)·w2 + js−1 to i·w2 + je ≤ (n1+1)·w2 − 1.
     unsafe {
-        let sl =
-            |g: &SharedGrid<i32>, at: usize| std::slice::from_raw_parts(g.as_ptr().add(at), len);
-        let row = PlaneRow {
-            g2,
-            t111: &scratch.t111[..len],
-            t110: &scratch.t110[..len],
-            t101: &scratch.t101[..len],
-            t011: &scratch.t011[..len],
-            p3_111: sl(p3, slot(i - 1, js - 1)),
-            p2_110: sl(p2, slot(i - 1, js - 1)),
-            p2_101: sl(p2, slot(i - 1, js)),
-            p2_011: sl(p2, slot(i, js - 1)),
-            p1_100: sl(p1, slot(i - 1, js)),
-            p1_010: sl(p1, slot(i, js - 1)),
-            p1_001: sl(p1, slot(i, js)),
-        };
         let out = std::slice::from_raw_parts_mut(target.as_ptr().add(slot(i, js)), len);
-        plane_row(rk, &row, out);
+        if let Some((p16, sh)) = narrow {
+            scratch.ensure_i16(len);
+            let ng2 = p16.g2();
+            let (pab, pac) = (p16.ab16(ai), p16.ac16(ai));
+            for (x, j) in (js..=je).enumerate() {
+                let k = d - i - j;
+                let sab = pab[j - 1];
+                let sac = pac[k - 1];
+                let sbc = p16.bc16(rb[j - 1])[k - 1];
+                scratch.s111[x] = sab + sac + sbc;
+                scratch.s110[x] = sab + ng2;
+                scratch.s101[x] = sac + ng2;
+                scratch.s011[x] = sbc + ng2;
+            }
+            let sl = |g: &SharedGrid<i16>, at: usize| {
+                std::slice::from_raw_parts(g.as_ptr().add(at), len)
+            };
+            let row = PlaneRowI16 {
+                g2: ng2,
+                t111: &scratch.s111[..len],
+                t110: &scratch.s110[..len],
+                t101: &scratch.s101[..len],
+                t011: &scratch.s011[..len],
+                p3_111: sl(sh.buf(d - 3), slot(i - 1, js - 1)),
+                p2_110: sl(sh.buf(d - 2), slot(i - 1, js - 1)),
+                p2_101: sl(sh.buf(d - 2), slot(i - 1, js)),
+                p2_011: sl(sh.buf(d - 2), slot(i, js - 1)),
+                p1_100: sl(sh.buf(d - 1), slot(i - 1, js)),
+                p1_010: sl(sh.buf(d - 1), slot(i, js - 1)),
+                p1_001: sl(sh.buf(d - 1), slot(i, js)),
+            };
+            let out16 = std::slice::from_raw_parts_mut(sh.buf(d).as_ptr().add(slot(i, js)), len);
+            sh.record(d, plane_row_i16(rk, &row, out, out16));
+        } else {
+            scratch.ensure(len);
+            let (pab, pac) = (prof.ab(ai), prof.ac(ai));
+            for (x, j) in (js..=je).enumerate() {
+                let k = d - i - j;
+                let sab = pab[j - 1];
+                let sac = pac[k - 1];
+                let sbc = scoring.sub(rb[j - 1], rc[k - 1]);
+                scratch.t111[x] = sab + sac + sbc;
+                scratch.t110[x] = sab + g2;
+                scratch.t101[x] = sac + g2;
+                scratch.t011[x] = sbc + g2;
+            }
+            // Interior cells have d = i + j + k ≥ 3, so planes d−1..d−3
+            // exist and occupy the three rotation slots the target
+            // (d mod 4) doesn't.
+            let p1 = &buffers[(d - 1) % 4];
+            let p2 = &buffers[(d - 2) % 4];
+            let p3 = &buffers[(d - 3) % 4];
+            let sl = |g: &SharedGrid<i32>, at: usize| {
+                std::slice::from_raw_parts(g.as_ptr().add(at), len)
+            };
+            let row = PlaneRow {
+                g2,
+                t111: &scratch.t111[..len],
+                t110: &scratch.t110[..len],
+                t101: &scratch.t101[..len],
+                t011: &scratch.t011[..len],
+                p3_111: sl(p3, slot(i - 1, js - 1)),
+                p2_110: sl(p2, slot(i - 1, js - 1)),
+                p2_101: sl(p2, slot(i - 1, js)),
+                p2_011: sl(p2, slot(i, js - 1)),
+                p1_100: sl(p1, slot(i - 1, js)),
+                p1_010: sl(p1, slot(i, js - 1)),
+                p1_001: sl(p1, slot(i, js)),
+            };
+            plane_row(rk, &row, out);
+            if let Some(sh) = shadows {
+                let out16 =
+                    std::slice::from_raw_parts_mut(sh.buf(d).as_ptr().add(slot(i, js)), len);
+                sh.record(d, narrow_row(rk, out, out16));
+            }
+        }
     }
     if i == n1 {
         if let Some(f) = face {
@@ -820,11 +934,15 @@ pub fn score_planes_parallel_durable_with(
 ) -> Result<i32, DurableStop> {
     let rk = simd.resolve();
     let prof = slab_profiles(a, b, c, scoring, rk);
+    let prof16 = i16_profiles(a, b, c, scoring, rk);
     let kernel = Kernel::new(a.residues(), b.residues(), c.residues(), scoring);
     let (n1, n2, n3) = kernel.lens();
     let e = Extents::new(n1, n2, n3);
     let w2 = n2 + 1;
     let plane_len = (n1 + 1) * w2;
+    // Shadows start invalid; a resumed sweep (which restores only the
+    // `i32` buffers) re-arms them within three cleanly narrowed planes.
+    let shadows = prof16.as_ref().map(|_| PlaneShadows::new(plane_len));
     let fp = job_fingerprint(a, b, c, scoring, KernelKind::Planes);
     let progress = |done: u64| CancelProgress {
         cells_done: done,
@@ -880,11 +998,16 @@ pub fn score_planes_parallel_durable_with(
             w2,
             rk,
             prof: prof.as_ref(),
+            prof16: prof16.as_ref(),
+            shadows: shadows.as_ref(),
             scoring,
             ra: a.residues(),
             rb: b.residues(),
             rc: c.residues(),
         };
+        if let Some(sh) = &shadows {
+            sh.begin_plane(d);
+        }
         cells_done += compute_plane(&ctx, None, &mut cells, e, d) as u64;
         if d + 1 < e.num_planes() && pacer.due() {
             store(ckpt, plane_snapshot(fp, d + 1, cells_done, &mut buffers))?;

@@ -1,10 +1,13 @@
 //! Differential property suite for the SIMD score kernels: every kernel
-//! (`scalar`, `sse2`, `avx2`, `auto`) must produce **bit-identical**
-//! scores on random sequences across every scoring preset, for the slab
-//! and plane sweeps, on empty and length-1 inputs, and through the
+//! (`scalar`, `sse2`, `avx2`, `sse2-i16`, `avx2-i16`, `auto`) must
+//! produce **bit-identical** scores on random sequences across every
+//! scoring preset, for the slab and plane sweeps, on empty and length-1
+//! inputs, under matrices crafted to force i16 saturation mid-row (the
+//! overflow fallback must be invisible in the scores), and through the
 //! cancellable and durable entry points — including a checkpoint taken
 //! under one kernel and resumed under another (snapshots are portable
-//! because the kernel never enters the job fingerprint).
+//! because the kernel never enters the job fingerprint; the rotation
+//! now alternates i16 and i32 kernels).
 
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -12,13 +15,15 @@ use tsa_core::checkpoint::{
     CheckpointConfig, CheckpointPolicy, CheckpointSink, FrontierSnapshot, MemorySink,
 };
 use tsa_core::{score_only, Algorithm, Aligner, CancelToken, DurableStop, SimdKernel};
-use tsa_scoring::{GapModel, Scoring};
+use tsa_scoring::{GapModel, Scoring, SubstMatrix};
 use tsa_seq::Seq;
 
-const KERNELS: [SimdKernel; 4] = [
+const KERNELS: [SimdKernel; 6] = [
     SimdKernel::Scalar,
     SimdKernel::Sse2,
     SimdKernel::Avx2,
+    SimdKernel::Sse2I16,
+    SimdKernel::Avx2I16,
     SimdKernel::Auto,
 ];
 
@@ -130,7 +135,11 @@ fn aligner_kernel_knob_is_score_invariant() {
     let a = Seq::dna("GATTACAGATTACA").unwrap();
     let b = Seq::dna("GATACATTACA").unwrap();
     let c = Seq::dna("GTTACAGGATTA").unwrap();
-    for alg in [Algorithm::FullDp, Algorithm::Wavefront] {
+    for alg in [
+        Algorithm::FullDp,
+        Algorithm::Wavefront,
+        Algorithm::TileWavefront { tile: 8 },
+    ] {
         let reference = Aligner::new()
             .algorithm(alg)
             .kernel(SimdKernel::Scalar)
@@ -144,6 +153,65 @@ fn aligner_kernel_knob_is_score_invariant() {
                 .unwrap();
             assert_eq!(score, reference, "{alg:?} under {k}");
         }
+    }
+}
+
+/// A matrix whose terms blow past the ±1024 i16 pass gate: the i16
+/// kernels must refuse the profile outright and run their widened i32
+/// path, with no score drift.
+#[test]
+fn gate_refusing_matrix_falls_back_bit_identically() {
+    let wild = Scoring::new(
+        SubstMatrix::match_mismatch("wild", 30_000, -30_000),
+        GapModel::linear(-2),
+    );
+    let a = Seq::dna("GATTACAGATTACAGATTACA").unwrap();
+    let b = Seq::dna("GATACATTACAGGATACA").unwrap();
+    let c = Seq::dna("GTTACAGGATTAGTTACA").unwrap();
+    assert_all_kernels_agree(&a, &b, &c, &wild);
+}
+
+/// A matrix that *passes* the ±1024 term gate but whose running scores
+/// ramp past the ±14000 predecessor bound mid-sweep: long match runs
+/// accumulate +2700/plane, long mismatch runs plunge the same way, so
+/// the per-row overflow detector must disqualify rows and re-run them
+/// in i32 — invisibly.
+#[test]
+fn mid_row_saturation_falls_back_bit_identically() {
+    let hot = Scoring::new(
+        SubstMatrix::match_mismatch("hot", 900, -900),
+        GapModel::linear(-512),
+    );
+    // 48-mers: perfect repeats (positive ramp), anti-correlated repeats
+    // (negative ramp), and a mixed triple.
+    let run = "GATTACAGATTACAGATTACAGATTACAGATTACAGATTACAGATTAC";
+    let anti = "CTAATGTCTAATGTCTAATGTCTAATGTCTAATGTCTAATGTCTAATG";
+    let a = Seq::dna(run).unwrap();
+    let b = Seq::dna(run).unwrap();
+    let c = Seq::dna(anti).unwrap();
+    assert_all_kernels_agree(&a, &a, &b, &hot);
+    assert_all_kernels_agree(&a, &b, &c, &hot);
+    assert_all_kernels_agree(&c, &c, &c, &hot);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random sequences under the hot (gate-passing, overflow-prone)
+    /// matrix: whatever mix of saturated and clean rows falls out, the
+    /// fallback must keep every kernel bit-identical to scalar.
+    #[test]
+    fn saturating_matrix_scores_are_bit_identical(
+        a in dna(48),
+        b in dna(48),
+        c in dna(48),
+        mismatch in -1024i32..0,
+    ) {
+        let hot = Scoring::new(
+            SubstMatrix::match_mismatch("hot", 900, mismatch),
+            GapModel::linear(-600),
+        );
+        assert_all_kernels_agree(&a, &b, &c, &hot);
     }
 }
 
@@ -171,7 +239,11 @@ fn durable_snapshots_are_portable_across_kernels() {
     let b = Seq::dna("GATACATTACAGGATACA").unwrap();
     let c = Seq::dna("GTTACAGGATTAGTTACA").unwrap();
     let scoring = Scoring::dna_default();
-    for alg in [Algorithm::FullDp, Algorithm::Wavefront] {
+    for alg in [
+        Algorithm::FullDp,
+        Algorithm::Wavefront,
+        Algorithm::TileWavefront { tile: 4 },
+    ] {
         let reference = Aligner::new()
             .scoring(scoring.clone())
             .algorithm(alg)

@@ -22,6 +22,9 @@ pub struct ModelComparison {
     pub model: CostModel,
     /// Worker count the profile ran at.
     pub workers: usize,
+    /// Scheduling granularity of the profile (`1` = cell planes, `t > 1`
+    /// = `t×t×t` tile planes, in which case `t_cell` is a per-tile cost).
+    pub tile: usize,
     /// Model-predicted wall time for the profile's plane sizes at
     /// `workers`.
     pub predicted_ns: f64,
@@ -51,10 +54,11 @@ impl ModelComparison {
 
 impl fmt::Display for ModelComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unit = if self.tile > 1 { "t_tile" } else { "t_cell" };
         writeln!(
             f,
-            "model: t_cell = {:.1} ns, t_barrier = {:.0} ns (fitted at P = {})",
-            self.model.t_cell_ns, self.model.t_barrier_ns, self.workers
+            "model: {} = {:.1} ns, t_barrier = {:.0} ns (fitted at P = {})",
+            unit, self.model.t_cell_ns, self.model.t_barrier_ns, self.workers
         )?;
         writeln!(
             f,
@@ -90,6 +94,7 @@ pub fn compare(profile: &PlaneProfile) -> ModelComparison {
     ModelComparison {
         model,
         workers: p,
+        tile: profile.tile.max(1),
         predicted_ns: model.predict_time_ns(&sizes, p),
         measured_ns: summary.wall_ns,
         predicted_speedup: model.predict_speedup(&sizes, p),
@@ -124,7 +129,11 @@ mod tests {
                 }
             })
             .collect();
-        PlaneProfile { workers, samples }
+        PlaneProfile {
+            workers,
+            tile: 1,
+            samples,
+        }
     }
 
     #[test]
@@ -167,6 +176,7 @@ mod tests {
     fn empty_profile_is_safe() {
         let profile = PlaneProfile {
             workers: 4,
+            tile: 1,
             samples: Vec::new(),
         };
         let cmp = compare(&profile);
@@ -182,5 +192,15 @@ mod tests {
         assert!(text.contains("t_cell"), "{text}");
         assert!(text.contains("predicted"), "{text}");
         assert!(text.contains("delta"), "{text}");
+    }
+
+    #[test]
+    fn tiled_profile_carries_its_edge_and_relabels_the_fit() {
+        let mut profile = exact_profile(&[1, 3, 6, 3, 1], 2, 10_000, 500);
+        profile.tile = 32;
+        let cmp = compare(&profile);
+        assert_eq!(cmp.tile, 32);
+        let text = cmp.to_string();
+        assert!(text.contains("t_tile"), "{text}");
     }
 }

@@ -1,0 +1,121 @@
+//! 2-bit packed DNA encoding.
+//!
+//! The SIMD kernels want DNA residues as dense small integers (`A=0`,
+//! `C=1`, `G=2`, `T=3`) so substitution lookups become 4-entry shuffles
+//! instead of 256-entry table gathers, and so a whole sequence packs four
+//! residues per byte. [`PackedDna`] is that representation: construction
+//! validates the sequence is strict `ACGT` (anything else — including
+//! lowercase or ambiguity codes — returns `None`, and the caller keeps its
+//! byte-alphabet path), and accessors unpack either one code or the whole
+//! code vector.
+
+/// The canonical 2-bit DNA code of a residue, or `None` for non-`ACGT`.
+#[inline(always)]
+pub fn dna_code(residue: u8) -> Option<u8> {
+    match residue {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+/// The residue letter of a 2-bit code (`0..=3`).
+#[inline(always)]
+pub fn dna_letter(code: u8) -> u8 {
+    debug_assert!(code < 4);
+    b"ACGT"[code as usize & 3]
+}
+
+/// A strict-`ACGT` sequence packed four residues per byte, little-endian
+/// within the byte (residue `i` lives in bits `2·(i%4) ..`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedDna {
+    packed: Box<[u8]>,
+    len: usize,
+}
+
+impl PackedDna {
+    /// Pack a residue slice, or `None` if any residue is not `ACGT`.
+    pub fn from_residues(residues: &[u8]) -> Option<PackedDna> {
+        let mut packed = vec![0u8; residues.len().div_ceil(4)];
+        for (i, &r) in residues.iter().enumerate() {
+            packed[i / 4] |= dna_code(r)? << (2 * (i % 4));
+        }
+        Some(PackedDna {
+            packed: packed.into_boxed_slice(),
+            len: residues.len(),
+        })
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed bytes (four 2-bit codes per byte).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// The 2-bit code of residue `i`.
+    #[inline(always)]
+    pub fn code(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        (self.packed[i / 4] >> (2 * (i % 4))) & 3
+    }
+
+    /// Unpack to one code byte (`0..=3`) per residue.
+    pub fn codes(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.code(i)).collect()
+    }
+
+    /// Unpack back to residue letters.
+    pub fn to_residues(&self) -> Vec<u8> {
+        (0..self.len).map(|i| dna_letter(self.code(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_phase() {
+        for len in 0..20 {
+            let residues: Vec<u8> = (0..len).map(|i| dna_letter((i * 7 % 4) as u8)).collect();
+            let p = PackedDna::from_residues(&residues).unwrap();
+            assert_eq!(p.len(), len);
+            assert_eq!(p.is_empty(), len == 0);
+            assert_eq!(p.to_residues(), residues);
+            let codes = p.codes();
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(c, p.code(i));
+                assert_eq!(dna_letter(c), residues[i]);
+            }
+            assert_eq!(p.as_bytes().len(), len.div_ceil(4));
+        }
+    }
+
+    #[test]
+    fn rejects_non_acgt() {
+        assert!(PackedDna::from_residues(b"ACGT").is_some());
+        assert!(PackedDna::from_residues(b"ACGU").is_none());
+        assert!(PackedDna::from_residues(b"acgt").is_none());
+        assert!(PackedDna::from_residues(b"ACGN").is_none());
+        assert_eq!(dna_code(b'X'), None);
+    }
+
+    #[test]
+    fn packing_is_dense() {
+        let p = PackedDna::from_residues(b"TGCA").unwrap();
+        // T=3, G=2, C=1, A=0 little-endian within the byte: 0b00_01_10_11.
+        assert_eq!(p.as_bytes(), &[0b00_01_10_11]);
+    }
+}

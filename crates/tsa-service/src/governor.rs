@@ -56,11 +56,13 @@ pub fn estimate(
         Algorithm::Wavefront | Algorithm::ParallelHirschberg if score_only => {
             (cube, memory::plane_score(n1, n2))
         }
-        // Full-lattice traceback algorithms materialize the whole cube.
+        // Full-lattice traceback algorithms materialize the whole cube —
+        // as does the tile-wavefront score grid.
         Algorithm::FullDp
         | Algorithm::Wavefront
         | Algorithm::Blocked { .. }
         | Algorithm::BlockedDataflow { .. }
+        | Algorithm::TileWavefront { .. }
         | Algorithm::CarrilloLipman
         | Algorithm::BandedAdaptive => (cube, memory::full_lattice(n1, n2, n3)),
         // Divide and conquer: ≤2× the cell updates, quadratic space.

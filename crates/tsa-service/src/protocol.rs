@@ -266,7 +266,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 Some(name) => SimdKernel::by_name(name).ok_or_else(|| {
                     ProtocolError::new(
                         id_ref,
-                        format!("unknown kernel '{name}' (want scalar|auto|sse2|avx2)"),
+                        format!(
+                            "unknown kernel '{name}' (want scalar|auto|sse2|avx2|sse2-i16|avx2-i16)"
+                        ),
                     )
                 })?,
             };
@@ -631,7 +633,9 @@ pub fn render_submit(req: &AlignRequest) -> Option<String> {
         .str("c", req.seqs[2].as_str())
         .str("scoring", &scoring_key);
     match req.algorithm {
-        Algorithm::Blocked { tile } => obj = obj.u64("tile", tile as u64),
+        Algorithm::Blocked { tile } | Algorithm::TileWavefront { tile } => {
+            obj = obj.u64("tile", tile as u64)
+        }
         Algorithm::BlockedDataflow { tile, threads } => {
             obj = obj.u64("tile", tile as u64).u64("threads", threads as u64);
         }
@@ -817,6 +821,8 @@ mod tests {
             ("auto", SimdKernel::Auto),
             ("sse2", SimdKernel::Sse2),
             ("avx2", SimdKernel::Avx2),
+            ("sse2-i16", SimdKernel::Sse2I16),
+            ("avx2-i16", SimdKernel::Avx2I16),
         ] {
             let line = format!(
                 r#"{{"op":"submit","id":"k","a":"ACGT","b":"ACG","c":"AGT","kernel":"{name}"}}"#
@@ -1279,6 +1285,18 @@ mod tests {
             panic!("expected submit");
         };
         assert_eq!(again.algorithm, Algorithm::Blocked { tile: 8 });
+
+        // So do tile-wavefront jobs.
+        let line = r#"{"op":"submit","id":"tw","a":"ACGT","b":"ACG","c":"AGT",
+            "algorithm":"tile-wavefront","tile":16,"kernel":"avx2-i16"}"#;
+        let Request::Submit(req) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        let Request::Submit(again) = parse_request(&render_submit(&req).unwrap()).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(again.algorithm, Algorithm::TileWavefront { tile: 16 });
+        assert_eq!(again.kernel, SimdKernel::Avx2I16);
 
         // A custom matrix cannot be expressed on the wire: no render.
         let custom = AlignRequest::new(

@@ -149,7 +149,61 @@ pub fn run_cells_wavefront_profiled(
             max_task_ns,
         });
     }
-    PlaneProfile { workers, samples }
+    PlaneProfile {
+        workers,
+        tile: 1,
+        samples,
+    }
+}
+
+/// Like [`run_tiles_wavefront`], but times every tile plane and returns
+/// a [`PlaneProfile`] with `tile` set to the grid's edge, so each
+/// sample's `items` counts tiles and the fitted `t_cell` is a per-tile
+/// cost. One task per tile — tiles are the scheduling unit, so `tasks`
+/// in each sample is exact.
+pub fn run_tiles_wavefront_profiled(
+    grid: &TileGrid,
+    kernel: impl Fn(usize, usize, usize) + Sync,
+) -> PlaneProfile {
+    let workers = rayon::current_num_threads().max(1);
+    let mut samples = Vec::with_capacity(grid.num_tile_planes());
+    for d in 0..grid.num_tile_planes() {
+        let tiles = grid.tiles_on_plane(d);
+        let started = Instant::now();
+        let (busy_ns, max_task_ns);
+        if tiles.len() == 1 {
+            let (ti, tj, tk) = tiles[0];
+            kernel(ti, tj, tk);
+            let ns = started.elapsed().as_nanos() as u64;
+            busy_ns = ns;
+            max_task_ns = ns;
+        } else {
+            let busy = AtomicU64::new(0);
+            let max_task = AtomicU64::new(0);
+            tiles.par_iter().for_each(|&(ti, tj, tk)| {
+                let t0 = Instant::now();
+                kernel(ti, tj, tk);
+                let ns = t0.elapsed().as_nanos() as u64;
+                busy.fetch_add(ns, Ordering::Relaxed);
+                max_task.fetch_max(ns, Ordering::Relaxed);
+            });
+            busy_ns = busy.into_inner();
+            max_task_ns = max_task.into_inner();
+        }
+        samples.push(PlaneSample {
+            plane: d,
+            items: tiles.len(),
+            tasks: tiles.len(),
+            wall_ns: started.elapsed().as_nanos() as u64,
+            busy_ns,
+            max_task_ns,
+        });
+    }
+    PlaneProfile {
+        workers,
+        tile: grid.tile(),
+        samples,
+    }
 }
 
 /// Run `kernel(ti, tj, tk)` over every tile in sequential tile-wavefront
@@ -178,6 +232,35 @@ pub fn run_tiles_wavefront(grid: &TileGrid, kernel: impl Fn(usize, usize, usize)
                 .for_each(|&(ti, tj, tk)| kernel(ti, tj, tk));
         }
     }
+}
+
+/// Like [`run_tiles_wavefront`], but polls `should_stop` once per tile
+/// plane. When the predicate fires the sweep stops before starting the
+/// next tile plane and returns `Err(tiles_completed)`; every tile plane
+/// that did start has fully finished, so storage written so far is
+/// consistent.
+pub fn run_tiles_wavefront_cancellable(
+    grid: &TileGrid,
+    kernel: impl Fn(usize, usize, usize) + Sync,
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<(), u64> {
+    let mut done: u64 = 0;
+    for d in 0..grid.num_tile_planes() {
+        if should_stop() {
+            return Err(done);
+        }
+        let tiles = grid.tiles_on_plane(d);
+        if tiles.len() == 1 {
+            let (ti, tj, tk) = tiles[0];
+            kernel(ti, tj, tk);
+        } else {
+            tiles
+                .par_iter()
+                .for_each(|&(ti, tj, tk)| kernel(ti, tj, tk));
+        }
+        done += tiles.len() as u64;
+    }
+    Ok(())
 }
 
 /// Enumerate the cells of each plane once and hand the whole plane to
@@ -393,6 +476,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancellable_tiles_without_stop_visit_all_tiles_once() {
+        let tg = TileGrid::new(Extents::new(10, 8, 9), 4);
+        let seen: Vec<AtomicUsize> = (0..tg.num_tiles()).map(|_| AtomicUsize::new(0)).collect();
+        run_tiles_wavefront_cancellable(
+            &tg,
+            |i, j, k| {
+                seen[tg.tile_index(i, j, k)].fetch_add(1, Ordering::Relaxed);
+            },
+            || false,
+        )
+        .unwrap();
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn cancellable_tiles_stop_between_tile_planes() {
+        let tg = TileGrid::new(Extents::new(11, 11, 11), 4);
+        let visited = AtomicUsize::new(0);
+        let mut checks = 0;
+        let err = run_tiles_wavefront_cancellable(
+            &tg,
+            |_, _, _| {
+                visited.fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                checks += 1;
+                checks > 2 // allow tile planes 0 and 1, stop before 2
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err as usize, visited.load(Ordering::Relaxed));
+        assert_eq!(err, 1 + 3); // tile planes 0 and 1 of a 3×3×3 tile grid
+    }
+
+    #[test]
+    fn profiled_tiles_visit_all_tiles_and_record_the_edge() {
+        let tg = TileGrid::new(Extents::new(10, 8, 9), 4);
+        let seen: Vec<AtomicUsize> = (0..tg.num_tiles()).map(|_| AtomicUsize::new(0)).collect();
+        let profile = run_tiles_wavefront_profiled(&tg, |i, j, k| {
+            seen[tg.tile_index(i, j, k)].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(profile.tile, 4);
+        assert_eq!(profile.samples.len(), tg.num_tile_planes());
+        assert_eq!(profile.total_items(), tg.num_tiles() as u64);
+        for (d, s) in profile.samples.iter().enumerate() {
+            assert_eq!(s.plane, d);
+            assert_eq!(s.items, tg.tiles_on_plane(d).len());
+            assert_eq!(s.tasks, s.items);
+        }
+        let text = profile.summary().to_string();
+        assert!(text.contains("tiles"), "{text}");
     }
 
     #[test]

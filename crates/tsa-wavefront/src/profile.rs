@@ -62,6 +62,11 @@ pub struct PlaneProfile {
     /// Worker threads the sweep targeted ([`rayon::current_num_threads`]
     /// at sweep start).
     pub workers: usize,
+    /// Scheduling granularity the sweep was decomposed at: `1` for
+    /// cell-granularity planes (each sample's `items` counts cells),
+    /// `t > 1` for a `t×t×t` tile-wavefront (each sample's `items`
+    /// counts *tiles*, so the fitted `t_cell` is a per-tile cost).
+    pub tile: usize,
     /// One sample per plane, in execution (= plane-index) order.
     pub samples: Vec<PlaneSample>,
 }
@@ -121,6 +126,7 @@ impl PlaneProfile {
 
         ProfileSummary {
             workers: self.workers,
+            tile: self.tile,
             planes,
             parallel_planes,
             items,
@@ -138,6 +144,9 @@ impl PlaneProfile {
 pub struct ProfileSummary {
     /// Worker threads the sweep targeted.
     pub workers: usize,
+    /// Scheduling granularity (see [`PlaneProfile::tile`]): `1` =
+    /// cell-granularity, `t > 1` = `t×t×t` tiles.
+    pub tile: usize,
     /// Number of planes swept.
     pub planes: usize,
     /// Planes that split into more than one task.
@@ -191,11 +200,23 @@ impl ProfileSummary {
 
 impl fmt::Display for ProfileSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "planes: {} ({} parallel), cells: {}, workers: {}",
-            self.planes, self.parallel_planes, self.items, self.workers
-        )?;
+        if self.tile > 1 {
+            writeln!(
+                f,
+                "planes: {} ({} parallel), tiles: {} ({t}×{t}×{t}), workers: {}",
+                self.planes,
+                self.parallel_planes,
+                self.items,
+                self.workers,
+                t = self.tile
+            )?;
+        } else {
+            writeln!(
+                f,
+                "planes: {} ({} parallel), cells: {}, workers: {}",
+                self.planes, self.parallel_planes, self.items, self.workers
+            )?;
+        }
         writeln!(
             f,
             "wall: {:.3} ms, busy: {:.3} ms, occupancy: {:.1}%",
@@ -240,6 +261,7 @@ mod tests {
     fn summary_totals_and_occupancy() {
         let p = PlaneProfile {
             workers: 2,
+            tile: 1,
             samples: vec![
                 sample(0, 1, 1, 100, 100, 100),
                 sample(1, 200, 2, 1_000, 1_600, 900),
@@ -263,6 +285,7 @@ mod tests {
     fn sequential_only_profile_is_perfectly_balanced() {
         let p = PlaneProfile {
             workers: 4,
+            tile: 1,
             samples: vec![sample(0, 1, 1, 50, 50, 50), sample(1, 3, 1, 60, 60, 60)],
         };
         let s = p.summary();
@@ -275,6 +298,7 @@ mod tests {
     fn empty_profile_does_not_divide_by_zero() {
         let p = PlaneProfile {
             workers: 0,
+            tile: 1,
             samples: Vec::new(),
         };
         let s = p.summary();
@@ -289,6 +313,7 @@ mod tests {
     fn plane_sizes_round_trip() {
         let p = PlaneProfile {
             workers: 1,
+            tile: 1,
             samples: vec![sample(0, 1, 1, 1, 1, 1), sample(1, 3, 1, 1, 1, 1)],
         };
         assert_eq!(p.plane_sizes(), vec![1, 3]);
@@ -305,6 +330,7 @@ mod tests {
     fn display_mentions_key_figures() {
         let p = PlaneProfile {
             workers: 2,
+            tile: 1,
             samples: vec![sample(0, 200, 2, 1_000, 1_600, 900)],
         };
         let text = p.summary().to_string();
